@@ -1,0 +1,39 @@
+//! Section 4 case study: the wiper controller — partition-based WCET bound
+//! versus exhaustive end-to-end measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tmg_bench::{case_study, wiper_case_bound, wiper_exhaustive_max};
+use tmg_cfg::build_cfg;
+use tmg_codegen::{wiper_function, wiper_input_space};
+use tmg_core::WcetAnalysis;
+
+fn bench_case_study(c: &mut Criterion) {
+    let result = case_study();
+    eprintln!(
+        "Case study | segments {}  ip {}  m {}  WCET bound {} cycles  exhaustive {} cycles  pessimism {:.3} (paper: 274 / 250 = 1.096)",
+        result.segments,
+        result.instrumentation_points,
+        result.measurements,
+        result.wcet_bound,
+        result.exhaustive_max,
+        result.pessimism
+    );
+    assert!(result.wcet_bound >= result.exhaustive_max, "the bound must be sound");
+
+    let function = wiper_function();
+    let space = wiper_input_space();
+    let bound = wiper_case_bound();
+    c.bench_function("case_study/full_pipeline", |b| {
+        b.iter(|| WcetAnalysis::new(bound).analyse(&function).expect("analysis"))
+    });
+    c.bench_function("case_study/exhaustive_end_to_end", |b| {
+        b.iter(wiper_exhaustive_max)
+    });
+    c.bench_function("case_study/build_cfg_wiper", |b| {
+        b.iter(|| build_cfg(&function))
+    });
+    eprintln!("exhaustive input space: {} vectors", space.len());
+}
+
+criterion_group!(benches, bench_case_study);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figures 2 and 3: the instrumentation-point / measurement tradeoff on a
+//! TargetLink-sized generated function.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tmg_bench::figure2_3;
+use tmg_cfg::build_cfg;
+use tmg_codegen::{generate_automotive, AutomotiveConfig};
+use tmg_core::tradeoff::{log_spaced_bounds, sweep_path_bounds};
+
+fn bench_figure2_3(c: &mut Criterion) {
+    let target_blocks = std::env::var("TMG_TARGET_BLOCKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(850);
+    let (stats, sweep) = figure2_3(target_blocks);
+    eprintln!(
+        "Figure 2/3 function: {} blocks, {} branches, {} lines; ip(b=1) = {}",
+        stats.blocks, stats.branches, stats.lines, stats.ip_at_bound_1
+    );
+    for point in &sweep {
+        eprintln!(
+            "  b = {:>8}  ip = {:>6}  m = {}",
+            point.path_bound, point.instrumentation_points, point.measurements
+        );
+    }
+
+    let generated = generate_automotive(&AutomotiveConfig {
+        target_blocks,
+        ..AutomotiveConfig::default()
+    });
+    let lowered = build_cfg(&generated.function);
+    let bounds = log_spaced_bounds(1_000_000);
+    c.bench_function("figure2_3/sweep_path_bounds", |b| {
+        b.iter(|| sweep_path_bounds(&lowered, &bounds))
+    });
+    c.bench_function("figure2_3/build_cfg_automotive", |b| {
+        b.iter(|| build_cfg(&generated.function))
+    });
+}
+
+criterion_group!(benches, bench_figure2_3);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 1: partitioning the Figure-1 example for path bounds 1..=7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tmg_bench::{table1, table1_paper};
+use tmg_cfg::build_cfg;
+use tmg_codegen::figure1_function;
+use tmg_core::PartitionPlan;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the reproduced rows once so `cargo bench` output contains them.
+    eprintln!("Table 1 (bound, ip, m) ours:  {:?}", table1());
+    eprintln!("Table 1 (bound, ip, m) paper: {:?}", table1_paper());
+    assert_eq!(table1(), table1_paper(), "Table 1 must reproduce exactly");
+
+    let lowered = build_cfg(&figure1_function(false));
+    c.bench_function("table1/partition_figure1_all_bounds", |b| {
+        b.iter(|| {
+            (1..=7u128)
+                .map(|bound| {
+                    let plan = PartitionPlan::compute(&lowered, bound);
+                    (plan.instrumentation_points(), plan.measurements())
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    c.bench_function("table1/build_cfg_figure1", |b| {
+        let f = figure1_function(false);
+        b.iter(|| build_cfg(&f))
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

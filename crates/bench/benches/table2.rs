@@ -1,0 +1,34 @@
+//! Table 2: impact of the model-state optimisations on the model checker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmg_bench::{table2, table2_configurations, table2_query};
+use tmg_codegen::table2::table2_function;
+use tmg_tsys::ModelChecker;
+
+fn bench_table2(c: &mut Criterion) {
+    for row in table2() {
+        eprintln!(
+            "Table 2 | {:<28} time {:>9.2} ms  memory {:>10.1} kB  steps {:>4}  transitions {:>9}  state bits {:>4}",
+            row.label,
+            row.duration.as_secs_f64() * 1e3,
+            row.memory_bytes as f64 / 1024.0,
+            row.steps.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            row.transitions_fired,
+            row.state_bits
+        );
+    }
+
+    let function = table2_function();
+    let query = table2_query(&function);
+    let mut group = c.benchmark_group("table2");
+    for (label, opts) in table2_configurations() {
+        let checker = ModelChecker::with_optimisations(opts);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &checker, |b, checker| {
+            b.iter(|| checker.find_test_data(&function, &query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Prints the reproduced tables and figures of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p tmg-bench --release --bin reproduce -- all
+//! cargo run -p tmg-bench --release --bin reproduce -- table1 table2 case-study
+//! ```
+
+use tmg_bench::{case_study, figure2_3, table1, table1_paper, table2, testgen_experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1".into(),
+            "figure2".into(),
+            "figure3".into(),
+            "table2".into(),
+            "case-study".into(),
+            "testgen".into(),
+        ]
+    } else {
+        args
+    };
+    for experiment in wanted {
+        match experiment.as_str() {
+            "table1" => print_table1(),
+            "figure2" => print_figure2_3(true),
+            "figure3" => print_figure2_3(false),
+            "table2" => print_table2(),
+            "case-study" | "case_study" => print_case_study(),
+            "testgen" => print_testgen(),
+            other => eprintln!("unknown experiment `{other}` (expected table1, figure2, figure3, table2, case-study, testgen, all)"),
+        }
+    }
+}
+
+fn print_table1() {
+    println!("== Table 1: measurement effort vs path bound (Figure-1 example) ==");
+    println!("{:>8} {:>14} {:>14} {:>14} {:>14}", "bound b", "ip (ours)", "ip (paper)", "m (ours)", "m (paper)");
+    for ((b, ip, m), (_, ip_p, m_p)) in table1().into_iter().zip(table1_paper()) {
+        println!("{b:>8} {ip:>14} {ip_p:>14} {m:>14} {m_p:>14}");
+    }
+    println!();
+}
+
+fn print_figure2_3(figure2: bool) {
+    let target_blocks = std::env::var("TMG_TARGET_BLOCKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(850);
+    let (stats, sweep) = figure2_3(target_blocks);
+    if figure2 {
+        println!("== Figure 2: instrumentation points over path bound b ==");
+        println!(
+            "generated function: {} blocks, {} conditional branches, {} lines (paper: ~857 / ~300 / ~5000)",
+            stats.blocks, stats.branches, stats.lines
+        );
+        println!("{:>12} {:>10} {:>12}", "bound b", "ip", "segments");
+        for p in &sweep {
+            println!("{:>12} {:>10} {:>12}", p.path_bound, p.instrumentation_points, p.segments);
+        }
+    } else {
+        println!("== Figure 3: measurements m over instrumentation points ip ==");
+        println!("{:>10} {:>22}", "ip", "m");
+        for p in &sweep {
+            println!("{:>10} {:>22}", p.instrumentation_points, p.measurements);
+        }
+    }
+    println!();
+}
+
+fn print_table2() {
+    println!("== Table 2: impact of model-state optimisations (105-line module) ==");
+    println!(
+        "{:<28} {:>12} {:>14} {:>8} {:>14} {:>10}",
+        "optimisation technique", "time [ms]", "memory [kB]", "steps", "transitions", "state bits"
+    );
+    for row in table2() {
+        println!(
+            "{:<28} {:>12.2} {:>14.1} {:>8} {:>14} {:>10}",
+            row.label,
+            row.duration.as_secs_f64() * 1e3,
+            row.memory_bytes as f64 / 1024.0,
+            row.steps.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            row.transitions_fired,
+            row.state_bits
+        );
+    }
+    println!();
+}
+
+fn print_case_study() {
+    let r = case_study();
+    println!("== Section 4 case study: wiper control ==");
+    println!("path bound (one PS per case arm): {}", r.path_bound);
+    println!(
+        "segments: {}   ip: {}   m: {}",
+        r.segments, r.instrumentation_points, r.measurements
+    );
+    println!(
+        "test data: {} heuristic + {} model checker, {} infeasible",
+        r.heuristic_covered, r.checker_covered, r.infeasible
+    );
+    println!(
+        "WCET bound: {} cycles   exhaustive end-to-end maximum: {} cycles   pessimism: {:.3} (paper: 274 vs 250 = 1.096)",
+        r.wcet_bound, r.exhaustive_max, r.pessimism
+    );
+    println!();
+}
+
+fn print_testgen() {
+    let r = testgen_experiment();
+    println!("== Hybrid test-data generation (Section 3 claim) ==");
+    println!(
+        "goals: {}   heuristic: {}   model checker: {}   infeasible: {}   unknown: {}",
+        r.goals, r.heuristic_covered, r.checker_covered, r.infeasible, r.unknown
+    );
+    println!(
+        "heuristic coverage of feasible goals: {:.1} % (paper expects > 90 %)",
+        r.heuristic_ratio * 100.0
+    );
+    println!();
+}

@@ -1,0 +1,202 @@
+//! Basic blocks and their terminators.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tmg_minic::ast::{Expr, Stmt, StmtId};
+
+/// Identity of a basic block within one [`crate::Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Raw index into the CFG block table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Structural role of a block.  The role does not affect semantics, but it
+/// makes reports and DOT dumps readable and lets tests assert the builder
+/// policy (e.g. "every `if` produces an explicit join node").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// Virtual function-entry block (the paper's `start` node).
+    Entry,
+    /// Virtual function-exit block (the paper's `end` node).  Never measured.
+    Exit,
+    /// Ordinary straight-line code.
+    Code,
+    /// Join node materialised at the end of an `if`/`switch`/loop.
+    Join,
+    /// Loop header holding the loop condition.
+    LoopHeader,
+    /// Entry block of a `switch` case arm.
+    CaseArm,
+}
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional transfer.
+    Jump(BlockId),
+    /// Two-way conditional branch produced by an `if` or loop condition.
+    Branch {
+        /// The AST statement the condition belongs to.
+        stmt: StmtId,
+        /// Condition expression (true ⇒ `then_dest`).
+        cond: Expr,
+        /// Destination when the condition is true.
+        then_dest: BlockId,
+        /// Destination when the condition is false.
+        else_dest: BlockId,
+    },
+    /// Multi-way branch produced by a `switch`.
+    Switch {
+        /// The AST `switch` statement.
+        stmt: StmtId,
+        /// Selector expression.
+        selector: Expr,
+        /// `(label value, destination)` pairs in source order.
+        arms: Vec<(i64, BlockId)>,
+        /// Destination when no label matches.
+        default_dest: BlockId,
+    },
+    /// Return from the function: control transfers to the exit block.
+    Return {
+        /// The exit block of the CFG.
+        exit: BlockId,
+    },
+    /// Terminator of the virtual exit block.
+    Halt,
+}
+
+impl Terminator {
+    /// All successor block ids, in a deterministic order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(d) => vec![*d],
+            Terminator::Branch {
+                then_dest, else_dest, ..
+            } => vec![*then_dest, *else_dest],
+            Terminator::Switch {
+                arms, default_dest, ..
+            } => {
+                let mut out: Vec<BlockId> = arms.iter().map(|(_, d)| *d).collect();
+                out.push(*default_dest);
+                out
+            }
+            Terminator::Return { exit } => vec![*exit],
+            Terminator::Halt => Vec::new(),
+        }
+    }
+
+    /// Whether this terminator is a conditional (multi-way) branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Terminator::Branch { .. } | Terminator::Switch { .. })
+    }
+}
+
+/// A basic block: a maximal sequence of simple statements with a single
+/// terminator.  Branch conditions live in the terminator of the block that
+/// computes them (so `x = 1; if (c) ...` is one block, like the paper's
+/// Figure 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Block identity.
+    pub id: BlockId,
+    /// Structural role.
+    pub kind: BlockKind,
+    /// Simple statements (assignments, external calls, returns) in order.
+    pub stmts: Vec<Stmt>,
+    /// Control transfer out of the block.
+    pub terminator: Terminator,
+    /// Source line of the first statement (0 if the block is synthetic), used
+    /// to label nodes the way the paper's Figure 1 does.
+    pub line: u32,
+}
+
+impl BasicBlock {
+    /// Whether the block contains no statements (typical for join nodes).
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Ids of the statements contained in this block (not counting the
+    /// terminator's branching statement).
+    pub fn stmt_ids(&self) -> Vec<StmtId> {
+        self.stmts.iter().map(|s| s.id()).collect()
+    }
+
+    /// The branching statement that terminates this block, if any.
+    pub fn branch_stmt(&self) -> Option<StmtId> {
+        match &self.terminator {
+            Terminator::Branch { stmt, .. } | Terminator::Switch { stmt, .. } => Some(*stmt),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_minic::ast::Expr;
+
+    #[test]
+    fn successors_of_each_terminator_kind() {
+        let jump = Terminator::Jump(BlockId(3));
+        assert_eq!(jump.successors(), vec![BlockId(3)]);
+        assert!(!jump.is_branch());
+
+        let branch = Terminator::Branch {
+            stmt: StmtId(0),
+            cond: Expr::var("a"),
+            then_dest: BlockId(1),
+            else_dest: BlockId(2),
+        };
+        assert_eq!(branch.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(branch.is_branch());
+
+        let switch = Terminator::Switch {
+            stmt: StmtId(1),
+            selector: Expr::var("s"),
+            arms: vec![(0, BlockId(4)), (1, BlockId(5))],
+            default_dest: BlockId(6),
+        };
+        assert_eq!(
+            switch.successors(),
+            vec![BlockId(4), BlockId(5), BlockId(6)]
+        );
+
+        assert_eq!(Terminator::Halt.successors(), Vec::<BlockId>::new());
+        assert_eq!(
+            Terminator::Return { exit: BlockId(9) }.successors(),
+            vec![BlockId(9)]
+        );
+    }
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(BlockId(4).to_string(), "b4");
+        assert_eq!(BlockId(4).index(), 4);
+    }
+
+    #[test]
+    fn empty_block_reports_no_statements() {
+        let b = BasicBlock {
+            id: BlockId(0),
+            kind: BlockKind::Join,
+            stmts: Vec::new(),
+            terminator: Terminator::Jump(BlockId(1)),
+            line: 0,
+        };
+        assert!(b.is_empty());
+        assert!(b.stmt_ids().is_empty());
+        assert_eq!(b.branch_stmt(), None);
+    }
+}

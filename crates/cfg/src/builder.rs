@@ -1,0 +1,528 @@
+//! Lowering of a checked mini-C [`Function`] into a [`Cfg`] plus its
+//! [`RegionTree`].
+//!
+//! # Block-formation policy
+//!
+//! The builder follows the construction that reproduces the paper's Figure-1
+//! CFG and Table 1:
+//!
+//! * branch conditions terminate the block that computes them (so
+//!   `p1(); p2(); if (c) ...` is a single block, the paper's node "4");
+//! * every `if` and `switch` materialises an explicit, always-empty *join*
+//!   block;
+//! * statements following a branching statement never merge into the join —
+//!   they start a fresh block;
+//! * loops get a dedicated header block holding the condition, a body region
+//!   and an explicit loop-exit join;
+//! * the virtual entry block counts as a measurable unit (the paper's `start`
+//!   node), the virtual exit block does not.
+
+use crate::block::{BasicBlock, BlockId, BlockKind, Terminator};
+use crate::graph::Cfg;
+use crate::paths::count_paths_block;
+use crate::regions::{Region, RegionId, RegionKind, RegionTree};
+use std::collections::HashMap;
+use tmg_minic::ast::{Block, Expr, Function, Stmt, StmtId};
+
+/// Result of lowering a function: the CFG and its program-segment regions.
+#[derive(Debug, Clone)]
+pub struct LoweredFunction {
+    /// The control-flow graph.
+    pub cfg: Cfg,
+    /// The single-entry region tree used for partitioning.
+    pub regions: RegionTree,
+}
+
+/// Lowers `function` (which must have passed semantic analysis, i.e. have
+/// assigned statement ids) into a CFG and region tree.
+///
+/// # Example
+///
+/// ```
+/// use tmg_minic::parse_function;
+/// use tmg_cfg::build_cfg;
+///
+/// let f = parse_function("void f(int a) { if (a) { g(); } h(); }")?;
+/// let lowered = build_cfg(&f);
+/// assert!(lowered.cfg.validate().is_ok());
+/// assert!(lowered.regions.validate(&lowered.cfg).is_ok());
+/// # Ok::<(), tmg_minic::Error>(())
+/// ```
+pub fn build_cfg(function: &Function) -> LoweredFunction {
+    Builder::new(function).build()
+}
+
+struct Builder<'f> {
+    function: &'f Function,
+    blocks: Vec<BasicBlock>,
+    regions: Vec<Region>,
+    region_stack: Vec<RegionId>,
+    loop_bounds: HashMap<StmtId, u32>,
+    exit: BlockId,
+}
+
+impl<'f> Builder<'f> {
+    fn new(function: &'f Function) -> Builder<'f> {
+        Builder {
+            function,
+            blocks: Vec::new(),
+            regions: Vec::new(),
+            region_stack: Vec::new(),
+            loop_bounds: HashMap::new(),
+            exit: BlockId(0),
+        }
+    }
+
+    fn new_block(&mut self, kind: BlockKind, line: u32) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock {
+            id,
+            kind,
+            stmts: Vec::new(),
+            terminator: Terminator::Return { exit: self.exit },
+            line,
+        });
+        for &r in &self.region_stack {
+            self.regions[r.index()].blocks.push(id);
+        }
+        id
+    }
+
+    fn set_terminator(&mut self, block: BlockId, terminator: Terminator) {
+        self.blocks[block.index()].terminator = terminator;
+    }
+
+    fn push_region(&mut self, kind: RegionKind, path_count: u128) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        let parent = self.region_stack.last().copied();
+        self.regions.push(Region {
+            id,
+            kind,
+            parent,
+            children: Vec::new(),
+            blocks: Vec::new(),
+            entry_block: BlockId(0),
+            path_count,
+        });
+        if let Some(p) = parent {
+            self.regions[p.index()].children.push(id);
+        }
+        self.region_stack.push(id);
+        id
+    }
+
+    fn pop_region(&mut self, id: RegionId, entry_block: BlockId) {
+        let popped = self.region_stack.pop();
+        debug_assert_eq!(popped, Some(id));
+        self.regions[id.index()].entry_block = entry_block;
+    }
+
+    /// Returns a block that may receive statements or a branching terminator.
+    /// Join blocks stay empty by policy, so writing to one first chains a
+    /// fresh code block behind it.
+    fn writable(&mut self, cur: BlockId, line: u32) -> BlockId {
+        match self.blocks[cur.index()].kind {
+            BlockKind::Join | BlockKind::Entry => {
+                let fresh = self.new_block(BlockKind::Code, line);
+                self.set_terminator(cur, Terminator::Jump(fresh));
+                fresh
+            }
+            _ => cur,
+        }
+    }
+
+    fn build(mut self) -> LoweredFunction {
+        // The exit block is created first and belongs to no region.
+        self.exit = self.new_block(BlockKind::Exit, 0);
+        self.set_terminator(self.exit, Terminator::Halt);
+
+        let root_paths = count_paths_block(&self.function.body);
+        let root = self.push_region(RegionKind::FunctionBody, root_paths);
+
+        let entry = self.new_block(BlockKind::Entry, 0);
+        let first = self.new_block(BlockKind::Code, first_line(&self.function.body));
+        self.set_terminator(entry, Terminator::Jump(first));
+
+        let open = self.lower_block(&self.function.body, first);
+        if let Some(open) = open {
+            let exit = self.exit;
+            self.set_terminator(open, Terminator::Return { exit });
+        }
+        self.pop_region(root, entry);
+
+        let cfg = Cfg::from_parts(
+            self.function.name.clone(),
+            self.blocks,
+            entry,
+            self.exit,
+            self.loop_bounds,
+        );
+        debug_assert!(cfg.validate().is_ok(), "builder produced an invalid CFG");
+        let regions = RegionTree::from_parts(self.regions, root);
+        LoweredFunction { cfg, regions }
+    }
+
+    /// Lowers the statements of `block` starting in `cur`.  Returns the block
+    /// in which control continues afterwards, or `None` if every path ended
+    /// in a `return`.
+    fn lower_block(&mut self, block: &Block, mut cur: BlockId) -> Option<BlockId> {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Assign { .. } | Stmt::Call { .. } => {
+                    cur = self.writable(cur, stmt.line());
+                    self.blocks[cur.index()].stmts.push(stmt.clone());
+                }
+                Stmt::Return { .. } => {
+                    cur = self.writable(cur, stmt.line());
+                    self.blocks[cur.index()].stmts.push(stmt.clone());
+                    let exit = self.exit;
+                    self.set_terminator(cur, Terminator::Return { exit });
+                    // Statements after a return are unreachable and dropped.
+                    return None;
+                }
+                Stmt::If {
+                    id,
+                    line,
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    cur = self.lower_if(cur, *id, *line, cond, then_branch, else_branch.as_ref());
+                }
+                Stmt::Switch {
+                    id,
+                    line,
+                    selector,
+                    cases,
+                    default,
+                } => {
+                    cur = self.lower_switch(cur, *id, *line, selector, cases, default.as_ref());
+                }
+                Stmt::While {
+                    id,
+                    line,
+                    cond,
+                    bound,
+                    body,
+                } => {
+                    cur = self.lower_while(cur, *id, *line, cond, *bound, body);
+                }
+            }
+        }
+        Some(cur)
+    }
+
+    fn lower_if(
+        &mut self,
+        cur: BlockId,
+        id: StmtId,
+        line: u32,
+        cond: &Expr,
+        then_branch: &Block,
+        else_branch: Option<&Block>,
+    ) -> BlockId {
+        let cur = self.writable(cur, line);
+        // The join belongs to the *enclosing* regions, not to either branch.
+        let join = self.new_block(BlockKind::Join, line);
+
+        let then_region = self.push_region(RegionKind::Then(id), count_paths_block(then_branch));
+        let then_entry = self.new_block(BlockKind::Code, first_line(then_branch));
+        if let Some(open) = self.lower_block(then_branch, then_entry) {
+            self.set_terminator(open, Terminator::Jump(join));
+        }
+        self.pop_region(then_region, then_entry);
+
+        let else_dest = match else_branch {
+            Some(else_block) => {
+                let else_region =
+                    self.push_region(RegionKind::Else(id), count_paths_block(else_block));
+                let else_entry = self.new_block(BlockKind::Code, first_line(else_block));
+                if let Some(open) = self.lower_block(else_block, else_entry) {
+                    self.set_terminator(open, Terminator::Jump(join));
+                }
+                self.pop_region(else_region, else_entry);
+                else_entry
+            }
+            None => join,
+        };
+
+        self.set_terminator(
+            cur,
+            Terminator::Branch {
+                stmt: id,
+                cond: cond.clone(),
+                then_dest: then_entry,
+                else_dest,
+            },
+        );
+        join
+    }
+
+    fn lower_switch(
+        &mut self,
+        cur: BlockId,
+        id: StmtId,
+        line: u32,
+        selector: &Expr,
+        cases: &[tmg_minic::ast::SwitchCase],
+        default: Option<&Block>,
+    ) -> BlockId {
+        let cur = self.writable(cur, line);
+        let join = self.new_block(BlockKind::Join, line);
+
+        let mut arms = Vec::with_capacity(cases.len());
+        for case in cases {
+            let region =
+                self.push_region(RegionKind::Case(id, case.value), count_paths_block(&case.body));
+            let arm_entry = self.new_block(BlockKind::CaseArm, first_line(&case.body));
+            if let Some(open) = self.lower_block(&case.body, arm_entry) {
+                self.set_terminator(open, Terminator::Jump(join));
+            }
+            self.pop_region(region, arm_entry);
+            arms.push((case.value, arm_entry));
+        }
+
+        let default_dest = match default {
+            Some(body) => {
+                let region = self.push_region(RegionKind::Default(id), count_paths_block(body));
+                let arm_entry = self.new_block(BlockKind::CaseArm, first_line(body));
+                if let Some(open) = self.lower_block(body, arm_entry) {
+                    self.set_terminator(open, Terminator::Jump(join));
+                }
+                self.pop_region(region, arm_entry);
+                arm_entry
+            }
+            None => join,
+        };
+
+        self.set_terminator(
+            cur,
+            Terminator::Switch {
+                stmt: id,
+                selector: selector.clone(),
+                arms,
+                default_dest,
+            },
+        );
+        join
+    }
+
+    fn lower_while(
+        &mut self,
+        cur: BlockId,
+        id: StmtId,
+        line: u32,
+        cond: &Expr,
+        bound: u32,
+        body: &Block,
+    ) -> BlockId {
+        let header = self.new_block(BlockKind::LoopHeader, line);
+        self.set_terminator(cur, Terminator::Jump(header));
+        self.loop_bounds.insert(id, bound);
+
+        let body_paths = count_paths_block(body);
+        // Paths through the whole loop: Σ_{k=0..bound} body_paths^k.
+        let region_paths = loop_path_count(body_paths, bound);
+        let region = self.push_region(RegionKind::LoopBody(id), region_paths);
+        let body_entry = self.new_block(BlockKind::Code, first_line(body));
+        if let Some(open) = self.lower_block(body, body_entry) {
+            self.set_terminator(open, Terminator::Jump(header));
+        }
+        self.pop_region(region, body_entry);
+
+        let after = self.new_block(BlockKind::Join, line);
+        self.set_terminator(
+            header,
+            Terminator::Branch {
+                stmt: id,
+                cond: cond.clone(),
+                then_dest: body_entry,
+                else_dest: after,
+            },
+        );
+        after
+    }
+}
+
+/// Number of distinct paths through a loop with the given per-iteration path
+/// count and iteration bound: `Σ_{k=0..bound} body^k`, saturating.
+pub(crate) fn loop_path_count(body_paths: u128, bound: u32) -> u128 {
+    let mut total: u128 = 0;
+    let mut power: u128 = 1;
+    for _ in 0..=bound {
+        total = total.saturating_add(power);
+        power = power.saturating_mul(body_paths.max(1));
+        if total == u128::MAX {
+            break;
+        }
+    }
+    total
+}
+
+fn first_line(block: &Block) -> u32 {
+    block.stmts.first().map(|s| s.line()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockKind;
+    use tmg_minic::parse_function;
+
+    fn lower(src: &str) -> LoweredFunction {
+        build_cfg(&parse_function(src).expect("parse"))
+    }
+
+    /// The Figure-1 example of the paper.
+    fn figure1() -> LoweredFunction {
+        lower(
+            r#"
+            int main() {
+                int i;
+                printf1();
+                printf2();
+                if (i == 0) {
+                    printf3();
+                    if (i == 0) { printf4(); } else { printf5(); }
+                }
+                if (i == 0) {
+                    printf6();
+                    printf7();
+                }
+                printf8();
+            }
+            "#,
+        )
+    }
+
+    #[test]
+    fn figure1_has_eleven_measurable_units() {
+        let l = figure1();
+        // The paper's Figure-1 CFG: `start` + 10 code/join nodes measured,
+        // 2 * 11 = 22 instrumentation points at path bound 1 (Table 1).
+        assert_eq!(l.cfg.measurable_units().len(), 11);
+        l.cfg.validate().expect("valid cfg");
+        l.regions.validate(&l.cfg).expect("valid regions");
+    }
+
+    #[test]
+    fn figure1_root_region_has_six_paths() {
+        let l = figure1();
+        assert_eq!(l.regions.root().path_count, 6);
+    }
+
+    #[test]
+    fn figure1_outer_then_branch_has_four_blocks_and_two_paths() {
+        let l = figure1();
+        let root = l.regions.root();
+        // Children of the root: Then(outer if), Then(second if).
+        let then_regions: Vec<_> = root
+            .children
+            .iter()
+            .map(|c| l.regions.region(*c))
+            .collect();
+        assert_eq!(then_regions.len(), 2);
+        let outer = then_regions[0];
+        assert_eq!(outer.block_count(), 4, "printf3+cond, printf4, printf5, inner join");
+        assert_eq!(outer.path_count, 2);
+        let second = then_regions[1];
+        assert_eq!(second.block_count(), 1);
+        assert_eq!(second.path_count, 1);
+    }
+
+    #[test]
+    fn conditions_merge_into_preceding_block() {
+        let l = lower("void f(int a) { p1(); p2(); if (a) { p3(); } }");
+        // entry -> [p1,p2,branch] -> then/join
+        let entry_succ = l.cfg.successors(l.cfg.entry())[0];
+        let first = l.cfg.block(entry_succ);
+        assert_eq!(first.stmts.len(), 2);
+        assert!(first.terminator.is_branch());
+    }
+
+    #[test]
+    fn join_blocks_stay_empty() {
+        let l = figure1();
+        for b in l.cfg.blocks() {
+            if b.kind == BlockKind::Join {
+                assert!(b.is_empty(), "join {} must stay empty", b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn return_ends_the_block_and_drops_dead_code() {
+        let l = lower("int f(int a) { if (a) { return 1; } return 2; }");
+        l.cfg.validate().expect("valid");
+        // Both return blocks flow to the exit.
+        let exit_preds = l.cfg.predecessors(l.cfg.exit());
+        assert_eq!(exit_preds.len(), 2);
+    }
+
+    #[test]
+    fn while_loop_creates_header_body_and_exit_join() {
+        let l = lower("void f(int n) { int i; i = 0; while (i < n) __bound(3) { i = i + 1; } done(); }");
+        let kinds: Vec<BlockKind> = l.cfg.blocks().iter().map(|b| b.kind).collect();
+        assert!(kinds.contains(&BlockKind::LoopHeader));
+        // Back edge: the loop header has two predecessors (preheader + body).
+        let header = l
+            .cfg
+            .blocks()
+            .iter()
+            .find(|b| b.kind == BlockKind::LoopHeader)
+            .expect("header");
+        assert_eq!(l.cfg.predecessors(header.id).len(), 2);
+        // Loop region paths: Σ_{k=0..3} 1 = 4.
+        let loop_region = l
+            .regions
+            .regions()
+            .iter()
+            .find(|r| matches!(r.kind, RegionKind::LoopBody(_)))
+            .expect("loop region");
+        assert_eq!(loop_region.path_count, 4);
+    }
+
+    #[test]
+    fn switch_produces_one_arm_block_per_case() {
+        let l = lower(
+            "void f(int s) { switch (s) { case 0: a0(); break; case 1: break; default: d(); break; } done(); }",
+        );
+        let arm_count = l
+            .cfg
+            .blocks()
+            .iter()
+            .filter(|b| b.kind == BlockKind::CaseArm)
+            .count();
+        assert_eq!(arm_count, 3);
+        assert_eq!(l.regions.root().path_count, 3);
+    }
+
+    #[test]
+    fn empty_then_branch_still_forms_a_block() {
+        let l = lower("void f(int a) { if (a) { } p(); }");
+        let root = l.regions.root();
+        let then_region = l.regions.region(root.children[0]);
+        assert_eq!(then_region.block_count(), 1);
+        assert_eq!(then_region.path_count, 1);
+    }
+
+    #[test]
+    fn loop_path_count_saturates() {
+        assert_eq!(loop_path_count(1, 3), 4);
+        assert_eq!(loop_path_count(2, 3), 1 + 2 + 4 + 8);
+        assert_eq!(loop_path_count(u128::MAX, 4), u128::MAX);
+    }
+
+    #[test]
+    fn statements_after_a_branch_start_a_new_block() {
+        let l = lower("void f(int a) { if (a) { p1(); } p2(); }");
+        // The block holding p2 must be distinct from the if's join.
+        let p2_block = l
+            .cfg
+            .blocks()
+            .iter()
+            .find(|b| b.stmts.iter().any(|s| matches!(s, Stmt::Call { callee, .. } if callee == "p2")))
+            .expect("p2 block");
+        assert_eq!(p2_block.kind, BlockKind::Code);
+    }
+}

@@ -1,0 +1,185 @@
+//! Dominator-tree computation (iterative algorithm of Cooper, Harvey and
+//! Kennedy).
+//!
+//! The dominator tree is used to validate the single-entry property of
+//! program-segment regions: every block of a region must be dominated by the
+//! region's entry block, otherwise the region could be entered through more
+//! than one control edge and per-segment measurements would be unsound.
+
+use crate::block::BlockId;
+use crate::graph::Cfg;
+use std::collections::HashMap;
+
+/// Immediate-dominator relation for a [`Cfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominatorTree {
+    idom: HashMap<BlockId, BlockId>,
+    entry: BlockId,
+}
+
+impl DominatorTree {
+    /// Computes the dominator tree of `cfg`.
+    pub fn compute(cfg: &Cfg) -> DominatorTree {
+        let rpo = cfg.reverse_postorder();
+        let order: HashMap<BlockId, usize> = rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(cfg.entry(), cfg.entry());
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.predecessors(b) {
+                    if !order.contains_key(&p) {
+                        continue; // unreachable predecessor
+                    }
+                    if idom.contains_key(&p) {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &order, p, cur),
+                        });
+                    }
+                }
+                if let Some(n) = new_idom {
+                    if idom.get(&b) != Some(&n) {
+                        idom.insert(b, n);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DominatorTree {
+            idom,
+            entry: cfg.entry(),
+        }
+    }
+
+    /// The immediate dominator of `block` (`None` for the entry block or for
+    /// unreachable blocks).
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        if block == self.entry {
+            return None;
+        }
+        self.idom.get(&block).copied()
+    }
+
+    /// Whether `a` dominates `b` (every block dominates itself).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) if next != cur => cur = next,
+                _ => return false,
+            }
+        }
+    }
+
+    /// All blocks dominated by `head`, in no particular order.
+    pub fn dominated_by(&self, cfg: &Cfg, head: BlockId) -> Vec<BlockId> {
+        cfg.reachable_blocks()
+            .into_iter()
+            .filter(|b| self.dominates(head, *b))
+            .collect()
+    }
+}
+
+fn intersect(
+    idom: &HashMap<BlockId, BlockId>,
+    order: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while order[&a] > order[&b] {
+            a = idom[&a];
+        }
+        while order[&b] > order[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_cfg;
+    use tmg_minic::parse_function;
+
+    fn lowered(src: &str) -> crate::builder::LoweredFunction {
+        build_cfg(&parse_function(src).expect("parse"))
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let l = lowered("void f(int a) { if (a) { x(); } else { y(); } z(); }");
+        let dom = DominatorTree::compute(&l.cfg);
+        for b in l.cfg.reachable_blocks() {
+            assert!(dom.dominates(l.cfg.entry(), b));
+        }
+        assert_eq!(dom.idom(l.cfg.entry()), None);
+    }
+
+    #[test]
+    fn branch_blocks_do_not_dominate_the_join() {
+        let l = lowered("void f(int a) { if (a) { x(); } else { y(); } z(); }");
+        let dom = DominatorTree::compute(&l.cfg);
+        let root = l.regions.root();
+        let then_entry = l.regions.region(root.children[0]).entry_block;
+        let else_entry = l.regions.region(root.children[1]).entry_block;
+        assert!(!dom.dominates(then_entry, l.cfg.exit()));
+        assert!(!dom.dominates(else_entry, l.cfg.exit()));
+    }
+
+    #[test]
+    fn region_entry_dominates_all_region_blocks() {
+        let l = lowered(
+            "void f(int a) { p(); if (a) { q(); if (a > 1) { r(); } else { s(); } } if (a) { t(); } u(); }",
+        );
+        let dom = DominatorTree::compute(&l.cfg);
+        for region in l.regions.regions() {
+            for &b in &region.blocks {
+                assert!(
+                    dom.dominates(region.entry_block, b),
+                    "entry {} must dominate {b} in region {:?}",
+                    region.entry_block,
+                    region.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let l = lowered("void f(int n) { int i; i = 0; while (i < n) __bound(4) { i = i + 1; } done(); }");
+        let dom = DominatorTree::compute(&l.cfg);
+        let header = l
+            .cfg
+            .blocks()
+            .iter()
+            .find(|b| b.kind == crate::block::BlockKind::LoopHeader)
+            .expect("header")
+            .id;
+        let loop_region = l
+            .regions
+            .regions()
+            .iter()
+            .find(|r| matches!(r.kind, crate::regions::RegionKind::LoopBody(_)))
+            .expect("loop region");
+        for &b in &loop_region.blocks {
+            assert!(dom.dominates(header, b));
+        }
+    }
+
+    #[test]
+    fn dominated_by_returns_the_dominance_subtree() {
+        let l = lowered("void f(int a) { if (a) { x(); y(); } z(); }");
+        let dom = DominatorTree::compute(&l.cfg);
+        let sub = dom.dominated_by(&l.cfg, l.cfg.entry());
+        assert_eq!(sub.len(), l.cfg.reachable_blocks().len());
+    }
+}

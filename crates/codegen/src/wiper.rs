@@ -1,0 +1,293 @@
+//! The wiper-control case study of Section 4.
+//!
+//! The paper's controller has a two-step speed selector (off / slow / fast),
+//! a water-pump button and an end-position switch, and its Stateflow chart
+//! has 9 states.  This module builds an equivalent 9-state chart on the
+//! [`crate::statechart`] substrate and code-generates the step function the
+//! WCET pipeline analyses.
+
+use crate::statechart::{StateTransition, Statechart};
+use tmg_minic::value::InputVector;
+use tmg_minic::Function;
+
+/// Number of states of the wiper chart (the paper's chart also has 9).
+pub const WIPER_STATE_COUNT: usize = 9;
+
+/// State encodings of the wiper chart.
+pub mod state {
+    /// Wiper parked, motor off.
+    pub const PARKED: i64 = 0;
+    /// Continuous slow wiping.
+    pub const SLOW_WIPING: i64 = 1;
+    /// Continuous fast wiping.
+    pub const FAST_WIPING: i64 = 2;
+    /// Finishing the current stroke to reach the park position.
+    pub const RETURNING: i64 = 3;
+    /// Washer pump on, wiping slowly.
+    pub const WASHING: i64 = 4;
+    /// Post-wash dry wipes.
+    pub const WASH_EXTRA: i64 = 5;
+    /// Interval mode, pausing between wipes.
+    pub const INTERVAL_PAUSE: i64 = 6;
+    /// Interval mode, performing one wipe.
+    pub const INTERVAL_WIPE: i64 = 7;
+    /// Motor stalled / overcurrent fault.
+    pub const STALLED: i64 = 8;
+}
+
+/// Builds the 9-state wiper statechart.
+pub fn wiper_statechart() -> Statechart {
+    use state::*;
+    let states = vec![
+        "PARKED".to_owned(),
+        "SLOW_WIPING".to_owned(),
+        "FAST_WIPING".to_owned(),
+        "RETURNING".to_owned(),
+        "WASHING".to_owned(),
+        "WASH_EXTRA".to_owned(),
+        "INTERVAL_PAUSE".to_owned(),
+        "INTERVAL_WIPE".to_owned(),
+        "STALLED".to_owned(),
+    ];
+    let mut chart = Statechart::new("wiper_control", states)
+        .with_input("char speed __range(0, 2)")
+        .with_input("bool wash")
+        .with_input("bool endpos")
+        .with_input("bool interval")
+        .with_input("bool overcurrent");
+
+    let t = |from: i64, to: i64, guard: &str, actions: &[&str]| StateTransition {
+        from: from as usize,
+        to: to as usize,
+        guard: guard.to_owned(),
+        actions: actions.iter().map(|s| s.to_string()).collect(),
+    };
+
+    // PARKED
+    chart = chart
+        .with_transition(t(PARKED, WASHING, "wash", &["pump_on", "motor_slow"]))
+        .with_transition(t(PARKED, INTERVAL_WIPE, "speed == 1 && interval", &["motor_slow"]))
+        .with_transition(t(PARKED, SLOW_WIPING, "speed == 1", &["motor_slow"]))
+        .with_transition(t(PARKED, FAST_WIPING, "speed == 2", &["motor_fast"]));
+    // SLOW_WIPING
+    chart = chart
+        .with_transition(t(SLOW_WIPING, STALLED, "overcurrent", &["motor_off", "raise_fault"]))
+        .with_transition(t(SLOW_WIPING, WASHING, "wash", &["pump_on"]))
+        .with_transition(t(SLOW_WIPING, FAST_WIPING, "speed == 2", &["motor_fast"]))
+        .with_transition(t(SLOW_WIPING, RETURNING, "speed == 0", &[]));
+    // FAST_WIPING
+    chart = chart
+        .with_transition(t(FAST_WIPING, STALLED, "overcurrent", &["motor_off", "raise_fault"]))
+        .with_transition(t(FAST_WIPING, WASHING, "wash", &["pump_on", "motor_slow"]))
+        .with_transition(t(FAST_WIPING, SLOW_WIPING, "speed == 1", &["motor_slow"]))
+        .with_transition(t(FAST_WIPING, RETURNING, "speed == 0", &[]));
+    // RETURNING
+    chart = chart
+        .with_transition(t(RETURNING, WASHING, "wash", &["pump_on", "motor_slow"]))
+        .with_transition(t(RETURNING, PARKED, "endpos", &["motor_off"]))
+        .with_transition(t(RETURNING, SLOW_WIPING, "speed == 1", &["motor_slow"]))
+        .with_transition(t(RETURNING, FAST_WIPING, "speed == 2", &["motor_fast"]));
+    // WASHING
+    chart = chart
+        .with_transition(t(WASHING, STALLED, "overcurrent", &["pump_off", "motor_off", "raise_fault"]))
+        .with_transition(t(WASHING, WASH_EXTRA, "!wash", &["pump_off"]));
+    // WASH_EXTRA
+    chart = chart
+        .with_transition(t(WASH_EXTRA, WASHING, "wash", &["pump_on"]))
+        .with_transition(t(WASH_EXTRA, FAST_WIPING, "speed == 2", &["motor_fast"]))
+        .with_transition(t(WASH_EXTRA, SLOW_WIPING, "speed == 1", &[]))
+        .with_transition(t(WASH_EXTRA, RETURNING, "endpos", &[]));
+    // INTERVAL_PAUSE
+    chart = chart
+        .with_transition(t(INTERVAL_PAUSE, WASHING, "wash", &["pump_on", "motor_slow"]))
+        .with_transition(t(INTERVAL_PAUSE, FAST_WIPING, "speed == 2", &["motor_fast"]))
+        .with_transition(t(INTERVAL_PAUSE, PARKED, "speed == 0", &["motor_off"]))
+        .with_transition(t(INTERVAL_PAUSE, INTERVAL_WIPE, "interval && speed == 1", &["motor_slow"]))
+        .with_transition(t(INTERVAL_PAUSE, SLOW_WIPING, "speed == 1", &["motor_slow"]));
+    // INTERVAL_WIPE
+    chart = chart
+        .with_transition(t(INTERVAL_WIPE, STALLED, "overcurrent", &["motor_off", "raise_fault"]))
+        .with_transition(t(INTERVAL_WIPE, WASHING, "wash", &["pump_on"]))
+        .with_transition(t(INTERVAL_WIPE, INTERVAL_PAUSE, "endpos", &["motor_off"]))
+        .with_transition(t(INTERVAL_WIPE, FAST_WIPING, "speed == 2", &["motor_fast"]));
+    // STALLED
+    chart = chart
+        .with_transition(t(STALLED, PARKED, "!overcurrent && speed == 0", &["clear_fault"]))
+        .with_entry_action(state::STALLED as usize, "log_stall");
+    chart
+}
+
+/// Mini-C source of the wiper-control step function.
+pub fn wiper_source() -> String {
+    wiper_statechart().to_source()
+}
+
+/// The parsed wiper-control step function.
+pub fn wiper_function() -> Function {
+    wiper_statechart().to_function()
+}
+
+/// The complete input space of the controller — small enough that the paper
+/// could determine the exact WCET by exhaustive end-to-end measurement
+/// (Section 4), which the case-study benchmark repeats.
+pub fn wiper_input_space() -> Vec<InputVector> {
+    let mut out = Vec::new();
+    for state in 0..WIPER_STATE_COUNT as i64 {
+        for speed in 0..=2 {
+            for wash in 0..=1 {
+                for endpos in 0..=1 {
+                    for interval in 0..=1 {
+                        for overcurrent in 0..=1 {
+                            out.push(
+                                InputVector::new()
+                                    .with("current_state", state)
+                                    .with("speed", speed)
+                                    .with("wash", wash)
+                                    .with("endpos", endpos)
+                                    .with("interval", interval)
+                                    .with("overcurrent", overcurrent),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_cfg::build_cfg;
+    use tmg_minic::{parse_program, Interpreter};
+
+    #[test]
+    fn chart_has_nine_states_and_parses() {
+        let chart = wiper_statechart();
+        assert_eq!(chart.state_count(), WIPER_STATE_COUNT);
+        let f = wiper_function();
+        assert_eq!(f.name, "wiper_control_step");
+        assert_eq!(f.params.len(), 6);
+    }
+
+    #[test]
+    fn generated_code_is_switch_and_if_nesting_of_reasonable_size() {
+        let f = wiper_function();
+        // One switch plus the guarded transitions.
+        assert!(f.branch_count() >= 25, "branches: {}", f.branch_count());
+        let lowered = build_cfg(&f);
+        assert!(lowered.cfg.measurable_units().len() >= 60);
+        // Every case arm is a program-segment candidate.
+        assert!(lowered.regions.root().children.len() >= WIPER_STATE_COUNT);
+    }
+
+    #[test]
+    fn input_space_is_exhaustive_and_small() {
+        let space = wiper_input_space();
+        assert_eq!(space.len(), 9 * 3 * 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn controller_behaviour_spot_checks() {
+        let program = parse_program(&wiper_source()).expect("parse");
+        let interp = Interpreter::new(&program);
+        let step = |inputs: &InputVector| -> i64 {
+            interp
+                .run("wiper_control_step", inputs)
+                .expect("run")
+                .return_value
+                .expect("returns next state")
+                .raw()
+        };
+        // Parked + slow selector => slow wiping.
+        assert_eq!(
+            step(&InputVector::new().with("current_state", state::PARKED).with("speed", 1)),
+            state::SLOW_WIPING
+        );
+        // Wash button dominates.
+        assert_eq!(
+            step(
+                &InputVector::new()
+                    .with("current_state", state::PARKED)
+                    .with("speed", 2)
+                    .with("wash", 1)
+            ),
+            state::WASHING
+        );
+        // Fast wiping with selector off finishes the stroke.
+        assert_eq!(
+            step(
+                &InputVector::new()
+                    .with("current_state", state::FAST_WIPING)
+                    .with("speed", 0)
+            ),
+            state::RETURNING
+        );
+        // Returning reaches park at the end-position switch.
+        assert_eq!(
+            step(
+                &InputVector::new()
+                    .with("current_state", state::RETURNING)
+                    .with("speed", 0)
+                    .with("endpos", 1)
+            ),
+            state::PARKED
+        );
+        // Overcurrent stalls the motor.
+        assert_eq!(
+            step(
+                &InputVector::new()
+                    .with("current_state", state::SLOW_WIPING)
+                    .with("speed", 1)
+                    .with("overcurrent", 1)
+            ),
+            state::STALLED
+        );
+        // Stall clears only with the selector off and no overcurrent.
+        assert_eq!(
+            step(
+                &InputVector::new()
+                    .with("current_state", state::STALLED)
+                    .with("speed", 1)
+            ),
+            state::STALLED
+        );
+        assert_eq!(
+            step(
+                &InputVector::new()
+                    .with("current_state", state::STALLED)
+                    .with("speed", 0)
+            ),
+            state::PARKED
+        );
+    }
+
+    #[test]
+    fn every_state_is_reachable_from_parked() {
+        let program = parse_program(&wiper_source()).expect("parse");
+        let interp = Interpreter::new(&program);
+        let mut reachable = std::collections::HashSet::from([state::PARKED]);
+        // Fixed point over the exhaustive input space.
+        loop {
+            let before = reachable.len();
+            for inputs in wiper_input_space() {
+                let from = inputs.get("current_state").expect("state");
+                if !reachable.contains(&from) {
+                    continue;
+                }
+                let next = interp
+                    .run("wiper_control_step", &inputs)
+                    .expect("run")
+                    .return_value
+                    .expect("return")
+                    .raw();
+                reachable.insert(next);
+            }
+            if reachable.len() == before {
+                break;
+            }
+        }
+        assert_eq!(reachable.len(), WIPER_STATE_COUNT, "all 9 states reachable");
+    }
+}

@@ -1,0 +1,281 @@
+//! The end-to-end WCET analysis pipeline.
+
+use crate::measurement::{exhaustive_end_to_end, MeasurementCampaign};
+use crate::partition::PartitionPlan;
+use crate::schema::compute_wcet;
+use crate::testgen::{HybridGenerator, TestSuite};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tmg_cfg::build_cfg;
+use tmg_minic::ast::Function;
+use tmg_minic::value::InputVector;
+use tmg_target::CostModel;
+
+/// Error raised by the analysis pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisError(String);
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wcet analysis error: {}", self.0)
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Summary of one complete analysis run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Analysed function name.
+    pub function: String,
+    /// Path bound used for the partitioning.
+    pub path_bound: u128,
+    /// Number of program segments.
+    pub segments: usize,
+    /// Instrumentation points `ip` (two per segment).
+    pub instrumentation_points: usize,
+    /// Measurements `m` (one per segment path).
+    pub measurements: u128,
+    /// Coverage goals generated for the measurement campaign.
+    pub goals: usize,
+    /// Goals covered by the heuristic phase.
+    pub heuristic_covered: usize,
+    /// Goals covered by the model checker.
+    pub checker_covered: usize,
+    /// Goals proven infeasible.
+    pub infeasible: usize,
+    /// Goals left unresolved.
+    pub unknown: usize,
+    /// Number of instrumented measurement runs.
+    pub measurement_runs: usize,
+    /// The computed WCET bound in target cycles.
+    pub wcet_bound: u64,
+    /// Exhaustively measured end-to-end maximum, when an input space was
+    /// supplied (the case-study comparison of Section 4).
+    pub exhaustive_max: Option<u64>,
+}
+
+impl AnalysisReport {
+    /// Pessimism of the bound relative to the exhaustive maximum
+    /// (`bound / exhaustive`), when available.
+    pub fn pessimism(&self) -> Option<f64> {
+        self.exhaustive_max
+            .map(|e| self.wcet_bound as f64 / e.max(1) as f64)
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "WCET analysis of `{}`", self.function)?;
+        writeln!(
+            f,
+            "  path bound b = {}  →  {} segments, ip = {}, m = {}",
+            self.path_bound, self.segments, self.instrumentation_points, self.measurements
+        )?;
+        writeln!(
+            f,
+            "  test data: {} goals, {} heuristic + {} model checker, {} infeasible, {} unknown",
+            self.goals, self.heuristic_covered, self.checker_covered, self.infeasible, self.unknown
+        )?;
+        writeln!(f, "  measurement runs: {}", self.measurement_runs)?;
+        write!(f, "  WCET bound: {} cycles", self.wcet_bound)?;
+        if let Some(e) = self.exhaustive_max {
+            write!(
+                f,
+                " (exhaustive maximum {e} cycles, pessimism {:.2}×)",
+                self.pessimism().unwrap_or(1.0)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The complete measurement-based WCET analysis of the paper: partition the
+/// CFG, generate test data, measure on the target, combine with the timing
+/// schema.
+#[derive(Debug, Clone)]
+pub struct WcetAnalysis {
+    /// Path bound `b` for the partitioning step.
+    pub path_bound: u128,
+    /// Cost model of the simulated target.
+    pub cost_model: CostModel,
+    /// Test-data generator (heuristic + model checker).
+    pub generator: HybridGenerator,
+}
+
+impl WcetAnalysis {
+    /// Creates an analysis with the given path bound and default settings.
+    pub fn new(path_bound: u128) -> WcetAnalysis {
+        WcetAnalysis {
+            path_bound,
+            cost_model: CostModel::hcs12(),
+            generator: HybridGenerator::new(),
+        }
+    }
+
+    /// Replaces the target cost model.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> WcetAnalysis {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Runs the full pipeline on `function`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] when a measurement run faults on the target.
+    pub fn analyse(&self, function: &Function) -> Result<AnalysisReport, AnalysisError> {
+        self.run(function, None)
+    }
+
+    /// Runs the full pipeline and additionally determines the exact WCET by
+    /// exhaustive end-to-end measurement over `input_space` (feasible only
+    /// for small input spaces, as in the paper's case study).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] when a measurement run faults on the target.
+    pub fn analyse_with_exhaustive(
+        &self,
+        function: &Function,
+        input_space: &[InputVector],
+    ) -> Result<AnalysisReport, AnalysisError> {
+        self.run(function, Some(input_space))
+    }
+
+    /// Exposes the intermediate artefacts (plan, suite, campaign) for callers
+    /// that want more than the summary report, such as the benchmark harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] when a measurement run faults on the target.
+    pub fn analyse_detailed(
+        &self,
+        function: &Function,
+    ) -> Result<(PartitionPlan, TestSuite, MeasurementCampaign, AnalysisReport), AnalysisError>
+    {
+        let lowered = build_cfg(function);
+        let plan = PartitionPlan::compute(&lowered, self.path_bound);
+        let suite = self.generator.generate(function, &lowered, &plan);
+        let campaign = MeasurementCampaign::run(
+            function,
+            &lowered,
+            &plan,
+            &suite.vectors(),
+            &self.cost_model,
+        )
+        .map_err(AnalysisError)?;
+        let report = self.report(function, &plan, &suite, &campaign, &lowered, None);
+        Ok((plan, suite, campaign, report))
+    }
+
+    fn run(
+        &self,
+        function: &Function,
+        input_space: Option<&[InputVector]>,
+    ) -> Result<AnalysisReport, AnalysisError> {
+        let lowered = build_cfg(function);
+        let plan = PartitionPlan::compute(&lowered, self.path_bound);
+        let suite = self.generator.generate(function, &lowered, &plan);
+        let campaign = MeasurementCampaign::run(
+            function,
+            &lowered,
+            &plan,
+            &suite.vectors(),
+            &self.cost_model,
+        )
+        .map_err(AnalysisError)?;
+        let exhaustive = match input_space {
+            Some(space) => Some(
+                exhaustive_end_to_end(function, &lowered, space, &self.cost_model)
+                    .map_err(AnalysisError)?
+                    .0,
+            ),
+            None => None,
+        };
+        Ok(self.report(function, &plan, &suite, &campaign, &lowered, exhaustive))
+    }
+
+    fn report(
+        &self,
+        function: &Function,
+        plan: &PartitionPlan,
+        suite: &TestSuite,
+        campaign: &MeasurementCampaign,
+        lowered: &tmg_cfg::LoweredFunction,
+        exhaustive_max: Option<u64>,
+    ) -> AnalysisReport {
+        let wcet_bound = compute_wcet(lowered, plan, &campaign.worst_case_map());
+        AnalysisReport {
+            function: function.name.clone(),
+            path_bound: self.path_bound,
+            segments: plan.segments.len(),
+            instrumentation_points: plan.instrumentation_points(),
+            measurements: plan.measurements(),
+            goals: suite.goal_count(),
+            heuristic_covered: suite.heuristic_covered(),
+            checker_covered: suite.checker_covered(),
+            infeasible: suite.infeasible_count(),
+            unknown: suite.unknown_count(),
+            measurement_runs: campaign.runs,
+            wcet_bound,
+            exhaustive_max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_minic::parse_function;
+
+    #[test]
+    fn pipeline_produces_a_sound_bound_on_a_small_controller() {
+        let src = r#"
+            int limiter(char demand __range(0, 10), bool enabled) {
+                int out;
+                out = 0;
+                if (enabled) {
+                    if (demand > 5) { saturate(); out = 5; } else { pass(); out = demand; }
+                } else {
+                    disabled(); out = 0;
+                }
+                return out;
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let space: Vec<InputVector> = (0..=10)
+            .flat_map(|d| {
+                (0..=1).map(move |e| InputVector::new().with("demand", d).with("enabled", e))
+            })
+            .collect();
+        let report = WcetAnalysis::new(2)
+            .analyse_with_exhaustive(&f, &space)
+            .expect("analysis");
+        let exhaustive = report.exhaustive_max.expect("exhaustive");
+        assert!(report.wcet_bound >= exhaustive);
+        assert!(report.pessimism().expect("pessimism") < 2.0);
+        assert!(report.to_string().contains("WCET bound"));
+    }
+
+    #[test]
+    fn path_bound_controls_instrumentation_point_count() {
+        let src = "void f(char a __range(0, 1)) { if (a) { x(); } if (!a) { y(); } z(); }";
+        let f = parse_function(src).expect("parse");
+        let fine = WcetAnalysis::new(1).analyse(&f).expect("fine");
+        let coarse = WcetAnalysis::new(100).analyse(&f).expect("coarse");
+        assert!(fine.instrumentation_points > coarse.instrumentation_points);
+        assert_eq!(coarse.instrumentation_points, 2);
+        assert!(fine.wcet_bound >= coarse.wcet_bound);
+    }
+
+    #[test]
+    fn detailed_analysis_exposes_the_intermediate_artefacts() {
+        let f = parse_function("void f(char a __range(0, 1)) { if (a) { x(); } }").expect("parse");
+        let (plan, suite, campaign, report) =
+            WcetAnalysis::new(1).analyse_detailed(&f).expect("analysis");
+        assert_eq!(plan.segments.len(), report.segments);
+        assert_eq!(suite.goal_count(), report.goals);
+        assert_eq!(campaign.timings.len(), plan.segments.len());
+    }
+}

@@ -1,0 +1,286 @@
+//! Execution-time measurement of program segments on the simulated target.
+
+use crate::partition::{PartitionPlan, SegmentId, SegmentKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tmg_cfg::{LoweredFunction, Terminator};
+use tmg_minic::ast::Function;
+use tmg_minic::value::InputVector;
+use tmg_target::{compile::terminator_cycles, CostModel, InstrumentationPoint, Machine, PointId};
+
+/// Measured timing of one program segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentTiming {
+    /// The segment.
+    pub segment: SegmentId,
+    /// All measured durations (cycles between the segment's entry and exit
+    /// instrumentation points), one per traversal.
+    pub samples: Vec<u64>,
+    /// Maximum observed execution time (0 if the segment was never entered).
+    pub max_observed: u64,
+    /// Static worst-case estimate from the block cost model, used as a
+    /// fallback for segments no test vector reached.
+    pub static_estimate: u64,
+}
+
+impl SegmentTiming {
+    /// The value the timing schema uses: the measured maximum, or the static
+    /// estimate when nothing was measured.
+    pub fn worst_case(&self) -> u64 {
+        if self.samples.is_empty() {
+            self.static_estimate
+        } else {
+            self.max_observed
+        }
+    }
+}
+
+/// The per-segment measurement campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasurementCampaign {
+    /// Timings per segment, indexed by segment id order of the plan.
+    pub timings: Vec<SegmentTiming>,
+    /// Number of instrumented runs executed.
+    pub runs: usize,
+}
+
+impl MeasurementCampaign {
+    /// Runs the instrumented program once per test vector and extracts the
+    /// per-segment execution times from the cycle-counter events.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the target faults on a vector (division
+    /// by zero, violated loop bound); the offending vector is named.
+    pub fn run(
+        function: &Function,
+        lowered: &LoweredFunction,
+        plan: &PartitionPlan,
+        vectors: &[InputVector],
+        cost_model: &CostModel,
+    ) -> Result<MeasurementCampaign, String> {
+        let machine = Machine::new(&lowered.cfg, function, cost_model.clone());
+        let instrumentation = plan.instrumentation(lowered);
+        let mut all_points: Vec<InstrumentationPoint> = Vec::new();
+        // Per segment: its entry point ids and exit point ids.
+        let mut entry_points: HashMap<SegmentId, Vec<PointId>> = HashMap::new();
+        let mut exit_points: HashMap<SegmentId, Vec<PointId>> = HashMap::new();
+        for (segment, entries, exits) in &instrumentation {
+            entry_points.insert(*segment, entries.iter().map(|p| p.id).collect());
+            exit_points.insert(*segment, exits.iter().map(|p| p.id).collect());
+            all_points.extend(entries.iter().cloned());
+            all_points.extend(exits.iter().cloned());
+        }
+
+        let mut samples: HashMap<SegmentId, Vec<u64>> = HashMap::new();
+        for vector in vectors {
+            let run = machine
+                .run(vector, &all_points)
+                .map_err(|e| format!("measurement run failed on {vector}: {e}"))?;
+            for segment in plan.segments.iter() {
+                let entries = &entry_points[&segment.id];
+                let exits = &exit_points[&segment.id];
+                let mut start: Option<u64> = None;
+                for event in &run.events {
+                    if entries.contains(&event.point) {
+                        if start.is_none() {
+                            start = Some(event.cycles);
+                        }
+                    } else if exits.contains(&event.point) {
+                        if let Some(s) = start.take() {
+                            samples
+                                .entry(segment.id)
+                                .or_default()
+                                .push(event.cycles.saturating_sub(s));
+                        }
+                    }
+                }
+            }
+        }
+
+        let timings = plan
+            .segments
+            .iter()
+            .map(|segment| {
+                let segment_samples = samples.remove(&segment.id).unwrap_or_default();
+                let max_observed = segment_samples.iter().copied().max().unwrap_or(0);
+                SegmentTiming {
+                    segment: segment.id,
+                    static_estimate: static_segment_estimate(lowered, &machine, segment, cost_model),
+                    samples: segment_samples,
+                    max_observed,
+                }
+            })
+            .collect();
+        Ok(MeasurementCampaign {
+            timings,
+            runs: vectors.len(),
+        })
+    }
+
+    /// Worst-case value per segment (measured max or static fallback).
+    pub fn worst_case_map(&self) -> HashMap<SegmentId, u64> {
+        self.timings
+            .iter()
+            .map(|t| (t.segment, t.worst_case()))
+            .collect()
+    }
+
+    /// Number of segments that were actually observed at least once.
+    pub fn observed_segments(&self) -> usize {
+        self.timings.iter().filter(|t| !t.samples.is_empty()).count()
+    }
+}
+
+/// Static worst-case estimate of a segment from the instruction cost model:
+/// the sum over its blocks of the straight-line cost plus the most expensive
+/// terminator outcome.  Used only as a fallback for unreached segments, and
+/// by tests as a sanity bound.
+fn static_segment_estimate(
+    lowered: &LoweredFunction,
+    machine: &Machine<'_>,
+    segment: &crate::partition::Segment,
+    cost_model: &CostModel,
+) -> u64 {
+    let per_block: u64 = segment
+        .blocks
+        .iter()
+        .map(|&b| {
+            let body = machine.compiled().block_cycles(b, cost_model);
+            let terminator = &lowered.cfg.block(b).terminator;
+            let worst_term = match terminator {
+                Terminator::Switch { arms, .. } => (0..=arms.len())
+                    .map(|i| terminator_cycles(terminator, i, cost_model))
+                    .max()
+                    .unwrap_or(0),
+                _ => (0..2)
+                    .map(|i| terminator_cycles(terminator, i, cost_model))
+                    .max()
+                    .unwrap_or(0),
+            };
+            body + worst_term
+        })
+        .sum();
+    let loop_factor: u64 = match segment.kind {
+        SegmentKind::Region(region_id) => {
+            // If the region is a loop body, its blocks execute once per
+            // iteration; scale by the bound.
+            match lowered.regions.region(region_id).kind {
+                tmg_cfg::RegionKind::LoopBody(stmt) => {
+                    u64::from(lowered.cfg.loop_bound(stmt).unwrap_or(1)).max(1)
+                }
+                _ => 1,
+            }
+        }
+        SegmentKind::Block(_) => 1,
+    };
+    per_block * loop_factor + 2 * cost_model.read_cycle_counter
+}
+
+/// Exhaustively measures the end-to-end execution time over an input space
+/// and returns `(max_cycles, argmax_vector)`.  This is what the paper does
+/// for the wiper-control case study ("due to the small input space we could
+/// also evaluate the WCET ... in exhaustive end-to-end measurements").
+///
+/// # Errors
+///
+/// Returns an error string when the target faults on a vector or when the
+/// input space is empty.
+pub fn exhaustive_end_to_end(
+    function: &Function,
+    lowered: &LoweredFunction,
+    inputs: &[InputVector],
+    cost_model: &CostModel,
+) -> Result<(u64, InputVector), String> {
+    let machine = Machine::new(&lowered.cfg, function, cost_model.clone());
+    let mut best: Option<(u64, InputVector)> = None;
+    for vector in inputs {
+        let cycles = machine
+            .end_to_end_cycles(vector)
+            .map_err(|e| format!("end-to-end run failed on {vector}: {e}"))?;
+        if best.as_ref().map(|(b, _)| cycles > *b).unwrap_or(true) {
+            best = Some((cycles, vector.clone()));
+        }
+    }
+    best.ok_or_else(|| "empty input space".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionPlan;
+    use crate::testgen::HybridGenerator;
+    use tmg_cfg::build_cfg;
+    use tmg_minic::parse_function;
+
+    fn campaign(src: &str, bound: u128) -> (PartitionPlan, MeasurementCampaign) {
+        let f = parse_function(src).expect("parse");
+        let lowered = build_cfg(&f);
+        let plan = PartitionPlan::compute(&lowered, bound);
+        let suite = HybridGenerator::new().generate(&f, &lowered, &plan);
+        let campaign = MeasurementCampaign::run(
+            &f,
+            &lowered,
+            &plan,
+            &suite.vectors(),
+            &CostModel::hcs12(),
+        )
+        .expect("measurement");
+        (plan, campaign)
+    }
+
+    #[test]
+    fn every_feasible_segment_gets_samples() {
+        let src = r#"
+            void f(char a __range(0, 3)) {
+                setup();
+                if (a > 1) { heavy(); heavy2(); } else { light(); }
+                teardown();
+            }
+        "#;
+        let (plan, campaign) = campaign(src, 4);
+        assert_eq!(campaign.timings.len(), plan.segments.len());
+        assert_eq!(campaign.observed_segments(), plan.segments.len());
+        for t in &campaign.timings {
+            assert!(t.worst_case() > 0);
+            assert_eq!(t.max_observed, t.samples.iter().copied().max().unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn unreachable_segments_fall_back_to_the_static_estimate() {
+        let src = r#"
+            void f(char a __range(0, 3)) {
+                if (a > 10) { never(); }
+                always();
+            }
+        "#;
+        let (_, campaign) = campaign(src, 1);
+        let unreached: Vec<&SegmentTiming> =
+            campaign.timings.iter().filter(|t| t.samples.is_empty()).collect();
+        assert!(!unreached.is_empty(), "the a > 10 branch is infeasible");
+        for t in unreached {
+            assert!(t.worst_case() >= t.static_estimate);
+            assert!(t.static_estimate > 0);
+        }
+    }
+
+    #[test]
+    fn exhaustive_end_to_end_finds_the_worst_input() {
+        let src = r#"
+            void f(char a __range(0, 2)) {
+                if (a == 2) { heavy(); heavy(); heavy(); }
+                if (a == 1) { heavy(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let lowered = build_cfg(&f);
+        let space: Vec<InputVector> =
+            (0..=2).map(|v| InputVector::new().with("a", v)).collect();
+        let (max, argmax) =
+            exhaustive_end_to_end(&f, &lowered, &space, &CostModel::hcs12()).expect("exhaustive");
+        assert_eq!(argmax.get("a"), Some(2));
+        let machine = Machine::new(&lowered.cfg, &f, CostModel::hcs12());
+        assert_eq!(machine.end_to_end_cycles(&argmax).expect("run"), max);
+    }
+}

@@ -1,0 +1,309 @@
+//! Timing-schema WCET computation.
+//!
+//! The paper combines the measured per-segment maxima into a WCET bound for
+//! the whole function with "a simple timing schema approach": sequences add,
+//! alternatives take the maximum, loops multiply by their bound.  Here the
+//! schema is evaluated over the region tree: a collapsed segment contributes
+//! its measured maximum directly; a decomposed region contributes the longest
+//! path through its condensed graph, whose nodes are its own blocks and its
+//! child regions.
+
+use crate::partition::{PartitionPlan, SegmentId, SegmentKind};
+use std::collections::HashMap;
+use tmg_cfg::{BlockId, LoweredFunction, RegionId, RegionKind};
+use tmg_minic::StmtId;
+
+/// Computes the WCET bound from a partition plan and the worst-case value of
+/// every segment (measured maximum or static fallback, see
+/// [`crate::measurement::MeasurementCampaign::worst_case_map`]).
+///
+/// # Panics
+///
+/// Panics if `worst_case` is missing a segment of the plan (the measurement
+/// campaign always produces a complete map).
+pub fn compute_wcet(
+    lowered: &LoweredFunction,
+    plan: &PartitionPlan,
+    worst_case: &HashMap<SegmentId, u64>,
+) -> u64 {
+    let ctx = SchemaContext {
+        lowered,
+        worst_case,
+        region_segment: plan
+            .segments
+            .iter()
+            .filter_map(|s| match s.kind {
+                SegmentKind::Region(r) => Some((r, s.id)),
+                SegmentKind::Block(_) => None,
+            })
+            .collect(),
+        block_segment: plan
+            .segments
+            .iter()
+            .filter_map(|s| match s.kind {
+                SegmentKind::Block(b) => Some((b, s.id)),
+                SegmentKind::Region(_) => None,
+            })
+            .collect(),
+    };
+    ctx.region_wcet(lowered.regions.root_id())
+}
+
+struct SchemaContext<'a> {
+    lowered: &'a LoweredFunction,
+    worst_case: &'a HashMap<SegmentId, u64>,
+    region_segment: HashMap<RegionId, SegmentId>,
+    block_segment: HashMap<BlockId, SegmentId>,
+}
+
+/// A node of a decomposed region's condensed graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Node {
+    Block(BlockId),
+    Child(RegionId),
+}
+
+impl<'a> SchemaContext<'a> {
+    fn segment_value(&self, id: SegmentId) -> u64 {
+        *self
+            .worst_case
+            .get(&id)
+            .unwrap_or_else(|| panic!("missing worst-case value for {id}"))
+    }
+
+    fn region_wcet(&self, region_id: RegionId) -> u64 {
+        if let Some(seg) = self.region_segment.get(&region_id) {
+            return self.segment_value(*seg);
+        }
+        let region = self.lowered.regions.region(region_id);
+
+        // Map every block of the region to its condensed node.
+        let mut node_of: HashMap<BlockId, Node> = HashMap::new();
+        for &child in &region.children {
+            for &b in &self.lowered.regions.region(child).blocks {
+                node_of.insert(b, Node::Child(child));
+            }
+        }
+        for b in self.lowered.regions.own_blocks(region_id) {
+            node_of.insert(b, Node::Block(b));
+        }
+
+        // Loop composites: an own block holding a bounded loop condition is
+        // combined with its body region: weight = (bound + 1) · header +
+        // bound · body, and the back edge is ignored.
+        let mut loop_header_of: HashMap<RegionId, BlockId> = HashMap::new();
+        let mut loop_of_header: HashMap<BlockId, (RegionId, StmtId)> = HashMap::new();
+        for &child in &region.children {
+            if let RegionKind::LoopBody(stmt) = self.lowered.regions.region(child).kind {
+                for b in self.lowered.regions.own_blocks(region_id) {
+                    if self.lowered.cfg.block(b).branch_stmt() == Some(stmt) {
+                        loop_header_of.insert(child, b);
+                        loop_of_header.insert(b, (child, stmt));
+                    }
+                }
+            }
+        }
+
+        let entry_node = node_of
+            .get(&region.entry_block)
+            .copied()
+            .unwrap_or(Node::Block(region.entry_block));
+
+        let mut memo: HashMap<Node, u64> = HashMap::new();
+        self.longest_from(
+            entry_node,
+            region_id,
+            &node_of,
+            &loop_of_header,
+            &loop_header_of,
+            &mut memo,
+        )
+    }
+
+    fn node_weight(
+        &self,
+        node: Node,
+        loop_of_header: &HashMap<BlockId, (RegionId, StmtId)>,
+    ) -> u64 {
+        match node {
+            Node::Block(b) => {
+                let base = self
+                    .block_segment
+                    .get(&b)
+                    .map(|s| self.segment_value(*s))
+                    .unwrap_or(0);
+                if let Some((body_region, stmt)) = loop_of_header.get(&b) {
+                    let bound = u64::from(self.lowered.cfg.loop_bound(*stmt).unwrap_or(0));
+                    let body = self.region_wcet(*body_region);
+                    base * (bound + 1) + body * bound
+                } else {
+                    base
+                }
+            }
+            Node::Child(r) => self.region_wcet(r),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn longest_from(
+        &self,
+        node: Node,
+        region_id: RegionId,
+        node_of: &HashMap<BlockId, Node>,
+        loop_of_header: &HashMap<BlockId, (RegionId, StmtId)>,
+        loop_header_of: &HashMap<RegionId, BlockId>,
+        memo: &mut HashMap<Node, u64>,
+    ) -> u64 {
+        if let Some(v) = memo.get(&node) {
+            return *v;
+        }
+        let weight = self.node_weight(node, loop_of_header);
+        // Successor nodes: CFG successors of the node's frontier blocks that
+        // stay inside the region, skipping loop-internal edges.
+        let frontier: Vec<BlockId> = match node {
+            Node::Block(b) => vec![b],
+            Node::Child(r) => self.lowered.regions.region(r).blocks.clone(),
+        };
+        let mut best_tail = 0u64;
+        for b in frontier {
+            for succ in self.lowered.cfg.successors(b) {
+                let Some(&succ_node) = node_of.get(&succ) else {
+                    continue; // leaves the region
+                };
+                if succ_node == node {
+                    continue; // internal edge of a child region
+                }
+                // Skip the loop-entry edge (header → body) and the back edge
+                // (body → header): the composite weight already accounts for
+                // the iterations.
+                if let Node::Block(header) = node {
+                    if let Some((body_region, _)) = loop_of_header.get(&header) {
+                        if succ_node == Node::Child(*body_region) {
+                            continue;
+                        }
+                    }
+                }
+                if let Node::Child(child) = node {
+                    if loop_header_of.get(&child).map(|h| Node::Block(*h)) == Some(succ_node) {
+                        continue;
+                    }
+                }
+                let tail = self.longest_from(
+                    succ_node,
+                    region_id,
+                    node_of,
+                    loop_of_header,
+                    loop_header_of,
+                    memo,
+                );
+                best_tail = best_tail.max(tail);
+            }
+        }
+        let total = weight + best_tail;
+        memo.insert(node, total);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::MeasurementCampaign;
+    use crate::partition::PartitionPlan;
+    use crate::testgen::HybridGenerator;
+    use tmg_cfg::build_cfg;
+    use tmg_minic::parse_function;
+    use tmg_minic::value::InputVector;
+    use tmg_target::{CostModel, Machine};
+
+    fn wcet_for(src: &str, bound: u128) -> (u64, tmg_cfg::LoweredFunction, tmg_minic::Function) {
+        let f = parse_function(src).expect("parse");
+        let lowered = build_cfg(&f);
+        let plan = PartitionPlan::compute(&lowered, bound);
+        let suite = HybridGenerator::new().generate(&f, &lowered, &plan);
+        let campaign =
+            MeasurementCampaign::run(&f, &lowered, &plan, &suite.vectors(), &CostModel::hcs12())
+                .expect("measure");
+        let wcet = compute_wcet(&lowered, &plan, &campaign.worst_case_map());
+        (wcet, lowered, f)
+    }
+
+    fn exhaustive_max(
+        lowered: &tmg_cfg::LoweredFunction,
+        f: &tmg_minic::Function,
+        values: impl Iterator<Item = Vec<(&'static str, i64)>>,
+    ) -> u64 {
+        let machine = Machine::new(&lowered.cfg, f, CostModel::hcs12());
+        values
+            .map(|assignment| {
+                let mut iv = InputVector::new();
+                for (k, v) in assignment {
+                    iv.set(k, v);
+                }
+                machine.end_to_end_cycles(&iv).expect("run")
+            })
+            .max()
+            .expect("nonempty")
+    }
+
+    #[test]
+    fn bound_exceeds_exhaustive_maximum_for_alternatives() {
+        let src = r#"
+            void f(char a __range(0, 3)) {
+                setup();
+                if (a > 1) { heavy(); heavy(); } else { light(); }
+                if (a == 0) { extra(); }
+                teardown();
+            }
+        "#;
+        for bound in [1u128, 2, 16] {
+            let (wcet, lowered, f) = wcet_for(src, bound);
+            let exhaustive = exhaustive_max(&lowered, &f, (0..=3).map(|v| vec![("a", v)]));
+            assert!(
+                wcet >= exhaustive,
+                "bound {bound}: wcet {wcet} must dominate exhaustive {exhaustive}"
+            );
+            // And it should not be absurdly pessimistic on this tiny example.
+            assert!(wcet <= exhaustive * 3);
+        }
+    }
+
+    #[test]
+    fn loops_multiply_by_their_bound() {
+        let src = r#"
+            void f(char n __range(0, 5)) {
+                char i = 0;
+                while (i < n) __bound(5) { body(); i = i + 1; }
+                done();
+            }
+        "#;
+        let (wcet, lowered, f) = wcet_for(src, 1);
+        let exhaustive = exhaustive_max(&lowered, &f, (0..=5).map(|v| vec![("n", v)]));
+        assert!(wcet >= exhaustive, "wcet {wcet} vs exhaustive {exhaustive}");
+    }
+
+    #[test]
+    fn collapsed_root_uses_the_measured_maximum_directly() {
+        let src = "void f(char a __range(0, 1)) { if (a) { x(); } y(); }";
+        let (wcet, lowered, f) = wcet_for(src, 100);
+        let exhaustive = exhaustive_max(&lowered, &f, (0..=1).map(|v| vec![("a", v)]));
+        // With the whole function collapsed the bound equals the measured
+        // end-to-end maximum plus the instrumentation overhead of the
+        // boundary points.
+        assert!(wcet >= exhaustive);
+        assert!(wcet <= exhaustive + 4 * CostModel::hcs12().read_cycle_counter);
+    }
+
+    #[test]
+    fn finer_partitions_are_more_pessimistic() {
+        let src = r#"
+            void f(char a __range(0, 3), char b __range(0, 3)) {
+                if (a > 1) { p1(); p2(); } else { p3(); }
+                if (b > 2) { p4(); } else { p5(); p6(); }
+            }
+        "#;
+        let (wcet_fine, _, _) = wcet_for(src, 1);
+        let (wcet_coarse, _, _) = wcet_for(src, 64);
+        assert!(wcet_fine >= wcet_coarse);
+    }
+}

@@ -1,0 +1,644 @@
+//! Hybrid test-data generation (Section 3 of the paper).
+//!
+//! Test data are generated in two phases, exactly as the paper proposes:
+//! first a cheap heuristic search (a small genetic algorithm over the input
+//! domains) runs until it stops finding new paths, then the remaining paths
+//! are handed to the model checker, which either produces a witness input
+//! vector or proves the path infeasible.  The paper (citing Tracey et al.)
+//! expects the heuristic phase to cover more than 90 % of the required test
+//! cases; the `testgen` experiment of EXPERIMENTS.md checks that ratio.
+
+use crate::partition::{PartitionPlan, SegmentId, SegmentKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use tmg_cfg::{enumerate_region_paths, BlockId, LoweredFunction, PathSpec, Terminator};
+use tmg_minic::ast::Function;
+use tmg_minic::interp::BranchChoice;
+use tmg_minic::value::InputVector;
+use tmg_minic::StmtId;
+use tmg_target::{CostModel, Machine};
+use tmg_tsys::{ModelChecker, PathQuery};
+
+/// What a coverage goal asks for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GoalKind {
+    /// Execute the given decision sequence inside a region segment.
+    RegionPath(PathSpec),
+    /// Execute the given basic block (single-block segments).
+    BlockExecution(BlockId),
+}
+
+/// One coverage goal of the measurement campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageGoal {
+    /// The segment the goal belongs to.
+    pub segment: SegmentId,
+    /// What must be exercised.
+    pub kind: GoalKind,
+}
+
+/// Which phase produced a covering test vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GeneratorKind {
+    /// The heuristic (genetic) search.
+    Heuristic,
+    /// The model checker.
+    ModelChecker,
+}
+
+/// Outcome for one coverage goal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoverageStatus {
+    /// A test vector exercising the goal was found.
+    Covered {
+        /// The input vector.
+        vector: InputVector,
+        /// Which phase found it.
+        by: GeneratorKind,
+    },
+    /// The model checker proved no input can exercise the goal.
+    Infeasible,
+    /// Neither phase settled the goal within its budget.
+    Unknown,
+}
+
+/// The generated test suite with per-goal outcomes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestSuite {
+    /// Goals and their outcomes, in segment order.
+    pub goals: Vec<(CoverageGoal, CoverageStatus)>,
+}
+
+impl TestSuite {
+    /// All distinct covering input vectors.
+    pub fn vectors(&self) -> Vec<InputVector> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for (_, status) in &self.goals {
+            if let CoverageStatus::Covered { vector, .. } = status {
+                if seen.insert(vector.clone()) {
+                    out.push(vector.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of goals.
+    pub fn goal_count(&self) -> usize {
+        self.goals.len()
+    }
+
+    /// Goals covered by either phase.
+    pub fn covered_count(&self) -> usize {
+        self.goals
+            .iter()
+            .filter(|(_, s)| matches!(s, CoverageStatus::Covered { .. }))
+            .count()
+    }
+
+    /// Goals covered by the heuristic phase.
+    pub fn heuristic_covered(&self) -> usize {
+        self.count_by(GeneratorKind::Heuristic)
+    }
+
+    /// Goals covered by the model checker.
+    pub fn checker_covered(&self) -> usize {
+        self.count_by(GeneratorKind::ModelChecker)
+    }
+
+    fn count_by(&self, kind: GeneratorKind) -> usize {
+        self.goals
+            .iter()
+            .filter(|(_, s)| matches!(s, CoverageStatus::Covered { by, .. } if *by == kind))
+            .count()
+    }
+
+    /// Goals proven infeasible.
+    pub fn infeasible_count(&self) -> usize {
+        self.goals
+            .iter()
+            .filter(|(_, s)| matches!(s, CoverageStatus::Infeasible))
+            .count()
+    }
+
+    /// Goals left unresolved.
+    pub fn unknown_count(&self) -> usize {
+        self.goals
+            .iter()
+            .filter(|(_, s)| matches!(s, CoverageStatus::Unknown))
+            .count()
+    }
+
+    /// Fraction of *feasible* goals covered by the heuristic phase — the
+    /// ">90 %" figure of Section 3.
+    pub fn heuristic_ratio(&self) -> f64 {
+        let feasible = self.covered_count();
+        if feasible == 0 {
+            return 1.0;
+        }
+        self.heuristic_covered() as f64 / feasible as f64
+    }
+}
+
+/// Configuration of the heuristic (genetic) phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeuristicConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Hard cap on generations.
+    pub max_generations: usize,
+    /// Stop after this many generations without new coverage — the paper's
+    /// "no new paths have been reached with the last N generated patterns".
+    pub stall_generations: usize,
+    /// Per-parameter mutation probability.
+    pub mutation_rate: f64,
+    /// RNG seed (the whole pipeline is deterministic for a given seed).
+    pub seed: u64,
+}
+
+impl Default for HeuristicConfig {
+    fn default() -> Self {
+        HeuristicConfig {
+            population: 32,
+            max_generations: 200,
+            stall_generations: 15,
+            mutation_rate: 0.25,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The two-phase test-data generator.
+#[derive(Debug, Clone)]
+pub struct HybridGenerator {
+    /// Heuristic-phase configuration.
+    pub heuristic: HeuristicConfig,
+    /// Model checker used for the residual paths.
+    pub checker: ModelChecker,
+    /// Cap on enumerated paths per segment.
+    pub max_paths_per_segment: usize,
+    /// Cost model of the target used to replay candidate vectors.
+    pub cost_model: CostModel,
+}
+
+impl Default for HybridGenerator {
+    fn default() -> Self {
+        HybridGenerator::new()
+    }
+}
+
+impl HybridGenerator {
+    /// A generator with default heuristic settings and a fully optimised
+    /// model checker.
+    pub fn new() -> HybridGenerator {
+        HybridGenerator {
+            heuristic: HeuristicConfig::default(),
+            checker: ModelChecker::new(),
+            max_paths_per_segment: 4096,
+            cost_model: CostModel::hcs12(),
+        }
+    }
+
+    /// Builds the coverage goals of a partition plan.
+    pub fn goals(&self, lowered: &LoweredFunction, plan: &PartitionPlan) -> Vec<CoverageGoal> {
+        let mut goals = Vec::new();
+        for segment in &plan.segments {
+            match segment.kind {
+                SegmentKind::Region(region_id) => {
+                    let region = lowered.regions.region(region_id);
+                    let paths =
+                        enumerate_region_paths(&lowered.cfg, region, self.max_paths_per_segment)
+                            .unwrap_or_default();
+                    if paths.is_empty() {
+                        goals.push(CoverageGoal {
+                            segment: segment.id,
+                            kind: GoalKind::BlockExecution(region.entry_block),
+                        });
+                    } else {
+                        for path in paths {
+                            goals.push(CoverageGoal {
+                                segment: segment.id,
+                                kind: GoalKind::RegionPath(path),
+                            });
+                        }
+                    }
+                }
+                SegmentKind::Block(block) => goals.push(CoverageGoal {
+                    segment: segment.id,
+                    kind: GoalKind::BlockExecution(block),
+                }),
+            }
+        }
+        goals
+    }
+
+    /// Runs both phases and returns the test suite.
+    pub fn generate(
+        &self,
+        function: &Function,
+        lowered: &LoweredFunction,
+        plan: &PartitionPlan,
+    ) -> TestSuite {
+        let goals = self.goals(lowered, plan);
+        let machine = Machine::new(&lowered.cfg, function, self.cost_model.clone());
+        let mut status: Vec<Option<CoverageStatus>> = vec![None; goals.len()];
+
+        // Phase 1: heuristic (genetic) search.
+        self.heuristic_phase(function, &machine, &goals, &mut status);
+
+        // Phase 2: model checking for the residual goals.
+        for (i, goal) in goals.iter().enumerate() {
+            if status[i].is_some() {
+                continue;
+            }
+            status[i] = Some(self.check_goal(function, lowered, &machine, goal));
+        }
+
+        TestSuite {
+            goals: goals
+                .into_iter()
+                .zip(status)
+                .map(|(g, s)| (g, s.unwrap_or(CoverageStatus::Unknown)))
+                .collect(),
+        }
+    }
+
+    fn heuristic_phase(
+        &self,
+        function: &Function,
+        machine: &Machine<'_>,
+        goals: &[CoverageGoal],
+        status: &mut [Option<CoverageStatus>],
+    ) {
+        let mut rng = StdRng::seed_from_u64(self.heuristic.seed);
+        let domains: Vec<(String, i64, i64)> = function
+            .params
+            .iter()
+            .map(|p| {
+                let (lo, hi) = p.range.unwrap_or_else(|| p.ty.value_range());
+                (p.name.clone(), lo, hi)
+            })
+            .collect();
+        if domains.is_empty() {
+            // No inputs: a single run decides everything reachable.
+            if let Ok(run) = machine.run(&InputVector::new(), &[]) {
+                record_coverage(&InputVector::new(), &run, goals, status, GeneratorKind::Heuristic);
+            }
+            return;
+        }
+        let random_vector = |rng: &mut StdRng| -> InputVector {
+            domains
+                .iter()
+                .map(|(name, lo, hi)| (name.clone(), rng.gen_range(*lo..=*hi)))
+                .collect()
+        };
+        let mut population: Vec<InputVector> = (0..self.heuristic.population)
+            .map(|_| random_vector(&mut rng))
+            .collect();
+        let mut stall = 0usize;
+        for _generation in 0..self.heuristic.max_generations {
+            let mut new_coverage = false;
+            let mut scored: Vec<(usize, InputVector)> = Vec::with_capacity(population.len());
+            for individual in &population {
+                let Ok(run) = machine.run(individual, &[]) else {
+                    scored.push((0, individual.clone()));
+                    continue;
+                };
+                let newly =
+                    record_coverage(individual, &run, goals, status, GeneratorKind::Heuristic);
+                new_coverage |= newly > 0;
+                // Fitness: how many goals (covered or not) this run exercises,
+                // which rewards individuals that reach deep code.
+                let exercised = goals
+                    .iter()
+                    .filter(|g| goal_matches(g, &run))
+                    .count();
+                scored.push((exercised + newly * 4, individual.clone()));
+            }
+            if status.iter().all(|s| s.is_some()) {
+                return;
+            }
+            stall = if new_coverage { 0 } else { stall + 1 };
+            if stall >= self.heuristic.stall_generations {
+                return;
+            }
+            // Next generation: elitism + tournament crossover + mutation.
+            scored.sort_by(|a, b| b.0.cmp(&a.0));
+            let elite = scored
+                .iter()
+                .take((self.heuristic.population / 4).max(1))
+                .map(|(_, v)| v.clone())
+                .collect::<Vec<_>>();
+            let mut next = elite.clone();
+            while next.len() < self.heuristic.population {
+                let pick = |rng: &mut StdRng| -> &InputVector {
+                    let a = rng.gen_range(0..scored.len());
+                    let b = rng.gen_range(0..scored.len());
+                    if scored[a].0 >= scored[b].0 {
+                        &scored[a].1
+                    } else {
+                        &scored[b].1
+                    }
+                };
+                let mother = pick(&mut rng).clone();
+                let father = pick(&mut rng).clone();
+                let mut child = InputVector::new();
+                for (name, lo, hi) in &domains {
+                    let from_mother = rng.gen_bool(0.5);
+                    let inherited = if from_mother {
+                        mother.get(name)
+                    } else {
+                        father.get(name)
+                    }
+                    .unwrap_or(*lo);
+                    let value = if rng.gen_bool(self.heuristic.mutation_rate) {
+                        rng.gen_range(*lo..=*hi)
+                    } else {
+                        inherited
+                    };
+                    child.set(name.clone(), value);
+                }
+                next.push(child);
+            }
+            population = next;
+        }
+    }
+
+    fn check_goal(
+        &self,
+        function: &Function,
+        lowered: &LoweredFunction,
+        machine: &Machine<'_>,
+        goal: &CoverageGoal,
+    ) -> CoverageStatus {
+        let candidate_paths: Vec<PathSpec> = match &goal.kind {
+            GoalKind::RegionPath(path) => vec![path.clone()],
+            GoalKind::BlockExecution(block) => paths_to_block(lowered, *block, 64),
+        };
+        if candidate_paths.is_empty() {
+            return CoverageStatus::Unknown;
+        }
+        let mut any_unknown = false;
+        for path in candidate_paths {
+            let query = PathQuery::new(path.decisions.clone());
+            let result = self.checker.find_test_data(function, &query);
+            match result.outcome {
+                tmg_tsys::CheckOutcome::Feasible { witness, .. } => {
+                    // Validate on the target: free locals chosen by the checker
+                    // are not controllable, so the replay is authoritative.
+                    if let Ok(run) = machine.run(&witness, &[]) {
+                        if goal_matches(goal, &run) {
+                            return CoverageStatus::Covered {
+                                vector: witness,
+                                by: GeneratorKind::ModelChecker,
+                            };
+                        }
+                    }
+                    any_unknown = true;
+                }
+                tmg_tsys::CheckOutcome::Infeasible => {}
+                tmg_tsys::CheckOutcome::Unknown => any_unknown = true,
+            }
+        }
+        if any_unknown {
+            CoverageStatus::Unknown
+        } else {
+            CoverageStatus::Infeasible
+        }
+    }
+}
+
+/// Whether a target run exercises the goal.
+fn goal_matches(goal: &CoverageGoal, run: &tmg_target::RunResult) -> bool {
+    match &goal.kind {
+        GoalKind::RegionPath(path) => path.matches_trace(&run.branch_signature),
+        GoalKind::BlockExecution(block) => run.executed_blocks.contains(block),
+    }
+}
+
+/// Marks every goal exercised by `run` as covered; returns how many were new.
+fn record_coverage(
+    vector: &InputVector,
+    run: &tmg_target::RunResult,
+    goals: &[CoverageGoal],
+    status: &mut [Option<CoverageStatus>],
+    by: GeneratorKind,
+) -> usize {
+    let mut newly = 0;
+    for (i, goal) in goals.iter().enumerate() {
+        if status[i].is_some() {
+            continue;
+        }
+        if goal_matches(goal, run) {
+            status[i] = Some(CoverageStatus::Covered {
+                vector: vector.clone(),
+                by,
+            });
+            newly += 1;
+        }
+    }
+    newly
+}
+
+/// Enumerates up to `cap` acyclic decision sequences from the function entry
+/// to `target`, used to phrase block-execution goals as model-checking
+/// queries.
+fn paths_to_block(lowered: &LoweredFunction, target: BlockId, cap: usize) -> Vec<PathSpec> {
+    let mut out = Vec::new();
+    let mut current: Vec<(StmtId, BranchChoice)> = Vec::new();
+    let mut visited: HashSet<BlockId> = HashSet::new();
+    walk_to_block(
+        lowered,
+        lowered.cfg.entry(),
+        target,
+        &mut current,
+        &mut visited,
+        &mut out,
+        cap,
+    );
+    out
+}
+
+fn walk_to_block(
+    lowered: &LoweredFunction,
+    block: BlockId,
+    target: BlockId,
+    current: &mut Vec<(StmtId, BranchChoice)>,
+    visited: &mut HashSet<BlockId>,
+    out: &mut Vec<PathSpec>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if block == target {
+        out.push(PathSpec {
+            decisions: current.clone(),
+        });
+        return;
+    }
+    if !visited.insert(block) {
+        return;
+    }
+    match &lowered.cfg.block(block).terminator {
+        Terminator::Jump(d) => walk_to_block(lowered, *d, target, current, visited, out, cap),
+        Terminator::Return { exit } => {
+            walk_to_block(lowered, *exit, target, current, visited, out, cap)
+        }
+        Terminator::Halt => {}
+        Terminator::Branch {
+            stmt,
+            then_dest,
+            else_dest,
+            ..
+        } => {
+            let is_loop = lowered.cfg.loop_bound(*stmt).is_some();
+            let then_choice = if is_loop {
+                BranchChoice::LoopIterate
+            } else {
+                BranchChoice::Then
+            };
+            let else_choice = if is_loop {
+                BranchChoice::LoopExit
+            } else {
+                BranchChoice::Else
+            };
+            current.push((*stmt, then_choice));
+            walk_to_block(lowered, *then_dest, target, current, visited, out, cap);
+            current.pop();
+            current.push((*stmt, else_choice));
+            walk_to_block(lowered, *else_dest, target, current, visited, out, cap);
+            current.pop();
+        }
+        Terminator::Switch {
+            stmt,
+            arms,
+            default_dest,
+            ..
+        } => {
+            for (value, dest) in arms {
+                current.push((*stmt, BranchChoice::Case(*value)));
+                walk_to_block(lowered, *dest, target, current, visited, out, cap);
+                current.pop();
+            }
+            current.push((*stmt, BranchChoice::Default));
+            walk_to_block(lowered, *default_dest, target, current, visited, out, cap);
+            current.pop();
+        }
+    }
+    visited.remove(&block);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionPlan;
+    use tmg_cfg::build_cfg;
+    use tmg_minic::parse_function;
+
+    fn suite_for(src: &str, bound: u128) -> (Function, LoweredFunction, TestSuite) {
+        let f = parse_function(src).expect("parse");
+        let lowered = build_cfg(&f);
+        let plan = PartitionPlan::compute(&lowered, bound);
+        let suite = HybridGenerator::new().generate(&f, &lowered, &plan);
+        (f, lowered, suite)
+    }
+
+    #[test]
+    fn covers_all_feasible_paths_of_a_simple_function() {
+        let src = r#"
+            void f(char a __range(0, 3), char b __range(0, 3)) {
+                if (a > 1) { p1(); } else { p2(); }
+                if (b == 0) { p3(); }
+            }
+        "#;
+        let (_, _, suite) = suite_for(src, 10);
+        assert_eq!(suite.goal_count(), 4);
+        assert_eq!(suite.covered_count(), 4);
+        assert_eq!(suite.infeasible_count(), 0);
+        assert!(!suite.vectors().is_empty());
+    }
+
+    #[test]
+    fn detects_infeasible_paths_via_the_model_checker() {
+        // a > 2 and a < 1 cannot hold together.
+        let src = r#"
+            void f(char a __range(0, 4)) {
+                if (a > 2) { p1(); }
+                if (a < 1) { p2(); }
+            }
+        "#;
+        let (_, _, suite) = suite_for(src, 10);
+        assert_eq!(suite.goal_count(), 4);
+        assert_eq!(suite.infeasible_count(), 1);
+        assert_eq!(suite.covered_count(), 3);
+        assert_eq!(suite.unknown_count(), 0);
+    }
+
+    #[test]
+    fn block_goals_are_covered_at_bound_one() {
+        let src = "void f(char a __range(0, 1)) { p1(); if (a) { p2(); } p3(); }";
+        let (_, lowered, suite) = suite_for(src, 1);
+        // One goal per measurable unit.
+        assert_eq!(suite.goal_count(), lowered.cfg.measurable_units().len());
+        assert_eq!(suite.covered_count(), suite.goal_count());
+    }
+
+    #[test]
+    fn heuristic_covers_most_goals_and_checker_the_rest() {
+        // The equality guard is a needle in the haystack for random search but
+        // trivial for the model checker.
+        let src = r#"
+            void f(int a __range(0, 10000), char b __range(0, 3)) {
+                if (b == 1) { common1(); }
+                if (b > 1) { common2(); } else { common3(); }
+                if (a == 7777) { rare(); }
+            }
+        "#;
+        let (_, _, suite) = suite_for(src, 1000);
+        assert_eq!(suite.covered_count() + suite.infeasible_count(), suite.goal_count());
+        assert!(suite.heuristic_covered() > 0);
+        assert!(suite.checker_covered() > 0, "the a == 7777 paths need the model checker");
+        assert!(
+            suite.heuristic_ratio() >= 0.5,
+            "heuristic should carry at least half of the load: {}",
+            suite.heuristic_ratio()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_fixed_seed() {
+        let src = "void f(char a __range(0, 7)) { if (a > 3) { p1(); } else { p2(); } }";
+        let f = parse_function(src).expect("parse");
+        let lowered = build_cfg(&f);
+        let plan = PartitionPlan::compute(&lowered, 10);
+        let s1 = HybridGenerator::new().generate(&f, &lowered, &plan);
+        let s2 = HybridGenerator::new().generate(&f, &lowered, &plan);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn paths_to_block_reach_nested_blocks() {
+        let src = "void f(char a __range(0, 1)) { if (a) { inner(); } outer(); }";
+        let f = parse_function(src).expect("parse");
+        let lowered = build_cfg(&f);
+        // Find the block containing `inner()`.
+        let inner_block = lowered
+            .cfg
+            .blocks()
+            .iter()
+            .find(|b| {
+                b.stmts
+                    .iter()
+                    .any(|s| matches!(s, tmg_minic::ast::Stmt::Call { callee, .. } if callee == "inner"))
+            })
+            .expect("inner block")
+            .id;
+        let paths = paths_to_block(&lowered, inner_block, 16);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].decisions.len(), 1);
+    }
+}

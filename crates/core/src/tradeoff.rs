@@ -1,0 +1,109 @@
+//! The instrumentation-point / measurement tradeoff of Section 2.3
+//! (Figures 2 and 3).
+
+use crate::partition::PartitionPlan;
+use serde::{Deserialize, Serialize};
+use tmg_cfg::LoweredFunction;
+
+/// One point of the tradeoff curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// Path bound `b`.
+    pub path_bound: u128,
+    /// Instrumentation points `ip` at that bound.
+    pub instrumentation_points: usize,
+    /// Measurements `m` at that bound (saturating).
+    pub measurements: u128,
+    /// Number of program segments of the partition.
+    pub segments: usize,
+}
+
+/// Computes the tradeoff curve for the given path bounds.
+///
+/// Figure 2 plots `ip` over `b` (log-scaled `b`); Figure 3 plots `m` over
+/// `ip`.  Both are derived from the same sweep.
+pub fn sweep_path_bounds(lowered: &LoweredFunction, bounds: &[u128]) -> Vec<TradeoffPoint> {
+    bounds
+        .iter()
+        .map(|&b| {
+            let plan = PartitionPlan::compute(lowered, b);
+            TradeoffPoint {
+                path_bound: b,
+                instrumentation_points: plan.instrumentation_points(),
+                measurements: plan.measurements(),
+                segments: plan.segments.len(),
+            }
+        })
+        .collect()
+}
+
+/// The logarithmically spaced bounds used for the Figure-2 sweep
+/// (1, 2, 5, 10, 20, ... up to `max`).
+pub fn log_spaced_bounds(max: u128) -> Vec<u128> {
+    let mut out = Vec::new();
+    let mut decade: u128 = 1;
+    while decade <= max {
+        for factor in [1u128, 2, 5] {
+            let b = decade.saturating_mul(factor);
+            if b <= max {
+                out.push(b);
+            }
+        }
+        decade = decade.saturating_mul(10);
+    }
+    if out.last() != Some(&max) {
+        out.push(max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_cfg::build_cfg;
+    use tmg_codegen::{figure1_function, generate_automotive, AutomotiveConfig};
+
+    #[test]
+    fn log_spaced_bounds_are_increasing_and_capped() {
+        let bounds = log_spaced_bounds(1_000);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*bounds.first().expect("nonempty"), 1);
+        assert_eq!(*bounds.last().expect("nonempty"), 1_000);
+    }
+
+    #[test]
+    fn instrumentation_points_decrease_monotonically_with_the_bound() {
+        let g = generate_automotive(&AutomotiveConfig::small(11));
+        let lowered = build_cfg(&g.function);
+        let sweep = sweep_path_bounds(&lowered, &log_spaced_bounds(1_000_000));
+        for w in sweep.windows(2) {
+            assert!(w[1].instrumentation_points <= w[0].instrumentation_points);
+        }
+        // At b = 1 every measurable unit is instrumented on its own.
+        assert_eq!(
+            sweep[0].instrumentation_points,
+            lowered.cfg.measurable_units().len() * 2
+        );
+    }
+
+    #[test]
+    fn measurements_explode_as_instrumentation_points_shrink() {
+        let g = generate_automotive(&AutomotiveConfig::small(5));
+        let lowered = build_cfg(&g.function);
+        let sweep = sweep_path_bounds(&lowered, &log_spaced_bounds(1_000_000));
+        let first = sweep.first().expect("sweep");
+        let last = sweep.last().expect("sweep");
+        assert!(last.instrumentation_points < first.instrumentation_points);
+        assert!(last.measurements > first.measurements);
+    }
+
+    #[test]
+    fn figure1_sweep_matches_table1_endpoints() {
+        let lowered = build_cfg(&figure1_function(false));
+        let sweep = sweep_path_bounds(&lowered, &[1, 6]);
+        assert_eq!(sweep[0].instrumentation_points, 22);
+        assert_eq!(sweep[0].measurements, 11);
+        assert_eq!(sweep[1].instrumentation_points, 2);
+        assert_eq!(sweep[1].measurements, 6);
+    }
+}

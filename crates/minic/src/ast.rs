@@ -1,0 +1,604 @@
+//! Abstract syntax tree of mini-C.
+//!
+//! Every statement carries a [`StmtId`] assigned by semantic analysis.  The
+//! CFG builder, the instrumentation planner and the target-code lowering all
+//! refer back to statements through these ids, so a single AST instance is the
+//! shared source of truth across the whole toolchain.
+
+use crate::types::Ty;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a statement inside a [`Program`].
+///
+/// Ids are dense (0..`Program::stmt_count()`) and assigned in a deterministic
+/// pre-order walk by [`crate::sema::check_program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StmtId(pub u32);
+
+impl StmtId {
+    /// Placeholder id used by the parser before semantic analysis numbers the
+    /// statements.
+    pub const UNASSIGNED: StmtId = StmtId(u32::MAX);
+
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical negation `!x`.
+    Not,
+    /// Bitwise complement is not part of mini-C; `~` is rejected by the lexer.
+    /// This variant exists for completeness of generated code that uses
+    /// `x ^ -1` style complements and is produced only by the generators.
+    BitNot,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Whether the operator is a logical connective (`&&`, `||`).
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// C source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+}
+
+/// Expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer (or boolean) literal.
+    Int(i64),
+    /// Variable read.
+    Var(String),
+    /// Unary operation.
+    Unary { op: UnOp, operand: Box<Expr> },
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Builds a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Builds an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+
+    /// Builds a binary expression.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Builds a unary expression.
+    pub fn unary(op: UnOp, operand: Expr) -> Expr {
+        Expr::Unary {
+            op,
+            operand: Box::new(operand),
+        }
+    }
+
+    /// Collects the names of all variables read by this expression (with
+    /// duplicates preserved in evaluation order).
+    pub fn referenced_vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit_vars(&mut |name| out.push(name));
+        out
+    }
+
+    fn visit_vars<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        match self {
+            Expr::Int(_) => {}
+            Expr::Var(name) => f(name),
+            Expr::Unary { operand, .. } => operand.visit_vars(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit_vars(f);
+                rhs.visit_vars(f);
+            }
+        }
+    }
+
+    /// Number of operator and operand nodes, a rough proxy for evaluation
+    /// cost used by the target cost model and the generators.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Int(_) | Expr::Var(_) => 1,
+            Expr::Unary { operand, .. } => 1 + operand.node_count(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+        }
+    }
+
+    /// Substitutes every read of `name` with `replacement` (used by the
+    /// reverse-CSE model optimisation).
+    pub fn substitute(&self, name: &str, replacement: &Expr) -> Expr {
+        match self {
+            Expr::Int(_) => self.clone(),
+            Expr::Var(v) => {
+                if v == name {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Unary { op, operand } => Expr::Unary {
+                op: *op,
+                operand: Box::new(operand.substitute(name, replacement)),
+            },
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(lhs.substitute(name, replacement)),
+                rhs: Box::new(rhs.substitute(name, replacement)),
+            },
+        }
+    }
+}
+
+/// A variable declaration (function parameter or local).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+    /// Optional `__range(lo, hi)` annotation emitted by the code generator;
+    /// consumed by the variable-range-analysis optimisation.
+    pub range: Option<(i64, i64)>,
+    /// Optional initialiser expression.
+    pub init: Option<Expr>,
+}
+
+impl VarDecl {
+    /// Creates an unannotated, uninitialised declaration.
+    pub fn new(name: impl Into<String>, ty: Ty) -> VarDecl {
+        VarDecl {
+            name: name.into(),
+            ty,
+            range: None,
+            init: None,
+        }
+    }
+
+    /// Adds a `__range` annotation.
+    pub fn with_range(mut self, lo: i64, hi: i64) -> VarDecl {
+        self.range = Some((lo, hi));
+        self
+    }
+
+    /// Adds an initialiser.
+    pub fn with_init(mut self, init: Expr) -> VarDecl {
+        self.init = Some(init);
+        self
+    }
+}
+
+/// A `{ ... }` statement list.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new() -> Block {
+        Block::default()
+    }
+
+    /// Creates a block from the given statements.
+    pub fn from_stmts(stmts: Vec<Stmt>) -> Block {
+        Block { stmts }
+    }
+
+    /// Whether the block contains no statements.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+/// One case arm of a `switch` statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchCase {
+    /// Case label value.
+    pub value: i64,
+    /// Statements of the case (mini-C requires every case to end in `break`,
+    /// i.e. no fall-through, which is what TargetLink emits).
+    pub body: Block,
+}
+
+/// Statements of mini-C.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `target = value;`
+    Assign {
+        id: StmtId,
+        /// 1-based source line (0 for generated code).
+        line: u32,
+        target: String,
+        value: Expr,
+    },
+    /// Call to an external leaf routine, e.g. `printf3();` — externals have
+    /// no observable effect on program variables, only an execution cost.
+    Call {
+        id: StmtId,
+        line: u32,
+        callee: String,
+        args: Vec<Expr>,
+    },
+    /// `if (cond) { ... } else { ... }`
+    If {
+        id: StmtId,
+        line: u32,
+        cond: Expr,
+        then_branch: Block,
+        else_branch: Option<Block>,
+    },
+    /// `switch (selector) { case v: {...} break; ... default: {...} }`
+    Switch {
+        id: StmtId,
+        line: u32,
+        selector: Expr,
+        cases: Vec<SwitchCase>,
+        default: Option<Block>,
+    },
+    /// `while (cond) __bound(n) { ... }` — bounded loop.
+    While {
+        id: StmtId,
+        line: u32,
+        cond: Expr,
+        /// Maximum number of iterations; mandatory for WCET analysis.
+        bound: u32,
+        body: Block,
+    },
+    /// `return expr;` / `return;`
+    Return {
+        id: StmtId,
+        line: u32,
+        value: Option<Expr>,
+    },
+}
+
+impl Stmt {
+    /// The statement's id.
+    pub fn id(&self) -> StmtId {
+        match self {
+            Stmt::Assign { id, .. }
+            | Stmt::Call { id, .. }
+            | Stmt::If { id, .. }
+            | Stmt::Switch { id, .. }
+            | Stmt::While { id, .. }
+            | Stmt::Return { id, .. } => *id,
+        }
+    }
+
+    /// The 1-based source line the statement starts on (0 for generated
+    /// statements that never existed in text form).
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Assign { line, .. }
+            | Stmt::Call { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::Switch { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::Return { line, .. } => *line,
+        }
+    }
+
+    /// Whether the statement is a simple (non-branching) statement.
+    pub fn is_simple(&self) -> bool {
+        matches!(self, Stmt::Assign { .. } | Stmt::Call { .. } | Stmt::Return { .. })
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters; these are the analysis *inputs* for which test data is
+    /// generated.
+    pub params: Vec<VarDecl>,
+    /// Local variables declared at the top of the function (C89 style, as
+    /// emitted by TargetLink).
+    pub locals: Vec<VarDecl>,
+    /// Return type, `None` for `void`.
+    pub ret_ty: Option<Ty>,
+    /// Function body.
+    pub body: Block,
+}
+
+impl Function {
+    /// Looks up the declaration of `name` among parameters and locals.
+    pub fn decl(&self, name: &str) -> Option<&VarDecl> {
+        self.params
+            .iter()
+            .chain(self.locals.iter())
+            .find(|d| d.name == name)
+    }
+
+    /// Iterates over all declarations (parameters first, then locals).
+    pub fn decls(&self) -> impl Iterator<Item = &VarDecl> {
+        self.params.iter().chain(self.locals.iter())
+    }
+
+    /// Calls `f` on every statement of the body in pre-order.
+    pub fn for_each_stmt<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        for_each_stmt_in_block(&self.body, f);
+    }
+
+    /// Number of statements in the body.
+    pub fn stmt_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_stmt(&mut |_| n += 1);
+        n
+    }
+
+    /// Number of conditional branch statements (`if` and `switch`).
+    pub fn branch_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_stmt(&mut |s| {
+            if matches!(s, Stmt::If { .. } | Stmt::Switch { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+/// Walks every statement of `block` (and nested blocks) in pre-order.
+pub fn for_each_stmt_in_block<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
+    for stmt in &block.stmts {
+        f(stmt);
+        match stmt {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for_each_stmt_in_block(then_branch, f);
+                if let Some(e) = else_branch {
+                    for_each_stmt_in_block(e, f);
+                }
+            }
+            Stmt::Switch { cases, default, .. } => {
+                for case in cases {
+                    for_each_stmt_in_block(&case.body, f);
+                }
+                if let Some(d) = default {
+                    for_each_stmt_in_block(d, f);
+                }
+            }
+            Stmt::While { body, .. } => for_each_stmt_in_block(body, f),
+            Stmt::Assign { .. } | Stmt::Call { .. } | Stmt::Return { .. } => {}
+        }
+    }
+}
+
+/// Mutable pre-order walk over every statement of `block`.
+pub fn for_each_stmt_in_block_mut(block: &mut Block, f: &mut impl FnMut(&mut Stmt)) {
+    for stmt in &mut block.stmts {
+        f(stmt);
+        match stmt {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for_each_stmt_in_block_mut(then_branch, f);
+                if let Some(e) = else_branch {
+                    for_each_stmt_in_block_mut(e, f);
+                }
+            }
+            Stmt::Switch { cases, default, .. } => {
+                for case in cases.iter_mut() {
+                    for_each_stmt_in_block_mut(&mut case.body, f);
+                }
+                if let Some(d) = default {
+                    for_each_stmt_in_block_mut(d, f);
+                }
+            }
+            Stmt::While { body, .. } => for_each_stmt_in_block_mut(body, f),
+            Stmt::Assign { .. } | Stmt::Call { .. } | Stmt::Return { .. } => {}
+        }
+    }
+}
+
+/// A complete mini-C program (translation unit).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Defined functions.  Calls to names without a definition are treated as
+    /// external leaf routines (the `printfN()` stubs of the paper's example).
+    pub functions: Vec<Function>,
+    /// Total number of statements across all functions; valid after semantic
+    /// analysis.
+    pub stmt_count: u32,
+}
+
+impl Program {
+    /// Creates a program from a list of functions (ids must still be assigned
+    /// by [`crate::sema::check_program`]).
+    pub fn new(functions: Vec<Function>) -> Program {
+        Program {
+            functions,
+            stmt_count: 0,
+        }
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Total number of statements (valid after semantic analysis).
+    pub fn stmt_count(&self) -> usize {
+        self.stmt_count as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_expr() -> Expr {
+        // (a + 1) * b
+        Expr::binary(
+            BinOp::Mul,
+            Expr::binary(BinOp::Add, Expr::var("a"), Expr::int(1)),
+            Expr::var("b"),
+        )
+    }
+
+    #[test]
+    fn referenced_vars_in_evaluation_order() {
+        assert_eq!(sample_expr().referenced_vars(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn node_count_counts_all_nodes() {
+        assert_eq!(sample_expr().node_count(), 5);
+        assert_eq!(Expr::int(3).node_count(), 1);
+    }
+
+    #[test]
+    fn substitute_replaces_only_matching_variable() {
+        let replaced = sample_expr().substitute("a", &Expr::binary(BinOp::Add, Expr::var("c"), Expr::int(2)));
+        assert_eq!(replaced.referenced_vars(), vec!["c", "b"]);
+        let unchanged = sample_expr().substitute("zzz", &Expr::int(0));
+        assert_eq!(unchanged, sample_expr());
+    }
+
+    #[test]
+    fn stmt_accessors_return_id_and_line() {
+        let s = Stmt::Assign {
+            id: StmtId(7),
+            line: 42,
+            target: "x".to_owned(),
+            value: Expr::int(0),
+        };
+        assert_eq!(s.id(), StmtId(7));
+        assert_eq!(s.line(), 42);
+        assert!(s.is_simple());
+        let b = Stmt::If {
+            id: StmtId(8),
+            line: 43,
+            cond: Expr::var("x"),
+            then_branch: Block::new(),
+            else_branch: None,
+        };
+        assert!(!b.is_simple());
+    }
+
+    #[test]
+    fn function_statistics_count_nested_statements() {
+        let f = Function {
+            name: "f".to_owned(),
+            params: vec![VarDecl::new("a", Ty::I16)],
+            locals: vec![],
+            ret_ty: None,
+            body: Block::from_stmts(vec![Stmt::If {
+                id: StmtId(0),
+                line: 1,
+                cond: Expr::var("a"),
+                then_branch: Block::from_stmts(vec![Stmt::Call {
+                    id: StmtId(1),
+                    line: 2,
+                    callee: "leaf".to_owned(),
+                    args: vec![],
+                }]),
+                else_branch: None,
+            }]),
+        };
+        assert_eq!(f.stmt_count(), 2);
+        assert_eq!(f.branch_count(), 1);
+        assert!(f.decl("a").is_some());
+        assert!(f.decl("zz").is_none());
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert_eq!(BinOp::Shl.symbol(), "<<");
+    }
+
+    #[test]
+    fn stmt_id_display_and_index() {
+        assert_eq!(StmtId(3).to_string(), "s3");
+        assert_eq!(StmtId(3).index(), 3);
+    }
+}

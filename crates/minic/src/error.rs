@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Error raised by the mini-C frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The lexer encountered an invalid character or malformed literal.
+    Lex(String),
+    /// The parser encountered an unexpected token or construct.
+    Parse(String),
+    /// Semantic analysis rejected the program (undeclared variable, type
+    /// mismatch, missing loop bound, ...).
+    Sema(String),
+    /// Runtime failure inside the reference interpreter (division by zero,
+    /// exceeded loop bound, missing input value, ...).
+    Runtime(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex(msg) => write!(f, "lex error: {msg}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Sema(msg) => write!(f, "semantic error: {msg}"),
+            Error::Runtime(msg) => write!(f, "runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::Parse("unexpected `}`".to_owned());
+        assert_eq!(e.to_string(), "parse error: unexpected `}`");
+        let e = Error::Runtime("division by zero".to_owned());
+        assert!(e.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

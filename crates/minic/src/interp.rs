@@ -1,0 +1,507 @@
+//! Reference interpreter for mini-C.
+//!
+//! The interpreter serves two roles in the reproduction:
+//!
+//! * it is the *semantic oracle*: the exhaustive end-to-end measurements of
+//!   the case study (Section 4 of the paper) execute the program once per
+//!   possible input and the interpreter decides which path each input takes;
+//! * it validates generated test data: a test vector claimed to drive a
+//!   particular path is replayed here and the recorded [`ExecTrace`] is
+//!   compared against the intended path.
+
+use crate::ast::{BinOp, Block, Expr, Function, Program, Stmt, StmtId, UnOp};
+use crate::error::{Error, Result};
+use crate::types::Ty;
+use crate::value::{InputVector, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which way a branching statement went during one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchChoice {
+    /// `if` condition was true.
+    Then,
+    /// `if` condition was false (whether or not an `else` branch exists).
+    Else,
+    /// `switch` selected the case with this label value.
+    Case(i64),
+    /// `switch` selected the `default` arm (or fell through an absent one).
+    Default,
+    /// `while` condition was true — one more iteration.
+    LoopIterate,
+    /// `while` condition was false — loop exited.
+    LoopExit,
+}
+
+/// One event of an execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A simple statement was executed.
+    Stmt(StmtId),
+    /// A branching statement made a decision.
+    Branch {
+        /// The branching statement.
+        stmt: StmtId,
+        /// The decision taken.
+        choice: BranchChoice,
+    },
+}
+
+/// Complete record of one execution of the analysed function.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExecTrace {
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ExecTrace {
+    /// The sequence of branch decisions, which uniquely identifies the
+    /// executed path through the CFG.
+    pub fn branch_signature(&self) -> Vec<(StmtId, BranchChoice)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Branch { stmt, choice } => Some((*stmt, *choice)),
+                TraceEvent::Stmt(_) => None,
+            })
+            .collect()
+    }
+
+    /// Ids of all executed statements (simple and branching), in order.
+    pub fn executed_stmts(&self) -> Vec<StmtId> {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Stmt(id) => *id,
+                TraceEvent::Branch { stmt, .. } => *stmt,
+            })
+            .collect()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Result of executing a function on one input vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecOutcome {
+    /// Value returned by the function, if any.
+    pub return_value: Option<Value>,
+    /// Trace of executed statements and branch decisions.
+    pub trace: ExecTrace,
+    /// Number of interpreter steps (statements executed), a hardware-agnostic
+    /// cost proxy.
+    pub steps: u64,
+}
+
+enum Flow {
+    Normal,
+    Returned(Option<Value>),
+}
+
+/// AST interpreter over a checked [`Program`].
+///
+/// # Example
+///
+/// ```
+/// use tmg_minic::{parse_program, Interpreter, value::InputVector};
+///
+/// let p = parse_program("int abs(int x) { int r; r = x; if (x < 0) { r = 0 - x; } return r; }")?;
+/// let interp = Interpreter::new(&p);
+/// let out = interp.run("abs", &InputVector::new().with("x", -5))?;
+/// assert_eq!(out.return_value.map(|v| v.raw()), Some(5));
+/// # Ok::<(), tmg_minic::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+}
+
+struct Frame<'f> {
+    vars: HashMap<&'f str, i64>,
+    types: HashMap<&'f str, Ty>,
+    trace: ExecTrace,
+    steps: u64,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter over `program`.
+    pub fn new(program: &'p Program) -> Interpreter<'p> {
+        Interpreter { program }
+    }
+
+    /// Executes `function` with the given `inputs`.
+    ///
+    /// Parameters missing from `inputs` default to zero; all locals start at
+    /// zero unless they carry an initialiser (TargetLink always initialises
+    /// the state variables it emits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Runtime`] on division by zero, on a loop exceeding its
+    /// declared `__bound`, or if `function` does not exist.
+    pub fn run(&self, function: &str, inputs: &InputVector) -> Result<ExecOutcome> {
+        let func = self
+            .program
+            .function(function)
+            .ok_or_else(|| Error::Runtime(format!("function `{function}` is not defined")))?;
+        let mut frame = Frame {
+            vars: HashMap::new(),
+            types: HashMap::new(),
+            trace: ExecTrace::default(),
+            steps: 0,
+        };
+        for decl in func.decls() {
+            frame.types.insert(decl.name.as_str(), decl.ty);
+        }
+        for param in &func.params {
+            let raw = inputs.get(&param.name).unwrap_or(0);
+            frame.vars.insert(param.name.as_str(), param.ty.wrap(raw));
+        }
+        for local in &func.locals {
+            let init = match &local.init {
+                Some(e) => eval_expr(e, &frame.vars)?,
+                None => 0,
+            };
+            frame.vars.insert(local.name.as_str(), local.ty.wrap(init));
+        }
+        let flow = exec_block(func, &func.body, &mut frame)?;
+        let return_value = match flow {
+            Flow::Returned(v) => v,
+            Flow::Normal => None,
+        };
+        Ok(ExecOutcome {
+            return_value,
+            trace: frame.trace,
+            steps: frame.steps,
+        })
+    }
+}
+
+fn exec_block<'f>(func: &'f Function, block: &'f Block, frame: &mut Frame<'f>) -> Result<Flow> {
+    for stmt in &block.stmts {
+        match exec_stmt(func, stmt, frame)? {
+            Flow::Normal => {}
+            returned @ Flow::Returned(_) => return Ok(returned),
+        }
+    }
+    Ok(Flow::Normal)
+}
+
+fn exec_stmt<'f>(func: &'f Function, stmt: &'f Stmt, frame: &mut Frame<'f>) -> Result<Flow> {
+    frame.steps += 1;
+    match stmt {
+        Stmt::Assign { id, target, value, .. } => {
+            frame.trace.events.push(TraceEvent::Stmt(*id));
+            let v = eval_expr(value, &frame.vars)?;
+            let ty = frame
+                .types
+                .get(target.as_str())
+                .copied()
+                .ok_or_else(|| Error::Runtime(format!("assignment to unknown variable `{target}`")))?;
+            frame.vars.insert(
+                func.decl(target)
+                    .map(|d| d.name.as_str())
+                    .unwrap_or(target.as_str()),
+                ty.wrap(v),
+            );
+            Ok(Flow::Normal)
+        }
+        Stmt::Call { id, args, .. } => {
+            frame.trace.events.push(TraceEvent::Stmt(*id));
+            // External leaf calls have no effect on program state, but their
+            // arguments are still evaluated (they may trap, e.g. divide by 0).
+            for a in args {
+                eval_expr(a, &frame.vars)?;
+            }
+            Ok(Flow::Normal)
+        }
+        Stmt::Return { id, value, .. } => {
+            frame.trace.events.push(TraceEvent::Stmt(*id));
+            let v = match value {
+                Some(e) => Some(Value(eval_expr(e, &frame.vars)?)),
+                None => None,
+            };
+            Ok(Flow::Returned(v))
+        }
+        Stmt::If {
+            id,
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let taken = eval_expr(cond, &frame.vars)? != 0;
+            frame.trace.events.push(TraceEvent::Branch {
+                stmt: *id,
+                choice: if taken { BranchChoice::Then } else { BranchChoice::Else },
+            });
+            if taken {
+                exec_block(func, then_branch, frame)
+            } else if let Some(e) = else_branch {
+                exec_block(func, e, frame)
+            } else {
+                Ok(Flow::Normal)
+            }
+        }
+        Stmt::Switch {
+            id,
+            selector,
+            cases,
+            default,
+            ..
+        } => {
+            let sel = eval_expr(selector, &frame.vars)?;
+            if let Some(case) = cases.iter().find(|c| c.value == sel) {
+                frame.trace.events.push(TraceEvent::Branch {
+                    stmt: *id,
+                    choice: BranchChoice::Case(case.value),
+                });
+                exec_block(func, &case.body, frame)
+            } else {
+                frame.trace.events.push(TraceEvent::Branch {
+                    stmt: *id,
+                    choice: BranchChoice::Default,
+                });
+                match default {
+                    Some(d) => exec_block(func, d, frame),
+                    None => Ok(Flow::Normal),
+                }
+            }
+        }
+        Stmt::While {
+            id, cond, bound, body, line, ..
+        } => {
+            let mut iterations = 0u32;
+            loop {
+                let continue_loop = eval_expr(cond, &frame.vars)? != 0;
+                frame.trace.events.push(TraceEvent::Branch {
+                    stmt: *id,
+                    choice: if continue_loop {
+                        BranchChoice::LoopIterate
+                    } else {
+                        BranchChoice::LoopExit
+                    },
+                });
+                if !continue_loop {
+                    return Ok(Flow::Normal);
+                }
+                iterations += 1;
+                if iterations > *bound {
+                    return Err(Error::Runtime(format!(
+                        "loop on line {line} exceeded its declared bound of {bound} iterations"
+                    )));
+                }
+                match exec_block(func, body, frame)? {
+                    Flow::Normal => {}
+                    returned @ Flow::Returned(_) => return Ok(returned),
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates an expression under a variable environment.
+///
+/// Exposed so the model-checking encoder and the target simulator reuse the
+/// exact same semantics (C-like: comparisons yield 0/1, `&&`/`||` short
+/// circuit, division truncates toward zero).
+///
+/// # Errors
+///
+/// Returns [`Error::Runtime`] on division/modulo by zero or on a read of an
+/// unknown variable.
+pub fn eval_expr(expr: &Expr, vars: &HashMap<&str, i64>) -> Result<i64> {
+    match expr {
+        Expr::Int(v) => Ok(*v),
+        Expr::Var(name) => vars
+            .get(name.as_str())
+            .copied()
+            .ok_or_else(|| Error::Runtime(format!("read of unknown variable `{name}`"))),
+        Expr::Unary { op, operand } => {
+            let v = eval_expr(operand, vars)?;
+            Ok(match op {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Not => i64::from(v == 0),
+                UnOp::BitNot => !v,
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            // Short-circuit evaluation for logical connectives.
+            if *op == BinOp::And {
+                let l = eval_expr(lhs, vars)?;
+                if l == 0 {
+                    return Ok(0);
+                }
+                return Ok(i64::from(eval_expr(rhs, vars)? != 0));
+            }
+            if *op == BinOp::Or {
+                let l = eval_expr(lhs, vars)?;
+                if l != 0 {
+                    return Ok(1);
+                }
+                return Ok(i64::from(eval_expr(rhs, vars)? != 0));
+            }
+            let l = eval_expr(lhs, vars)?;
+            let r = eval_expr(rhs, vars)?;
+            Ok(match op {
+                BinOp::Add => l.wrapping_add(r),
+                BinOp::Sub => l.wrapping_sub(r),
+                BinOp::Mul => l.wrapping_mul(r),
+                BinOp::Div => {
+                    if r == 0 {
+                        return Err(Error::Runtime("division by zero".to_owned()));
+                    }
+                    l.wrapping_div(r)
+                }
+                BinOp::Mod => {
+                    if r == 0 {
+                        return Err(Error::Runtime("modulo by zero".to_owned()));
+                    }
+                    l.wrapping_rem(r)
+                }
+                BinOp::Lt => i64::from(l < r),
+                BinOp::Le => i64::from(l <= r),
+                BinOp::Gt => i64::from(l > r),
+                BinOp::Ge => i64::from(l >= r),
+                BinOp::Eq => i64::from(l == r),
+                BinOp::Ne => i64::from(l != r),
+                BinOp::BitAnd => l & r,
+                BinOp::BitOr => l | r,
+                BinOp::BitXor => l ^ r,
+                BinOp::Shl => l.wrapping_shl((r & 63) as u32),
+                BinOp::Shr => l.wrapping_shr((r & 63) as u32),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn run(src: &str, func: &str, inputs: &[(&str, i64)]) -> ExecOutcome {
+        let p = parse_program(src).expect("parse");
+        let mut iv = InputVector::new();
+        for (k, v) in inputs {
+            iv.set(*k, *v);
+        }
+        Interpreter::new(&p).run(func, &iv).expect("run")
+    }
+
+    #[test]
+    fn computes_return_value_with_wrapping() {
+        let out = run(
+            "int f(int a) { int b; b = a + 1; return b; }",
+            "f",
+            &[("a", 32767)],
+        );
+        assert_eq!(out.return_value, Some(Value(-32768)));
+    }
+
+    #[test]
+    fn records_branch_choices() {
+        let src = "void f(int a) { if (a > 0) { g(); } else { h(); } }";
+        let taken = run(src, "f", &[("a", 5)]);
+        let not_taken = run(src, "f", &[("a", -5)]);
+        assert_eq!(taken.trace.branch_signature()[0].1, BranchChoice::Then);
+        assert_eq!(not_taken.trace.branch_signature()[0].1, BranchChoice::Else);
+        assert_ne!(taken.trace.branch_signature(), not_taken.trace.branch_signature());
+    }
+
+    #[test]
+    fn switch_selects_case_or_default() {
+        let src = "void f(int s) { switch (s) { case 1: a1(); break; case 2: a2(); break; default: d(); break; } }";
+        assert_eq!(
+            run(src, "f", &[("s", 2)]).trace.branch_signature()[0].1,
+            BranchChoice::Case(2)
+        );
+        assert_eq!(
+            run(src, "f", &[("s", 9)]).trace.branch_signature()[0].1,
+            BranchChoice::Default
+        );
+    }
+
+    #[test]
+    fn while_loop_iterates_and_exits() {
+        let src = "int f(int n) { int i; int s; i = 0; s = 0; while (i < n) __bound(10) { s = s + i; i = i + 1; } return s; }";
+        let out = run(src, "f", &[("n", 4)]);
+        assert_eq!(out.return_value, Some(Value(0 + 1 + 2 + 3)));
+        let sig = out.trace.branch_signature();
+        assert_eq!(sig.iter().filter(|(_, c)| *c == BranchChoice::LoopIterate).count(), 4);
+        assert_eq!(sig.iter().filter(|(_, c)| *c == BranchChoice::LoopExit).count(), 1);
+    }
+
+    #[test]
+    fn loop_bound_violation_is_a_runtime_error() {
+        let p = parse_program("void f(int n) { int i; i = 0; while (i < n) __bound(3) { i = i + 1; } }")
+            .expect("parse");
+        let err = Interpreter::new(&p)
+            .run("f", &InputVector::new().with("n", 100))
+            .expect_err("bound exceeded");
+        assert!(err.to_string().contains("exceeded"));
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let p = parse_program("int f(int a) { int b; b = 10 / a; return b; }").expect("parse");
+        let err = Interpreter::new(&p)
+            .run("f", &InputVector::new().with("a", 0))
+            .expect_err("division by zero");
+        assert!(err.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn missing_inputs_default_to_zero() {
+        let out = run("int f(int a) { return a; }", "f", &[]);
+        assert_eq!(out.return_value, Some(Value(0)));
+    }
+
+    #[test]
+    fn locals_use_initialisers() {
+        let out = run("int f() { int a = 7; int b; b = a; return b; }", "f", &[]);
+        assert_eq!(out.return_value, Some(Value(7)));
+    }
+
+    #[test]
+    fn short_circuit_avoids_division_by_zero() {
+        let out = run(
+            "int f(int a) { int r; r = 0; if (a != 0 && 10 / a > 1) { r = 1; } return r; }",
+            "f",
+            &[("a", 0)],
+        );
+        assert_eq!(out.return_value, Some(Value(0)));
+    }
+
+    #[test]
+    fn return_exits_nested_control_flow() {
+        let out = run(
+            "int f(int a) { if (a > 0) { return 1; } return 2; }",
+            "f",
+            &[("a", 3)],
+        );
+        assert_eq!(out.return_value, Some(Value(1)));
+        assert_eq!(out.trace.executed_stmts().len(), 2);
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let p = parse_program("void f() { }").expect("parse");
+        assert!(Interpreter::new(&p).run("missing", &InputVector::new()).is_err());
+    }
+
+    #[test]
+    fn steps_count_executed_statements() {
+        let out = run("void f(int a) { a = 1; a = 2; a = 3; }", "f", &[]);
+        assert_eq!(out.steps, 3);
+    }
+}

@@ -1,0 +1,331 @@
+//! Hand-written lexer for mini-C.
+
+use crate::error::{Error, Result};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Turns mini-C source text into a token stream terminated by
+/// [`TokenKind::Eof`].
+///
+/// Line ( `//` ) and block ( `/* ... */` ) comments as well as preprocessor
+/// lines starting with `#` are skipped (the generated code the paper analyses
+/// has all includes resolved, so `#` lines are only ever remnants).
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] on characters outside the mini-C alphabet or on
+/// unterminated block comments.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            source,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let line = self.line;
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                });
+                return Ok(tokens);
+            };
+            let kind = if c.is_ascii_alphabetic() || c == '_' {
+                self.lex_word()
+            } else if c.is_ascii_digit() {
+                self.lex_number()?
+            } else {
+                self.lex_punct()?
+            };
+            tokens.push(Token { kind, line });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    // Preprocessor remnant: skip to end of line.
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(Error::Lex(format!(
+                                    "unterminated block comment starting before line {}",
+                                    self.line
+                                )))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let word: String = self.chars[start..self.pos].iter().collect();
+        match Keyword::from_str(&word) {
+            Some(Keyword::True) => TokenKind::Int(1),
+            Some(Keyword::False) => TokenKind::Int(0),
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(word),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        // Hexadecimal literal.
+        if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            let hex_start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let digits: String = self.chars[hex_start..self.pos].iter().collect();
+            let value = i64::from_str_radix(&digits, 16)
+                .map_err(|_| Error::Lex(format!("invalid hex literal on line {}", self.line)))?;
+            return Ok(TokenKind::Int(value));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Skip integer suffixes generated code sometimes emits (u, U, l, L).
+        while matches!(self.peek(), Some('u') | Some('U') | Some('l') | Some('L')) {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos]
+            .iter()
+            .filter(|c| c.is_ascii_digit())
+            .collect();
+        let value = text
+            .parse::<i64>()
+            .map_err(|_| Error::Lex(format!("integer literal overflow on line {}", self.line)))?;
+        Ok(TokenKind::Int(value))
+    }
+
+    fn lex_punct(&mut self) -> Result<TokenKind> {
+        let c = self.bump().expect("caller checked a character is present");
+        let two = |l: &mut Lexer<'a>, next: char, yes: Punct, no: Punct| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let p = match c {
+            '(' => Punct::LParen,
+            ')' => Punct::RParen,
+            '{' => Punct::LBrace,
+            '}' => Punct::RBrace,
+            ';' => Punct::Semicolon,
+            ',' => Punct::Comma,
+            ':' => Punct::Colon,
+            '+' => two(self, '+', Punct::PlusPlus, Punct::Plus),
+            '-' => two(self, '-', Punct::MinusMinus, Punct::Minus),
+            '*' => Punct::Star,
+            '/' => Punct::Slash,
+            '%' => Punct::Percent,
+            '^' => Punct::Caret,
+            '=' => two(self, '=', Punct::EqEq, Punct::Assign),
+            '!' => two(self, '=', Punct::NotEq, Punct::Not),
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Punct::Le
+                } else if self.peek() == Some('<') {
+                    self.bump();
+                    Punct::Shl
+                } else {
+                    Punct::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Punct::Ge
+                } else if self.peek() == Some('>') {
+                    self.bump();
+                    Punct::Shr
+                } else {
+                    Punct::Gt
+                }
+            }
+            '&' => two(self, '&', Punct::AndAnd, Punct::Amp),
+            '|' => two(self, '|', Punct::OrOr, Punct::Pipe),
+            other => {
+                return Err(Error::Lex(format!(
+                    "unexpected character `{other}` on line {} (source length {})",
+                    self.line,
+                    self.source.len()
+                )))
+            }
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lex").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_function_header() {
+        let ks = kinds("int main()");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("main".to_owned()),
+                TokenKind::Punct(Punct::LParen),
+                TokenKind::Punct(Punct::RParen),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        let ks = kinds("<= >= == != && || << >> ++ --");
+        let expect = [
+            Punct::Le,
+            Punct::Ge,
+            Punct::EqEq,
+            Punct::NotEq,
+            Punct::AndAnd,
+            Punct::OrOr,
+            Punct::Shl,
+            Punct::Shr,
+            Punct::PlusPlus,
+            Punct::MinusMinus,
+        ];
+        for (k, p) in ks.iter().zip(expect.iter()) {
+            assert_eq!(k, &TokenKind::Punct(*p));
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_preprocessor_lines() {
+        let ks = kinds("// line comment\n#include <stdio.h>\n/* block\ncomment */ x");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident("x".to_owned()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n\nc").expect("lex");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn lexes_hex_and_suffixed_literals() {
+        assert_eq!(kinds("0x10")[0], TokenKind::Int(16));
+        assert_eq!(kinds("42u")[0], TokenKind::Int(42));
+        assert_eq!(kinds("7L")[0], TokenKind::Int(7));
+    }
+
+    #[test]
+    fn true_false_become_integer_literals() {
+        assert_eq!(kinds("true")[0], TokenKind::Int(1));
+        assert_eq!(kinds("false")[0], TokenKind::Int(0));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(matches!(lex("int $x;"), Err(Error::Lex(_))));
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(matches!(lex("/* never closed"), Err(Error::Lex(_))));
+    }
+}

@@ -1,0 +1,230 @@
+//! Token definitions produced by the [`lexer`](crate::lexer).
+
+use std::fmt;
+
+/// A lexical token together with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number, used in diagnostics and to label CFG nodes the
+    /// same way the paper's Figure 1 does.
+    pub line: u32,
+}
+
+/// The different kinds of mini-C tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier (variable or function name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Keyword such as `if`, `while`, `int`, ...
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input marker.
+    Eof,
+}
+
+/// Reserved words of mini-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Int,
+    Char,
+    Long,
+    Unsigned,
+    Bool,
+    Void,
+    If,
+    Else,
+    Switch,
+    Case,
+    Default,
+    Break,
+    While,
+    For,
+    Return,
+    True,
+    False,
+    /// `__bound(N)` loop-bound annotation keyword.
+    Bound,
+    /// `__range(lo, hi)` value-range annotation keyword.
+    Range,
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Semicolon,
+    Comma,
+    Colon,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    PlusPlus,
+    MinusMinus,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(name) => write!(f, "identifier `{name}`"),
+            TokenKind::Int(v) => write!(f, "integer literal `{v}`"),
+            TokenKind::Keyword(kw) => write!(f, "keyword `{}`", kw.as_str()),
+            TokenKind::Punct(p) => write!(f, "`{}`", p.as_str()),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+impl Keyword {
+    /// Source spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Int => "int",
+            Keyword::Char => "char",
+            Keyword::Long => "long",
+            Keyword::Unsigned => "unsigned",
+            Keyword::Bool => "bool",
+            Keyword::Void => "void",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::Switch => "switch",
+            Keyword::Case => "case",
+            Keyword::Default => "default",
+            Keyword::Break => "break",
+            Keyword::While => "while",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+            Keyword::True => "true",
+            Keyword::False => "false",
+            Keyword::Bound => "__bound",
+            Keyword::Range => "__range",
+        }
+    }
+
+    /// Looks up a keyword from its spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "int" => Keyword::Int,
+            "char" => Keyword::Char,
+            "long" => Keyword::Long,
+            "unsigned" => Keyword::Unsigned,
+            "bool" | "_Bool" => Keyword::Bool,
+            "void" => Keyword::Void,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "switch" => Keyword::Switch,
+            "case" => Keyword::Case,
+            "default" => Keyword::Default,
+            "break" => Keyword::Break,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "__bound" => Keyword::Bound,
+            "__range" => Keyword::Range,
+            _ => return None,
+        })
+    }
+}
+
+impl Punct {
+    /// Source spelling of the punctuation token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::Semicolon => ";",
+            Punct::Comma => ",",
+            Punct::Colon => ":",
+            Punct::Assign => "=",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Lt => "<",
+            Punct::Le => "<=",
+            Punct::Gt => ">",
+            Punct::Ge => ">=",
+            Punct::EqEq => "==",
+            Punct::NotEq => "!=",
+            Punct::AndAnd => "&&",
+            Punct::OrOr => "||",
+            Punct::Not => "!",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::PlusPlus => "++",
+            Punct::MinusMinus => "--",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trips_through_spelling() {
+        for kw in [
+            Keyword::Int,
+            Keyword::Char,
+            Keyword::Long,
+            Keyword::Unsigned,
+            Keyword::Bool,
+            Keyword::Void,
+            Keyword::If,
+            Keyword::Else,
+            Keyword::Switch,
+            Keyword::Case,
+            Keyword::Default,
+            Keyword::Break,
+            Keyword::While,
+            Keyword::For,
+            Keyword::Return,
+            Keyword::True,
+            Keyword::False,
+            Keyword::Bound,
+            Keyword::Range,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("frobnicate"), None);
+    }
+
+    #[test]
+    fn display_mentions_payload() {
+        let t = TokenKind::Ident("speed".to_owned());
+        assert!(t.to_string().contains("speed"));
+        assert!(TokenKind::Punct(Punct::Shl).to_string().contains("<<"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Runtime values and input vectors shared by the interpreter, the target
+//! simulator and the test-data generators.
+
+use crate::types::Ty;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A scalar runtime value.
+///
+/// Mini-C only has integer-like scalars, so a value is a signed 64-bit
+/// integer that is wrapped to the width of its declared type whenever it is
+/// stored into a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Value(pub i64);
+
+impl Value {
+    /// The boolean `true` value.
+    pub const TRUE: Value = Value(1);
+    /// The boolean `false` value.
+    pub const FALSE: Value = Value(0);
+
+    /// Creates a value from a raw integer.
+    pub fn new(v: i64) -> Value {
+        Value(v)
+    }
+
+    /// Raw integer representation.
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// C truthiness: any non-zero value is true.
+    pub fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Creates a boolean value.
+    pub fn from_bool(b: bool) -> Value {
+        if b {
+            Value::TRUE
+        } else {
+            Value::FALSE
+        }
+    }
+
+    /// Wraps the value into the representable range of `ty`.
+    pub fn wrapped_to(self, ty: Ty) -> Value {
+        Value(ty.wrap(self.0))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::from_bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An assignment of concrete values to the analysed function's parameters —
+/// one *test data pattern* in the paper's terminology.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct InputVector {
+    values: BTreeMap<String, i64>,
+}
+
+impl InputVector {
+    /// Creates an empty input vector.
+    pub fn new() -> InputVector {
+        InputVector::default()
+    }
+
+    /// Sets the value of parameter `name`.
+    pub fn set(&mut self, name: impl Into<String>, value: i64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Builder-style variant of [`InputVector::set`].
+    pub fn with(mut self, name: impl Into<String>, value: i64) -> InputVector {
+        self.set(name, value);
+        self
+    }
+
+    /// Reads the value of parameter `name`, if present.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.values.get(name).copied()
+    }
+
+    /// Number of parameters covered by this vector.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector assigns no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl FromIterator<(String, i64)> for InputVector {
+    fn from_iter<T: IntoIterator<Item = (String, i64)>>(iter: T) -> Self {
+        InputVector {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, i64)> for InputVector {
+    fn extend<T: IntoIterator<Item = (String, i64)>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+impl fmt::Display for InputVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (name, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_follows_c() {
+        assert!(Value(1).as_bool());
+        assert!(Value(-7).as_bool());
+        assert!(!Value(0).as_bool());
+        assert_eq!(Value::from_bool(true), Value::TRUE);
+    }
+
+    #[test]
+    fn wrapping_respects_type() {
+        assert_eq!(Value(300).wrapped_to(Ty::U8), Value(44));
+        assert_eq!(Value(-1).wrapped_to(Ty::U16), Value(65535));
+        assert_eq!(Value(2).wrapped_to(Ty::Bool), Value(1));
+    }
+
+    #[test]
+    fn input_vector_round_trips_values() {
+        let v = InputVector::new().with("speed", 2).with("pump", 1);
+        assert_eq!(v.get("speed"), Some(2));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert_eq!(v.to_string(), "{pump=1, speed=2}");
+    }
+
+    #[test]
+    fn input_vector_collects_from_iterator() {
+        let v: InputVector = vec![("a".to_owned(), 1), ("b".to_owned(), 2)].into_iter().collect();
+        assert_eq!(v.get("b"), Some(2));
+        let mut v2 = InputVector::new();
+        v2.extend(vec![("c".to_owned(), 3)]);
+        assert_eq!(v2.get("c"), Some(3));
+    }
+
+    #[test]
+    fn display_of_value() {
+        assert_eq!(Value(-3).to_string(), "-3");
+    }
+}

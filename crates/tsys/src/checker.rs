@@ -1,0 +1,641 @@
+//! Explicit-state bounded reachability checker — the reproduction's stand-in
+//! for the SAL 2 model checker.
+//!
+//! The query the WCET pipeline needs is always the same: *is there an input
+//! assignment that drives execution down a selected path, and if so, which
+//! one?*  The checker answers it by a depth-first search over concrete states
+//! `(location, valuation)` of the encoded transition system.  Variables whose
+//! value is unknown (function parameters and uninitialised locals — the
+//! paper's `D_I`) are enumerated lazily: the search splits over a variable's
+//! domain the first time its value is actually read.  The cost of a query is
+//! therefore governed by exactly the quantities the Section 3.2 optimisations
+//! reduce: the width of variable domains, the number of variables in the
+//! state vector and the number of transitions.
+
+use crate::encode::encode_function;
+use crate::model::{LocId, Model, Transition, VarRole};
+use crate::opt::{apply_optimisations_preserving, OptReport, Optimisations};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+use tmg_minic::ast::{BinOp, Expr, Function, StmtId, UnOp};
+use tmg_minic::interp::BranchChoice;
+use tmg_minic::value::InputVector;
+
+/// A path query: the ordered branch decisions the witness execution must take.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PathQuery {
+    /// Decisions in execution order (typically the decisions of one program
+    /// segment path, produced by [`tmg_cfg::enumerate_region_paths`]).
+    pub decisions: Vec<(StmtId, BranchChoice)>,
+}
+
+impl PathQuery {
+    /// Creates a query from a decision sequence.
+    pub fn new(decisions: Vec<(StmtId, BranchChoice)>) -> PathQuery {
+        PathQuery { decisions }
+    }
+
+    /// A query satisfied by any execution (used to probe reachability of the
+    /// function end, e.g. in the Table-2 ablation).
+    pub fn any_execution() -> PathQuery {
+        PathQuery::default()
+    }
+
+    /// Statements mentioned by the query.
+    pub fn stmts(&self) -> HashSet<StmtId> {
+        self.decisions.iter().map(|(s, _)| *s).collect()
+    }
+}
+
+/// Verdict of a check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckOutcome {
+    /// A witness input assignment driving the requested path was found.
+    Feasible {
+        /// Values for the function parameters (the paper's "test data
+        /// pattern").
+        witness: InputVector,
+        /// Transitions along the witness run up to query completion.
+        steps: u64,
+    },
+    /// The search space was exhausted without a witness: the path is
+    /// infeasible (within the bounded domains and loop bounds).
+    Infeasible,
+    /// The search budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+impl CheckOutcome {
+    /// The witness input vector, if the path is feasible.
+    pub fn witness(&self) -> Option<&InputVector> {
+        match self {
+            CheckOutcome::Feasible { witness, .. } => Some(witness),
+            _ => None,
+        }
+    }
+
+    /// Whether the path was proven infeasible.
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, CheckOutcome::Infeasible)
+    }
+}
+
+/// Cost statistics of one check — the quantities reported in Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CheckStats {
+    /// Total transitions fired during the search (∝ checking time).
+    pub transitions_fired: u64,
+    /// Concrete states created (splits included).
+    pub states_created: u64,
+    /// Deepest run explored.
+    pub max_depth: u64,
+    /// Bits of the encoded state vector.
+    pub state_bits: u32,
+    /// Bytes of one packed state.
+    pub state_bytes: u64,
+    /// Estimated memory for the explored-state store
+    /// (`states_created × state_bytes`), the analogue of the paper's
+    /// "memory use" column.
+    pub memory_estimate_bytes: u64,
+    /// Transitions along the witness run (the paper's "steps" column), if a
+    /// witness was found.
+    pub witness_steps: Option<u64>,
+    /// Number of transitions in the checked model.
+    pub model_transitions: usize,
+    /// Number of state variables in the checked model.
+    pub model_vars: usize,
+    /// Wall-clock time of the search.
+    pub duration: Duration,
+}
+
+/// Result of one model-checking query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// Feasible / infeasible / unknown.
+    pub outcome: CheckOutcome,
+    /// Search cost statistics.
+    pub stats: CheckStats,
+    /// What the source-level optimisation passes did (empty when checking a
+    /// pre-built model).
+    pub opt_report: OptReport,
+}
+
+/// Explicit-state bounded model checker.
+#[derive(Debug, Clone)]
+pub struct ModelChecker {
+    /// Optimisations applied before encoding in [`ModelChecker::find_test_data`].
+    pub optimisations: Optimisations,
+    /// Maximum number of transitions fired before giving up with
+    /// [`CheckOutcome::Unknown`].
+    pub max_transitions: u64,
+    /// Maximum length of a single run (guards against loops whose bound
+    /// annotation is violated for some inputs).
+    pub max_depth: u64,
+}
+
+impl Default for ModelChecker {
+    fn default() -> Self {
+        ModelChecker::new()
+    }
+}
+
+impl ModelChecker {
+    /// A checker with all optimisations enabled and default budgets.
+    pub fn new() -> ModelChecker {
+        ModelChecker::with_optimisations(Optimisations::all())
+    }
+
+    /// A checker with the given optimisation set.
+    pub fn with_optimisations(optimisations: Optimisations) -> ModelChecker {
+        ModelChecker {
+            optimisations,
+            max_transitions: 50_000_000,
+            max_depth: 100_000,
+        }
+    }
+
+    /// Sets the transition budget.
+    pub fn with_budget(mut self, max_transitions: u64) -> ModelChecker {
+        self.max_transitions = max_transitions;
+        self
+    }
+
+    /// Generates test data for `query` on `function`: applies the configured
+    /// optimisations, encodes the function and searches for a witness.
+    pub fn find_test_data(&self, function: &Function, query: &PathQuery) -> CheckResult {
+        let preserve = query.stmts();
+        let (optimised, opt_report) =
+            apply_optimisations_preserving(function, &self.optimisations, &preserve);
+        let model = encode_function(&optimised, &self.optimisations.encode_options());
+        let mut result = self.check_model(&model, query);
+        result.opt_report = opt_report;
+        result
+    }
+
+    /// Runs the search on an already-encoded model.
+    pub fn check_model(&self, model: &Model, query: &PathQuery) -> CheckResult {
+        let start = Instant::now();
+        let var_index: HashMap<&str, usize> = model
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.name.as_str(), i))
+            .collect();
+        let mut outgoing: Vec<Vec<&Transition>> = vec![Vec::new(); model.locations as usize];
+        for t in &model.transitions {
+            outgoing[t.from.index()].push(t);
+        }
+
+        let initial_values: Vec<Option<i64>> = model.vars.iter().map(|v| v.init).collect();
+        let mut stats = CheckStats {
+            state_bits: model.state_bits(),
+            state_bytes: model.state_bytes(),
+            model_transitions: model.transitions.len(),
+            model_vars: model.vars.len(),
+            ..CheckStats::default()
+        };
+
+        let mut stack: Vec<State> = vec![State {
+            loc: model.initial,
+            values: initial_values,
+            monitor: 0,
+            depth: 0,
+        }];
+        stats.states_created = 1;
+
+        let mut outcome = CheckOutcome::Infeasible;
+        'search: while let Some(state) = stack.pop() {
+            if stats.transitions_fired + stats.states_created >= self.max_transitions {
+                outcome = CheckOutcome::Unknown;
+                break 'search;
+            }
+            stats.max_depth = stats.max_depth.max(state.depth);
+            if state.monitor == query.decisions.len() {
+                outcome = CheckOutcome::Feasible {
+                    witness: witness_from(model, &state, &var_index),
+                    steps: state.depth,
+                };
+                stats.witness_steps = Some(state.depth);
+                break 'search;
+            }
+            if state.depth >= self.max_depth {
+                continue;
+            }
+            let transitions = &outgoing[state.loc.index()];
+            if transitions.is_empty() {
+                continue;
+            }
+            // First pass: find out whether deciding the enabled set requires
+            // the value of a still-unknown variable.
+            let mut split_var: Option<usize> = None;
+            let mut enabled: Vec<&Transition> = Vec::new();
+            for t in transitions {
+                match &t.guard {
+                    None => enabled.push(t),
+                    Some(g) => match eval_partial(g, &state.values, &var_index) {
+                        Eval::Known(v) => {
+                            if v != 0 {
+                                enabled.push(t);
+                            }
+                        }
+                        Eval::Unknown(var) => {
+                            split_var = Some(var);
+                            break;
+                        }
+                        Eval::Error => {}
+                    },
+                }
+            }
+            if split_var.is_none() {
+                // Effects may also read unknown variables.
+                'effects: for t in &enabled {
+                    for (_, e) in &t.effect {
+                        if let Eval::Unknown(var) = eval_partial(e, &state.values, &var_index) {
+                            split_var = Some(var);
+                            break 'effects;
+                        }
+                    }
+                }
+            }
+            if let Some(var) = split_var {
+                let (lo, hi) = model.vars[var].domain;
+                // Push in descending order so the smallest value is explored
+                // first (deterministic witnesses with minimal values).
+                for value in (lo..=hi).rev() {
+                    let mut child = state.clone();
+                    child.values[var] = Some(value);
+                    stack.push(child);
+                    stats.states_created += 1;
+                }
+                continue;
+            }
+            // Fire enabled transitions (in reverse so the first is explored
+            // first by the DFS).
+            for t in enabled.iter().rev() {
+                if stats.transitions_fired >= self.max_transitions {
+                    outcome = CheckOutcome::Unknown;
+                    break 'search;
+                }
+                // Path monitor.
+                let mut monitor = state.monitor;
+                if let Some((stmt, choice)) = &t.decision {
+                    if monitor < query.decisions.len() {
+                        let (expected_stmt, expected_choice) = query.decisions[monitor];
+                        if *stmt == expected_stmt {
+                            if *choice == expected_choice {
+                                monitor += 1;
+                            } else {
+                                // Wrong decision at a constrained branch: this
+                                // run can no longer follow the path.
+                                continue;
+                            }
+                        }
+                    }
+                }
+                let mut values = state.values.clone();
+                let mut failed = false;
+                for (target, expr) in &t.effect {
+                    match eval_partial(expr, &state.values, &var_index) {
+                        Eval::Known(v) => {
+                            let idx = var_index[target.as_str()];
+                            values[idx] = Some(model.vars[idx].ty.wrap(v));
+                        }
+                        Eval::Unknown(_) => {
+                            // Handled by the split pass; being here means a
+                            // race between guard and effect reads — skip.
+                            failed = true;
+                            break;
+                        }
+                        Eval::Error => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+                if failed {
+                    continue;
+                }
+                stats.transitions_fired += 1;
+                stack.push(State {
+                    loc: t.to,
+                    values,
+                    monitor,
+                    depth: state.depth + 1,
+                });
+                stats.states_created += 1;
+            }
+        }
+
+        stats.memory_estimate_bytes = stats.states_created * stats.state_bytes;
+        stats.duration = start.elapsed();
+        CheckResult {
+            outcome,
+            stats,
+            opt_report: OptReport::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct State {
+    loc: LocId,
+    values: Vec<Option<i64>>,
+    monitor: usize,
+    depth: u64,
+}
+
+fn witness_from(model: &Model, state: &State, var_index: &HashMap<&str, usize>) -> InputVector {
+    let mut witness = InputVector::new();
+    for var in &model.vars {
+        if var.role == VarRole::Input {
+            let idx = var_index[var.name.as_str()];
+            let value = state.values[idx].unwrap_or_else(|| var.domain.0.max(0).min(var.domain.1));
+            witness.set(var.name.clone(), value);
+        }
+    }
+    witness
+}
+
+enum Eval {
+    Known(i64),
+    Unknown(usize),
+    Error,
+}
+
+/// Partial expression evaluation: returns the value if every read variable is
+/// known, otherwise the index of the first unknown variable encountered.
+fn eval_partial(expr: &Expr, values: &[Option<i64>], var_index: &HashMap<&str, usize>) -> Eval {
+    match expr {
+        Expr::Int(v) => Eval::Known(*v),
+        Expr::Var(name) => match var_index.get(name.as_str()) {
+            Some(idx) => match values[*idx] {
+                Some(v) => Eval::Known(v),
+                None => Eval::Unknown(*idx),
+            },
+            None => Eval::Error,
+        },
+        Expr::Unary { op, operand } => match eval_partial(operand, values, var_index) {
+            Eval::Known(v) => Eval::Known(match op {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Not => i64::from(v == 0),
+                UnOp::BitNot => !v,
+            }),
+            other => other,
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            let l = match eval_partial(lhs, values, var_index) {
+                Eval::Known(v) => v,
+                other => return other,
+            };
+            // Short-circuit.
+            if *op == BinOp::And && l == 0 {
+                return Eval::Known(0);
+            }
+            if *op == BinOp::Or && l != 0 {
+                return Eval::Known(1);
+            }
+            let r = match eval_partial(rhs, values, var_index) {
+                Eval::Known(v) => v,
+                other => return other,
+            };
+            Eval::Known(match op {
+                BinOp::Add => l.wrapping_add(r),
+                BinOp::Sub => l.wrapping_sub(r),
+                BinOp::Mul => l.wrapping_mul(r),
+                BinOp::Div => {
+                    if r == 0 {
+                        return Eval::Error;
+                    }
+                    l.wrapping_div(r)
+                }
+                BinOp::Mod => {
+                    if r == 0 {
+                        return Eval::Error;
+                    }
+                    l.wrapping_rem(r)
+                }
+                BinOp::Lt => i64::from(l < r),
+                BinOp::Le => i64::from(l <= r),
+                BinOp::Gt => i64::from(l > r),
+                BinOp::Ge => i64::from(l >= r),
+                BinOp::Eq => i64::from(l == r),
+                BinOp::Ne => i64::from(l != r),
+                BinOp::And => i64::from(l != 0 && r != 0),
+                BinOp::Or => i64::from(l != 0 || r != 0),
+                BinOp::BitAnd => l & r,
+                BinOp::BitOr => l | r,
+                BinOp::BitXor => l ^ r,
+                BinOp::Shl => l.wrapping_shl((r & 63) as u32),
+                BinOp::Shr => l.wrapping_shr((r & 63) as u32),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_cfg::{build_cfg, enumerate_region_paths};
+    use tmg_minic::parse_function;
+    use tmg_minic::parse_program;
+    use tmg_minic::Interpreter;
+
+    fn checker() -> ModelChecker {
+        ModelChecker::new()
+    }
+
+    fn paths_of(src: &str) -> (Function, Vec<tmg_cfg::PathSpec>) {
+        let f = parse_function(src).expect("parse");
+        let lowered = build_cfg(&f);
+        let paths =
+            enumerate_region_paths(&lowered.cfg, lowered.regions.root(), 10_000).expect("paths");
+        (f, paths)
+    }
+
+    use tmg_minic::ast::Function;
+
+    #[test]
+    fn finds_witness_for_every_feasible_path_of_a_nested_if() {
+        let src = r#"
+            void f(char a __range(0, 4), char b __range(0, 4)) {
+                if (a > 2) { if (b == 1) { x(); } else { y(); } } else { z(); }
+            }
+        "#;
+        let (f, paths) = paths_of(src);
+        assert_eq!(paths.len(), 3);
+        for path in &paths {
+            let result = checker().find_test_data(&f, &PathQuery::new(path.decisions.clone()));
+            let witness = result.outcome.witness().expect("feasible path").clone();
+            // Replay on the interpreter and confirm the path is taken.
+            let program = parse_program(src).expect("parse");
+            let out = Interpreter::new(&program).run("f", &witness).expect("run");
+            assert!(path.matches_trace(&out.trace.branch_signature()));
+        }
+    }
+
+    #[test]
+    fn proves_contradictory_paths_infeasible() {
+        // a cannot be both > 2 and < 1.
+        let src = r#"
+            void f(char a __range(0, 4)) {
+                if (a > 2) { x(); }
+                if (a < 1) { y(); }
+            }
+        "#;
+        let (f, paths) = paths_of(src);
+        // The Then/Then path is infeasible.
+        let infeasible: Vec<_> = paths
+            .iter()
+            .filter(|p| p.decisions.iter().all(|(_, c)| *c == BranchChoice::Then))
+            .collect();
+        assert_eq!(infeasible.len(), 1);
+        let result = checker().find_test_data(&f, &PathQuery::new(infeasible[0].decisions.clone()));
+        assert!(result.outcome.is_infeasible());
+        // Feasible ones are found.
+        let feasible = paths
+            .iter()
+            .filter(|p| !p.decisions.iter().all(|(_, c)| *c == BranchChoice::Then))
+            .count();
+        assert_eq!(feasible, 3);
+    }
+
+    #[test]
+    fn switch_paths_yield_matching_selector_values() {
+        let src = r#"
+            void f(char s __range(0, 5)) {
+                switch (s) { case 0: a0(); break; case 3: a3(); break; default: d(); break; }
+            }
+        "#;
+        let (f, paths) = paths_of(src);
+        for path in &paths {
+            let result = checker().find_test_data(&f, &PathQuery::new(path.decisions.clone()));
+            let witness = result.outcome.witness().expect("feasible").clone();
+            match path.decisions[0].1 {
+                BranchChoice::Case(v) => assert_eq!(witness.get("s"), Some(v)),
+                BranchChoice::Default => {
+                    let s = witness.get("s").expect("s");
+                    assert!(s != 0 && s != 3);
+                }
+                other => panic!("unexpected decision {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn any_execution_query_is_trivially_feasible() {
+        let f = parse_function("void f(int a) { if (a) { g(); } }").expect("parse");
+        let result = checker().find_test_data(&f, &PathQuery::any_execution());
+        assert!(result.outcome.witness().is_some());
+    }
+
+    #[test]
+    fn loop_iteration_counts_can_be_forced() {
+        let src = r#"
+            void f(char n __range(0, 3)) {
+                char i = 0;
+                while (i < n) __bound(3) { i = i + 1; }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let lowered = build_cfg(&f);
+        let paths =
+            enumerate_region_paths(&lowered.cfg, lowered.regions.root(), 100).expect("paths");
+        assert_eq!(paths.len(), 4);
+        for (k, path) in paths.iter().enumerate() {
+            let result = checker().find_test_data(&f, &PathQuery::new(path.decisions.clone()));
+            let witness = result.outcome.witness().expect("feasible").clone();
+            // Path k iterates the loop `iterations` times; the witness must
+            // request exactly that many.
+            let iterations = path
+                .decisions
+                .iter()
+                .filter(|(_, c)| *c == BranchChoice::LoopIterate)
+                .count() as i64;
+            assert_eq!(witness.get("n"), Some(iterations), "path {k}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let src = "void f(int a, int b) { if (a == 12345 && b == 23456) { x(); } }";
+        let f = parse_function(src).expect("parse");
+        let mut paths = {
+            let lowered = build_cfg(&f);
+            enumerate_region_paths(&lowered.cfg, lowered.regions.root(), 10).expect("paths")
+        };
+        let then_path = paths.remove(0);
+        let tight = ModelChecker::with_optimisations(Optimisations::none()).with_budget(1_000);
+        let result = tight.find_test_data(&f, &PathQuery::new(then_path.decisions));
+        assert_eq!(result.outcome, CheckOutcome::Unknown);
+    }
+
+    #[test]
+    fn optimisations_reduce_search_cost() {
+        let src = r#"
+            void f(bool go, char speed __range(0, 2)) {
+                char tmp; char unused1; char unused2; char dead;
+                tmp = speed + 1;
+                dead = dead + 1;
+                if (go) { if (tmp == 3) { deep(); } else { shallow(); } } else { off(); }
+            }
+        "#;
+        let (f, paths) = paths_of(src);
+        let deep_path = paths
+            .iter()
+            .find(|p| {
+                p.decisions.len() == 2
+                    && p.decisions.iter().all(|(_, c)| *c == BranchChoice::Then)
+            })
+            .expect("deep path");
+        let naive = ModelChecker::with_optimisations(Optimisations::none())
+            .find_test_data(&f, &PathQuery::new(deep_path.decisions.clone()));
+        let optimised = ModelChecker::with_optimisations(Optimisations::all())
+            .find_test_data(&f, &PathQuery::new(deep_path.decisions.clone()));
+        assert!(naive.outcome.witness().is_some());
+        assert!(optimised.outcome.witness().is_some());
+        assert!(
+            optimised.stats.transitions_fired < naive.stats.transitions_fired,
+            "optimised {} vs naive {}",
+            optimised.stats.transitions_fired,
+            naive.stats.transitions_fired
+        );
+        assert!(optimised.stats.state_bits < naive.stats.state_bits);
+        assert!(optimised.stats.memory_estimate_bytes < naive.stats.memory_estimate_bytes);
+    }
+
+    #[test]
+    fn statement_concatenation_shortens_witness_runs() {
+        let src = r#"
+            void f(bool go) {
+                char a; char b; char c; char d;
+                a = 1; b = 2; c = 3; d = 4;
+                if (go) { x(); }
+            }
+        "#;
+        let (f, paths) = paths_of(src);
+        let path = PathQuery::new(paths[0].decisions.clone());
+        let plain = ModelChecker::with_optimisations(Optimisations::none()).find_test_data(&f, &path);
+        let concat = ModelChecker::with_optimisations(Optimisations {
+            statement_concatenation: true,
+            ..Optimisations::none()
+        })
+        .find_test_data(&f, &path);
+        let plain_steps = plain.stats.witness_steps.expect("witness");
+        let concat_steps = concat.stats.witness_steps.expect("witness");
+        assert!(concat_steps < plain_steps, "{concat_steps} < {plain_steps}");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let f = parse_function("void f(bool a) { if (a) { x(); } }").expect("parse");
+        let result = checker().find_test_data(&f, &PathQuery::any_execution());
+        assert!(result.stats.state_bits > 0);
+        assert!(result.stats.model_transitions > 0);
+        assert!(result.stats.states_created > 0);
+        assert_eq!(
+            result.stats.memory_estimate_bytes,
+            result.stats.states_created * result.stats.state_bytes
+        );
+    }
+}

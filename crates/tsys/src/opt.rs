@@ -1,0 +1,722 @@
+//! The six state-space optimisations of Section 3.2.
+//!
+//! Four of them are source-to-source transformations on the analysed function
+//! (the model is built from the transformed source):
+//!
+//! * **Reverse CSE** (3.2.1) — single-assignment temporaries are replaced by
+//!   their defining expressions and disappear from the state vector.
+//! * **Live-variable analysis** (3.2.2) — variables that are never read are
+//!   dropped, and locals with disjoint lifetimes share one memory location.
+//! * **Variable initialisation** (3.2.5) — locals without an initialiser get
+//!   one, shrinking the set of initial states `D_I`.
+//! * **Dead variable and code elimination** (3.2.6) — variables (and the code
+//!   manipulating them) that cannot influence control flow are removed.
+//!
+//! The other two live in the encoder ([`crate::encode`]) because they concern
+//! the model rather than the source: **variable range analysis** (3.2.4) and
+//! **statement concatenation** (3.2.3).  [`Optimisations`] carries the flags
+//! for all six so a single switchboard drives the Table-2 ablation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use tmg_minic::ast::{for_each_stmt_in_block_mut, Block, Expr, Function, Stmt, StmtId};
+use tmg_minic::types::Ty;
+
+use crate::encode::EncodeOptions;
+
+/// Switchboard for the six optimisations of Section 3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Optimisations {
+    /// Reverse common-subexpression elimination (3.2.1).
+    pub reverse_cse: bool,
+    /// Live-variable analysis and memory-location sharing (3.2.2).
+    pub live_variable_analysis: bool,
+    /// Statement concatenation (3.2.3).
+    pub statement_concatenation: bool,
+    /// Variable range analysis (3.2.4).
+    pub variable_range_analysis: bool,
+    /// Variable initialisation (3.2.5).
+    pub variable_initialisation: bool,
+    /// Dead variable and code elimination (3.2.6).
+    pub dead_code_elimination: bool,
+}
+
+impl Optimisations {
+    /// No optimisation at all (the paper's "unoptimized" row).
+    pub fn none() -> Optimisations {
+        Optimisations {
+            reverse_cse: false,
+            live_variable_analysis: false,
+            statement_concatenation: false,
+            variable_range_analysis: false,
+            variable_initialisation: false,
+            dead_code_elimination: false,
+        }
+    }
+
+    /// Every optimisation enabled (the paper's "all optimisations used" row).
+    pub fn all() -> Optimisations {
+        Optimisations {
+            reverse_cse: true,
+            live_variable_analysis: true,
+            statement_concatenation: true,
+            variable_range_analysis: true,
+            variable_initialisation: true,
+            dead_code_elimination: true,
+        }
+    }
+
+    /// The encoder options implied by these flags.
+    pub fn encode_options(&self) -> EncodeOptions {
+        EncodeOptions {
+            range_analysis: self.variable_range_analysis,
+            concat_statements: self.statement_concatenation,
+        }
+    }
+
+    /// Human-readable names of the enabled optimisations.
+    pub fn enabled_names(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.reverse_cse {
+            out.push("reverse CSE");
+        }
+        if self.live_variable_analysis {
+            out.push("live-variable analysis");
+        }
+        if self.statement_concatenation {
+            out.push("statement concatenation");
+        }
+        if self.variable_range_analysis {
+            out.push("variable range analysis");
+        }
+        if self.variable_initialisation {
+            out.push("variable initialisation");
+        }
+        if self.dead_code_elimination {
+            out.push("dead variable and code elimination");
+        }
+        out
+    }
+}
+
+impl Default for Optimisations {
+    fn default() -> Self {
+        Optimisations::all()
+    }
+}
+
+/// What the source-level passes did; reported alongside checking statistics
+/// in the Table-2 reproduction.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptReport {
+    /// Temporaries substituted away by reverse CSE.
+    pub substituted_temps: Vec<String>,
+    /// Variables removed because they are never read (live-variable analysis)
+    /// or cannot influence control flow (dead-variable elimination).
+    pub removed_vars: Vec<String>,
+    /// `(kept, merged-away)` pairs of locals now sharing one location.
+    pub merged_vars: Vec<(String, String)>,
+    /// Locals that received a synthetic initialiser.
+    pub initialised_vars: Vec<String>,
+    /// Number of statements removed from the model source.
+    pub removed_stmts: usize,
+}
+
+/// Applies the enabled source-level optimisations to a copy of `function`.
+///
+/// Dead-code elimination may remove whole branch statements whose bodies only
+/// manipulate variables that cannot influence control flow; use
+/// [`apply_optimisations_preserving`] to keep the statements a path query
+/// refers to.
+pub fn apply_optimisations(function: &Function, opts: &Optimisations) -> (Function, OptReport) {
+    apply_optimisations_preserving(function, opts, &HashSet::new())
+}
+
+/// Like [`apply_optimisations`] but never removes or rewrites the statements
+/// listed in `preserve` (used by the checker so the branches mentioned in a
+/// path query survive dead-code elimination).
+pub fn apply_optimisations_preserving(
+    function: &Function,
+    opts: &Optimisations,
+    preserve: &HashSet<StmtId>,
+) -> (Function, OptReport) {
+    let mut f = function.clone();
+    let mut report = OptReport::default();
+    if opts.dead_code_elimination {
+        dead_code_elimination(&mut f, preserve, &mut report);
+    }
+    if opts.reverse_cse {
+        reverse_cse(&mut f, &mut report);
+    }
+    if opts.live_variable_analysis {
+        live_variable_analysis(&mut f, &mut report);
+    }
+    if opts.variable_initialisation {
+        variable_initialisation(&mut f, &mut report);
+    }
+    (f, report)
+}
+
+// ---------------------------------------------------------------------------
+// Reverse CSE (3.2.1)
+// ---------------------------------------------------------------------------
+
+/// Substitutes single-assignment temporaries whose defining expression only
+/// reads function parameters or constants, then drops the temporary and its
+/// assignment.  (The restriction guarantees the defining expression still has
+/// the same value at every use site.)
+fn reverse_cse(f: &mut Function, report: &mut OptReport) {
+    let params: HashSet<String> = f.params.iter().map(|p| p.name.clone()).collect();
+    loop {
+        let mut candidate: Option<(String, Expr)> = None;
+        let mut assign_counts: HashMap<String, usize> = HashMap::new();
+        let mut defs: HashMap<String, Expr> = HashMap::new();
+        f.for_each_stmt(&mut |s| {
+            if let Stmt::Assign { target, value, .. } = s {
+                *assign_counts.entry(target.clone()).or_insert(0) += 1;
+                defs.insert(target.clone(), value.clone());
+            }
+        });
+        for local in &f.locals {
+            if local.init.is_some() {
+                continue;
+            }
+            if assign_counts.get(&local.name) != Some(&1) {
+                continue;
+            }
+            let def = defs.get(&local.name).expect("counted assignment").clone();
+            let reads_only_params = def
+                .referenced_vars()
+                .iter()
+                .all(|v| params.contains(*v));
+            if reads_only_params {
+                candidate = Some((local.name.clone(), def));
+                break;
+            }
+        }
+        let Some((name, def)) = candidate else {
+            return;
+        };
+        // Drop the defining assignment, substitute all reads, remove the decl.
+        remove_statements(&mut f.body, &mut |s| {
+            matches!(s, Stmt::Assign { target, .. } if target == &name)
+        }, report);
+        substitute_reads(&mut f.body, &name, &def);
+        f.locals.retain(|l| l.name != name);
+        report.substituted_temps.push(name);
+    }
+}
+
+fn substitute_reads(block: &mut Block, name: &str, replacement: &Expr) {
+    for_each_stmt_in_block_mut(block, &mut |s| match s {
+        Stmt::Assign { value, .. } => *value = value.substitute(name, replacement),
+        Stmt::Call { args, .. } => {
+            for a in args.iter_mut() {
+                *a = a.substitute(name, replacement);
+            }
+        }
+        Stmt::If { cond, .. } => *cond = cond.substitute(name, replacement),
+        Stmt::Switch { selector, .. } => *selector = selector.substitute(name, replacement),
+        Stmt::While { cond, .. } => *cond = cond.substitute(name, replacement),
+        Stmt::Return { value, .. } => {
+            if let Some(v) = value {
+                *v = v.substitute(name, replacement);
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Live-variable analysis (3.2.2)
+// ---------------------------------------------------------------------------
+
+/// Removes locals that are never read (together with the assignments feeding
+/// them) and merges locals with disjoint lifetimes onto one location.
+fn live_variable_analysis(f: &mut Function, report: &mut OptReport) {
+    // (a) unused-variable removal.
+    let read_vars = collect_read_vars(f);
+    let unused: Vec<String> = f
+        .locals
+        .iter()
+        .filter(|l| !read_vars.contains(&l.name))
+        .map(|l| l.name.clone())
+        .collect();
+    for name in &unused {
+        remove_statements(&mut f.body, &mut |s| {
+            matches!(s, Stmt::Assign { target, .. } if target == name)
+        }, report);
+        f.locals.retain(|l| &l.name != name);
+        report.removed_vars.push(name.clone());
+    }
+
+    // (b) lifetime-based merging over the pre-order statement index.
+    // Variables whose very first mention is a *read* may be uninitialised
+    // (free in the model); sharing a location with them would alias that free
+    // read onto another variable's previous value and change the model, so
+    // they are excluded from merging.
+    let mut mentions: HashMap<String, (usize, usize)> = HashMap::new();
+    let mut read_first: HashSet<String> = HashSet::new();
+    let mut idx = 0usize;
+    f.for_each_stmt(&mut |s| {
+        let mut touch = |name: &str, is_read: bool| {
+            if is_read && !mentions.contains_key(name) {
+                read_first.insert(name.to_owned());
+            }
+            let e = mentions.entry(name.to_owned()).or_insert((idx, idx));
+            e.0 = e.0.min(idx);
+            e.1 = e.1.max(idx);
+        };
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                for v in value.referenced_vars() {
+                    touch(v, true);
+                }
+                touch(target, false);
+            }
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    for v in a.referenced_vars() {
+                        touch(v, true);
+                    }
+                }
+            }
+            Stmt::If { cond, .. } => {
+                for v in cond.referenced_vars() {
+                    touch(v, true);
+                }
+            }
+            Stmt::Switch { selector, .. } => {
+                for v in selector.referenced_vars() {
+                    touch(v, true);
+                }
+            }
+            Stmt::While { cond, .. } => {
+                for v in cond.referenced_vars() {
+                    touch(v, true);
+                }
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    for r in v.referenced_vars() {
+                        touch(r, true);
+                    }
+                }
+            }
+        }
+        idx += 1;
+    });
+
+    let mergeable: Vec<(String, Ty, (usize, usize))> = f
+        .locals
+        .iter()
+        .filter(|l| l.init.is_none() && !read_first.contains(&l.name))
+        .filter_map(|l| mentions.get(&l.name).map(|span| (l.name.clone(), l.ty, *span)))
+        .collect();
+    let mut merged_away: HashSet<String> = HashSet::new();
+    for i in 0..mergeable.len() {
+        if merged_away.contains(&mergeable[i].0) {
+            continue;
+        }
+        for j in (i + 1)..mergeable.len() {
+            if merged_away.contains(&mergeable[j].0) {
+                continue;
+            }
+            let (ref a, ty_a, span_a) = mergeable[i];
+            let (ref b, ty_b, span_b) = mergeable[j];
+            let disjoint = span_a.1 < span_b.0 || span_b.1 < span_a.0;
+            if ty_a == ty_b && disjoint {
+                rename_var(&mut f.body, b, a);
+                f.locals.retain(|l| &l.name != b);
+                merged_away.insert(b.clone());
+                report.merged_vars.push((a.clone(), b.clone()));
+            }
+        }
+    }
+}
+
+fn collect_read_vars(f: &Function) -> HashSet<String> {
+    let mut read = HashSet::new();
+    f.for_each_stmt(&mut |s| {
+        let mut add = |e: &Expr| {
+            for v in e.referenced_vars() {
+                read.insert(v.to_owned());
+            }
+        };
+        match s {
+            Stmt::Assign { value, .. } => add(value),
+            Stmt::Call { args, .. } => args.iter().for_each(add),
+            Stmt::If { cond, .. } => add(cond),
+            Stmt::Switch { selector, .. } => add(selector),
+            Stmt::While { cond, .. } => add(cond),
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    add(v);
+                }
+            }
+        }
+    });
+    read
+}
+
+fn rename_var(block: &mut Block, from: &str, to: &str) {
+    let replacement = Expr::var(to);
+    for_each_stmt_in_block_mut(block, &mut |s| {
+        if let Stmt::Assign { target, .. } = s {
+            if target == from {
+                *target = to.to_owned();
+            }
+        }
+    });
+    substitute_reads(block, from, &replacement);
+}
+
+// ---------------------------------------------------------------------------
+// Variable initialisation (3.2.5)
+// ---------------------------------------------------------------------------
+
+/// Gives every uninitialised local a zero initialiser.  This does not change
+/// the size of the state space `|D|` but collapses the initial-state set
+/// `D_I` to a single point per input assignment (matching the zero-filled
+/// `.bss` semantics of the embedded targets the generated code runs on).
+fn variable_initialisation(f: &mut Function, report: &mut OptReport) {
+    for local in &mut f.locals {
+        if local.init.is_none() {
+            local.init = Some(Expr::int(0));
+            report.initialised_vars.push(local.name.clone());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dead variable and code elimination (3.2.6)
+// ---------------------------------------------------------------------------
+
+/// Removes variables that cannot influence control flow, the assignments and
+/// calls that only feed them, and whole branch statements that neither test a
+/// control-relevant variable nor contain any surviving statement.
+fn dead_code_elimination(f: &mut Function, preserve: &HashSet<StmtId>, report: &mut OptReport) {
+    // Control-relevant variables: read in any condition, transitively closed
+    // over assignments into relevant variables.
+    let mut relevant: HashSet<String> = HashSet::new();
+    f.for_each_stmt(&mut |s| {
+        let cond = match s {
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => Some(cond),
+            Stmt::Switch { selector, .. } => Some(selector),
+            _ => None,
+        };
+        if let Some(c) = cond {
+            for v in c.referenced_vars() {
+                relevant.insert(v.to_owned());
+            }
+        }
+    });
+    loop {
+        let before = relevant.len();
+        f.for_each_stmt(&mut |s| {
+            if let Stmt::Assign { target, value, .. } = s {
+                if relevant.contains(target) {
+                    for v in value.referenced_vars() {
+                        relevant.insert(v.to_owned());
+                    }
+                }
+            }
+        });
+        if relevant.len() == before {
+            break;
+        }
+    }
+
+    // Remove assignments to irrelevant variables, except preserved
+    // statements.  Calls are kept: they never influence control flow, but
+    // they anchor the branches the measurement phase cares about.
+    remove_statements(&mut f.body, &mut |s| match s {
+        Stmt::Assign { id, target, .. } => !preserve.contains(id) && !relevant.contains(target),
+        _ => false,
+    }, report);
+
+    // Remove branch statements whose condition is irrelevant to any surviving
+    // code: no preserved statement inside, no surviving statement inside, and
+    // the branch itself not preserved.
+    remove_statements(&mut f.body, &mut |s| match s {
+        Stmt::If {
+            id,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            !preserve.contains(id)
+                && block_is_empty_deep(then_branch)
+                && else_branch.as_ref().map(block_is_empty_deep).unwrap_or(true)
+        }
+        Stmt::Switch {
+            id, cases, default, ..
+        } => {
+            !preserve.contains(id)
+                && cases.iter().all(|c| block_is_empty_deep(&c.body))
+                && default.as_ref().map(block_is_empty_deep).unwrap_or(true)
+        }
+        Stmt::While { id, body, .. } => !preserve.contains(id) && block_is_empty_deep(body),
+        _ => false,
+    }, report);
+
+    // Drop declarations of locals that no longer appear anywhere.
+    let still_used = collect_mentioned_vars(f);
+    let removed: Vec<String> = f
+        .locals
+        .iter()
+        .filter(|l| !still_used.contains(&l.name))
+        .map(|l| l.name.clone())
+        .collect();
+    f.locals.retain(|l| still_used.contains(&l.name));
+    report.removed_vars.extend(removed);
+}
+
+fn collect_mentioned_vars(f: &Function) -> HashSet<String> {
+    let mut out = collect_read_vars(f);
+    f.for_each_stmt(&mut |s| {
+        if let Stmt::Assign { target, .. } = s {
+            out.insert(target.clone());
+        }
+    });
+    out
+}
+
+fn block_is_empty_deep(block: &Block) -> bool {
+    block.stmts.is_empty()
+}
+
+/// Removes every statement matching `pred` from `block` and all nested
+/// blocks, counting removals in the report.
+fn remove_statements(
+    block: &mut Block,
+    pred: &mut impl FnMut(&Stmt) -> bool,
+    report: &mut OptReport,
+) {
+    let before = block.stmts.len();
+    block.stmts.retain(|s| !pred(s));
+    report.removed_stmts += before - block.stmts.len();
+    for stmt in &mut block.stmts {
+        match stmt {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                remove_statements(then_branch, pred, report);
+                if let Some(e) = else_branch {
+                    remove_statements(e, pred, report);
+                }
+            }
+            Stmt::Switch { cases, default, .. } => {
+                for case in cases.iter_mut() {
+                    remove_statements(&mut case.body, pred, report);
+                }
+                if let Some(d) = default {
+                    remove_statements(d, pred, report);
+                }
+            }
+            Stmt::While { body, .. } => remove_statements(body, pred, report),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_function;
+    use tmg_minic::parse_function;
+
+    fn optimise(src: &str, opts: Optimisations) -> (Function, OptReport) {
+        apply_optimisations(&parse_function(src).expect("parse"), &opts)
+    }
+
+    #[test]
+    fn reverse_cse_substitutes_single_assignment_temps() {
+        let src = "void f(int b) { int a; int c; int d; a = b + 1; c = a + b; d = a * 2; if (c > d) { g(); } }";
+        let (f, report) = optimise(
+            src,
+            Optimisations {
+                reverse_cse: true,
+                ..Optimisations::none()
+            },
+        );
+        // `a`, `c` and `d` are all single-assignment temporaries derived from
+        // the parameter `b`, so all three disappear (the paper's example has
+        // three substitutable temporaries as well).
+        assert_eq!(report.substituted_temps.len(), 3);
+        assert!(report.substituted_temps.contains(&"a".to_owned()));
+        assert!(f.decl("a").is_none());
+        assert!(f.locals.is_empty());
+        // The surviving condition only reads the parameter.
+        let mut cond_vars = Vec::new();
+        f.for_each_stmt(&mut |s| {
+            if let Stmt::If { cond, .. } = s {
+                cond_vars = cond.referenced_vars().iter().map(|v| v.to_string()).collect();
+            }
+        });
+        assert!(cond_vars.iter().all(|v| v == "b"));
+    }
+
+    #[test]
+    fn reverse_cse_leaves_multiply_assigned_vars_alone() {
+        let src = "void f(int b) { int a; a = b + 1; a = b + 2; if (a > 0) { g(); } }";
+        let (f, report) = optimise(
+            src,
+            Optimisations {
+                reverse_cse: true,
+                ..Optimisations::none()
+            },
+        );
+        assert!(report.substituted_temps.is_empty());
+        assert!(f.decl("a").is_some());
+    }
+
+    #[test]
+    fn live_variable_analysis_removes_unused_vars() {
+        let src = "void f(int a) { int unused1; int unused2; int used; used = a; unused1 = 3; if (used > 0) { g(); } }";
+        let (f, report) = optimise(
+            src,
+            Optimisations {
+                live_variable_analysis: true,
+                ..Optimisations::none()
+            },
+        );
+        assert!(report.removed_vars.contains(&"unused1".to_owned()));
+        assert!(report.removed_vars.contains(&"unused2".to_owned()));
+        assert!(f.decl("unused1").is_none());
+        assert!(f.decl("used").is_some());
+        assert!(report.removed_stmts >= 1);
+    }
+
+    #[test]
+    fn live_variable_analysis_merges_disjoint_lifetimes() {
+        let src = r#"
+            void f(int a) {
+                int early; int late;
+                early = a + 1;
+                if (early > 2) { g(); }
+                late = a - 1;
+                if (late < 0) { h(); }
+            }
+        "#;
+        let (f, report) = optimise(
+            src,
+            Optimisations {
+                live_variable_analysis: true,
+                ..Optimisations::none()
+            },
+        );
+        assert_eq!(report.merged_vars.len(), 1);
+        assert_eq!(f.locals.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_lifetimes_are_not_merged() {
+        let src = "void f(int a) { int x; int y; x = a; y = a + 1; if (x > y) { g(); } }";
+        let (f, report) = optimise(
+            src,
+            Optimisations {
+                live_variable_analysis: true,
+                ..Optimisations::none()
+            },
+        );
+        assert!(report.merged_vars.is_empty());
+        assert_eq!(f.locals.len(), 2);
+    }
+
+    #[test]
+    fn variable_initialisation_fills_in_zero() {
+        let src = "void f(int a) { int u; int v = 3; u = a; if (u > 0) { g(); } }";
+        let (f, report) = optimise(
+            src,
+            Optimisations {
+                variable_initialisation: true,
+                ..Optimisations::none()
+            },
+        );
+        assert_eq!(report.initialised_vars, vec!["u".to_owned()]);
+        assert_eq!(f.decl("u").and_then(|d| d.init.clone()), Some(Expr::int(0)));
+        assert_eq!(f.decl("v").and_then(|d| d.init.clone()), Some(Expr::int(3)));
+    }
+
+    #[test]
+    fn dead_code_elimination_removes_non_control_variables_and_branches() {
+        let src = r#"
+            void f(int mode __range(0, 3), int dbg) {
+                int counter; int relevant;
+                relevant = mode + 1;
+                counter = counter + 1;
+                if (dbg > 0) { counter = counter + 2; }
+                if (relevant > 2) { act(); }
+            }
+        "#;
+        let (f, report) = optimise(
+            src,
+            Optimisations {
+                dead_code_elimination: true,
+                ..Optimisations::none()
+            },
+        );
+        // `counter` never reaches a condition; `dbg`'s branch only feeds it.
+        assert!(f.decl("counter").is_none());
+        assert!(report.removed_vars.contains(&"counter".to_owned()));
+        // The `if (dbg > 0)` branch is gone, the `if (relevant > 2)` stays.
+        assert_eq!(f.branch_count(), 1);
+        // `relevant` is control-relevant and survives.
+        assert!(f.decl("relevant").is_some());
+    }
+
+    #[test]
+    fn dead_code_elimination_respects_preserved_statements() {
+        let src = "void f(int dbg) { int c; if (dbg > 0) { c = 1; } }";
+        let parsed = parse_function(src).expect("parse");
+        let mut branch_id = None;
+        parsed.for_each_stmt(&mut |s| {
+            if matches!(s, Stmt::If { .. }) {
+                branch_id = Some(s.id());
+            }
+        });
+        let preserve: HashSet<StmtId> = branch_id.into_iter().collect();
+        let (f, _) = apply_optimisations_preserving(
+            &parsed,
+            &Optimisations {
+                dead_code_elimination: true,
+                ..Optimisations::none()
+            },
+            &preserve,
+        );
+        assert_eq!(f.branch_count(), 1, "preserved branch must survive");
+    }
+
+    #[test]
+    fn all_optimisations_shrink_the_model() {
+        let src = r#"
+            void f(bool go, char speed __range(0, 2)) {
+                int tmp; int unused; int dead; int st;
+                tmp = speed + 1;
+                dead = dead + 5;
+                st = 0;
+                if (go && tmp > 1) { st = 1; } else { st = 2; }
+                if (st == 1) { act1(); } else { act2(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let naive = encode_function(&f, &Optimisations::none().encode_options());
+        let (opt_f, _) = apply_optimisations(&f, &Optimisations::all());
+        let optimised = encode_function(&opt_f, &Optimisations::all().encode_options());
+        assert!(optimised.state_bits() < naive.state_bits());
+        assert!(optimised.vars.len() < naive.vars.len());
+        assert!(optimised.transitions.len() <= naive.transitions.len());
+        assert!(optimised.initial_state_count() < naive.initial_state_count());
+    }
+
+    #[test]
+    fn optimisation_switchboard_helpers() {
+        assert_eq!(Optimisations::none().enabled_names().len(), 0);
+        assert_eq!(Optimisations::all().enabled_names().len(), 6);
+        assert!(Optimisations::all().encode_options().range_analysis);
+        assert!(!Optimisations::none().encode_options().concat_statements);
+        assert_eq!(Optimisations::default(), Optimisations::all());
+    }
+}

@@ -1,0 +1,66 @@
+//! Integration test: the complete pipeline on the Section-4 case study.
+
+use tmg_cfg::build_cfg;
+use tmg_codegen::{wiper_function, wiper_input_space, WIPER_STATE_COUNT};
+use tmg_core::WcetAnalysis;
+
+fn case_study_bound() -> u128 {
+    let lowered = build_cfg(&wiper_function());
+    lowered
+        .regions
+        .root()
+        .children
+        .iter()
+        .map(|c| lowered.regions.region(*c).path_count)
+        .max()
+        .unwrap_or(1)
+}
+
+#[test]
+fn wiper_case_study_bound_dominates_the_exhaustive_wcet() {
+    let function = wiper_function();
+    let space = wiper_input_space();
+    let report = WcetAnalysis::new(case_study_bound())
+        .analyse_with_exhaustive(&function, &space)
+        .expect("analysis");
+    let exhaustive = report.exhaustive_max.expect("exhaustive maximum");
+    assert!(
+        report.wcet_bound >= exhaustive,
+        "bound {} must dominate the exhaustive maximum {}",
+        report.wcet_bound,
+        exhaustive
+    );
+    // The paper's pessimism is 274 / 250 ≈ 1.10; a simple timing schema on a
+    // deterministic target should stay well below 1.6.
+    let pessimism = report.pessimism().expect("pessimism");
+    assert!(pessimism < 1.6, "pessimism {pessimism}");
+    // One program segment per state case arm (plus the surrounding blocks).
+    assert!(report.segments > WIPER_STATE_COUNT);
+    assert!(report.unknown == 0, "every goal must be resolved");
+}
+
+#[test]
+fn coarser_partitions_use_fewer_instrumentation_points_on_the_wiper() {
+    let function = wiper_function();
+    let fine = WcetAnalysis::new(1).analyse(&function).expect("fine analysis");
+    let coarse = WcetAnalysis::new(case_study_bound())
+        .analyse(&function)
+        .expect("coarse analysis");
+    assert!(fine.instrumentation_points > coarse.instrumentation_points);
+    assert!(fine.measurements <= coarse.measurements * 10);
+    // Both are sound with respect to each other's ordering: the finer
+    // partition can only be more pessimistic.
+    assert!(fine.wcet_bound >= coarse.wcet_bound);
+}
+
+#[test]
+fn analysis_report_display_is_informative() {
+    let function = wiper_function();
+    let report = WcetAnalysis::new(case_study_bound())
+        .analyse(&function)
+        .expect("analysis");
+    let text = report.to_string();
+    assert!(text.contains("wiper_control_step"));
+    assert!(text.contains("WCET bound"));
+    assert!(text.contains("segments"));
+}

@@ -1,0 +1,107 @@
+//! Integration test: the Table-2 optimisation ablation has the shape the
+//! paper reports (every optimisation helps, all of them together help most,
+//! statement concatenation is the one that shortens the witness run).
+
+use tmg_cfg::{build_cfg, enumerate_region_paths};
+use tmg_codegen::table2::table2_function;
+use tmg_tsys::{apply_optimisations, encode_function, CheckOutcome, ModelChecker, Optimisations, PathQuery};
+
+fn deepest_feasible_query() -> PathQuery {
+    let function = table2_function();
+    let lowered = build_cfg(&function);
+    let mut paths = enumerate_region_paths(&lowered.cfg, lowered.regions.root(), 4096)
+        .expect("enumeration");
+    paths.sort_by_key(|p| std::cmp::Reverse(p.len()));
+    let checker = ModelChecker::new();
+    paths
+        .iter()
+        .map(|p| PathQuery::new(p.decisions.clone()))
+        .find(|q| {
+            matches!(
+                checker.find_test_data(&table2_function(), q).outcome,
+                CheckOutcome::Feasible { .. }
+            )
+        })
+        .expect("at least one feasible deep path")
+}
+
+#[test]
+fn all_optimisations_beat_the_naive_encoding_on_every_cost_axis() {
+    let function = table2_function();
+    let query = deepest_feasible_query();
+    let naive = ModelChecker::with_optimisations(Optimisations::none()).find_test_data(&function, &query);
+    let optimised = ModelChecker::with_optimisations(Optimisations::all()).find_test_data(&function, &query);
+    assert!(matches!(naive.outcome, CheckOutcome::Feasible { .. }));
+    assert!(matches!(optimised.outcome, CheckOutcome::Feasible { .. }));
+    assert!(optimised.stats.transitions_fired < naive.stats.transitions_fired);
+    assert!(optimised.stats.state_bits < naive.stats.state_bits);
+    assert!(optimised.stats.memory_estimate_bytes < naive.stats.memory_estimate_bytes);
+    assert!(optimised.stats.witness_steps.unwrap_or(u64::MAX) < naive.stats.witness_steps.unwrap_or(0).max(1) * 2);
+}
+
+#[test]
+fn each_single_optimisation_never_increases_the_state_vector() {
+    let function = table2_function();
+    let naive_bits = encode_function(&function, &Optimisations::none().encode_options()).state_bits();
+    let singles = [
+        Optimisations { reverse_cse: true, ..Optimisations::none() },
+        Optimisations { live_variable_analysis: true, ..Optimisations::none() },
+        Optimisations { statement_concatenation: true, ..Optimisations::none() },
+        Optimisations { variable_range_analysis: true, ..Optimisations::none() },
+        Optimisations { variable_initialisation: true, ..Optimisations::none() },
+        Optimisations { dead_code_elimination: true, ..Optimisations::none() },
+    ];
+    for opts in singles {
+        let (transformed, _) = apply_optimisations(&function, &opts);
+        let bits = encode_function(&transformed, &opts.encode_options()).state_bits();
+        assert!(
+            bits <= naive_bits,
+            "{:?} must not grow the state vector ({bits} > {naive_bits})",
+            opts.enabled_names()
+        );
+    }
+}
+
+#[test]
+fn the_planted_structure_of_the_table2_module_is_exploited() {
+    let function = table2_function();
+    // Reverse CSE removes the three planted temporaries.
+    let (_, report) = apply_optimisations(
+        &function,
+        &Optimisations { reverse_cse: true, ..Optimisations::none() },
+    );
+    assert_eq!(report.substituted_temps.len(), 3, "t_speed, t_level, t_sum");
+    // Live-variable analysis removes the three unused spares.
+    let (_, report) = apply_optimisations(
+        &function,
+        &Optimisations { live_variable_analysis: true, ..Optimisations::none() },
+    );
+    let spares = report
+        .removed_vars
+        .iter()
+        .filter(|v| v.starts_with("spare"))
+        .count();
+    assert_eq!(spares, 3, "spare1..spare3");
+    // Dead-code elimination removes the diagnosis counters that never reach
+    // relevant control flow.
+    let (transformed, report) = apply_optimisations(
+        &function,
+        &Optimisations { dead_code_elimination: true, ..Optimisations::none() },
+    );
+    assert!(report.removed_vars.iter().any(|v| v == "log_count"));
+    assert!(report.removed_vars.iter().any(|v| v == "last_cmd"));
+    assert!(transformed.branch_count() < function.branch_count());
+    // Variable initialisation touches every uninitialised local.
+    let (_, report) = apply_optimisations(
+        &function,
+        &Optimisations { variable_initialisation: true, ..Optimisations::none() },
+    );
+    assert!(report.initialised_vars.len() >= 9);
+    // Statement concatenation reduces the number of model transitions.
+    let naive = encode_function(&function, &Optimisations::none().encode_options());
+    let fused = encode_function(
+        &function,
+        &Optimisations { statement_concatenation: true, ..Optimisations::none() }.encode_options(),
+    );
+    assert!(fused.transitions.len() < naive.transitions.len());
+}

@@ -1,0 +1,81 @@
+//! Integration test: Table 1 of the paper is reproduced bit-for-bit by the
+//! partitioning layer on the Figure-1 example.
+
+use tmg_cfg::build_cfg;
+use tmg_codegen::figure1_function;
+use tmg_core::PartitionPlan;
+
+#[test]
+fn table1_is_reproduced_exactly() {
+    let lowered = build_cfg(&figure1_function(false));
+    let expected: [(u128, usize, u128); 7] = [
+        (1, 22, 11),
+        (2, 16, 9),
+        (3, 16, 9),
+        (4, 16, 9),
+        (5, 16, 9),
+        (6, 2, 6),
+        (7, 2, 6),
+    ];
+    for (bound, ip, m) in expected {
+        let plan = PartitionPlan::compute(&lowered, bound);
+        assert_eq!(plan.instrumentation_points(), ip, "ip at b = {bound}");
+        assert_eq!(plan.measurements(), m, "m at b = {bound}");
+    }
+}
+
+#[test]
+fn figure1_cfg_has_the_papers_shape() {
+    let lowered = build_cfg(&figure1_function(false));
+    // The paper's Figure-1 CFG: 11 measured nodes (start + 10), 6 paths.
+    assert_eq!(lowered.cfg.measurable_units().len(), 11);
+    assert_eq!(lowered.regions.root().path_count, 6);
+    assert_eq!(lowered.cfg.conditional_branch_count(), 3);
+    lowered.cfg.validate().expect("valid CFG");
+    lowered.regions.validate(&lowered.cfg).expect("single-entry regions");
+}
+
+#[test]
+fn the_collapsed_segment_at_bound_two_is_the_inner_if_region() {
+    let lowered = build_cfg(&figure1_function(false));
+    let plan = PartitionPlan::compute(&lowered, 2);
+    let collapsed: Vec<_> = plan
+        .segments
+        .iter()
+        .filter(|s| s.is_region() && s.blocks.len() > 1)
+        .collect();
+    // Exactly one multi-block segment: the paper's "PS between node 4 and 15"
+    // with four basic blocks and two paths.
+    assert_eq!(collapsed.len(), 1);
+    assert_eq!(collapsed[0].blocks.len(), 4);
+    assert_eq!(collapsed[0].paths, 2);
+}
+
+#[test]
+fn tradeoff_sweep_is_monotone_on_the_generated_automotive_code() {
+    use tmg_codegen::{generate_automotive, AutomotiveConfig};
+    use tmg_core::tradeoff::{log_spaced_bounds, sweep_path_bounds};
+    let generated = generate_automotive(&AutomotiveConfig::small(42));
+    let lowered = build_cfg(&generated.function);
+    let sweep = sweep_path_bounds(&lowered, &log_spaced_bounds(100_000));
+    assert_eq!(
+        sweep[0].instrumentation_points,
+        lowered.cfg.measurable_units().len() * 2
+    );
+    for pair in sweep.windows(2) {
+        assert!(pair[1].instrumentation_points <= pair[0].instrumentation_points);
+    }
+    // Towards the end-to-end side of the curve the number of measurements
+    // explodes (Figure 3) — unless the function is so small that it collapses
+    // into a single end-to-end segment within the swept range.
+    let first = sweep.first().expect("sweep");
+    let last = sweep.last().expect("sweep");
+    assert!(
+        last.measurements > first.measurements || last.instrumentation_points == 2,
+        "m must grow as ip shrinks (m {} -> {}, ip {} -> {})",
+        first.measurements,
+        last.measurements,
+        first.instrumentation_points,
+        last.instrumentation_points
+    );
+}

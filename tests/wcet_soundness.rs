@@ -1,0 +1,112 @@
+//! Property-based soundness test: for every concrete input, the measured
+//! end-to-end execution time never exceeds the WCET bound computed by the
+//! partition-measure-schema pipeline.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use tmg_cfg::build_cfg;
+use tmg_codegen::wiper_function;
+use tmg_core::WcetAnalysis;
+use tmg_minic::value::InputVector;
+use tmg_minic::Function;
+use tmg_target::{CostModel, Machine};
+
+struct Fixture {
+    function: Function,
+    bound_fine: u64,
+    bound_coarse: u64,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let function = wiper_function();
+        let bound_fine = WcetAnalysis::new(1)
+            .analyse(&function)
+            .expect("fine analysis")
+            .wcet_bound;
+        let bound_coarse = WcetAnalysis::new(64)
+            .analyse(&function)
+            .expect("coarse analysis")
+            .wcet_bound;
+        Fixture {
+            function,
+            bound_fine,
+            bound_coarse,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn no_input_exceeds_the_wcet_bound(
+        state in 0i64..9,
+        speed in 0i64..3,
+        wash in 0i64..2,
+        endpos in 0i64..2,
+        interval in 0i64..2,
+        overcurrent in 0i64..2,
+    ) {
+        let fx = fixture();
+        let lowered = build_cfg(&fx.function);
+        let machine = Machine::new(&lowered.cfg, &fx.function, CostModel::hcs12());
+        let inputs = InputVector::new()
+            .with("current_state", state)
+            .with("speed", speed)
+            .with("wash", wash)
+            .with("endpos", endpos)
+            .with("interval", interval)
+            .with("overcurrent", overcurrent);
+        let cycles = machine.end_to_end_cycles(&inputs).expect("run");
+        prop_assert!(cycles <= fx.bound_fine, "fine bound violated: {} > {}", cycles, fx.bound_fine);
+        prop_assert!(cycles <= fx.bound_coarse, "coarse bound violated: {} > {}", cycles, fx.bound_coarse);
+    }
+
+    #[test]
+    fn out_of_range_states_still_respect_the_bound(raw_state in -128i64..128) {
+        // The chart's default arm catches unknown states; the bound must hold
+        // for them too because the type wrapping keeps them in the modelled
+        // domain.
+        let fx = fixture();
+        let lowered = build_cfg(&fx.function);
+        let machine = Machine::new(&lowered.cfg, &fx.function, CostModel::hcs12());
+        let inputs = InputVector::new().with("current_state", raw_state).with("speed", 1);
+        let cycles = machine.end_to_end_cycles(&inputs).expect("run");
+        prop_assert!(cycles <= fx.bound_fine);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The partitioning invariants hold for arbitrary generated automotive
+    /// programs: segments partition the measurable units and `ip` decreases
+    /// monotonically with the path bound.
+    #[test]
+    fn partition_invariants_hold_for_generated_programs(seed in 0u64..64) {
+        use tmg_codegen::{generate_automotive, AutomotiveConfig};
+        use tmg_core::PartitionPlan;
+        let generated = generate_automotive(&AutomotiveConfig::small(seed));
+        let lowered = build_cfg(&generated.function);
+        let mut previous_ip = usize::MAX;
+        for bound in [1u128, 2, 4, 16, 1024] {
+            let plan = PartitionPlan::compute(&lowered, bound);
+            let mut covered: Vec<_> = plan
+                .segments
+                .iter()
+                .flat_map(|s| s.blocks.iter().copied())
+                .collect();
+            covered.sort_unstable();
+            let total: usize = plan.segments.iter().map(|s| s.blocks.len()).sum();
+            prop_assert_eq!(total, covered.len(), "segments overlap at bound {}", bound);
+            covered.dedup();
+            let mut units = lowered.cfg.measurable_units();
+            units.sort_unstable();
+            prop_assert_eq!(covered, units, "segments must cover all units at bound {}", bound);
+            prop_assert!(plan.instrumentation_points() <= previous_ip);
+            previous_ip = plan.instrumentation_points();
+        }
+    }
+}
