@@ -18,13 +18,20 @@ fn bench_case_study(c: &mut Criterion) {
         result.exhaustive_max,
         result.pessimism
     );
-    assert!(result.wcet_bound >= result.exhaustive_max, "the bound must be sound");
+    assert!(
+        result.wcet_bound >= result.exhaustive_max,
+        "the bound must be sound"
+    );
 
     let function = wiper_function();
     let space = wiper_input_space();
     let bound = wiper_case_bound();
     c.bench_function("case_study/full_pipeline", |b| {
-        b.iter(|| WcetAnalysis::new(bound).analyse(&function).expect("analysis"))
+        b.iter(|| {
+            WcetAnalysis::new(bound)
+                .analyse(&function)
+                .expect("analysis")
+        })
     });
     c.bench_function("case_study/exhaustive_end_to_end", |b| {
         b.iter(wiper_exhaustive_max)

@@ -23,9 +23,11 @@ fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     for (label, opts) in table2_configurations() {
         let checker = ModelChecker::with_optimisations(opts);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &checker, |b, checker| {
-            b.iter(|| checker.find_test_data(&function, &query))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &checker,
+            |b, checker| b.iter(|| checker.find_test_data(&function, &query)),
+        );
     }
     group.finish();
 }

@@ -1,14 +1,29 @@
-//! Prints the reproduced tables and figures of the paper's evaluation.
+//! Prints the reproduced tables and figures of the paper's evaluation, and
+//! emits the machine-readable perf baseline.
 //!
 //! ```text
 //! cargo run -p tmg-bench --release --bin reproduce -- all
 //! cargo run -p tmg-bench --release --bin reproduce -- table1 table2 case-study
+//! cargo run -p tmg-bench --release --bin reproduce -- bench     # writes BENCH_pr1.json
+//! cargo run -p tmg-bench --release --bin reproduce -- --quick   # CI smoke run
 //! ```
+//!
+//! `bench` times every workload twice — pre-optimisation implementation
+//! (clone-per-state checker, sequential test generation) and optimised
+//! implementation (arena checker, parallel generation) — verifies the results
+//! are identical, and writes `BENCH_pr1.json` (path overridable with the
+//! `TMG_BENCH_OUT` environment variable).
 
-use tmg_bench::{case_study, figure2_3, table1, table1_paper, table2, testgen_experiment};
+use tmg_bench::{
+    case_study, figure2_3, perf_report, table1, table1_paper, table2, testgen_experiment,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--quick") {
+        run_quick();
+        return;
+    }
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1".into(),
@@ -29,14 +44,69 @@ fn main() {
             "table2" => print_table2(),
             "case-study" | "case_study" => print_case_study(),
             "testgen" => print_testgen(),
-            other => eprintln!("unknown experiment `{other}` (expected table1, figure2, figure3, table2, case-study, testgen, all)"),
+            "bench" => run_bench(),
+            other => eprintln!("unknown experiment `{other}` (expected table1, figure2, figure3, table2, case-study, testgen, bench, all)"),
         }
     }
 }
 
+/// Fast smoke run for CI: the exact Table-1 reproduction plus one full
+/// (small) pipeline, no perf measurement.
+fn run_quick() {
+    print_table1();
+    assert_eq!(table1(), table1_paper(), "Table 1 must reproduce exactly");
+    let r = case_study();
+    assert!(
+        r.wcet_bound >= r.exhaustive_max,
+        "case-study bound must be sound"
+    );
+    println!(
+        "quick: case study WCET bound {} cycles >= exhaustive {} cycles (pessimism {:.3}) — ok",
+        r.wcet_bound, r.exhaustive_max, r.pessimism
+    );
+}
+
+/// Full perf baseline: times the workloads on the pre-optimisation and the
+/// optimised hot paths, checks result equality, writes `BENCH_pr1.json`.
+fn run_bench() {
+    let report = perf_report();
+    println!("== Perf baseline (before = pre-optimisation, after = optimised) ==");
+    let mut rows = vec![&report.table2, &report.pipeline];
+    rows.extend(report.testgen.iter());
+    for c in rows {
+        println!(
+            "{:<26} before {:>9.2} ms   after {:>9.2} ms   speedup {:>6.2}x   identical: {}",
+            c.name,
+            c.before.as_secs_f64() * 1e3,
+            c.after.as_secs_f64() * 1e3,
+            c.speedup(),
+            c.identical_results
+        );
+    }
+    println!(
+        "hot-path speedup (geomean): {:.2}x   all results identical: {}",
+        report.hot_path_speedup(),
+        report.all_results_identical()
+    );
+    assert!(
+        report.all_results_identical(),
+        "optimised implementations must not change any result"
+    );
+    assert!(
+        report.table1_matches_paper,
+        "Table 1 must reproduce exactly"
+    );
+    let out = std::env::var("TMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr1.json".to_owned());
+    std::fs::write(&out, report.to_json()).expect("write bench json");
+    println!("wrote {out}");
+}
+
 fn print_table1() {
     println!("== Table 1: measurement effort vs path bound (Figure-1 example) ==");
-    println!("{:>8} {:>14} {:>14} {:>14} {:>14}", "bound b", "ip (ours)", "ip (paper)", "m (ours)", "m (paper)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "bound b", "ip (ours)", "ip (paper)", "m (ours)", "m (paper)"
+    );
     for ((b, ip, m), (_, ip_p, m_p)) in table1().into_iter().zip(table1_paper()) {
         println!("{b:>8} {ip:>14} {ip_p:>14} {m:>14} {m_p:>14}");
     }
@@ -57,7 +127,10 @@ fn print_figure2_3(figure2: bool) {
         );
         println!("{:>12} {:>10} {:>12}", "bound b", "ip", "segments");
         for p in &sweep {
-            println!("{:>12} {:>10} {:>12}", p.path_bound, p.instrumentation_points, p.segments);
+            println!(
+                "{:>12} {:>10} {:>12}",
+                p.path_bound, p.instrumentation_points, p.segments
+            );
         }
     } else {
         println!("== Figure 3: measurements m over instrumentation points ip ==");
@@ -81,7 +154,9 @@ fn print_table2() {
             row.label,
             row.duration.as_secs_f64() * 1e3,
             row.memory_bytes as f64 / 1024.0,
-            row.steps.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            row.steps
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
             row.transitions_fired,
             row.state_bits
         );

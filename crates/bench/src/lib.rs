@@ -4,6 +4,10 @@
 //! the paper's evaluation; the Criterion benches time them and the
 //! `reproduce` binary prints them as tables (recorded in `EXPERIMENTS.md`).
 
+pub mod perf;
+
+pub use perf::{perf_report, Comparison, PerfReport};
+
 use serde::Serialize;
 use std::time::Duration;
 use tmg_cfg::build_cfg;
@@ -359,7 +363,11 @@ mod tests {
     fn testgen_resolves_every_goal_on_the_wiper() {
         let result = testgen_experiment();
         assert_eq!(result.unknown, 0);
-        assert!(result.heuristic_ratio > 0.8, "ratio {}", result.heuristic_ratio);
+        assert!(
+            result.heuristic_ratio > 0.8,
+            "ratio {}",
+            result.heuristic_ratio
+        );
         assert!(result.goals >= result.heuristic_covered + result.checker_covered);
     }
 }

@@ -1,0 +1,367 @@
+//! Machine-readable performance baseline (`BENCH_pr1.json`).
+//!
+//! Every PR that touches a hot path needs a number to beat.  This module
+//! times the paper-reproduction workloads (Table 1, Table 2, Figure 2/3,
+//! Section-4 case study) and — for the model-checking hot path this PR
+//! reworked — runs each workload **twice**: once on the pre-optimisation
+//! implementation ([`SearchEngine::Baseline`] checking + sequential test
+//! generation) and once on the optimised one (arena engine + parallel
+//! generation), verifying along the way that WCET bounds, witness
+//! feasibility verdicts and the Table-1 `(ip, m)` statistics are identical
+//! before recording the speedup.
+//!
+//! The JSON is written by hand (the vendored serde is derive-markers only);
+//! the schema is documented in ROADMAP.md under "Open items".
+
+use crate::{
+    case_study, figure2_3, table1, table1_paper, table2_configurations, table2_query, Table1Row,
+};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use tmg_cfg::build_cfg;
+use tmg_codegen::{generate_automotive, table2::table2_function, wiper_function, AutomotiveConfig};
+use tmg_core::{HybridGenerator, PartitionPlan, WcetAnalysis};
+use tmg_minic::parse_function;
+use tmg_tsys::{CheckOutcome, ModelChecker, SearchEngine};
+
+/// Before/after wall times of one reworked workload.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Workload label.
+    pub name: String,
+    /// Wall time on the pre-optimisation implementation.
+    pub before: Duration,
+    /// Wall time on the optimised implementation.
+    pub after: Duration,
+    /// Whether both implementations produced identical results.
+    pub identical_results: bool,
+}
+
+impl Comparison {
+    /// `before / after`.
+    pub fn speedup(&self) -> f64 {
+        self.before.as_secs_f64() / self.after.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The complete perf baseline.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Wall time of the Table-1 partitioning sweep.
+    pub table1_wall: Duration,
+    /// The reproduced Table-1 rows.
+    pub table1_rows: Vec<Table1Row>,
+    /// Whether the rows match the paper exactly.
+    pub table1_matches_paper: bool,
+    /// Wall time of the Figure-2/3 tradeoff sweep.
+    pub figure2_3_wall: Duration,
+    /// Blocks of the generated Figure-2/3 function.
+    pub figure2_3_blocks: usize,
+    /// Wall time of the Section-4 case study (full pipeline, optimised).
+    pub case_study_wall: Duration,
+    /// WCET bound of the case study in cycles.
+    pub case_study_wcet: u64,
+    /// Exhaustive end-to-end maximum in cycles.
+    pub case_study_exhaustive: u64,
+    /// Model-checker before/after comparison on the Table-2 ablation.
+    pub table2: Comparison,
+    /// Test-data-generation before/after comparisons.
+    pub testgen: Vec<Comparison>,
+    /// End-to-end WCET pipeline before/after comparison (wiper case study).
+    pub pipeline: Comparison,
+}
+
+impl PerfReport {
+    /// Geometric mean of the hot-path speedups (Table 2 + test generation).
+    pub fn hot_path_speedup(&self) -> f64 {
+        let mut product = self.table2.speedup();
+        let mut n = 1usize;
+        for c in &self.testgen {
+            product *= c.speedup();
+            n += 1;
+        }
+        product.powf(1.0 / n as f64)
+    }
+
+    /// Whether every before/after pair produced identical results.
+    pub fn all_results_identical(&self) -> bool {
+        self.table2.identical_results
+            && self.pipeline.identical_results
+            && self.testgen.iter().all(|c| c.identical_results)
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"tmg-bench-perf/v1\",");
+        let _ = writeln!(out, "  \"pr\": \"pr1\",");
+        let _ = writeln!(
+            out,
+            "  \"table1\": {{ \"wall_ms\": {:.3}, \"matches_paper\": {}, \"rows\": {} }},",
+            ms(self.table1_wall),
+            self.table1_matches_paper,
+            rows_json(&self.table1_rows)
+        );
+        let _ = writeln!(
+            out,
+            "  \"figure2_3\": {{ \"wall_ms\": {:.3}, \"blocks\": {} }},",
+            ms(self.figure2_3_wall),
+            self.figure2_3_blocks
+        );
+        let _ = writeln!(
+            out,
+            "  \"case_study\": {{ \"wall_ms\": {:.3}, \"wcet_bound_cycles\": {}, \"exhaustive_max_cycles\": {} }},",
+            ms(self.case_study_wall),
+            self.case_study_wcet,
+            self.case_study_exhaustive
+        );
+        let _ = writeln!(out, "  \"table2\": {},", comparison_json(&self.table2));
+        let _ = writeln!(out, "  \"testgen\": [");
+        for (i, c) in self.testgen.iter().enumerate() {
+            let comma = if i + 1 < self.testgen.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{}", comparison_json(c), comma);
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"pipeline\": {},", comparison_json(&self.pipeline));
+        let _ = writeln!(
+            out,
+            "  \"hot_path_speedup_geomean\": {:.3},",
+            self.hot_path_speedup()
+        );
+        let _ = writeln!(
+            out,
+            "  \"all_results_identical\": {}",
+            self.all_results_identical()
+        );
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn rows_json(rows: &[Table1Row]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|(b, ip, m)| format!("[{b}, {ip}, {m}]"))
+        .collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn comparison_json(c: &Comparison) -> String {
+    format!(
+        "{{ \"name\": \"{}\", \"before_ms\": {:.3}, \"after_ms\": {:.3}, \"speedup\": {:.3}, \"identical_results\": {} }}",
+        c.name,
+        ms(c.before),
+        ms(c.after),
+        c.speedup(),
+        c.identical_results
+    )
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed(), value)
+}
+
+/// Runs a workload `runs` times and returns the fastest wall time with the
+/// last result (warm caches, minimal noise).
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best = Duration::MAX;
+    let mut value = None;
+    for _ in 0..runs.max(1) {
+        let (wall, v) = timed(&mut f);
+        best = best.min(wall);
+        value = Some(v);
+    }
+    (best, value.expect("at least one run"))
+}
+
+/// A synthetic module whose goals need the model checker (narrow equality
+/// guards random search cannot hit), biasing the test-generation workload
+/// toward the checker hot path, like the paper's industrial modules.
+fn checker_heavy_function() -> tmg_minic::Function {
+    parse_function(
+        r#"
+        void lookup_dispatch(int key __range(0, 20000), char mode __range(0, 5), char gate __range(0, 1)) {
+            if (key == 1234) { hit1(); }
+            if (key == 8190) { hit2(); }
+            if (key == 19999) { hit3(); }
+            if (mode > 3) { fast(); } else { slow(); }
+            if (mode == 2 && gate) { gated(); }
+            if (key < 0) { never(); }
+        }
+    "#,
+    )
+    .expect("checker-heavy module parses")
+}
+
+/// One test-generation before/after comparison.
+fn compare_testgen(name: &str, function: &tmg_minic::Function, bound: u128) -> Comparison {
+    let lowered = build_cfg(function);
+    let plan = PartitionPlan::compute(&lowered, bound);
+
+    let mut before_gen = HybridGenerator::new().sequential();
+    before_gen.checker.engine = SearchEngine::Baseline;
+    let after_gen = HybridGenerator::new();
+
+    let (before, suite_before) = best_of(3, || before_gen.generate(function, &lowered, &plan));
+    let (after, suite_after) = best_of(3, || after_gen.generate(function, &lowered, &plan));
+    Comparison {
+        name: name.to_owned(),
+        before,
+        after,
+        identical_results: suite_before == suite_after,
+    }
+}
+
+/// Produces the complete perf baseline (the payload of `BENCH_pr1.json`).
+pub fn perf_report() -> PerfReport {
+    // Table 1: partitioning sweep.
+    let (table1_wall, table1_rows) = best_of(3, table1);
+    let table1_matches_paper = table1_rows == table1_paper();
+
+    // Figure 2/3: tradeoff sweep on a mid-sized generated function (the full
+    // 850-block sweep runs in the criterion benches; the baseline keeps the
+    // JSON fast to regenerate).
+    let (figure2_3_wall, (stats, _)) = timed(|| figure2_3(400));
+
+    // Table 2: the model-checker ablation, before/after engines on the same
+    // deepest-feasible-path query.
+    let function = table2_function();
+    let query = table2_query(&function);
+    let configurations = table2_configurations();
+    let run_table2 = |engine: SearchEngine| {
+        configurations
+            .iter()
+            .map(|(_, opts)| {
+                let checker = ModelChecker::with_optimisations(*opts).with_engine(engine);
+                let result = checker.find_test_data(&function, &query);
+                (
+                    matches!(result.outcome, CheckOutcome::Feasible { .. }),
+                    result.outcome.witness().cloned(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let (t2_before, verdicts_before) = best_of(3, || run_table2(SearchEngine::Baseline));
+    let (t2_after, verdicts_after) = best_of(3, || run_table2(SearchEngine::Arena));
+    let table2 = Comparison {
+        name: "table2_ablation".to_owned(),
+        before: t2_before,
+        after: t2_after,
+        identical_results: verdicts_before == verdicts_after,
+    };
+
+    // Test generation: the Section-3 hybrid generator on the case study and
+    // on a checker-heavy synthetic module.
+    let wiper = wiper_function();
+    let wiper_bound = crate::wiper_case_bound();
+    let heavy = checker_heavy_function();
+    let automotive = generate_automotive(&AutomotiveConfig::small(11)).function;
+    let testgen = vec![
+        compare_testgen("testgen_wiper", &wiper, wiper_bound),
+        compare_testgen("testgen_checker_heavy", &heavy, 4096),
+        compare_testgen("testgen_automotive", &automotive, 64),
+    ];
+
+    // End-to-end pipeline: identical WCET bounds before and after.
+    let mut before_analysis = WcetAnalysis::new(wiper_bound);
+    before_analysis.generator = HybridGenerator::new().sequential();
+    before_analysis.generator.checker.engine = SearchEngine::Baseline;
+    let after_analysis = WcetAnalysis::new(wiper_bound);
+    let (pipe_before, report_before) =
+        best_of(3, || before_analysis.analyse(&wiper).expect("analysis"));
+    let (pipe_after, report_after) =
+        best_of(3, || after_analysis.analyse(&wiper).expect("analysis"));
+    let pipeline = Comparison {
+        name: "wcet_pipeline_wiper".to_owned(),
+        before: pipe_before,
+        after: pipe_after,
+        identical_results: report_before == report_after,
+    };
+
+    // Case study summary (optimised path).
+    let (case_study_wall, case) = timed(case_study);
+
+    PerfReport {
+        table1_wall,
+        table1_rows,
+        table1_matches_paper,
+        figure2_3_wall,
+        figure2_3_blocks: stats.blocks,
+        case_study_wall,
+        case_study_wcet: case.wcet_bound,
+        case_study_exhaustive: case.exhaustive_max,
+        table2,
+        testgen,
+        pipeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_heavy_module_parses_and_partitions() {
+        let f = checker_heavy_function();
+        let lowered = build_cfg(&f);
+        assert!(lowered.regions.root().path_count > 8);
+    }
+
+    #[test]
+    fn comparison_speedup_is_the_ratio() {
+        let c = Comparison {
+            name: "x".into(),
+            before: Duration::from_millis(300),
+            after: Duration::from_millis(100),
+            identical_results: true,
+        };
+        assert!((c.speedup() - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = PerfReport {
+            table1_wall: Duration::from_millis(1),
+            table1_rows: vec![(1, 22, 11)],
+            table1_matches_paper: true,
+            figure2_3_wall: Duration::from_millis(2),
+            figure2_3_blocks: 400,
+            case_study_wall: Duration::from_millis(3),
+            case_study_wcet: 274,
+            case_study_exhaustive: 250,
+            table2: Comparison {
+                name: "t2".into(),
+                before: Duration::from_millis(10),
+                after: Duration::from_millis(5),
+                identical_results: true,
+            },
+            testgen: vec![Comparison {
+                name: "tg".into(),
+                before: Duration::from_millis(10),
+                after: Duration::from_millis(4),
+                identical_results: true,
+            }],
+            pipeline: Comparison {
+                name: "p".into(),
+                before: Duration::from_millis(10),
+                after: Duration::from_millis(9),
+                identical_results: true,
+            },
+        }
+        .to_json();
+        assert!(report.contains("\"schema\": \"tmg-bench-perf/v1\""));
+        assert!(report.contains("\"speedup\""));
+        assert_eq!(
+            report.matches('{').count(),
+            report.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

@@ -82,7 +82,9 @@ impl Terminator {
         match self {
             Terminator::Jump(d) => vec![*d],
             Terminator::Branch {
-                then_dest, else_dest, ..
+                then_dest,
+                else_dest,
+                ..
             } => vec![*then_dest, *else_dest],
             Terminator::Switch {
                 arms, default_dest, ..

@@ -272,8 +272,10 @@ impl<'f> Builder<'f> {
 
         let mut arms = Vec::with_capacity(cases.len());
         for case in cases {
-            let region =
-                self.push_region(RegionKind::Case(id, case.value), count_paths_block(&case.body));
+            let region = self.push_region(
+                RegionKind::Case(id, case.value),
+                count_paths_block(&case.body),
+            );
             let arm_entry = self.new_block(BlockKind::CaseArm, first_line(&case.body));
             if let Some(open) = self.lower_block(&case.body, arm_entry) {
                 self.set_terminator(open, Terminator::Jump(join));
@@ -416,14 +418,14 @@ mod tests {
         let l = figure1();
         let root = l.regions.root();
         // Children of the root: Then(outer if), Then(second if).
-        let then_regions: Vec<_> = root
-            .children
-            .iter()
-            .map(|c| l.regions.region(*c))
-            .collect();
+        let then_regions: Vec<_> = root.children.iter().map(|c| l.regions.region(*c)).collect();
         assert_eq!(then_regions.len(), 2);
         let outer = then_regions[0];
-        assert_eq!(outer.block_count(), 4, "printf3+cond, printf4, printf5, inner join");
+        assert_eq!(
+            outer.block_count(),
+            4,
+            "printf3+cond, printf4, printf5, inner join"
+        );
         assert_eq!(outer.path_count, 2);
         let second = then_regions[1];
         assert_eq!(second.block_count(), 1);
@@ -461,7 +463,9 @@ mod tests {
 
     #[test]
     fn while_loop_creates_header_body_and_exit_join() {
-        let l = lower("void f(int n) { int i; i = 0; while (i < n) __bound(3) { i = i + 1; } done(); }");
+        let l = lower(
+            "void f(int n) { int i; i = 0; while (i < n) __bound(3) { i = i + 1; } done(); }",
+        );
         let kinds: Vec<BlockKind> = l.cfg.blocks().iter().map(|b| b.kind).collect();
         assert!(kinds.contains(&BlockKind::LoopHeader));
         // Back edge: the loop header has two predecessors (preheader + body).
@@ -521,7 +525,11 @@ mod tests {
             .cfg
             .blocks()
             .iter()
-            .find(|b| b.stmts.iter().any(|s| matches!(s, Stmt::Call { callee, .. } if callee == "p2")))
+            .find(|b| {
+                b.stmts
+                    .iter()
+                    .any(|s| matches!(s, Stmt::Call { callee, .. } if callee == "p2"))
+            })
             .expect("p2 block");
         assert_eq!(p2_block.kind, BlockKind::Code);
     }

@@ -155,7 +155,9 @@ mod tests {
 
     #[test]
     fn loop_header_dominates_body() {
-        let l = lowered("void f(int n) { int i; i = 0; while (i < n) __bound(4) { i = i + 1; } done(); }");
+        let l = lowered(
+            "void f(int n) { int i; i = 0; while (i < n) __bound(4) { i = i + 1; } done(); }",
+        );
         let dom = DominatorTree::compute(&l.cfg);
         let header = l
             .cfg

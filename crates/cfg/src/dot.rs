@@ -59,7 +59,11 @@ pub fn to_dot(cfg: &Cfg) -> String {
                 for (value, dest) in arms {
                     let _ = writeln!(out, "    {} -> {} [label=\"{value}\"];", block.id.0, dest.0);
                 }
-                let _ = writeln!(out, "    {} -> {} [label=\"default\"];", block.id.0, default_dest.0);
+                let _ = writeln!(
+                    out,
+                    "    {} -> {} [label=\"default\"];",
+                    block.id.0, default_dest.0
+                );
             }
             other => {
                 for succ in other.successors() {

@@ -232,7 +232,12 @@ mod tests {
     fn loop_bounds_are_recorded() {
         let cfg = lower("void f(int n) { int i; i = 0; while (i < n) __bound(8) { i = i + 1; } }");
         assert_eq!(cfg.loop_bounds().len(), 1);
-        let (stmt, bound) = cfg.loop_bounds().iter().next().map(|(s, b)| (*s, *b)).expect("one loop");
+        let (stmt, bound) = cfg
+            .loop_bounds()
+            .iter()
+            .next()
+            .map(|(s, b)| (*s, *b))
+            .expect("one loop");
         assert_eq!(bound, 8);
         assert_eq!(cfg.loop_bound(stmt), Some(8));
     }

@@ -44,5 +44,8 @@ pub use block::{BasicBlock, BlockId, BlockKind, Terminator};
 pub use builder::{build_cfg, LoweredFunction};
 pub use dominators::DominatorTree;
 pub use graph::Cfg;
-pub use paths::{count_paths_block, enumerate_region_paths, PathSpec};
+pub use paths::{
+    count_paths_block, count_region_paths, enumerate_region_paths, region_path_iter, PathSpec,
+    RegionPathIter,
+};
 pub use regions::{Region, RegionId, RegionKind, RegionTree};

@@ -8,8 +8,9 @@
 use crate::block::{BlockId, Terminator};
 use crate::graph::Cfg;
 use crate::regions::Region;
+use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 use tmg_minic::ast::{Block, Stmt, StmtId};
 use tmg_minic::interp::BranchChoice;
@@ -124,114 +125,315 @@ fn count_paths_stmt(stmt: &Stmt) -> u128 {
 }
 
 /// Enumerates every path through `region`, as branch-decision sequences,
-/// stopping (and returning `None`) if more than `cap` paths exist.
+/// returning `None` if more than `cap` paths exist.
+///
+/// The path count is determined first by [`count_region_paths`] (a memoised
+/// walk that is linear in the region size for loop-free regions), so a region
+/// that blows the cap is rejected without materialising a single path.  Within
+/// the cap, paths come from the streaming [`region_path_iter`]; callers that
+/// only need a prefix should use the iterator directly.
 ///
 /// Loops are unrolled up to their declared bound.  The enumeration is
 /// deterministic: `then` before `else`, cases in source order before
-/// `default`, shorter loop iterations before longer ones.
+/// `default`, deeper loop iterations before shallower ones.
 pub fn enumerate_region_paths(cfg: &Cfg, region: &Region, cap: usize) -> Option<Vec<PathSpec>> {
-    let inside: HashSet<BlockId> = region.blocks.iter().copied().collect();
-    let mut paths = Vec::new();
-    let mut current = Vec::new();
-    let mut loop_iters: HashMap<StmtId, u32> = HashMap::new();
-    let ok = walk(
-        cfg,
-        &inside,
-        region.entry_block,
-        &mut current,
-        &mut loop_iters,
-        &mut paths,
-        cap,
-    );
-    if ok {
-        Some(paths)
-    } else {
-        None
+    if count_region_paths(cfg, region) > cap as u128 {
+        return None;
     }
+    Some(region_path_iter(cfg, region).collect())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn walk(
+/// Counts the paths through `region` over the CFG (loops unrolled to their
+/// bounds), saturating at `u128::MAX`.
+///
+/// Unlike the AST-level [`count_paths_block`] (which over-approximates around
+/// early returns), this is the exact number of sequences the streaming
+/// enumerator yields.  Suffix counts are memoised per `(block, live loop
+/// iterations)` state, so counting is cheap even for regions whose path count
+/// is astronomically beyond any enumeration cap.
+pub fn count_region_paths(cfg: &Cfg, region: &Region) -> u128 {
+    let inside: FxHashSet<BlockId> = region.blocks.iter().copied().collect();
+    let mut loop_iters: Vec<(StmtId, u32)> = Vec::new();
+    let mut memo: CountMemo =
+        FxHashMap::with_capacity_and_hasher(region.blocks.len() * 2, Default::default());
+    count_from(cfg, &inside, region.entry_block, &mut loop_iters, &mut memo)
+}
+
+/// Memoised suffix counts, keyed by `(block, live loop iterations)`.
+type CountMemo = FxHashMap<(BlockId, Vec<(StmtId, u32)>), u128>;
+
+fn count_from(
     cfg: &Cfg,
-    inside: &HashSet<BlockId>,
+    inside: &FxHashSet<BlockId>,
     block: BlockId,
-    current: &mut Vec<(StmtId, BranchChoice)>,
-    loop_iters: &mut HashMap<StmtId, u32>,
-    out: &mut Vec<PathSpec>,
-    cap: usize,
-) -> bool {
+    loop_iters: &mut Vec<(StmtId, u32)>,
+    memo: &mut CountMemo,
+) -> u128 {
     if !inside.contains(&block) {
-        // Left the region: one complete path.
-        if out.len() >= cap {
-            return false;
-        }
-        out.push(PathSpec {
-            decisions: current.clone(),
-        });
-        return true;
+        return 1;
     }
-    match &cfg.block(block).terminator {
-        Terminator::Jump(next) => walk(cfg, inside, *next, current, loop_iters, out, cap),
-        Terminator::Return { exit } => walk(cfg, inside, *exit, current, loop_iters, out, cap),
-        Terminator::Halt => {
-            if out.len() >= cap {
-                return false;
-            }
-            out.push(PathSpec {
-                decisions: current.clone(),
-            });
-            true
-        }
+    let key = (block, loop_iters.clone());
+    if let Some(&count) = memo.get(&key) {
+        return count;
+    }
+    let total = match &cfg.block(block).terminator {
+        Terminator::Jump(next) => count_from(cfg, inside, *next, loop_iters, memo),
+        Terminator::Return { exit } => count_from(cfg, inside, *exit, loop_iters, memo),
+        Terminator::Halt => 1,
         Terminator::Branch {
             stmt,
             then_dest,
             else_dest,
             ..
-        } => {
-            let is_loop = cfg.loop_bound(*stmt).is_some();
-            if is_loop {
-                let bound = cfg.loop_bound(*stmt).unwrap_or(0);
-                let taken = loop_iters.get(stmt).copied().unwrap_or(0);
-                let mut ok = true;
-                // Iterate (if the bound allows one more trip around).
+        } => match cfg.loop_bound(*stmt) {
+            Some(bound) => {
+                let taken = loop_iter_count(loop_iters, *stmt);
+                let mut total = 0u128;
                 if taken < bound {
-                    *loop_iters.entry(*stmt).or_insert(0) += 1;
-                    current.push((*stmt, BranchChoice::LoopIterate));
-                    ok &= walk(cfg, inside, *then_dest, current, loop_iters, out, cap);
-                    current.pop();
-                    *loop_iters.get_mut(stmt).expect("just inserted") -= 1;
+                    bump_loop_iter(loop_iters, *stmt, 1);
+                    total =
+                        total.saturating_add(count_from(cfg, inside, *then_dest, loop_iters, memo));
+                    bump_loop_iter(loop_iters, *stmt, -1);
                 }
-                // Exit the loop.
-                current.push((*stmt, BranchChoice::LoopExit));
-                ok &= walk(cfg, inside, *else_dest, current, loop_iters, out, cap);
-                current.pop();
-                ok
-            } else {
-                current.push((*stmt, BranchChoice::Then));
-                let mut ok = walk(cfg, inside, *then_dest, current, loop_iters, out, cap);
-                current.pop();
-                current.push((*stmt, BranchChoice::Else));
-                ok &= walk(cfg, inside, *else_dest, current, loop_iters, out, cap);
-                current.pop();
-                ok
+                total.saturating_add(count_from(cfg, inside, *else_dest, loop_iters, memo))
+            }
+            None => {
+                let then_paths = count_from(cfg, inside, *then_dest, loop_iters, memo);
+                then_paths.saturating_add(count_from(cfg, inside, *else_dest, loop_iters, memo))
+            }
+        },
+        Terminator::Switch {
+            arms, default_dest, ..
+        } => {
+            let mut total = 0u128;
+            for (_, dest) in arms {
+                total = total.saturating_add(count_from(cfg, inside, *dest, loop_iters, memo));
+            }
+            total.saturating_add(count_from(cfg, inside, *default_dest, loop_iters, memo))
+        }
+    };
+    memo.insert(key, total);
+    total
+}
+
+fn loop_iter_count(loop_iters: &[(StmtId, u32)], stmt: StmtId) -> u32 {
+    loop_iters
+        .iter()
+        .find(|(s, _)| *s == stmt)
+        .map(|(_, n)| *n)
+        .unwrap_or(0)
+}
+
+fn bump_loop_iter(loop_iters: &mut Vec<(StmtId, u32)>, stmt: StmtId, delta: i64) {
+    if let Some(entry) = loop_iters.iter_mut().find(|(s, _)| *s == stmt) {
+        entry.1 = (i64::from(entry.1) + delta) as u32;
+    } else {
+        debug_assert!(delta > 0, "cannot decrement an absent loop counter");
+        loop_iters.push((stmt, delta as u32));
+    }
+    loop_iters.retain(|(_, n)| *n > 0);
+}
+
+/// Creates a streaming enumerator over the paths of `region`.
+///
+/// Paths are produced on demand in the same deterministic order
+/// [`enumerate_region_paths`] uses; callers needing only a count, a prefix, or
+/// an existence check pay for exactly the paths they pull.
+pub fn region_path_iter<'c>(cfg: &'c Cfg, region: &'c Region) -> RegionPathIter<'c> {
+    RegionPathIter {
+        cfg,
+        inside: region.blocks.iter().copied().collect(),
+        entry: region.entry_block,
+        current: Vec::new(),
+        loop_iters: FxHashMap::default(),
+        frames: Vec::new(),
+        state: IterState::Fresh,
+    }
+}
+
+/// One alternative way out of a block during the DFS.
+#[derive(Debug, Clone, Copy)]
+struct PathAlt {
+    /// Decision recorded when this alternative is taken.
+    decision: Option<(StmtId, BranchChoice)>,
+    /// Successor block.
+    dest: BlockId,
+    /// Loop whose iteration counter this alternative holds (LoopIterate arcs).
+    loop_stmt: Option<StmtId>,
+}
+
+#[derive(Debug)]
+struct PathFrame {
+    alts: Vec<PathAlt>,
+    /// Index of the currently applied alternative.
+    applied: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IterState {
+    Fresh,
+    Running,
+    Done,
+}
+
+/// Streaming depth-first enumerator over the paths of one region.
+///
+/// Created by [`region_path_iter`].  The enumeration order is identical to
+/// [`enumerate_region_paths`]; pulling `k` paths costs `O(k · region depth)`
+/// regardless of how many paths the region has in total.
+#[derive(Debug)]
+pub struct RegionPathIter<'c> {
+    cfg: &'c Cfg,
+    inside: FxHashSet<BlockId>,
+    entry: BlockId,
+    current: Vec<(StmtId, BranchChoice)>,
+    loop_iters: FxHashMap<StmtId, u32>,
+    frames: Vec<PathFrame>,
+    state: IterState,
+}
+
+impl RegionPathIter<'_> {
+    fn alts_for(&self, block: BlockId) -> Vec<PathAlt> {
+        match &self.cfg.block(block).terminator {
+            Terminator::Jump(next) => vec![PathAlt {
+                decision: None,
+                dest: *next,
+                loop_stmt: None,
+            }],
+            Terminator::Return { exit } => vec![PathAlt {
+                decision: None,
+                dest: *exit,
+                loop_stmt: None,
+            }],
+            Terminator::Halt => unreachable!("halt blocks terminate descent"),
+            Terminator::Branch {
+                stmt,
+                then_dest,
+                else_dest,
+                ..
+            } => match self.cfg.loop_bound(*stmt) {
+                Some(bound) => {
+                    let taken = self.loop_iters.get(stmt).copied().unwrap_or(0);
+                    let mut alts = Vec::with_capacity(2);
+                    if taken < bound {
+                        alts.push(PathAlt {
+                            decision: Some((*stmt, BranchChoice::LoopIterate)),
+                            dest: *then_dest,
+                            loop_stmt: Some(*stmt),
+                        });
+                    }
+                    alts.push(PathAlt {
+                        decision: Some((*stmt, BranchChoice::LoopExit)),
+                        dest: *else_dest,
+                        loop_stmt: None,
+                    });
+                    alts
+                }
+                None => vec![
+                    PathAlt {
+                        decision: Some((*stmt, BranchChoice::Then)),
+                        dest: *then_dest,
+                        loop_stmt: None,
+                    },
+                    PathAlt {
+                        decision: Some((*stmt, BranchChoice::Else)),
+                        dest: *else_dest,
+                        loop_stmt: None,
+                    },
+                ],
+            },
+            Terminator::Switch {
+                stmt,
+                arms,
+                default_dest,
+                ..
+            } => {
+                let mut alts = Vec::with_capacity(arms.len() + 1);
+                for (value, dest) in arms {
+                    alts.push(PathAlt {
+                        decision: Some((*stmt, BranchChoice::Case(*value))),
+                        dest: *dest,
+                        loop_stmt: None,
+                    });
+                }
+                alts.push(PathAlt {
+                    decision: Some((*stmt, BranchChoice::Default)),
+                    dest: *default_dest,
+                    loop_stmt: None,
+                });
+                alts
             }
         }
-        Terminator::Switch {
-            stmt,
-            arms,
-            default_dest,
-            ..
-        } => {
-            let mut ok = true;
-            for (value, dest) in arms {
-                current.push((*stmt, BranchChoice::Case(*value)));
-                ok &= walk(cfg, inside, *dest, current, loop_iters, out, cap);
-                current.pop();
+    }
+
+    fn apply(&mut self, alt: PathAlt) {
+        if let Some(d) = alt.decision {
+            self.current.push(d);
+        }
+        if let Some(stmt) = alt.loop_stmt {
+            *self.loop_iters.entry(stmt).or_insert(0) += 1;
+        }
+    }
+
+    fn undo(&mut self, alt: PathAlt) {
+        if alt.decision.is_some() {
+            self.current.pop();
+        }
+        if let Some(stmt) = alt.loop_stmt {
+            let iters = self.loop_iters.get_mut(&stmt).expect("applied loop arc");
+            *iters -= 1;
+        }
+    }
+
+    /// Descends from `block` applying first alternatives until a path
+    /// completes (control leaves the region or halts).
+    fn descend(&mut self, mut block: BlockId) -> PathSpec {
+        loop {
+            if !self.inside.contains(&block)
+                || matches!(self.cfg.block(block).terminator, Terminator::Halt)
+            {
+                return PathSpec {
+                    decisions: self.current.clone(),
+                };
             }
-            current.push((*stmt, BranchChoice::Default));
-            ok &= walk(cfg, inside, *default_dest, current, loop_iters, out, cap);
-            current.pop();
-            ok
+            let alts = self.alts_for(block);
+            let first = alts[0];
+            self.frames.push(PathFrame { alts, applied: 0 });
+            self.apply(first);
+            block = first.dest;
+        }
+    }
+}
+
+impl Iterator for RegionPathIter<'_> {
+    type Item = PathSpec;
+
+    fn next(&mut self) -> Option<PathSpec> {
+        match self.state {
+            IterState::Done => None,
+            IterState::Fresh => {
+                self.state = IterState::Running;
+                let entry = self.entry;
+                Some(self.descend(entry))
+            }
+            IterState::Running => {
+                // Backtrack to the deepest frame with an untried alternative.
+                while let Some(top) = self.frames.len().checked_sub(1) {
+                    let undo_alt = self.frames[top].alts[self.frames[top].applied];
+                    let next_index = self.frames[top].applied + 1;
+                    if next_index < self.frames[top].alts.len() {
+                        let next_alt = self.frames[top].alts[next_index];
+                        self.frames[top].applied = next_index;
+                        self.undo(undo_alt);
+                        self.apply(next_alt);
+                        return Some(self.descend(next_alt.dest));
+                    }
+                    self.frames.pop();
+                    self.undo(undo_alt);
+                }
+                self.state = IterState::Done;
+                None
+            }
         }
     }
 }
@@ -241,8 +443,8 @@ mod tests {
     use super::*;
     use crate::builder::build_cfg;
     use tmg_minic::parse_function;
-    use tmg_minic::Interpreter;
     use tmg_minic::value::InputVector;
+    use tmg_minic::Interpreter;
 
     fn lowered(src: &str) -> crate::builder::LoweredFunction {
         build_cfg(&parse_function(src).expect("parse"))
@@ -318,7 +520,9 @@ mod tests {
         );
         assert!(enumerate_region_paths(&l.cfg, l.regions.root(), 4).is_none());
         assert_eq!(
-            enumerate_region_paths(&l.cfg, l.regions.root(), 8).expect("8 paths").len(),
+            enumerate_region_paths(&l.cfg, l.regions.root(), 8)
+                .expect("8 paths")
+                .len(),
             8
         );
     }
@@ -368,7 +572,10 @@ mod tests {
     #[test]
     fn path_spec_matches_trace_subsequence() {
         let p = PathSpec {
-            decisions: vec![(StmtId(1), BranchChoice::Then), (StmtId(2), BranchChoice::Else)],
+            decisions: vec![
+                (StmtId(1), BranchChoice::Then),
+                (StmtId(2), BranchChoice::Else),
+            ],
         };
         let trace = vec![
             (StmtId(0), BranchChoice::Else),
@@ -376,9 +583,98 @@ mod tests {
             (StmtId(2), BranchChoice::Else),
         ];
         assert!(p.matches_trace(&trace));
-        let wrong = vec![(StmtId(1), BranchChoice::Else), (StmtId(2), BranchChoice::Else)];
+        let wrong = vec![
+            (StmtId(1), BranchChoice::Else),
+            (StmtId(2), BranchChoice::Else),
+        ];
         assert!(!p.matches_trace(&wrong));
         assert!(PathSpec::empty().matches_trace(&[]));
+    }
+
+    #[test]
+    fn count_region_paths_matches_enumeration_everywhere() {
+        let sources = [
+            "void f() { a(); b(); }",
+            "void f(int a) { if (a) { x(); } if (a > 1) { y(); } else { z(); } }",
+            "void f(int s) { switch (s) { case 0: if (s) { a(); } break; case 1: break; } }",
+            "void f(int n) { int i; i = 0; while (i < n) __bound(3) { if (i) { a(); } i = i + 1; } }",
+            "int f(int a) { if (a) { return 1; } return 2; }",
+        ];
+        for src in sources {
+            let l = lowered(src);
+            let count = count_region_paths(&l.cfg, l.regions.root());
+            let paths =
+                enumerate_region_paths(&l.cfg, l.regions.root(), 100_000).expect("within cap");
+            assert_eq!(count, paths.len() as u128, "{src}");
+        }
+    }
+
+    #[test]
+    fn cap_exceeded_returns_none_without_materialising() {
+        // 2^40 paths: far beyond any cap, counted without enumeration.
+        let mut src = String::from("void f(int a) {");
+        for _ in 0..40 {
+            src.push_str(" if (a) { x(); }");
+        }
+        src.push('}');
+        let l = lowered(&src);
+        assert_eq!(count_region_paths(&l.cfg, l.regions.root()), 1u128 << 40);
+        assert!(enumerate_region_paths(&l.cfg, l.regions.root(), 1_000_000).is_none());
+        // The streaming iterator still serves a prefix cheaply.
+        let prefix: Vec<PathSpec> = region_path_iter(&l.cfg, l.regions.root()).take(5).collect();
+        assert_eq!(prefix.len(), 5);
+        assert_eq!(prefix[0].len(), 40, "first path takes every branch");
+    }
+
+    #[test]
+    fn path_count_overflow_saturates() {
+        // 2^130 paths overflow u128 and must saturate, not wrap or panic.
+        let mut src = String::from("void f(int a) {");
+        for _ in 0..130 {
+            src.push_str(" if (a) { x(); }");
+        }
+        src.push('}');
+        let l = lowered(&src);
+        assert_eq!(count_region_paths(&l.cfg, l.regions.root()), u128::MAX);
+        assert_eq!(l.regions.root().path_count, u128::MAX);
+        assert!(enumerate_region_paths(&l.cfg, l.regions.root(), usize::MAX).is_none());
+    }
+
+    #[test]
+    fn enumeration_order_is_deterministic_across_runs() {
+        let src = r#"
+            void f(int a, int s, int n) {
+                int i;
+                if (a) { x(); } else { y(); }
+                switch (s) { case 0: c0(); break; case 4: c4(); break; default: d(); break; }
+                i = 0;
+                while (i < n) __bound(2) { i = i + 1; }
+            }
+        "#;
+        let l = lowered(src);
+        let first = enumerate_region_paths(&l.cfg, l.regions.root(), 1000).expect("paths");
+        for _ in 0..3 {
+            let again = enumerate_region_paths(&l.cfg, l.regions.root(), 1000).expect("paths");
+            assert_eq!(first, again);
+        }
+        // The streaming iterator yields the identical sequence.
+        let streamed: Vec<PathSpec> = region_path_iter(&l.cfg, l.regions.root()).collect();
+        assert_eq!(first, streamed);
+        // And a prefix pull matches the full enumeration's prefix.
+        let prefix: Vec<PathSpec> = region_path_iter(&l.cfg, l.regions.root()).take(3).collect();
+        assert_eq!(&first[..3], prefix.as_slice());
+    }
+
+    #[test]
+    fn exact_cap_still_enumerates() {
+        let l = lowered("void f(int a, int b) { if (a) { x(); } if (b) { y(); } }");
+        assert_eq!(
+            enumerate_region_paths(&l.cfg, l.regions.root(), 4)
+                .expect("exactly 4")
+                .len(),
+            4
+        );
+        assert!(enumerate_region_paths(&l.cfg, l.regions.root(), 3).is_none());
     }
 
     #[test]

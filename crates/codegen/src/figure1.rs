@@ -59,7 +59,11 @@ mod tests {
             let f = figure1_function(as_parameter);
             assert_eq!(f.branch_count(), 3);
             let lowered = build_cfg(&f);
-            assert_eq!(lowered.cfg.measurable_units().len(), 11, "11 measured CFG nodes");
+            assert_eq!(
+                lowered.cfg.measurable_units().len(),
+                11,
+                "11 measured CFG nodes"
+            );
             assert_eq!(lowered.regions.root().path_count, 6, "6 end-to-end paths");
         }
     }

@@ -85,7 +85,11 @@ impl Statechart {
         let mut src = String::new();
         let mut params = vec![format!("char current_state __range(0, {})", n - 1)];
         params.extend(self.inputs.iter().cloned());
-        src.push_str(&format!("char {}_step({}) {{\n", self.name, params.join(", ")));
+        src.push_str(&format!(
+            "char {}_step({}) {{\n",
+            self.name,
+            params.join(", ")
+        ));
         src.push_str(&format!("    char next_state __range(0, {}) = 0;\n", n - 1));
         src.push_str("    next_state = current_state;\n");
         src.push_str("    switch (current_state) {\n");

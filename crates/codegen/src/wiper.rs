@@ -66,18 +66,33 @@ pub fn wiper_statechart() -> Statechart {
     // PARKED
     chart = chart
         .with_transition(t(PARKED, WASHING, "wash", &["pump_on", "motor_slow"]))
-        .with_transition(t(PARKED, INTERVAL_WIPE, "speed == 1 && interval", &["motor_slow"]))
+        .with_transition(t(
+            PARKED,
+            INTERVAL_WIPE,
+            "speed == 1 && interval",
+            &["motor_slow"],
+        ))
         .with_transition(t(PARKED, SLOW_WIPING, "speed == 1", &["motor_slow"]))
         .with_transition(t(PARKED, FAST_WIPING, "speed == 2", &["motor_fast"]));
     // SLOW_WIPING
     chart = chart
-        .with_transition(t(SLOW_WIPING, STALLED, "overcurrent", &["motor_off", "raise_fault"]))
+        .with_transition(t(
+            SLOW_WIPING,
+            STALLED,
+            "overcurrent",
+            &["motor_off", "raise_fault"],
+        ))
         .with_transition(t(SLOW_WIPING, WASHING, "wash", &["pump_on"]))
         .with_transition(t(SLOW_WIPING, FAST_WIPING, "speed == 2", &["motor_fast"]))
         .with_transition(t(SLOW_WIPING, RETURNING, "speed == 0", &[]));
     // FAST_WIPING
     chart = chart
-        .with_transition(t(FAST_WIPING, STALLED, "overcurrent", &["motor_off", "raise_fault"]))
+        .with_transition(t(
+            FAST_WIPING,
+            STALLED,
+            "overcurrent",
+            &["motor_off", "raise_fault"],
+        ))
         .with_transition(t(FAST_WIPING, WASHING, "wash", &["pump_on", "motor_slow"]))
         .with_transition(t(FAST_WIPING, SLOW_WIPING, "speed == 1", &["motor_slow"]))
         .with_transition(t(FAST_WIPING, RETURNING, "speed == 0", &[]));
@@ -89,7 +104,12 @@ pub fn wiper_statechart() -> Statechart {
         .with_transition(t(RETURNING, FAST_WIPING, "speed == 2", &["motor_fast"]));
     // WASHING
     chart = chart
-        .with_transition(t(WASHING, STALLED, "overcurrent", &["pump_off", "motor_off", "raise_fault"]))
+        .with_transition(t(
+            WASHING,
+            STALLED,
+            "overcurrent",
+            &["pump_off", "motor_off", "raise_fault"],
+        ))
         .with_transition(t(WASHING, WASH_EXTRA, "!wash", &["pump_off"]));
     // WASH_EXTRA
     chart = chart
@@ -99,20 +119,50 @@ pub fn wiper_statechart() -> Statechart {
         .with_transition(t(WASH_EXTRA, RETURNING, "endpos", &[]));
     // INTERVAL_PAUSE
     chart = chart
-        .with_transition(t(INTERVAL_PAUSE, WASHING, "wash", &["pump_on", "motor_slow"]))
-        .with_transition(t(INTERVAL_PAUSE, FAST_WIPING, "speed == 2", &["motor_fast"]))
+        .with_transition(t(
+            INTERVAL_PAUSE,
+            WASHING,
+            "wash",
+            &["pump_on", "motor_slow"],
+        ))
+        .with_transition(t(
+            INTERVAL_PAUSE,
+            FAST_WIPING,
+            "speed == 2",
+            &["motor_fast"],
+        ))
         .with_transition(t(INTERVAL_PAUSE, PARKED, "speed == 0", &["motor_off"]))
-        .with_transition(t(INTERVAL_PAUSE, INTERVAL_WIPE, "interval && speed == 1", &["motor_slow"]))
-        .with_transition(t(INTERVAL_PAUSE, SLOW_WIPING, "speed == 1", &["motor_slow"]));
+        .with_transition(t(
+            INTERVAL_PAUSE,
+            INTERVAL_WIPE,
+            "interval && speed == 1",
+            &["motor_slow"],
+        ))
+        .with_transition(t(
+            INTERVAL_PAUSE,
+            SLOW_WIPING,
+            "speed == 1",
+            &["motor_slow"],
+        ));
     // INTERVAL_WIPE
     chart = chart
-        .with_transition(t(INTERVAL_WIPE, STALLED, "overcurrent", &["motor_off", "raise_fault"]))
+        .with_transition(t(
+            INTERVAL_WIPE,
+            STALLED,
+            "overcurrent",
+            &["motor_off", "raise_fault"],
+        ))
         .with_transition(t(INTERVAL_WIPE, WASHING, "wash", &["pump_on"]))
         .with_transition(t(INTERVAL_WIPE, INTERVAL_PAUSE, "endpos", &["motor_off"]))
         .with_transition(t(INTERVAL_WIPE, FAST_WIPING, "speed == 2", &["motor_fast"]));
     // STALLED
     chart = chart
-        .with_transition(t(STALLED, PARKED, "!overcurrent && speed == 0", &["clear_fault"]))
+        .with_transition(t(
+            STALLED,
+            PARKED,
+            "!overcurrent && speed == 0",
+            &["clear_fault"],
+        ))
         .with_entry_action(state::STALLED as usize, "log_stall");
     chart
 }
@@ -202,7 +252,11 @@ mod tests {
         };
         // Parked + slow selector => slow wiping.
         assert_eq!(
-            step(&InputVector::new().with("current_state", state::PARKED).with("speed", 1)),
+            step(
+                &InputVector::new()
+                    .with("current_state", state::PARKED)
+                    .with("speed", 1)
+            ),
             state::SLOW_WIPING
         );
         // Wash button dominates.

@@ -152,8 +152,15 @@ impl WcetAnalysis {
     pub fn analyse_detailed(
         &self,
         function: &Function,
-    ) -> Result<(PartitionPlan, TestSuite, MeasurementCampaign, AnalysisReport), AnalysisError>
-    {
+    ) -> Result<
+        (
+            PartitionPlan,
+            TestSuite,
+            MeasurementCampaign,
+            AnalysisReport,
+        ),
+        AnalysisError,
+    > {
         let lowered = build_cfg(function);
         let plan = PartitionPlan::compute(&lowered, self.path_bound);
         let suite = self.generator.generate(function, &lowered, &plan);

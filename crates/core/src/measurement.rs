@@ -1,6 +1,7 @@
 //! Execution-time measurement of program segments on the simulated target.
 
 use crate::partition::{PartitionPlan, SegmentId, SegmentKind};
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tmg_cfg::{LoweredFunction, Terminator};
@@ -62,38 +63,38 @@ impl MeasurementCampaign {
         let machine = Machine::new(&lowered.cfg, function, cost_model.clone());
         let instrumentation = plan.instrumentation(lowered);
         let mut all_points: Vec<InstrumentationPoint> = Vec::new();
-        // Per segment: its entry point ids and exit point ids.
-        let mut entry_points: HashMap<SegmentId, Vec<PointId>> = HashMap::new();
-        let mut exit_points: HashMap<SegmentId, Vec<PointId>> = HashMap::new();
+        // Point → (owning segment, is-entry) role table, so extracting the
+        // per-segment durations is one pass over a run's events instead of
+        // one scan per segment.
+        let mut point_role: FxHashMap<PointId, (SegmentId, bool)> = FxHashMap::default();
         for (segment, entries, exits) in &instrumentation {
-            entry_points.insert(*segment, entries.iter().map(|p| p.id).collect());
-            exit_points.insert(*segment, exits.iter().map(|p| p.id).collect());
+            for p in entries {
+                point_role.insert(p.id, (*segment, true));
+            }
+            for p in exits {
+                point_role.insert(p.id, (*segment, false));
+            }
             all_points.extend(entries.iter().cloned());
             all_points.extend(exits.iter().cloned());
         }
 
-        let mut samples: HashMap<SegmentId, Vec<u64>> = HashMap::new();
+        let mut samples: FxHashMap<SegmentId, Vec<u64>> = FxHashMap::default();
+        let mut open: FxHashMap<SegmentId, u64> = FxHashMap::default();
         for vector in vectors {
             let run = machine
                 .run(vector, &all_points)
                 .map_err(|e| format!("measurement run failed on {vector}: {e}"))?;
-            for segment in plan.segments.iter() {
-                let entries = &entry_points[&segment.id];
-                let exits = &exit_points[&segment.id];
-                let mut start: Option<u64> = None;
-                for event in &run.events {
-                    if entries.contains(&event.point) {
-                        if start.is_none() {
-                            start = Some(event.cycles);
-                        }
-                    } else if exits.contains(&event.point) {
-                        if let Some(s) = start.take() {
-                            samples
-                                .entry(segment.id)
-                                .or_default()
-                                .push(event.cycles.saturating_sub(s));
-                        }
-                    }
+            open.clear();
+            for event in &run.events {
+                let (segment, is_entry) = point_role[&event.point];
+                if is_entry {
+                    // First entry reading since the last exit wins.
+                    open.entry(segment).or_insert(event.cycles);
+                } else if let Some(start) = open.remove(&segment) {
+                    samples
+                        .entry(segment)
+                        .or_default()
+                        .push(event.cycles.saturating_sub(start));
                 }
             }
         }
@@ -106,7 +107,9 @@ impl MeasurementCampaign {
                 let max_observed = segment_samples.iter().copied().max().unwrap_or(0);
                 SegmentTiming {
                     segment: segment.id,
-                    static_estimate: static_segment_estimate(lowered, &machine, segment, cost_model),
+                    static_estimate: static_segment_estimate(
+                        lowered, &machine, segment, cost_model,
+                    ),
                     samples: segment_samples,
                     max_observed,
                 }
@@ -128,7 +131,10 @@ impl MeasurementCampaign {
 
     /// Number of segments that were actually observed at least once.
     pub fn observed_segments(&self) -> usize {
-        self.timings.iter().filter(|t| !t.samples.is_empty()).count()
+        self.timings
+            .iter()
+            .filter(|t| !t.samples.is_empty())
+            .count()
     }
 }
 
@@ -218,14 +224,9 @@ mod tests {
         let lowered = build_cfg(&f);
         let plan = PartitionPlan::compute(&lowered, bound);
         let suite = HybridGenerator::new().generate(&f, &lowered, &plan);
-        let campaign = MeasurementCampaign::run(
-            &f,
-            &lowered,
-            &plan,
-            &suite.vectors(),
-            &CostModel::hcs12(),
-        )
-        .expect("measurement");
+        let campaign =
+            MeasurementCampaign::run(&f, &lowered, &plan, &suite.vectors(), &CostModel::hcs12())
+                .expect("measurement");
         (plan, campaign)
     }
 
@@ -256,8 +257,11 @@ mod tests {
             }
         "#;
         let (_, campaign) = campaign(src, 1);
-        let unreached: Vec<&SegmentTiming> =
-            campaign.timings.iter().filter(|t| t.samples.is_empty()).collect();
+        let unreached: Vec<&SegmentTiming> = campaign
+            .timings
+            .iter()
+            .filter(|t| t.samples.is_empty())
+            .collect();
         assert!(!unreached.is_empty(), "the a > 10 branch is infeasible");
         for t in unreached {
             assert!(t.worst_case() >= t.static_estimate);
@@ -275,8 +279,7 @@ mod tests {
         "#;
         let f = parse_function(src).expect("parse");
         let lowered = build_cfg(&f);
-        let space: Vec<InputVector> =
-            (0..=2).map(|v| InputVector::new().with("a", v)).collect();
+        let space: Vec<InputVector> = (0..=2).map(|v| InputVector::new().with("a", v)).collect();
         let (max, argmax) =
             exhaustive_end_to_end(&f, &lowered, &space, &CostModel::hcs12()).expect("exhaustive");
         assert_eq!(argmax.get("a"), Some(2));

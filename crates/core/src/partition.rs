@@ -60,6 +60,10 @@ pub struct PartitionPlan {
     pub path_bound: u128,
     /// The program segments, in deterministic (pre-order) order.
     pub segments: Vec<Segment>,
+    /// `BlockId → SegmentId` lookup table, built once at plan construction so
+    /// [`PartitionPlan::segment_of_block`] is O(1) instead of scanning every
+    /// segment's block list.
+    block_segment: Vec<Option<SegmentId>>,
 }
 
 impl PartitionPlan {
@@ -72,9 +76,16 @@ impl PartitionPlan {
         let mut segments = Vec::new();
         let root = lowered.regions.root_id();
         visit_region(lowered, root, path_bound, &mut segments);
+        let mut block_segment = vec![None; lowered.cfg.block_count()];
+        for segment in &segments {
+            for block in &segment.blocks {
+                block_segment[block.index()] = Some(segment.id);
+            }
+        }
         PartitionPlan {
             path_bound,
             segments,
+            block_segment,
         }
     }
 
@@ -91,9 +102,11 @@ impl PartitionPlan {
             .fold(0u128, |acc, s| acc.saturating_add(s.paths))
     }
 
-    /// Looks up the segment containing `block`, if any.
+    /// Looks up the segment containing `block`, if any, through the
+    /// precomputed `BlockId → SegmentId` index.
     pub fn segment_of_block(&self, block: BlockId) -> Option<&Segment> {
-        self.segments.iter().find(|s| s.blocks.contains(&block))
+        let id = self.block_segment.get(block.index()).copied().flatten()?;
+        Some(&self.segments[id.index()])
     }
 
     /// The concrete instrumentation points of the plan: for every segment a
@@ -103,7 +116,11 @@ impl PartitionPlan {
     pub fn instrumentation(
         &self,
         lowered: &LoweredFunction,
-    ) -> Vec<(SegmentId, Vec<InstrumentationPoint>, Vec<InstrumentationPoint>)> {
+    ) -> Vec<(
+        SegmentId,
+        Vec<InstrumentationPoint>,
+        Vec<InstrumentationPoint>,
+    )> {
         let mut next_point = 0u32;
         let mut fresh = |edge: (BlockId, BlockId), label: String| {
             let p = InstrumentationPoint {
@@ -162,11 +179,11 @@ fn visit_region(
     }
 }
 
+/// A list of CFG edges `(from, to)`.
+type EdgeList = Vec<(BlockId, BlockId)>;
+
 /// Entry and exit edges of a segment.
-fn segment_edges(
-    lowered: &LoweredFunction,
-    segment: &Segment,
-) -> (Vec<(BlockId, BlockId)>, Vec<(BlockId, BlockId)>) {
+fn segment_edges(lowered: &LoweredFunction, segment: &Segment) -> (EdgeList, EdgeList) {
     match segment.kind {
         SegmentKind::Region(region_id) => {
             let entry = lowered
@@ -253,7 +270,10 @@ mod tests {
 
     #[test]
     fn large_bound_collapses_the_whole_function() {
-        let (_, plan) = plan_for("void f(int a) { if (a) { p1(); } if (a > 1) { p2(); } }", 1000);
+        let (_, plan) = plan_for(
+            "void f(int a) { if (a) { p1(); } if (a > 1) { p2(); } }",
+            1000,
+        );
         assert_eq!(plan.segments.len(), 1);
         assert!(plan.segments[0].is_region());
         assert_eq!(plan.instrumentation_points(), 2);
@@ -275,7 +295,10 @@ mod tests {
             covered.dedup();
             let mut units = lowered.cfg.measurable_units();
             units.sort_unstable();
-            assert_eq!(covered, units, "bound {bound}: segments must partition the units");
+            assert_eq!(
+                covered, units,
+                "bound {bound}: segments must partition the units"
+            );
             // Segments must be pairwise disjoint.
             let total: usize = plan.segments.iter().map(|s| s.blocks.len()).sum();
             assert_eq!(total, units.len(), "bound {bound}: no overlap");
@@ -325,6 +348,26 @@ mod tests {
         let (lowered, plan) = plan_for("void f(int a) { if (a) { p1(); } p2(); }", 1);
         for unit in lowered.cfg.measurable_units() {
             assert!(plan.segment_of_block(unit).is_some());
+        }
+    }
+
+    #[test]
+    fn segment_of_block_index_agrees_with_a_linear_scan() {
+        for bound in [1u128, 2, 4, 1000] {
+            let f = figure1_function(false);
+            let lowered = build_cfg(&f);
+            let plan = PartitionPlan::compute(&lowered, bound);
+            for block in lowered.cfg.blocks() {
+                let indexed = plan.segment_of_block(block.id).map(|s| s.id);
+                let scanned = plan
+                    .segments
+                    .iter()
+                    .find(|s| s.blocks.contains(&block.id))
+                    .map(|s| s.id);
+                assert_eq!(indexed, scanned, "bound {bound}, block {}", block.id);
+            }
+            // The virtual exit block belongs to no segment.
+            assert!(plan.segment_of_block(lowered.cfg.exit()).is_none());
         }
     }
 }

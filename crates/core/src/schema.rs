@@ -112,7 +112,6 @@ impl<'a> SchemaContext<'a> {
         let mut memo: HashMap<Node, u64> = HashMap::new();
         self.longest_from(
             entry_node,
-            region_id,
             &node_of,
             &loop_of_header,
             &loop_header_of,
@@ -144,11 +143,9 @@ impl<'a> SchemaContext<'a> {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn longest_from(
         &self,
         node: Node,
-        region_id: RegionId,
         node_of: &HashMap<BlockId, Node>,
         loop_of_header: &HashMap<BlockId, (RegionId, StmtId)>,
         loop_header_of: &HashMap<RegionId, BlockId>,
@@ -188,14 +185,8 @@ impl<'a> SchemaContext<'a> {
                         continue;
                     }
                 }
-                let tail = self.longest_from(
-                    succ_node,
-                    region_id,
-                    node_of,
-                    loop_of_header,
-                    loop_header_of,
-                    memo,
-                );
+                let tail =
+                    self.longest_from(succ_node, node_of, loop_of_header, loop_header_of, memo);
                 best_tail = best_tail.max(tail);
             }
         }

@@ -11,6 +11,8 @@
 use crate::partition::{PartitionPlan, SegmentId, SegmentKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use tmg_cfg::{enumerate_region_paths, BlockId, LoweredFunction, PathSpec, Terminator};
@@ -182,6 +184,10 @@ pub struct HybridGenerator {
     pub max_paths_per_segment: usize,
     /// Cost model of the target used to replay candidate vectors.
     pub cost_model: CostModel,
+    /// Run the model-checking phase across all cores (checker queries are
+    /// independent per goal, and results are merged in goal order, so the
+    /// generated suite is identical to a sequential run).
+    pub parallel: bool,
 }
 
 impl Default for HybridGenerator {
@@ -199,7 +205,15 @@ impl HybridGenerator {
             checker: ModelChecker::new(),
             max_paths_per_segment: 4096,
             cost_model: CostModel::hcs12(),
+            parallel: true,
         }
+    }
+
+    /// Disables the parallel model-checking phase (used by the benchmark
+    /// harness to measure the speedup; results are identical either way).
+    pub fn sequential(mut self) -> HybridGenerator {
+        self.parallel = false;
+        self
     }
 
     /// Builds the coverage goals of a partition plan.
@@ -249,12 +263,18 @@ impl HybridGenerator {
         // Phase 1: heuristic (genetic) search.
         self.heuristic_phase(function, &machine, &goals, &mut status);
 
-        // Phase 2: model checking for the residual goals.
-        for (i, goal) in goals.iter().enumerate() {
-            if status[i].is_some() {
-                continue;
-            }
-            status[i] = Some(self.check_goal(function, lowered, &machine, goal));
+        // Phase 2: model checking for the residual goals.  Each query is
+        // independent, so the work fans out across cores; merging in goal
+        // order keeps the suite identical to a sequential run.
+        let residual: Vec<usize> = (0..goals.len()).filter(|&i| status[i].is_none()).collect();
+        let check = |&i: &usize| (i, self.check_goal(function, lowered, &machine, &goals[i]));
+        let resolved: Vec<(usize, CoverageStatus)> = if self.parallel && residual.len() > 1 {
+            residual.par_iter().map(check).collect()
+        } else {
+            residual.iter().map(check).collect()
+        };
+        for (i, outcome) in resolved {
+            status[i] = Some(outcome);
         }
 
         TestSuite {
@@ -285,7 +305,13 @@ impl HybridGenerator {
         if domains.is_empty() {
             // No inputs: a single run decides everything reachable.
             if let Ok(run) = machine.run(&InputVector::new(), &[]) {
-                record_coverage(&InputVector::new(), &run, goals, status, GeneratorKind::Heuristic);
+                record_coverage(
+                    &InputVector::new(),
+                    &run,
+                    goals,
+                    status,
+                    GeneratorKind::Heuristic,
+                );
             }
             return;
         }
@@ -300,22 +326,35 @@ impl HybridGenerator {
             .collect();
         let mut stall = 0usize;
         for _generation in 0..self.heuristic.max_generations {
+            // Evaluate the whole generation on the target first — runs are
+            // independent, so they fan out across cores; coverage recording
+            // and selection stay sequential (and the RNG untouched), keeping
+            // the search bit-identical to a sequential evaluation.
+            let runs: Vec<Option<tmg_target::RunResult>> = if self.parallel && population.len() > 1
+            {
+                population
+                    .par_iter()
+                    .map(|ind| machine.run(ind, &[]).ok())
+                    .collect()
+            } else {
+                population
+                    .iter()
+                    .map(|ind| machine.run(ind, &[]).ok())
+                    .collect()
+            };
             let mut new_coverage = false;
             let mut scored: Vec<(usize, InputVector)> = Vec::with_capacity(population.len());
-            for individual in &population {
-                let Ok(run) = machine.run(individual, &[]) else {
+            for (individual, run) in population.iter().zip(&runs) {
+                let Some(run) = run else {
                     scored.push((0, individual.clone()));
                     continue;
                 };
                 let newly =
-                    record_coverage(individual, &run, goals, status, GeneratorKind::Heuristic);
+                    record_coverage(individual, run, goals, status, GeneratorKind::Heuristic);
                 new_coverage |= newly > 0;
                 // Fitness: how many goals (covered or not) this run exercises,
                 // which rewards individuals that reach deep code.
-                let exercised = goals
-                    .iter()
-                    .filter(|g| goal_matches(g, &run))
-                    .count();
+                let exercised = goals.iter().filter(|g| goal_matches(g, run)).count();
                 scored.push((exercised + newly * 4, individual.clone()));
             }
             if status.iter().all(|s| s.is_some()) {
@@ -326,7 +365,7 @@ impl HybridGenerator {
                 return;
             }
             // Next generation: elitism + tournament crossover + mutation.
-            scored.sort_by(|a, b| b.0.cmp(&a.0));
+            scored.sort_by_key(|(score, _)| std::cmp::Reverse(*score));
             let elite = scored
                 .iter()
                 .take((self.heuristic.population / 4).max(1))
@@ -449,7 +488,8 @@ fn record_coverage(
 fn paths_to_block(lowered: &LoweredFunction, target: BlockId, cap: usize) -> Vec<PathSpec> {
     let mut out = Vec::new();
     let mut current: Vec<(StmtId, BranchChoice)> = Vec::new();
-    let mut visited: HashSet<BlockId> = HashSet::new();
+    let mut visited: FxHashSet<BlockId> =
+        FxHashSet::with_capacity_and_hasher(lowered.cfg.block_count(), Default::default());
     walk_to_block(
         lowered,
         lowered.cfg.entry(),
@@ -467,7 +507,7 @@ fn walk_to_block(
     block: BlockId,
     target: BlockId,
     current: &mut Vec<(StmtId, BranchChoice)>,
-    visited: &mut HashSet<BlockId>,
+    visited: &mut FxHashSet<BlockId>,
     out: &mut Vec<PathSpec>,
     cap: usize,
 ) {
@@ -599,9 +639,15 @@ mod tests {
             }
         "#;
         let (_, _, suite) = suite_for(src, 1000);
-        assert_eq!(suite.covered_count() + suite.infeasible_count(), suite.goal_count());
+        assert_eq!(
+            suite.covered_count() + suite.infeasible_count(),
+            suite.goal_count()
+        );
         assert!(suite.heuristic_covered() > 0);
-        assert!(suite.checker_covered() > 0, "the a == 7777 paths need the model checker");
+        assert!(
+            suite.checker_covered() > 0,
+            "the a == 7777 paths need the model checker"
+        );
         assert!(
             suite.heuristic_ratio() >= 0.5,
             "heuristic should carry at least half of the load: {}",
@@ -621,6 +667,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_sequential_generation_agree_exactly() {
+        // Include goals the heuristic cannot reach (forcing the checker
+        // phase) and an infeasible pair, so the parallel merge is exercised
+        // on every outcome kind.
+        let src = r#"
+            void f(int a __range(0, 9000), char b __range(0, 3)) {
+                if (a == 4321) { rare(); }
+                if (b > 2) { p1(); }
+                if (b < 1) { p2(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let lowered = build_cfg(&f);
+        let plan = PartitionPlan::compute(&lowered, 1000);
+        let parallel = HybridGenerator::new().generate(&f, &lowered, &plan);
+        let sequential = HybridGenerator::new()
+            .sequential()
+            .generate(&f, &lowered, &plan);
+        assert_eq!(parallel, sequential);
+        assert!(
+            parallel.checker_covered() > 0,
+            "checker phase must have run"
+        );
+    }
+
+    #[test]
     fn paths_to_block_reach_nested_blocks() {
         let src = "void f(char a __range(0, 1)) { if (a) { inner(); } outer(); }";
         let f = parse_function(src).expect("parse");
@@ -631,9 +703,9 @@ mod tests {
             .blocks()
             .iter()
             .find(|b| {
-                b.stmts
-                    .iter()
-                    .any(|s| matches!(s, tmg_minic::ast::Stmt::Call { callee, .. } if callee == "inner"))
+                b.stmts.iter().any(
+                    |s| matches!(s, tmg_minic::ast::Stmt::Call { callee, .. } if callee == "inner"),
+                )
             })
             .expect("inner block")
             .id;

@@ -360,7 +360,10 @@ impl Stmt {
 
     /// Whether the statement is a simple (non-branching) statement.
     pub fn is_simple(&self) -> bool {
-        matches!(self, Stmt::Assign { .. } | Stmt::Call { .. } | Stmt::Return { .. })
+        matches!(
+            self,
+            Stmt::Assign { .. } | Stmt::Call { .. } | Stmt::Return { .. }
+        )
     }
 }
 
@@ -535,7 +538,8 @@ mod tests {
 
     #[test]
     fn substitute_replaces_only_matching_variable() {
-        let replaced = sample_expr().substitute("a", &Expr::binary(BinOp::Add, Expr::var("c"), Expr::int(2)));
+        let replaced =
+            sample_expr().substitute("a", &Expr::binary(BinOp::Add, Expr::var("c"), Expr::int(2)));
         assert_eq!(replaced.referenced_vars(), vec!["c", "b"]);
         let unchanged = sample_expr().substitute("zzz", &Expr::int(0));
         assert_eq!(unchanged, sample_expr());

@@ -198,14 +198,14 @@ fn exec_block<'f>(func: &'f Function, block: &'f Block, frame: &mut Frame<'f>) -
 fn exec_stmt<'f>(func: &'f Function, stmt: &'f Stmt, frame: &mut Frame<'f>) -> Result<Flow> {
     frame.steps += 1;
     match stmt {
-        Stmt::Assign { id, target, value, .. } => {
+        Stmt::Assign {
+            id, target, value, ..
+        } => {
             frame.trace.events.push(TraceEvent::Stmt(*id));
             let v = eval_expr(value, &frame.vars)?;
-            let ty = frame
-                .types
-                .get(target.as_str())
-                .copied()
-                .ok_or_else(|| Error::Runtime(format!("assignment to unknown variable `{target}`")))?;
+            let ty = frame.types.get(target.as_str()).copied().ok_or_else(|| {
+                Error::Runtime(format!("assignment to unknown variable `{target}`"))
+            })?;
             frame.vars.insert(
                 func.decl(target)
                     .map(|d| d.name.as_str())
@@ -241,7 +241,11 @@ fn exec_stmt<'f>(func: &'f Function, stmt: &'f Stmt, frame: &mut Frame<'f>) -> R
             let taken = eval_expr(cond, &frame.vars)? != 0;
             frame.trace.events.push(TraceEvent::Branch {
                 stmt: *id,
-                choice: if taken { BranchChoice::Then } else { BranchChoice::Else },
+                choice: if taken {
+                    BranchChoice::Then
+                } else {
+                    BranchChoice::Else
+                },
             });
             if taken {
                 exec_block(func, then_branch, frame)
@@ -277,7 +281,12 @@ fn exec_stmt<'f>(func: &'f Function, stmt: &'f Stmt, frame: &mut Frame<'f>) -> R
             }
         }
         Stmt::While {
-            id, cond, bound, body, line, ..
+            id,
+            cond,
+            bound,
+            body,
+            line,
+            ..
         } => {
             let mut iterations = 0u32;
             loop {
@@ -415,7 +424,10 @@ mod tests {
         let not_taken = run(src, "f", &[("a", -5)]);
         assert_eq!(taken.trace.branch_signature()[0].1, BranchChoice::Then);
         assert_eq!(not_taken.trace.branch_signature()[0].1, BranchChoice::Else);
-        assert_ne!(taken.trace.branch_signature(), not_taken.trace.branch_signature());
+        assert_ne!(
+            taken.trace.branch_signature(),
+            not_taken.trace.branch_signature()
+        );
     }
 
     #[test]
@@ -435,16 +447,28 @@ mod tests {
     fn while_loop_iterates_and_exits() {
         let src = "int f(int n) { int i; int s; i = 0; s = 0; while (i < n) __bound(10) { s = s + i; i = i + 1; } return s; }";
         let out = run(src, "f", &[("n", 4)]);
-        assert_eq!(out.return_value, Some(Value(0 + 1 + 2 + 3)));
+        assert_eq!(out.return_value, Some(Value(1 + 2 + 3)));
         let sig = out.trace.branch_signature();
-        assert_eq!(sig.iter().filter(|(_, c)| *c == BranchChoice::LoopIterate).count(), 4);
-        assert_eq!(sig.iter().filter(|(_, c)| *c == BranchChoice::LoopExit).count(), 1);
+        assert_eq!(
+            sig.iter()
+                .filter(|(_, c)| *c == BranchChoice::LoopIterate)
+                .count(),
+            4
+        );
+        assert_eq!(
+            sig.iter()
+                .filter(|(_, c)| *c == BranchChoice::LoopExit)
+                .count(),
+            1
+        );
     }
 
     #[test]
     fn loop_bound_violation_is_a_runtime_error() {
-        let p = parse_program("void f(int n) { int i; i = 0; while (i < n) __bound(3) { i = i + 1; } }")
-            .expect("parse");
+        let p = parse_program(
+            "void f(int n) { int i; i = 0; while (i < n) __bound(3) { i = i + 1; } }",
+        )
+        .expect("parse");
         let err = Interpreter::new(&p)
             .run("f", &InputVector::new().with("n", 100))
             .expect_err("bound exceeded");
@@ -496,7 +520,9 @@ mod tests {
     #[test]
     fn unknown_function_is_an_error() {
         let p = parse_program("void f() { }").expect("parse");
-        assert!(Interpreter::new(&p).run("missing", &InputVector::new()).is_err());
+        assert!(Interpreter::new(&p)
+            .run("missing", &InputVector::new())
+            .is_err());
     }
 
     #[test]

@@ -293,10 +293,7 @@ mod tests {
     #[test]
     fn skips_comments_and_preprocessor_lines() {
         let ks = kinds("// line comment\n#include <stdio.h>\n/* block\ncomment */ x");
-        assert_eq!(
-            ks,
-            vec![TokenKind::Ident("x".to_owned()), TokenKind::Eof]
-        );
+        assert_eq!(ks, vec![TokenKind::Ident("x".to_owned()), TokenKind::Eof]);
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Recursive-descent parser for mini-C.
 
-use crate::ast::{
-    BinOp, Block, Expr, Function, Program, Stmt, StmtId, SwitchCase, UnOp, VarDecl,
-};
+use crate::ast::{BinOp, Block, Expr, Function, Program, Stmt, StmtId, SwitchCase, UnOp, VarDecl};
 use crate::error::{Error, Result};
 use crate::token::{Keyword, Punct, Token, TokenKind};
 use crate::types::Ty;
@@ -32,7 +30,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -171,7 +171,8 @@ impl Parser {
         let mut params = Vec::new();
         if !self.eat_punct(Punct::RParen) {
             loop {
-                if self.eat_keyword(Keyword::Void) && self.peek() == &TokenKind::Punct(Punct::RParen)
+                if self.eat_keyword(Keyword::Void)
+                    && self.peek() == &TokenKind::Punct(Punct::RParen)
                 {
                     self.expect_punct(Punct::RParen)?;
                     break;
@@ -242,7 +243,9 @@ impl Parser {
         let mut stmts = Vec::new();
         while !self.eat_punct(Punct::RBrace) {
             if self.peek() == &TokenKind::Eof {
-                return Err(Error::Parse("unexpected end of input inside block".to_owned()));
+                return Err(Error::Parse(
+                    "unexpected end of input inside block".to_owned(),
+                ));
             }
             self.parse_stmt_into(&mut stmts)?;
         }
@@ -674,7 +677,8 @@ mod tests {
 
     #[test]
     fn parses_if_else_chain() {
-        let p = parse("void f(int a) { if (a == 0) { g(); } else if (a == 1) { h(); } else { k(); } }");
+        let p =
+            parse("void f(int a) { if (a == 0) { g(); } else if (a == 1) { h(); } else { k(); } }");
         let f = &p.functions[0];
         assert_eq!(f.body.stmts.len(), 1);
         match &f.body.stmts[0] {
@@ -735,11 +739,17 @@ mod tests {
 
     #[test]
     fn expression_precedence_is_c_like() {
-        let p = parse("void f(int a, int b, int c) { a = a + b * c; b = (a + b) * c; c = a == 0 && b < 2; }");
+        let p = parse(
+            "void f(int a, int b, int c) { a = a + b * c; b = (a + b) * c; c = a == 0 && b < 2; }",
+        );
         let stmts = &p.functions[0].body.stmts;
         match &stmts[0] {
             Stmt::Assign { value, .. } => match value {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("expected a + (b*c), got {other:?}"),
@@ -758,8 +768,20 @@ mod tests {
     fn increment_and_decrement_desugar_to_assignments() {
         let p = parse("void f(int a) { a++; a--; }");
         let stmts = &p.functions[0].body.stmts;
-        assert!(matches!(&stmts[0], Stmt::Assign { value: Expr::Binary { op: BinOp::Add, .. }, .. }));
-        assert!(matches!(&stmts[1], Stmt::Assign { value: Expr::Binary { op: BinOp::Sub, .. }, .. }));
+        assert!(matches!(
+            &stmts[0],
+            Stmt::Assign {
+                value: Expr::Binary { op: BinOp::Add, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &stmts[1],
+            Stmt::Assign {
+                value: Expr::Binary { op: BinOp::Sub, .. },
+                ..
+            }
+        ));
     }
 
     #[test]

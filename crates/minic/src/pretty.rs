@@ -76,7 +76,11 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
         }
         Stmt::Call { callee, args, .. } => {
             indent(out, level);
-            let args = args.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
+            let args = args
+                .iter()
+                .map(expr_to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
             let _ = writeln!(out, "{callee}({args});");
         }
         Stmt::Return { value, .. } => {
@@ -135,7 +139,9 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             indent(out, level);
             out.push_str("}\n");
         }
-        Stmt::While { cond, bound, body, .. } => {
+        Stmt::While {
+            cond, bound, body, ..
+        } => {
             indent(out, level);
             let _ = writeln!(out, "while ({}) __bound({bound}) {{", expr_to_string(cond));
             write_block(out, body, level + 1);
@@ -160,7 +166,12 @@ pub fn expr_to_string(expr: &Expr) -> String {
             format!("{sym}({})", expr_to_string(operand))
         }
         Expr::Binary { op, lhs, rhs } => {
-            format!("({} {} {})", expr_to_string(lhs), op.symbol(), expr_to_string(rhs))
+            format!(
+                "({} {} {})",
+                expr_to_string(lhs),
+                op.symbol(),
+                expr_to_string(rhs)
+            )
         }
     }
 }

@@ -27,7 +27,10 @@ pub fn check_program(program: &mut Program) -> Result<()> {
     let mut names_seen = HashSet::new();
     for f in &program.functions {
         if !names_seen.insert(f.name.clone()) {
-            return Err(Error::Sema(format!("duplicate function definition `{}`", f.name)));
+            return Err(Error::Sema(format!(
+                "duplicate function definition `{}`",
+                f.name
+            )));
         }
     }
 
@@ -80,7 +83,12 @@ fn check_block(
 ) -> Result<()> {
     for stmt in &block.stmts {
         match stmt {
-            Stmt::Assign { target, value, line, .. } => {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+                ..
+            } => {
                 if !vars.contains(target.as_str()) {
                     return Err(Error::Sema(format!(
                         "assignment to undeclared variable `{target}` in `{}` (line {line})",
@@ -89,7 +97,9 @@ fn check_block(
                 }
                 check_expr(value, vars, &function.name)?;
             }
-            Stmt::Call { callee, args, line, .. } => {
+            Stmt::Call {
+                callee, args, line, ..
+            } => {
                 if defined.contains(callee) {
                     return Err(Error::Sema(format!(
                         "call to defined function `{callee}` in `{}` (line {line}); mini-C only supports external leaf calls",
@@ -134,7 +144,13 @@ fn check_block(
                     check_block(d, vars, defined, function)?;
                 }
             }
-            Stmt::While { cond, bound, body, line, .. } => {
+            Stmt::While {
+                cond,
+                bound,
+                body,
+                line,
+                ..
+            } => {
                 if *bound == 0 {
                     return Err(Error::Sema(format!(
                         "loop on line {line} of `{}` is missing a positive `__bound(n)` annotation (required for WCET analysis)",
@@ -230,8 +246,8 @@ mod tests {
 
     #[test]
     fn rejects_unbounded_loop() {
-        let err =
-            parse_program("void f(int n) { int i; i = 0; while (i < n) { i = i + 1; } }").expect_err("should fail");
+        let err = parse_program("void f(int n) { int i; i = 0; while (i < n) { i = i + 1; } }")
+            .expect_err("should fail");
         assert!(err.to_string().contains("__bound"));
     }
 
@@ -252,7 +268,8 @@ mod tests {
 
     #[test]
     fn ids_are_unique_across_functions() {
-        let p = parse_program("void f(int a) { a = 1; } void g(int b) { b = 2; b = 3; }").expect("parse");
+        let p = parse_program("void f(int a) { a = 1; } void g(int b) { b = 2; b = 3; }")
+            .expect("parse");
         let mut ids = Vec::new();
         for f in &p.functions {
             f.for_each_stmt(&mut |s| ids.push(s.id().0));

@@ -126,6 +126,7 @@ impl Keyword {
     }
 
     /// Looks up a keyword from its spelling.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "int" => Keyword::Int,

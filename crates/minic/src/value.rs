@@ -11,7 +11,9 @@ use std::fmt;
 /// Mini-C only has integer-like scalars, so a value is a signed 64-bit
 /// integer that is wrapped to the width of its declared type whenever it is
 /// stored into a variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Value(pub i64);
 
 impl Value {
@@ -171,7 +173,9 @@ mod tests {
 
     #[test]
     fn input_vector_collects_from_iterator() {
-        let v: InputVector = vec![("a".to_owned(), 1), ("b".to_owned(), 2)].into_iter().collect();
+        let v: InputVector = vec![("a".to_owned(), 1), ("b".to_owned(), 2)]
+            .into_iter()
+            .collect();
         assert_eq!(v.get("b"), Some(2));
         let mut v2 = InputVector::new();
         v2.extend(vec![("c".to_owned(), 3)]);

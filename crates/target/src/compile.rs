@@ -1,0 +1,195 @@
+//! "Compilation" of a CFG for the simulated target: per-block cycle
+//! aggregates and terminator outcome costs.
+//!
+//! The simulated machine does not lower mini-C to real HCS12 opcodes; it
+//! aggregates, once per function, how many operations of each
+//! [`CostModel`]-priced class every basic block contains.  Cycle counts for
+//! any cost model are then a dot product, so the same compiled function can
+//! be executed (or statically estimated) under different cost models without
+//! re-walking the AST.
+
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+use tmg_cfg::{BlockId, Cfg, Terminator};
+use tmg_minic::ast::Stmt;
+
+/// Operation counts of one basic block's straight-line body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Expression AST nodes evaluated (operand loads / ALU operations).
+    pub expr_nodes: u64,
+    /// Assignment stores.
+    pub stores: u64,
+    /// External leaf calls.
+    pub calls: u64,
+}
+
+impl OpCounts {
+    /// Cycle cost of these operations under `cost`.
+    pub fn cycles(&self, cost: &CostModel) -> u64 {
+        self.expr_nodes * cost.expr_node
+            + self.stores * cost.store
+            + self.calls * cost.call_overhead
+    }
+
+    fn add_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Assign { value, .. } => {
+                self.expr_nodes += value.node_count() as u64;
+                self.stores += 1;
+            }
+            Stmt::Call { args, .. } => {
+                self.expr_nodes += args.iter().map(|a| a.node_count() as u64).sum::<u64>();
+                self.calls += 1;
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.expr_nodes += v.node_count() as u64;
+                }
+            }
+            // Branching statements never appear in a block body; their cost
+            // lives in the terminator (see `terminator_cycles`).
+            Stmt::If { .. } | Stmt::Switch { .. } | Stmt::While { .. } => {}
+        }
+    }
+}
+
+/// A function compiled for the simulated target: per-block operation counts,
+/// indexed by [`BlockId`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledFunction {
+    blocks: Vec<OpCounts>,
+}
+
+impl CompiledFunction {
+    /// Aggregates the operation counts of every block of `cfg`.
+    pub fn compile(cfg: &Cfg) -> CompiledFunction {
+        let blocks = cfg
+            .blocks()
+            .iter()
+            .map(|b| {
+                let mut counts = OpCounts::default();
+                for stmt in &b.stmts {
+                    counts.add_stmt(stmt);
+                }
+                counts
+            })
+            .collect();
+        CompiledFunction { blocks }
+    }
+
+    /// Cycle cost of the straight-line body of `block` under `cost`
+    /// (terminator not included).
+    pub fn block_cycles(&self, block: BlockId, cost: &CostModel) -> u64 {
+        self.blocks[block.index()].cycles(cost)
+    }
+
+    /// Raw operation counts of `block`.
+    pub fn block_ops(&self, block: BlockId) -> OpCounts {
+        self.blocks[block.index()]
+    }
+
+    /// Number of compiled blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Cycle cost of resolving `terminator` with the given `outcome`.
+///
+/// The outcome index selects which way the control transfer went:
+///
+/// * [`Terminator::Branch`] — `0` = condition true (taken), anything else =
+///   not taken; both include the condition evaluation.
+/// * [`Terminator::Switch`] — `i < arms.len()` = the ladder matched after
+///   `i + 1` comparisons; `i >= arms.len()` = the default arm after the full
+///   ladder.  Both include the selector evaluation and the final jump.
+/// * [`Terminator::Jump`] / [`Terminator::Return`] / [`Terminator::Halt`] —
+///   the outcome index is ignored.
+pub fn terminator_cycles(terminator: &Terminator, outcome: usize, cost: &CostModel) -> u64 {
+    match terminator {
+        Terminator::Jump(_) => cost.jump,
+        Terminator::Return { .. } => cost.return_transfer,
+        Terminator::Halt => 0,
+        Terminator::Branch { cond, .. } => {
+            let eval = cond.node_count() as u64 * cost.expr_node;
+            if outcome == 0 {
+                eval + cost.branch_taken
+            } else {
+                eval + cost.branch_not_taken
+            }
+        }
+        Terminator::Switch { selector, arms, .. } => {
+            let eval = selector.node_count() as u64 * cost.expr_node;
+            let compares = (outcome + 1).min(arms.len()).max(1) as u64;
+            eval + compares * cost.case_compare + cost.jump
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_cfg::build_cfg;
+    use tmg_minic::parse_function;
+
+    fn compiled(src: &str) -> (tmg_cfg::LoweredFunction, CompiledFunction) {
+        let lowered = build_cfg(&parse_function(src).expect("parse"));
+        let compiled = CompiledFunction::compile(&lowered.cfg);
+        (lowered, compiled)
+    }
+
+    #[test]
+    fn counts_follow_the_block_bodies() {
+        let (lowered, compiled) = compiled("void f(int a) { a = a + 1; leaf(a); }");
+        assert_eq!(compiled.block_count(), lowered.cfg.block_count());
+        let total: u64 = lowered
+            .cfg
+            .blocks()
+            .iter()
+            .map(|b| compiled.block_ops(b.id).stores + compiled.block_ops(b.id).calls)
+            .sum();
+        assert_eq!(total, 2, "one store and one call in the whole function");
+    }
+
+    #[test]
+    fn virtual_blocks_cost_nothing() {
+        let (lowered, compiled) = compiled("void f() { work(); }");
+        let cost = CostModel::hcs12();
+        assert_eq!(compiled.block_cycles(lowered.cfg.entry(), &cost), 0);
+        assert_eq!(compiled.block_cycles(lowered.cfg.exit(), &cost), 0);
+    }
+
+    #[test]
+    fn branch_outcomes_price_taken_and_not_taken() {
+        let (lowered, _) = compiled("void f(int a) { if (a) { x(); } }");
+        let cost = CostModel::hcs12();
+        let branch = lowered
+            .cfg
+            .blocks()
+            .iter()
+            .find(|b| b.terminator.is_branch())
+            .expect("branch block");
+        let taken = terminator_cycles(&branch.terminator, 0, &cost);
+        let not_taken = terminator_cycles(&branch.terminator, 1, &cost);
+        assert!(taken > not_taken);
+    }
+
+    #[test]
+    fn switch_ladder_cost_grows_with_arm_position() {
+        let (lowered, _) =
+            compiled("void f(int s) { switch (s) { case 0: a(); break; case 1: b(); break; } }");
+        let cost = CostModel::hcs12();
+        let switch = lowered
+            .cfg
+            .blocks()
+            .iter()
+            .find(|b| matches!(b.terminator, Terminator::Switch { .. }))
+            .expect("switch block");
+        let first = terminator_cycles(&switch.terminator, 0, &cost);
+        let second = terminator_cycles(&switch.terminator, 1, &cost);
+        let default = terminator_cycles(&switch.terminator, 2, &cost);
+        assert!(first < second);
+        assert_eq!(second, default, "default pays the whole ladder");
+    }
+}

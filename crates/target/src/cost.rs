@@ -1,0 +1,92 @@
+//! Per-operation cycle costs of the simulated target CPU.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs charged by the [`Machine`](crate::Machine) per executed
+/// operation.
+///
+/// The numbers are per *operation class*, not per opcode: expression
+/// evaluation is charged per AST node (each node is roughly one load or one
+/// ALU operation on an accumulator machine), stores, calls and control
+/// transfers have their own costs.  [`CostModel::hcs12`] provides values
+/// approximating the 16-bit HCS12 the paper measures on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cycles per expression AST node (operand load / ALU operation).
+    pub expr_node: u64,
+    /// Cycles to store an assignment result.
+    pub store: u64,
+    /// Call/return overhead of an external leaf routine (`JSR` + callee body
+    /// + `RTS`); argument evaluation is charged per expression node on top.
+    pub call_overhead: u64,
+    /// Cycles of a conditional branch whose condition is true (branch taken).
+    pub branch_taken: u64,
+    /// Cycles of a conditional branch whose condition is false.
+    pub branch_not_taken: u64,
+    /// Cycles per comparison in a `switch` compare ladder.
+    pub case_compare: u64,
+    /// Cycles of an unconditional jump.
+    pub jump: u64,
+    /// Cycles of the return transfer (`RTS`) back to the harness.
+    pub return_transfer: u64,
+    /// Cycles consumed by one cycle-counter read at an instrumentation point
+    /// (`LDD TCNT; STD buffer` on the real part).  Charged *after* the
+    /// reading is recorded.
+    pub read_cycle_counter: u64,
+}
+
+impl CostModel {
+    /// Cycle costs approximating the Motorola HCS12 target of the paper.
+    pub fn hcs12() -> CostModel {
+        CostModel {
+            expr_node: 1,
+            store: 2,
+            call_overhead: 20,
+            branch_taken: 3,
+            branch_not_taken: 1,
+            case_compare: 2,
+            jump: 3,
+            return_transfer: 5,
+            read_cycle_counter: 2,
+        }
+    }
+
+    /// A uniform unit-cost model, useful for tests that count operations
+    /// rather than cycles.
+    pub fn unit() -> CostModel {
+        CostModel {
+            expr_node: 1,
+            store: 1,
+            call_overhead: 1,
+            branch_taken: 1,
+            branch_not_taken: 1,
+            case_compare: 1,
+            jump: 1,
+            return_transfer: 1,
+            read_cycle_counter: 1,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::hcs12()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hcs12_is_the_default() {
+        assert_eq!(CostModel::default(), CostModel::hcs12());
+    }
+
+    #[test]
+    fn counter_read_is_cheaper_than_a_call() {
+        let m = CostModel::hcs12();
+        assert!(m.read_cycle_counter < m.call_overhead);
+        assert!(m.read_cycle_counter > 0);
+    }
+}

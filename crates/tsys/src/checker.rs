@@ -11,10 +11,22 @@
 //! therefore governed by exactly the quantities the Section 3.2 optimisations
 //! reduce: the width of variable domains, the number of variables in the
 //! state vector and the number of transitions.
+//!
+//! Two search engines are provided.  [`SearchEngine::Arena`] (the default)
+//! keeps every live state packed in one contiguous arena — a flat `i64`
+//! value array plus a known-bits mask, pushed and popped in stack discipline
+//! with zero per-state heap allocations — evaluates pre-resolved
+//! (index-based) expressions from a [`PreparedModel`], and deduplicates
+//! revisited `(location, monitor, valuation)` states through a
+//! depth-aware `rustc-hash` table.  [`SearchEngine::Baseline`] is the
+//! original clone-per-state implementation, kept so the benchmark harness
+//! can measure the speedup on identical queries.
 
 use crate::encode::encode_function;
 use crate::model::{LocId, Model, Transition, VarRole};
 use crate::opt::{apply_optimisations_preserving, OptReport, Optimisations};
+use crate::prepared::{ExprPool, INode, NodeId, PreparedModel, PreparedTransition};
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
@@ -121,6 +133,19 @@ pub struct CheckResult {
     pub opt_report: OptReport,
 }
 
+/// Which explicit-state search implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SearchEngine {
+    /// Original implementation: one heap-allocated `Vec<Option<i64>>` clone
+    /// per created state, name-resolved expression evaluation, no revisit
+    /// dedup.  Kept as the perf baseline.
+    Baseline,
+    /// Packed contiguous state arena, pre-resolved expressions, depth-aware
+    /// revisit dedup (default).
+    #[default]
+    Arena,
+}
+
 /// Explicit-state bounded model checker.
 #[derive(Debug, Clone)]
 pub struct ModelChecker {
@@ -132,6 +157,16 @@ pub struct ModelChecker {
     /// Maximum length of a single run (guards against loops whose bound
     /// annotation is violated for some inputs).
     pub max_depth: u64,
+    /// Search implementation.
+    pub engine: SearchEngine,
+    /// Number of expanded states after which the arena engine starts
+    /// deduplicating revisited `(location, monitor, valuation)` states.
+    /// On searches that complete within the transition budget, dedup is pure
+    /// pruning and never changes a verdict; a budget-limited search may
+    /// settle to a definite verdict where an undeduped one would report
+    /// [`CheckOutcome::Unknown`], because pruning stretches the budget
+    /// further.  It only trades hashing cost against re-exploration cost.
+    pub dedup_after_pops: u64,
 }
 
 impl Default for ModelChecker {
@@ -139,6 +174,17 @@ impl Default for ModelChecker {
         ModelChecker::new()
     }
 }
+
+/// Cap on remembered `(location, monitor, valuation)` states: beyond this the
+/// search keeps running but stops deduplicating, bounding memory without
+/// affecting soundness.
+const VISITED_CAP: usize = 1 << 21;
+
+/// Default for [`ModelChecker::dedup_after_pops`]: high enough that ordinary
+/// test-data queries (including full scans of one 16-bit domain) never pay
+/// the hashing cost, low enough that a genuine state-space blow-up starts
+/// pruning long before the transition budget is gone.
+const DEDUP_AFTER_POPS_DEFAULT: u64 = 1 << 20;
 
 impl ModelChecker {
     /// A checker with all optimisations enabled and default budgets.
@@ -152,12 +198,20 @@ impl ModelChecker {
             optimisations,
             max_transitions: 50_000_000,
             max_depth: 100_000,
+            engine: SearchEngine::default(),
+            dedup_after_pops: DEDUP_AFTER_POPS_DEFAULT,
         }
     }
 
     /// Sets the transition budget.
     pub fn with_budget(mut self, max_transitions: u64) -> ModelChecker {
         self.max_transitions = max_transitions;
+        self
+    }
+
+    /// Selects the search engine.
+    pub fn with_engine(mut self, engine: SearchEngine) -> ModelChecker {
+        self.engine = engine;
         self
     }
 
@@ -175,6 +229,257 @@ impl ModelChecker {
 
     /// Runs the search on an already-encoded model.
     pub fn check_model(&self, model: &Model, query: &PathQuery) -> CheckResult {
+        match self.engine {
+            SearchEngine::Baseline => self.check_baseline(model, query),
+            SearchEngine::Arena => self.check_prepared(&PreparedModel::new(model), query),
+        }
+    }
+
+    /// Runs the arena search on a [`PreparedModel`], reusing its outgoing
+    /// transition index and pre-resolved expressions across queries.
+    pub fn check_prepared(&self, prepared: &PreparedModel<'_>, query: &PathQuery) -> CheckResult {
+        let start = Instant::now();
+        let model = prepared.model;
+        let vars_n = model.vars.len();
+        let words = vars_n.div_ceil(64).max(1);
+
+        let mut stats = CheckStats {
+            state_bits: model.state_bits(),
+            state_bytes: model.state_bytes(),
+            model_transitions: model.transitions.len(),
+            model_vars: model.vars.len(),
+            ..CheckStats::default()
+        };
+
+        let pool = &prepared.pool;
+        let mut arena = StateArena::new(vars_n, words);
+        // Initial state.
+        {
+            let mut vals = vec![0i64; vars_n];
+            let mut known = vec![0u64; words];
+            for (i, var) in model.vars.iter().enumerate() {
+                if let Some(init) = var.init {
+                    vals[i] = init;
+                    known[i >> 6] |= 1 << (i & 63);
+                }
+            }
+            arena.push(model.initial.index() as u32, 0, 0, &vals, &known);
+        }
+        stats.states_created = 1;
+
+        // Scratch buffers reused across the whole search: the popped state
+        // and the child state under construction.
+        let mut cur_vals = vec![0i64; vars_n];
+        let mut cur_known = vec![0u64; words];
+        let mut child_vals = vec![0i64; vars_n];
+        let mut child_known = vec![0u64; words];
+        let mut enabled: Vec<usize> = Vec::with_capacity(8);
+        let mut effect_cache: Vec<Eval> = Vec::with_capacity(8);
+        let mut effect_offsets: Vec<usize> = Vec::with_capacity(8);
+        let mut visited: FxHashMap<Box<[u64]>, u64> = FxHashMap::default();
+        let mut key_buf: Vec<u64> = Vec::with_capacity(1 + words + vars_n);
+        let mut pops: u64 = 0;
+        let mut dedup_active = true;
+        let mut dedup_lookups: u64 = 0;
+        let mut dedup_hits: u64 = 0;
+
+        let mut outcome = CheckOutcome::Infeasible;
+        'search: while let Some(entry) = arena.pop(&mut cur_vals, &mut cur_known) {
+            if stats.transitions_fired + stats.states_created >= self.max_transitions {
+                outcome = CheckOutcome::Unknown;
+                break 'search;
+            }
+            pops += 1;
+            stats.max_depth = stats.max_depth.max(entry.depth);
+            if entry.monitor as usize == query.decisions.len() {
+                outcome = CheckOutcome::Feasible {
+                    witness: witness_packed(model, &cur_vals, &cur_known),
+                    steps: entry.depth,
+                };
+                stats.witness_steps = Some(entry.depth);
+                break 'search;
+            }
+            if entry.depth >= self.max_depth {
+                continue;
+            }
+            let transitions = &prepared.outgoing[entry.loc as usize];
+            if transitions.is_empty() {
+                continue;
+            }
+
+            // Revisit dedup: a state identical in (location, monitor,
+            // valuation) reached again at the same or greater depth explores
+            // a subtree that has already been (or is being) explored with at
+            // least as much depth headroom — skip it.  Engages only once the
+            // search is large enough to amortise the hashing, and disables
+            // itself (dropping the table) when the hit rate shows the state
+            // space is not reconverging — splits over wide input domains
+            // produce millions of unique states that would only burn memory.
+            if dedup_active && pops > self.dedup_after_pops && visited.len() >= VISITED_CAP {
+                // Table full: stop deduplicating and release the memory
+                // instead of carrying the peak allocation through the rest
+                // of the search.
+                dedup_active = false;
+                visited = FxHashMap::default();
+            }
+            if dedup_active && pops > self.dedup_after_pops {
+                dedup_lookups += 1;
+                key_buf.clear();
+                key_buf.push(u64::from(entry.loc) | (u64::from(entry.monitor) << 32));
+                key_buf.extend_from_slice(&cur_known);
+                key_buf.extend(cur_vals.iter().map(|v| *v as u64));
+                match visited.get_mut(key_buf.as_slice()) {
+                    Some(best_depth) => {
+                        if *best_depth <= entry.depth {
+                            dedup_hits += 1;
+                            continue;
+                        }
+                        *best_depth = entry.depth;
+                    }
+                    None => {
+                        visited.insert(key_buf.clone().into_boxed_slice(), entry.depth);
+                    }
+                }
+                if dedup_lookups & 0xFFFF == 0 && dedup_hits * 10 < dedup_lookups {
+                    dedup_active = false;
+                    visited = FxHashMap::default();
+                }
+            }
+
+            // First pass: find out whether deciding the enabled set requires
+            // the value of a still-unknown variable.
+            let mut split_var: Option<usize> = None;
+            enabled.clear();
+            for (i, t) in transitions.iter().enumerate() {
+                match t.guard {
+                    None => enabled.push(i),
+                    Some(g) => match eval_packed(pool, g, &cur_vals, &cur_known) {
+                        Eval::Known(v) => {
+                            if v != 0 {
+                                enabled.push(i);
+                            }
+                        }
+                        Eval::Unknown(var) => {
+                            split_var = Some(var);
+                            break;
+                        }
+                        Eval::Error => {}
+                    },
+                }
+            }
+            effect_cache.clear();
+            effect_offsets.clear();
+            if split_var.is_none() {
+                // Effects may also read unknown variables; evaluate each
+                // enabled transition's effects once here and cache the
+                // values so the fire loop does not walk the expressions a
+                // second time.
+                'effects: for &i in &enabled {
+                    effect_offsets.push(effect_cache.len());
+                    for &(_, e) in &transitions[i].effect {
+                        let value = eval_packed(pool, e, &cur_vals, &cur_known);
+                        if let Eval::Unknown(var) = value {
+                            split_var = Some(var);
+                            break 'effects;
+                        }
+                        effect_cache.push(value);
+                    }
+                }
+            }
+            if let Some(var) = split_var {
+                // Split lazily: the parent valuation is stored once and the
+                // children are materialised value-by-value as they are
+                // popped, in ascending order (deterministic witnesses with
+                // minimal values), costing O(1) arena space per split.  The
+                // children still count towards the state budget up front,
+                // exactly like the baseline engine's eager pushes.
+                let (lo, hi) = model.vars[var].domain;
+                stats.states_created += model.vars[var].domain_size();
+                arena.push_split(
+                    entry.loc,
+                    entry.monitor,
+                    entry.depth,
+                    &cur_vals,
+                    &cur_known,
+                    var as u32,
+                    lo,
+                    hi,
+                );
+                continue;
+            }
+            // Fire enabled transitions (in reverse so the first is explored
+            // first by the DFS).
+            for pos in (0..enabled.len()).rev() {
+                let t: &PreparedTransition = &transitions[enabled[pos]];
+                if stats.transitions_fired >= self.max_transitions {
+                    outcome = CheckOutcome::Unknown;
+                    break 'search;
+                }
+                // Path monitor.
+                let mut monitor = entry.monitor as usize;
+                if let Some((stmt, choice)) = &prepared.source(t).decision {
+                    if monitor < query.decisions.len() {
+                        let (expected_stmt, expected_choice) = query.decisions[monitor];
+                        if *stmt == expected_stmt {
+                            if *choice == expected_choice {
+                                monitor += 1;
+                            } else {
+                                // Wrong decision at a constrained branch: this
+                                // run can no longer follow the path.
+                                continue;
+                            }
+                        }
+                    }
+                }
+                child_vals.copy_from_slice(&cur_vals);
+                child_known.copy_from_slice(&cur_known);
+                let mut failed = false;
+                let cached = &effect_cache[effect_offsets[pos]..];
+                for (&(target, _), value) in t.effect.iter().zip(cached) {
+                    match *value {
+                        Eval::Known(v) => {
+                            let target = target as usize;
+                            if target >= vars_n {
+                                failed = true;
+                                break;
+                            }
+                            child_vals[target] = model.vars[target].ty.wrap(v);
+                            child_known[target >> 6] |= 1 << (target & 63);
+                        }
+                        // Unknown cannot be cached (it would have split);
+                        // Error skips the transition like the baseline.
+                        Eval::Unknown(_) | Eval::Error => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+                if failed {
+                    continue;
+                }
+                stats.transitions_fired += 1;
+                arena.push(
+                    t.to,
+                    monitor as u32,
+                    entry.depth + 1,
+                    &child_vals,
+                    &child_known,
+                );
+                stats.states_created += 1;
+            }
+        }
+
+        stats.memory_estimate_bytes = stats.states_created * stats.state_bytes;
+        stats.duration = start.elapsed();
+        CheckResult {
+            outcome,
+            stats,
+            opt_report: OptReport::default(),
+        }
+    }
+
+    /// The original clone-per-state search, kept as the measurable baseline.
+    fn check_baseline(&self, model: &Model, query: &PathQuery) -> CheckResult {
         let start = Instant::now();
         let var_index: HashMap<&str, usize> = model
             .vars
@@ -302,8 +607,6 @@ impl ModelChecker {
                             values[idx] = Some(model.vars[idx].ty.wrap(v));
                         }
                         Eval::Unknown(_) => {
-                            // Handled by the split pass; being here means a
-                            // race between guard and effect reads — skip.
                             failed = true;
                             break;
                         }
@@ -337,6 +640,140 @@ impl ModelChecker {
     }
 }
 
+/// How an arena entry materialises its state.
+#[derive(Debug, Clone, Copy)]
+enum EntryKind {
+    /// The entry owns the top packed block verbatim.
+    Concrete,
+    /// Lazy domain split: the entry owns the top packed block as the *parent*
+    /// valuation and materialises one child per pop, assigning `next` to
+    /// variable `var`, until `next` passes `hi`.
+    Split { var: u32, next: i64, hi: i64 },
+}
+
+/// One entry of the packed state stack.
+#[derive(Debug, Clone, Copy)]
+struct StateEntry {
+    loc: u32,
+    monitor: u32,
+    depth: u64,
+    kind: EntryKind,
+}
+
+/// Popped state metadata.
+#[derive(Debug, Clone, Copy)]
+struct PoppedState {
+    loc: u32,
+    monitor: u32,
+    depth: u64,
+}
+
+/// Stack-disciplined arena of packed states: entry metadata in one vector,
+/// values and known-bit masks in parallel flat arrays.  Push appends, pop
+/// copies into caller scratch and truncates — no per-state allocation ever.
+/// Domain splits are stored as a single parent block plus a value cursor, so
+/// splitting over a 16-bit domain costs one block, not 65536.
+#[derive(Debug)]
+struct StateArena {
+    vars: usize,
+    words: usize,
+    entries: Vec<StateEntry>,
+    values: Vec<i64>,
+    known: Vec<u64>,
+}
+
+impl StateArena {
+    fn new(vars: usize, words: usize) -> StateArena {
+        // Pre-size for a few hundred live states; grows amortised afterwards.
+        let prealloc = 256;
+        StateArena {
+            vars,
+            words,
+            entries: Vec::with_capacity(prealloc),
+            values: Vec::with_capacity(prealloc * vars),
+            known: Vec::with_capacity(prealloc * words),
+        }
+    }
+
+    fn push(&mut self, loc: u32, monitor: u32, depth: u64, vals: &[i64], known: &[u64]) {
+        debug_assert_eq!(vals.len(), self.vars);
+        debug_assert_eq!(known.len(), self.words);
+        self.entries.push(StateEntry {
+            loc,
+            monitor,
+            depth,
+            kind: EntryKind::Concrete,
+        });
+        self.values.extend_from_slice(vals);
+        self.known.extend_from_slice(known);
+    }
+
+    /// Pushes a lazy split over `var`'s domain `lo..=hi` of the given parent
+    /// valuation.  Children pop in ascending value order.
+    #[allow(clippy::too_many_arguments)]
+    fn push_split(
+        &mut self,
+        loc: u32,
+        monitor: u32,
+        depth: u64,
+        vals: &[i64],
+        known: &[u64],
+        var: u32,
+        lo: i64,
+        hi: i64,
+    ) {
+        debug_assert!(lo <= hi);
+        self.entries.push(StateEntry {
+            loc,
+            monitor,
+            depth,
+            kind: EntryKind::Split { var, next: lo, hi },
+        });
+        self.values.extend_from_slice(vals);
+        self.known.extend_from_slice(known);
+    }
+
+    fn pop(&mut self, vals: &mut [i64], known: &mut [u64]) -> Option<PoppedState> {
+        let entry = self.entries.pop()?;
+        let vbase = self.values.len() - self.vars;
+        let kbase = self.known.len() - self.words;
+        vals.copy_from_slice(&self.values[vbase..]);
+        known.copy_from_slice(&self.known[kbase..]);
+        match entry.kind {
+            EntryKind::Concrete => {
+                self.values.truncate(vbase);
+                self.known.truncate(kbase);
+            }
+            EntryKind::Split { var, next, hi } => {
+                let var = var as usize;
+                vals[var] = next;
+                known[var >> 6] |= 1 << (var & 63);
+                if next < hi {
+                    // More children to come: keep the parent block and
+                    // advance the cursor.
+                    self.entries.push(StateEntry {
+                        kind: EntryKind::Split {
+                            var: var as u32,
+                            next: next + 1,
+                            hi,
+                        },
+                        ..entry
+                    });
+                } else {
+                    // Last child consumed the block.
+                    self.values.truncate(vbase);
+                    self.known.truncate(kbase);
+                }
+            }
+        }
+        Some(PoppedState {
+            loc: entry.loc,
+            monitor: entry.monitor,
+            depth: entry.depth,
+        })
+    }
+}
+
 #[derive(Debug, Clone)]
 struct State {
     loc: LocId,
@@ -357,10 +794,109 @@ fn witness_from(model: &Model, state: &State, var_index: &HashMap<&str, usize>) 
     witness
 }
 
+fn witness_packed(model: &Model, vals: &[i64], known: &[u64]) -> InputVector {
+    let mut witness = InputVector::new();
+    for (idx, var) in model.vars.iter().enumerate() {
+        if var.role == VarRole::Input {
+            let value = if known[idx >> 6] & (1 << (idx & 63)) != 0 {
+                vals[idx]
+            } else {
+                var.domain.0.max(0).min(var.domain.1)
+            };
+            witness.set(var.name.clone(), value);
+        }
+    }
+    witness
+}
+
+#[derive(Clone, Copy)]
 enum Eval {
     Known(i64),
     Unknown(usize),
     Error,
+}
+
+/// Evaluates the shared arithmetic of both engines.
+fn eval_op(op: BinOp, l: i64, r: i64) -> Result<i64, ()> {
+    Ok(match op {
+        BinOp::Add => l.wrapping_add(r),
+        BinOp::Sub => l.wrapping_sub(r),
+        BinOp::Mul => l.wrapping_mul(r),
+        BinOp::Div => {
+            if r == 0 {
+                return Err(());
+            }
+            l.wrapping_div(r)
+        }
+        BinOp::Mod => {
+            if r == 0 {
+                return Err(());
+            }
+            l.wrapping_rem(r)
+        }
+        BinOp::Lt => i64::from(l < r),
+        BinOp::Le => i64::from(l <= r),
+        BinOp::Gt => i64::from(l > r),
+        BinOp::Ge => i64::from(l >= r),
+        BinOp::Eq => i64::from(l == r),
+        BinOp::Ne => i64::from(l != r),
+        BinOp::And => i64::from(l != 0 && r != 0),
+        BinOp::Or => i64::from(l != 0 || r != 0),
+        BinOp::BitAnd => l & r,
+        BinOp::BitOr => l | r,
+        BinOp::BitXor => l ^ r,
+        BinOp::Shl => l.wrapping_shl((r & 63) as u32),
+        BinOp::Shr => l.wrapping_shr((r & 63) as u32),
+    })
+}
+
+fn eval_unop(op: UnOp, v: i64) -> i64 {
+    match op {
+        UnOp::Neg => v.wrapping_neg(),
+        UnOp::Not => i64::from(v == 0),
+        UnOp::BitNot => !v,
+    }
+}
+
+/// Partial evaluation of a pool-flattened expression over a packed state.
+fn eval_packed(pool: &ExprPool, id: NodeId, vals: &[i64], known: &[u64]) -> Eval {
+    match pool.node(id) {
+        INode::Int(v) => Eval::Known(v),
+        INode::Var(idx) => {
+            let idx = idx as usize;
+            if known[idx >> 6] & (1 << (idx & 63)) != 0 {
+                Eval::Known(vals[idx])
+            } else {
+                Eval::Unknown(idx)
+            }
+        }
+        INode::UnknownVar => Eval::Error,
+        INode::Unary { op, operand } => match eval_packed(pool, operand, vals, known) {
+            Eval::Known(v) => Eval::Known(eval_unop(op, v)),
+            other => other,
+        },
+        INode::Binary { op, lhs, rhs } => {
+            let l = match eval_packed(pool, lhs, vals, known) {
+                Eval::Known(v) => v,
+                other => return other,
+            };
+            // Short-circuit.
+            if op == BinOp::And && l == 0 {
+                return Eval::Known(0);
+            }
+            if op == BinOp::Or && l != 0 {
+                return Eval::Known(1);
+            }
+            let r = match eval_packed(pool, rhs, vals, known) {
+                Eval::Known(v) => v,
+                other => return other,
+            };
+            match eval_op(op, l, r) {
+                Ok(v) => Eval::Known(v),
+                Err(()) => Eval::Error,
+            }
+        }
+    }
 }
 
 /// Partial expression evaluation: returns the value if every read variable is
@@ -376,11 +912,7 @@ fn eval_partial(expr: &Expr, values: &[Option<i64>], var_index: &HashMap<&str, u
             None => Eval::Error,
         },
         Expr::Unary { op, operand } => match eval_partial(operand, values, var_index) {
-            Eval::Known(v) => Eval::Known(match op {
-                UnOp::Neg => v.wrapping_neg(),
-                UnOp::Not => i64::from(v == 0),
-                UnOp::BitNot => !v,
-            }),
+            Eval::Known(v) => Eval::Known(eval_unop(*op, v)),
             other => other,
         },
         Expr::Binary { op, lhs, rhs } => {
@@ -399,36 +931,10 @@ fn eval_partial(expr: &Expr, values: &[Option<i64>], var_index: &HashMap<&str, u
                 Eval::Known(v) => v,
                 other => return other,
             };
-            Eval::Known(match op {
-                BinOp::Add => l.wrapping_add(r),
-                BinOp::Sub => l.wrapping_sub(r),
-                BinOp::Mul => l.wrapping_mul(r),
-                BinOp::Div => {
-                    if r == 0 {
-                        return Eval::Error;
-                    }
-                    l.wrapping_div(r)
-                }
-                BinOp::Mod => {
-                    if r == 0 {
-                        return Eval::Error;
-                    }
-                    l.wrapping_rem(r)
-                }
-                BinOp::Lt => i64::from(l < r),
-                BinOp::Le => i64::from(l <= r),
-                BinOp::Gt => i64::from(l > r),
-                BinOp::Ge => i64::from(l >= r),
-                BinOp::Eq => i64::from(l == r),
-                BinOp::Ne => i64::from(l != r),
-                BinOp::And => i64::from(l != 0 && r != 0),
-                BinOp::Or => i64::from(l != 0 || r != 0),
-                BinOp::BitAnd => l & r,
-                BinOp::BitOr => l | r,
-                BinOp::BitXor => l ^ r,
-                BinOp::Shl => l.wrapping_shl((r & 63) as u32),
-                BinOp::Shr => l.wrapping_shr((r & 63) as u32),
-            })
+            match eval_op(*op, l, r) {
+                Ok(v) => Eval::Known(v),
+                Err(()) => Eval::Error,
+            }
         }
     }
 }
@@ -584,8 +1090,7 @@ mod tests {
         let deep_path = paths
             .iter()
             .find(|p| {
-                p.decisions.len() == 2
-                    && p.decisions.iter().all(|(_, c)| *c == BranchChoice::Then)
+                p.decisions.len() == 2 && p.decisions.iter().all(|(_, c)| *c == BranchChoice::Then)
             })
             .expect("deep path");
         let naive = ModelChecker::with_optimisations(Optimisations::none())
@@ -615,7 +1120,8 @@ mod tests {
         "#;
         let (f, paths) = paths_of(src);
         let path = PathQuery::new(paths[0].decisions.clone());
-        let plain = ModelChecker::with_optimisations(Optimisations::none()).find_test_data(&f, &path);
+        let plain =
+            ModelChecker::with_optimisations(Optimisations::none()).find_test_data(&f, &path);
         let concat = ModelChecker::with_optimisations(Optimisations {
             statement_concatenation: true,
             ..Optimisations::none()
@@ -637,5 +1143,94 @@ mod tests {
             result.stats.memory_estimate_bytes,
             result.stats.states_created * result.stats.state_bytes
         );
+    }
+
+    #[test]
+    fn engines_agree_on_outcomes_and_witnesses() {
+        let sources = [
+            r#"void f(char a __range(0, 4), char b __range(0, 4)) {
+                if (a > 2) { if (b == 1) { x(); } else { y(); } } else { z(); }
+            }"#,
+            r#"void f(char a __range(0, 4)) {
+                if (a > 2) { x(); }
+                if (a < 1) { y(); }
+            }"#,
+            r#"void f(char s __range(0, 5), bool go) {
+                switch (s) { case 0: a0(); break; case 3: a3(); break; default: d(); break; }
+                if (go) { g(); }
+            }"#,
+            r#"void f(char n __range(0, 3)) {
+                char i = 0;
+                while (i < n) __bound(3) { i = i + 1; }
+            }"#,
+        ];
+        for src in sources {
+            let (f, paths) = paths_of(src);
+            for path in &paths {
+                let query = PathQuery::new(path.decisions.clone());
+                let arena = ModelChecker::new()
+                    .with_engine(SearchEngine::Arena)
+                    .find_test_data(&f, &query);
+                let baseline = ModelChecker::new()
+                    .with_engine(SearchEngine::Baseline)
+                    .find_test_data(&f, &query);
+                assert_eq!(
+                    arena.outcome, baseline.outcome,
+                    "engines disagree on {src} / {path}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_model_is_reusable_across_queries() {
+        let src = r#"
+            void f(char a __range(0, 4), char b __range(0, 4)) {
+                if (a > 2) { if (b == 1) { x(); } else { y(); } } else { z(); }
+            }
+        "#;
+        let (f, paths) = paths_of(src);
+        let model = crate::encode::encode_function(&f, &Optimisations::all().encode_options());
+        let prepared = PreparedModel::new(&model);
+        let mc = ModelChecker::new();
+        for path in &paths {
+            let query = PathQuery::new(path.decisions.clone());
+            let via_prepared = mc.check_prepared(&prepared, &query);
+            let via_model = mc.check_model(&model, &query);
+            assert_eq!(via_prepared.outcome, via_model.outcome);
+        }
+    }
+
+    #[test]
+    fn arena_engine_is_the_default() {
+        assert_eq!(ModelChecker::new().engine, SearchEngine::Arena);
+    }
+
+    #[test]
+    fn dedup_preserves_verdicts_and_witnesses() {
+        // Reconvergent control flow (branches that do not touch state) is
+        // where revisit dedup prunes; forcing it on from the first pop must
+        // not change any verdict or witness.
+        let src = r#"
+            void f(char a __range(0, 6), char b __range(0, 6)) {
+                if (a > 1) { p1(); } else { p2(); }
+                if (a > 3) { p3(); } else { p4(); }
+                if (b == 5) { p5(); }
+            }
+        "#;
+        let (f, paths) = paths_of(src);
+        assert!(paths.len() >= 8);
+        for path in &paths {
+            let query = PathQuery::new(path.decisions.clone());
+            let mut eager = ModelChecker::new();
+            eager.dedup_after_pops = 0;
+            let deduped = eager.find_test_data(&f, &query);
+            let baseline = ModelChecker::new()
+                .with_engine(SearchEngine::Baseline)
+                .find_test_data(&f, &query);
+            assert_eq!(deduped.outcome, baseline.outcome, "path {path}");
+            // Pruning must never expand more states than the undeduped run.
+            assert!(deduped.stats.states_created <= baseline.stats.states_created);
+        }
     }
 }

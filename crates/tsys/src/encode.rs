@@ -22,7 +22,7 @@ use tmg_minic::interp::BranchChoice;
 use tmg_minic::types::Ty;
 
 /// Options controlling the encoding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EncodeOptions {
     /// Variable range analysis (Section 3.2.4): narrow each variable's domain
     /// using its declared type, `__range` annotations and constant-assignment
@@ -31,15 +31,6 @@ pub struct EncodeOptions {
     /// Statement concatenation (Section 3.2.3): fuse consecutive independent
     /// assignment transitions into a single transition.
     pub concat_statements: bool,
-}
-
-impl Default for EncodeOptions {
-    fn default() -> Self {
-        EncodeOptions {
-            range_analysis: false,
-            concat_statements: false,
-        }
-    }
 }
 
 impl EncodeOptions {
@@ -299,9 +290,7 @@ impl<'f> Encoder<'f> {
                     });
                     cur = join;
                 }
-                Stmt::While {
-                    id, cond, body, ..
-                } => {
+                Stmt::While { id, cond, body, .. } => {
                     let header = self.new_loc();
                     self.jump(cur, header);
                     let body_entry = self.new_loc();
@@ -387,7 +376,10 @@ fn analysed_domain(function: &Function, decl: &VarDecl) -> (i64, i64) {
             }
         });
         if all_const {
-            return (decl.ty.wrap(lo).min(decl.ty.wrap(hi)), decl.ty.wrap(hi).max(decl.ty.wrap(lo)));
+            return (
+                decl.ty.wrap(lo).min(decl.ty.wrap(hi)),
+                decl.ty.wrap(hi).max(decl.ty.wrap(lo)),
+            );
         }
     }
     decl.ty.value_range()
@@ -508,7 +500,10 @@ mod tests {
 
     #[test]
     fn one_transition_per_statement_in_naive_mode() {
-        let m = encode("void f(int a) { a = 1; a = 2; a = 3; }", &EncodeOptions::naive());
+        let m = encode(
+            "void f(int a) { a = 1; a = 2; a = 3; }",
+            &EncodeOptions::naive(),
+        );
         // 3 assignments + the fall-off-the-end transition.
         assert_eq!(m.transitions.len(), 4);
     }
@@ -526,7 +521,12 @@ mod tests {
         );
         assert!(fused.transitions.len() < naive.transitions.len());
         // All three assignments are independent, so they can fuse into one.
-        let max_effect = fused.transitions.iter().map(|t| t.effect.len()).max().unwrap_or(0);
+        let max_effect = fused
+            .transitions
+            .iter()
+            .map(|t| t.effect.len())
+            .max()
+            .unwrap_or(0);
         assert_eq!(max_effect, 3);
     }
 
@@ -546,7 +546,10 @@ mod tests {
 
     #[test]
     fn branches_carry_decisions() {
-        let m = encode("void f(int a) { if (a > 0) { g(); } else { h(); } }", &EncodeOptions::naive());
+        let m = encode(
+            "void f(int a) { if (a > 0) { g(); } else { h(); } }",
+            &EncodeOptions::naive(),
+        );
         let decisions: Vec<_> = m.transitions.iter().filter_map(|t| t.decision).collect();
         assert!(decisions.iter().any(|(_, c)| *c == BranchChoice::Then));
         assert!(decisions.iter().any(|(_, c)| *c == BranchChoice::Else));
@@ -569,7 +572,10 @@ mod tests {
 
     #[test]
     fn uninitialised_locals_are_free_and_initialised_ones_are_not() {
-        let m = encode("void f(int a) { int u; int v = 4; u = 1; }", &EncodeOptions::naive());
+        let m = encode(
+            "void f(int a) { int u; int v = 4; u = 1; }",
+            &EncodeOptions::naive(),
+        );
         assert!(m.var("u").expect("u").is_free());
         assert_eq!(m.var("v").expect("v").init, Some(4));
         // The input is always free.
@@ -583,14 +589,19 @@ mod tests {
             &EncodeOptions::naive(),
         );
         let decisions: Vec<_> = m.transitions.iter().filter_map(|t| t.decision).collect();
-        assert!(decisions.iter().any(|(_, c)| *c == BranchChoice::LoopIterate));
+        assert!(decisions
+            .iter()
+            .any(|(_, c)| *c == BranchChoice::LoopIterate));
         assert!(decisions.iter().any(|(_, c)| *c == BranchChoice::LoopExit));
         m.validate().expect("valid");
     }
 
     #[test]
     fn locations_are_compact() {
-        let m = encode("void f(int a) { if (a) { a = 1; } a = 2; }", &EncodeOptions::optimised());
+        let m = encode(
+            "void f(int a) { if (a) { a = 1; } a = 2; }",
+            &EncodeOptions::optimised(),
+        );
         for t in &m.transitions {
             assert!(t.from.0 < m.locations && t.to.0 < m.locations);
         }

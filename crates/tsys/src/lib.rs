@@ -47,8 +47,10 @@ pub mod checker;
 pub mod encode;
 pub mod model;
 pub mod opt;
+pub mod prepared;
 
-pub use checker::{CheckOutcome, CheckResult, CheckStats, ModelChecker, PathQuery};
+pub use checker::{CheckOutcome, CheckResult, CheckStats, ModelChecker, PathQuery, SearchEngine};
 pub use encode::{encode_function, EncodeOptions};
 pub use model::{LocId, Model, StateVar, Transition, VarRole};
 pub use opt::{apply_optimisations, OptReport, Optimisations};
+pub use prepared::PreparedModel;

@@ -194,7 +194,10 @@ impl Model {
     pub fn validate(&self) -> Result<(), String> {
         for t in &self.transitions {
             if t.from.0 >= self.locations || t.to.0 >= self.locations {
-                return Err(format!("transition {:?} references an out-of-range location", t));
+                return Err(format!(
+                    "transition {:?} references an out-of-range location",
+                    t
+                ));
             }
             for v in t.written_vars() {
                 if self.var(v).is_none() {

@@ -185,10 +185,7 @@ fn reverse_cse(f: &mut Function, report: &mut OptReport) {
                 continue;
             }
             let def = defs.get(&local.name).expect("counted assignment").clone();
-            let reads_only_params = def
-                .referenced_vars()
-                .iter()
-                .all(|v| params.contains(*v));
+            let reads_only_params = def.referenced_vars().iter().all(|v| params.contains(*v));
             if reads_only_params {
                 candidate = Some((local.name.clone(), def));
                 break;
@@ -198,9 +195,11 @@ fn reverse_cse(f: &mut Function, report: &mut OptReport) {
             return;
         };
         // Drop the defining assignment, substitute all reads, remove the decl.
-        remove_statements(&mut f.body, &mut |s| {
-            matches!(s, Stmt::Assign { target, .. } if target == &name)
-        }, report);
+        remove_statements(
+            &mut f.body,
+            &mut |s| matches!(s, Stmt::Assign { target, .. } if target == &name),
+            report,
+        );
         substitute_reads(&mut f.body, &name, &def);
         f.locals.retain(|l| l.name != name);
         report.substituted_temps.push(name);
@@ -242,9 +241,11 @@ fn live_variable_analysis(f: &mut Function, report: &mut OptReport) {
         .map(|l| l.name.clone())
         .collect();
     for name in &unused {
-        remove_statements(&mut f.body, &mut |s| {
-            matches!(s, Stmt::Assign { target, .. } if target == name)
-        }, report);
+        remove_statements(
+            &mut f.body,
+            &mut |s| matches!(s, Stmt::Assign { target, .. } if target == name),
+            report,
+        );
         f.locals.retain(|l| &l.name != name);
         report.removed_vars.push(name.clone());
     }
@@ -310,7 +311,11 @@ fn live_variable_analysis(f: &mut Function, report: &mut OptReport) {
         .locals
         .iter()
         .filter(|l| l.init.is_none() && !read_first.contains(&l.name))
-        .filter_map(|l| mentions.get(&l.name).map(|span| (l.name.clone(), l.ty, *span)))
+        .filter_map(|l| {
+            mentions
+                .get(&l.name)
+                .map(|span| (l.name.clone(), l.ty, *span))
+        })
         .collect();
     let mut merged_away: HashSet<String> = HashSet::new();
     for i in 0..mergeable.len() {
@@ -429,35 +434,46 @@ fn dead_code_elimination(f: &mut Function, preserve: &HashSet<StmtId>, report: &
     // Remove assignments to irrelevant variables, except preserved
     // statements.  Calls are kept: they never influence control flow, but
     // they anchor the branches the measurement phase cares about.
-    remove_statements(&mut f.body, &mut |s| match s {
-        Stmt::Assign { id, target, .. } => !preserve.contains(id) && !relevant.contains(target),
-        _ => false,
-    }, report);
+    remove_statements(
+        &mut f.body,
+        &mut |s| match s {
+            Stmt::Assign { id, target, .. } => !preserve.contains(id) && !relevant.contains(target),
+            _ => false,
+        },
+        report,
+    );
 
     // Remove branch statements whose condition is irrelevant to any surviving
     // code: no preserved statement inside, no surviving statement inside, and
     // the branch itself not preserved.
-    remove_statements(&mut f.body, &mut |s| match s {
-        Stmt::If {
-            id,
-            then_branch,
-            else_branch,
-            ..
-        } => {
-            !preserve.contains(id)
-                && block_is_empty_deep(then_branch)
-                && else_branch.as_ref().map(block_is_empty_deep).unwrap_or(true)
-        }
-        Stmt::Switch {
-            id, cases, default, ..
-        } => {
-            !preserve.contains(id)
-                && cases.iter().all(|c| block_is_empty_deep(&c.body))
-                && default.as_ref().map(block_is_empty_deep).unwrap_or(true)
-        }
-        Stmt::While { id, body, .. } => !preserve.contains(id) && block_is_empty_deep(body),
-        _ => false,
-    }, report);
+    remove_statements(
+        &mut f.body,
+        &mut |s| match s {
+            Stmt::If {
+                id,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                !preserve.contains(id)
+                    && block_is_empty_deep(then_branch)
+                    && else_branch
+                        .as_ref()
+                        .map(block_is_empty_deep)
+                        .unwrap_or(true)
+            }
+            Stmt::Switch {
+                id, cases, default, ..
+            } => {
+                !preserve.contains(id)
+                    && cases.iter().all(|c| block_is_empty_deep(&c.body))
+                    && default.as_ref().map(block_is_empty_deep).unwrap_or(true)
+            }
+            Stmt::While { id, body, .. } => !preserve.contains(id) && block_is_empty_deep(body),
+            _ => false,
+        },
+        report,
+    );
 
     // Drop declarations of locals that no longer appear anywhere.
     let still_used = collect_mentioned_vars(f);
@@ -552,7 +568,11 @@ mod tests {
         let mut cond_vars = Vec::new();
         f.for_each_stmt(&mut |s| {
             if let Stmt::If { cond, .. } = s {
-                cond_vars = cond.referenced_vars().iter().map(|v| v.to_string()).collect();
+                cond_vars = cond
+                    .referenced_vars()
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect();
             }
         });
         assert!(cond_vars.iter().all(|v| v == "b"));

@@ -1,0 +1,136 @@
+//! A model pre-processed for checking.
+//!
+//! Preparation *pre-resolves* every guard and effect expression: variable
+//! names become state-vector indices and the whole expression forest is
+//! flattened into one contiguous node pool, so the search neither hashes a
+//! string nor chases `Box` pointers.  Preparing costs a handful of `Vec`
+//! growths rather than one allocation per expression node, which is why
+//! [`check_model`](crate::ModelChecker::check_model) can afford to prepare
+//! per query; callers that re-query one encoding repeatedly (ablations,
+//! sweeps) can build a [`PreparedModel`] once and go through
+//! [`check_prepared`](crate::ModelChecker::check_prepared) to skip even
+//! that.
+
+use crate::model::{Model, Transition};
+use rustc_hash::FxHashMap;
+use tmg_minic::ast::{BinOp, Expr, UnOp};
+
+/// Index of a node in the [`ExprPool`].
+pub(crate) type NodeId = u32;
+
+/// One flattened expression node.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum INode {
+    /// Integer literal.
+    Int(i64),
+    /// Read of the variable at this state-vector index.
+    Var(u32),
+    /// Read of a name that is not a state variable (evaluates to an error,
+    /// mirroring the interpreter's unknown-variable fault).
+    UnknownVar,
+    /// Unary operation.
+    Unary { op: UnOp, operand: NodeId },
+    /// Binary operation.
+    Binary { op: BinOp, lhs: NodeId, rhs: NodeId },
+}
+
+/// Contiguous pool holding every pre-resolved expression of a model.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ExprPool {
+    pub(crate) nodes: Vec<INode>,
+}
+
+impl ExprPool {
+    fn add(&mut self, expr: &Expr, var_index: &FxHashMap<&str, usize>) -> NodeId {
+        let node = match expr {
+            Expr::Int(v) => INode::Int(*v),
+            Expr::Var(name) => match var_index.get(name.as_str()) {
+                Some(&idx) => INode::Var(idx as u32),
+                None => INode::UnknownVar,
+            },
+            Expr::Unary { op, operand } => {
+                let operand = self.add(operand, var_index);
+                INode::Unary { op: *op, operand }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lhs = self.add(lhs, var_index);
+                let rhs = self.add(rhs, var_index);
+                INode::Binary { op: *op, lhs, rhs }
+            }
+        };
+        self.nodes.push(node);
+        self.nodes.len() as NodeId - 1
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> INode {
+        self.nodes[id as usize]
+    }
+}
+
+/// A transition with its guard and effects pre-resolved.
+#[derive(Debug, Clone)]
+pub(crate) struct PreparedTransition {
+    /// Index of the source [`Transition`] in the model.
+    pub(crate) index: u32,
+    /// Pre-resolved guard (`None` = always enabled).
+    pub(crate) guard: Option<NodeId>,
+    /// Pre-resolved simultaneous assignments `(target index, expression)`.
+    /// Targets that are not state variables get `u32::MAX`.
+    pub(crate) effect: Vec<(u32, NodeId)>,
+    /// Destination location index.
+    pub(crate) to: u32,
+}
+
+/// A [`Model`] plus everything the explicit-state search wants hoisted out of
+/// the per-query loop: the per-location outgoing-transition index and the
+/// flattened, index-resolved guard/effect expressions.
+#[derive(Debug, Clone)]
+pub struct PreparedModel<'m> {
+    /// The underlying model.
+    pub model: &'m Model,
+    pub(crate) outgoing: Vec<Vec<PreparedTransition>>,
+    pub(crate) pool: ExprPool,
+}
+
+impl<'m> PreparedModel<'m> {
+    /// Prepares `model` for repeated checking.
+    pub fn new(model: &'m Model) -> PreparedModel<'m> {
+        let var_index: FxHashMap<&str, usize> = model
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.name.as_str(), i))
+            .collect();
+        let mut pool = ExprPool::default();
+        let mut outgoing: Vec<Vec<PreparedTransition>> =
+            (0..model.locations as usize).map(|_| Vec::new()).collect();
+        for (index, t) in model.transitions.iter().enumerate() {
+            outgoing[t.from.index()].push(PreparedTransition {
+                index: index as u32,
+                guard: t.guard.as_ref().map(|g| pool.add(g, &var_index)),
+                effect: t
+                    .effect
+                    .iter()
+                    .map(|(target, e)| {
+                        let idx = var_index
+                            .get(target.as_str())
+                            .map(|&i| i as u32)
+                            .unwrap_or(u32::MAX);
+                        (idx, pool.add(e, &var_index))
+                    })
+                    .collect(),
+                to: t.to.index() as u32,
+            });
+        }
+        PreparedModel {
+            model,
+            outgoing,
+            pool,
+        }
+    }
+
+    /// The source transition a prepared transition came from.
+    pub(crate) fn source(&self, prepared: &PreparedTransition) -> &'m Transition {
+        &self.model.transitions[prepared.index as usize]
+    }
+}

@@ -43,6 +43,9 @@ fn main() {
     println!("Figure 3 — measurements over instrumentation points:");
     println!("{:>10} {:>24}", "ip", "m");
     for point in &sweep {
-        println!("{:>10} {:>24}", point.instrumentation_points, point.measurements);
+        println!(
+            "{:>10} {:>24}",
+            point.instrumentation_points, point.measurements
+        );
     }
 }

@@ -23,19 +23,63 @@ fn main() {
     let query = paths
         .iter()
         .map(|p| PathQuery::new(p.decisions.clone()))
-        .find(|q| matches!(reference.find_test_data(&function, q).outcome, CheckOutcome::Feasible { .. }))
+        .find(|q| {
+            matches!(
+                reference.find_test_data(&function, q).outcome,
+                CheckOutcome::Feasible { .. }
+            )
+        })
         .unwrap_or_else(PathQuery::any_execution);
-    println!("query: drive the module down a {}-decision path\n", query.decisions.len());
+    println!(
+        "query: drive the module down a {}-decision path\n",
+        query.decisions.len()
+    );
 
     let configurations = [
         ("unoptimized", Optimisations::none()),
         ("all optimisations used", Optimisations::all()),
-        ("Variable Initialisation", Optimisations { variable_initialisation: true, ..Optimisations::none() }),
-        ("Variable Range Analysis", Optimisations { variable_range_analysis: true, ..Optimisations::none() }),
-        ("Reverse CSE", Optimisations { reverse_cse: true, ..Optimisations::none() }),
-        ("Statement Concatenation", Optimisations { statement_concatenation: true, ..Optimisations::none() }),
-        ("Dead Variable Elimination", Optimisations { dead_code_elimination: true, ..Optimisations::none() }),
-        ("Live-Variable Analysis", Optimisations { live_variable_analysis: true, ..Optimisations::none() }),
+        (
+            "Variable Initialisation",
+            Optimisations {
+                variable_initialisation: true,
+                ..Optimisations::none()
+            },
+        ),
+        (
+            "Variable Range Analysis",
+            Optimisations {
+                variable_range_analysis: true,
+                ..Optimisations::none()
+            },
+        ),
+        (
+            "Reverse CSE",
+            Optimisations {
+                reverse_cse: true,
+                ..Optimisations::none()
+            },
+        ),
+        (
+            "Statement Concatenation",
+            Optimisations {
+                statement_concatenation: true,
+                ..Optimisations::none()
+            },
+        ),
+        (
+            "Dead Variable Elimination",
+            Optimisations {
+                dead_code_elimination: true,
+                ..Optimisations::none()
+            },
+        ),
+        (
+            "Live-Variable Analysis",
+            Optimisations {
+                live_variable_analysis: true,
+                ..Optimisations::none()
+            },
+        ),
     ];
 
     println!(

@@ -16,12 +16,18 @@ use tmg_minic::pretty::function_to_string;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let function = wiper_function();
-    println!("generated controller ({} statements):\n", function.stmt_count());
+    println!(
+        "generated controller ({} statements):\n",
+        function.stmt_count()
+    );
     let listing = function_to_string(&function);
     for line in listing.lines().take(25) {
         println!("    {line}");
     }
-    println!("    ... ({} more lines)\n", listing.lines().count().saturating_sub(25));
+    println!(
+        "    ... ({} more lines)\n",
+        listing.lines().count().saturating_sub(25)
+    );
 
     // One program segment per `switch` arm: the bound is the largest path
     // count among the case-arm regions.
@@ -34,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|c| lowered.regions.region(*c).path_count)
         .max()
         .unwrap_or(1);
-    println!("CFG: {} blocks, path bound b = {bound}", lowered.cfg.block_count());
+    println!(
+        "CFG: {} blocks, path bound b = {bound}",
+        lowered.cfg.block_count()
+    );
 
     let space = wiper_input_space();
     let report = WcetAnalysis::new(bound).analyse_with_exhaustive(&function, &space)?;

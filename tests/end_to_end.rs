@@ -42,7 +42,9 @@ fn wiper_case_study_bound_dominates_the_exhaustive_wcet() {
 #[test]
 fn coarser_partitions_use_fewer_instrumentation_points_on_the_wiper() {
     let function = wiper_function();
-    let fine = WcetAnalysis::new(1).analyse(&function).expect("fine analysis");
+    let fine = WcetAnalysis::new(1)
+        .analyse(&function)
+        .expect("fine analysis");
     let coarse = WcetAnalysis::new(case_study_bound())
         .analyse(&function)
         .expect("coarse analysis");

@@ -4,13 +4,15 @@
 
 use tmg_cfg::{build_cfg, enumerate_region_paths};
 use tmg_codegen::table2::table2_function;
-use tmg_tsys::{apply_optimisations, encode_function, CheckOutcome, ModelChecker, Optimisations, PathQuery};
+use tmg_tsys::{
+    apply_optimisations, encode_function, CheckOutcome, ModelChecker, Optimisations, PathQuery,
+};
 
 fn deepest_feasible_query() -> PathQuery {
     let function = table2_function();
     let lowered = build_cfg(&function);
-    let mut paths = enumerate_region_paths(&lowered.cfg, lowered.regions.root(), 4096)
-        .expect("enumeration");
+    let mut paths =
+        enumerate_region_paths(&lowered.cfg, lowered.regions.root(), 4096).expect("enumeration");
     paths.sort_by_key(|p| std::cmp::Reverse(p.len()));
     let checker = ModelChecker::new();
     paths
@@ -29,27 +31,51 @@ fn deepest_feasible_query() -> PathQuery {
 fn all_optimisations_beat_the_naive_encoding_on_every_cost_axis() {
     let function = table2_function();
     let query = deepest_feasible_query();
-    let naive = ModelChecker::with_optimisations(Optimisations::none()).find_test_data(&function, &query);
-    let optimised = ModelChecker::with_optimisations(Optimisations::all()).find_test_data(&function, &query);
+    let naive =
+        ModelChecker::with_optimisations(Optimisations::none()).find_test_data(&function, &query);
+    let optimised =
+        ModelChecker::with_optimisations(Optimisations::all()).find_test_data(&function, &query);
     assert!(matches!(naive.outcome, CheckOutcome::Feasible { .. }));
     assert!(matches!(optimised.outcome, CheckOutcome::Feasible { .. }));
     assert!(optimised.stats.transitions_fired < naive.stats.transitions_fired);
     assert!(optimised.stats.state_bits < naive.stats.state_bits);
     assert!(optimised.stats.memory_estimate_bytes < naive.stats.memory_estimate_bytes);
-    assert!(optimised.stats.witness_steps.unwrap_or(u64::MAX) < naive.stats.witness_steps.unwrap_or(0).max(1) * 2);
+    assert!(
+        optimised.stats.witness_steps.unwrap_or(u64::MAX)
+            < naive.stats.witness_steps.unwrap_or(0).max(1) * 2
+    );
 }
 
 #[test]
 fn each_single_optimisation_never_increases_the_state_vector() {
     let function = table2_function();
-    let naive_bits = encode_function(&function, &Optimisations::none().encode_options()).state_bits();
+    let naive_bits =
+        encode_function(&function, &Optimisations::none().encode_options()).state_bits();
     let singles = [
-        Optimisations { reverse_cse: true, ..Optimisations::none() },
-        Optimisations { live_variable_analysis: true, ..Optimisations::none() },
-        Optimisations { statement_concatenation: true, ..Optimisations::none() },
-        Optimisations { variable_range_analysis: true, ..Optimisations::none() },
-        Optimisations { variable_initialisation: true, ..Optimisations::none() },
-        Optimisations { dead_code_elimination: true, ..Optimisations::none() },
+        Optimisations {
+            reverse_cse: true,
+            ..Optimisations::none()
+        },
+        Optimisations {
+            live_variable_analysis: true,
+            ..Optimisations::none()
+        },
+        Optimisations {
+            statement_concatenation: true,
+            ..Optimisations::none()
+        },
+        Optimisations {
+            variable_range_analysis: true,
+            ..Optimisations::none()
+        },
+        Optimisations {
+            variable_initialisation: true,
+            ..Optimisations::none()
+        },
+        Optimisations {
+            dead_code_elimination: true,
+            ..Optimisations::none()
+        },
     ];
     for opts in singles {
         let (transformed, _) = apply_optimisations(&function, &opts);
@@ -68,13 +94,19 @@ fn the_planted_structure_of_the_table2_module_is_exploited() {
     // Reverse CSE removes the three planted temporaries.
     let (_, report) = apply_optimisations(
         &function,
-        &Optimisations { reverse_cse: true, ..Optimisations::none() },
+        &Optimisations {
+            reverse_cse: true,
+            ..Optimisations::none()
+        },
     );
     assert_eq!(report.substituted_temps.len(), 3, "t_speed, t_level, t_sum");
     // Live-variable analysis removes the three unused spares.
     let (_, report) = apply_optimisations(
         &function,
-        &Optimisations { live_variable_analysis: true, ..Optimisations::none() },
+        &Optimisations {
+            live_variable_analysis: true,
+            ..Optimisations::none()
+        },
     );
     let spares = report
         .removed_vars
@@ -86,7 +118,10 @@ fn the_planted_structure_of_the_table2_module_is_exploited() {
     // relevant control flow.
     let (transformed, report) = apply_optimisations(
         &function,
-        &Optimisations { dead_code_elimination: true, ..Optimisations::none() },
+        &Optimisations {
+            dead_code_elimination: true,
+            ..Optimisations::none()
+        },
     );
     assert!(report.removed_vars.iter().any(|v| v == "log_count"));
     assert!(report.removed_vars.iter().any(|v| v == "last_cmd"));
@@ -94,14 +129,21 @@ fn the_planted_structure_of_the_table2_module_is_exploited() {
     // Variable initialisation touches every uninitialised local.
     let (_, report) = apply_optimisations(
         &function,
-        &Optimisations { variable_initialisation: true, ..Optimisations::none() },
+        &Optimisations {
+            variable_initialisation: true,
+            ..Optimisations::none()
+        },
     );
     assert!(report.initialised_vars.len() >= 9);
     // Statement concatenation reduces the number of model transitions.
     let naive = encode_function(&function, &Optimisations::none().encode_options());
     let fused = encode_function(
         &function,
-        &Optimisations { statement_concatenation: true, ..Optimisations::none() }.encode_options(),
+        &Optimisations {
+            statement_concatenation: true,
+            ..Optimisations::none()
+        }
+        .encode_options(),
     );
     assert!(fused.transitions.len() < naive.transitions.len());
 }

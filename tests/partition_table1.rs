@@ -32,7 +32,10 @@ fn figure1_cfg_has_the_papers_shape() {
     assert_eq!(lowered.regions.root().path_count, 6);
     assert_eq!(lowered.cfg.conditional_branch_count(), 3);
     lowered.cfg.validate().expect("valid CFG");
-    lowered.regions.validate(&lowered.cfg).expect("single-entry regions");
+    lowered
+        .regions
+        .validate(&lowered.cfg)
+        .expect("single-entry regions");
 }
 
 #[test]

@@ -45,9 +45,15 @@ fn generated_vectors_replay_deterministically_on_the_interpreter() {
     let interp = Interpreter::new(&program);
     for vector in suite.vectors() {
         let out = interp.run(&function.name, &vector).expect("replay");
-        assert!(out.return_value.is_some(), "the step function always returns");
+        assert!(
+            out.return_value.is_some(),
+            "the step function always returns"
+        );
         let state = out.return_value.expect("state").raw();
-        assert!((0..9).contains(&state), "next state {state} must be a chart state");
+        assert!(
+            (0..9).contains(&state),
+            "next state {state} must be a chart state"
+        );
     }
 }
 
@@ -66,7 +72,11 @@ fn infeasible_paths_are_only_reported_when_truly_contradictory() {
     let lowered = build_cfg(&function);
     let plan = PartitionPlan::compute(&lowered, 100);
     let suite = HybridGenerator::new().generate(&function, &lowered, &plan);
-    assert_eq!(suite.infeasible_count(), 2, "two of the four end-to-end paths are contradictory");
+    assert_eq!(
+        suite.infeasible_count(),
+        2,
+        "two of the four end-to-end paths are contradictory"
+    );
     assert_eq!(suite.covered_count(), 2);
     assert_eq!(suite.unknown_count(), 0);
 }

@@ -1,0 +1,192 @@
+//! Vendored stand-in for the subset of `criterion` this workspace uses
+//! (no crates.io access in the build environment).
+//!
+//! Provides [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`] and the
+//! `criterion_group!`/`criterion_main!` macros.  Measurement is a simple
+//! fixed-budget loop reporting the mean wall time per iteration — adequate
+//! for the relative comparisons the benches make, with none of criterion's
+//! statistics.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, like criterion's.
+pub use std::hint::black_box;
+
+/// Target wall-clock budget per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Hard cap on measured iterations.
+const MAX_ITERS: u64 = 1_000;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warm-up call, then measure until the budget or cap is reached.
+        black_box(routine());
+        let started = Instant::now();
+        while self.total < MEASURE_BUDGET && self.iters < MAX_ITERS {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if started.elapsed() > MEASURE_BUDGET * 2 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("bench {name:<50} (no measurement)");
+        } else {
+            let mean = self.total / u32::try_from(self.iters).unwrap_or(u32::MAX);
+            println!(
+                "bench {name:<50} {:>12.3} ms/iter ({} iters)",
+                mean.as_secs_f64() * 1e3,
+                self.iters
+            );
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (a no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut ran = 0u64;
+        Criterion::default().bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_the_input() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &41, |b, &v| {
+            b.iter(|| {
+                seen = v + 1;
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

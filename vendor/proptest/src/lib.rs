@@ -1,0 +1,173 @@
+//! Vendored stand-in for the subset of `proptest` this workspace uses
+//! (no crates.io access in the build environment).
+//!
+//! Supports the `proptest! { #![proptest_config(..)] #[test] fn f(x in LO..HI)
+//! {..} }` form with integer-range strategies, sampled deterministically from
+//! a fixed seed so failures replay.  `prop_assert!`/`prop_assert_eq!` report
+//! the failing case before panicking.  Shrinking is not implemented.
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Configuration accepted via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (integer ranges only).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Draws one value.
+        fn pick(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+}
+
+pub mod prelude {
+    //! Everything the `proptest!` call sites need in scope.
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Deterministic per-test RNG seed (mixed with the test name's bytes so
+/// different tests see different streams).
+#[doc(hidden)]
+pub fn __seed_for(test_name: &str) -> u64 {
+    let mut seed = 0xB10C_5EED_u64;
+    for b in test_name.bytes() {
+        seed = seed.rotate_left(7) ^ u64::from(b);
+    }
+    seed
+}
+
+/// Assertion that names the failing random case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion that names the failing random case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng: $crate::__rand::rngs::StdRng =
+                    $crate::__rand::SeedableRng::seed_from_u64($crate::__seed_for(stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::pick(&($strategy), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// The `proptest!` test-block macro (integer-range strategies only).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_are_respected(a in 0i64..10, b in -5i64..5) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..4) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(crate::__seed_for("a"), crate::__seed_for("b"));
+        assert_eq!(crate::__seed_for("a"), crate::__seed_for("a"));
+    }
+}

@@ -1,0 +1,355 @@
+//! Vendored stand-in for the subset of `rayon` this workspace uses
+//! (no crates.io access in the build environment).
+//!
+//! Supports order-preserving `par_iter().map(..).collect::<Vec<_>>()` chains
+//! (plus `enumerate`) over slices, executed on a **persistent worker pool**
+//! (one thread per core, started lazily) so that fine-grained fan-outs — a
+//! genetic-search generation of microsecond-sized target runs — do not pay
+//! thread-spawn latency per call.  Work is split into more chunks than
+//! workers and pulled from a shared queue, giving coarse load balancing;
+//! chunk results are written into their own slots, so a parallel collect is
+//! always byte-identical to its sequential counterpart.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex, OnceLock};
+
+pub mod prelude {
+    //! The traits required for `par_iter` call syntax.
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A type-erased, lifetime-erased job.  Safety: `run_jobs` never returns
+/// before every submitted job has finished, so the `'static` lie cannot be
+/// observed.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    sender: Mutex<mpsc::Sender<Job>>,
+    workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = std::sync::Arc::new(Mutex::new(receiver));
+        for i in 0..workers {
+            let receiver = std::sync::Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || loop {
+                    let job = {
+                        let guard = receiver.lock().expect("pool queue poisoned");
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break, // channel closed: process exit
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        Pool {
+            sender: Mutex::new(sender),
+            workers,
+        }
+    })
+}
+
+/// Tracks outstanding jobs of one `run_jobs` call.
+struct Completion {
+    done: AtomicUsize,
+    panicked: AtomicUsize,
+    mutex: Mutex<()>,
+    condvar: Condvar,
+}
+
+/// Runs the given borrowed jobs on the pool and blocks until all complete.
+///
+/// # Panics
+///
+/// Propagates (as a panic) if any job panicked.
+fn run_jobs<'env>(jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+    let total = jobs.len();
+    if total == 0 {
+        return;
+    }
+    let completion = std::sync::Arc::new(Completion {
+        done: AtomicUsize::new(0),
+        panicked: AtomicUsize::new(0),
+        mutex: Mutex::new(()),
+        condvar: Condvar::new(),
+    });
+    {
+        let sender = pool().sender.lock().expect("pool sender poisoned");
+        for job in jobs {
+            let completion = std::sync::Arc::clone(&completion);
+            let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    completion.panicked.fetch_add(1, Ordering::SeqCst);
+                }
+                let _guard = completion.mutex.lock().expect("completion poisoned");
+                completion.done.fetch_add(1, Ordering::SeqCst);
+                completion.condvar.notify_all();
+            });
+            // SAFETY: this function does not return until `done == total`,
+            // so no job (or anything it borrows) outlives the caller frame.
+            let wrapped: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(wrapped) };
+            sender.send(wrapped).expect("pool workers alive");
+        }
+    }
+    let mut guard = completion.mutex.lock().expect("completion poisoned");
+    while completion.done.load(Ordering::SeqCst) < total {
+        guard = completion
+            .condvar
+            .wait(guard)
+            .expect("completion wait poisoned");
+    }
+    drop(guard);
+    assert_eq!(
+        completion.panicked.load(Ordering::SeqCst),
+        0,
+        "rayon shim job panicked"
+    );
+}
+
+/// An indexed parallel computation: `compute(i)` for `i in 0..len()` must be
+/// independent side-effect-free work items.
+pub trait ParallelIterator: Sync + Sized {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Number of work items.
+    fn len(&self) -> usize;
+
+    /// Whether there are no work items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Computes item `index`.
+    fn compute(&self, index: usize) -> Self::Item;
+
+    /// Maps every item through `f` (lazily; work happens at `collect`).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Runs the chain on the worker pool and collects in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Borrowing entry point, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the parallel iterator.
+    type Item: Send + 'a;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Creates a parallel iterator borrowing `self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn compute(&self, index: usize) -> &'a T {
+        &self.items[index]
+    }
+}
+
+/// `map` adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn compute(&self, index: usize) -> R {
+        (self.f)(self.base.compute(index))
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn compute(&self, index: usize) -> (usize, I::Item) {
+        (index, self.base.compute(index))
+    }
+}
+
+/// Order-preserving parallel collection, mirroring
+/// `rayon::iter::FromParallelIterator`.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Collects the items of `iter` in input order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+        let n = iter.len();
+        let workers = pool().workers;
+        // A collect issued from *inside* a pool job must run inline: parking
+        // this worker on the completion condvar while the inner jobs wait in
+        // the queue behind it would deadlock the fixed-size pool (real rayon
+        // work-steals instead).
+        let on_pool_worker = std::thread::current()
+            .name()
+            .is_some_and(|name| name.starts_with("rayon-shim-"));
+        if workers <= 1 || n <= 1 || on_pool_worker {
+            return (0..n).map(|i| iter.compute(i)).collect();
+        }
+        // More chunks than workers for load balancing, but never so many
+        // that queueing overhead dominates.
+        let chunks = (workers * 4).min(n);
+        let chunk_size = n.div_ceil(chunks);
+        let chunk_count = n.div_ceil(chunk_size);
+        let slots: Vec<Mutex<Vec<T>>> = (0..chunk_count).map(|_| Mutex::new(Vec::new())).collect();
+        let iter_ref = &iter;
+        let slots_ref = &slots;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..chunk_count)
+            .map(|c| {
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let lo = c * chunk_size;
+                    let hi = ((c + 1) * chunk_size).min(n);
+                    let out: Vec<T> = (lo..hi).map(|i| iter_ref.compute(i)).collect();
+                    *slots_ref[c].lock().expect("slot poisoned") = out;
+                });
+                job
+            })
+            .collect();
+        run_jobs(jobs);
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            out.extend(slot.into_inner().expect("slot poisoned"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|v| v * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|v| v * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn enumerate_indices_match_positions() {
+        let input = ["a", "b", "c"];
+        let tagged: Vec<(usize, String)> = input
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| (i, format!("{s}{i}")))
+            .collect();
+        assert_eq!(
+            tagged,
+            vec![(0, "a0".into()), (1, "b1".into()), (2, "c2".into())]
+        );
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|v| *v).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn repeated_small_collects_reuse_the_pool() {
+        // Exercises the fine-granularity path the genetic search hits:
+        // thousands of tiny fan-outs must complete quickly and correctly.
+        for round in 0..2000u64 {
+            let input: Vec<u64> = (0..32).map(|i| i + round).collect();
+            let out: Vec<u64> = input.par_iter().map(|v| v * 3).collect();
+            assert_eq!(out, input.iter().map(|v| v * 3).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn nested_collects_run_inline_instead_of_deadlocking() {
+        let outer: Vec<u64> = (0..8).collect();
+        let sums: Vec<u64> = outer
+            .par_iter()
+            .map(|&o| {
+                let inner: Vec<u64> = (0..50).collect();
+                let mapped: Vec<u64> = inner.par_iter().map(|&i| i + o).collect();
+                mapped.iter().sum::<u64>()
+            })
+            .collect();
+        assert_eq!(sums.len(), 8);
+        assert_eq!(sums[0], (0..50).sum::<u64>());
+    }
+
+    #[test]
+    fn borrowed_data_survives_the_collect() {
+        let strings: Vec<String> = (0..100).map(|i| format!("value-{i}")).collect();
+        let lens: Vec<usize> = strings.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[7], "value-7".len());
+    }
+}

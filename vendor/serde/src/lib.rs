@@ -1,0 +1,16 @@
+//! Vendored stand-in for `serde` (no crates.io access in the build
+//! environment).
+//!
+//! The workspace only uses serde as derive markers on its data types; no code
+//! path serialises through the serde data model (machine-readable output is
+//! written by hand in `tmg-bench`).  The traits are therefore empty markers
+//! and the derives (re-exported from the vendored `serde_derive`) expand to
+//! nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

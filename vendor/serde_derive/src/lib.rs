@@ -1,0 +1,21 @@
+//! Vendored stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace performs actual serde serialisation (the reproduce binary writes
+//! its JSON by hand).  The derives therefore only need to *exist* so that
+//! `#[derive(Serialize, Deserialize)]` attributes on the data types compile;
+//! they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
