@@ -4,18 +4,19 @@
 //! ```text
 //! cargo run -p tmg-bench --release --bin reproduce -- all
 //! cargo run -p tmg-bench --release --bin reproduce -- table1 table2 case-study
-//! cargo run -p tmg-bench --release --bin reproduce -- bench     # writes BENCH_pr1.json
+//! cargo run -p tmg-bench --release --bin reproduce -- bench     # writes BENCH_pr2.json
 //! cargo run -p tmg-bench --release --bin reproduce -- --quick   # CI smoke run
 //! ```
 //!
 //! `bench` times every workload twice — pre-optimisation implementation
-//! (clone-per-state checker, sequential test generation) and optimised
-//! implementation (arena checker, parallel generation) — verifies the results
-//! are identical, and writes `BENCH_pr1.json` (path overridable with the
-//! `TMG_BENCH_OUT` environment variable).
+//! (clone-per-state checker, sequential unbatched test generation) and
+//! optimised implementation (arena checker, multi-query batched generation)
+//! — verifies the results are identical, and writes `BENCH_pr2.json` (path
+//! overridable with the `TMG_BENCH_OUT` environment variable).
 
 use tmg_bench::{
-    case_study, figure2_3, perf_report, table1, table1_paper, table2, testgen_experiment,
+    case_study, figure2_3, multiquery_crosscheck, perf_report, table1, table1_paper, table2,
+    testgen_experiment,
 };
 
 fn main() {
@@ -50,8 +51,9 @@ fn main() {
     }
 }
 
-/// Fast smoke run for CI: the exact Table-1 reproduction plus one full
-/// (small) pipeline, no perf measurement.
+/// Fast smoke run for CI: the exact Table-1 reproduction, one full (small)
+/// pipeline, and the batched-vs-single-query equivalence cross-check — no
+/// perf measurement.
 fn run_quick() {
     print_table1();
     assert_eq!(table1(), table1_paper(), "Table 1 must reproduce exactly");
@@ -64,10 +66,12 @@ fn run_quick() {
         "quick: case study WCET bound {} cycles >= exhaustive {} cycles (pessimism {:.3}) — ok",
         r.wcet_bound, r.exhaustive_max, r.pessimism
     );
+    let checked = multiquery_crosscheck();
+    println!("quick: batched vs single-query verdicts identical on {checked} queries — ok");
 }
 
 /// Full perf baseline: times the workloads on the pre-optimisation and the
-/// optimised hot paths, checks result equality, writes `BENCH_pr1.json`.
+/// optimised hot paths, checks result equality, writes `BENCH_pr2.json`.
 fn run_bench() {
     let report = perf_report();
     println!("== Perf baseline (before = pre-optimisation, after = optimised) ==");
@@ -96,7 +100,8 @@ fn run_bench() {
         report.table1_matches_paper,
         "Table 1 must reproduce exactly"
     );
-    let out = std::env::var("TMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr1.json".to_owned());
+    let out = std::env::var("TMG_BENCH_OUT")
+        .unwrap_or_else(|_| format!("BENCH_{}.json", tmg_bench::perf::PR_LABEL));
     std::fs::write(&out, report.to_json()).expect("write bench json");
     println!("wrote {out}");
 }

@@ -18,7 +18,7 @@ use tmg_codegen::{
 use tmg_core::measurement::exhaustive_end_to_end;
 use tmg_core::tradeoff::{log_spaced_bounds, sweep_path_bounds};
 use tmg_core::{HybridGenerator, PartitionPlan, TradeoffPoint, WcetAnalysis};
-use tmg_minic::Function;
+use tmg_minic::{parse_function, Function};
 use tmg_target::CostModel;
 use tmg_tsys::{CheckOutcome, ModelChecker, Optimisations, PathQuery};
 
@@ -289,6 +289,54 @@ pub fn testgen_experiment() -> TestGenResult {
         unknown: suite.unknown_count(),
         heuristic_ratio: suite.heuristic_ratio(),
     }
+}
+
+/// CI smoke check of the multi-query engine's equivalence guarantee: every
+/// verdict of a batched [`ModelChecker::check_many`] call must be identical
+/// to the single-query verdict for the same query.  Returns the number of
+/// queries cross-checked.
+///
+/// # Panics
+///
+/// Panics on the first mismatching verdict or witness.
+pub fn multiquery_crosscheck() -> usize {
+    let cross = parse_function(
+        r#"
+        void cross(int key __range(0, 4000), char m __range(0, 3), bool g) {
+            if (key == 77) { h1(); }
+            if (m > 1) { p(); } else { q(); }
+            if (m == 0 && g) { r(); }
+            if (key < 0) { never(); }
+        }
+    "#,
+    )
+    .expect("cross-check module parses");
+    let mut checked = 0;
+    for function in [&cross, &wiper_function()] {
+        let lowered = build_cfg(function);
+        let Some(paths) =
+            tmg_cfg::enumerate_region_paths(&lowered.cfg, lowered.regions.root(), 256)
+        else {
+            continue;
+        };
+        let mut queries: Vec<PathQuery> = paths
+            .into_iter()
+            .map(|p| PathQuery::new(p.decisions))
+            .collect();
+        queries.push(PathQuery::any_execution());
+        let checker = ModelChecker::new();
+        let batched = checker.check_many(function, &queries);
+        for (query, result) in queries.iter().zip(&batched) {
+            let single = checker.find_test_data(function, query);
+            assert_eq!(
+                result.outcome, single.outcome,
+                "multi-query and single-query verdicts diverge on `{}` for {:?}",
+                function.name, query.decisions
+            );
+            checked += 1;
+        }
+    }
+    checked
 }
 
 /// Convenience used by the case-study bench: the exhaustive end-to-end

@@ -1,14 +1,17 @@
-//! Machine-readable performance baseline (`BENCH_pr1.json`).
+//! Machine-readable performance baseline (`BENCH_pr2.json`).
 //!
 //! Every PR that touches a hot path needs a number to beat.  This module
 //! times the paper-reproduction workloads (Table 1, Table 2, Figure 2/3,
-//! Section-4 case study) and — for the model-checking hot path this PR
-//! reworked — runs each workload **twice**: once on the pre-optimisation
-//! implementation ([`SearchEngine::Baseline`] checking + sequential test
-//! generation) and once on the optimised one (arena engine + parallel
-//! generation), verifying along the way that WCET bounds, witness
+//! Section-4 case study) and — for the model-checking hot path — runs each
+//! workload **twice**: once on the pre-optimisation implementation
+//! ([`SearchEngine::Baseline`] checking + sequential, unbatched test
+//! generation) and once on the optimised one (arena engine + multi-query
+//! batched generation), verifying along the way that WCET bounds, witness
 //! feasibility verdicts and the Table-1 `(ip, m)` statistics are identical
-//! before recording the speedup.
+//! before recording the speedup.  The `checker_multiquery` workload isolates
+//! this PR's tentpole: a residual-style query batch answered per query
+//! (arena engine, PR 1's optimum) versus through the shared exploration of
+//! [`ModelChecker::check_many`].
 //!
 //! The JSON is written by hand (the vendored serde is derive-markers only);
 //! the schema is documented in ROADMAP.md under "Open items".
@@ -20,9 +23,12 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use tmg_cfg::build_cfg;
 use tmg_codegen::{generate_automotive, table2::table2_function, wiper_function, AutomotiveConfig};
-use tmg_core::{HybridGenerator, PartitionPlan, WcetAnalysis};
+use tmg_core::{GoalKind, HybridGenerator, PartitionPlan, WcetAnalysis};
 use tmg_minic::parse_function;
-use tmg_tsys::{CheckOutcome, ModelChecker, SearchEngine};
+use tmg_tsys::{CheckOutcome, ModelChecker, PathQuery, SearchEngine};
+
+/// Label recorded in the emitted JSON; the output file is `BENCH_<label>.json`.
+pub const PR_LABEL: &str = "pr2";
 
 /// Before/after wall times of one reworked workload.
 #[derive(Debug, Clone)]
@@ -95,7 +101,7 @@ impl PerfReport {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"schema\": \"tmg-bench-perf/v1\",");
-        let _ = writeln!(out, "  \"pr\": \"pr1\",");
+        let _ = writeln!(out, "  \"pr\": \"{PR_LABEL}\",");
         let _ = writeln!(
             out,
             "  \"table1\": {{ \"wall_ms\": {:.3}, \"matches_paper\": {}, \"rows\": {} }},",
@@ -205,7 +211,7 @@ fn compare_testgen(name: &str, function: &tmg_minic::Function, bound: u128) -> C
     let lowered = build_cfg(function);
     let plan = PartitionPlan::compute(&lowered, bound);
 
-    let mut before_gen = HybridGenerator::new().sequential();
+    let mut before_gen = HybridGenerator::new().sequential().unbatched();
     before_gen.checker.engine = SearchEngine::Baseline;
     let after_gen = HybridGenerator::new();
 
@@ -219,7 +225,50 @@ fn compare_testgen(name: &str, function: &tmg_minic::Function, bound: u128) -> C
     }
 }
 
-/// Produces the complete perf baseline (the payload of `BENCH_pr1.json`).
+/// Isolated multi-query measurement: one function's coverage-query batch
+/// answered per query on the arena engine (PR 1's optimised path) vs through
+/// one shared exploration (`ModelChecker::check_many`).
+fn compare_multiquery(
+    name: &str,
+    function: &tmg_minic::Function,
+    bound: u128,
+    cap: usize,
+) -> Comparison {
+    let lowered = build_cfg(function);
+    let plan = PartitionPlan::compute(&lowered, bound);
+    let queries: Vec<PathQuery> = HybridGenerator::new()
+        .goals(&lowered, &plan)
+        .into_iter()
+        .filter_map(|g| match g.kind {
+            GoalKind::RegionPath(path) => Some(PathQuery::new(path.decisions)),
+            GoalKind::BlockExecution(_) => None,
+        })
+        .take(cap)
+        .collect();
+    let checker = ModelChecker::new();
+    let (before, single) = best_of(3, || {
+        queries
+            .iter()
+            .map(|q| checker.find_test_data(function, q).outcome)
+            .collect::<Vec<_>>()
+    });
+    let (after, batched) = best_of(3, || {
+        checker
+            .check_many(function, &queries)
+            .into_iter()
+            .map(|r| r.outcome)
+            .collect::<Vec<_>>()
+    });
+    Comparison {
+        name: name.to_owned(),
+        before,
+        after,
+        identical_results: single == batched,
+    }
+}
+
+/// Produces the complete perf baseline (the payload of
+/// `BENCH_<`[`PR_LABEL`]`>.json`).
 pub fn perf_report() -> PerfReport {
     // Table 1: partitioning sweep.
     let (table1_wall, table1_rows) = best_of(3, table1);
@@ -267,11 +316,12 @@ pub fn perf_report() -> PerfReport {
         compare_testgen("testgen_wiper", &wiper, wiper_bound),
         compare_testgen("testgen_checker_heavy", &heavy, 4096),
         compare_testgen("testgen_automotive", &automotive, 64),
+        compare_multiquery("checker_multiquery_heavy", &heavy, 4096, 64),
     ];
 
     // End-to-end pipeline: identical WCET bounds before and after.
     let mut before_analysis = WcetAnalysis::new(wiper_bound);
-    before_analysis.generator = HybridGenerator::new().sequential();
+    before_analysis.generator = HybridGenerator::new().sequential().unbatched();
     before_analysis.generator.checker.engine = SearchEngine::Baseline;
     let after_analysis = WcetAnalysis::new(wiper_bound);
     let (pipe_before, report_before) =

@@ -4,6 +4,7 @@ use crate::measurement::{exhaustive_end_to_end, MeasurementCampaign};
 use crate::partition::PartitionPlan;
 use crate::schema::compute_wcet;
 use crate::testgen::{HybridGenerator, TestSuite};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use tmg_cfg::build_cfg;
@@ -126,6 +127,25 @@ impl WcetAnalysis {
     /// Returns [`AnalysisError`] when a measurement run faults on the target.
     pub fn analyse(&self, function: &Function) -> Result<AnalysisReport, AnalysisError> {
         self.run(function, None)
+    }
+
+    /// Runs the full pipeline on every function of a module, in input order.
+    ///
+    /// This is where the toolchain's parallelism lives: functions are
+    /// analysed concurrently (each function's residual checker queries are
+    /// already batched into one shared exploration by the generator, so
+    /// fanning out *within* a function would only add pool overhead).  With
+    /// fewer than two functions, or when the generator is configured
+    /// sequential, the fan-out is skipped entirely.
+    pub fn analyse_all(
+        &self,
+        functions: &[Function],
+    ) -> Vec<Result<AnalysisReport, AnalysisError>> {
+        if self.generator.parallel && functions.len() > 1 {
+            functions.par_iter().map(|f| self.analyse(f)).collect()
+        } else {
+            functions.iter().map(|f| self.analyse(f)).collect()
+        }
     }
 
     /// Runs the full pipeline and additionally determines the exact WCET by
@@ -274,6 +294,28 @@ mod tests {
         assert!(fine.instrumentation_points > coarse.instrumentation_points);
         assert_eq!(coarse.instrumentation_points, 2);
         assert!(fine.wcet_bound >= coarse.wcet_bound);
+    }
+
+    #[test]
+    fn analyse_all_matches_one_by_one_analysis() {
+        let sources = [
+            "void f1(char a __range(0, 3)) { if (a > 1) { x(); } else { y(); } }",
+            "void f2(char b __range(0, 4)) { if (b > 2) { p(); } if (b < 1) { q(); } }",
+            "void f3(char c __range(0, 1)) { if (c) { r(); } s(); }",
+        ];
+        let functions: Vec<Function> = sources
+            .iter()
+            .map(|s| parse_function(s).expect("parse"))
+            .collect();
+        let analysis = WcetAnalysis::new(4);
+        let fanned = analysis.analyse_all(&functions);
+        assert_eq!(fanned.len(), functions.len());
+        for (f, report) in functions.iter().zip(&fanned) {
+            assert_eq!(
+                report.as_ref().expect("analysis"),
+                &analysis.analyse(f).expect("analysis")
+            );
+        }
     }
 
     #[test]

@@ -53,5 +53,8 @@ pub mod tradeoff;
 pub use analysis::{AnalysisError, AnalysisReport, WcetAnalysis};
 pub use measurement::{MeasurementCampaign, SegmentTiming};
 pub use partition::{PartitionPlan, Segment, SegmentId, SegmentKind};
-pub use testgen::{CoverageStatus, GeneratorKind, HeuristicConfig, HybridGenerator, TestSuite};
+pub use testgen::{
+    CoverageGoal, CoverageStatus, GeneratorKind, GoalKind, HeuristicConfig, HybridGenerator,
+    TestSuite,
+};
 pub use tradeoff::{sweep_path_bounds, TradeoffPoint};

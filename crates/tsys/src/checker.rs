@@ -35,17 +35,32 @@ use tmg_minic::interp::BranchChoice;
 use tmg_minic::value::InputVector;
 
 /// A path query: the ordered branch decisions the witness execution must take.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PathQuery {
     /// Decisions in execution order (typically the decisions of one program
     /// segment path, produced by [`tmg_cfg::enumerate_region_paths`]).
     pub decisions: Vec<(StmtId, BranchChoice)>,
+    /// Statements mentioned by the decisions, computed once at construction
+    /// (the optimisation passes and the multi-query relevance filter consult
+    /// it repeatedly).
+    stmts: HashSet<StmtId>,
 }
+
+impl PartialEq for PathQuery {
+    fn eq(&self, other: &PathQuery) -> bool {
+        // The statement set is derived from the decisions; comparing it would
+        // only repeat the comparison.
+        self.decisions == other.decisions
+    }
+}
+
+impl Eq for PathQuery {}
 
 impl PathQuery {
     /// Creates a query from a decision sequence.
     pub fn new(decisions: Vec<(StmtId, BranchChoice)>) -> PathQuery {
-        PathQuery { decisions }
+        let stmts = decisions.iter().map(|(s, _)| *s).collect();
+        PathQuery { decisions, stmts }
     }
 
     /// A query satisfied by any execution (used to probe reachability of the
@@ -55,8 +70,8 @@ impl PathQuery {
     }
 
     /// Statements mentioned by the query.
-    pub fn stmts(&self) -> HashSet<StmtId> {
-        self.decisions.iter().map(|(s, _)| *s).collect()
+    pub fn stmts(&self) -> &HashSet<StmtId> {
+        &self.stmts
     }
 }
 
@@ -178,7 +193,7 @@ impl Default for ModelChecker {
 /// Cap on remembered `(location, monitor, valuation)` states: beyond this the
 /// search keeps running but stops deduplicating, bounding memory without
 /// affecting soundness.
-const VISITED_CAP: usize = 1 << 21;
+pub(crate) const VISITED_CAP: usize = 1 << 21;
 
 /// Default for [`ModelChecker::dedup_after_pops`]: high enough that ordinary
 /// test-data queries (including full scans of one 16-bit domain) never pay
@@ -218,9 +233,8 @@ impl ModelChecker {
     /// Generates test data for `query` on `function`: applies the configured
     /// optimisations, encodes the function and searches for a witness.
     pub fn find_test_data(&self, function: &Function, query: &PathQuery) -> CheckResult {
-        let preserve = query.stmts();
         let (optimised, opt_report) =
-            apply_optimisations_preserving(function, &self.optimisations, &preserve);
+            apply_optimisations_preserving(function, &self.optimisations, query.stmts());
         let model = encode_function(&optimised, &self.optimisations.encode_options());
         let mut result = self.check_model(&model, query);
         result.opt_report = opt_report;
@@ -233,6 +247,64 @@ impl ModelChecker {
             SearchEngine::Baseline => self.check_baseline(model, query),
             SearchEngine::Arena => self.check_prepared(&PreparedModel::new(model), query),
         }
+    }
+
+    /// Answers a batch of path queries over one function, sharing a single
+    /// state-space exploration across all of them whenever that is provably
+    /// equivalent to asking each query on its own.
+    ///
+    /// The shared path requires (a) the arena engine and (b) that the
+    /// source-level optimisations produce the same function under every
+    /// query's preserve set ([`crate::opt::shared_optimisation_for_queries`]);
+    /// otherwise — and for the queries a budget-exhausted shared exploration
+    /// leaves unresolved — the method falls back to per-query
+    /// [`ModelChecker::find_test_data`].  Either way every returned
+    /// [`CheckOutcome`] (verdict, witness and step count) is bit-identical to
+    /// the undeduped reference search — and therefore to the single-query
+    /// engines on every search that settles within the transition budget.
+    /// Budget-limited searches carry the same caveat the arena engine's
+    /// [`dedup_after_pops`](ModelChecker::dedup_after_pops) already
+    /// documents: once adaptive revisit dedup engages (after 2²⁰ pops), a
+    /// per-query arena search may settle a verdict the undeduped accounting
+    /// reports as [`CheckOutcome::Unknown`].  Only the cost statistics always
+    /// differ, because batched queries report the cost of the shared
+    /// exploration.
+    pub fn check_many(&self, function: &Function, queries: &[PathQuery]) -> Vec<CheckResult> {
+        let per_query = |checker: &ModelChecker| -> Vec<CheckResult> {
+            queries
+                .iter()
+                .map(|q| checker.find_test_data(function, q))
+                .collect()
+        };
+        if queries.len() < 2 || self.engine == SearchEngine::Baseline {
+            return per_query(self);
+        }
+        let union: HashSet<StmtId> = queries
+            .iter()
+            .flat_map(|q| q.stmts().iter().copied())
+            .collect();
+        let Some((optimised, opt_report)) =
+            crate::opt::shared_optimisation_for_queries(function, &self.optimisations, &union)
+        else {
+            // Some query's preserve set changes the optimised source: the
+            // shared model would not be the model each query is defined over.
+            return per_query(self);
+        };
+        let model = encode_function(&optimised, &self.optimisations.encode_options());
+        let prepared = PreparedModel::new(&model);
+        let explored = crate::multiquery::MultiQueryEngine::explore(self, &prepared, queries);
+        queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| match explored.result(i) {
+                Some(mut result) => {
+                    result.opt_report = opt_report.clone();
+                    result
+                }
+                // Budget exhausted before this query settled: re-ask alone.
+                None => self.find_test_data(function, q),
+            })
+            .collect()
     }
 
     /// Runs the arena search on a [`PreparedModel`], reusing its outgoing
@@ -417,7 +489,7 @@ impl ModelChecker {
                 }
                 // Path monitor.
                 let mut monitor = entry.monitor as usize;
-                if let Some((stmt, choice)) = &prepared.source(t).decision {
+                if let Some((stmt, choice)) = &t.decision {
                     if monitor < query.decisions.len() {
                         let (expected_stmt, expected_choice) = query.decisions[monitor];
                         if *stmt == expected_stmt {
@@ -662,10 +734,10 @@ struct StateEntry {
 
 /// Popped state metadata.
 #[derive(Debug, Clone, Copy)]
-struct PoppedState {
-    loc: u32,
-    monitor: u32,
-    depth: u64,
+pub(crate) struct PoppedState {
+    pub(crate) loc: u32,
+    pub(crate) monitor: u32,
+    pub(crate) depth: u64,
 }
 
 /// Stack-disciplined arena of packed states: entry metadata in one vector,
@@ -674,7 +746,7 @@ struct PoppedState {
 /// Domain splits are stored as a single parent block plus a value cursor, so
 /// splitting over a 16-bit domain costs one block, not 65536.
 #[derive(Debug)]
-struct StateArena {
+pub(crate) struct StateArena {
     vars: usize,
     words: usize,
     entries: Vec<StateEntry>,
@@ -683,7 +755,7 @@ struct StateArena {
 }
 
 impl StateArena {
-    fn new(vars: usize, words: usize) -> StateArena {
+    pub(crate) fn new(vars: usize, words: usize) -> StateArena {
         // Pre-size for a few hundred live states; grows amortised afterwards.
         let prealloc = 256;
         StateArena {
@@ -695,7 +767,7 @@ impl StateArena {
         }
     }
 
-    fn push(&mut self, loc: u32, monitor: u32, depth: u64, vals: &[i64], known: &[u64]) {
+    pub(crate) fn push(&mut self, loc: u32, monitor: u32, depth: u64, vals: &[i64], known: &[u64]) {
         debug_assert_eq!(vals.len(), self.vars);
         debug_assert_eq!(known.len(), self.words);
         self.entries.push(StateEntry {
@@ -711,7 +783,7 @@ impl StateArena {
     /// Pushes a lazy split over `var`'s domain `lo..=hi` of the given parent
     /// valuation.  Children pop in ascending value order.
     #[allow(clippy::too_many_arguments)]
-    fn push_split(
+    pub(crate) fn push_split(
         &mut self,
         loc: u32,
         monitor: u32,
@@ -733,7 +805,7 @@ impl StateArena {
         self.known.extend_from_slice(known);
     }
 
-    fn pop(&mut self, vals: &mut [i64], known: &mut [u64]) -> Option<PoppedState> {
+    pub(crate) fn pop(&mut self, vals: &mut [i64], known: &mut [u64]) -> Option<PoppedState> {
         let entry = self.entries.pop()?;
         let vbase = self.values.len() - self.vars;
         let kbase = self.known.len() - self.words;
@@ -794,7 +866,7 @@ fn witness_from(model: &Model, state: &State, var_index: &HashMap<&str, usize>) 
     witness
 }
 
-fn witness_packed(model: &Model, vals: &[i64], known: &[u64]) -> InputVector {
+pub(crate) fn witness_packed(model: &Model, vals: &[i64], known: &[u64]) -> InputVector {
     let mut witness = InputVector::new();
     for (idx, var) in model.vars.iter().enumerate() {
         if var.role == VarRole::Input {
@@ -810,7 +882,7 @@ fn witness_packed(model: &Model, vals: &[i64], known: &[u64]) -> InputVector {
 }
 
 #[derive(Clone, Copy)]
-enum Eval {
+pub(crate) enum Eval {
     Known(i64),
     Unknown(usize),
     Error,
@@ -859,7 +931,7 @@ fn eval_unop(op: UnOp, v: i64) -> i64 {
 }
 
 /// Partial evaluation of a pool-flattened expression over a packed state.
-fn eval_packed(pool: &ExprPool, id: NodeId, vals: &[i64], known: &[u64]) -> Eval {
+pub(crate) fn eval_packed(pool: &ExprPool, id: NodeId, vals: &[i64], known: &[u64]) -> Eval {
     match pool.node(id) {
         INode::Int(v) => Eval::Known(v),
         INode::Var(idx) => {

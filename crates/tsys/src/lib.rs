@@ -23,7 +23,12 @@
 //! * [`checker`] — an explicit-state reachability checker that lazily splits
 //!   on unknown variable reads, returns witness input vectors (test data) or
 //!   an infeasibility verdict, and reports the cost statistics reproduced in
-//!   Table 2.
+//!   Table 2;
+//! * [`multiquery`] — a multi-query reachability engine that explores one
+//!   function's state space once and answers a whole batch of path queries
+//!   from the shared, decision-signature-annotated graph
+//!   ([`ModelChecker::check_many`]), with results bit-identical to the
+//!   per-query engines.
 //!
 //! # Example: generate test data for a path
 //!
@@ -46,11 +51,13 @@
 pub mod checker;
 pub mod encode;
 pub mod model;
+pub mod multiquery;
 pub mod opt;
 pub mod prepared;
 
 pub use checker::{CheckOutcome, CheckResult, CheckStats, ModelChecker, PathQuery, SearchEngine};
 pub use encode::{encode_function, EncodeOptions};
 pub use model::{LocId, Model, StateVar, Transition, VarRole};
+pub use multiquery::MultiQueryEngine;
 pub use opt::{apply_optimisations, OptReport, Optimisations};
 pub use prepared::PreparedModel;

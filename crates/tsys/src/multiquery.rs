@@ -1,0 +1,794 @@
+//! Multi-query reachability: explore the state space once, answer every
+//! coverage query from the shared annotated graph.
+//!
+//! The test-generation phase asks the model checker dozens of near-identical
+//! questions about *one* function — one [`PathQuery`] per residual coverage
+//! goal.  Asking them one at a time repeats the same depth-first exploration
+//! of the same transition system over and over; the only thing that differs
+//! between queries is the path monitor riding along.  The
+//! [`MultiQueryEngine`] runs the exploration once and lets every monitor ride
+//! the same traversal.
+//!
+//! # Decision signatures
+//!
+//! Each explored state carries a **decision-signature id**: an interned
+//! summary of the branch decisions taken en route.  The signature is *not*
+//! the literal decision sequence — that would distinguish every path and
+//! defeat revisit deduplication — but the product of all per-query monitor
+//! states it induces: for a batch of `N` queries, a signature is the vector
+//! `m₁ … m_N` where `m_q` is how many of query `q`'s decisions have been
+//! matched so far, or `DEAD` once the run has taken a wrong choice at a
+//! branch query `q` expected next.  Two decision histories with the same
+//! vector are indistinguishable to every query, now and forever, so the
+//! vector is the exact quotient the queries induce on histories and the
+//! signature lattice stays small.  A per-query slice-style relevance filter
+//! keeps it smaller still: decisions at statements outside
+//! [`PathQuery::stmts`] of every query in the batch never extend a signature
+//! (they cannot advance or kill any monitor), so straight-line code and
+//! unqueried branches leave the signature — and thus the dedup key —
+//! untouched.  Signatures form a lattice ordered by per-query progress;
+//! nodes are interned once, stepped via a memoised `(signature, transition)`
+//! table, and each records which queries it completes (its *parent link* in
+//! the lattice is the signature it was stepped from, which is how a witness
+//! decision history can be reconstructed when needed).
+//!
+//! # Answering queries
+//!
+//! The traversal is the same packed-arena DFS as the single-query engine
+//! (same split order, same depth budget), so states pop in exactly the order
+//! the single-query search would pop the states of its own pruned subtree.
+//! Query `q` is **feasible** iff some popped state's signature has
+//! `m_q = len(q)`; the first such pop is, by the order-preservation argument
+//! above, precisely the state the single-query search reports, so the
+//! recorded witness input vector and step count are bit-identical to
+//! [`ModelChecker::find_test_data`].  A query with no completing signature
+//! after the stack drains is **infeasible**.  Coverage lookups are a
+//! membership scan over the signature set, witness extraction a lookup of
+//! the first-pop record.
+//!
+//! # Per-query budget accounting
+//!
+//! The single-query engine charges each search two kinds of ops — states
+//! created and transitions fired — against
+//! [`ModelChecker::max_transitions`], and reports
+//! [`CheckOutcome::Unknown`](crate::CheckOutcome::Unknown) when the budget
+//! trips.  The shared traversal reproduces those counters *per query*
+//! without per-query work: every op is charged to the signature it occurs
+//! under (pushes and splits to the state's signature, fires to the
+//! post-decision signature — a transition whose decision kills query `q` is
+//! exactly the transition the single-query search prunes before counting),
+//! and query `q`'s counter is the sum over signatures in which `q` is not
+//! dead.  By the same order preservation, that sum equals the single-query
+//! search's own counter at the corresponding point, so the engine knows
+//! *exactly* when the per-query search would have given up: a query whose
+//! counter reaches the budget before its first completing pop is a
+//! **certified Unknown**, a completing pop under budget is Feasible, a
+//! drained stack under budget is Infeasible.  This is what lets one shared
+//! exploration settle a batch whose members each individually exhaust the
+//! budget, instead of re-running every exhausting search.  The shared run
+//! itself is allowed several multiples of the per-query budget (it is doing
+//! many queries' work) and stops as soon as every query is settled; whatever
+//! is still unsettled when it stops fall back to per-query search.
+//!
+//! The traversal runs without revisit dedup: dedup skips work the
+//! single-query engines would count, which would silently undercount the
+//! per-query budget attribution.  (On searches that finish within budget
+//! dedup never changes a verdict or witness anyway; on budget-bound searches
+//! the arena engine's adaptive dedup has always been documented as able to
+//! settle where the undeduped baseline reports Unknown — the accounting here
+//! is bit-exact against the undeduped reference semantics.)  The flip side
+//! is the worst case on heavily reconvergent state spaces: where per-query
+//! dedup would prune revisits, the shared run re-explores them, and a batch
+//! that then fails to certify anything costs up to the shared budget cap on
+//! top of the per-query fallbacks — which is why the cap is a small multiple
+//! of one query's budget rather than "until drained".
+
+use crate::checker::{
+    eval_packed, witness_packed, CheckOutcome, CheckResult, CheckStats, Eval, ModelChecker,
+    PathQuery, StateArena,
+};
+use crate::prepared::{PreparedModel, PreparedTransition};
+use rustc_hash::FxHashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use tmg_minic::ast::StmtId;
+use tmg_minic::value::InputVector;
+
+/// Monitor value marking a query that can no longer be completed on this
+/// decision history (a wrong choice was taken at an expected branch).
+const DEAD: u32 = u32::MAX;
+
+/// Interned id of a decision signature (an index into [`SigLattice::vecs`]).
+type SigId = u32;
+
+/// The interned signature lattice of one exploration, including the per-
+/// signature op counters that reconstruct every query's private budget.
+struct SigLattice {
+    /// Monitor vector of each signature (`decisions matched` per query, or
+    /// [`DEAD`]).
+    vecs: Vec<Box<[u32]>>,
+    /// Vector → id interning table.
+    intern: FxHashMap<Box<[u32]>, SigId>,
+    /// Queries each signature completes (`m_q == len(q)`).
+    completes: Vec<Vec<u32>>,
+    /// Whether a signature still completes a query that has no recorded
+    /// resolution (cleared on first pop so later pops skip the scan).
+    pending: Vec<bool>,
+    /// Budget ops (states created + transitions fired) charged under each
+    /// signature.
+    ops: Vec<u64>,
+    /// Liveness cache: whether the signature still matters to any unresolved
+    /// query (some unresolved query is neither dead nor settled under it).
+    live: Vec<bool>,
+    /// Resolution epoch at which each `live` entry was computed.
+    live_epoch: Vec<u64>,
+    /// Memoised signature step per `(signature, transition index)`.
+    step_memo: FxHashMap<u64, SigId>,
+}
+
+impl SigLattice {
+    fn new(queries: &[PathQuery]) -> SigLattice {
+        let mut lattice = SigLattice {
+            vecs: Vec::new(),
+            intern: FxHashMap::default(),
+            completes: Vec::new(),
+            pending: Vec::new(),
+            ops: Vec::new(),
+            live: Vec::new(),
+            live_epoch: Vec::new(),
+            step_memo: FxHashMap::default(),
+        };
+        // Root signature: nothing matched yet.  Queries of length zero (the
+        // `any_execution` probe) are complete right here.
+        lattice.intern_vec(vec![0u32; queries.len()].into_boxed_slice(), queries);
+        lattice
+    }
+
+    fn intern_vec(&mut self, vec: Box<[u32]>, queries: &[PathQuery]) -> SigId {
+        if let Some(&id) = self.intern.get(&vec) {
+            return id;
+        }
+        let id = self.vecs.len() as SigId;
+        let completes: Vec<u32> = queries
+            .iter()
+            .enumerate()
+            .filter(|(q, query)| vec[*q] as usize == query.decisions.len())
+            .map(|(q, _)| q as u32)
+            .collect();
+        self.pending.push(!completes.is_empty());
+        self.completes.push(completes);
+        self.ops.push(0);
+        self.live.push(true);
+        self.live_epoch.push(0);
+        self.intern.insert(vec.clone(), id);
+        self.vecs.push(vec);
+        id
+    }
+
+    /// Whether `sig` still matters to any unresolved query, recomputing the
+    /// cached answer when resolutions have advanced since it was last
+    /// checked.  A signature in which every unresolved query is dead heads a
+    /// subtree that no single-query search would explore (each of them
+    /// pruned it at or before the killing decision), so the shared traversal
+    /// prunes it too — the op attribution of unresolved queries is untouched
+    /// by construction.
+    fn is_live(&mut self, sig: SigId, resolutions: &[Option<Resolution>], epoch: u64) -> bool {
+        let i = sig as usize;
+        if self.live_epoch[i] != epoch {
+            self.live_epoch[i] = epoch;
+            self.live[i] = self.vecs[i]
+                .iter()
+                .zip(resolutions)
+                .any(|(&m, r)| r.is_none() && m != DEAD);
+        }
+        self.live[i]
+    }
+
+    /// Steps `sig` over the decision of transition `t`, interning the
+    /// successor on first encounter.
+    fn step(&mut self, sig: SigId, t: &PreparedTransition, queries: &[PathQuery]) -> SigId {
+        let key = (u64::from(sig) << 32) | u64::from(t.index);
+        if let Some(&next) = self.step_memo.get(&key) {
+            return next;
+        }
+        let (stmt, choice) = t.decision.expect("stepped transitions carry a decision");
+        let cur = self.vecs[sig as usize].clone();
+        let mut next_vec: Option<Box<[u32]>> = None;
+        for (q, query) in queries.iter().enumerate() {
+            let m = cur[q];
+            if m == DEAD || m as usize == query.decisions.len() {
+                continue;
+            }
+            let (expected_stmt, expected_choice) = query.decisions[m as usize];
+            if expected_stmt == stmt {
+                let stepped = if expected_choice == choice {
+                    m + 1
+                } else {
+                    DEAD
+                };
+                next_vec.get_or_insert_with(|| cur.clone())[q] = stepped;
+            }
+        }
+        let next = match next_vec {
+            None => sig,
+            Some(vec) => self.intern_vec(vec, queries),
+        };
+        self.step_memo.insert(key, next);
+        next
+    }
+
+    /// Query `q`'s reconstructed private op counter: the ops charged under
+    /// every signature in which `q` is still matchable or complete.  By order
+    /// preservation this equals the op counter of `q`'s own single-query
+    /// search at the corresponding point of its traversal.
+    fn query_ops(&self, q: usize) -> u64 {
+        self.vecs
+            .iter()
+            .zip(&self.ops)
+            .filter(|(vec, _)| vec[q] != DEAD)
+            .map(|(_, ops)| *ops)
+            .sum()
+    }
+}
+
+/// How the shared exploration settled one query.
+#[derive(Debug, Clone)]
+enum Resolution {
+    /// First completing pop under the per-query budget: witness inputs and
+    /// witness run length.
+    Feasible(InputVector, u64),
+    /// The query's reconstructed op counter hit the per-query budget before
+    /// a completing pop: its own search would have reported Unknown.
+    Unknown,
+    /// The stack drained with the query's counter under budget and no
+    /// completing pop.
+    Infeasible,
+}
+
+/// Multiplier on [`ModelChecker::max_transitions`] bounding the shared
+/// exploration: doing the work of up to `n` queries, it may spend up to
+/// `min(n, 4)` per-query budgets before giving the rest back to per-query
+/// fallback.
+const SHARED_BUDGET_FACTOR: u64 = 4;
+
+/// Ops between certification sweeps (checking every open query's
+/// reconstructed counter against the budget).
+const SWEEP_INTERVAL: u64 = 1 << 20;
+
+/// The annotated state graph of one shared exploration, ready to answer any
+/// of the queries it was explored for.
+#[derive(Debug)]
+pub struct MultiQueryEngine {
+    /// Per query: how the shared exploration settled it (`None` = give the
+    /// query back to per-query search).
+    resolutions: Vec<Option<Resolution>>,
+    /// Whether the exploration stopped at the shared budget with the stack
+    /// non-empty.
+    gave_up: bool,
+    /// Cost of the shared exploration.
+    stats: CheckStats,
+    /// Number of distinct decision signatures encountered.
+    signatures: usize,
+}
+
+impl MultiQueryEngine {
+    /// Explores `prepared`'s state space once and settles every query it can
+    /// within `min(queries, 4)` multiples of `checker`'s per-query budget.
+    pub fn explore(
+        checker: &ModelChecker,
+        prepared: &PreparedModel<'_>,
+        queries: &[PathQuery],
+    ) -> MultiQueryEngine {
+        let start = Instant::now();
+        let model = prepared.model;
+        let vars_n = model.vars.len();
+        let words = vars_n.div_ceil(64).max(1);
+
+        let mut stats = CheckStats {
+            state_bits: model.state_bits(),
+            state_bytes: model.state_bytes(),
+            model_transitions: model.transitions.len(),
+            model_vars: model.vars.len(),
+            ..CheckStats::default()
+        };
+
+        // Relevance filter: transitions whose decision statement no query
+        // mentions can never move a monitor, so they skip signature stepping
+        // entirely.
+        let relevant_stmts: HashSet<StmtId> = queries
+            .iter()
+            .flat_map(|q| q.stmts().iter().copied())
+            .collect();
+        let mut relevant = vec![false; model.transitions.len()];
+        for transitions in &prepared.outgoing {
+            for t in transitions {
+                if let Some((stmt, _)) = t.decision {
+                    relevant[t.index as usize] = relevant_stmts.contains(&stmt);
+                }
+            }
+        }
+
+        let query_budget = checker.max_transitions;
+        let shared_budget =
+            query_budget.saturating_mul(SHARED_BUDGET_FACTOR.min(queries.len().max(1) as u64));
+        let mut next_sweep = SWEEP_INTERVAL;
+
+        let mut lattice = SigLattice::new(queries);
+        let mut resolutions: Vec<Option<Resolution>> = vec![None; queries.len()];
+        let mut open = queries.len();
+        // Bumped on every resolution so cached per-signature liveness is
+        // recomputed lazily.
+        let mut epoch: u64 = 1;
+
+        let pool = &prepared.pool;
+        let mut arena = StateArena::new(vars_n, words);
+        {
+            let mut vals = vec![0i64; vars_n];
+            let mut known = vec![0u64; words];
+            for (i, var) in model.vars.iter().enumerate() {
+                if let Some(init) = var.init {
+                    vals[i] = init;
+                    known[i >> 6] |= 1 << (i & 63);
+                }
+            }
+            arena.push(model.initial.index() as u32, 0, 0, &vals, &known);
+        }
+        stats.states_created = 1;
+        lattice.ops[0] += 1;
+
+        let mut cur_vals = vec![0i64; vars_n];
+        let mut cur_known = vec![0u64; words];
+        let mut child_vals = vec![0i64; vars_n];
+        let mut child_known = vec![0u64; words];
+        let mut enabled: Vec<usize> = Vec::with_capacity(8);
+        let mut effect_cache: Vec<Eval> = Vec::with_capacity(8);
+        let mut effect_offsets: Vec<usize> = Vec::with_capacity(8);
+        let mut gave_up = false;
+        let mut drained = true;
+
+        'search: while let Some(entry) = arena.pop(&mut cur_vals, &mut cur_known) {
+            let total_ops = stats.transitions_fired + stats.states_created;
+            if total_ops >= shared_budget {
+                gave_up = true;
+                drained = false;
+                break 'search;
+            }
+            if total_ops >= next_sweep {
+                // Certification sweep: any open query whose reconstructed
+                // counter has hit its budget is settled as Unknown — its own
+                // search would have given up by now.
+                next_sweep = total_ops + SWEEP_INTERVAL;
+                for (q, slot) in resolutions.iter_mut().enumerate() {
+                    if slot.is_none() && lattice.query_ops(q) >= query_budget {
+                        *slot = Some(Resolution::Unknown);
+                        open -= 1;
+                        epoch += 1;
+                    }
+                }
+                if open == 0 {
+                    drained = false;
+                    break 'search;
+                }
+            }
+            stats.max_depth = stats.max_depth.max(entry.depth);
+            let sig = entry.monitor;
+            // Membership scan: does this state's signature complete a query
+            // that is still open?  Pops happen in the exact DFS order of the
+            // single-query search, so the first hit per query *is* the
+            // single-query witness state — unless that search's budget
+            // counter had already tripped, in which case it never got here.
+            if lattice.pending[sig as usize] {
+                for i in 0..lattice.completes[sig as usize].len() {
+                    let q = lattice.completes[sig as usize][i] as usize;
+                    if resolutions[q].is_none() {
+                        resolutions[q] = Some(if lattice.query_ops(q) >= query_budget {
+                            Resolution::Unknown
+                        } else {
+                            Resolution::Feasible(
+                                witness_packed(model, &cur_vals, &cur_known),
+                                entry.depth,
+                            )
+                        });
+                        open -= 1;
+                        epoch += 1;
+                    }
+                }
+                lattice.pending[sig as usize] = false;
+                if open == 0 {
+                    // Every query is settled; the rest of the exploration
+                    // could only prove infeasibilities nobody asked about.
+                    drained = false;
+                    break 'search;
+                }
+            }
+            if !lattice.is_live(sig, &resolutions, epoch) {
+                // Every unresolved query is dead here: no single-query search
+                // would expand this state.
+                continue;
+            }
+            if entry.depth >= checker.max_depth {
+                continue;
+            }
+            let transitions = &prepared.outgoing[entry.loc as usize];
+            if transitions.is_empty() {
+                continue;
+            }
+
+            // Enabled-set computation and lazy splitting, identical to the
+            // single-query engine.
+            let mut split_var: Option<usize> = None;
+            enabled.clear();
+            for (i, t) in transitions.iter().enumerate() {
+                match t.guard {
+                    None => enabled.push(i),
+                    Some(g) => match eval_packed(pool, g, &cur_vals, &cur_known) {
+                        Eval::Known(v) => {
+                            if v != 0 {
+                                enabled.push(i);
+                            }
+                        }
+                        Eval::Unknown(var) => {
+                            split_var = Some(var);
+                            break;
+                        }
+                        Eval::Error => {}
+                    },
+                }
+            }
+            effect_cache.clear();
+            effect_offsets.clear();
+            if split_var.is_none() {
+                'effects: for &i in &enabled {
+                    effect_offsets.push(effect_cache.len());
+                    for &(_, e) in &transitions[i].effect {
+                        let value = eval_packed(pool, e, &cur_vals, &cur_known);
+                        if let Eval::Unknown(var) = value {
+                            split_var = Some(var);
+                            break 'effects;
+                        }
+                        effect_cache.push(value);
+                    }
+                }
+            }
+            if let Some(var) = split_var {
+                let (lo, hi) = model.vars[var].domain;
+                stats.states_created += model.vars[var].domain_size();
+                lattice.ops[sig as usize] += model.vars[var].domain_size();
+                arena.push_split(
+                    entry.loc,
+                    sig,
+                    entry.depth,
+                    &cur_vals,
+                    &cur_known,
+                    var as u32,
+                    lo,
+                    hi,
+                );
+                continue;
+            }
+            // Fire enabled transitions (in reverse so the first is explored
+            // first by the DFS).  Unlike the single-query monitor there is no
+            // pruning: a wrong decision only kills the affected monitors
+            // inside the signature — the run stays interesting to the other
+            // queries, and the fire/push ops are charged to the post-decision
+            // signature, which is exactly the set of queries whose own search
+            // would have paid for them.
+            for pos in (0..enabled.len()).rev() {
+                let t: &PreparedTransition = &transitions[enabled[pos]];
+                let sig_next = if relevant[t.index as usize] {
+                    lattice.step(sig, t, queries)
+                } else {
+                    sig
+                };
+                if sig_next != sig && !lattice.is_live(sig_next, &resolutions, epoch) {
+                    // The decision just killed the last unresolved query that
+                    // was still matchable on this run: every single-query
+                    // search prunes this transition (at this decision or an
+                    // earlier one), so the shared traversal does too, and no
+                    // unresolved query's op counter is owed anything for it.
+                    continue;
+                }
+                child_vals.copy_from_slice(&cur_vals);
+                child_known.copy_from_slice(&cur_known);
+                let mut failed = false;
+                let cached = &effect_cache[effect_offsets[pos]..];
+                for (&(target, _), value) in t.effect.iter().zip(cached) {
+                    match *value {
+                        Eval::Known(v) => {
+                            let target = target as usize;
+                            if target >= vars_n {
+                                failed = true;
+                                break;
+                            }
+                            child_vals[target] = model.vars[target].ty.wrap(v);
+                            child_known[target >> 6] |= 1 << (target & 63);
+                        }
+                        Eval::Unknown(_) | Eval::Error => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+                if failed {
+                    continue;
+                }
+                stats.transitions_fired += 1;
+                stats.states_created += 1;
+                lattice.ops[sig_next as usize] += 2;
+                arena.push(t.to, sig_next, entry.depth + 1, &child_vals, &child_known);
+            }
+        }
+
+        if drained {
+            // Stack empty: every open query either ran out of its own budget
+            // on the way (Unknown) or provably has no completing state
+            // (Infeasible).
+            for (q, slot) in resolutions.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = Some(if lattice.query_ops(q) >= query_budget {
+                        Resolution::Unknown
+                    } else {
+                        Resolution::Infeasible
+                    });
+                }
+            }
+        } else if gave_up {
+            // Shared budget exhausted: certify what can be certified, give
+            // the rest back to per-query search.
+            for (q, slot) in resolutions.iter_mut().enumerate() {
+                if slot.is_none() && lattice.query_ops(q) >= query_budget {
+                    *slot = Some(Resolution::Unknown);
+                }
+            }
+        }
+
+        stats.memory_estimate_bytes = stats.states_created * stats.state_bytes;
+        stats.duration = start.elapsed();
+        MultiQueryEngine {
+            resolutions,
+            gave_up,
+            stats,
+            signatures: lattice.vecs.len(),
+        }
+    }
+
+    /// Whether the exploration hit the shared budget before the stack
+    /// drained (queries it could not certify then report `None` from
+    /// [`MultiQueryEngine::outcome`]).
+    pub fn exhausted(&self) -> bool {
+        self.gave_up
+    }
+
+    /// Cost statistics of the shared exploration.
+    pub fn stats(&self) -> &CheckStats {
+        &self.stats
+    }
+
+    /// Number of distinct decision signatures the exploration encountered.
+    pub fn signature_count(&self) -> usize {
+        self.signatures
+    }
+
+    /// The outcome for query `q`, or `None` when the shared budget ran out
+    /// before the query settled (the caller should fall back to per-query
+    /// search).
+    pub fn outcome(&self, q: usize) -> Option<CheckOutcome> {
+        self.resolutions[q].as_ref().map(|r| match r {
+            Resolution::Feasible(witness, steps) => CheckOutcome::Feasible {
+                witness: witness.clone(),
+                steps: *steps,
+            },
+            Resolution::Unknown => CheckOutcome::Unknown,
+            Resolution::Infeasible => CheckOutcome::Infeasible,
+        })
+    }
+
+    /// The full [`CheckResult`] for query `q` (outcome plus the shared
+    /// exploration's cost statistics), or `None` when unresolved.
+    pub fn result(&self, q: usize) -> Option<CheckResult> {
+        let outcome = self.outcome(q)?;
+        let mut stats = self.stats.clone();
+        stats.witness_steps = match &outcome {
+            CheckOutcome::Feasible { steps, .. } => Some(*steps),
+            _ => None,
+        };
+        Some(CheckResult {
+            outcome,
+            stats,
+            opt_report: Default::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::SearchEngine;
+    use crate::encode::encode_function;
+    use crate::opt::Optimisations;
+    use tmg_cfg::{build_cfg, enumerate_region_paths};
+    use tmg_minic::parse_function;
+
+    fn all_queries(src: &str) -> (tmg_minic::Function, Vec<PathQuery>) {
+        let f = parse_function(src).expect("parse");
+        let lowered = build_cfg(&f);
+        let paths =
+            enumerate_region_paths(&lowered.cfg, lowered.regions.root(), 10_000).expect("paths");
+        let queries = paths
+            .into_iter()
+            .map(|p| PathQuery::new(p.decisions))
+            .collect();
+        (f, queries)
+    }
+
+    fn assert_batch_matches_single(src: &str) {
+        let (f, queries) = all_queries(src);
+        let checker = ModelChecker::new();
+        let batched = checker.check_many(&f, &queries);
+        assert_eq!(batched.len(), queries.len());
+        for (query, result) in queries.iter().zip(&batched) {
+            let single = checker.find_test_data(&f, query);
+            assert_eq!(
+                result.outcome, single.outcome,
+                "batched and single-query outcomes diverge on {src} for {query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_on_nested_ifs() {
+        assert_batch_matches_single(
+            r#"
+            void f(char a __range(0, 4), char b __range(0, 4)) {
+                if (a > 2) { if (b == 1) { x(); } else { y(); } } else { z(); }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn batch_matches_single_with_infeasible_paths() {
+        assert_batch_matches_single(
+            r#"
+            void f(char a __range(0, 4)) {
+                if (a > 2) { x(); }
+                if (a < 1) { y(); }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn batch_matches_single_on_switches_and_loops() {
+        assert_batch_matches_single(
+            r#"
+            void f(char s __range(0, 5), char n __range(0, 3)) {
+                char i = 0;
+                switch (s) { case 0: a0(); break; case 3: a3(); break; default: d(); break; }
+                while (i < n) __bound(3) { i = i + 1; }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn batch_matches_single_on_needle_guards() {
+        assert_batch_matches_single(
+            r#"
+            void f(int key __range(0, 3000), char mode __range(0, 2)) {
+                if (key == 1234) { hit(); }
+                if (mode > 1) { fast(); } else { slow(); }
+                if (key < 0) { never(); }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn mixed_batches_with_any_execution_queries_agree() {
+        let (f, mut queries) =
+            all_queries("void f(char a __range(0, 3)) { if (a > 1) { x(); } else { y(); } }");
+        queries.push(PathQuery::any_execution());
+        let checker = ModelChecker::new();
+        let batched = checker.check_many(&f, &queries);
+        for (query, result) in queries.iter().zip(&batched) {
+            assert_eq!(result.outcome, checker.find_test_data(&f, query).outcome);
+        }
+    }
+
+    #[test]
+    fn signature_lattice_stays_small_on_unqueried_branches() {
+        // Only the first branch is queried: the second must not contribute
+        // signatures (relevance filter), so the lattice holds just the
+        // monitor states of the queried branch.
+        let src = r#"
+            void f(char a __range(0, 3), char b __range(0, 3)) {
+                if (a > 1) { x(); } else { y(); }
+                if (b > 1) { p(); } else { q(); }
+            }
+        "#;
+        let (f, queries) = all_queries(src);
+        let first_branch: Vec<PathQuery> = queries
+            .iter()
+            .map(|q| PathQuery::new(q.decisions[..1].to_vec()))
+            .take(2)
+            .collect();
+        let model = encode_function(&f, &Optimisations::all().encode_options());
+        let prepared = PreparedModel::new(&model);
+        let engine = MultiQueryEngine::explore(&ModelChecker::new(), &prepared, &first_branch);
+        // Root, each query advanced, each query dead — the product lattice of
+        // two one-decision monitors is at most 4 reachable vectors here.
+        assert!(
+            engine.signature_count() <= 4,
+            "lattice blew up: {} signatures",
+            engine.signature_count()
+        );
+        assert!(engine.outcome(0).is_some());
+    }
+
+    #[test]
+    fn budget_exhaustion_certifies_unknown_like_the_single_query_engine() {
+        let src = "void f(int a, int b) { if (a == 12345 && b == 23456) { x(); } }";
+        let (f, queries) = all_queries(src);
+        let tight = ModelChecker::with_optimisations(Optimisations::none()).with_budget(1_000);
+        let model = encode_function(&f, &Optimisations::none().encode_options());
+        let prepared = PreparedModel::new(&model);
+        let engine = MultiQueryEngine::explore(&tight, &prepared, &queries);
+        // A 1k budget cannot settle a 2^32 input space: the very first domain
+        // split charges every query past its budget, so the engine certifies
+        // Unknown for all of them without re-running any search.
+        for q in 0..queries.len() {
+            assert_eq!(engine.outcome(q), Some(CheckOutcome::Unknown));
+        }
+        // ... which is exactly what the per-query searches report.
+        let results = tight.check_many(&f, &queries);
+        for (query, result) in queries.iter().zip(&results) {
+            assert_eq!(result.outcome, tight.find_test_data(&f, query).outcome);
+        }
+    }
+
+    #[test]
+    fn preserve_sensitive_batches_fall_back_and_still_agree() {
+        // The `if (dbg > 0)` branch only survives dead-code elimination when
+        // a query names it, so no shared model serves both queries; check_many
+        // must fall back to per-query search and still agree.
+        let src = "void f(int dbg __range(0, 1), char a __range(0, 2)) { int c; if (dbg > 0) { c = 1; } if (a > 1) { x(); } }";
+        let (f, queries) = all_queries(src);
+        assert!(queries.len() >= 4);
+        let checker = ModelChecker::new();
+        let batched = checker.check_many(&f, &queries);
+        for (query, result) in queries.iter().zip(&batched) {
+            assert_eq!(result.outcome, checker.find_test_data(&f, query).outcome);
+        }
+    }
+
+    #[test]
+    fn baseline_engine_answers_batches_per_query() {
+        let (f, queries) =
+            all_queries("void f(char a __range(0, 3)) { if (a > 1) { x(); } else { y(); } }");
+        let baseline = ModelChecker::new().with_engine(SearchEngine::Baseline);
+        let results = baseline.check_many(&f, &queries);
+        for (query, result) in queries.iter().zip(&results) {
+            assert_eq!(result.outcome, baseline.find_test_data(&f, query).outcome);
+        }
+    }
+
+    #[test]
+    fn shared_stats_report_one_exploration() {
+        let (f, queries) = all_queries(
+            "void f(char a __range(0, 7)) { if (a > 3) { x(); } if (a == 2) { y(); } }",
+        );
+        let checker = ModelChecker::new();
+        let batched = checker.check_many(&f, &queries);
+        let per_query_total: u64 = queries
+            .iter()
+            .map(|q| checker.find_test_data(&f, q).stats.states_created)
+            .sum();
+        // Every batched result reports the same shared exploration, whose
+        // state count undercuts the per-query total.
+        assert!(batched[0].stats.states_created <= per_query_total);
+        assert!(batched
+            .windows(2)
+            .all(|w| w[0].stats.states_created == w[1].stats.states_created));
+    }
+}

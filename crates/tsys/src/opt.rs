@@ -157,6 +157,38 @@ pub fn apply_optimisations_preserving(
     (f, report)
 }
 
+/// Computes the optimised function shared by a *batch* of path queries, or
+/// `None` when no single optimised function serves them all.
+///
+/// [`ModelChecker::find_test_data`](crate::ModelChecker::find_test_data)
+/// optimises per query with `preserve = query.stmts()`, so a batch can only
+/// share one exploration if every per-query preserve set yields the same
+/// optimised source.  The preserve set feeds exactly one pass — dead-code
+/// elimination — and only through per-statement predicates of the form
+/// `!preserve.contains(id) && cond(stmt)`, where `cond` does not depend on
+/// `preserve` (path queries name branch statements only, and the
+/// assignment-removal predicate's relevant-variable set is preserve-free).
+/// Removal sets are therefore anti-monotone in the preserve set: if the empty
+/// set and `union` produce identical functions, every per-query subset of
+/// `union` does too, and that function is returned.  A difference means some
+/// queried branch only survives *because* it is queried (an empty-bodied
+/// branch after dead-assignment removal); such batches are rejected and the
+/// caller falls back to per-query checking.
+pub fn shared_optimisation_for_queries(
+    function: &Function,
+    opts: &Optimisations,
+    union: &HashSet<StmtId>,
+) -> Option<(Function, OptReport)> {
+    let (with_union, report) = apply_optimisations_preserving(function, opts, union);
+    if !union.is_empty() {
+        let (with_none, _) = apply_optimisations(function, opts);
+        if with_none != with_union {
+            return None;
+        }
+    }
+    Some((with_union, report))
+}
+
 // ---------------------------------------------------------------------------
 // Reverse CSE (3.2.1)
 // ---------------------------------------------------------------------------

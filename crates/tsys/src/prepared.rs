@@ -11,9 +11,10 @@
 //! [`check_prepared`](crate::ModelChecker::check_prepared) to skip even
 //! that.
 
-use crate::model::{Model, Transition};
+use crate::model::Model;
 use rustc_hash::FxHashMap;
-use tmg_minic::ast::{BinOp, Expr, UnOp};
+use tmg_minic::ast::{BinOp, Expr, StmtId, UnOp};
+use tmg_minic::interp::BranchChoice;
 
 /// Index of a node in the [`ExprPool`].
 pub(crate) type NodeId = u32;
@@ -79,6 +80,9 @@ pub(crate) struct PreparedTransition {
     pub(crate) effect: Vec<(u32, NodeId)>,
     /// Destination location index.
     pub(crate) to: u32,
+    /// Branch decision the transition encodes, copied out of the source
+    /// transition so the search loops never chase back into the model.
+    pub(crate) decision: Option<(StmtId, BranchChoice)>,
 }
 
 /// A [`Model`] plus everything the explicit-state search wants hoisted out of
@@ -120,6 +124,7 @@ impl<'m> PreparedModel<'m> {
                     })
                     .collect(),
                 to: t.to.index() as u32,
+                decision: t.decision,
             });
         }
         PreparedModel {
@@ -127,10 +132,5 @@ impl<'m> PreparedModel<'m> {
             outgoing,
             pool,
         }
-    }
-
-    /// The source transition a prepared transition came from.
-    pub(crate) fn source(&self, prepared: &PreparedTransition) -> &'m Transition {
-        &self.model.transitions[prepared.index as usize]
     }
 }
