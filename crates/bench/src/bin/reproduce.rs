@@ -4,19 +4,22 @@
 //! ```text
 //! cargo run -p tmg-bench --release --bin reproduce -- all
 //! cargo run -p tmg-bench --release --bin reproduce -- table1 table2 case-study
-//! cargo run -p tmg-bench --release --bin reproduce -- bench     # writes BENCH_pr2.json
+//! cargo run -p tmg-bench --release --bin reproduce -- sweep     # Figure-2/3 curve as JSON
+//! cargo run -p tmg-bench --release --bin reproduce -- bench     # writes BENCH_pr3.json
 //! cargo run -p tmg-bench --release --bin reproduce -- --quick   # CI smoke run
 //! ```
 //!
-//! `bench` times every workload twice — pre-optimisation implementation
-//! (clone-per-state checker, sequential unbatched test generation) and
-//! optimised implementation (arena checker, multi-query batched generation)
-//! — verifies the results are identical, and writes `BENCH_pr2.json` (path
-//! overridable with the `TMG_BENCH_OUT` environment variable).
+//! `bench` times every reworked hot path twice — pre-optimisation
+//! implementation and optimised implementation — verifies the results are
+//! identical, and writes `BENCH_pr3.json` (path overridable with the
+//! `TMG_BENCH_OUT` environment variable).  `sweep` prints the cached
+//! incremental Figure-2/3 tradeoff sweep as machine-readable JSON (written
+//! by hand; the vendored serde is derive-markers only), so the curve is
+//! scriptable; `TMG_TARGET_BLOCKS` sizes the generated function.
 
 use tmg_bench::{
-    case_study, figure2_3, multiquery_crosscheck, perf_report, table1, table1_paper, table2,
-    testgen_experiment,
+    case_study, figure2_3, multiquery_crosscheck, perf_report, sweep_crosscheck, table1,
+    table1_paper, table2, testgen_experiment,
 };
 
 fn main() {
@@ -45,8 +48,9 @@ fn main() {
             "table2" => print_table2(),
             "case-study" | "case_study" => print_case_study(),
             "testgen" => print_testgen(),
+            "sweep" => print_sweep_json(),
             "bench" => run_bench(),
-            other => eprintln!("unknown experiment `{other}` (expected table1, figure2, figure3, table2, case-study, testgen, bench, all)"),
+            other => eprintln!("unknown experiment `{other}` (expected table1, figure2, figure3, table2, case-study, testgen, sweep, bench, all)"),
         }
     }
 }
@@ -68,6 +72,36 @@ fn run_quick() {
     );
     let checked = multiquery_crosscheck();
     println!("quick: batched vs single-query verdicts identical on {checked} queries — ok");
+    let points = sweep_crosscheck();
+    println!(
+        "quick: incremental sweep bit-identical to the per-bound reference on {points} points — ok"
+    );
+}
+
+/// Prints the Figure-2/3 tradeoff sweep as hand-written JSON, so the cached
+/// incremental sweep is scriptable (`reproduce -- sweep | jq ...`).
+fn print_sweep_json() {
+    let target_blocks = std::env::var("TMG_TARGET_BLOCKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(850);
+    let (stats, sweep) = figure2_3(target_blocks);
+    println!("{{");
+    println!("  \"schema\": \"tmg-tradeoff-sweep/v1\",");
+    println!(
+        "  \"function\": {{ \"blocks\": {}, \"branches\": {}, \"lines\": {} }},",
+        stats.blocks, stats.branches, stats.lines
+    );
+    println!("  \"points\": [");
+    for (i, p) in sweep.iter().enumerate() {
+        let comma = if i + 1 < sweep.len() { "," } else { "" };
+        println!(
+            "    {{ \"path_bound\": {}, \"instrumentation_points\": {}, \"measurements\": {}, \"segments\": {} }}{}",
+            p.path_bound, p.instrumentation_points, p.measurements, p.segments, comma
+        );
+    }
+    println!("  ]");
+    println!("}}");
 }
 
 /// Full perf baseline: times the workloads on the pre-optimisation and the

@@ -16,7 +16,7 @@ use tmg_codegen::{
     wiper_input_space, AutomotiveConfig,
 };
 use tmg_core::measurement::exhaustive_end_to_end;
-use tmg_core::tradeoff::{log_spaced_bounds, sweep_path_bounds};
+use tmg_core::tradeoff::{log_spaced_bounds, sweep_path_bounds, sweep_path_bounds_reference};
 use tmg_core::{HybridGenerator, PartitionPlan, TradeoffPoint, WcetAnalysis};
 use tmg_minic::{parse_function, Function};
 use tmg_target::CostModel;
@@ -337,6 +337,27 @@ pub fn multiquery_crosscheck() -> usize {
         }
     }
     checked
+}
+
+/// CI smoke check of the incremental sweep's bit-identity guarantee: the
+/// single-walk event sweep must emit exactly the points of the per-bound
+/// `PartitionPlan::compute` reference.  Returns the number of points
+/// cross-checked.
+///
+/// # Panics
+///
+/// Panics on the first mismatching tradeoff point.
+pub fn sweep_crosscheck() -> usize {
+    let generated = generate_automotive(&AutomotiveConfig::small(9));
+    let lowered = build_cfg(&generated.function);
+    let bounds = log_spaced_bounds(1_000_000);
+    let reference = sweep_path_bounds_reference(&lowered, &bounds);
+    let incremental = sweep_path_bounds(&lowered, &bounds);
+    assert_eq!(
+        reference, incremental,
+        "incremental sweep diverges from the per-bound reference"
+    );
+    reference.len()
 }
 
 /// Convenience used by the case-study bench: the exhaustive end-to-end

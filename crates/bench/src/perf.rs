@@ -1,17 +1,16 @@
-//! Machine-readable performance baseline (`BENCH_pr2.json`).
+//! Machine-readable performance baseline (`BENCH_pr3.json`).
 //!
 //! Every PR that touches a hot path needs a number to beat.  This module
 //! times the paper-reproduction workloads (Table 1, Table 2, Figure 2/3,
-//! Section-4 case study) and — for the model-checking hot path — runs each
-//! workload **twice**: once on the pre-optimisation implementation
-//! ([`SearchEngine::Baseline`] checking + sequential, unbatched test
-//! generation) and once on the optimised one (arena engine + multi-query
-//! batched generation), verifying along the way that WCET bounds, witness
-//! feasibility verdicts and the Table-1 `(ip, m)` statistics are identical
-//! before recording the speedup.  The `checker_multiquery` workload isolates
-//! this PR's tentpole: a residual-style query batch answered per query
-//! (arena engine, PR 1's optimum) versus through the shared exploration of
-//! [`ModelChecker::check_many`].
+//! Section-4 case study) and — for each reworked hot path — runs the
+//! workload **twice**: once on the pre-optimisation implementation and once
+//! on the optimised one, verifying along the way that WCET bounds, witness
+//! feasibility verdicts, tradeoff points and the Table-1 `(ip, m)`
+//! statistics are identical before recording the speedup.  Two workloads
+//! isolate this PR's tentpole: `tradeoff_sweep` compares the per-bound
+//! partition sweep against the incremental region-tree event walk, and
+//! `pipeline_cached` compares repeated full analyses without and with the
+//! content-addressed [`tmg_core::pipeline::ArtifactStore`].
 //!
 //! The JSON is written by hand (the vendored serde is derive-markers only);
 //! the schema is documented in ROADMAP.md under "Open items".
@@ -20,15 +19,18 @@ use crate::{
     case_study, figure2_3, table1, table1_paper, table2_configurations, table2_query, Table1Row,
 };
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tmg_cfg::build_cfg;
 use tmg_codegen::{generate_automotive, table2::table2_function, wiper_function, AutomotiveConfig};
+use tmg_core::pipeline::ArtifactStore;
+use tmg_core::tradeoff::{log_spaced_bounds, sweep_path_bounds, sweep_path_bounds_reference};
 use tmg_core::{GoalKind, HybridGenerator, PartitionPlan, WcetAnalysis};
 use tmg_minic::parse_function;
 use tmg_tsys::{CheckOutcome, ModelChecker, PathQuery, SearchEngine};
 
 /// Label recorded in the emitted JSON; the output file is `BENCH_<label>.json`.
-pub const PR_LABEL: &str = "pr2";
+pub const PR_LABEL: &str = "pr3";
 
 /// Before/after wall times of one reworked workload.
 #[derive(Debug, Clone)]
@@ -267,6 +269,57 @@ fn compare_multiquery(
     }
 }
 
+/// The Figure-2/3 sweep workload: the pre-optimisation per-bound
+/// `PartitionPlan::compute` sweep versus the incremental region-tree event
+/// walk over the shared `PathCounts` artifact, on a TargetLink-sized
+/// generated function.  Points must be bit-identical.
+fn compare_tradeoff_sweep(target_blocks: usize) -> Comparison {
+    let generated = generate_automotive(&AutomotiveConfig {
+        target_blocks,
+        ..AutomotiveConfig::default()
+    });
+    let lowered = build_cfg(&generated.function);
+    let bounds = log_spaced_bounds(1_000_000);
+    let (before, reference) = best_of(3, || sweep_path_bounds_reference(&lowered, &bounds));
+    let (after, incremental) = best_of(3, || sweep_path_bounds(&lowered, &bounds));
+    Comparison {
+        name: "tradeoff_sweep".to_owned(),
+        before,
+        after,
+        identical_results: reference == incremental,
+    }
+}
+
+/// The repeated-analysis workload: `runs` full pipeline invocations on the
+/// unchanged wiper controller, storeless (every invocation recomputes every
+/// stage) versus through one shared [`ArtifactStore`] (the first invocation
+/// computes, the rest are served from the bound artifact).  Reports must be
+/// bit-identical run for run.
+fn compare_pipeline_cached(runs: usize) -> Comparison {
+    let wiper = wiper_function();
+    let bound = crate::wiper_case_bound();
+    let storeless = WcetAnalysis::new(bound);
+    let (before, plain_reports) = best_of(3, || {
+        (0..runs)
+            .map(|_| storeless.analyse(&wiper).expect("analysis"))
+            .collect::<Vec<_>>()
+    });
+    let (after, cached_reports) = best_of(3, || {
+        // A fresh store per repetition batch, so every timed sample pays
+        // exactly one cold run plus `runs - 1` cached ones.
+        let analysis = WcetAnalysis::new(bound).with_store(Arc::new(ArtifactStore::new()));
+        (0..runs)
+            .map(|_| analysis.analyse(&wiper).expect("analysis"))
+            .collect::<Vec<_>>()
+    });
+    Comparison {
+        name: "pipeline_cached".to_owned(),
+        before,
+        after,
+        identical_results: plain_reports == cached_reports,
+    }
+}
+
 /// Produces the complete perf baseline (the payload of
 /// `BENCH_<`[`PR_LABEL`]`>.json`).
 pub fn perf_report() -> PerfReport {
@@ -317,6 +370,8 @@ pub fn perf_report() -> PerfReport {
         compare_testgen("testgen_checker_heavy", &heavy, 4096),
         compare_testgen("testgen_automotive", &automotive, 64),
         compare_multiquery("checker_multiquery_heavy", &heavy, 4096, 64),
+        compare_tradeoff_sweep(400),
+        compare_pipeline_cached(5),
     ];
 
     // End-to-end pipeline: identical WCET bounds before and after.
@@ -362,6 +417,25 @@ mod tests {
         let f = checker_heavy_function();
         let lowered = build_cfg(&f);
         assert!(lowered.regions.root().path_count > 8);
+    }
+
+    #[test]
+    fn tradeoff_sweep_comparison_is_identical_on_a_small_function() {
+        let c = compare_tradeoff_sweep(60);
+        assert!(
+            c.identical_results,
+            "incremental sweep must be bit-identical"
+        );
+        assert_eq!(c.name, "tradeoff_sweep");
+    }
+
+    #[test]
+    fn pipeline_cached_comparison_is_identical() {
+        // Result identity is the hard requirement; the speedup itself is
+        // recorded by `reproduce bench` (a wall-clock assert here would
+        // flake on loaded CI runners).
+        let c = compare_pipeline_cached(2);
+        assert!(c.identical_results, "cached reports must be bit-identical");
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Reusable per-region path-count artifact.
+//!
+//! Partitioning decisions (`tmg_core::partition`) and the Figure-2/3
+//! tradeoff sweep both compare region path counts against a path bound `b`.
+//! The counts themselves are fixed by the lowered function — only the bound
+//! varies — so they are extracted once into a [`PathCounts`] value that can
+//! be cached alongside the CFG and queried for any bound without touching
+//! block lists again.  [`PathCounts::partition_stats`] answers the paper's
+//! `(segments, ip, m)` statistics for one bound in a single region-tree walk
+//! with no allocation; the incremental sweep in `tmg_core::tradeoff` derives
+//! a whole bound sweep from the same data.
+
+use crate::builder::LoweredFunction;
+use crate::regions::RegionId;
+
+/// The `(segments, measurements)` statistics of a partition at one bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Number of program segments.
+    pub segments: usize,
+    /// Number of measurements `m` (one per segment path, saturating).
+    pub measurements: u128,
+}
+
+impl PartitionStats {
+    /// Instrumentation points `ip`: two per segment, as Table 1 counts them.
+    pub fn instrumentation_points(&self) -> usize {
+        self.segments * 2
+    }
+}
+
+/// Per-region path counts and own-block counts of one lowered function.
+///
+/// `own_blocks(r)` is the number of blocks belonging to `r` but to none of
+/// its children — the blocks instrumented individually when `r` is
+/// decomposed.  Region ids are the pre-order ids of the source
+/// [`RegionTree`](crate::regions::RegionTree), so a parent's id is always
+/// smaller than its children's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathCounts {
+    root: RegionId,
+    parent: Vec<Option<RegionId>>,
+    children: Vec<Vec<RegionId>>,
+    path_count: Vec<u128>,
+    own_blocks: Vec<u32>,
+}
+
+impl PathCounts {
+    /// Extracts the counts from a lowered function in one pass over the
+    /// region tree.
+    pub fn compute(lowered: &LoweredFunction) -> PathCounts {
+        let regions = lowered.regions.regions();
+        let mut parent = Vec::with_capacity(regions.len());
+        let mut children = Vec::with_capacity(regions.len());
+        let mut path_count = Vec::with_capacity(regions.len());
+        let mut own_blocks = Vec::with_capacity(regions.len());
+        for region in regions {
+            parent.push(region.parent);
+            children.push(region.children.clone());
+            path_count.push(region.path_count);
+            // Children partition a strict subset of the parent's blocks, so
+            // the own-block count is a subtraction instead of a set build.
+            let nested: usize = region
+                .children
+                .iter()
+                .map(|c| lowered.regions.region(*c).block_count())
+                .sum();
+            own_blocks.push((region.block_count() - nested) as u32);
+        }
+        PathCounts {
+            root: lowered.regions.root_id(),
+            parent,
+            children,
+            path_count,
+            own_blocks,
+        }
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.path_count.len()
+    }
+
+    /// Whether the function has no regions (never true for a built function).
+    pub fn is_empty(&self) -> bool {
+        self.path_count.is_empty()
+    }
+
+    /// Id of the root (function-body) region.
+    pub fn root_id(&self) -> RegionId {
+        self.root
+    }
+
+    /// Parent of a region (`None` for the root).
+    pub fn parent(&self, id: RegionId) -> Option<RegionId> {
+        self.parent[id.index()]
+    }
+
+    /// Directly nested regions in source order.
+    pub fn children(&self, id: RegionId) -> &[RegionId] {
+        &self.children[id.index()]
+    }
+
+    /// Number of paths through the region (saturating).
+    pub fn path_count(&self, id: RegionId) -> u128 {
+        self.path_count[id.index()]
+    }
+
+    /// Blocks owned by the region alone (excluding children's blocks).
+    pub fn own_block_count(&self, id: RegionId) -> u32 {
+        self.own_blocks[id.index()]
+    }
+
+    /// The partition statistics at path bound `bound`, computed by the same
+    /// recursion as `PartitionPlan::compute` but over the counts alone: a
+    /// region within the bound is one segment with `path_count` paths;
+    /// otherwise its children are visited and its own blocks become
+    /// single-block segments of one path each.
+    pub fn partition_stats(&self, bound: u128) -> PartitionStats {
+        let mut stats = PartitionStats {
+            segments: 0,
+            measurements: 0,
+        };
+        self.stats_from(self.root, bound, &mut stats);
+        stats
+    }
+
+    fn stats_from(&self, id: RegionId, bound: u128, stats: &mut PartitionStats) {
+        let i = id.index();
+        if self.path_count[i] <= bound {
+            stats.segments += 1;
+            stats.measurements = stats.measurements.saturating_add(self.path_count[i]);
+            return;
+        }
+        for &child in &self.children[i] {
+            self.stats_from(child, bound, stats);
+        }
+        let own = self.own_blocks[i] as usize;
+        stats.segments += own;
+        stats.measurements = stats.measurements.saturating_add(own as u128);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_cfg;
+    use tmg_minic::parse_function;
+
+    fn counts(src: &str) -> (LoweredFunction, PathCounts) {
+        let lowered = build_cfg(&parse_function(src).expect("parse"));
+        let counts = PathCounts::compute(&lowered);
+        (lowered, counts)
+    }
+
+    #[test]
+    fn own_block_counts_match_the_region_tree() {
+        let sources = [
+            "void f(int a) { p1(); if (a) { p2(); } else { p3(); } p4(); }",
+            "void f(int a) { if (a) { if (a > 1) { x(); } else { y(); } } z(); }",
+            "void f(int s) { switch (s) { case 0: a0(); break; case 1: a1(); break; default: d(); break; } }",
+            "void f(int n) { int i; i = 0; while (i < n) __bound(2) { if (i) { a(); } i = i + 1; } }",
+        ];
+        for src in sources {
+            let (lowered, counts) = counts(src);
+            for region in lowered.regions.regions() {
+                assert_eq!(
+                    counts.own_block_count(region.id) as usize,
+                    lowered.regions.own_blocks(region.id).len(),
+                    "{src}: region {}",
+                    region.id
+                );
+                assert_eq!(counts.path_count(region.id), region.path_count);
+                assert_eq!(counts.parent(region.id), region.parent);
+                assert_eq!(counts.children(region.id), region.children.as_slice());
+            }
+            assert_eq!(counts.len(), lowered.regions.len());
+            assert!(!counts.is_empty());
+        }
+    }
+
+    #[test]
+    fn partition_stats_reproduce_table1_numbers() {
+        // The Figure-1 example's Table-1 rows, without building a single
+        // PartitionPlan.
+        let (_, counts) = counts(
+            r#"
+            int main() {
+                int i;
+                printf1(); printf2();
+                if (i == 0) { printf3(); if (i == 0) { printf4(); } else { printf5(); } }
+                if (i == 0) { printf6(); printf7(); }
+                printf8();
+            }
+            "#,
+        );
+        let expected: [(u128, usize, u128); 4] = [(1, 22, 11), (2, 16, 9), (6, 2, 6), (7, 2, 6)];
+        for (bound, ip, m) in expected {
+            let stats = counts.partition_stats(bound);
+            assert_eq!(
+                (stats.instrumentation_points(), stats.measurements),
+                (ip, m),
+                "bound {bound}"
+            );
+        }
+    }
+}

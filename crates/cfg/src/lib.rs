@@ -34,16 +34,20 @@
 
 pub mod block;
 pub mod builder;
+pub mod counts;
 pub mod dominators;
 pub mod dot;
 pub mod graph;
+pub mod hash;
 pub mod paths;
 pub mod regions;
 
 pub use block::{BasicBlock, BlockId, BlockKind, Terminator};
 pub use builder::{build_cfg, LoweredFunction};
+pub use counts::{PartitionStats, PathCounts};
 pub use dominators::DominatorTree;
 pub use graph::Cfg;
+pub use hash::{combine_hashes, function_fingerprint, stable_hash_str, StableHasher};
 pub use paths::{
     count_paths_block, count_region_paths, enumerate_region_paths, region_path_iter, PathSpec,
     RegionPathIter,

@@ -1,24 +1,60 @@
 //! The end-to-end WCET analysis pipeline.
+//!
+//! [`WcetAnalysis`] is a thin configuration wrapper over the staged,
+//! content-addressed pipeline of [`crate::pipeline`]: every entry point runs
+//! the same stage chain (lower → partition → prepare model → generate →
+//! measure → bound) through an [`ArtifactStore`].  Without an attached store
+//! each call uses a private transient one — identical behaviour and cost to
+//! the historical free-running pipeline; with
+//! [`WcetAnalysis::with_store`] artifacts are shared across calls, bounds
+//! and threads, so repeated analyses reuse instead of recompute.
 
-use crate::measurement::{exhaustive_end_to_end, MeasurementCampaign};
+use crate::measurement::MeasurementCampaign;
 use crate::partition::PartitionPlan;
-use crate::schema::compute_wcet;
+use crate::pipeline::{analyse_staged, analyse_staged_detailed, ArtifactStore, Stage};
 use crate::testgen::{HybridGenerator, TestSuite};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use tmg_cfg::build_cfg;
+use std::sync::Arc;
 use tmg_minic::ast::Function;
 use tmg_minic::value::InputVector;
 use tmg_target::CostModel;
 
-/// Error raised by the analysis pipeline.
+/// Error raised by the analysis pipeline, attributed to the stage and
+/// function it occurred in.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AnalysisError(String);
+pub struct AnalysisError {
+    /// The pipeline stage that failed.
+    pub stage: Stage,
+    /// Name of the function being analysed.
+    pub function: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl AnalysisError {
+    /// Creates an error attributed to `stage` and `function`.
+    pub fn new(
+        stage: Stage,
+        function: impl Into<String>,
+        message: impl Into<String>,
+    ) -> AnalysisError {
+        AnalysisError {
+            stage,
+            function: function.into(),
+            message: message.into(),
+        }
+    }
+}
 
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "wcet analysis error: {}", self.0)
+        write!(
+            f,
+            "wcet analysis error in stage `{}` of `{}`: {}",
+            self.stage, self.function, self.message
+        )
     }
 }
 
@@ -102,6 +138,8 @@ pub struct WcetAnalysis {
     pub cost_model: CostModel,
     /// Test-data generator (heuristic + model checker).
     pub generator: HybridGenerator,
+    /// Artifact store shared across calls, if attached.
+    store: Option<Arc<ArtifactStore>>,
 }
 
 impl WcetAnalysis {
@@ -111,12 +149,22 @@ impl WcetAnalysis {
             path_bound,
             cost_model: CostModel::hcs12(),
             generator: HybridGenerator::new(),
+            store: None,
         }
     }
 
     /// Replaces the target cost model.
     pub fn with_cost_model(mut self, cost_model: CostModel) -> WcetAnalysis {
         self.cost_model = cost_model;
+        self
+    }
+
+    /// Attaches a shared [`ArtifactStore`]: subsequent analyses reuse every
+    /// stage whose content-hashed inputs are unchanged (across calls, path
+    /// bounds and `analyse_all` worker threads).  Without a store each call
+    /// runs on a private transient store.
+    pub fn with_store(mut self, store: Arc<ArtifactStore>) -> WcetAnalysis {
+        self.store = Some(store);
         self
     }
 
@@ -136,7 +184,8 @@ impl WcetAnalysis {
     /// already batched into one shared exploration by the generator, so
     /// fanning out *within* a function would only add pool overhead).  With
     /// fewer than two functions, or when the generator is configured
-    /// sequential, the fan-out is skipped entirely.
+    /// sequential, the fan-out is skipped entirely.  An attached store is
+    /// shared by all workers.
     pub fn analyse_all(
         &self,
         functions: &[Function],
@@ -181,19 +230,18 @@ impl WcetAnalysis {
         ),
         AnalysisError,
     > {
-        let lowered = build_cfg(function);
-        let plan = PartitionPlan::compute(&lowered, self.path_bound);
-        let suite = self.generator.generate(function, &lowered, &plan);
-        let campaign = MeasurementCampaign::run(
-            function,
-            &lowered,
-            &plan,
-            &suite.vectors(),
-            &self.cost_model,
-        )
-        .map_err(AnalysisError)?;
-        let report = self.report(function, &plan, &suite, &campaign, &lowered, None);
-        Ok((plan, suite, campaign, report))
+        let staged = analyse_staged_detailed(&self.effective_store(), self, function, None)?;
+        Ok((
+            staged.partition.plan.clone(),
+            staged.suite.suite.clone(),
+            staged.campaign.campaign.clone(),
+            staged.report,
+        ))
+    }
+
+    /// The attached store, or a fresh transient one for this call.
+    fn effective_store(&self) -> Arc<ArtifactStore> {
+        self.store.clone().unwrap_or_default()
     }
 
     fn run(
@@ -201,53 +249,7 @@ impl WcetAnalysis {
         function: &Function,
         input_space: Option<&[InputVector]>,
     ) -> Result<AnalysisReport, AnalysisError> {
-        let lowered = build_cfg(function);
-        let plan = PartitionPlan::compute(&lowered, self.path_bound);
-        let suite = self.generator.generate(function, &lowered, &plan);
-        let campaign = MeasurementCampaign::run(
-            function,
-            &lowered,
-            &plan,
-            &suite.vectors(),
-            &self.cost_model,
-        )
-        .map_err(AnalysisError)?;
-        let exhaustive = match input_space {
-            Some(space) => Some(
-                exhaustive_end_to_end(function, &lowered, space, &self.cost_model)
-                    .map_err(AnalysisError)?
-                    .0,
-            ),
-            None => None,
-        };
-        Ok(self.report(function, &plan, &suite, &campaign, &lowered, exhaustive))
-    }
-
-    fn report(
-        &self,
-        function: &Function,
-        plan: &PartitionPlan,
-        suite: &TestSuite,
-        campaign: &MeasurementCampaign,
-        lowered: &tmg_cfg::LoweredFunction,
-        exhaustive_max: Option<u64>,
-    ) -> AnalysisReport {
-        let wcet_bound = compute_wcet(lowered, plan, &campaign.worst_case_map());
-        AnalysisReport {
-            function: function.name.clone(),
-            path_bound: self.path_bound,
-            segments: plan.segments.len(),
-            instrumentation_points: plan.instrumentation_points(),
-            measurements: plan.measurements(),
-            goals: suite.goal_count(),
-            heuristic_covered: suite.heuristic_covered(),
-            checker_covered: suite.checker_covered(),
-            infeasible: suite.infeasible_count(),
-            unknown: suite.unknown_count(),
-            measurement_runs: campaign.runs,
-            wcet_bound,
-            exhaustive_max,
-        }
+        analyse_staged(&self.effective_store(), self, function, input_space)
     }
 }
 
@@ -319,6 +321,32 @@ mod tests {
     }
 
     #[test]
+    fn analyse_all_with_a_shared_store_matches_the_storeless_path() {
+        let sources = [
+            "void f1(char a __range(0, 3)) { if (a > 1) { x(); } else { y(); } }",
+            "void f2(char b __range(0, 4)) { if (b > 2) { p(); } if (b < 1) { q(); } }",
+        ];
+        let functions: Vec<Function> = sources
+            .iter()
+            .map(|s| parse_function(s).expect("parse"))
+            .collect();
+        let plain = WcetAnalysis::new(4);
+        let stored = WcetAnalysis::new(4).with_store(Arc::new(ArtifactStore::new()));
+        for (a, b) in plain
+            .analyse_all(&functions)
+            .into_iter()
+            .zip(stored.analyse_all(&functions))
+        {
+            assert_eq!(a.expect("plain"), b.expect("stored"));
+        }
+        // A second fan-out over the shared store must return identical
+        // reports again.
+        for (f, report) in functions.iter().zip(stored.analyse_all(&functions)) {
+            assert_eq!(report.expect("cached"), plain.analyse(f).expect("plain"));
+        }
+    }
+
+    #[test]
     fn detailed_analysis_exposes_the_intermediate_artefacts() {
         let f = parse_function("void f(char a __range(0, 1)) { if (a) { x(); } }").expect("parse");
         let (plan, suite, campaign, report) =
@@ -326,5 +354,15 @@ mod tests {
         assert_eq!(plan.segments.len(), report.segments);
         assert_eq!(suite.goal_count(), report.goals);
         assert_eq!(campaign.timings.len(), plan.segments.len());
+    }
+
+    #[test]
+    fn analysis_error_names_stage_and_function() {
+        let e = AnalysisError::new(Stage::Measure, "wiper", "run faulted");
+        assert_eq!(
+            e.to_string(),
+            "wcet analysis error in stage `measure` of `wiper`: run faulted"
+        );
+        assert_eq!(e.stage, Stage::Measure);
     }
 }

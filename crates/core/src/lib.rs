@@ -46,15 +46,20 @@
 pub mod analysis;
 pub mod measurement;
 pub mod partition;
+pub mod pipeline;
 pub mod schema;
 pub mod testgen;
 pub mod tradeoff;
 
 pub use analysis::{AnalysisError, AnalysisReport, WcetAnalysis};
-pub use measurement::{MeasurementCampaign, SegmentTiming};
+pub use measurement::{MeasurementCampaign, MeasurementError, SegmentTiming};
 pub use partition::{PartitionPlan, Segment, SegmentId, SegmentKind};
+pub use pipeline::{ArtifactStore, Stage, StageStats};
 pub use testgen::{
     CoverageGoal, CoverageStatus, GeneratorKind, GoalKind, HeuristicConfig, HybridGenerator,
     TestSuite,
 };
-pub use tradeoff::{sweep_path_bounds, TradeoffPoint};
+pub use tradeoff::{
+    log_spaced_bounds, sweep_path_bounds, sweep_path_bounds_reference, sweep_with_counts,
+    TradeoffPoint,
+};

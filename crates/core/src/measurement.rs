@@ -4,10 +4,44 @@ use crate::partition::{PartitionPlan, SegmentId, SegmentKind};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 use tmg_cfg::{LoweredFunction, Terminator};
 use tmg_minic::ast::Function;
 use tmg_minic::value::InputVector;
 use tmg_target::{compile::terminator_cycles, CostModel, InstrumentationPoint, Machine, PointId};
+
+/// A measurement run faulted on the target (division by zero, violated loop
+/// bound).  Carries the analysed function's name so the pipeline's
+/// [`From`] conversion into `AnalysisError` keeps the failing stage and
+/// function attributable without re-threading context through every caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasurementError {
+    /// Name of the function whose run faulted.
+    pub function: String,
+    /// What went wrong (the offending vector is named).
+    pub message: String,
+}
+
+impl MeasurementError {
+    fn new(function: &Function, message: String) -> MeasurementError {
+        MeasurementError {
+            function: function.name.clone(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for MeasurementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "measurement of `{}` failed: {}",
+            self.function, self.message
+        )
+    }
+}
+
+impl std::error::Error for MeasurementError {}
 
 /// Measured timing of one program segment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,15 +85,16 @@ impl MeasurementCampaign {
     ///
     /// # Errors
     ///
-    /// Returns an error string when the target faults on a vector (division
-    /// by zero, violated loop bound); the offending vector is named.
+    /// Returns a [`MeasurementError`] when the target faults on a vector
+    /// (division by zero, violated loop bound); the offending vector is
+    /// named.
     pub fn run(
         function: &Function,
         lowered: &LoweredFunction,
         plan: &PartitionPlan,
         vectors: &[InputVector],
         cost_model: &CostModel,
-    ) -> Result<MeasurementCampaign, String> {
+    ) -> Result<MeasurementCampaign, MeasurementError> {
         let machine = Machine::new(&lowered.cfg, function, cost_model.clone());
         let instrumentation = plan.instrumentation(lowered);
         let mut all_points: Vec<InstrumentationPoint> = Vec::new();
@@ -81,9 +116,9 @@ impl MeasurementCampaign {
         let mut samples: FxHashMap<SegmentId, Vec<u64>> = FxHashMap::default();
         let mut open: FxHashMap<SegmentId, u64> = FxHashMap::default();
         for vector in vectors {
-            let run = machine
-                .run(vector, &all_points)
-                .map_err(|e| format!("measurement run failed on {vector}: {e}"))?;
+            let run = machine.run(vector, &all_points).map_err(|e| {
+                MeasurementError::new(function, format!("measurement run failed on {vector}: {e}"))
+            })?;
             open.clear();
             for event in &run.events {
                 let (segment, is_entry) = point_role[&event.point];
@@ -190,25 +225,25 @@ fn static_segment_estimate(
 ///
 /// # Errors
 ///
-/// Returns an error string when the target faults on a vector or when the
-/// input space is empty.
+/// Returns a [`MeasurementError`] when the target faults on a vector or when
+/// the input space is empty.
 pub fn exhaustive_end_to_end(
     function: &Function,
     lowered: &LoweredFunction,
     inputs: &[InputVector],
     cost_model: &CostModel,
-) -> Result<(u64, InputVector), String> {
+) -> Result<(u64, InputVector), MeasurementError> {
     let machine = Machine::new(&lowered.cfg, function, cost_model.clone());
     let mut best: Option<(u64, InputVector)> = None;
     for vector in inputs {
-        let cycles = machine
-            .end_to_end_cycles(vector)
-            .map_err(|e| format!("end-to-end run failed on {vector}: {e}"))?;
+        let cycles = machine.end_to_end_cycles(vector).map_err(|e| {
+            MeasurementError::new(function, format!("end-to-end run failed on {vector}: {e}"))
+        })?;
         if best.as_ref().map(|(b, _)| cycles > *b).unwrap_or(true) {
             best = Some((cycles, vector.clone()));
         }
     }
-    best.ok_or_else(|| "empty input space".to_owned())
+    best.ok_or_else(|| MeasurementError::new(function, "empty input space".to_owned()))
 }
 
 #[cfg(test)]

@@ -1,0 +1,673 @@
+//! The staged, content-addressed analysis pipeline.
+//!
+//! The paper's workflow is inherently staged — lower the CFG, partition it
+//! under a path bound `b`, generate coverage tests by model checking,
+//! measure on the target, combine into a WCET bound — and most workloads
+//! re-enter it with inputs that only partially change: a tradeoff sweep
+//! varies `b` but not the function, a before/after benchmark re-analyses the
+//! same function twice, a multi-function module shares the cost model, a
+//! repeated `reproduce` run changes nothing at all.  This module reifies
+//! each stage's output as an explicit artifact keyed by a *stable content
+//! hash of its inputs* and keeps them in an [`ArtifactStore`], so a stage
+//! re-runs exactly when one of its inputs changed:
+//!
+//! ```text
+//! function source ──► LoweredArtifact       (key: source fingerprint)
+//!                     ├─► PartitionArtifact (key: + path bound)
+//!                     ├─► PreparedModelArtifact (key: + checker config)
+//!                     ├─► SuiteArtifact     (key: partition + generator config)
+//!                     ├─► CampaignArtifact  (key: suite + cost model)
+//!                     └─► BoundArtifact     (key: campaign + input space)
+//! ```
+//!
+//! Keys are FNV-1a digests ([`tmg_cfg::hash`]) of the canonical
+//! pretty-printed function source combined with the `Debug` rendering of the
+//! relevant configuration (cost model, checker and heuristic settings) and
+//! the path bound — every field that can change a stage's output feeds its
+//! key, so a hit is always semantically safe to reuse.  The store counts
+//! hits and misses per [`Stage`]; tests assert that a second analysis of an
+//! unchanged function performs no re-partitioning and no re-encoding.
+//!
+//! [`WcetAnalysis`](crate::WcetAnalysis) runs entirely on top of this
+//! module: without an attached store every call uses a private transient
+//! store (identical behaviour to the historical free-running pipeline); with
+//! [`WcetAnalysis::with_store`](crate::WcetAnalysis::with_store) artifacts
+//! are shared across calls, functions, bounds and threads.
+
+use crate::analysis::{AnalysisError, AnalysisReport, WcetAnalysis};
+use crate::measurement::{exhaustive_end_to_end, MeasurementCampaign, MeasurementError};
+use crate::partition::PartitionPlan;
+use crate::schema::compute_wcet;
+use crate::testgen::{HybridGenerator, TestSuite};
+use rustc_hash::FxHashMap;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tmg_cfg::{
+    build_cfg, combine_hashes, function_fingerprint, stable_hash_str, LoweredFunction, PathCounts,
+    Terminator,
+};
+use tmg_minic::ast::Function;
+use tmg_minic::value::InputVector;
+use tmg_minic::StmtId;
+use tmg_target::CostModel;
+use tmg_tsys::{ModelChecker, SharedCheckModel};
+
+/// The pipeline stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// CFG lowering + region path counts.
+    Lower,
+    /// CFG partitioning under the path bound.
+    Partition,
+    /// Model optimisation + encoding + preparation for the checker.
+    PrepareModel,
+    /// Hybrid test-data generation.
+    Testgen,
+    /// Instrumented measurement campaign.
+    Measure,
+    /// Timing-schema WCET bound (plus optional exhaustive comparison).
+    Bound,
+}
+
+/// Every stage, in execution order.
+pub const STAGES: [Stage; 6] = [
+    Stage::Lower,
+    Stage::Partition,
+    Stage::PrepareModel,
+    Stage::Testgen,
+    Stage::Measure,
+    Stage::Bound,
+];
+
+impl Stage {
+    fn index(self) -> usize {
+        match self {
+            Stage::Lower => 0,
+            Stage::Partition => 1,
+            Stage::PrepareModel => 2,
+            Stage::Testgen => 3,
+            Stage::Measure => 4,
+            Stage::Bound => 5,
+        }
+    }
+
+    /// Stable lowercase name (used in error messages and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Lower => "lower",
+            Stage::Partition => "partition",
+            Stage::PrepareModel => "prepare-model",
+            Stage::Testgen => "testgen",
+            Stage::Measure => "measure",
+            Stage::Bound => "bound",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Hit/miss counters of one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// Artifact served from the store.
+    pub hits: u64,
+    /// Artifact computed (and inserted).
+    pub misses: u64,
+}
+
+/// The lowered function plus everything derived from the source alone.
+#[derive(Debug)]
+pub struct LoweredArtifact {
+    /// Content fingerprint of the function source.
+    pub function_key: u64,
+    /// CFG + region tree.
+    pub lowered: LoweredFunction,
+    /// Reusable per-region path counts (feeds partitioning and the sweep).
+    pub counts: PathCounts,
+    /// Every branching statement of the function — the preserve-set union
+    /// under which the shared checker model is prepared.
+    pub decision_stmts: HashSet<StmtId>,
+}
+
+/// A partition plan at one `(function, path bound)`.
+#[derive(Debug)]
+pub struct PartitionArtifact {
+    /// Content key the artifact is stored under.
+    pub key: u64,
+    /// The plan.
+    pub plan: PartitionPlan,
+}
+
+/// The checker's optimised + encoded + prepared model for one
+/// `(function, checker configuration)`.  `None` records that no single
+/// shared model serves every query batch (the checker then re-verifies per
+/// batch), so even the negative outcome is computed once.
+#[derive(Debug)]
+pub struct PreparedModelArtifact {
+    /// Content key the artifact is stored under.
+    pub key: u64,
+    /// The shared model, if one is provably equivalent to per-query models.
+    pub shared: Option<Arc<SharedCheckModel>>,
+}
+
+/// A generated test suite at one `(partition, generator configuration)`.
+#[derive(Debug)]
+pub struct SuiteArtifact {
+    /// Content key the artifact is stored under.
+    pub key: u64,
+    /// The suite.
+    pub suite: TestSuite,
+}
+
+/// A measurement campaign at one `(suite, cost model)`.
+#[derive(Debug)]
+pub struct CampaignArtifact {
+    /// Content key the artifact is stored under.
+    pub key: u64,
+    /// The campaign.
+    pub campaign: MeasurementCampaign,
+}
+
+/// A finished analysis report at one `(campaign, input space)`.
+#[derive(Debug)]
+pub struct BoundArtifact {
+    /// Content key the artifact is stored under.
+    pub key: u64,
+    /// The report.
+    pub report: AnalysisReport,
+}
+
+/// Content-addressed store for every pipeline stage.
+///
+/// Thread-safe: `WcetAnalysis::analyse_all` fans functions out across cores
+/// with all workers sharing one store.  Lookups and insertions take a
+/// per-stage mutex; stage computations run outside any lock (two racing
+/// workers may both compute the same artifact — the results are identical by
+/// construction, and one insertion wins).
+#[derive(Default)]
+pub struct ArtifactStore {
+    lowered: Mutex<FxHashMap<u64, Arc<LoweredArtifact>>>,
+    partitions: Mutex<FxHashMap<u64, Arc<PartitionArtifact>>>,
+    models: Mutex<FxHashMap<u64, Arc<PreparedModelArtifact>>>,
+    suites: Mutex<FxHashMap<u64, Arc<SuiteArtifact>>>,
+    campaigns: Mutex<FxHashMap<u64, Arc<CampaignArtifact>>>,
+    bounds: Mutex<FxHashMap<u64, Arc<BoundArtifact>>>,
+    hits: [AtomicU64; 6],
+    misses: [AtomicU64; 6],
+}
+
+impl fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("ArtifactStore");
+        for stage in STAGES {
+            s.field(stage.name(), &self.stats(stage));
+        }
+        s.finish()
+    }
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    /// Hit/miss counters of one stage.
+    pub fn stats(&self, stage: Stage) -> StageStats {
+        StageStats {
+            hits: self.hits[stage.index()].load(Ordering::Relaxed),
+            misses: self.misses[stage.index()].load(Ordering::Relaxed),
+        }
+    }
+
+    fn record(&self, stage: Stage, hit: bool) {
+        let counters = if hit { &self.hits } else { &self.misses };
+        counters[stage.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get<T>(
+        &self,
+        stage: Stage,
+        map: &Mutex<FxHashMap<u64, Arc<T>>>,
+        key: u64,
+    ) -> Option<Arc<T>> {
+        let found = map.lock().expect("store lock").get(&key).cloned();
+        self.record(stage, found.is_some());
+        found
+    }
+
+    fn put<T>(map: &Mutex<FxHashMap<u64, Arc<T>>>, key: u64, value: T) -> Arc<T> {
+        map.lock()
+            .expect("store lock")
+            .entry(key)
+            .or_insert_with(|| Arc::new(value))
+            .clone()
+    }
+
+    /// The lowering stage: CFG + region tree + path counts + decision-set.
+    pub fn lowered(&self, function: &Function) -> Arc<LoweredArtifact> {
+        self.lowered_keyed(function, function_fingerprint(function))
+    }
+
+    /// [`lowered`](ArtifactStore::lowered) with the function fingerprint
+    /// already computed (the staged runner hashes the source once per call
+    /// and threads the key through every stage).
+    fn lowered_keyed(&self, function: &Function, key: u64) -> Arc<LoweredArtifact> {
+        if let Some(hit) = self.get(Stage::Lower, &self.lowered, key) {
+            return hit;
+        }
+        let lowered = build_cfg(function);
+        let counts = PathCounts::compute(&lowered);
+        let decision_stmts = decision_statements(&lowered);
+        Self::put(
+            &self.lowered,
+            key,
+            LoweredArtifact {
+                function_key: key,
+                lowered,
+                counts,
+                decision_stmts,
+            },
+        )
+    }
+
+    /// The partitioning stage at one path bound.
+    pub fn partition(&self, lowered: &LoweredArtifact, path_bound: u128) -> Arc<PartitionArtifact> {
+        let key = combine_hashes(&[
+            lowered.function_key,
+            (path_bound >> 64) as u64,
+            path_bound as u64,
+        ]);
+        if let Some(hit) = self.get(Stage::Partition, &self.partitions, key) {
+            return hit;
+        }
+        let plan = PartitionPlan::compute(&lowered.lowered, path_bound);
+        Self::put(&self.partitions, key, PartitionArtifact { key, plan })
+    }
+
+    /// The model-preparation stage: the checker's shared optimised, encoded
+    /// and prepared model, valid for every query batch over the function
+    /// (`None` when no shared model is provably equivalent — cached too, so
+    /// the verification itself is not repeated).
+    pub fn prepared_model(
+        &self,
+        function: &Function,
+        lowered: &LoweredArtifact,
+        checker: &ModelChecker,
+    ) -> Arc<PreparedModelArtifact> {
+        let key = combine_hashes(&[
+            lowered.function_key,
+            stable_hash_str(&format!("{checker:?}")),
+        ]);
+        if let Some(hit) = self.get(Stage::PrepareModel, &self.models, key) {
+            return hit;
+        }
+        let shared = checker
+            .prepare_shared(function, lowered.decision_stmts.clone())
+            .map(Arc::new);
+        Self::put(&self.models, key, PreparedModelArtifact { key, shared })
+    }
+
+    /// The test-generation stage.  On a miss the generator runs with the
+    /// cached shared checker model (building it first if necessary), so
+    /// neither the optimisation passes nor the encoder run more than once
+    /// per `(function, checker configuration)`.
+    pub fn suite(
+        &self,
+        function: &Function,
+        lowered: &LoweredArtifact,
+        partition: &PartitionArtifact,
+        generator: &HybridGenerator,
+    ) -> Arc<SuiteArtifact> {
+        let key = combine_hashes(&[partition.key, stable_hash_str(&format!("{generator:?}"))]);
+        if let Some(hit) = self.get(Stage::Testgen, &self.suites, key) {
+            return hit;
+        }
+        // The shared model is supplied lazily: it is built (or fetched) only
+        // if the generator actually reaches a residual checker batch, so a
+        // fully heuristic-covered function pays nothing.  The unbatched
+        // generator is the benchmark's measured pre-optimisation reference
+        // (handing it the shared model would skip the work it is supposed to
+        // measure), and the Baseline engine cannot consume a shared model at
+        // all — neither configuration prepares one.
+        let suite = generator.generate_with_model_provider(
+            function,
+            &lowered.lowered,
+            &partition.plan,
+            || {
+                if generator.checker.engine == tmg_tsys::SearchEngine::Baseline {
+                    return None;
+                }
+                self.prepared_model(function, lowered, &generator.checker)
+                    .shared
+                    .clone()
+            },
+        );
+        Self::put(&self.suites, key, SuiteArtifact { key, suite })
+    }
+
+    /// The measurement stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the target fault as an [`AnalysisError`] (stage `measure`);
+    /// failures are not cached.
+    pub fn campaign(
+        &self,
+        function: &Function,
+        lowered: &LoweredArtifact,
+        partition: &PartitionArtifact,
+        suite: &SuiteArtifact,
+        cost_model: &CostModel,
+    ) -> Result<Arc<CampaignArtifact>, AnalysisError> {
+        let key = combine_hashes(&[suite.key, stable_hash_str(&format!("{cost_model:?}"))]);
+        if let Some(hit) = self.get(Stage::Measure, &self.campaigns, key) {
+            return Ok(hit);
+        }
+        let campaign = MeasurementCampaign::run(
+            function,
+            &lowered.lowered,
+            &partition.plan,
+            &suite.suite.vectors(),
+            cost_model,
+        )?;
+        Ok(Self::put(
+            &self.campaigns,
+            key,
+            CampaignArtifact { key, campaign },
+        ))
+    }
+
+    fn bound_key(
+        &self,
+        analysis: &WcetAnalysis,
+        function_key: u64,
+        input_space: Option<&[InputVector]>,
+    ) -> u64 {
+        // The report key composes every upstream key without running any
+        // stage: function source, path bound, generator (which embeds the
+        // checker), cost model, and the exhaustive input space if supplied.
+        combine_hashes(&[
+            function_key,
+            (analysis.path_bound >> 64) as u64,
+            analysis.path_bound as u64,
+            stable_hash_str(&format!("{:?}", analysis.generator)),
+            stable_hash_str(&format!("{:?}", analysis.cost_model)),
+            input_space_hash(input_space),
+        ])
+    }
+}
+
+/// Hash of an exhaustive input space (0 reserved for "none supplied").
+fn input_space_hash(input_space: Option<&[InputVector]>) -> u64 {
+    match input_space {
+        None => 0,
+        Some(space) => {
+            let parts: Vec<u64> = space
+                .iter()
+                .map(|v| stable_hash_str(&v.to_string()))
+                .collect();
+            combine_hashes(&parts).max(1)
+        }
+    }
+}
+
+/// The union of every branching statement of the lowered function: the
+/// preserve set under which the shared checker model is prepared (any path
+/// query's statement set is a subset).
+fn decision_statements(lowered: &LoweredFunction) -> HashSet<StmtId> {
+    let mut stmts = HashSet::new();
+    for block in lowered.cfg.blocks() {
+        match &block.terminator {
+            Terminator::Branch { stmt, .. } | Terminator::Switch { stmt, .. } => {
+                stmts.insert(*stmt);
+            }
+            Terminator::Jump(_) | Terminator::Return { .. } | Terminator::Halt => {}
+        }
+    }
+    stmts
+}
+
+/// Everything a staged run produces beyond the report, for callers that want
+/// the intermediate artifacts (`analyse_detailed`, the bench harness).
+#[derive(Debug)]
+pub struct StagedAnalysis {
+    /// The partitioning artifact.
+    pub partition: Arc<PartitionArtifact>,
+    /// The generated-suite artifact.
+    pub suite: Arc<SuiteArtifact>,
+    /// The measurement artifact.
+    pub campaign: Arc<CampaignArtifact>,
+    /// The summary report.
+    pub report: AnalysisReport,
+}
+
+/// Runs the full staged pipeline for `analysis` on `function` through
+/// `store`, returning only the report.  A hit on the final bound artifact
+/// short-circuits every earlier stage (no lookup, no recompute).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] when a measurement run faults on the target.
+pub fn analyse_staged(
+    store: &ArtifactStore,
+    analysis: &WcetAnalysis,
+    function: &Function,
+    input_space: Option<&[InputVector]>,
+) -> Result<AnalysisReport, AnalysisError> {
+    let function_key = function_fingerprint(function);
+    let key = store.bound_key(analysis, function_key, input_space);
+    if let Some(hit) = store.get(Stage::Bound, &store.bounds, key) {
+        return Ok(hit.report.clone());
+    }
+    let staged = run_stages(store, analysis, function, function_key, input_space)?;
+    let report = staged.report.clone();
+    ArtifactStore::put(&store.bounds, key, BoundArtifact { key, report });
+    Ok(staged.report)
+}
+
+/// Like [`analyse_staged`] but returning the intermediate artifacts.  Always
+/// materialises the stage chain (from the store where possible), so the
+/// bound fast path is not taken.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] when a measurement run faults on the target.
+pub fn analyse_staged_detailed(
+    store: &ArtifactStore,
+    analysis: &WcetAnalysis,
+    function: &Function,
+    input_space: Option<&[InputVector]>,
+) -> Result<StagedAnalysis, AnalysisError> {
+    run_stages(
+        store,
+        analysis,
+        function,
+        function_fingerprint(function),
+        input_space,
+    )
+}
+
+fn run_stages(
+    store: &ArtifactStore,
+    analysis: &WcetAnalysis,
+    function: &Function,
+    function_key: u64,
+    input_space: Option<&[InputVector]>,
+) -> Result<StagedAnalysis, AnalysisError> {
+    let lowered = store.lowered_keyed(function, function_key);
+    let partition = store.partition(&lowered, analysis.path_bound);
+    let suite = store.suite(function, &lowered, &partition, &analysis.generator);
+    let campaign = store.campaign(function, &lowered, &partition, &suite, &analysis.cost_model)?;
+    let exhaustive_max = match input_space {
+        Some(space) => Some(
+            exhaustive_end_to_end(function, &lowered.lowered, space, &analysis.cost_model)
+                .map_err(AnalysisError::from)?
+                .0,
+        ),
+        None => None,
+    };
+    let plan = &partition.plan;
+    let wcet_bound = compute_wcet(&lowered.lowered, plan, &campaign.campaign.worst_case_map());
+    let report = AnalysisReport {
+        function: function.name.clone(),
+        path_bound: analysis.path_bound,
+        segments: plan.segments.len(),
+        instrumentation_points: plan.instrumentation_points(),
+        measurements: plan.measurements(),
+        goals: suite.suite.goal_count(),
+        heuristic_covered: suite.suite.heuristic_covered(),
+        checker_covered: suite.suite.checker_covered(),
+        infeasible: suite.suite.infeasible_count(),
+        unknown: suite.suite.unknown_count(),
+        measurement_runs: campaign.campaign.runs,
+        wcet_bound,
+        exhaustive_max,
+    };
+    Ok(StagedAnalysis {
+        partition,
+        suite,
+        campaign,
+        report,
+    })
+}
+
+impl From<MeasurementError> for AnalysisError {
+    fn from(e: MeasurementError) -> AnalysisError {
+        AnalysisError::new(Stage::Measure, e.function, e.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_minic::parse_function;
+
+    fn small_function() -> Function {
+        parse_function(
+            "void f(char a __range(0, 3)) { if (a > 1) { x(); } else { y(); } if (a == 0) { z(); } }",
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = STAGES.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "lower",
+                "partition",
+                "prepare-model",
+                "testgen",
+                "measure",
+                "bound"
+            ]
+        );
+        assert_eq!(Stage::PrepareModel.to_string(), "prepare-model");
+    }
+
+    #[test]
+    fn lowered_artifacts_are_shared_by_content_not_identity() {
+        let store = ArtifactStore::new();
+        let f1 = small_function();
+        let f2 = small_function(); // parsed separately, identical content
+        let a1 = store.lowered(&f1);
+        let a2 = store.lowered(&f2);
+        assert!(
+            Arc::ptr_eq(&a1, &a2),
+            "same content must share the artifact"
+        );
+        assert_eq!(store.stats(Stage::Lower), StageStats { hits: 1, misses: 1 });
+        assert_eq!(a1.counts.len(), a1.lowered.regions.len());
+        assert!(!a1.decision_stmts.is_empty());
+    }
+
+    #[test]
+    fn partition_artifacts_key_on_the_bound() {
+        let store = ArtifactStore::new();
+        let f = small_function();
+        let lowered = store.lowered(&f);
+        let p1 = store.partition(&lowered, 1);
+        let p2 = store.partition(&lowered, 4);
+        let p1_again = store.partition(&lowered, 1);
+        assert!(Arc::ptr_eq(&p1, &p1_again));
+        assert_ne!(p1.key, p2.key);
+        assert_eq!(
+            store.stats(Stage::Partition),
+            StageStats { hits: 1, misses: 2 }
+        );
+    }
+
+    #[test]
+    fn prepared_model_is_built_once_per_checker_config() {
+        let store = ArtifactStore::new();
+        let f = small_function();
+        let lowered = store.lowered(&f);
+        let checker = ModelChecker::new();
+        let m1 = store.prepared_model(&f, &lowered, &checker);
+        let m2 = store.prepared_model(&f, &lowered, &checker);
+        assert!(Arc::ptr_eq(&m1, &m2));
+        assert!(m1.shared.is_some(), "plain branches share one model");
+        let tighter = ModelChecker::new().with_budget(1234);
+        let m3 = store.prepared_model(&f, &lowered, &tighter);
+        assert_ne!(m1.key, m3.key, "checker config feeds the key");
+        assert_eq!(
+            store.stats(Stage::PrepareModel),
+            StageStats { hits: 1, misses: 2 }
+        );
+    }
+
+    #[test]
+    fn suite_stage_reuses_the_shared_model_and_matches_the_plain_generator() {
+        let store = ArtifactStore::new();
+        let f = small_function();
+        let lowered = store.lowered(&f);
+        // Bound 4 collapses the whole function into one segment whose path
+        // goals include the infeasible `a > 1 && a == 0` combination, so the
+        // residual checker batch — and with it the lazy model build — is
+        // guaranteed to run.
+        let partition = store.partition(&lowered, 4);
+        let generator = HybridGenerator::new();
+        let staged = store.suite(&f, &lowered, &partition, &generator);
+        let plain = generator.generate(&f, &lowered.lowered, &partition.plan);
+        assert_eq!(staged.suite, plain, "staged suite must be bit-identical");
+        assert!(
+            staged.suite.infeasible_count() > 0,
+            "checker phase must run"
+        );
+        // The suite miss built the prepared model once; a second suite at a
+        // different bound reuses it.
+        let partition100 = store.partition(&lowered, 100);
+        store.suite(&f, &lowered, &partition100, &generator);
+        assert_eq!(
+            store.stats(Stage::PrepareModel),
+            StageStats { hits: 1, misses: 1 },
+            "one encoding serves both bounds"
+        );
+    }
+
+    #[test]
+    fn fully_heuristic_covered_suites_never_build_the_shared_model() {
+        // Every goal of this function is reachable by random search, so the
+        // residual batch is empty and the lazy provider must never fire.
+        let store = ArtifactStore::new();
+        let f =
+            parse_function("void f(char a __range(0, 1)) { if (a) { x(); } y(); }").expect("parse");
+        let lowered = store.lowered(&f);
+        let partition = store.partition(&lowered, 100);
+        let staged = store.suite(&f, &lowered, &partition, &HybridGenerator::new());
+        assert_eq!(staged.suite.covered_count(), staged.suite.goal_count());
+        assert_eq!(
+            store.stats(Stage::PrepareModel),
+            StageStats { hits: 0, misses: 0 },
+            "no residual batch, no model preparation"
+        );
+    }
+}

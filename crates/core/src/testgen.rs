@@ -15,13 +15,14 @@ use rayon::prelude::*;
 use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::sync::Arc;
 use tmg_cfg::{enumerate_region_paths, BlockId, LoweredFunction, PathSpec, Terminator};
 use tmg_minic::ast::Function;
 use tmg_minic::interp::BranchChoice;
 use tmg_minic::value::InputVector;
 use tmg_minic::StmtId;
 use tmg_target::{CostModel, Machine};
-use tmg_tsys::{ModelChecker, PathQuery};
+use tmg_tsys::{ModelChecker, PathQuery, SharedCheckModel};
 
 /// What a coverage goal asks for.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -288,6 +289,53 @@ impl HybridGenerator {
         lowered: &LoweredFunction,
         plan: &PartitionPlan,
     ) -> TestSuite {
+        self.generate_with_model(function, lowered, plan, None)
+    }
+
+    /// Like [`generate`](HybridGenerator::generate), but answering the
+    /// residual checker batch through a previously prepared
+    /// [`SharedCheckModel`] (the pipeline's cached artifact), skipping the
+    /// per-batch optimisation/encoding/preparation.  Suites are bit-identical
+    /// with and without the shared model: a batch the artifact does not
+    /// cover falls back to the plain [`ModelChecker::check_many`] path
+    /// internally.
+    pub fn generate_with_model(
+        &self,
+        function: &Function,
+        lowered: &LoweredFunction,
+        plan: &PartitionPlan,
+        shared: Option<&SharedCheckModel>,
+    ) -> TestSuite {
+        self.generate_impl(function, lowered, plan, SharedSource::Ready(shared))
+    }
+
+    /// Like [`generate_with_model`](HybridGenerator::generate_with_model),
+    /// but the shared model is supplied lazily: `provider` is invoked only
+    /// when a residual checker batch actually exists, so callers (the
+    /// staged pipeline) never pay for optimising and encoding a model that
+    /// a fully heuristic-covered function would not use.
+    pub fn generate_with_model_provider<'a>(
+        &self,
+        function: &Function,
+        lowered: &LoweredFunction,
+        plan: &PartitionPlan,
+        provider: impl FnOnce() -> Option<Arc<SharedCheckModel>> + 'a,
+    ) -> TestSuite {
+        self.generate_impl(
+            function,
+            lowered,
+            plan,
+            SharedSource::Lazy(Box::new(provider)),
+        )
+    }
+
+    fn generate_impl(
+        &self,
+        function: &Function,
+        lowered: &LoweredFunction,
+        plan: &PartitionPlan,
+        shared: SharedSource<'_>,
+    ) -> TestSuite {
         let goals = self.goals(lowered, plan);
         let machine = Machine::new(&lowered.cfg, function, self.cost_model.clone());
         let mut status: Vec<Option<CoverageStatus>> = vec![None; goals.len()];
@@ -302,8 +350,19 @@ impl HybridGenerator {
         // cores once there are enough of them to amortise the pool overhead.
         // All variants merge in goal order and produce identical suites.
         let residual: Vec<usize> = (0..goals.len()).filter(|&i| status[i].is_none()).collect();
+        // A lazily supplied model is materialised only for a non-empty
+        // residual batch on the batching pipeline.
+        let holder: Option<Arc<SharedCheckModel>>;
+        let shared: Option<&SharedCheckModel> = match shared {
+            SharedSource::Ready(ready) => ready,
+            SharedSource::Lazy(build) if self.batch_queries && !residual.is_empty() => {
+                holder = build();
+                holder.as_deref()
+            }
+            SharedSource::Lazy(_) => None,
+        };
         let resolved: Vec<(usize, CoverageStatus)> = if self.batch_queries {
-            self.check_residual_batched(function, lowered, &machine, &goals, &residual)
+            self.check_residual_batched(function, lowered, &machine, &goals, &residual, shared)
         } else {
             let check = |&i: &usize| (i, self.check_goal(function, lowered, &machine, &goals[i]));
             if self.parallel && residual.len() >= PARALLEL_RESIDUAL_THRESHOLD {
@@ -520,6 +579,7 @@ impl HybridGenerator {
         machine: &Machine<'_>,
         goals: &[CoverageGoal],
         residual: &[usize],
+        shared: Option<&SharedCheckModel>,
     ) -> Vec<(usize, CoverageStatus)> {
         let mut queries: Vec<PathQuery> = Vec::new();
         // Per goal: the index range of its candidate queries in `queries`.
@@ -529,7 +589,10 @@ impl HybridGenerator {
             queries.extend(goal_candidate_queries(lowered, &goals[i]));
             spans.push((i, start, queries.len()));
         }
-        let results = self.checker.check_many(function, &queries);
+        let results = match shared {
+            Some(model) => self.checker.check_many_shared(function, model, &queries),
+            None => self.checker.check_many(function, &queries),
+        };
         spans
             .into_iter()
             .map(|(i, lo, hi)| {
@@ -553,6 +616,16 @@ impl HybridGenerator {
             })
             .collect()
     }
+}
+
+/// How phase 2 of the generator obtains the shared checker model.
+enum SharedSource<'a> {
+    /// The caller already holds a model (or explicitly has none).
+    Ready(Option<&'a SharedCheckModel>),
+    /// The model is built on first need — the staged pipeline's cache
+    /// lookup, deferred so fully heuristic-covered functions never pay for
+    /// optimisation and encoding.
+    Lazy(Box<dyn FnOnce() -> Option<Arc<SharedCheckModel>> + 'a>),
 }
 
 /// How one candidate query's outcome affects its goal.
@@ -952,6 +1025,42 @@ mod tests {
     fn batching_is_the_default() {
         assert!(HybridGenerator::new().batch_queries);
         assert!(!HybridGenerator::new().unbatched().batch_queries);
+    }
+
+    #[test]
+    fn shared_model_generation_is_bit_identical() {
+        // The pipeline hands the generator a model prepared once with the
+        // union of every branch statement; suites must match the plain path
+        // exactly, including checker-resolved and infeasible goals.
+        let src = r#"
+            void f(int a __range(0, 9000), char b __range(0, 3)) {
+                if (a == 4321) { rare(); }
+                if (b > 2) { p1(); }
+                if (b < 1) { p2(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let lowered = build_cfg(&f);
+        let union: std::collections::HashSet<tmg_minic::StmtId> = lowered
+            .cfg
+            .blocks()
+            .iter()
+            .filter_map(|blk| match &blk.terminator {
+                Terminator::Branch { stmt, .. } | Terminator::Switch { stmt, .. } => Some(*stmt),
+                _ => None,
+            })
+            .collect();
+        let generator = HybridGenerator::new();
+        let shared = generator
+            .checker
+            .prepare_shared(&f, union)
+            .expect("shared model");
+        for bound in [1u128, 1000] {
+            let plan = PartitionPlan::compute(&lowered, bound);
+            let with_model = generator.generate_with_model(&f, &lowered, &plan, Some(&shared));
+            let plain = generator.generate(&f, &lowered, &plan);
+            assert_eq!(with_model, plain, "bound {bound}");
+        }
     }
 
     #[test]

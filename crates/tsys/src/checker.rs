@@ -25,7 +25,9 @@
 use crate::encode::encode_function;
 use crate::model::{LocId, Model, Transition, VarRole};
 use crate::opt::{apply_optimisations_preserving, OptReport, Optimisations};
-use crate::prepared::{ExprPool, INode, NodeId, PreparedModel, PreparedTransition};
+use crate::prepared::{
+    ExprPool, INode, NodeId, OwnedPreparedModel, PreparedModel, PreparedTransition,
+};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -270,40 +272,109 @@ impl ModelChecker {
     /// differ, because batched queries report the cost of the shared
     /// exploration.
     pub fn check_many(&self, function: &Function, queries: &[PathQuery]) -> Vec<CheckResult> {
-        let per_query = |checker: &ModelChecker| -> Vec<CheckResult> {
-            queries
-                .iter()
-                .map(|q| checker.find_test_data(function, q))
-                .collect()
-        };
         if queries.len() < 2 || self.engine == SearchEngine::Baseline {
-            return per_query(self);
+            return self.check_each(function, queries);
         }
         let union: HashSet<StmtId> = queries
             .iter()
             .flat_map(|q| q.stmts().iter().copied())
             .collect();
-        let Some((optimised, opt_report)) =
-            crate::opt::shared_optimisation_for_queries(function, &self.optimisations, &union)
-        else {
+        match self.prepare_shared(function, union) {
+            Some(shared) => self.check_many_shared(function, &shared, queries),
             // Some query's preserve set changes the optimised source: the
             // shared model would not be the model each query is defined over.
-            return per_query(self);
-        };
+            None => self.check_each(function, queries),
+        }
+    }
+
+    /// Optimises, encodes and prepares `function` once for every batch of
+    /// path queries whose statements fall within `union`, or `None` when no
+    /// single optimised source serves them all
+    /// ([`crate::opt::shared_optimisation_for_queries`]).
+    ///
+    /// Because removal sets are anti-monotone in the preserve set, a model
+    /// prepared for `union` is also valid for any batch whose statement
+    /// union is a *subset* of `union` — so preparing once with the union of
+    /// every branch statement of the function yields an artifact reusable
+    /// across path bounds and across [`check_many_shared`] batches, which is
+    /// exactly how the staged pipeline caches it.
+    ///
+    /// [`check_many_shared`]: ModelChecker::check_many_shared
+    pub fn prepare_shared(
+        &self,
+        function: &Function,
+        union: HashSet<StmtId>,
+    ) -> Option<SharedCheckModel> {
+        let (optimised, opt_report) =
+            crate::opt::shared_optimisation_for_queries(function, &self.optimisations, &union)?;
         let model = encode_function(&optimised, &self.optimisations.encode_options());
-        let prepared = PreparedModel::new(&model);
+        Some(SharedCheckModel {
+            prepared: OwnedPreparedModel::new(model),
+            opt_report,
+            union,
+        })
+    }
+
+    /// Like [`check_many`](ModelChecker::check_many), but against a model
+    /// previously built by [`prepare_shared`](ModelChecker::prepare_shared),
+    /// skipping the per-batch optimisation, encoding and preparation.
+    ///
+    /// Outcomes are identical to `check_many` (and therefore to per-query
+    /// [`find_test_data`](ModelChecker::find_test_data)): when the shared
+    /// optimisation check succeeded, the prepared model *is* the
+    /// preserve-free optimised model regardless of which union it was
+    /// verified with — and, by the anti-monotonicity argument of
+    /// [`crate::opt::shared_optimisation_for_queries`], also the model each
+    /// covered query's own preserve set would produce — so any covered
+    /// batch (even a solo query) explores the same state space.  A query the
+    /// shared model does not cover (a statement outside the prepared union)
+    /// drops the whole batch back to `check_many`, which re-verifies with
+    /// the batch's own union.
+    pub fn check_many_shared(
+        &self,
+        function: &Function,
+        shared: &SharedCheckModel,
+        queries: &[PathQuery],
+    ) -> Vec<CheckResult> {
+        if self.engine == SearchEngine::Baseline {
+            return self.check_each(function, queries);
+        }
+        if !queries.iter().all(|q| shared.covers(q)) {
+            return self.check_many(function, queries);
+        }
+        let prepared = shared.prepared.view();
+        let off_shared = |q: &PathQuery| {
+            let mut result = self.check_prepared(&prepared, q);
+            result.opt_report = shared.opt_report.clone();
+            result
+        };
+        if queries.len() < 2 {
+            // Solo batches answer straight off the cached model: the search
+            // is the single-query arena search over the identical model, so
+            // nothing is shared and nothing needs re-encoding.
+            return queries.iter().map(off_shared).collect();
+        }
         let explored = crate::multiquery::MultiQueryEngine::explore(self, &prepared, queries);
         queries
             .iter()
             .enumerate()
             .map(|(i, q)| match explored.result(i) {
                 Some(mut result) => {
-                    result.opt_report = opt_report.clone();
+                    result.opt_report = shared.opt_report.clone();
                     result
                 }
-                // Budget exhausted before this query settled: re-ask alone.
-                None => self.find_test_data(function, q),
+                // Budget exhausted before this query settled: re-ask alone,
+                // still on the cached model.
+                None => off_shared(q),
             })
+            .collect()
+    }
+
+    /// The per-query reference path: one independent search per query.
+    fn check_each(&self, function: &Function, queries: &[PathQuery]) -> Vec<CheckResult> {
+        queries
+            .iter()
+            .map(|q| self.find_test_data(function, q))
             .collect()
     }
 
@@ -323,7 +394,7 @@ impl ModelChecker {
             ..CheckStats::default()
         };
 
-        let pool = &prepared.pool;
+        let pool = &prepared.program.pool;
         let mut arena = StateArena::new(vars_n, words);
         // Initial state.
         {
@@ -374,7 +445,7 @@ impl ModelChecker {
             if entry.depth >= self.max_depth {
                 continue;
             }
-            let transitions = &prepared.outgoing[entry.loc as usize];
+            let transitions = &prepared.program.outgoing[entry.loc as usize];
             if transitions.is_empty() {
                 continue;
             }
@@ -709,6 +780,39 @@ impl ModelChecker {
             stats,
             opt_report: OptReport::default(),
         }
+    }
+}
+
+/// An optimised, encoded and prepared model valid for every path-query batch
+/// whose statement union is a subset of the union it was built with.
+///
+/// Built by [`ModelChecker::prepare_shared`]; consumed by
+/// [`ModelChecker::check_many_shared`].  Owning (rather than borrowing) the
+/// model makes it the payload of the pipeline's `PreparedModelArtifact`:
+/// cached once per `(function, checker configuration)` and shared across
+/// path bounds, repeated analyses and threads.
+#[derive(Debug, Clone)]
+pub struct SharedCheckModel {
+    prepared: OwnedPreparedModel,
+    opt_report: OptReport,
+    union: HashSet<StmtId>,
+}
+
+impl SharedCheckModel {
+    /// The encoded transition-system model.
+    pub fn model(&self) -> &Model {
+        self.prepared.model()
+    }
+
+    /// What the source-level optimisation passes did.
+    pub fn opt_report(&self) -> &OptReport {
+        &self.opt_report
+    }
+
+    /// Whether the shared model is valid for `query` (every statement the
+    /// query mentions was in the preserve union the model was verified with).
+    pub fn covers(&self, query: &PathQuery) -> bool {
+        query.stmts().is_subset(&self.union)
     }
 }
 
@@ -1276,6 +1380,57 @@ mod tests {
     #[test]
     fn arena_engine_is_the_default() {
         assert_eq!(ModelChecker::new().engine, SearchEngine::Arena);
+    }
+
+    #[test]
+    fn shared_model_batches_agree_with_check_many_and_per_query() {
+        // The shared model is prepared once with the union of *every* branch
+        // statement (as the pipeline caches it), then answers batches whose
+        // unions are strict subsets — outcomes must match both `check_many`
+        // and the per-query reference.
+        let src = r#"
+            void f(char a __range(0, 4), char b __range(0, 3)) {
+                if (a > 2) { x(); }
+                if (a < 1) { y(); }
+                if (b == 2) { z(); } else { w(); }
+            }
+        "#;
+        let (f, paths) = paths_of(src);
+        assert!(paths.len() >= 6);
+        let all_queries: Vec<PathQuery> = paths
+            .iter()
+            .map(|p| PathQuery::new(p.decisions.clone()))
+            .collect();
+        let union: HashSet<StmtId> = all_queries
+            .iter()
+            .flat_map(|q| q.stmts().iter().copied())
+            .collect();
+        let mc = ModelChecker::new();
+        let shared = mc
+            .prepare_shared(&f, union)
+            .expect("shared optimisation holds for plain branch code");
+        // Full batch and a sub-batch (subset union) both go through the
+        // cached artifact.
+        for queries in [&all_queries[..], &all_queries[..2]] {
+            let via_shared = mc.check_many_shared(&f, &shared, queries);
+            let via_many = mc.check_many(&f, queries);
+            for ((s, m), q) in via_shared.iter().zip(&via_many).zip(queries) {
+                assert_eq!(s.outcome, m.outcome, "shared vs check_many");
+                let single = mc.find_test_data(&f, q);
+                assert_eq!(s.outcome, single.outcome, "shared vs per-query");
+            }
+        }
+        // A query outside the prepared union falls back without changing
+        // verdicts.
+        let foreign = PathQuery::new(vec![(StmtId(9999), BranchChoice::Then)]);
+        assert!(!shared.covers(&foreign));
+        let mixed = vec![all_queries[0].clone(), foreign.clone()];
+        let via_shared = mc.check_many_shared(&f, &shared, &mixed);
+        let via_many = mc.check_many(&f, &mixed);
+        for (s, m) in via_shared.iter().zip(&via_many) {
+            assert_eq!(s.outcome, m.outcome);
+        }
+        assert!(!shared.model().transitions.is_empty());
     }
 
     #[test]

@@ -55,9 +55,11 @@ pub mod multiquery;
 pub mod opt;
 pub mod prepared;
 
-pub use checker::{CheckOutcome, CheckResult, CheckStats, ModelChecker, PathQuery, SearchEngine};
+pub use checker::{
+    CheckOutcome, CheckResult, CheckStats, ModelChecker, PathQuery, SearchEngine, SharedCheckModel,
+};
 pub use encode::{encode_function, EncodeOptions};
 pub use model::{LocId, Model, StateVar, Transition, VarRole};
 pub use multiquery::MultiQueryEngine;
 pub use opt::{apply_optimisations, OptReport, Optimisations};
-pub use prepared::PreparedModel;
+pub use prepared::{OwnedPreparedModel, PreparedModel};

@@ -300,7 +300,7 @@ impl MultiQueryEngine {
             .flat_map(|q| q.stmts().iter().copied())
             .collect();
         let mut relevant = vec![false; model.transitions.len()];
-        for transitions in &prepared.outgoing {
+        for transitions in &prepared.program.outgoing {
             for t in transitions {
                 if let Some((stmt, _)) = t.decision {
                     relevant[t.index as usize] = relevant_stmts.contains(&stmt);
@@ -320,7 +320,7 @@ impl MultiQueryEngine {
         // recomputed lazily.
         let mut epoch: u64 = 1;
 
-        let pool = &prepared.pool;
+        let pool = &prepared.program.pool;
         let mut arena = StateArena::new(vars_n, words);
         {
             let mut vals = vec![0i64; vars_n];
@@ -409,7 +409,7 @@ impl MultiQueryEngine {
             if entry.depth >= checker.max_depth {
                 continue;
             }
-            let transitions = &prepared.outgoing[entry.loc as usize];
+            let transitions = &prepared.program.outgoing[entry.loc as usize];
             if transitions.is_empty() {
                 continue;
             }

@@ -85,20 +85,18 @@ pub(crate) struct PreparedTransition {
     pub(crate) decision: Option<(StmtId, BranchChoice)>,
 }
 
-/// A [`Model`] plus everything the explicit-state search wants hoisted out of
-/// the per-query loop: the per-location outgoing-transition index and the
-/// flattened, index-resolved guard/effect expressions.
+/// The owned, model-independent half of a prepared model: the per-location
+/// outgoing-transition index plus the flattened expression pool.  Holding it
+/// separately from the [`Model`] borrow lets [`OwnedPreparedModel`] own both
+/// halves and be cached across calls (and threads) by the artifact store.
 #[derive(Debug, Clone)]
-pub struct PreparedModel<'m> {
-    /// The underlying model.
-    pub model: &'m Model,
+pub(crate) struct PreparedProgram {
     pub(crate) outgoing: Vec<Vec<PreparedTransition>>,
     pub(crate) pool: ExprPool,
 }
 
-impl<'m> PreparedModel<'m> {
-    /// Prepares `model` for repeated checking.
-    pub fn new(model: &'m Model) -> PreparedModel<'m> {
+impl PreparedProgram {
+    pub(crate) fn new(model: &Model) -> PreparedProgram {
         let var_index: FxHashMap<&str, usize> = model
             .vars
             .iter()
@@ -127,10 +125,59 @@ impl<'m> PreparedModel<'m> {
                 decision: t.decision,
             });
         }
+        PreparedProgram { outgoing, pool }
+    }
+}
+
+/// A [`Model`] plus everything the explicit-state search wants hoisted out of
+/// the per-query loop: the per-location outgoing-transition index and the
+/// flattened, index-resolved guard/effect expressions.
+#[derive(Debug, Clone)]
+pub struct PreparedModel<'m> {
+    /// The underlying model.
+    pub model: &'m Model,
+    pub(crate) program: std::borrow::Cow<'m, PreparedProgram>,
+}
+
+impl<'m> PreparedModel<'m> {
+    /// Prepares `model` for repeated checking.
+    pub fn new(model: &'m Model) -> PreparedModel<'m> {
         PreparedModel {
             model,
-            outgoing,
-            pool,
+            program: std::borrow::Cow::Owned(PreparedProgram::new(model)),
+        }
+    }
+}
+
+/// A fully owned prepared model: the encoded [`Model`] together with its
+/// [`PreparedProgram`], with no outstanding borrows.  This is the cacheable
+/// form the staged pipeline stores once per function and reuses across path
+/// bounds, repeated analyses and [`check_many`](crate::ModelChecker::check_many)
+/// batches.
+#[derive(Debug, Clone)]
+pub struct OwnedPreparedModel {
+    model: Model,
+    program: PreparedProgram,
+}
+
+impl OwnedPreparedModel {
+    /// Prepares `model` and takes ownership of both halves.
+    pub fn new(model: Model) -> OwnedPreparedModel {
+        let program = PreparedProgram::new(&model);
+        OwnedPreparedModel { model, program }
+    }
+
+    /// The underlying encoded model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// A borrowing view usable wherever a [`PreparedModel`] is expected,
+    /// without re-preparing or cloning the program.
+    pub fn view(&self) -> PreparedModel<'_> {
+        PreparedModel {
+            model: &self.model,
+            program: std::borrow::Cow::Borrowed(&self.program),
         }
     }
 }

@@ -1,0 +1,168 @@
+//! Property-based partition invariants: for random mini-C functions and
+//! random path bounds, every partition plan must
+//!
+//! * cover every measurable CFG block with exactly one segment,
+//! * answer `segment_of_block` consistently with the segment block lists,
+//! * report per-segment path counts that are ≥ 1 and consistent with the
+//!   region tree (a whole-region segment carries the region's path count and
+//!   respects the bound; a single-block segment carries exactly 1), and
+//! * agree with the count-only [`PathCounts::partition_stats`] fast path and
+//!   the incremental tradeoff sweep on `(segments, ip, m)`.
+
+use proptest::prelude::*;
+use tmg_cfg::{build_cfg, PathCounts};
+use tmg_core::tradeoff::{sweep_path_bounds_reference, sweep_with_counts};
+use tmg_core::{PartitionPlan, SegmentKind};
+use tmg_minic::parse_function;
+
+/// Deterministic draw stream decoding one `u64` seed into small choices
+/// (the vendored proptest only supplies integer-range strategies).
+struct Draws(u64);
+
+impl Draws {
+    fn next(&mut self, n: u64) -> u64 {
+        let v = self.0 % n;
+        self.0 = (self.0 / n).rotate_left(17) ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        v
+    }
+}
+
+/// Builds a random mini-C function with nested branches, switches and
+/// bounded loops over two small-domain parameters.
+fn random_function(shape: u64, depth: u64) -> String {
+    let mut d = Draws(shape);
+    let mut decls = String::new();
+    let mut body = String::new();
+    let mut label = 0usize;
+    emit_block(&mut d, depth, &mut decls, &mut body, &mut label, 1);
+    format!("void f(char a __range(0, 4), char b __range(0, 3)) {{\n{decls}{body}}}\n")
+}
+
+fn emit_block(
+    d: &mut Draws,
+    depth: u64,
+    decls: &mut String,
+    body: &mut String,
+    label: &mut usize,
+    indent: usize,
+) {
+    let stmts = 1 + d.next(3);
+    for _ in 0..stmts {
+        let k = *label;
+        *label += 1;
+        let pad = "    ".repeat(indent);
+        let var = if d.next(2) == 0 { "a" } else { "b" };
+        match d.next(if depth > 0 { 5 } else { 2 }) {
+            0 => body.push_str(&format!("{pad}call{k}();\n")),
+            1 => {
+                let lit = d.next(5);
+                body.push_str(&format!("{pad}if ({var} > {lit}) {{ leaf{k}(); }}\n"));
+            }
+            2 => {
+                let lit = d.next(4);
+                body.push_str(&format!("{pad}if ({var} == {lit}) {{\n"));
+                emit_block(d, depth - 1, decls, body, label, indent + 1);
+                body.push_str(&format!("{pad}}} else {{\n"));
+                emit_block(d, depth - 1, decls, body, label, indent + 1);
+                body.push_str(&format!("{pad}}}\n"));
+            }
+            3 => {
+                body.push_str(&format!("{pad}switch ({var}) {{\n"));
+                let arms = 1 + d.next(3);
+                for arm in 0..arms {
+                    body.push_str(&format!("{pad}case {arm}:\n"));
+                    emit_block(d, depth - 1, decls, body, label, indent + 1);
+                    body.push_str(&format!("{pad}    break;\n"));
+                }
+                body.push_str(&format!("{pad}default:\n"));
+                emit_block(d, depth - 1, decls, body, label, indent + 1);
+                body.push_str(&format!("{pad}    break;\n"));
+                body.push_str(&format!("{pad}}}\n"));
+            }
+            _ => {
+                decls.push_str(&format!("    char i{k} = 0;\n"));
+                body.push_str(&format!(
+                    "{pad}while (i{k} < {var}) __bound(3) {{\n{pad}    i{k} = i{k} + 1;\n"
+                ));
+                emit_block(d, depth.saturating_sub(1), decls, body, label, indent + 1);
+                body.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_invariants_hold_for_random_functions(
+        shape in 0u64..u64::MAX,
+        depth in 1u64..4,
+        bound_pick in 0u64..6,
+    ) {
+        let src = random_function(shape, depth);
+        let f = parse_function(&src).expect("generated function parses");
+        let lowered = build_cfg(&f);
+        lowered.regions.validate(&lowered.cfg).expect("single-entry regions");
+        let bound = [1u128, 2, 3, 5, 50, u128::MAX][bound_pick as usize];
+        let plan = PartitionPlan::compute(&lowered, bound);
+
+        // Every measurable unit lands in exactly one segment.
+        let mut covered: Vec<_> = plan
+            .segments
+            .iter()
+            .flat_map(|s| s.blocks.iter().copied())
+            .collect();
+        let total_blocks = covered.len();
+        covered.sort_unstable();
+        covered.dedup();
+        prop_assert_eq!(
+            covered.len(), total_blocks,
+            "segments overlap in {}", src
+        );
+        let mut units = lowered.cfg.measurable_units();
+        units.sort_unstable();
+        prop_assert_eq!(&covered, &units, "segments must partition the units of {}", src);
+
+        // segment_of_block agrees with the block lists, everywhere.
+        for segment in &plan.segments {
+            for &block in &segment.blocks {
+                let found = plan.segment_of_block(block).expect("covered block");
+                prop_assert_eq!(found.id, segment.id, "index diverges in {}", src);
+            }
+        }
+        prop_assert!(plan.segment_of_block(lowered.cfg.exit()).is_none());
+
+        // Path counts: >= 1, region segments carry the region tree's count
+        // and respect the bound, block segments carry exactly 1.
+        for segment in &plan.segments {
+            prop_assert!(segment.paths >= 1, "zero-path segment in {}", src);
+            match segment.kind {
+                SegmentKind::Region(region_id) => {
+                    let region = lowered.regions.region(region_id);
+                    prop_assert_eq!(segment.paths, region.path_count, "count mismatch in {}", src);
+                    prop_assert!(segment.paths <= bound, "bound violated in {}", src);
+                    prop_assert_eq!(&segment.blocks, &region.blocks, "blocks mismatch in {}", src);
+                }
+                SegmentKind::Block(block) => {
+                    prop_assert_eq!(segment.paths, 1);
+                    prop_assert_eq!(segment.blocks.as_slice(), &[block]);
+                }
+            }
+        }
+
+        // The count-only fast path and the incremental sweep agree with the
+        // materialised plan.
+        let counts = PathCounts::compute(&lowered);
+        let stats = counts.partition_stats(bound);
+        prop_assert_eq!(stats.segments, plan.segments.len());
+        prop_assert_eq!(stats.instrumentation_points(), plan.instrumentation_points());
+        prop_assert_eq!(stats.measurements, plan.measurements());
+        let bounds = [1u128, bound, 7];
+        prop_assert_eq!(
+            sweep_with_counts(&counts, &bounds),
+            sweep_path_bounds_reference(&lowered, &bounds),
+            "sweep diverges on {}", src
+        );
+    }
+}
