@@ -4,23 +4,33 @@
 //! ```text
 //! cargo run -p tmg-bench --release --bin reproduce -- all
 //! cargo run -p tmg-bench --release --bin reproduce -- table1 table2 case-study
-//! cargo run -p tmg-bench --release --bin reproduce -- sweep     # Figure-2/3 curve as JSON
-//! cargo run -p tmg-bench --release --bin reproduce -- bench     # writes BENCH_pr3.json
-//! cargo run -p tmg-bench --release --bin reproduce -- --quick   # CI smoke run
+//! cargo run -p tmg-bench --release --bin reproduce -- sweep           # Figure-2/3 curve as JSON
+//! cargo run -p tmg-bench --release --bin reproduce -- sweep --stats   # + artifact-store counters
+//! cargo run -p tmg-bench --release --bin reproduce -- serve           # JSON-lines analysis server
+//! cargo run -p tmg-bench --release --bin reproduce -- serve --smoke   # scripted cold/warm smoke
+//! cargo run -p tmg-bench --release --bin reproduce -- bench           # writes BENCH_pr4.json
+//! cargo run -p tmg-bench --release --bin reproduce -- --quick         # CI smoke run
 //! ```
 //!
-//! `bench` times every reworked hot path twice — pre-optimisation
-//! implementation and optimised implementation — verifies the results are
-//! identical, and writes `BENCH_pr3.json` (path overridable with the
-//! `TMG_BENCH_OUT` environment variable).  `sweep` prints the cached
-//! incremental Figure-2/3 tradeoff sweep as machine-readable JSON (written
-//! by hand; the vendored serde is derive-markers only), so the curve is
-//! scriptable; `TMG_TARGET_BLOCKS` sizes the generated function.
+//! `bench` records the before/after perf baseline and writes
+//! `BENCH_pr4.json` (path overridable with the `TMG_BENCH_OUT` environment
+//! variable).  `sweep` prints the cached incremental Figure-2/3 tradeoff
+//! sweep as machine-readable JSON (written by hand; the vendored serde is
+//! derive-markers only); `TMG_TARGET_BLOCKS` sizes the generated function
+//! and `--stats` appends the artifact-store counter snapshot.  `serve`
+//! starts the persistent `tmg-service/v1` analysis server on stdin/stdout
+//! with the on-disk artifact cache rooted at `TMG_CACHE_DIR` (default
+//! `.tmg-cache`); `serve --smoke` runs a scripted two-session batch — cold
+//! run, warm re-run in a fresh store, stats assert — and fails on any bound
+//! mismatch or on a warm-run recomputation.
 
+use std::sync::Arc;
 use tmg_bench::{
     case_study, figure2_3, multiquery_crosscheck, perf_report, sweep_crosscheck, table1,
     table1_paper, table2, testgen_experiment,
 };
+use tmg_core::pipeline::ArtifactStore;
+use tmg_service::{json, PersistentStore, Server};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,7 +38,17 @@ fn main() {
         run_quick();
         return;
     }
-    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    if args.iter().any(|a| a == "serve") {
+        run_serve(args.iter().any(|a| a == "--smoke"));
+        return;
+    }
+    let with_stats = args.iter().any(|a| a == "--stats");
+    let experiments: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let wanted: Vec<String> = if experiments.is_empty() || experiments.iter().any(|a| a == "all") {
         vec![
             "table1".into(),
             "figure2".into(),
@@ -38,7 +58,7 @@ fn main() {
             "testgen".into(),
         ]
     } else {
-        args
+        experiments
     };
     for experiment in wanted {
         match experiment.as_str() {
@@ -48,11 +68,127 @@ fn main() {
             "table2" => print_table2(),
             "case-study" | "case_study" => print_case_study(),
             "testgen" => print_testgen(),
-            "sweep" => print_sweep_json(),
+            "sweep" => print_sweep_json(with_stats),
             "bench" => run_bench(),
-            other => eprintln!("unknown experiment `{other}` (expected table1, figure2, figure3, table2, case-study, testgen, sweep, bench, all)"),
+            other => eprintln!("unknown experiment `{other}` (expected table1, figure2, figure3, table2, case-study, testgen, sweep, serve, bench, all)"),
         }
     }
+}
+
+/// Starts the analysis server, or runs the scripted smoke batch.
+fn run_serve(smoke: bool) {
+    if smoke {
+        run_serve_smoke();
+        return;
+    }
+    let root = std::env::var("TMG_CACHE_DIR").unwrap_or_else(|_| ".tmg-cache".to_owned());
+    let store = Arc::new(PersistentStore::open(&root).expect("open artifact cache"));
+    eprintln!(
+        "tmg-service/v1 serving on stdin/stdout (artifact cache: {root}); ops: analyse, sweep, stats, shutdown"
+    );
+    let stdin = std::io::stdin();
+    let summary = Server::new(store)
+        .serve(stdin.lock(), std::io::stdout())
+        .expect("serve");
+    eprintln!(
+        "served {} requests ({} responses, {} deduplicated, clean shutdown: {})",
+        summary.requests, summary.responses, summary.deduplicated, summary.clean_shutdown
+    );
+}
+
+/// The CI smoke: a cold session populates a scratch cache, a *fresh* server
+/// session over the same directory must answer the identical bound from
+/// disk with zero stage recomputation.
+///
+/// # Panics
+///
+/// Panics (failing CI) on any bound mismatch, on a warm-run recomputation,
+/// or on a malformed response.
+fn run_serve_smoke() {
+    use std::io::Cursor;
+    let root = std::env::temp_dir().join(format!("tmg-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let source = tmg_minic::pretty::function_to_string(&tmg_codegen::wiper_function());
+    let bound = tmg_bench::wiper_case_bound();
+    let analyse = format!(
+        "{{\"id\": ID, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": {bound}}}",
+        json::escape(&source)
+    );
+
+    let session = |script: String| -> Vec<json::Value> {
+        let store = Arc::new(PersistentStore::open(&root).expect("open cache"));
+        let mut out = Vec::new();
+        Server::new(store)
+            .serve(Cursor::new(script), &mut out)
+            .expect("serve");
+        let mut responses: Vec<json::Value> = String::from_utf8(out)
+            .expect("utf-8 responses")
+            .lines()
+            .map(|line| json::parse(line).expect("response parses"))
+            .collect();
+        responses.sort_by_key(|v| v.get("id").and_then(json::Value::as_u64).unwrap_or(0));
+        responses
+    };
+    let reports_of = |response: &json::Value| -> json::Value {
+        assert_eq!(
+            response.get("ok").and_then(json::Value::as_bool),
+            Some(true),
+            "analyse failed: {response:?}"
+        );
+        response.get("reports").expect("reports").clone()
+    };
+
+    // Session 1 (cold): two identical analyses (the second exercises the
+    // in-process cache), then the counters.
+    let cold_script = format!(
+        "{}\n{}\n{{\"id\": 3, \"op\": \"stats\"}}\n{{\"id\": 4, \"op\": \"shutdown\"}}\n",
+        analyse.replace("ID", "1"),
+        analyse.replace("ID", "2")
+    );
+    let cold = session(cold_script);
+    let cold_reports = reports_of(&cold[0]);
+    assert_eq!(
+        cold_reports,
+        reports_of(&cold[1]),
+        "repeated analyse in one session must answer identically"
+    );
+
+    // Session 2 (warm, fresh process image): same request, new store.
+    let warm_script = format!(
+        "{}\n{{\"id\": 2, \"op\": \"stats\"}}\n{{\"id\": 3, \"op\": \"shutdown\"}}\n",
+        analyse.replace("ID", "1")
+    );
+    let warm = session(warm_script);
+    let warm_reports = reports_of(&warm[0]);
+    assert_eq!(
+        cold_reports, warm_reports,
+        "warm session must serve the bit-identical bound from disk"
+    );
+    let stats = warm[1].get("stats").expect("stats payload");
+    let computes = stats
+        .get("computes")
+        .and_then(json::Value::as_u64)
+        .expect("computes counter");
+    assert_eq!(
+        computes, 0,
+        "warm session must recompute nothing: {stats:?}"
+    );
+    let bound_hits = stats
+        .get("disk")
+        .and_then(|d| d.get("bound"))
+        .and_then(|b| b.get("hits"))
+        .and_then(json::Value::as_u64)
+        .expect("disk bound hits");
+    assert!(bound_hits >= 1, "bound must be served from disk: {stats:?}");
+
+    let wcet = warm_reports.as_array().expect("array")[0]
+        .get("wcet_bound")
+        .and_then(json::Value::as_u64)
+        .expect("wcet_bound");
+    println!(
+        "serve smoke: cold and warm sessions agree on wcet_bound = {wcet} cycles; warm run: 0 recomputations, {bound_hits} disk bound hit(s) — ok"
+    );
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 /// Fast smoke run for CI: the exact Table-1 reproduction, one full (small)
@@ -79,19 +215,32 @@ fn run_quick() {
 }
 
 /// Prints the Figure-2/3 tradeoff sweep as hand-written JSON, so the cached
-/// incremental sweep is scriptable (`reproduce -- sweep | jq ...`).
-fn print_sweep_json() {
+/// incremental sweep is scriptable (`reproduce -- sweep | jq ...`).  With
+/// `--stats` the sweep's lowering runs through an [`ArtifactStore`] and the
+/// store's counter snapshot is appended, so scripts can observe the cache
+/// behaviour behind the curve.
+fn print_sweep_json(with_stats: bool) {
     let target_blocks = std::env::var("TMG_TARGET_BLOCKS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(850);
-    let (stats, sweep) = figure2_3(target_blocks);
+    let (stats, sweep, store) = if with_stats {
+        let store = ArtifactStore::new();
+        let (stats, sweep) = tmg_bench::figure2_3_via_store(target_blocks, &store);
+        (stats, sweep, Some(store))
+    } else {
+        let (stats, sweep) = figure2_3(target_blocks);
+        (stats, sweep, None)
+    };
     println!("{{");
     println!("  \"schema\": \"tmg-tradeoff-sweep/v1\",");
     println!(
         "  \"function\": {{ \"blocks\": {}, \"branches\": {}, \"lines\": {} }},",
         stats.blocks, stats.branches, stats.lines
     );
+    if let Some(store) = &store {
+        println!("  \"store\": {},", store.store_stats().to_json());
+    }
     println!("  \"points\": [");
     for (i, p) in sweep.iter().enumerate() {
         let comma = if i + 1 < sweep.len() { "," } else { "" };
@@ -104,8 +253,9 @@ fn print_sweep_json() {
     println!("}}");
 }
 
-/// Full perf baseline: times the workloads on the pre-optimisation and the
-/// optimised hot paths, checks result equality, writes `BENCH_pr2.json`.
+/// Full perf baseline: times the optimised hot paths against their
+/// references (recorded floors where the measured reference was dropped),
+/// checks result equality, writes `BENCH_pr4.json`.
 fn run_bench() {
     let report = perf_report();
     println!("== Perf baseline (before = pre-optimisation, after = optimised) ==");

@@ -66,13 +66,37 @@ pub struct AutomotiveStats {
 /// Regenerates the Figure 2 / Figure 3 sweep: `ip` and `m` over a
 /// log-spaced range of path bounds on a TargetLink-sized function.
 pub fn figure2_3(target_blocks: usize) -> (AutomotiveStats, Vec<TradeoffPoint>) {
+    figure2_3_sweep(target_blocks, |f| {
+        sweep_path_bounds(&build_cfg(f), &log_spaced_bounds(1_000_000))
+    })
+}
+
+/// [`figure2_3`] with the lowering routed through `store`, so the sweep's
+/// CFG and path counts come from (and feed) the artifact cache — the
+/// `reproduce -- sweep --stats` surface.  The curve is identical to
+/// [`figure2_3`]'s (`sweep_with_counts` is bit-identical to
+/// `sweep_path_bounds`, cross-checked in CI).
+pub fn figure2_3_via_store(
+    target_blocks: usize,
+    store: &tmg_core::ArtifactStore,
+) -> (AutomotiveStats, Vec<TradeoffPoint>) {
+    figure2_3_sweep(target_blocks, |f| {
+        let artifact = store.lowered(f);
+        tmg_core::tradeoff::sweep_with_counts(&artifact.counts, &log_spaced_bounds(1_000_000))
+    })
+}
+
+/// Shared generation + statistics assembly behind the Figure-2/3 variants.
+fn figure2_3_sweep(
+    target_blocks: usize,
+    sweep: impl FnOnce(&Function) -> Vec<TradeoffPoint>,
+) -> (AutomotiveStats, Vec<TradeoffPoint>) {
     let config = AutomotiveConfig {
         target_blocks,
         ..AutomotiveConfig::default()
     };
     let generated = generate_automotive(&config);
-    let lowered = build_cfg(&generated.function);
-    let sweep = sweep_path_bounds(&lowered, &log_spaced_bounds(1_000_000));
+    let sweep = sweep(&generated.function);
     let stats = AutomotiveStats {
         blocks: generated.block_count,
         branches: generated.branch_count,

@@ -21,7 +21,7 @@ use crate::block::{BasicBlock, BlockId, BlockKind, Terminator};
 use crate::graph::Cfg;
 use crate::paths::count_paths_block;
 use crate::regions::{Region, RegionId, RegionKind, RegionTree};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use tmg_minic::ast::{Block, Expr, Function, Stmt, StmtId};
 
 /// Result of lowering a function: the CFG and its program-segment regions.
@@ -57,7 +57,7 @@ struct Builder<'f> {
     blocks: Vec<BasicBlock>,
     regions: Vec<Region>,
     region_stack: Vec<RegionId>,
-    loop_bounds: HashMap<StmtId, u32>,
+    loop_bounds: FxHashMap<StmtId, u32>,
     exit: BlockId,
 }
 
@@ -68,7 +68,7 @@ impl<'f> Builder<'f> {
             blocks: Vec::new(),
             regions: Vec::new(),
             region_stack: Vec::new(),
-            loop_bounds: HashMap::new(),
+            loop_bounds: FxHashMap::default(),
             exit: BlockId(0),
         }
     }

@@ -1,8 +1,8 @@
 //! The control-flow graph container.
 
 use crate::block::{BasicBlock, BlockId, BlockKind, Terminator};
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use tmg_minic::ast::StmtId;
 
 /// Control-flow graph of one analysed function.
@@ -18,18 +18,20 @@ pub struct Cfg {
     entry: BlockId,
     exit: BlockId,
     preds: Vec<Vec<BlockId>>,
-    loop_bounds: HashMap<StmtId, u32>,
+    loop_bounds: FxHashMap<StmtId, u32>,
 }
 
 impl Cfg {
-    /// Assembles a CFG from parts; used by the builder.  Predecessor lists are
-    /// computed here.
-    pub(crate) fn from_parts(
+    /// Assembles a CFG from parts; used by the builder and by the persistent
+    /// artifact store when materialising a lowering artifact from disk.
+    /// Predecessor lists are computed here, so a deserialized CFG is
+    /// structurally identical to the originally built one.
+    pub fn from_parts(
         function: String,
         blocks: Vec<BasicBlock>,
         entry: BlockId,
         exit: BlockId,
-        loop_bounds: HashMap<StmtId, u32>,
+        loop_bounds: FxHashMap<StmtId, u32>,
     ) -> Cfg {
         let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); blocks.len()];
         for b in &blocks {
@@ -92,7 +94,7 @@ impl Cfg {
     }
 
     /// All loop bounds, keyed by the loop statement.
-    pub fn loop_bounds(&self) -> &HashMap<StmtId, u32> {
+    pub fn loop_bounds(&self) -> &FxHashMap<StmtId, u32> {
         &self.loop_bounds
     }
 

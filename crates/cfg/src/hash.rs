@@ -99,6 +99,15 @@ pub fn combine_hashes(parts: &[u64]) -> u64 {
     h.finish()
 }
 
+/// Canonical filename stem of a content key: 16 lowercase hex digits, fixed
+/// width so cache directories sort and compare predictably.  The persistent
+/// artifact store names every on-disk artifact `<key_hex(key)>.tmga`; keeping
+/// the rendering next to the hasher pins the two halves of the contract
+/// (key derivation and key spelling) to one crate.
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
 /// Stable fingerprint of a function: the hash of its canonical
 /// pretty-printed source.  The printer emits the full semantic content —
 /// name, signature with `__range` annotations, local declarations and
@@ -129,6 +138,13 @@ mod tests {
         let (a, b) = (stable_hash_str("a"), stable_hash_str("b"));
         assert_ne!(combine_hashes(&[a, b]), combine_hashes(&[b, a]));
         assert_ne!(combine_hashes(&[a]), combine_hashes(&[a, a]));
+    }
+
+    #[test]
+    fn key_hex_is_fixed_width_lowercase() {
+        assert_eq!(key_hex(0), "0000000000000000");
+        assert_eq!(key_hex(u64::MAX), "ffffffffffffffff");
+        assert_eq!(key_hex(0xCBF2_9CE4_8422_2325), "cbf29ce484222325");
     }
 
     #[test]

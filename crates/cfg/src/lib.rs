@@ -47,7 +47,7 @@ pub use builder::{build_cfg, LoweredFunction};
 pub use counts::{PartitionStats, PathCounts};
 pub use dominators::DominatorTree;
 pub use graph::Cfg;
-pub use hash::{combine_hashes, function_fingerprint, stable_hash_str, StableHasher};
+pub use hash::{combine_hashes, function_fingerprint, key_hex, stable_hash_str, StableHasher};
 pub use paths::{
     count_paths_block, count_region_paths, enumerate_region_paths, region_path_iter, PathSpec,
     RegionPathIter,

@@ -105,7 +105,10 @@ pub struct RegionTree {
 }
 
 impl RegionTree {
-    pub(crate) fn from_parts(regions: Vec<Region>, root: RegionId) -> RegionTree {
+    /// Assembles a tree from its regions; used by the builder and by the
+    /// persistent artifact store when materialising a lowering artifact from
+    /// disk ([`RegionTree::validate`] checks the structure either way).
+    pub fn from_parts(regions: Vec<Region>, root: RegionId) -> RegionTree {
         RegionTree { regions, root }
     }
 

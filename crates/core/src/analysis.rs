@@ -11,7 +11,7 @@
 
 use crate::measurement::MeasurementCampaign;
 use crate::partition::PartitionPlan;
-use crate::pipeline::{analyse_staged, analyse_staged_detailed, ArtifactStore, Stage};
+use crate::pipeline::{analyse_staged, analyse_staged_detailed, ArtifactStore, Stage, TieredStore};
 use crate::testgen::{HybridGenerator, TestSuite};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -138,8 +138,10 @@ pub struct WcetAnalysis {
     pub cost_model: CostModel,
     /// Test-data generator (heuristic + model checker).
     pub generator: HybridGenerator,
-    /// Artifact store shared across calls, if attached.
-    store: Option<Arc<ArtifactStore>>,
+    /// Artifact store shared across calls, if attached.  Any [`TieredStore`]
+    /// tier works: the in-memory [`ArtifactStore`] or the persistent
+    /// disk-backed store of the `tmg-service` crate.
+    store: Option<Arc<dyn TieredStore>>,
 }
 
 impl WcetAnalysis {
@@ -159,11 +161,12 @@ impl WcetAnalysis {
         self
     }
 
-    /// Attaches a shared [`ArtifactStore`]: subsequent analyses reuse every
+    /// Attaches a shared artifact store tier: subsequent analyses reuse every
     /// stage whose content-hashed inputs are unchanged (across calls, path
-    /// bounds and `analyse_all` worker threads).  Without a store each call
-    /// runs on a private transient store.
-    pub fn with_store(mut self, store: Arc<ArtifactStore>) -> WcetAnalysis {
+    /// bounds and `analyse_all` worker threads — and, with a persistent tier,
+    /// across processes).  Without a store each call runs on a private
+    /// transient in-memory store.
+    pub fn with_store(mut self, store: Arc<dyn TieredStore>) -> WcetAnalysis {
         self.store = Some(store);
         self
     }
@@ -230,7 +233,13 @@ impl WcetAnalysis {
         ),
         AnalysisError,
     > {
-        let staged = analyse_staged_detailed(&self.effective_store(), self, function, None)?;
+        let staged = match &self.store {
+            None => analyse_staged_detailed(&ArtifactStore::new(), self, function, None)?,
+            Some(tier) => match tier.as_memory_store() {
+                Some(memory) => analyse_staged_detailed(memory, self, function, None)?,
+                None => analyse_staged_detailed(&**tier, self, function, None)?,
+            },
+        };
         Ok((
             staged.partition.plan.clone(),
             staged.suite.suite.clone(),
@@ -239,17 +248,22 @@ impl WcetAnalysis {
         ))
     }
 
-    /// The attached store, or a fresh transient one for this call.
-    fn effective_store(&self) -> Arc<ArtifactStore> {
-        self.store.clone().unwrap_or_default()
-    }
-
+    /// Dispatches the staged run to the statically-typed in-memory path
+    /// whenever the tier is (or wraps nothing but) the plain
+    /// [`ArtifactStore`] — the stage chain then monomorphises and inlines —
+    /// and to the dynamic path for every other tier.
     fn run(
         &self,
         function: &Function,
         input_space: Option<&[InputVector]>,
     ) -> Result<AnalysisReport, AnalysisError> {
-        analyse_staged(&self.effective_store(), self, function, input_space)
+        match &self.store {
+            None => analyse_staged(&ArtifactStore::new(), self, function, input_space),
+            Some(tier) => match tier.as_memory_store() {
+                Some(memory) => analyse_staged(memory, self, function, input_space),
+                None => analyse_staged(&**tier, self, function, input_space),
+            },
+        }
     }
 }
 

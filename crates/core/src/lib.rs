@@ -54,7 +54,7 @@ pub mod tradeoff;
 pub use analysis::{AnalysisError, AnalysisReport, WcetAnalysis};
 pub use measurement::{MeasurementCampaign, MeasurementError, SegmentTiming};
 pub use partition::{PartitionPlan, Segment, SegmentId, SegmentKind};
-pub use pipeline::{ArtifactStore, Stage, StageStats};
+pub use pipeline::{ArtifactStore, Stage, StageStats, StoreStats, TieredStore};
 pub use testgen::{
     CoverageGoal, CoverageStatus, GeneratorKind, GoalKind, HeuristicConfig, HybridGenerator,
     TestSuite,

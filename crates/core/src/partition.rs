@@ -89,6 +89,37 @@ impl PartitionPlan {
         }
     }
 
+    /// Reassembles a plan from its segments — the deserialization hook of the
+    /// persistent artifact store.  `block_count` is the block-table size of
+    /// the CFG the plan was computed for ([`PartitionPlan::indexed_blocks`]
+    /// of the original); the `BlockId → SegmentId` index is rebuilt exactly
+    /// as [`PartitionPlan::compute`] builds it, so a round-tripped plan
+    /// compares equal to the original.
+    pub fn from_parts(
+        path_bound: u128,
+        segments: Vec<Segment>,
+        block_count: usize,
+    ) -> PartitionPlan {
+        let mut block_segment = vec![None; block_count];
+        for segment in &segments {
+            for block in &segment.blocks {
+                block_segment[block.index()] = Some(segment.id);
+            }
+        }
+        PartitionPlan {
+            path_bound,
+            segments,
+            block_segment,
+        }
+    }
+
+    /// Size of the `BlockId → SegmentId` index (the block count of the CFG
+    /// the plan was computed for); the serialization counterpart of
+    /// [`PartitionPlan::from_parts`].
+    pub fn indexed_blocks(&self) -> usize {
+        self.block_segment.len()
+    }
+
     /// Number of instrumentation points `ip`: two per segment (one before,
     /// one after), exactly as Table 1 counts them.
     pub fn instrumentation_points(&self) -> usize {
@@ -341,6 +372,21 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_computed_plan() {
+        for bound in [1u128, 2, 6, 1000] {
+            let f = figure1_function(false);
+            let lowered = build_cfg(&f);
+            let plan = PartitionPlan::compute(&lowered, bound);
+            let rebuilt = PartitionPlan::from_parts(
+                plan.path_bound,
+                plan.segments.clone(),
+                plan.indexed_blocks(),
+            );
+            assert_eq!(plan, rebuilt, "bound {bound}");
+        }
     }
 
     #[test]

@@ -25,14 +25,26 @@
 //! relevant configuration (cost model, checker and heuristic settings) and
 //! the path bound — every field that can change a stage's output feeds its
 //! key, so a hit is always semantically safe to reuse.  The store counts
-//! hits and misses per [`Stage`]; tests assert that a second analysis of an
-//! unchanged function performs no re-partitioning and no re-encoding.
+//! hits, misses and evictions per [`Stage`]; tests assert that a second
+//! analysis of an unchanged function performs no re-partitioning and no
+//! re-encoding.
 //!
-//! [`WcetAnalysis`](crate::WcetAnalysis) runs entirely on top of this
-//! module: without an attached store every call uses a private transient
-//! store (identical behaviour to the historical free-running pipeline); with
-//! [`WcetAnalysis::with_store`](crate::WcetAnalysis::with_store) artifacts
-//! are shared across calls, functions, bounds and threads.
+//! Storage is *tiered*: the [`TieredStore`] trait abstracts over where the
+//! artifacts live, so [`WcetAnalysis`](crate::WcetAnalysis) runs identically
+//! over the in-memory [`ArtifactStore`] and over the persistent on-disk
+//! store of the `tmg-service` crate (which layers a size-capped disk cache
+//! under an in-memory tier and serves a *fresh process's* analysis of an
+//! unchanged function from disk).  The stage methods of the trait mirror the
+//! store's inherent get-or-compute methods; the lookup/insert/compute
+//! primitives they are built from are public precisely so other tiers can
+//! interpose between the cache probe and the computation.
+//!
+//! The in-memory tier is bounded: each stage map holds at most
+//! [`ArtifactStore::capacity`] entries and evicts least-recently-used
+//! artifacts beyond that, so a long-running daemon does not grow without
+//! limit.  Eviction is pure cache policy — an evicted artifact is recomputed
+//! (or re-read from a lower tier) on the next request, never lost
+//! semantically.
 
 use crate::analysis::{AnalysisError, AnalysisReport, WcetAnalysis};
 use crate::measurement::{exhaustive_end_to_end, MeasurementCampaign, MeasurementError};
@@ -42,6 +54,7 @@ use crate::testgen::{HybridGenerator, TestSuite};
 use rustc_hash::FxHashMap;
 use std::collections::HashSet;
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tmg_cfg::{
@@ -82,7 +95,8 @@ pub const STAGES: [Stage; 6] = [
 ];
 
 impl Stage {
-    fn index(self) -> usize {
+    /// Dense index of the stage (0..6), usable as an array index.
+    pub fn index(self) -> usize {
         match self {
             Stage::Lower => 0,
             Stage::Partition => 1,
@@ -93,7 +107,8 @@ impl Stage {
         }
     }
 
-    /// Stable lowercase name (used in error messages and reports).
+    /// Stable lowercase name (used in error messages, reports and the cache
+    /// directory layout of the persistent store).
     pub fn name(self) -> &'static str {
         match self {
             Stage::Lower => "lower",
@@ -112,13 +127,92 @@ impl fmt::Display for Stage {
     }
 }
 
-/// Hit/miss counters of one stage.
+/// Hit/miss/eviction counters of one stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageStats {
     /// Artifact served from the store.
     pub hits: u64,
-    /// Artifact computed (and inserted).
+    /// Artifact not present (computed and inserted by the caller).
     pub misses: u64,
+    /// Artifacts evicted by the LRU entry cap.
+    pub evictions: u64,
+}
+
+impl StageStats {
+    /// Stats with the given hit/miss counts and no evictions (the common
+    /// assertion shape in tests).
+    pub fn hm(hits: u64, misses: u64) -> StageStats {
+        StageStats {
+            hits,
+            misses,
+            evictions: 0,
+        }
+    }
+}
+
+/// Complete counter snapshot of an [`ArtifactStore`], one [`StageStats`] plus
+/// a live entry count per stage.  Rendered to hand-written JSON for the
+/// service `stats` request and `reproduce -- sweep --stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Per-stage counters, indexed by [`Stage::index`].
+    pub stages: [StageStats; 6],
+    /// Live entries per stage, indexed by [`Stage::index`].
+    pub entries: [usize; 6],
+    /// Entry cap per stage map.
+    pub capacity: usize,
+}
+
+impl StoreStats {
+    /// Counters of one stage.
+    pub fn stage(&self, stage: Stage) -> StageStats {
+        self.stages[stage.index()]
+    }
+
+    /// Total hits across all stages.
+    pub fn total_hits(&self) -> u64 {
+        self.stages.iter().map(|s| s.hits).sum()
+    }
+
+    /// Total misses across all stages.
+    pub fn total_misses(&self) -> u64 {
+        self.stages.iter().map(|s| s.misses).sum()
+    }
+
+    /// Total evictions across all stages.
+    pub fn total_evictions(&self) -> u64 {
+        self.stages.iter().map(|s| s.evictions).sum()
+    }
+
+    /// Renders the snapshot as one JSON object (hand-written; the vendored
+    /// serde is derive-markers only): schema `tmg-store-stats/v1`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{ \"schema\": \"tmg-store-stats/v1\", \"capacity\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"stages\": {{",
+            self.capacity,
+            self.total_hits(),
+            self.total_misses(),
+            self.total_evictions()
+        );
+        for (i, stage) in STAGES.iter().enumerate() {
+            let s = self.stage(*stage);
+            let comma = if i + 1 < STAGES.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                " \"{}\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {} }}{}",
+                stage.name(),
+                s.hits,
+                s.misses,
+                s.evictions,
+                self.entries[stage.index()],
+                comma
+            );
+        }
+        out.push_str(" } }");
+        out
+    }
 }
 
 /// The lowered function plus everything derived from the source alone.
@@ -183,23 +277,171 @@ pub struct BoundArtifact {
     pub report: AnalysisReport,
 }
 
-/// Content-addressed store for every pipeline stage.
+/// Where the staged pipeline reads and writes its artifacts.
+///
+/// The in-memory [`ArtifactStore`] is the reference tier; the `tmg-service`
+/// crate layers a persistent on-disk cache under it behind the same trait,
+/// so [`WcetAnalysis::with_store`](crate::WcetAnalysis::with_store) accepts
+/// either.  Implementations must be safe to share across the
+/// `analyse_all` worker threads.
+///
+/// Contract: every method returns an artifact *identical* to what the
+/// corresponding `compute_*` helper would produce for the same inputs — a
+/// tier only changes where the bytes come from, never what they are.
+pub trait TieredStore: fmt::Debug + Send + Sync {
+    /// The in-memory tier backing this store (counter snapshots, tests).
+    fn memory(&self) -> &ArtifactStore;
+
+    /// Returns the whole store as the plain in-memory tier when that is what
+    /// it is.  The staged runner uses this to take its statically-typed
+    /// (fully inlinable) path for [`ArtifactStore`]-backed analyses even
+    /// when the store was attached behind `dyn TieredStore` — the stage
+    /// bodies are hot enough that devirtualising them is measurable on
+    /// millisecond-scale analyses.
+    fn as_memory_store(&self) -> Option<&ArtifactStore> {
+        None
+    }
+
+    /// The lowering stage, with the function fingerprint already computed.
+    fn lowered_keyed(&self, function: &Function, key: u64) -> Arc<LoweredArtifact>;
+
+    /// The partitioning stage at one path bound.
+    fn partition(&self, lowered: &LoweredArtifact, path_bound: u128) -> Arc<PartitionArtifact>;
+
+    /// The model-preparation stage.
+    fn prepared_model(
+        &self,
+        function: &Function,
+        lowered: &LoweredArtifact,
+        checker: &ModelChecker,
+    ) -> Arc<PreparedModelArtifact>;
+
+    /// The test-generation stage.
+    fn suite(
+        &self,
+        function: &Function,
+        lowered: &LoweredArtifact,
+        partition: &PartitionArtifact,
+        generator: &HybridGenerator,
+    ) -> Arc<SuiteArtifact>;
+
+    /// The measurement stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the target fault as an [`AnalysisError`] (stage `measure`);
+    /// failures are not cached.
+    fn campaign(
+        &self,
+        function: &Function,
+        lowered: &LoweredArtifact,
+        partition: &PartitionArtifact,
+        suite: &SuiteArtifact,
+        cost_model: &CostModel,
+    ) -> Result<Arc<CampaignArtifact>, AnalysisError>;
+
+    /// Looks up a finished bound artifact (no computation on miss — the
+    /// staged runner owns the recomputation).
+    fn bound(&self, key: u64) -> Option<Arc<BoundArtifact>>;
+
+    /// Records a finished bound artifact.
+    fn put_bound(&self, key: u64, report: AnalysisReport) -> Arc<BoundArtifact>;
+}
+
+/// Default entry cap per stage map of the in-memory tier: generous enough
+/// that the paper-reproduction workloads never evict, small enough that a
+/// daemon analysing an unbounded stream of distinct functions stays bounded.
+pub const DEFAULT_STAGE_CAPACITY: usize = 1024;
+
+/// One LRU-managed stage map: artifacts keyed by content hash, each entry
+/// carrying the logical timestamp of its last touch.  Eviction scans for the
+/// minimum timestamp — O(n) on the rare insert beyond capacity, free
+/// otherwise, and with the small per-stage caps that beats maintaining a
+/// linked order on every hit.
+struct LruMap<T> {
+    entries: FxHashMap<u64, (Arc<T>, u64)>,
+    tick: u64,
+}
+
+impl<T> Default for LruMap<T> {
+    fn default() -> LruMap<T> {
+        LruMap {
+            entries: FxHashMap::default(),
+            tick: 0,
+        }
+    }
+}
+
+impl<T> LruMap<T> {
+    fn get(&mut self, key: u64) -> Option<Arc<T>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&key).map(|(value, touched)| {
+            *touched = tick;
+            Arc::clone(value)
+        })
+    }
+
+    /// Get-or-insert; returns the resident artifact plus how many entries the
+    /// capacity bound evicted.  The freshly touched key is never evicted, so
+    /// even `capacity == 0` makes progress (the entry just does not persist
+    /// past the next insert).
+    fn insert(&mut self, key: u64, value: T, capacity: usize) -> (Arc<T>, u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let resident = self
+            .entries
+            .entry(key)
+            .or_insert_with(|| (Arc::new(value), tick));
+        resident.1 = tick;
+        let resident = Arc::clone(&resident.0);
+        let mut evicted = 0;
+        while self.entries.len() > capacity.max(1) {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, (_, touched))| *touched)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            self.entries.remove(&oldest);
+            evicted += 1;
+        }
+        (resident, evicted)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Content-addressed in-memory store for every pipeline stage.
 ///
 /// Thread-safe: `WcetAnalysis::analyse_all` fans functions out across cores
 /// with all workers sharing one store.  Lookups and insertions take a
 /// per-stage mutex; stage computations run outside any lock (two racing
 /// workers may both compute the same artifact — the results are identical by
-/// construction, and one insertion wins).
-#[derive(Default)]
+/// construction, and one insertion wins).  Each stage map is bounded by
+/// [`ArtifactStore::capacity`] entries with least-recently-used eviction.
 pub struct ArtifactStore {
-    lowered: Mutex<FxHashMap<u64, Arc<LoweredArtifact>>>,
-    partitions: Mutex<FxHashMap<u64, Arc<PartitionArtifact>>>,
-    models: Mutex<FxHashMap<u64, Arc<PreparedModelArtifact>>>,
-    suites: Mutex<FxHashMap<u64, Arc<SuiteArtifact>>>,
-    campaigns: Mutex<FxHashMap<u64, Arc<CampaignArtifact>>>,
-    bounds: Mutex<FxHashMap<u64, Arc<BoundArtifact>>>,
+    lowered: Mutex<LruMap<LoweredArtifact>>,
+    partitions: Mutex<LruMap<PartitionArtifact>>,
+    models: Mutex<LruMap<PreparedModelArtifact>>,
+    suites: Mutex<LruMap<SuiteArtifact>>,
+    campaigns: Mutex<LruMap<CampaignArtifact>>,
+    bounds: Mutex<LruMap<BoundArtifact>>,
     hits: [AtomicU64; 6],
     misses: [AtomicU64; 6],
+    evictions: [AtomicU64; 6],
+    capacity: usize,
+}
+
+impl Default for ArtifactStore {
+    fn default() -> ArtifactStore {
+        ArtifactStore::new()
+    }
 }
 
 impl fmt::Debug for ArtifactStore {
@@ -212,17 +454,87 @@ impl fmt::Debug for ArtifactStore {
     }
 }
 
+macro_rules! stage_accessors {
+    ($lookup:ident, $insert:ident, $field:ident, $stage:expr, $artifact:ty) => {
+        /// Probes the stage map; records a hit or miss.
+        pub fn $lookup(&self, key: u64) -> Option<Arc<$artifact>> {
+            let found = self.$field.lock().expect("store lock").get(key);
+            self.record($stage, found.is_some());
+            found
+        }
+
+        /// Inserts a computed artifact (first insertion wins on a race) and
+        /// returns the resident copy, applying the LRU entry cap.
+        pub fn $insert(&self, key: u64, artifact: $artifact) -> Arc<$artifact> {
+            let (resident, evicted) =
+                self.$field
+                    .lock()
+                    .expect("store lock")
+                    .insert(key, artifact, self.capacity);
+            if evicted > 0 {
+                self.evictions[$stage.index()].fetch_add(evicted, Ordering::Relaxed);
+            }
+            resident
+        }
+    };
+}
+
 impl ArtifactStore {
-    /// An empty store.
+    /// An empty store with the default per-stage entry cap.
     pub fn new() -> ArtifactStore {
-        ArtifactStore::default()
+        ArtifactStore::with_capacity(DEFAULT_STAGE_CAPACITY)
     }
 
-    /// Hit/miss counters of one stage.
+    /// An empty store holding at most `capacity` entries per stage map
+    /// (minimum 1), evicting least-recently-used artifacts beyond that.
+    pub fn with_capacity(capacity: usize) -> ArtifactStore {
+        ArtifactStore {
+            lowered: Mutex::default(),
+            partitions: Mutex::default(),
+            models: Mutex::default(),
+            suites: Mutex::default(),
+            campaigns: Mutex::default(),
+            bounds: Mutex::default(),
+            hits: Default::default(),
+            misses: Default::default(),
+            evictions: Default::default(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The per-stage entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/eviction counters of one stage.
     pub fn stats(&self, stage: Stage) -> StageStats {
         StageStats {
             hits: self.hits[stage.index()].load(Ordering::Relaxed),
             misses: self.misses[stage.index()].load(Ordering::Relaxed),
+            evictions: self.evictions[stage.index()].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Complete counter + occupancy snapshot (the satellite `stats()`
+    /// struct; render with [`StoreStats::to_json`]).
+    pub fn store_stats(&self) -> StoreStats {
+        let mut stages = [StageStats::default(); 6];
+        for stage in STAGES {
+            stages[stage.index()] = self.stats(stage);
+        }
+        let entries = [
+            self.lowered.lock().expect("store lock").len(),
+            self.partitions.lock().expect("store lock").len(),
+            self.models.lock().expect("store lock").len(),
+            self.suites.lock().expect("store lock").len(),
+            self.campaigns.lock().expect("store lock").len(),
+            self.bounds.lock().expect("store lock").len(),
+        ];
+        StoreStats {
+            stages,
+            entries,
+            capacity: self.capacity,
         }
     }
 
@@ -231,134 +543,110 @@ impl ArtifactStore {
         counters[stage.index()].fetch_add(1, Ordering::Relaxed);
     }
 
-    fn get<T>(
-        &self,
-        stage: Stage,
-        map: &Mutex<FxHashMap<u64, Arc<T>>>,
-        key: u64,
-    ) -> Option<Arc<T>> {
-        let found = map.lock().expect("store lock").get(&key).cloned();
-        self.record(stage, found.is_some());
-        found
-    }
-
-    fn put<T>(map: &Mutex<FxHashMap<u64, Arc<T>>>, key: u64, value: T) -> Arc<T> {
-        map.lock()
-            .expect("store lock")
-            .entry(key)
-            .or_insert_with(|| Arc::new(value))
-            .clone()
-    }
+    stage_accessors!(
+        lookup_lowered,
+        insert_lowered,
+        lowered,
+        Stage::Lower,
+        LoweredArtifact
+    );
+    stage_accessors!(
+        lookup_partition,
+        insert_partition,
+        partitions,
+        Stage::Partition,
+        PartitionArtifact
+    );
+    stage_accessors!(
+        lookup_prepared_model,
+        insert_prepared_model,
+        models,
+        Stage::PrepareModel,
+        PreparedModelArtifact
+    );
+    stage_accessors!(
+        lookup_suite,
+        insert_suite,
+        suites,
+        Stage::Testgen,
+        SuiteArtifact
+    );
+    stage_accessors!(
+        lookup_campaign,
+        insert_campaign,
+        campaigns,
+        Stage::Measure,
+        CampaignArtifact
+    );
+    stage_accessors!(
+        lookup_bound,
+        insert_bound,
+        bounds,
+        Stage::Bound,
+        BoundArtifact
+    );
 
     /// The lowering stage: CFG + region tree + path counts + decision-set.
     pub fn lowered(&self, function: &Function) -> Arc<LoweredArtifact> {
-        self.lowered_keyed(function, function_fingerprint(function))
+        TieredStore::lowered_keyed(self, function, function_fingerprint(function))
+    }
+}
+
+impl TieredStore for ArtifactStore {
+    fn memory(&self) -> &ArtifactStore {
+        self
     }
 
-    /// [`lowered`](ArtifactStore::lowered) with the function fingerprint
-    /// already computed (the staged runner hashes the source once per call
-    /// and threads the key through every stage).
+    fn as_memory_store(&self) -> Option<&ArtifactStore> {
+        Some(self)
+    }
+
     fn lowered_keyed(&self, function: &Function, key: u64) -> Arc<LoweredArtifact> {
-        if let Some(hit) = self.get(Stage::Lower, &self.lowered, key) {
+        if let Some(hit) = self.lookup_lowered(key) {
             return hit;
         }
-        let lowered = build_cfg(function);
-        let counts = PathCounts::compute(&lowered);
-        let decision_stmts = decision_statements(&lowered);
-        Self::put(
-            &self.lowered,
-            key,
-            LoweredArtifact {
-                function_key: key,
-                lowered,
-                counts,
-                decision_stmts,
-            },
-        )
+        self.insert_lowered(key, compute_lowered(function, key))
     }
 
-    /// The partitioning stage at one path bound.
-    pub fn partition(&self, lowered: &LoweredArtifact, path_bound: u128) -> Arc<PartitionArtifact> {
-        let key = combine_hashes(&[
-            lowered.function_key,
-            (path_bound >> 64) as u64,
-            path_bound as u64,
-        ]);
-        if let Some(hit) = self.get(Stage::Partition, &self.partitions, key) {
+    fn partition(&self, lowered: &LoweredArtifact, path_bound: u128) -> Arc<PartitionArtifact> {
+        let key = partition_key(lowered.function_key, path_bound);
+        if let Some(hit) = self.lookup_partition(key) {
             return hit;
         }
-        let plan = PartitionPlan::compute(&lowered.lowered, path_bound);
-        Self::put(&self.partitions, key, PartitionArtifact { key, plan })
+        self.insert_partition(key, compute_partition(lowered, path_bound, key))
     }
 
-    /// The model-preparation stage: the checker's shared optimised, encoded
-    /// and prepared model, valid for every query batch over the function
-    /// (`None` when no shared model is provably equivalent — cached too, so
-    /// the verification itself is not repeated).
-    pub fn prepared_model(
+    fn prepared_model(
         &self,
         function: &Function,
         lowered: &LoweredArtifact,
         checker: &ModelChecker,
     ) -> Arc<PreparedModelArtifact> {
-        let key = combine_hashes(&[
-            lowered.function_key,
-            stable_hash_str(&format!("{checker:?}")),
-        ]);
-        if let Some(hit) = self.get(Stage::PrepareModel, &self.models, key) {
+        let key = prepared_model_key(lowered.function_key, checker);
+        if let Some(hit) = self.lookup_prepared_model(key) {
             return hit;
         }
-        let shared = checker
-            .prepare_shared(function, lowered.decision_stmts.clone())
-            .map(Arc::new);
-        Self::put(&self.models, key, PreparedModelArtifact { key, shared })
+        self.insert_prepared_model(key, compute_prepared_model(function, lowered, checker, key))
     }
 
-    /// The test-generation stage.  On a miss the generator runs with the
-    /// cached shared checker model (building it first if necessary), so
-    /// neither the optimisation passes nor the encoder run more than once
-    /// per `(function, checker configuration)`.
-    pub fn suite(
+    fn suite(
         &self,
         function: &Function,
         lowered: &LoweredArtifact,
         partition: &PartitionArtifact,
         generator: &HybridGenerator,
     ) -> Arc<SuiteArtifact> {
-        let key = combine_hashes(&[partition.key, stable_hash_str(&format!("{generator:?}"))]);
-        if let Some(hit) = self.get(Stage::Testgen, &self.suites, key) {
+        let key = suite_key(partition.key, generator);
+        if let Some(hit) = self.lookup_suite(key) {
             return hit;
         }
-        // The shared model is supplied lazily: it is built (or fetched) only
-        // if the generator actually reaches a residual checker batch, so a
-        // fully heuristic-covered function pays nothing.  The unbatched
-        // generator is the benchmark's measured pre-optimisation reference
-        // (handing it the shared model would skip the work it is supposed to
-        // measure), and the Baseline engine cannot consume a shared model at
-        // all — neither configuration prepares one.
-        let suite = generator.generate_with_model_provider(
-            function,
-            &lowered.lowered,
-            &partition.plan,
-            || {
-                if generator.checker.engine == tmg_tsys::SearchEngine::Baseline {
-                    return None;
-                }
-                self.prepared_model(function, lowered, &generator.checker)
-                    .shared
-                    .clone()
-            },
-        );
-        Self::put(&self.suites, key, SuiteArtifact { key, suite })
+        self.insert_suite(
+            key,
+            compute_suite(self, function, lowered, partition, generator, key),
+        )
     }
 
-    /// The measurement stage.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the target fault as an [`AnalysisError`] (stage `measure`);
-    /// failures are not cached.
-    pub fn campaign(
+    fn campaign(
         &self,
         function: &Function,
         lowered: &LoweredArtifact,
@@ -366,42 +654,159 @@ impl ArtifactStore {
         suite: &SuiteArtifact,
         cost_model: &CostModel,
     ) -> Result<Arc<CampaignArtifact>, AnalysisError> {
-        let key = combine_hashes(&[suite.key, stable_hash_str(&format!("{cost_model:?}"))]);
-        if let Some(hit) = self.get(Stage::Measure, &self.campaigns, key) {
+        let key = campaign_key(suite.key, cost_model);
+        if let Some(hit) = self.lookup_campaign(key) {
             return Ok(hit);
         }
-        let campaign = MeasurementCampaign::run(
-            function,
-            &lowered.lowered,
-            &partition.plan,
-            &suite.suite.vectors(),
-            cost_model,
-        )?;
-        Ok(Self::put(
-            &self.campaigns,
-            key,
-            CampaignArtifact { key, campaign },
-        ))
+        let campaign = compute_campaign(function, lowered, partition, suite, cost_model, key)?;
+        Ok(self.insert_campaign(key, campaign))
     }
 
-    fn bound_key(
-        &self,
-        analysis: &WcetAnalysis,
-        function_key: u64,
-        input_space: Option<&[InputVector]>,
-    ) -> u64 {
-        // The report key composes every upstream key without running any
-        // stage: function source, path bound, generator (which embeds the
-        // checker), cost model, and the exhaustive input space if supplied.
-        combine_hashes(&[
-            function_key,
-            (analysis.path_bound >> 64) as u64,
-            analysis.path_bound as u64,
-            stable_hash_str(&format!("{:?}", analysis.generator)),
-            stable_hash_str(&format!("{:?}", analysis.cost_model)),
-            input_space_hash(input_space),
-        ])
+    fn bound(&self, key: u64) -> Option<Arc<BoundArtifact>> {
+        self.lookup_bound(key)
     }
+
+    fn put_bound(&self, key: u64, report: AnalysisReport) -> Arc<BoundArtifact> {
+        self.insert_bound(key, BoundArtifact { key, report })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage keys.  Pure functions of the artifact inputs, shared by every tier so
+// an artifact computed by one process is found by any other.
+// ---------------------------------------------------------------------------
+
+/// Key of the partition artifact at `(function, path bound)`.
+pub fn partition_key(function_key: u64, path_bound: u128) -> u64 {
+    combine_hashes(&[function_key, (path_bound >> 64) as u64, path_bound as u64])
+}
+
+/// Key of the prepared-model artifact at `(function, checker configuration)`.
+pub fn prepared_model_key(function_key: u64, checker: &ModelChecker) -> u64 {
+    combine_hashes(&[function_key, stable_hash_str(&format!("{checker:?}"))])
+}
+
+/// Key of the suite artifact at `(partition, generator configuration)`.
+pub fn suite_key(partition_key: u64, generator: &HybridGenerator) -> u64 {
+    combine_hashes(&[partition_key, stable_hash_str(&format!("{generator:?}"))])
+}
+
+/// Key of the campaign artifact at `(suite, cost model)`.
+pub fn campaign_key(suite_key: u64, cost_model: &CostModel) -> u64 {
+    combine_hashes(&[suite_key, stable_hash_str(&format!("{cost_model:?}"))])
+}
+
+/// Key of the final bound artifact.  Composes every upstream key without
+/// running any stage: function source, path bound, generator (which embeds
+/// the checker), cost model, and the exhaustive input space if supplied.
+pub fn bound_key(
+    analysis: &WcetAnalysis,
+    function_key: u64,
+    input_space: Option<&[InputVector]>,
+) -> u64 {
+    combine_hashes(&[
+        function_key,
+        (analysis.path_bound >> 64) as u64,
+        analysis.path_bound as u64,
+        stable_hash_str(&format!("{:?}", analysis.generator)),
+        stable_hash_str(&format!("{:?}", analysis.cost_model)),
+        input_space_hash(input_space),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Stage computations.  Pure (deterministic) functions from inputs to
+// artifacts, shared by every tier — a tier decides *whether* to compute, these
+// decide *what* the artifact is.
+// ---------------------------------------------------------------------------
+
+/// Computes the lowering artifact from the function source.
+pub fn compute_lowered(function: &Function, key: u64) -> LoweredArtifact {
+    let lowered = build_cfg(function);
+    let counts = PathCounts::compute(&lowered);
+    let decision_stmts = decision_statements(&lowered);
+    LoweredArtifact {
+        function_key: key,
+        lowered,
+        counts,
+        decision_stmts,
+    }
+}
+
+/// Computes the partition artifact at one path bound.
+pub fn compute_partition(
+    lowered: &LoweredArtifact,
+    path_bound: u128,
+    key: u64,
+) -> PartitionArtifact {
+    PartitionArtifact {
+        key,
+        plan: PartitionPlan::compute(&lowered.lowered, path_bound),
+    }
+}
+
+/// Computes the prepared-model artifact: the checker's shared optimised,
+/// encoded and prepared model, valid for every query batch over the function
+/// (`None` when no shared model is provably equivalent — cached too, so the
+/// verification itself is not repeated).
+pub fn compute_prepared_model(
+    function: &Function,
+    lowered: &LoweredArtifact,
+    checker: &ModelChecker,
+    key: u64,
+) -> PreparedModelArtifact {
+    let shared = checker
+        .prepare_shared(function, lowered.decision_stmts.clone())
+        .map(Arc::new);
+    PreparedModelArtifact { key, shared }
+}
+
+/// Computes the test-generation artifact.  The generator runs with the
+/// tier's cached shared checker model (building it through `tier` only if a
+/// residual checker batch exists), so neither the optimisation passes nor
+/// the encoder run more than once per `(function, checker configuration)`
+/// and a fully heuristic-covered function pays nothing.  The unbatched
+/// generator is the benchmark's measured pre-optimisation reference (handing
+/// it the shared model would skip the work it is supposed to measure), so it
+/// never requests one.
+pub fn compute_suite<S: TieredStore + ?Sized>(
+    tier: &S,
+    function: &Function,
+    lowered: &LoweredArtifact,
+    partition: &PartitionArtifact,
+    generator: &HybridGenerator,
+    key: u64,
+) -> SuiteArtifact {
+    let suite =
+        generator.generate_with_model_provider(function, &lowered.lowered, &partition.plan, || {
+            tier.prepared_model(function, lowered, &generator.checker)
+                .shared
+                .clone()
+        });
+    SuiteArtifact { key, suite }
+}
+
+/// Computes the measurement artifact.
+///
+/// # Errors
+///
+/// Propagates the target fault as an [`AnalysisError`] (stage `measure`).
+pub fn compute_campaign(
+    function: &Function,
+    lowered: &LoweredArtifact,
+    partition: &PartitionArtifact,
+    suite: &SuiteArtifact,
+    cost_model: &CostModel,
+    key: u64,
+) -> Result<CampaignArtifact, AnalysisError> {
+    let campaign = MeasurementCampaign::run(
+        function,
+        &lowered.lowered,
+        &partition.plan,
+        &suite.suite.vectors(),
+        cost_model,
+    )?;
+    Ok(CampaignArtifact { key, campaign })
 }
 
 /// Hash of an exhaustive input space (0 reserved for "none supplied").
@@ -420,8 +825,9 @@ fn input_space_hash(input_space: Option<&[InputVector]>) -> u64 {
 
 /// The union of every branching statement of the lowered function: the
 /// preserve set under which the shared checker model is prepared (any path
-/// query's statement set is a subset).
-fn decision_statements(lowered: &LoweredFunction) -> HashSet<StmtId> {
+/// query's statement set is a subset).  Public so lower storage tiers can
+/// re-derive the set when materialising a lowering artifact.
+pub fn decision_statements(lowered: &LoweredFunction) -> HashSet<StmtId> {
     let mut stmts = HashSet::new();
     for block in lowered.cfg.blocks() {
         match &block.terminator {
@@ -452,23 +858,25 @@ pub struct StagedAnalysis {
 /// `store`, returning only the report.  A hit on the final bound artifact
 /// short-circuits every earlier stage (no lookup, no recompute).
 ///
+/// Generic over the tier (`?Sized`, so `&dyn TieredStore` works too): calls
+/// with a statically known store type monomorphise the whole stage chain.
+///
 /// # Errors
 ///
 /// Returns [`AnalysisError`] when a measurement run faults on the target.
-pub fn analyse_staged(
-    store: &ArtifactStore,
+pub fn analyse_staged<S: TieredStore + ?Sized>(
+    store: &S,
     analysis: &WcetAnalysis,
     function: &Function,
     input_space: Option<&[InputVector]>,
 ) -> Result<AnalysisReport, AnalysisError> {
     let function_key = function_fingerprint(function);
-    let key = store.bound_key(analysis, function_key, input_space);
-    if let Some(hit) = store.get(Stage::Bound, &store.bounds, key) {
+    let key = bound_key(analysis, function_key, input_space);
+    if let Some(hit) = store.bound(key) {
         return Ok(hit.report.clone());
     }
     let staged = run_stages(store, analysis, function, function_key, input_space)?;
-    let report = staged.report.clone();
-    ArtifactStore::put(&store.bounds, key, BoundArtifact { key, report });
+    store.put_bound(key, staged.report.clone());
     Ok(staged.report)
 }
 
@@ -479,8 +887,8 @@ pub fn analyse_staged(
 /// # Errors
 ///
 /// Returns [`AnalysisError`] when a measurement run faults on the target.
-pub fn analyse_staged_detailed(
-    store: &ArtifactStore,
+pub fn analyse_staged_detailed<S: TieredStore + ?Sized>(
+    store: &S,
     analysis: &WcetAnalysis,
     function: &Function,
     input_space: Option<&[InputVector]>,
@@ -494,8 +902,8 @@ pub fn analyse_staged_detailed(
     )
 }
 
-fn run_stages(
-    store: &ArtifactStore,
+fn run_stages<S: TieredStore + ?Sized>(
+    store: &S,
     analysis: &WcetAnalysis,
     function: &Function,
     function_key: u64,
@@ -584,7 +992,7 @@ mod tests {
             Arc::ptr_eq(&a1, &a2),
             "same content must share the artifact"
         );
-        assert_eq!(store.stats(Stage::Lower), StageStats { hits: 1, misses: 1 });
+        assert_eq!(store.stats(Stage::Lower), StageStats::hm(1, 1));
         assert_eq!(a1.counts.len(), a1.lowered.regions.len());
         assert!(!a1.decision_stmts.is_empty());
     }
@@ -599,10 +1007,7 @@ mod tests {
         let p1_again = store.partition(&lowered, 1);
         assert!(Arc::ptr_eq(&p1, &p1_again));
         assert_ne!(p1.key, p2.key);
-        assert_eq!(
-            store.stats(Stage::Partition),
-            StageStats { hits: 1, misses: 2 }
-        );
+        assert_eq!(store.stats(Stage::Partition), StageStats::hm(1, 2));
     }
 
     #[test]
@@ -618,10 +1023,7 @@ mod tests {
         let tighter = ModelChecker::new().with_budget(1234);
         let m3 = store.prepared_model(&f, &lowered, &tighter);
         assert_ne!(m1.key, m3.key, "checker config feeds the key");
-        assert_eq!(
-            store.stats(Stage::PrepareModel),
-            StageStats { hits: 1, misses: 2 }
-        );
+        assert_eq!(store.stats(Stage::PrepareModel), StageStats::hm(1, 2));
     }
 
     #[test]
@@ -648,7 +1050,7 @@ mod tests {
         store.suite(&f, &lowered, &partition100, &generator);
         assert_eq!(
             store.stats(Stage::PrepareModel),
-            StageStats { hits: 1, misses: 1 },
+            StageStats::hm(1, 1),
             "one encoding serves both bounds"
         );
     }
@@ -666,8 +1068,64 @@ mod tests {
         assert_eq!(staged.suite.covered_count(), staged.suite.goal_count());
         assert_eq!(
             store.stats(Stage::PrepareModel),
-            StageStats { hits: 0, misses: 0 },
+            StageStats::hm(0, 0),
             "no residual batch, no model preparation"
         );
+    }
+
+    #[test]
+    fn lru_cap_bounds_the_store_and_counts_evictions() {
+        let store = ArtifactStore::with_capacity(2);
+        let f = small_function();
+        let lowered = store.lowered(&f);
+        // Three distinct bounds through a 2-entry map: one eviction.
+        store.partition(&lowered, 1);
+        store.partition(&lowered, 2);
+        store.partition(&lowered, 3);
+        let stats = store.stats(Stage::Partition);
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (0, 3, 1));
+        let snapshot = store.store_stats();
+        assert_eq!(snapshot.entries[Stage::Partition.index()], 2);
+        // Bound 1 was least recently used and is gone; bound 3 is resident.
+        store.partition(&lowered, 3);
+        store.partition(&lowered, 1);
+        let stats = store.stats(Stage::Partition);
+        assert_eq!((stats.hits, stats.misses), (1, 4));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_the_least_recently_touched_entry() {
+        let store = ArtifactStore::with_capacity(2);
+        let f = small_function();
+        let lowered = store.lowered(&f);
+        store.partition(&lowered, 1);
+        store.partition(&lowered, 2);
+        // Touch bound 1 so bound 2 becomes the eviction victim.
+        store.partition(&lowered, 1);
+        store.partition(&lowered, 3);
+        assert!(store
+            .lookup_partition(partition_key(lowered.function_key, 1))
+            .is_some());
+        assert!(store
+            .lookup_partition(partition_key(lowered.function_key, 2))
+            .is_none());
+    }
+
+    #[test]
+    fn store_stats_render_as_json() {
+        let store = ArtifactStore::new();
+        let f = small_function();
+        store.lowered(&f);
+        store.lowered(&f);
+        let json = store.store_stats().to_json();
+        assert!(json.contains("\"schema\": \"tmg-store-stats/v1\""));
+        assert!(json.contains(
+            "\"lower\": { \"hits\": 1, \"misses\": 1, \"evictions\": 0, \"entries\": 1 }"
+        ));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let snapshot = store.store_stats();
+        assert_eq!(snapshot.total_hits(), 1);
+        assert_eq!(snapshot.total_misses(), 1);
+        assert_eq!(snapshot.total_evictions(), 0);
     }
 }

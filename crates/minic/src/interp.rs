@@ -13,8 +13,8 @@ use crate::ast::{BinOp, Block, Expr, Function, Program, Stmt, StmtId, UnOp};
 use crate::error::{Error, Result};
 use crate::types::Ty;
 use crate::value::{InputVector, Value};
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Which way a branching statement went during one execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -125,8 +125,8 @@ pub struct Interpreter<'p> {
 }
 
 struct Frame<'f> {
-    vars: HashMap<&'f str, i64>,
-    types: HashMap<&'f str, Ty>,
+    vars: FxHashMap<&'f str, i64>,
+    types: FxHashMap<&'f str, Ty>,
     trace: ExecTrace,
     steps: u64,
 }
@@ -153,8 +153,8 @@ impl<'p> Interpreter<'p> {
             .function(function)
             .ok_or_else(|| Error::Runtime(format!("function `{function}` is not defined")))?;
         let mut frame = Frame {
-            vars: HashMap::new(),
-            types: HashMap::new(),
+            vars: FxHashMap::default(),
+            types: FxHashMap::default(),
             trace: ExecTrace::default(),
             steps: 0,
         };
@@ -327,7 +327,7 @@ fn exec_stmt<'f>(func: &'f Function, stmt: &'f Stmt, frame: &mut Frame<'f>) -> R
 ///
 /// Returns [`Error::Runtime`] on division/modulo by zero or on a read of an
 /// unknown variable.
-pub fn eval_expr(expr: &Expr, vars: &HashMap<&str, i64>) -> Result<i64> {
+pub fn eval_expr(expr: &Expr, vars: &FxHashMap<&str, i64>) -> Result<i64> {
     match expr {
         Expr::Int(v) => Ok(*v),
         Expr::Var(name) => vars

@@ -1,0 +1,1585 @@
+//! Hand-rolled versioned binary codec for the pipeline artifacts.
+//!
+//! Every artifact of `tmg_core::pipeline` — [`LoweredArtifact`] through
+//! [`BoundArtifact`] — round-trips through a self-describing binary frame so
+//! the on-disk cache of [`crate::store`] can serve a *different process's*
+//! artifacts.  The build environment has no crates.io access, so the format
+//! is written by hand against the vendored-shim reality: fixed-width
+//! little-endian integers, length-prefixed strings, explicit enum tags.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "TMGA"
+//! 4       2     codec version (currently 1), little-endian
+//! 6       1     artifact kind tag (Stage::index of the producing stage)
+//! 7       1     reserved (0)
+//! 8       8     content key (the store key, = filename stem)
+//! 16      8     payload length
+//! 24      n     payload (artifact-specific, see the `encode_*` functions)
+//! 24+n    8     FNV-1a digest of bytes [0, 24+n)
+//! ```
+//!
+//! The trailing digest (computed with the same [`StableHasher`] that derives
+//! the content keys) makes torn writes and bit rot detectable: a frame that
+//! fails *any* header or digest check decodes to [`CodecError`], which the
+//! cache treats as a clean miss — never a panic, never a wrong artifact.  A
+//! version bump invalidates every stored frame the same way.
+//!
+//! # Payload conventions
+//!
+//! Collections are length-prefixed.  `HashMap`/`HashSet` payloads are sorted
+//! by key before writing so encoding is a pure function of the artifact
+//! value — the proptest suite asserts `encode(decode(encode(x))) ==
+//! encode(x)` byte for byte.  Two artifact kinds store *derived* fields by
+//! recomputation instead of bytes: a lowering artifact stores only the CFG
+//! and region tree (path counts and the branch-statement union are cheap
+//! pure functions of those), and a prepared-model artifact stores the
+//! optimised encoded [`Model`] (the arena preparation is re-derived by
+//! [`SharedCheckModel::from_parts`]).  Both re-derivations are deterministic,
+//! so the decoded artifact is indistinguishable from the original.
+
+use rustc_hash::FxHashMap;
+use std::collections::HashSet;
+use std::hash::Hasher as _;
+use std::sync::Arc;
+use tmg_cfg::{
+    BasicBlock, BlockId, BlockKind, Cfg, LoweredFunction, PathCounts, PathSpec, Region, RegionId,
+    RegionKind, RegionTree, StableHasher, Terminator,
+};
+use tmg_core::pipeline::{
+    decision_statements, BoundArtifact, CampaignArtifact, LoweredArtifact, PartitionArtifact,
+    PreparedModelArtifact, Stage, SuiteArtifact,
+};
+use tmg_core::{
+    AnalysisReport, CoverageGoal, CoverageStatus, GeneratorKind, GoalKind, MeasurementCampaign,
+    PartitionPlan, Segment, SegmentId, SegmentKind, SegmentTiming, TestSuite,
+};
+use tmg_minic::ast::{BinOp, Expr, Stmt, UnOp};
+use tmg_minic::interp::BranchChoice;
+use tmg_minic::types::Ty;
+use tmg_minic::value::InputVector;
+use tmg_minic::StmtId;
+use tmg_tsys::{LocId, Model, OptReport, SharedCheckModel, StateVar, Transition, VarRole};
+
+/// Current frame format version.  Bumping it turns every previously written
+/// cache file into a clean miss.
+pub const CODEC_VERSION: u16 = 1;
+
+/// Frame magic.
+pub const MAGIC: [u8; 4] = *b"TMGA";
+
+const HEADER_LEN: usize = 24;
+const DIGEST_LEN: usize = 8;
+
+/// Why a frame failed to decode.  Every variant degrades to a cache miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic,
+    /// The frame was written by a different codec version.
+    VersionMismatch {
+        /// Version found in the frame header.
+        found: u16,
+    },
+    /// The frame holds a different artifact kind than requested.
+    KindMismatch {
+        /// Stage tag found in the frame header.
+        found: u8,
+    },
+    /// The frame's content key differs from the requested key.
+    KeyMismatch,
+    /// The trailing digest does not match the frame bytes.
+    ChecksumMismatch,
+    /// The payload ended early or contains an impossible value.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad frame magic"),
+            CodecError::VersionMismatch { found } => {
+                write!(f, "codec version {found} (expected {CODEC_VERSION})")
+            }
+            CodecError::KindMismatch { found } => write!(f, "unexpected artifact kind {found}"),
+            CodecError::KeyMismatch => write!(f, "frame key differs from requested key"),
+            CodecError::ChecksumMismatch => write!(f, "frame digest mismatch"),
+            CodecError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+// ---------------------------------------------------------------------------
+// Primitive writer / reader
+// ---------------------------------------------------------------------------
+
+/// Append-only byte sink with fixed-width little-endian primitives.
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+    fn opt<T>(&mut self, v: &Option<T>, mut f: impl FnMut(&mut Enc, &T)) {
+        match v {
+            None => self.bool(false),
+            Some(inner) => {
+                self.bool(true);
+                f(self, inner);
+            }
+        }
+    }
+}
+
+/// Bounds-checked cursor over a payload; every read returns `Err` instead of
+/// panicking on truncated or impossible data.
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Dec<'a> {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(CodecError::Malformed("unexpected end of payload"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn usize(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Malformed("length overflows usize"))
+    }
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Malformed("boolean out of range")),
+        }
+    }
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Malformed("invalid utf-8"))
+    }
+    fn opt<T>(&mut self, mut f: impl FnMut(&mut Dec<'a>) -> Result<T>) -> Result<Option<T>> {
+        if self.bool()? {
+            Ok(Some(f(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+    /// Guards length prefixes against nonsense values: every element of a
+    /// sequence occupies at least one byte, so a claimed length beyond the
+    /// remaining payload is malformed (prevents huge pre-allocations).
+    fn seq_len(&mut self) -> Result<usize> {
+        let len = self.usize()?;
+        if len > self.bytes.len().saturating_sub(self.pos) {
+            return Err(CodecError::Malformed("sequence length exceeds payload"));
+        }
+        Ok(len)
+    }
+    fn finish(self) -> Result<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame
+// ---------------------------------------------------------------------------
+
+fn digest(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Wraps a payload into a checksummed frame for `stage` under `key`.
+pub fn encode_frame(stage: Stage, key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + DIGEST_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+    out.push(stage.index() as u8);
+    out.push(0);
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let digest = digest(&out);
+    out.extend_from_slice(&digest.to_le_bytes());
+    out
+}
+
+/// Verifies a frame's magic, version, kind, key and digest, returning the
+/// payload slice.
+pub fn decode_frame(bytes: &[u8], stage: Stage, key: u64) -> Result<&[u8]> {
+    if bytes.len() < HEADER_LEN + DIGEST_LEN {
+        return Err(CodecError::Malformed("frame shorter than header"));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != CODEC_VERSION {
+        return Err(CodecError::VersionMismatch { found: version });
+    }
+    let kind = bytes[6];
+    if kind != stage.index() as u8 {
+        return Err(CodecError::KindMismatch { found: kind });
+    }
+    let frame_key = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    if frame_key != key {
+        return Err(CodecError::KeyMismatch);
+    }
+    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let expected_len = (bytes.len() - HEADER_LEN - DIGEST_LEN) as u64;
+    if payload_len != expected_len {
+        return Err(CodecError::Malformed("payload length disagrees with frame"));
+    }
+    let body_end = bytes.len() - DIGEST_LEN;
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    if digest(&bytes[..body_end]) != stored {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(&bytes[HEADER_LEN..body_end])
+}
+
+// ---------------------------------------------------------------------------
+// mini-C fragments (expressions, statements) — embedded in CFG terminators,
+// block bodies and the prepared model's guards/effects.
+// ---------------------------------------------------------------------------
+
+fn enc_un_op(e: &mut Enc, op: UnOp) {
+    e.u8(match op {
+        UnOp::Neg => 0,
+        UnOp::Not => 1,
+        UnOp::BitNot => 2,
+    });
+}
+
+fn dec_un_op(d: &mut Dec<'_>) -> Result<UnOp> {
+    Ok(match d.u8()? {
+        0 => UnOp::Neg,
+        1 => UnOp::Not,
+        2 => UnOp::BitNot,
+        _ => return Err(CodecError::Malformed("unary operator tag")),
+    })
+}
+
+fn enc_bin_op(e: &mut Enc, op: BinOp) {
+    e.u8(match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Lt => 5,
+        BinOp::Le => 6,
+        BinOp::Gt => 7,
+        BinOp::Ge => 8,
+        BinOp::Eq => 9,
+        BinOp::Ne => 10,
+        BinOp::And => 11,
+        BinOp::Or => 12,
+        BinOp::BitAnd => 13,
+        BinOp::BitOr => 14,
+        BinOp::BitXor => 15,
+        BinOp::Shl => 16,
+        BinOp::Shr => 17,
+    });
+}
+
+fn dec_bin_op(d: &mut Dec<'_>) -> Result<BinOp> {
+    Ok(match d.u8()? {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Lt,
+        6 => BinOp::Le,
+        7 => BinOp::Gt,
+        8 => BinOp::Ge,
+        9 => BinOp::Eq,
+        10 => BinOp::Ne,
+        11 => BinOp::And,
+        12 => BinOp::Or,
+        13 => BinOp::BitAnd,
+        14 => BinOp::BitOr,
+        15 => BinOp::BitXor,
+        16 => BinOp::Shl,
+        17 => BinOp::Shr,
+        _ => return Err(CodecError::Malformed("binary operator tag")),
+    })
+}
+
+fn enc_expr(e: &mut Enc, expr: &Expr) {
+    match expr {
+        Expr::Int(v) => {
+            e.u8(0);
+            e.i64(*v);
+        }
+        Expr::Var(name) => {
+            e.u8(1);
+            e.str(name);
+        }
+        Expr::Unary { op, operand } => {
+            e.u8(2);
+            enc_un_op(e, *op);
+            enc_expr(e, operand);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            e.u8(3);
+            enc_bin_op(e, *op);
+            enc_expr(e, lhs);
+            enc_expr(e, rhs);
+        }
+    }
+}
+
+fn dec_expr(d: &mut Dec<'_>) -> Result<Expr> {
+    Ok(match d.u8()? {
+        0 => Expr::Int(d.i64()?),
+        1 => Expr::Var(d.str()?),
+        2 => {
+            let op = dec_un_op(d)?;
+            Expr::unary(op, dec_expr(d)?)
+        }
+        3 => {
+            let op = dec_bin_op(d)?;
+            let lhs = dec_expr(d)?;
+            let rhs = dec_expr(d)?;
+            Expr::binary(op, lhs, rhs)
+        }
+        _ => return Err(CodecError::Malformed("expression tag")),
+    })
+}
+
+fn enc_stmt(e: &mut Enc, stmt: &Stmt) {
+    match stmt {
+        Stmt::Assign {
+            id,
+            line,
+            target,
+            value,
+        } => {
+            e.u8(0);
+            e.u32(id.0);
+            e.u32(*line);
+            e.str(target);
+            enc_expr(e, value);
+        }
+        Stmt::Call {
+            id,
+            line,
+            callee,
+            args,
+        } => {
+            e.u8(1);
+            e.u32(id.0);
+            e.u32(*line);
+            e.str(callee);
+            e.usize(args.len());
+            for a in args {
+                enc_expr(e, a);
+            }
+        }
+        Stmt::Return { id, line, value } => {
+            e.u8(2);
+            e.u32(id.0);
+            e.u32(*line);
+            e.opt(value, enc_expr);
+        }
+        // Branching statements never appear in a basic block's body (their
+        // conditions live in terminators), but the codec handles the full
+        // statement type so it has no partial-domain surprises.
+        Stmt::If { .. } | Stmt::Switch { .. } | Stmt::While { .. } => {
+            unreachable!("branching statements are encoded through terminators")
+        }
+    }
+}
+
+fn dec_stmt(d: &mut Dec<'_>) -> Result<Stmt> {
+    Ok(match d.u8()? {
+        0 => {
+            let id = StmtId(d.u32()?);
+            let line = d.u32()?;
+            let target = d.str()?;
+            let value = dec_expr(d)?;
+            Stmt::Assign {
+                id,
+                line,
+                target,
+                value,
+            }
+        }
+        1 => {
+            let id = StmtId(d.u32()?);
+            let line = d.u32()?;
+            let callee = d.str()?;
+            let n = d.seq_len()?;
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(dec_expr(d)?);
+            }
+            Stmt::Call {
+                id,
+                line,
+                callee,
+                args,
+            }
+        }
+        2 => {
+            let id = StmtId(d.u32()?);
+            let line = d.u32()?;
+            let value = d.opt(dec_expr)?;
+            Stmt::Return { id, line, value }
+        }
+        _ => return Err(CodecError::Malformed("statement tag")),
+    })
+}
+
+fn enc_branch_choice(e: &mut Enc, choice: BranchChoice) {
+    match choice {
+        BranchChoice::Then => e.u8(0),
+        BranchChoice::Else => e.u8(1),
+        BranchChoice::Case(v) => {
+            e.u8(2);
+            e.i64(v);
+        }
+        BranchChoice::Default => e.u8(3),
+        BranchChoice::LoopIterate => e.u8(4),
+        BranchChoice::LoopExit => e.u8(5),
+    }
+}
+
+fn dec_branch_choice(d: &mut Dec<'_>) -> Result<BranchChoice> {
+    Ok(match d.u8()? {
+        0 => BranchChoice::Then,
+        1 => BranchChoice::Else,
+        2 => BranchChoice::Case(d.i64()?),
+        3 => BranchChoice::Default,
+        4 => BranchChoice::LoopIterate,
+        5 => BranchChoice::LoopExit,
+        _ => return Err(CodecError::Malformed("branch choice tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// CFG + region tree (the Lower payload)
+// ---------------------------------------------------------------------------
+
+fn enc_terminator(e: &mut Enc, t: &Terminator) {
+    match t {
+        Terminator::Jump(dest) => {
+            e.u8(0);
+            e.u32(dest.0);
+        }
+        Terminator::Branch {
+            stmt,
+            cond,
+            then_dest,
+            else_dest,
+        } => {
+            e.u8(1);
+            e.u32(stmt.0);
+            enc_expr(e, cond);
+            e.u32(then_dest.0);
+            e.u32(else_dest.0);
+        }
+        Terminator::Switch {
+            stmt,
+            selector,
+            arms,
+            default_dest,
+        } => {
+            e.u8(2);
+            e.u32(stmt.0);
+            enc_expr(e, selector);
+            e.usize(arms.len());
+            for (value, dest) in arms {
+                e.i64(*value);
+                e.u32(dest.0);
+            }
+            e.u32(default_dest.0);
+        }
+        Terminator::Return { exit } => {
+            e.u8(3);
+            e.u32(exit.0);
+        }
+        Terminator::Halt => e.u8(4),
+    }
+}
+
+fn dec_terminator(d: &mut Dec<'_>) -> Result<Terminator> {
+    Ok(match d.u8()? {
+        0 => Terminator::Jump(BlockId(d.u32()?)),
+        1 => {
+            let stmt = StmtId(d.u32()?);
+            let cond = dec_expr(d)?;
+            let then_dest = BlockId(d.u32()?);
+            let else_dest = BlockId(d.u32()?);
+            Terminator::Branch {
+                stmt,
+                cond,
+                then_dest,
+                else_dest,
+            }
+        }
+        2 => {
+            let stmt = StmtId(d.u32()?);
+            let selector = dec_expr(d)?;
+            let n = d.seq_len()?;
+            let mut arms = Vec::with_capacity(n);
+            for _ in 0..n {
+                let value = d.i64()?;
+                let dest = BlockId(d.u32()?);
+                arms.push((value, dest));
+            }
+            let default_dest = BlockId(d.u32()?);
+            Terminator::Switch {
+                stmt,
+                selector,
+                arms,
+                default_dest,
+            }
+        }
+        3 => Terminator::Return {
+            exit: BlockId(d.u32()?),
+        },
+        4 => Terminator::Halt,
+        _ => return Err(CodecError::Malformed("terminator tag")),
+    })
+}
+
+fn enc_block_kind(e: &mut Enc, kind: BlockKind) {
+    e.u8(match kind {
+        BlockKind::Entry => 0,
+        BlockKind::Exit => 1,
+        BlockKind::Code => 2,
+        BlockKind::Join => 3,
+        BlockKind::LoopHeader => 4,
+        BlockKind::CaseArm => 5,
+    });
+}
+
+fn dec_block_kind(d: &mut Dec<'_>) -> Result<BlockKind> {
+    Ok(match d.u8()? {
+        0 => BlockKind::Entry,
+        1 => BlockKind::Exit,
+        2 => BlockKind::Code,
+        3 => BlockKind::Join,
+        4 => BlockKind::LoopHeader,
+        5 => BlockKind::CaseArm,
+        _ => return Err(CodecError::Malformed("block kind tag")),
+    })
+}
+
+fn enc_basic_block(e: &mut Enc, b: &BasicBlock) {
+    e.u32(b.id.0);
+    enc_block_kind(e, b.kind);
+    e.usize(b.stmts.len());
+    for s in &b.stmts {
+        enc_stmt(e, s);
+    }
+    enc_terminator(e, &b.terminator);
+    e.u32(b.line);
+}
+
+fn dec_basic_block(d: &mut Dec<'_>) -> Result<BasicBlock> {
+    let id = BlockId(d.u32()?);
+    let kind = dec_block_kind(d)?;
+    let n = d.seq_len()?;
+    let mut stmts = Vec::with_capacity(n);
+    for _ in 0..n {
+        stmts.push(dec_stmt(d)?);
+    }
+    let terminator = dec_terminator(d)?;
+    let line = d.u32()?;
+    Ok(BasicBlock {
+        id,
+        kind,
+        stmts,
+        terminator,
+        line,
+    })
+}
+
+fn enc_cfg(e: &mut Enc, cfg: &Cfg) {
+    e.str(&cfg.function);
+    e.usize(cfg.blocks().len());
+    for b in cfg.blocks() {
+        enc_basic_block(e, b);
+    }
+    e.u32(cfg.entry().0);
+    e.u32(cfg.exit().0);
+    // Deterministic bytes: the loop-bound map is sorted by statement id.
+    let mut bounds: Vec<(StmtId, u32)> = cfg.loop_bounds().iter().map(|(s, b)| (*s, *b)).collect();
+    bounds.sort_unstable();
+    e.usize(bounds.len());
+    for (stmt, bound) in bounds {
+        e.u32(stmt.0);
+        e.u32(bound);
+    }
+}
+
+fn dec_cfg(d: &mut Dec<'_>) -> Result<Cfg> {
+    let function = d.str()?;
+    let n = d.seq_len()?;
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        blocks.push(dec_basic_block(d)?);
+    }
+    let entry = BlockId(d.u32()?);
+    let exit = BlockId(d.u32()?);
+    let bounds_n = d.seq_len()?;
+    let mut loop_bounds = FxHashMap::default();
+    for _ in 0..bounds_n {
+        let stmt = StmtId(d.u32()?);
+        let bound = d.u32()?;
+        loop_bounds.insert(stmt, bound);
+    }
+    if entry.index() >= blocks.len() || exit.index() >= blocks.len() {
+        return Err(CodecError::Malformed("entry/exit out of range"));
+    }
+    for (i, b) in blocks.iter().enumerate() {
+        if b.id.index() != i {
+            return Err(CodecError::Malformed("block table not dense"));
+        }
+        for succ in b.terminator.successors() {
+            if succ.index() >= blocks.len() {
+                return Err(CodecError::Malformed("successor out of range"));
+            }
+        }
+    }
+    Ok(Cfg::from_parts(function, blocks, entry, exit, loop_bounds))
+}
+
+fn enc_region_kind(e: &mut Enc, kind: RegionKind) {
+    match kind {
+        RegionKind::FunctionBody => e.u8(0),
+        RegionKind::Then(s) => {
+            e.u8(1);
+            e.u32(s.0);
+        }
+        RegionKind::Else(s) => {
+            e.u8(2);
+            e.u32(s.0);
+        }
+        RegionKind::Case(s, v) => {
+            e.u8(3);
+            e.u32(s.0);
+            e.i64(v);
+        }
+        RegionKind::Default(s) => {
+            e.u8(4);
+            e.u32(s.0);
+        }
+        RegionKind::LoopBody(s) => {
+            e.u8(5);
+            e.u32(s.0);
+        }
+    }
+}
+
+fn dec_region_kind(d: &mut Dec<'_>) -> Result<RegionKind> {
+    Ok(match d.u8()? {
+        0 => RegionKind::FunctionBody,
+        1 => RegionKind::Then(StmtId(d.u32()?)),
+        2 => RegionKind::Else(StmtId(d.u32()?)),
+        3 => {
+            let stmt = StmtId(d.u32()?);
+            let value = d.i64()?;
+            RegionKind::Case(stmt, value)
+        }
+        4 => RegionKind::Default(StmtId(d.u32()?)),
+        5 => RegionKind::LoopBody(StmtId(d.u32()?)),
+        _ => return Err(CodecError::Malformed("region kind tag")),
+    })
+}
+
+fn enc_region(e: &mut Enc, r: &Region) {
+    e.u32(r.id.0);
+    enc_region_kind(e, r.kind);
+    e.opt(&r.parent, |e, p| e.u32(p.0));
+    e.usize(r.children.len());
+    for c in &r.children {
+        e.u32(c.0);
+    }
+    e.usize(r.blocks.len());
+    for b in &r.blocks {
+        e.u32(b.0);
+    }
+    e.u32(r.entry_block.0);
+    e.u128(r.path_count);
+}
+
+fn dec_region(d: &mut Dec<'_>) -> Result<Region> {
+    let id = RegionId(d.u32()?);
+    let kind = dec_region_kind(d)?;
+    let parent = d.opt(|d| Ok(RegionId(d.u32()?)))?;
+    let n = d.seq_len()?;
+    let mut children = Vec::with_capacity(n);
+    for _ in 0..n {
+        children.push(RegionId(d.u32()?));
+    }
+    let n = d.seq_len()?;
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        blocks.push(BlockId(d.u32()?));
+    }
+    let entry_block = BlockId(d.u32()?);
+    let path_count = d.u128()?;
+    Ok(Region {
+        id,
+        kind,
+        parent,
+        children,
+        blocks,
+        entry_block,
+        path_count,
+    })
+}
+
+fn enc_region_tree(e: &mut Enc, tree: &RegionTree) {
+    e.usize(tree.regions().len());
+    for r in tree.regions() {
+        enc_region(e, r);
+    }
+    e.u32(tree.root_id().0);
+}
+
+fn dec_region_tree(d: &mut Dec<'_>) -> Result<RegionTree> {
+    let n = d.seq_len()?;
+    let mut regions = Vec::with_capacity(n);
+    for _ in 0..n {
+        regions.push(dec_region(d)?);
+    }
+    let root = RegionId(d.u32()?);
+    if root.index() >= regions.len() {
+        return Err(CodecError::Malformed("region root out of range"));
+    }
+    for (i, r) in regions.iter().enumerate() {
+        if r.id.index() != i {
+            return Err(CodecError::Malformed("region table not dense"));
+        }
+        for c in &r.children {
+            if c.index() >= regions.len() {
+                return Err(CodecError::Malformed("region child out of range"));
+            }
+        }
+    }
+    Ok(RegionTree::from_parts(regions, root))
+}
+
+/// Encodes a lowering artifact.  Only the CFG and region tree are stored;
+/// the path counts and the branch-statement union are pure derived data and
+/// are recomputed on decode.
+pub fn encode_lowered(artifact: &LoweredArtifact) -> Vec<u8> {
+    let mut e = Enc::default();
+    enc_cfg(&mut e, &artifact.lowered.cfg);
+    enc_region_tree(&mut e, &artifact.lowered.regions);
+    encode_frame(Stage::Lower, artifact.function_key, &e.buf)
+}
+
+/// Decodes a lowering artifact, validating CFG and region-tree structure.
+pub fn decode_lowered(bytes: &[u8], key: u64) -> Result<LoweredArtifact> {
+    let payload = decode_frame(bytes, Stage::Lower, key)?;
+    let mut d = Dec::new(payload);
+    let cfg = dec_cfg(&mut d)?;
+    let regions = dec_region_tree(&mut d)?;
+    d.finish()?;
+    cfg.validate()
+        .map_err(|_| CodecError::Malformed("inconsistent CFG"))?;
+    regions
+        .validate(&cfg)
+        .map_err(|_| CodecError::Malformed("inconsistent region tree"))?;
+    let lowered = LoweredFunction { cfg, regions };
+    let counts = PathCounts::compute(&lowered);
+    let decision_stmts = decision_statements(&lowered);
+    Ok(LoweredArtifact {
+        function_key: key,
+        lowered,
+        counts,
+        decision_stmts,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Partition plan
+// ---------------------------------------------------------------------------
+
+fn enc_segment(e: &mut Enc, s: &Segment) {
+    e.u32(s.id.0);
+    match s.kind {
+        SegmentKind::Region(r) => {
+            e.u8(0);
+            e.u32(r.0);
+        }
+        SegmentKind::Block(b) => {
+            e.u8(1);
+            e.u32(b.0);
+        }
+    }
+    e.usize(s.blocks.len());
+    for b in &s.blocks {
+        e.u32(b.0);
+    }
+    e.u128(s.paths);
+}
+
+fn dec_segment(d: &mut Dec<'_>) -> Result<Segment> {
+    let id = SegmentId(d.u32()?);
+    let kind = match d.u8()? {
+        0 => SegmentKind::Region(RegionId(d.u32()?)),
+        1 => SegmentKind::Block(BlockId(d.u32()?)),
+        _ => return Err(CodecError::Malformed("segment kind tag")),
+    };
+    let n = d.seq_len()?;
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        blocks.push(BlockId(d.u32()?));
+    }
+    let paths = d.u128()?;
+    Ok(Segment {
+        id,
+        kind,
+        blocks,
+        paths,
+    })
+}
+
+/// Encodes a partition artifact.
+pub fn encode_partition(artifact: &PartitionArtifact) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u128(artifact.plan.path_bound);
+    e.usize(artifact.plan.indexed_blocks());
+    e.usize(artifact.plan.segments.len());
+    for s in &artifact.plan.segments {
+        enc_segment(&mut e, s);
+    }
+    encode_frame(Stage::Partition, artifact.key, &e.buf)
+}
+
+/// Decodes a partition artifact.
+pub fn decode_partition(bytes: &[u8], key: u64) -> Result<PartitionArtifact> {
+    let payload = decode_frame(bytes, Stage::Partition, key)?;
+    let mut d = Dec::new(payload);
+    let path_bound = d.u128()?;
+    let block_count = d.usize()?;
+    let n = d.seq_len()?;
+    let mut segments = Vec::with_capacity(n);
+    for _ in 0..n {
+        segments.push(dec_segment(&mut d)?);
+    }
+    d.finish()?;
+    for s in &segments {
+        if s.blocks.iter().any(|b| b.index() >= block_count) {
+            return Err(CodecError::Malformed("segment block out of range"));
+        }
+    }
+    Ok(PartitionArtifact {
+        key,
+        plan: PartitionPlan::from_parts(path_bound, segments, block_count),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Prepared checker model
+// ---------------------------------------------------------------------------
+
+fn enc_ty(e: &mut Enc, ty: Ty) {
+    e.u8(match ty {
+        Ty::Bool => 0,
+        Ty::I8 => 1,
+        Ty::U8 => 2,
+        Ty::I16 => 3,
+        Ty::U16 => 4,
+        Ty::I32 => 5,
+    });
+}
+
+fn dec_ty(d: &mut Dec<'_>) -> Result<Ty> {
+    Ok(match d.u8()? {
+        0 => Ty::Bool,
+        1 => Ty::I8,
+        2 => Ty::U8,
+        3 => Ty::I16,
+        4 => Ty::U16,
+        5 => Ty::I32,
+        _ => return Err(CodecError::Malformed("type tag")),
+    })
+}
+
+fn enc_state_var(e: &mut Enc, v: &StateVar) {
+    e.str(&v.name);
+    enc_ty(e, v.ty);
+    e.i64(v.domain.0);
+    e.i64(v.domain.1);
+    e.opt(&v.init, |e, i| e.i64(*i));
+    e.u8(match v.role {
+        VarRole::Input => 0,
+        VarRole::Local => 1,
+    });
+}
+
+fn dec_state_var(d: &mut Dec<'_>) -> Result<StateVar> {
+    let name = d.str()?;
+    let ty = dec_ty(d)?;
+    let domain = (d.i64()?, d.i64()?);
+    let init = d.opt(|d| d.i64())?;
+    let role = match d.u8()? {
+        0 => VarRole::Input,
+        1 => VarRole::Local,
+        _ => return Err(CodecError::Malformed("variable role tag")),
+    };
+    Ok(StateVar {
+        name,
+        ty,
+        domain,
+        init,
+        role,
+    })
+}
+
+fn enc_transition(e: &mut Enc, t: &Transition) {
+    e.u32(t.from.0);
+    e.u32(t.to.0);
+    e.opt(&t.guard, enc_expr);
+    e.usize(t.effect.len());
+    for (target, expr) in &t.effect {
+        e.str(target);
+        enc_expr(e, expr);
+    }
+    e.opt(&t.decision, |e, (stmt, choice)| {
+        e.u32(stmt.0);
+        enc_branch_choice(e, *choice);
+    });
+}
+
+fn dec_transition(d: &mut Dec<'_>) -> Result<Transition> {
+    let from = LocId(d.u32()?);
+    let to = LocId(d.u32()?);
+    let guard = d.opt(dec_expr)?;
+    let n = d.seq_len()?;
+    let mut effect = Vec::with_capacity(n);
+    for _ in 0..n {
+        let target = d.str()?;
+        let expr = dec_expr(d)?;
+        effect.push((target, expr));
+    }
+    let decision = d.opt(|d| {
+        let stmt = StmtId(d.u32()?);
+        let choice = dec_branch_choice(d)?;
+        Ok((stmt, choice))
+    })?;
+    Ok(Transition {
+        from,
+        guard,
+        effect,
+        to,
+        decision,
+    })
+}
+
+fn enc_model(e: &mut Enc, m: &Model) {
+    e.str(&m.name);
+    e.usize(m.vars.len());
+    for v in &m.vars {
+        enc_state_var(e, v);
+    }
+    e.u32(m.locations);
+    e.u32(m.initial.0);
+    e.u32(m.final_loc.0);
+    e.usize(m.transitions.len());
+    for t in &m.transitions {
+        enc_transition(e, t);
+    }
+}
+
+fn dec_model(d: &mut Dec<'_>) -> Result<Model> {
+    let name = d.str()?;
+    let n = d.seq_len()?;
+    let mut vars = Vec::with_capacity(n);
+    for _ in 0..n {
+        vars.push(dec_state_var(d)?);
+    }
+    let locations = d.u32()?;
+    let initial = LocId(d.u32()?);
+    let final_loc = LocId(d.u32()?);
+    let n = d.seq_len()?;
+    let mut transitions = Vec::with_capacity(n);
+    for _ in 0..n {
+        transitions.push(dec_transition(d)?);
+    }
+    if initial.index() >= locations as usize || final_loc.index() >= locations as usize {
+        return Err(CodecError::Malformed("model location out of range"));
+    }
+    for t in &transitions {
+        if t.from.index() >= locations as usize || t.to.index() >= locations as usize {
+            return Err(CodecError::Malformed("transition location out of range"));
+        }
+    }
+    Ok(Model {
+        name,
+        vars,
+        locations,
+        initial,
+        final_loc,
+        transitions,
+    })
+}
+
+fn enc_opt_report(e: &mut Enc, r: &OptReport) {
+    let strings = |e: &mut Enc, v: &[String]| {
+        e.usize(v.len());
+        for s in v {
+            e.str(s);
+        }
+    };
+    strings(e, &r.substituted_temps);
+    strings(e, &r.removed_vars);
+    e.usize(r.merged_vars.len());
+    for (kept, merged) in &r.merged_vars {
+        e.str(kept);
+        e.str(merged);
+    }
+    strings(e, &r.initialised_vars);
+    e.usize(r.removed_stmts);
+}
+
+fn dec_opt_report(d: &mut Dec<'_>) -> Result<OptReport> {
+    let strings = |d: &mut Dec<'_>| -> Result<Vec<String>> {
+        let n = d.seq_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(d.str()?);
+        }
+        Ok(out)
+    };
+    let substituted_temps = strings(d)?;
+    let removed_vars = strings(d)?;
+    let n = d.seq_len()?;
+    let mut merged_vars = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kept = d.str()?;
+        let merged = d.str()?;
+        merged_vars.push((kept, merged));
+    }
+    let initialised_vars = strings(d)?;
+    let removed_stmts = d.usize()?;
+    Ok(OptReport {
+        substituted_temps,
+        removed_vars,
+        merged_vars,
+        initialised_vars,
+        removed_stmts,
+    })
+}
+
+/// Encodes a prepared-model artifact: the optimised encoded model, its
+/// optimisation report and the preserve-set union (`None` models — "no
+/// shared model is provably equivalent" — are stored too, so the negative
+/// verification is not repeated in a warm process).
+pub fn encode_prepared_model(artifact: &PreparedModelArtifact) -> Vec<u8> {
+    let mut e = Enc::default();
+    match &artifact.shared {
+        None => e.bool(false),
+        Some(shared) => {
+            e.bool(true);
+            enc_model(&mut e, shared.model());
+            enc_opt_report(&mut e, shared.opt_report());
+            let mut union: Vec<StmtId> = shared.union().iter().copied().collect();
+            union.sort_unstable();
+            e.usize(union.len());
+            for s in union {
+                e.u32(s.0);
+            }
+        }
+    }
+    encode_frame(Stage::PrepareModel, artifact.key, &e.buf)
+}
+
+/// Decodes a prepared-model artifact, re-deriving the arena preparation.
+pub fn decode_prepared_model(bytes: &[u8], key: u64) -> Result<PreparedModelArtifact> {
+    let payload = decode_frame(bytes, Stage::PrepareModel, key)?;
+    let mut d = Dec::new(payload);
+    let shared = if d.bool()? {
+        let model = dec_model(&mut d)?;
+        let report = dec_opt_report(&mut d)?;
+        let n = d.seq_len()?;
+        let mut union = HashSet::with_capacity(n);
+        for _ in 0..n {
+            union.insert(StmtId(d.u32()?));
+        }
+        Some(Arc::new(SharedCheckModel::from_parts(model, report, union)))
+    } else {
+        None
+    };
+    d.finish()?;
+    Ok(PreparedModelArtifact { key, shared })
+}
+
+// ---------------------------------------------------------------------------
+// Test suite
+// ---------------------------------------------------------------------------
+
+fn enc_input_vector(e: &mut Enc, v: &InputVector) {
+    e.usize(v.len());
+    for (name, value) in v.iter() {
+        e.str(name);
+        e.i64(value);
+    }
+}
+
+fn dec_input_vector(d: &mut Dec<'_>) -> Result<InputVector> {
+    let n = d.seq_len()?;
+    let mut out = InputVector::new();
+    for _ in 0..n {
+        let name = d.str()?;
+        let value = d.i64()?;
+        out.set(name, value);
+    }
+    Ok(out)
+}
+
+fn enc_path_spec(e: &mut Enc, p: &PathSpec) {
+    e.usize(p.decisions.len());
+    for (stmt, choice) in &p.decisions {
+        e.u32(stmt.0);
+        enc_branch_choice(e, *choice);
+    }
+}
+
+fn dec_path_spec(d: &mut Dec<'_>) -> Result<PathSpec> {
+    let n = d.seq_len()?;
+    let mut decisions = Vec::with_capacity(n);
+    for _ in 0..n {
+        let stmt = StmtId(d.u32()?);
+        let choice = dec_branch_choice(d)?;
+        decisions.push((stmt, choice));
+    }
+    Ok(PathSpec { decisions })
+}
+
+fn enc_goal(e: &mut Enc, g: &CoverageGoal) {
+    e.u32(g.segment.0);
+    match &g.kind {
+        GoalKind::RegionPath(path) => {
+            e.u8(0);
+            enc_path_spec(e, path);
+        }
+        GoalKind::BlockExecution(block) => {
+            e.u8(1);
+            e.u32(block.0);
+        }
+    }
+}
+
+fn dec_goal(d: &mut Dec<'_>) -> Result<CoverageGoal> {
+    let segment = SegmentId(d.u32()?);
+    let kind = match d.u8()? {
+        0 => GoalKind::RegionPath(dec_path_spec(d)?),
+        1 => GoalKind::BlockExecution(BlockId(d.u32()?)),
+        _ => return Err(CodecError::Malformed("goal kind tag")),
+    };
+    Ok(CoverageGoal { segment, kind })
+}
+
+fn enc_status(e: &mut Enc, s: &CoverageStatus) {
+    match s {
+        CoverageStatus::Covered { vector, by } => {
+            e.u8(0);
+            enc_input_vector(e, vector);
+            e.u8(match by {
+                GeneratorKind::Heuristic => 0,
+                GeneratorKind::ModelChecker => 1,
+            });
+        }
+        CoverageStatus::Infeasible => e.u8(1),
+        CoverageStatus::Unknown => e.u8(2),
+    }
+}
+
+fn dec_status(d: &mut Dec<'_>) -> Result<CoverageStatus> {
+    Ok(match d.u8()? {
+        0 => {
+            let vector = dec_input_vector(d)?;
+            let by = match d.u8()? {
+                0 => GeneratorKind::Heuristic,
+                1 => GeneratorKind::ModelChecker,
+                _ => return Err(CodecError::Malformed("generator kind tag")),
+            };
+            CoverageStatus::Covered { vector, by }
+        }
+        1 => CoverageStatus::Infeasible,
+        2 => CoverageStatus::Unknown,
+        _ => return Err(CodecError::Malformed("coverage status tag")),
+    })
+}
+
+/// Encodes a test-suite artifact.
+pub fn encode_suite(artifact: &SuiteArtifact) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.usize(artifact.suite.goals.len());
+    for (goal, status) in &artifact.suite.goals {
+        enc_goal(&mut e, goal);
+        enc_status(&mut e, status);
+    }
+    encode_frame(Stage::Testgen, artifact.key, &e.buf)
+}
+
+/// Decodes a test-suite artifact.
+pub fn decode_suite(bytes: &[u8], key: u64) -> Result<SuiteArtifact> {
+    let payload = decode_frame(bytes, Stage::Testgen, key)?;
+    let mut d = Dec::new(payload);
+    let n = d.seq_len()?;
+    let mut goals = Vec::with_capacity(n);
+    for _ in 0..n {
+        let goal = dec_goal(&mut d)?;
+        let status = dec_status(&mut d)?;
+        goals.push((goal, status));
+    }
+    d.finish()?;
+    Ok(SuiteArtifact {
+        key,
+        suite: TestSuite { goals },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Measurement campaign
+// ---------------------------------------------------------------------------
+
+fn enc_timing(e: &mut Enc, t: &SegmentTiming) {
+    e.u32(t.segment.0);
+    e.usize(t.samples.len());
+    for s in &t.samples {
+        e.u64(*s);
+    }
+    e.u64(t.max_observed);
+    e.u64(t.static_estimate);
+}
+
+fn dec_timing(d: &mut Dec<'_>) -> Result<SegmentTiming> {
+    let segment = SegmentId(d.u32()?);
+    let n = d.seq_len()?;
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        samples.push(d.u64()?);
+    }
+    let max_observed = d.u64()?;
+    let static_estimate = d.u64()?;
+    Ok(SegmentTiming {
+        segment,
+        samples,
+        max_observed,
+        static_estimate,
+    })
+}
+
+/// Encodes a measurement-campaign artifact.
+pub fn encode_campaign(artifact: &CampaignArtifact) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.usize(artifact.campaign.timings.len());
+    for t in &artifact.campaign.timings {
+        enc_timing(&mut e, t);
+    }
+    e.usize(artifact.campaign.runs);
+    encode_frame(Stage::Measure, artifact.key, &e.buf)
+}
+
+/// Decodes a measurement-campaign artifact.
+pub fn decode_campaign(bytes: &[u8], key: u64) -> Result<CampaignArtifact> {
+    let payload = decode_frame(bytes, Stage::Measure, key)?;
+    let mut d = Dec::new(payload);
+    let n = d.seq_len()?;
+    let mut timings = Vec::with_capacity(n);
+    for _ in 0..n {
+        timings.push(dec_timing(&mut d)?);
+    }
+    let runs = d.usize()?;
+    d.finish()?;
+    Ok(CampaignArtifact {
+        key,
+        campaign: MeasurementCampaign { timings, runs },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Analysis report (the bound artifact)
+// ---------------------------------------------------------------------------
+
+/// Encodes a bound artifact.
+pub fn encode_bound(artifact: &BoundArtifact) -> Vec<u8> {
+    let r = &artifact.report;
+    let mut e = Enc::default();
+    e.str(&r.function);
+    e.u128(r.path_bound);
+    e.usize(r.segments);
+    e.usize(r.instrumentation_points);
+    e.u128(r.measurements);
+    e.usize(r.goals);
+    e.usize(r.heuristic_covered);
+    e.usize(r.checker_covered);
+    e.usize(r.infeasible);
+    e.usize(r.unknown);
+    e.usize(r.measurement_runs);
+    e.u64(r.wcet_bound);
+    e.opt(&r.exhaustive_max, |e, v| e.u64(*v));
+    encode_frame(Stage::Bound, artifact.key, &e.buf)
+}
+
+/// Decodes a bound artifact.
+pub fn decode_bound(bytes: &[u8], key: u64) -> Result<BoundArtifact> {
+    let payload = decode_frame(bytes, Stage::Bound, key)?;
+    let mut d = Dec::new(payload);
+    let report = AnalysisReport {
+        function: d.str()?,
+        path_bound: d.u128()?,
+        segments: d.usize()?,
+        instrumentation_points: d.usize()?,
+        measurements: d.u128()?,
+        goals: d.usize()?,
+        heuristic_covered: d.usize()?,
+        checker_covered: d.usize()?,
+        infeasible: d.usize()?,
+        unknown: d.usize()?,
+        measurement_runs: d.usize()?,
+        wcet_bound: d.u64()?,
+        exhaustive_max: d.opt(|d| d.u64())?,
+    };
+    d.finish()?;
+    Ok(BoundArtifact { key, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_core::pipeline::{self, ArtifactStore, TieredStore};
+    use tmg_core::{HybridGenerator, WcetAnalysis};
+    use tmg_minic::parse_function;
+
+    fn artifacts() -> (ArtifactStore, tmg_minic::Function) {
+        let f = parse_function(
+            r#"
+            void ctl(char a __range(0, 4), char b __range(0, 3)) {
+                char i = 0;
+                if (a > 2) { x(); }
+                if (a < 1) { y(); }
+                while (i < b) __bound(3) { i = i + 1; }
+                switch (b) { case 0: z0(); break; default: zd(); break; }
+            }
+            "#,
+        )
+        .expect("parse");
+        (ArtifactStore::new(), f)
+    }
+
+    #[test]
+    fn lowered_round_trips() {
+        let (store, f) = artifacts();
+        let lowered = store.lowered(&f);
+        let bytes = encode_lowered(&lowered);
+        let back = decode_lowered(&bytes, lowered.function_key).expect("decode");
+        assert_eq!(back.lowered.cfg, lowered.lowered.cfg);
+        assert_eq!(back.lowered.regions, lowered.lowered.regions);
+        assert_eq!(back.counts, lowered.counts);
+        assert_eq!(back.decision_stmts, lowered.decision_stmts);
+        assert_eq!(
+            encode_lowered(&back),
+            bytes,
+            "re-encode must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn partition_suite_campaign_bound_round_trip() {
+        let (store, f) = artifacts();
+        let analysis = WcetAnalysis::new(3);
+        let staged =
+            pipeline::analyse_staged_detailed(&store, &analysis, &f, None).expect("analysis");
+        let p = encode_partition(&staged.partition);
+        let p_back = decode_partition(&p, staged.partition.key).expect("partition");
+        assert_eq!(p_back.plan, staged.partition.plan);
+        assert_eq!(encode_partition(&p_back), p);
+
+        let s = encode_suite(&staged.suite);
+        let s_back = decode_suite(&s, staged.suite.key).expect("suite");
+        assert_eq!(s_back.suite, staged.suite.suite);
+        assert_eq!(encode_suite(&s_back), s);
+
+        let c = encode_campaign(&staged.campaign);
+        let c_back = decode_campaign(&c, staged.campaign.key).expect("campaign");
+        assert_eq!(c_back.campaign, staged.campaign.campaign);
+        assert_eq!(encode_campaign(&c_back), c);
+
+        let key = pipeline::bound_key(&analysis, tmg_cfg::function_fingerprint(&f), None);
+        let bound = tmg_core::pipeline::BoundArtifact {
+            key,
+            report: staged.report.clone(),
+        };
+        let b = encode_bound(&bound);
+        let b_back = decode_bound(&b, key).expect("bound");
+        assert_eq!(b_back.report, staged.report);
+        assert_eq!(encode_bound(&b_back), b);
+    }
+
+    #[test]
+    fn prepared_model_round_trips_including_the_negative_case() {
+        let (store, f) = artifacts();
+        let lowered = store.lowered(&f);
+        let checker = tmg_tsys::ModelChecker::new();
+        let artifact = store.prepared_model(&f, &lowered, &checker);
+        let bytes = encode_prepared_model(&artifact);
+        let back = decode_prepared_model(&bytes, artifact.key).expect("decode");
+        match (&artifact.shared, &back.shared) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.model(), b.model());
+                assert_eq!(a.opt_report(), b.opt_report());
+                assert_eq!(a.union(), b.union());
+            }
+            (None, None) => {}
+            _ => panic!("shared-model presence must round-trip"),
+        }
+        assert_eq!(encode_prepared_model(&back), bytes);
+
+        let negative = tmg_core::pipeline::PreparedModelArtifact {
+            key: 42,
+            shared: None,
+        };
+        let bytes = encode_prepared_model(&negative);
+        let back = decode_prepared_model(&bytes, 42).expect("decode");
+        assert!(back.shared.is_none());
+    }
+
+    #[test]
+    fn decoded_suite_feeds_an_identical_downstream_pipeline() {
+        // The acceptance property behind the round-trip: a campaign measured
+        // from a *decoded* suite equals one measured from the original.
+        let (store, f) = artifacts();
+        let lowered = store.lowered(&f);
+        let partition = store.partition(&lowered, 3);
+        let suite = store.suite(&f, &lowered, &partition, &HybridGenerator::new());
+        let decoded = decode_suite(&encode_suite(&suite), suite.key).expect("suite");
+        let original = pipeline::compute_campaign(
+            &f,
+            &lowered,
+            &partition,
+            &suite,
+            &tmg_target::CostModel::hcs12(),
+            0,
+        )
+        .expect("campaign");
+        let replayed = pipeline::compute_campaign(
+            &f,
+            &lowered,
+            &partition,
+            &decoded,
+            &tmg_target::CostModel::hcs12(),
+            0,
+        )
+        .expect("campaign");
+        assert_eq!(original.campaign, replayed.campaign);
+    }
+
+    #[test]
+    fn header_checks_reject_foreign_and_damaged_frames() {
+        let (store, f) = artifacts();
+        let lowered = store.lowered(&f);
+        let good = encode_lowered(&lowered);
+        let key = lowered.function_key;
+
+        // Magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_lowered(&bad, key).err(), Some(CodecError::BadMagic));
+        // Version.
+        let mut bad = good.clone();
+        bad[4] = CODEC_VERSION as u8 + 1;
+        assert!(matches!(
+            decode_lowered(&bad, key),
+            Err(CodecError::VersionMismatch { .. })
+        ));
+        // Kind.
+        assert!(matches!(
+            decode_partition(&good, key),
+            Err(CodecError::KindMismatch { .. })
+        ));
+        // Key.
+        assert_eq!(
+            decode_lowered(&good, key ^ 1).err(),
+            Some(CodecError::KeyMismatch)
+        );
+        // Payload corruption: flip one byte in the middle.
+        let mut bad = good.clone();
+        let mid = HEADER_LEN + (bad.len() - HEADER_LEN - DIGEST_LEN) / 2;
+        bad[mid] ^= 0xFF;
+        assert_eq!(
+            decode_lowered(&bad, key).err(),
+            Some(CodecError::ChecksumMismatch)
+        );
+        // Truncation.
+        assert!(decode_lowered(&good[..good.len() - 3], key).is_err());
+        assert!(decode_lowered(&good[..10], key).is_err());
+        // The original still decodes.
+        assert!(decode_lowered(&good, key).is_ok());
+    }
+}

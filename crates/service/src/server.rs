@@ -1,0 +1,657 @@
+//! The `tmg-service/v1` request server: JSON-lines over any
+//! reader/writer pair (stdin/stdout in production), driven by a concurrent
+//! scheduler with in-flight request deduplication.
+//!
+//! # Protocol
+//!
+//! One JSON object per line.  Every request carries a caller-chosen `id`
+//! that is echoed in the response; responses to concurrent requests may
+//! arrive in any order, so callers match on `id`.
+//!
+//! | op         | request fields                                        | response |
+//! |------------|-------------------------------------------------------|----------|
+//! | `analyse`  | `source` (mini-C module), `path_bound`, optional `function` filter | `reports`: one object per analysed function |
+//! | `sweep`    | `source`, optional `max_bound` (default 10⁶)          | `points`: the Figure-2/3 tradeoff curve |
+//! | `stats`    | —                                                     | `stats`: the two-tier cache counter snapshot |
+//! | `shutdown` | —                                                     | ack, then the server drains and exits |
+//!
+//! Failures are per-request: `{"id":N,"ok":false,"error":"..."}`.
+//!
+//! # Scheduling
+//!
+//! `analyse` and `sweep` requests are enqueued and picked up by a pool of
+//! scheduler threads; *identical* in-flight requests (same op, source,
+//! bound, filter) are deduplicated at enqueue time — a duplicate of a
+//! queued or running job registers as a waiter on that job instead of
+//! being scheduled again, and the one computation answers every waiter
+//! (the `deduplicated` counter in [`ServeSummary`] counts them).
+//! Within one `analyse` of a multi-function module, the functions fan out
+//! across the rayon worker pool via `WcetAnalysis::analyse_all`, and every
+//! worker shares the same [`PersistentStore`] tiers.  `stats` and
+//! `shutdown` are barriers: they wait for all in-flight work so their
+//! answers are deterministic (a scripted cold-run/warm-run/stats batch
+//! observes the counters *after* the runs it scripted).
+
+use crate::json::{self, Value};
+use crate::store::PersistentStore;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use tmg_core::tradeoff::{log_spaced_bounds, sweep_with_counts};
+use tmg_core::{AnalysisReport, TieredStore, WcetAnalysis};
+use tmg_minic::parse_program;
+
+/// Protocol identifier echoed by every response.
+pub const PROTOCOL: &str = "tmg-service/v1";
+
+/// What one serve session did (used by the CI smoke and the bench burst).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Request lines parsed.
+    pub requests: u64,
+    /// Responses written.
+    pub responses: u64,
+    /// Requests answered by piggy-backing on an identical in-flight one.
+    pub deduplicated: u64,
+    /// Whether the session ended with an explicit `shutdown` (vs EOF).
+    pub clean_shutdown: bool,
+}
+
+/// The request server.
+pub struct Server {
+    store: Arc<PersistentStore>,
+    workers: usize,
+}
+
+/// A parsed, schedulable request.
+#[derive(Debug, Clone)]
+enum Job {
+    Analyse {
+        id: u64,
+        source: String,
+        path_bound: u128,
+        function: Option<String>,
+    },
+    Sweep {
+        id: u64,
+        source: String,
+        max_bound: u128,
+    },
+}
+
+impl Job {
+    fn id(&self) -> u64 {
+        match self {
+            Job::Analyse { id, .. } | Job::Sweep { id, .. } => *id,
+        }
+    }
+
+    /// Content key for in-flight deduplication: everything that determines
+    /// the response body except the caller's `id`.  The full string (not a
+    /// hash of it) keys the in-flight map, so two distinct requests can
+    /// never share a computation by collision.
+    fn dedup_key(&self) -> String {
+        match self {
+            Job::Analyse {
+                source,
+                path_bound,
+                function,
+                ..
+            } => format!("analyse\u{0}{source}\u{0}{path_bound}\u{0}{function:?}"),
+            Job::Sweep {
+                source, max_bound, ..
+            } => format!("sweep\u{0}{source}\u{0}{max_bound}"),
+        }
+    }
+}
+
+struct Scheduler {
+    queue: Mutex<(VecDeque<Job>, bool /* open */)>,
+    queued: Condvar,
+    /// Requests accepted but not yet responded to (barrier condition).
+    outstanding: Mutex<usize>,
+    drained: Condvar,
+    /// Dedup key of every queued-or-running job → ids of the duplicate
+    /// requests waiting for the same response body.
+    in_flight: Mutex<FxHashMap<String, Vec<u64>>>,
+    dedup_hits: AtomicU64,
+    responses: AtomicU64,
+}
+
+impl Scheduler {
+    fn new() -> Scheduler {
+        Scheduler {
+            queue: Mutex::new((VecDeque::new(), true)),
+            queued: Condvar::new(),
+            outstanding: Mutex::new(0),
+            drained: Condvar::new(),
+            in_flight: Mutex::new(FxHashMap::default()),
+            dedup_hits: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+        }
+    }
+
+    /// Accepts a job: schedules it, or — when an identical job is already
+    /// queued or running — registers the request as a waiter on that job.
+    fn enqueue_or_attach(&self, job: Job) {
+        *self.outstanding.lock().expect("outstanding") += 1;
+        let key = job.dedup_key();
+        {
+            let mut in_flight = self.in_flight.lock().expect("in-flight map");
+            if let Some(waiters) = in_flight.get_mut(&key) {
+                waiters.push(job.id());
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            in_flight.insert(key, Vec::new());
+        }
+        self.queue.lock().expect("queue").0.push_back(job);
+        self.queued.notify_one();
+    }
+
+    fn close(&self) {
+        self.queue.lock().expect("queue").1 = false;
+        self.queued.notify_all();
+    }
+
+    fn next(&self) -> Option<Job> {
+        let mut guard = self.queue.lock().expect("queue");
+        loop {
+            if let Some(job) = guard.0.pop_front() {
+                return Some(job);
+            }
+            if !guard.1 {
+                return None;
+            }
+            guard = self.queued.wait(guard).expect("queue wait");
+        }
+    }
+
+    /// Blocks until every enqueued job has been responded to.
+    fn barrier(&self) {
+        let mut outstanding = self.outstanding.lock().expect("outstanding");
+        while *outstanding > 0 {
+            outstanding = self.drained.wait(outstanding).expect("drain wait");
+        }
+    }
+
+    fn job_done(&self) {
+        let mut outstanding = self.outstanding.lock().expect("outstanding");
+        *outstanding -= 1;
+        if *outstanding == 0 {
+            self.drained.notify_all();
+        }
+    }
+}
+
+impl Server {
+    /// A server over `store` with one scheduler thread per available core
+    /// (capped at 8 — analyse jobs already fan out internally via rayon).
+    pub fn new(store: Arc<PersistentStore>) -> Server {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(8);
+        Server { store, workers }
+    }
+
+    /// Overrides the scheduler thread count (minimum 1).
+    pub fn with_workers(mut self, workers: usize) -> Server {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Serves JSON-lines requests from `reader` until `shutdown` or EOF.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error of the reader (writer errors on a single
+    /// response line are reported on stderr and do not kill the session).
+    pub fn serve<R: BufRead, W: Write + Send>(
+        &self,
+        reader: R,
+        writer: W,
+    ) -> io::Result<ServeSummary> {
+        let scheduler = Scheduler::new();
+        let writer = Mutex::new(writer);
+        let mut requests = 0u64;
+        let mut clean_shutdown = false;
+
+        std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..self.workers {
+                scope.spawn(|| {
+                    while let Some(job) = scheduler.next() {
+                        self.run_job(&scheduler, &writer, job);
+                    }
+                });
+            }
+            for line in reader.lines() {
+                let line = match line {
+                    Ok(line) => line,
+                    Err(e) => {
+                        scheduler.close();
+                        return Err(e);
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                requests += 1;
+                match parse_request(&line) {
+                    Ok(Request::Job(job)) => scheduler.enqueue_or_attach(job),
+                    Ok(Request::Stats { id }) => {
+                        // Barrier: counters reflect every request scripted
+                        // before this one.
+                        scheduler.barrier();
+                        let body = format!(
+                            "\"op\": \"stats\", \"ok\": true, \"stats\": {}",
+                            self.store.stats().to_json()
+                        );
+                        emit(&scheduler, &writer, id, &body);
+                    }
+                    Ok(Request::Shutdown { id }) => {
+                        scheduler.barrier();
+                        emit(
+                            &scheduler,
+                            &writer,
+                            id,
+                            "\"op\": \"shutdown\", \"ok\": true",
+                        );
+                        clean_shutdown = true;
+                        break;
+                    }
+                    Err((id, message)) => {
+                        let body =
+                            format!("\"ok\": false, \"error\": \"{}\"", json::escape(&message));
+                        emit(&scheduler, &writer, id.unwrap_or(0), &body);
+                    }
+                }
+            }
+            scheduler.barrier();
+            scheduler.close();
+            Ok(())
+        })?;
+
+        Ok(ServeSummary {
+            requests,
+            responses: scheduler.responses.load(Ordering::Relaxed),
+            deduplicated: scheduler.dedup_hits.load(Ordering::Relaxed),
+            clean_shutdown,
+        })
+    }
+
+    /// Computes one job and answers it plus every waiter that attached to it
+    /// while it was queued or running.
+    fn run_job<W: Write>(&self, scheduler: &Scheduler, writer: &Mutex<W>, job: Job) {
+        let id = job.id();
+        let key = job.dedup_key();
+        let body = catch_unwind(AssertUnwindSafe(|| self.handle(&job)))
+            .unwrap_or_else(|_| "\"ok\": false, \"error\": \"internal error\"".to_owned());
+        let waiters = scheduler
+            .in_flight
+            .lock()
+            .expect("in-flight map")
+            .remove(&key)
+            .unwrap_or_default();
+        emit(scheduler, writer, id, &body);
+        scheduler.job_done();
+        for waiter in waiters {
+            emit(scheduler, writer, waiter, &body);
+            scheduler.job_done();
+        }
+    }
+
+    /// Produces the response body (everything after the `id` member).
+    fn handle(&self, job: &Job) -> String {
+        match job {
+            Job::Analyse {
+                source,
+                path_bound,
+                function,
+                ..
+            } => self.handle_analyse(source, *path_bound, function.as_deref()),
+            Job::Sweep {
+                source, max_bound, ..
+            } => self.handle_sweep(source, *max_bound),
+        }
+    }
+
+    fn handle_analyse(&self, source: &str, path_bound: u128, filter: Option<&str>) -> String {
+        let program = match parse_program(source) {
+            Ok(program) => program,
+            Err(e) => {
+                return format!(
+                    "\"op\": \"analyse\", \"ok\": false, \"error\": \"{}\"",
+                    json::escape(&e.to_string())
+                )
+            }
+        };
+        let functions: Vec<_> = program
+            .functions
+            .iter()
+            .filter(|f| filter.is_none_or(|name| f.name == name))
+            .cloned()
+            .collect();
+        if functions.is_empty() {
+            return "\"op\": \"analyse\", \"ok\": false, \"error\": \"no matching function\""
+                .to_owned();
+        }
+        let store: Arc<dyn TieredStore> = self.store.clone();
+        let analysis = WcetAnalysis::new(path_bound).with_store(store);
+        // Independent functions fan out across the rayon pool; the staged
+        // pipeline behind the shared store deduplicates the artifacts.
+        let results = analysis.analyse_all(&functions);
+        for result in &results {
+            if let Err(e) = result {
+                return format!(
+                    "\"op\": \"analyse\", \"ok\": false, \"error\": \"{}\"",
+                    json::escape(&e.to_string())
+                );
+            }
+        }
+        let reports: Vec<String> = results
+            .into_iter()
+            .map(|r| report_json(&r.expect("checked above")))
+            .collect();
+        format!(
+            "\"op\": \"analyse\", \"ok\": true, \"reports\": [{}]",
+            reports.join(", ")
+        )
+    }
+
+    fn handle_sweep(&self, source: &str, max_bound: u128) -> String {
+        let program = match parse_program(source) {
+            Ok(program) => program,
+            Err(e) => {
+                return format!(
+                    "\"op\": \"sweep\", \"ok\": false, \"error\": \"{}\"",
+                    json::escape(&e.to_string())
+                )
+            }
+        };
+        let Some(function) = program.functions.first() else {
+            return "\"op\": \"sweep\", \"ok\": false, \"error\": \"empty module\"".to_owned();
+        };
+        // Lowering goes through the tiers, so a warm sweep of a known
+        // function re-reads the cached CFG and path counts from disk.
+        let lowered = self
+            .store
+            .lowered_keyed(function, tmg_cfg::function_fingerprint(function));
+        let points = sweep_with_counts(&lowered.counts, &log_spaced_bounds(max_bound.max(1)));
+        let rendered: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{ \"path_bound\": {}, \"instrumentation_points\": {}, \"measurements\": {}, \"segments\": {} }}",
+                    p.path_bound, p.instrumentation_points, p.measurements, p.segments
+                )
+            })
+            .collect();
+        format!(
+            "\"op\": \"sweep\", \"ok\": true, \"function\": \"{}\", \"points\": [{}]",
+            json::escape(&function.name),
+            rendered.join(", ")
+        )
+    }
+}
+
+/// Renders one [`AnalysisReport`] as a JSON object.
+fn report_json(r: &AnalysisReport) -> String {
+    let exhaustive = match r.exhaustive_max {
+        Some(v) => v.to_string(),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{ \"function\": \"{}\", \"path_bound\": {}, \"segments\": {}, \"instrumentation_points\": {}, \"measurements\": {}, \"goals\": {}, \"heuristic_covered\": {}, \"checker_covered\": {}, \"infeasible\": {}, \"unknown\": {}, \"measurement_runs\": {}, \"wcet_bound\": {}, \"exhaustive_max\": {} }}",
+        json::escape(&r.function),
+        r.path_bound,
+        r.segments,
+        r.instrumentation_points,
+        r.measurements,
+        r.goals,
+        r.heuristic_covered,
+        r.checker_covered,
+        r.infeasible,
+        r.unknown,
+        r.measurement_runs,
+        r.wcet_bound,
+        exhaustive
+    )
+}
+
+enum Request {
+    Job(Job),
+    Stats { id: u64 },
+    Shutdown { id: u64 },
+}
+
+type RequestError = (Option<u64>, String);
+
+fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let value = json::parse(line).map_err(|e| (None, format!("invalid request: {e}")))?;
+    let id = value.get("id").and_then(Value::as_u64);
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or((id, "missing op".to_owned()))?;
+    let id = id.ok_or((None, "missing id".to_owned()))?;
+    match op {
+        "analyse" => {
+            let source = value
+                .get("source")
+                .and_then(Value::as_str)
+                .ok_or((Some(id), "analyse needs a source".to_owned()))?
+                .to_owned();
+            let path_bound = match value.get("path_bound") {
+                None => 1,
+                Some(v) => v
+                    .as_u128()
+                    .filter(|b| *b >= 1)
+                    .ok_or((Some(id), "path_bound must be a positive integer".to_owned()))?,
+            };
+            let function = value
+                .get("function")
+                .and_then(Value::as_str)
+                .map(str::to_owned);
+            Ok(Request::Job(Job::Analyse {
+                id,
+                source,
+                path_bound,
+                function,
+            }))
+        }
+        "sweep" => {
+            let source = value
+                .get("source")
+                .and_then(Value::as_str)
+                .ok_or((Some(id), "sweep needs a source".to_owned()))?
+                .to_owned();
+            let max_bound = match value.get("max_bound") {
+                None => 1_000_000,
+                Some(v) => v
+                    .as_u128()
+                    .filter(|b| *b >= 1)
+                    .ok_or((Some(id), "max_bound must be a positive integer".to_owned()))?,
+            };
+            Ok(Request::Job(Job::Sweep {
+                id,
+                source,
+                max_bound,
+            }))
+        }
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        other => Err((Some(id), format!("unknown op `{other}`"))),
+    }
+}
+
+/// Writes one response line `{"id":N,<body>}`.
+fn emit<W: Write>(scheduler: &Scheduler, writer: &Mutex<W>, id: u64, body: &str) {
+    let mut writer = writer.lock().expect("writer");
+    let write = writeln!(writer, "{{\"id\": {id}, {body}}}").and_then(|()| writer.flush());
+    if let Err(e) = write {
+        eprintln!("tmg-service: dropping response for request {id}: {e}");
+    }
+    scheduler.responses.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PersistentStoreConfig;
+    use std::io::Cursor;
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tmg-service-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn serve_script(
+        store: &Arc<PersistentStore>,
+        workers: usize,
+        script: &str,
+    ) -> (ServeSummary, Vec<Value>) {
+        let mut out = Vec::new();
+        let summary = Server::new(Arc::clone(store))
+            .with_workers(workers)
+            .serve(Cursor::new(script.to_owned()), &mut out)
+            .expect("serve");
+        let text = String::from_utf8(out).expect("utf-8 responses");
+        let mut responses: Vec<Value> = text
+            .lines()
+            .map(|line| json::parse(line).expect("response parses"))
+            .collect();
+        responses.sort_by_key(|v| v.get("id").and_then(Value::as_u64).unwrap_or(0));
+        (summary, responses)
+    }
+
+    const SOURCE: &str = "void f(char a __range(0, 3)) { if (a > 1) { x(); } else { y(); } }";
+
+    #[test]
+    fn analyse_stats_and_shutdown_round_trip() {
+        let root = temp_root("roundtrip");
+        let store = Arc::new(
+            PersistentStore::with_config(PersistentStoreConfig::new(&root)).expect("open"),
+        );
+        let script = format!(
+            "{}\n{}\n{}\n",
+            format_args!(
+                "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}",
+                json::escape(SOURCE)
+            ),
+            "{\"id\": 2, \"op\": \"stats\"}",
+            "{\"id\": 3, \"op\": \"shutdown\"}"
+        );
+        let (summary, responses) = serve_script(&store, 2, &script);
+        assert!(summary.clean_shutdown);
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.responses, 3);
+        let analyse = &responses[0];
+        assert_eq!(analyse.get("ok").and_then(Value::as_bool), Some(true));
+        let reports = analyse
+            .get("reports")
+            .and_then(Value::as_array)
+            .expect("reports");
+        assert_eq!(reports.len(), 1);
+        assert!(
+            reports[0]
+                .get("wcet_bound")
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 0
+        );
+        let stats = &responses[1];
+        assert_eq!(stats.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(stats.get("stats").is_some());
+        assert_eq!(
+            responses[2].get("op").and_then(Value::as_str),
+            Some("shutdown")
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn identical_concurrent_requests_are_deduplicated() {
+        let root = temp_root("dedup");
+        let store = Arc::new(
+            PersistentStore::with_config(PersistentStoreConfig::new(&root)).expect("open"),
+        );
+        let request = format!(
+            "{{\"id\": ID, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 4}}",
+            json::escape(SOURCE)
+        );
+        let mut script = String::new();
+        for id in 1..=6 {
+            script.push_str(&request.replace("ID", &id.to_string()));
+            script.push('\n');
+        }
+        script.push_str("{\"id\": 7, \"op\": \"shutdown\"}\n");
+        let (summary, responses) = serve_script(&store, 4, &script);
+        assert_eq!(summary.responses, 7);
+        assert!(
+            summary.deduplicated > 0,
+            "six identical concurrent requests must share a computation"
+        );
+        // All six analyse responses are identical apart from the id.
+        let bodies: Vec<&[Value]> = responses[..6]
+            .iter()
+            .map(|r| r.get("reports").and_then(Value::as_array).expect("reports"))
+            .collect();
+        for body in &bodies[1..] {
+            assert_eq!(*body, bodies[0]);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_fail_cleanly() {
+        let root = temp_root("errors");
+        let store = Arc::new(
+            PersistentStore::with_config(PersistentStoreConfig::new(&root)).expect("open"),
+        );
+        let script = "this is not json\n\
+                      {\"id\": 2, \"op\": \"frobnicate\"}\n\
+                      {\"id\": 3, \"op\": \"analyse\", \"source\": \"void f( {\"}\n\
+                      {\"id\": 4, \"op\": \"analyse\", \"source\": \"void f() { }\", \"path_bound\": 0}\n\
+                      {\"id\": 5, \"op\": \"shutdown\"}\n";
+        let (summary, responses) = serve_script(&store, 2, script);
+        assert!(summary.clean_shutdown);
+        assert_eq!(summary.responses, 5);
+        for r in &responses[..4] {
+            assert_eq!(
+                r.get("ok").and_then(Value::as_bool),
+                Some(false),
+                "request {:?} should fail",
+                r.get("id")
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sweep_returns_the_tradeoff_curve() {
+        let root = temp_root("sweep");
+        let store = Arc::new(
+            PersistentStore::with_config(PersistentStoreConfig::new(&root)).expect("open"),
+        );
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"sweep\", \"source\": \"{}\", \"max_bound\": 100}}\n{{\"id\": 2, \"op\": \"shutdown\"}}\n",
+            json::escape(SOURCE)
+        );
+        let (_, responses) = serve_script(&store, 1, &script);
+        let sweep = &responses[0];
+        assert_eq!(sweep.get("ok").and_then(Value::as_bool), Some(true));
+        let points = sweep
+            .get("points")
+            .and_then(Value::as_array)
+            .expect("points");
+        assert!(!points.is_empty());
+        assert!(points[0].get("instrumentation_points").is_some());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

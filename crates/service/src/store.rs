@@ -1,0 +1,590 @@
+//! The persistent artifact tier: a size-capped on-disk cache layered under
+//! the in-memory [`ArtifactStore`].
+//!
+//! [`PersistentStore`] implements [`TieredStore`], so
+//! `WcetAnalysis::with_store` accepts it wherever the in-memory store works.
+//! Every stage request probes the tiers in order:
+//!
+//! 1. **memory** — the process-local [`ArtifactStore`] (hit/miss/eviction
+//!    counters as before);
+//! 2. **disk** — `<root>/<stage>/<key_hex>.tmga` frames written by *any*
+//!    process ([`crate::codec`]); a frame that fails integrity verification
+//!    (bad magic, foreign version, checksum mismatch, malformed payload) is
+//!    deleted and treated as a miss — never a panic, never a wrong artifact;
+//! 3. **compute** — the stage function itself; the result is written to both
+//!    tiers.
+//!
+//! The disk tier is bounded by a byte budget: each store records the file
+//! size in an in-process index (rebuilt from the directory on open, ordered
+//! by modification time) and evicts least-recently-used files until the
+//! budget holds again.  Like the in-memory LRU this is pure cache policy —
+//! an evicted artifact is recomputed on the next request.
+//!
+//! Measurement faults are never cached, matching the in-memory tier.
+
+use crate::codec::{self, CodecError};
+use rustc_hash::FxHashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tmg_cfg::key_hex;
+use tmg_core::pipeline::{
+    self, ArtifactStore, BoundArtifact, CampaignArtifact, LoweredArtifact, PartitionArtifact,
+    PreparedModelArtifact, Stage, SuiteArtifact, TieredStore, STAGES,
+};
+use tmg_core::{AnalysisError, AnalysisReport, HybridGenerator, StoreStats};
+use tmg_minic::ast::Function;
+use tmg_target::CostModel;
+use tmg_tsys::ModelChecker;
+
+/// File extension of every cached artifact frame.
+pub const ARTIFACT_EXT: &str = "tmga";
+
+/// Default disk budget: 256 MiB of artifact frames.
+pub const DEFAULT_DISK_BUDGET: u64 = 256 * 1024 * 1024;
+
+/// Per-stage counters of the disk tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStageStats {
+    /// Frames served from disk (decoded and verified).
+    pub hits: u64,
+    /// Probes that found no usable frame (absent, corrupt or foreign).
+    pub misses: u64,
+    /// Frames written.
+    pub stores: u64,
+    /// Frames evicted by the byte budget.
+    pub evictions: u64,
+    /// Stage computations actually executed (neither tier had the artifact).
+    pub computes: u64,
+}
+
+/// Counter + occupancy snapshot of a [`PersistentStore`], combining both
+/// tiers; rendered to hand-written JSON for the service `stats` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierStats {
+    /// In-memory tier snapshot.
+    pub memory: StoreStats,
+    /// Per-stage disk counters, indexed by [`Stage::index`].
+    pub disk: [DiskStageStats; 6],
+    /// Bytes currently held on disk.
+    pub disk_bytes: u64,
+    /// Disk byte budget.
+    pub disk_budget: u64,
+}
+
+impl TierStats {
+    /// Disk counters of one stage.
+    pub fn disk_stage(&self, stage: Stage) -> DiskStageStats {
+        self.disk[stage.index()]
+    }
+
+    /// Total stage computations across all stages (0 on a fully warm run).
+    pub fn total_computes(&self) -> u64 {
+        self.disk.iter().map(|s| s.computes).sum()
+    }
+
+    /// Total disk hits across all stages.
+    pub fn total_disk_hits(&self) -> u64 {
+        self.disk.iter().map(|s| s.hits).sum()
+    }
+
+    /// Renders the snapshot as one JSON object (hand-written; schema
+    /// `tmg-tier-stats/v1`), embedding the memory tier's
+    /// [`StoreStats::to_json`] output.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{ \"schema\": \"tmg-tier-stats/v1\", \"computes\": {}, \"disk_bytes\": {}, \"disk_budget\": {}, \"memory\": {}, \"disk\": {{",
+            self.total_computes(),
+            self.disk_bytes,
+            self.disk_budget,
+            self.memory.to_json()
+        );
+        for (i, stage) in STAGES.iter().enumerate() {
+            let s = self.disk_stage(*stage);
+            let comma = if i + 1 < STAGES.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                " \"{}\": {{ \"hits\": {}, \"misses\": {}, \"stores\": {}, \"evictions\": {}, \"computes\": {} }}{}",
+                stage.name(),
+                s.hits,
+                s.misses,
+                s.stores,
+                s.evictions,
+                s.computes,
+                comma
+            );
+        }
+        out.push_str(" } }");
+        out
+    }
+}
+
+/// One file of the disk index.
+struct FileEntry {
+    size: u64,
+    /// Logical last-touch order (monotonic per cache instance).
+    touched: u64,
+}
+
+struct DiskIndex {
+    files: FxHashMap<(u8, u64), FileEntry>,
+    total_bytes: u64,
+    tick: u64,
+}
+
+/// The on-disk frame cache.  All operations are infallible from the caller's
+/// perspective: I/O errors degrade to misses (loads) or dropped writes
+/// (stores) — the analysis itself never depends on the disk succeeding.
+struct DiskCache {
+    root: PathBuf,
+    budget: u64,
+    index: Mutex<DiskIndex>,
+    hits: [AtomicU64; 6],
+    misses: [AtomicU64; 6],
+    stores: [AtomicU64; 6],
+    evictions: [AtomicU64; 6],
+}
+
+impl DiskCache {
+    fn open(root: &Path, budget: u64) -> io::Result<DiskCache> {
+        let mut files = FxHashMap::default();
+        let mut total_bytes = 0u64;
+        // Rebuild the index from the directory; modification time seeds the
+        // LRU order so a reopened cache evicts oldest-first.
+        let mut found: Vec<((u8, u64), u64, std::time::SystemTime)> = Vec::new();
+        for stage in STAGES {
+            let dir = root.join(stage.name());
+            fs::create_dir_all(&dir)?;
+            for entry in fs::read_dir(&dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                let ext = path.extension().and_then(|e| e.to_str());
+                if ext == Some("tmp") {
+                    // Torn write from a crashed process: the temp file was
+                    // never renamed into place and is invisible to the byte
+                    // budget — reclaim it now.
+                    let _ = fs::remove_file(&path);
+                    continue;
+                }
+                let stem_key = ext
+                    .filter(|e| *e == ARTIFACT_EXT)
+                    .and_then(|_| path.file_stem()?.to_str())
+                    .and_then(|stem| u64::from_str_radix(stem, 16).ok());
+                let Some(key) = stem_key else { continue };
+                let meta = entry.metadata()?;
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                found.push(((stage.index() as u8, key), meta.len(), mtime));
+            }
+        }
+        found.sort_by_key(|(_, _, mtime)| *mtime);
+        let mut tick = 0u64;
+        for (id, size, _) in found {
+            tick += 1;
+            total_bytes += size;
+            files.insert(
+                id,
+                FileEntry {
+                    size,
+                    touched: tick,
+                },
+            );
+        }
+        Ok(DiskCache {
+            root: root.to_path_buf(),
+            budget,
+            index: Mutex::new(DiskIndex {
+                files,
+                total_bytes,
+                tick,
+            }),
+            hits: Default::default(),
+            misses: Default::default(),
+            stores: Default::default(),
+            evictions: Default::default(),
+        })
+    }
+
+    fn path_of(&self, stage: Stage, key: u64) -> PathBuf {
+        self.root
+            .join(stage.name())
+            .join(format!("{}.{ARTIFACT_EXT}", key_hex(key)))
+    }
+
+    /// Reads the raw frame for `(stage, key)`, touching its LRU slot.
+    /// Hit/miss accounting happens in [`PersistentStore::fetch_disk`], after
+    /// the frame has passed verification — a file that exists but fails to
+    /// decode is a miss, not a hit.
+    fn load(&self, stage: Stage, key: u64) -> Option<Vec<u8>> {
+        let bytes = fs::read(self.path_of(stage, key)).ok();
+        if bytes.is_some() {
+            let mut index = self.index.lock().expect("disk index");
+            index.tick += 1;
+            let tick = index.tick;
+            if let Some(entry) = index.files.get_mut(&(stage.index() as u8, key)) {
+                entry.touched = tick;
+            }
+        }
+        bytes
+    }
+
+    fn record(&self, stage: Stage, hit: bool) {
+        let counters = if hit { &self.hits } else { &self.misses };
+        counters[stage.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deletes a frame that failed verification (and logs why); the slot
+    /// becomes a clean miss for every later request.
+    fn discard(&self, stage: Stage, key: u64, error: &CodecError) {
+        let path = self.path_of(stage, key);
+        eprintln!(
+            "tmg-service: discarding unusable cache frame {} ({error})",
+            path.display()
+        );
+        let _ = fs::remove_file(&path);
+        let mut index = self.index.lock().expect("disk index");
+        if let Some(entry) = index.files.remove(&(stage.index() as u8, key)) {
+            index.total_bytes = index.total_bytes.saturating_sub(entry.size);
+        }
+    }
+
+    /// Writes a frame (atomically via a temp file + rename) and evicts
+    /// least-recently-used frames until the byte budget holds.  Failures are
+    /// swallowed: a cache that cannot write simply stops accelerating.
+    fn store(&self, stage: Stage, key: u64, bytes: &[u8]) {
+        let path = self.path_of(stage, key);
+        let tmp = path.with_extension("tmp");
+        let written = fs::write(&tmp, bytes).and_then(|()| fs::rename(&tmp, &path));
+        if written.is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        self.stores[stage.index()].fetch_add(1, Ordering::Relaxed);
+        let mut evict: Vec<(u8, u64)> = Vec::new();
+        {
+            let mut index = self.index.lock().expect("disk index");
+            index.tick += 1;
+            let tick = index.tick;
+            let id = (stage.index() as u8, key);
+            let size = bytes.len() as u64;
+            if let Some(old) = index.files.insert(
+                id,
+                FileEntry {
+                    size,
+                    touched: tick,
+                },
+            ) {
+                index.total_bytes = index.total_bytes.saturating_sub(old.size);
+            }
+            index.total_bytes += size;
+            while index.total_bytes > self.budget {
+                let Some(victim) = index
+                    .files
+                    .iter()
+                    .filter(|(other, _)| **other != id)
+                    .min_by_key(|(_, entry)| entry.touched)
+                    .map(|(other, _)| *other)
+                else {
+                    break; // only the fresh frame remains
+                };
+                let entry = index.files.remove(&victim).expect("victim indexed");
+                index.total_bytes = index.total_bytes.saturating_sub(entry.size);
+                evict.push(victim);
+            }
+        }
+        for (stage_idx, victim_key) in evict {
+            let stage = STAGES[stage_idx as usize];
+            let _ = fs::remove_file(self.path_of(stage, victim_key));
+            self.evictions[stage.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn stats(&self, computes: &[AtomicU64; 6]) -> ([DiskStageStats; 6], u64) {
+        let mut out = [DiskStageStats::default(); 6];
+        for stage in STAGES {
+            let i = stage.index();
+            out[i] = DiskStageStats {
+                hits: self.hits[i].load(Ordering::Relaxed),
+                misses: self.misses[i].load(Ordering::Relaxed),
+                stores: self.stores[i].load(Ordering::Relaxed),
+                evictions: self.evictions[i].load(Ordering::Relaxed),
+                computes: computes[i].load(Ordering::Relaxed),
+            };
+        }
+        let bytes = self.index.lock().expect("disk index").total_bytes;
+        (out, bytes)
+    }
+}
+
+/// Configuration of a [`PersistentStore`].
+#[derive(Debug, Clone)]
+pub struct PersistentStoreConfig {
+    /// Cache directory root (created if absent).
+    pub root: PathBuf,
+    /// Disk byte budget ([`DEFAULT_DISK_BUDGET`] by default).
+    pub disk_budget: u64,
+    /// In-memory entries per stage map
+    /// ([`pipeline::DEFAULT_STAGE_CAPACITY`] by default).
+    pub memory_capacity: usize,
+}
+
+impl PersistentStoreConfig {
+    /// Default configuration rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> PersistentStoreConfig {
+        PersistentStoreConfig {
+            root: root.into(),
+            disk_budget: DEFAULT_DISK_BUDGET,
+            memory_capacity: pipeline::DEFAULT_STAGE_CAPACITY,
+        }
+    }
+
+    /// Overrides the disk byte budget.
+    pub fn with_disk_budget(mut self, budget: u64) -> PersistentStoreConfig {
+        self.disk_budget = budget;
+        self
+    }
+
+    /// Overrides the in-memory per-stage entry cap.
+    pub fn with_memory_capacity(mut self, capacity: usize) -> PersistentStoreConfig {
+        self.memory_capacity = capacity;
+        self
+    }
+}
+
+/// The two-tier artifact store: in-memory [`ArtifactStore`] over an on-disk
+/// frame cache.
+pub struct PersistentStore {
+    memory: ArtifactStore,
+    disk: DiskCache,
+    computes: [AtomicU64; 6],
+}
+
+impl std::fmt::Debug for PersistentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentStore")
+            .field("root", &self.disk.root)
+            .field("memory", &self.memory)
+            .finish()
+    }
+}
+
+impl PersistentStore {
+    /// Opens (or creates) a cache rooted at `root` with default budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the cache directories cannot be created or
+    /// scanned.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<PersistentStore> {
+        PersistentStore::with_config(PersistentStoreConfig::new(root.as_ref()))
+    }
+
+    /// Opens a cache with explicit budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the cache directories cannot be created or
+    /// scanned.
+    pub fn with_config(config: PersistentStoreConfig) -> io::Result<PersistentStore> {
+        Ok(PersistentStore {
+            memory: ArtifactStore::with_capacity(config.memory_capacity),
+            disk: DiskCache::open(&config.root, config.disk_budget)?,
+            computes: Default::default(),
+        })
+    }
+
+    /// Cache directory root.
+    pub fn root(&self) -> &Path {
+        &self.disk.root
+    }
+
+    /// Combined counter snapshot of both tiers.
+    pub fn stats(&self) -> TierStats {
+        let (disk, disk_bytes) = self.disk.stats(&self.computes);
+        TierStats {
+            memory: self.memory.store_stats(),
+            disk,
+            disk_bytes,
+            disk_budget: self.disk.budget,
+        }
+    }
+
+    fn record_compute(&self, stage: Stage) {
+        self.computes[stage.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Probes the disk tier for `(stage, key)` and decodes through `decode`;
+    /// undecodable frames are discarded and reported as a miss.
+    fn fetch_disk<T>(
+        &self,
+        stage: Stage,
+        key: u64,
+        decode: impl FnOnce(&[u8]) -> Result<T, CodecError>,
+    ) -> Option<T> {
+        let decoded = self
+            .disk
+            .load(stage, key)
+            .map(|bytes| decode(&bytes))
+            .and_then(|result| match result {
+                Ok(artifact) => Some(artifact),
+                Err(error) => {
+                    self.disk.discard(stage, key, &error);
+                    None
+                }
+            });
+        self.disk.record(stage, decoded.is_some());
+        decoded
+    }
+}
+
+impl TieredStore for PersistentStore {
+    fn memory(&self) -> &ArtifactStore {
+        &self.memory
+    }
+
+    fn lowered_keyed(&self, function: &Function, key: u64) -> Arc<LoweredArtifact> {
+        if let Some(hit) = self.memory.lookup_lowered(key) {
+            return hit;
+        }
+        if let Some(artifact) =
+            self.fetch_disk(Stage::Lower, key, |b| codec::decode_lowered(b, key))
+        {
+            return self.memory.insert_lowered(key, artifact);
+        }
+        self.record_compute(Stage::Lower);
+        let artifact = pipeline::compute_lowered(function, key);
+        self.disk
+            .store(Stage::Lower, key, &codec::encode_lowered(&artifact));
+        self.memory.insert_lowered(key, artifact)
+    }
+
+    fn partition(&self, lowered: &LoweredArtifact, path_bound: u128) -> Arc<PartitionArtifact> {
+        let key = pipeline::partition_key(lowered.function_key, path_bound);
+        if let Some(hit) = self.memory.lookup_partition(key) {
+            return hit;
+        }
+        if let Some(artifact) =
+            self.fetch_disk(Stage::Partition, key, |b| codec::decode_partition(b, key))
+        {
+            return self.memory.insert_partition(key, artifact);
+        }
+        self.record_compute(Stage::Partition);
+        let artifact = pipeline::compute_partition(lowered, path_bound, key);
+        self.disk
+            .store(Stage::Partition, key, &codec::encode_partition(&artifact));
+        self.memory.insert_partition(key, artifact)
+    }
+
+    fn prepared_model(
+        &self,
+        function: &Function,
+        lowered: &LoweredArtifact,
+        checker: &ModelChecker,
+    ) -> Arc<PreparedModelArtifact> {
+        let key = pipeline::prepared_model_key(lowered.function_key, checker);
+        if let Some(hit) = self.memory.lookup_prepared_model(key) {
+            return hit;
+        }
+        if let Some(artifact) = self.fetch_disk(Stage::PrepareModel, key, |b| {
+            codec::decode_prepared_model(b, key)
+        }) {
+            return self.memory.insert_prepared_model(key, artifact);
+        }
+        self.record_compute(Stage::PrepareModel);
+        let artifact = pipeline::compute_prepared_model(function, lowered, checker, key);
+        self.disk.store(
+            Stage::PrepareModel,
+            key,
+            &codec::encode_prepared_model(&artifact),
+        );
+        self.memory.insert_prepared_model(key, artifact)
+    }
+
+    fn suite(
+        &self,
+        function: &Function,
+        lowered: &LoweredArtifact,
+        partition: &PartitionArtifact,
+        generator: &HybridGenerator,
+    ) -> Arc<SuiteArtifact> {
+        let key = pipeline::suite_key(partition.key, generator);
+        if let Some(hit) = self.memory.lookup_suite(key) {
+            return hit;
+        }
+        if let Some(artifact) =
+            self.fetch_disk(Stage::Testgen, key, |b| codec::decode_suite(b, key))
+        {
+            return self.memory.insert_suite(key, artifact);
+        }
+        self.record_compute(Stage::Testgen);
+        let artifact = pipeline::compute_suite(self, function, lowered, partition, generator, key);
+        self.disk
+            .store(Stage::Testgen, key, &codec::encode_suite(&artifact));
+        self.memory.insert_suite(key, artifact)
+    }
+
+    fn campaign(
+        &self,
+        function: &Function,
+        lowered: &LoweredArtifact,
+        partition: &PartitionArtifact,
+        suite: &SuiteArtifact,
+        cost_model: &CostModel,
+    ) -> Result<Arc<CampaignArtifact>, AnalysisError> {
+        let key = pipeline::campaign_key(suite.key, cost_model);
+        if let Some(hit) = self.memory.lookup_campaign(key) {
+            return Ok(hit);
+        }
+        if let Some(artifact) =
+            self.fetch_disk(Stage::Measure, key, |b| codec::decode_campaign(b, key))
+        {
+            return Ok(self.memory.insert_campaign(key, artifact));
+        }
+        self.record_compute(Stage::Measure);
+        let artifact =
+            pipeline::compute_campaign(function, lowered, partition, suite, cost_model, key)?;
+        self.disk
+            .store(Stage::Measure, key, &codec::encode_campaign(&artifact));
+        Ok(self.memory.insert_campaign(key, artifact))
+    }
+
+    fn bound(&self, key: u64) -> Option<Arc<BoundArtifact>> {
+        if let Some(hit) = self.memory.lookup_bound(key) {
+            return Some(hit);
+        }
+        let artifact = self.fetch_disk(Stage::Bound, key, |b| codec::decode_bound(b, key))?;
+        Some(self.memory.insert_bound(key, artifact))
+    }
+
+    fn put_bound(&self, key: u64, report: AnalysisReport) -> Arc<BoundArtifact> {
+        self.record_compute(Stage::Bound);
+        let artifact = BoundArtifact { key, report };
+        self.disk
+            .store(Stage::Bound, key, &codec::encode_bound(&artifact));
+        self.memory.insert_bound(key, artifact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_stats_render_as_json() {
+        let stats = TierStats {
+            memory: ArtifactStore::new().store_stats(),
+            disk: [DiskStageStats::default(); 6],
+            disk_bytes: 0,
+            disk_budget: DEFAULT_DISK_BUDGET,
+        };
+        let json = stats.to_json();
+        assert!(json.contains("\"schema\": \"tmg-tier-stats/v1\""));
+        assert!(json.contains("\"schema\": \"tmg-store-stats/v1\""));
+        assert!(json.contains("\"bound\": { \"hits\": 0, \"misses\": 0, \"stores\": 0, \"evictions\": 0, \"computes\": 0 }"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based codec guarantees: for random mini-C functions and random
+//! path bounds,
+//!
+//! * every artifact round-trips — `decode(encode(x))` equals `x` and
+//!   re-encoding is bit-identical (the on-disk representation is a pure
+//!   function of the artifact value);
+//! * any single-byte corruption of a frame is *detected* — decode returns an
+//!   error (never a panic, never a silently different artifact);
+//! * a frame written by a different codec version is a clean miss.
+
+use proptest::prelude::*;
+use tmg_core::pipeline::{self, ArtifactStore, TieredStore};
+use tmg_core::WcetAnalysis;
+use tmg_minic::parse_function;
+use tmg_service::codec;
+
+/// Deterministic draw stream decoding one `u64` seed into small choices
+/// (the vendored proptest only supplies integer-range strategies).
+struct Draws(u64);
+
+impl Draws {
+    fn next(&mut self, n: u64) -> u64 {
+        let v = self.0 % n;
+        self.0 = (self.0 / n).rotate_left(17) ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        v
+    }
+}
+
+/// Builds a random mini-C function with nested branches, switches and
+/// bounded loops over two small-domain parameters (the partition-invariant
+/// suite uses the same shape).
+fn random_function(shape: u64, depth: u64) -> String {
+    let mut d = Draws(shape);
+    let mut decls = String::new();
+    let mut body = String::new();
+    let mut label = 0usize;
+    emit_block(&mut d, depth, &mut decls, &mut body, &mut label, 1);
+    format!("void f(char a __range(0, 4), char b __range(0, 3)) {{\n{decls}{body}}}\n")
+}
+
+fn emit_block(
+    d: &mut Draws,
+    depth: u64,
+    decls: &mut String,
+    body: &mut String,
+    label: &mut usize,
+    indent: usize,
+) {
+    let stmts = 1 + d.next(3);
+    for _ in 0..stmts {
+        let k = *label;
+        *label += 1;
+        let pad = "    ".repeat(indent);
+        let var = if d.next(2) == 0 { "a" } else { "b" };
+        match d.next(if depth > 0 { 5 } else { 2 }) {
+            0 => body.push_str(&format!("{pad}call{k}();\n")),
+            1 => {
+                let lit = d.next(5);
+                body.push_str(&format!("{pad}if ({var} > {lit}) {{ leaf{k}(); }}\n"));
+            }
+            2 => {
+                let lit = d.next(4);
+                body.push_str(&format!("{pad}if ({var} == {lit}) {{\n"));
+                emit_block(d, depth - 1, decls, body, label, indent + 1);
+                body.push_str(&format!("{pad}}} else {{\n"));
+                emit_block(d, depth - 1, decls, body, label, indent + 1);
+                body.push_str(&format!("{pad}}}\n"));
+            }
+            3 => {
+                body.push_str(&format!("{pad}switch ({var}) {{\n"));
+                let arms = 1 + d.next(3);
+                for arm in 0..arms {
+                    body.push_str(&format!("{pad}case {arm}:\n"));
+                    emit_block(d, depth - 1, decls, body, label, indent + 1);
+                    body.push_str(&format!("{pad}    break;\n"));
+                }
+                body.push_str(&format!("{pad}default:\n"));
+                emit_block(d, depth - 1, decls, body, label, indent + 1);
+                body.push_str(&format!("{pad}    break;\n"));
+                body.push_str(&format!("{pad}}}\n"));
+            }
+            _ => {
+                decls.push_str(&format!("    char i{k} = 0;\n"));
+                body.push_str(&format!(
+                    "{pad}while (i{k} < {var}) __bound(3) {{\n{pad}    i{k} = i{k} + 1;\n"
+                ));
+                emit_block(d, depth.saturating_sub(1), decls, body, label, indent + 1);
+                body.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lowered_and_partition_artifacts_round_trip_bit_identically(
+        shape in 0u64..u64::MAX,
+        depth in 1u64..4,
+        bound_pick in 0u64..6,
+    ) {
+        let src = random_function(shape, depth);
+        let f = parse_function(&src).expect("generated function parses");
+        let store = ArtifactStore::new();
+        let lowered = store.lowered(&f);
+        let bytes = codec::encode_lowered(&lowered);
+        let back = codec::decode_lowered(&bytes, lowered.function_key).expect("decode lowered");
+        prop_assert_eq!(&back.lowered.cfg, &lowered.lowered.cfg, "cfg diverges on {}", src);
+        prop_assert_eq!(&back.lowered.regions, &lowered.lowered.regions);
+        prop_assert_eq!(&back.counts, &lowered.counts);
+        prop_assert_eq!(&back.decision_stmts, &lowered.decision_stmts);
+        prop_assert_eq!(codec::encode_lowered(&back), bytes, "re-encode differs on {}", src);
+
+        let bound = [1u128, 2, 3, 5, 50, u128::MAX][bound_pick as usize];
+        let partition = store.partition(&lowered, bound);
+        let bytes = codec::encode_partition(&partition);
+        let back = codec::decode_partition(&bytes, partition.key).expect("decode partition");
+        prop_assert_eq!(&back.plan, &partition.plan, "plan diverges on {}", src);
+        prop_assert_eq!(codec::encode_partition(&back), bytes);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        shape in 0u64..u64::MAX,
+        victim in 0u64..u64::MAX,
+        flip in 1u64..256,
+    ) {
+        let src = random_function(shape, 2);
+        let f = parse_function(&src).expect("generated function parses");
+        let store = ArtifactStore::new();
+        let lowered = store.lowered(&f);
+        let good = codec::encode_lowered(&lowered);
+        let mut bad = good.clone();
+        let at = (victim % bad.len() as u64) as usize;
+        bad[at] ^= flip as u8; // flip != 0, so the frame genuinely changes
+        let decoded = codec::decode_lowered(&bad, lowered.function_key);
+        prop_assert!(
+            decoded.is_err(),
+            "corrupting byte {} of {} must not decode on {}",
+            at, good.len(), src
+        );
+    }
+}
+
+proptest! {
+    // The full chain (testgen runs a genetic search + model checker per
+    // case) is heavier, so fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn the_full_artifact_chain_round_trips(
+        shape in 0u64..u64::MAX,
+        bound_pick in 0u64..4,
+    ) {
+        let src = random_function(shape, 2);
+        let f = parse_function(&src).expect("generated function parses");
+        let bound = [1u128, 2, 5, 1000][bound_pick as usize];
+        let store = ArtifactStore::new();
+        let analysis = WcetAnalysis::new(bound);
+        let staged = pipeline::analyse_staged_detailed(&store, &analysis, &f, None)
+            .expect("analysis");
+
+        let bytes = codec::encode_suite(&staged.suite);
+        let back = codec::decode_suite(&bytes, staged.suite.key).expect("decode suite");
+        prop_assert_eq!(&back.suite, &staged.suite.suite, "suite diverges on {}", src);
+        prop_assert_eq!(codec::encode_suite(&back), bytes);
+
+        let bytes = codec::encode_campaign(&staged.campaign);
+        let back = codec::decode_campaign(&bytes, staged.campaign.key).expect("decode campaign");
+        prop_assert_eq!(&back.campaign, &staged.campaign.campaign);
+        prop_assert_eq!(codec::encode_campaign(&back), bytes);
+
+        let key = pipeline::bound_key(&analysis, tmg_cfg::function_fingerprint(&f), None);
+        let bound_artifact = pipeline::BoundArtifact { key, report: staged.report.clone() };
+        let bytes = codec::encode_bound(&bound_artifact);
+        let back = codec::decode_bound(&bytes, key).expect("decode bound");
+        prop_assert_eq!(&back.report, &staged.report);
+        prop_assert_eq!(codec::encode_bound(&back), bytes);
+
+        // Prepared model (may be absent when no residual goal forced it —
+        // build it explicitly so the round-trip is always exercised).
+        let model = store.prepared_model(&f, &store.lowered(&f), &analysis.generator.checker);
+        let bytes = codec::encode_prepared_model(&model);
+        let back = codec::decode_prepared_model(&bytes, model.key).expect("decode model");
+        match (&model.shared, &back.shared) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.model(), b.model());
+                prop_assert_eq!(a.union(), b.union());
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "shared-model presence must round-trip on {}", src),
+        }
+        prop_assert_eq!(codec::encode_prepared_model(&back), bytes);
+    }
+}
+
+#[test]
+fn a_version_bump_invalidates_stored_frames() {
+    let f = parse_function("void f(char a __range(0, 3)) { if (a > 1) { x(); } }").expect("parse");
+    let store = ArtifactStore::new();
+    let lowered = store.lowered(&f);
+    let mut frame = codec::encode_lowered(&lowered);
+    // Patch the version field to a future codec and repair the digest so
+    // *only* the version check can reject it.
+    let next = codec::CODEC_VERSION + 1;
+    frame[4..6].copy_from_slice(&next.to_le_bytes());
+    let body_end = frame.len() - 8;
+    let digest = {
+        use std::hash::Hasher;
+        let mut h = tmg_cfg::StableHasher::new();
+        h.write(&frame[..body_end]);
+        h.finish()
+    };
+    frame[body_end..].copy_from_slice(&digest.to_le_bytes());
+    assert!(matches!(
+        codec::decode_lowered(&frame, lowered.function_key),
+        Err(codec::CodecError::VersionMismatch { found }) if found == next
+    ));
+}

@@ -1,0 +1,300 @@
+//! Acceptance tests for the persistent artifact tier: a *fresh process's*
+//! analysis of an unchanged function must be served from disk — bit-identical
+//! bound, zero lower/partition/testgen recomputation — with the disk-hit
+//! counters proving it.  A fresh [`PersistentStore`] over an existing cache
+//! directory is the in-test equivalent of a fresh process: it shares no
+//! memory with the store that wrote the frames, only the directory.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tmg_core::pipeline::{Stage, STAGES};
+use tmg_core::WcetAnalysis;
+use tmg_minic::parse_function;
+use tmg_service::{PersistentStore, PersistentStoreConfig};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tmg-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn controller() -> tmg_minic::Function {
+    // The `demand > 3 && demand < 2` pair is infeasible, so every partition
+    // leaves a residual checker goal and the prepare-model stage runs.
+    parse_function(
+        r#"
+        void controller(char demand __range(0, 6), bool enabled) {
+            if (enabled) {
+                if (demand > 3) { heavy(); } else { light(); }
+            } else {
+                off();
+            }
+            if (demand > 3) { if (demand < 2) { never(); } }
+            if (demand == 0) { idle(); }
+        }
+        "#,
+    )
+    .expect("parse")
+}
+
+fn open(root: &Path) -> Arc<PersistentStore> {
+    Arc::new(PersistentStore::open(root).expect("open cache"))
+}
+
+#[test]
+fn a_fresh_process_serves_the_bound_from_disk_with_zero_recomputation() {
+    let root = temp_root("cold-warm");
+    let f = controller();
+
+    // Cold process: every stage computes once and lands on disk.
+    let cold_store = open(&root);
+    let cold = WcetAnalysis::new(2)
+        .with_store(cold_store.clone())
+        .analyse(&f)
+        .expect("cold analysis");
+    let stats = cold_store.stats();
+    for stage in STAGES {
+        assert_eq!(
+            stats.disk_stage(stage).computes,
+            1,
+            "cold run must compute stage {stage} exactly once"
+        );
+        assert_eq!(
+            stats.disk_stage(stage).stores,
+            1,
+            "cold run must persist stage {stage}"
+        );
+    }
+
+    // Warm "process": a brand-new store over the same directory.
+    let warm_store = open(&root);
+    let warm = WcetAnalysis::new(2)
+        .with_store(warm_store.clone())
+        .analyse(&f)
+        .expect("warm analysis");
+    assert_eq!(cold, warm, "disk-served report must be bit-identical");
+
+    let stats = warm_store.stats();
+    assert_eq!(
+        stats.total_computes(),
+        0,
+        "warm run must recompute nothing: {stats:?}"
+    );
+    assert_eq!(
+        stats.disk_stage(Stage::Bound).hits,
+        1,
+        "the bound artifact must be served from disk"
+    );
+    // The bound fast path short-circuits every earlier stage: no memory
+    // probes, no disk probes, no computation.
+    for stage in [
+        Stage::Lower,
+        Stage::Partition,
+        Stage::PrepareModel,
+        Stage::Testgen,
+        Stage::Measure,
+    ] {
+        let disk = stats.disk_stage(stage);
+        assert_eq!((disk.hits, disk.misses), (0, 0), "stage {stage} untouched");
+        let memory = stats.memory.stage(stage);
+        assert_eq!(
+            (memory.hits, memory.misses),
+            (0, 0),
+            "stage {stage} not even probed in memory"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_new_bound_in_a_fresh_process_reuses_lowering_and_model_from_disk() {
+    let root = temp_root("partial-warm");
+    let f = controller();
+    let cold_store = open(&root);
+    WcetAnalysis::new(2)
+        .with_store(cold_store.clone())
+        .analyse(&f)
+        .expect("cold analysis");
+    drop(cold_store);
+
+    // A different path bound in a fresh process: lowering and the prepared
+    // model come from disk, only the bound-dependent stages recompute.
+    let warm_store = open(&root);
+    WcetAnalysis::new(100)
+        .with_store(warm_store.clone())
+        .analyse(&f)
+        .expect("warm analysis at a new bound");
+    let stats = warm_store.stats();
+    assert_eq!(stats.disk_stage(Stage::Lower).hits, 1);
+    assert_eq!(stats.disk_stage(Stage::Lower).computes, 0);
+    assert_eq!(stats.disk_stage(Stage::PrepareModel).hits, 1);
+    assert_eq!(stats.disk_stage(Stage::PrepareModel).computes, 0);
+    for stage in [
+        Stage::Partition,
+        Stage::Testgen,
+        Stage::Measure,
+        Stage::Bound,
+    ] {
+        assert_eq!(
+            stats.disk_stage(stage).computes,
+            1,
+            "stage {stage} depends on the bound and must recompute"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn exhaustive_reports_round_trip_through_the_disk_tier() {
+    let root = temp_root("exhaustive");
+    let f = controller();
+    let space: Vec<tmg_minic::value::InputVector> = (0..=6)
+        .flat_map(|d| {
+            (0..=1).map(move |e| {
+                tmg_minic::value::InputVector::new()
+                    .with("demand", d)
+                    .with("enabled", e)
+            })
+        })
+        .collect();
+    let cold = WcetAnalysis::new(2)
+        .with_store(open(&root))
+        .analyse_with_exhaustive(&f, &space)
+        .expect("cold");
+    let warm_store = open(&root);
+    let warm = WcetAnalysis::new(2)
+        .with_store(warm_store.clone())
+        .analyse_with_exhaustive(&f, &space)
+        .expect("warm");
+    assert_eq!(cold, warm);
+    assert!(warm.exhaustive_max.is_some());
+    assert_eq!(warm_store.stats().total_computes(), 0);
+    // The storeless pipeline agrees with both.
+    let plain = WcetAnalysis::new(2)
+        .analyse_with_exhaustive(&f, &space)
+        .expect("plain");
+    assert_eq!(plain, warm);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_and_foreign_frames_degrade_to_a_clean_recompute() {
+    let root = temp_root("corrupt");
+    let f = controller();
+    let reference = WcetAnalysis::new(2)
+        .with_store(open(&root))
+        .analyse(&f)
+        .expect("cold analysis");
+
+    // Damage every cached frame in a different way: truncation, bit flips,
+    // a foreign codec version, and plain garbage.
+    let mut damaged = 0;
+    for (i, entry) in walk_frames(&root).into_iter().enumerate() {
+        let bytes = std::fs::read(&entry).expect("read frame");
+        let mutated = match i % 4 {
+            0 => bytes[..bytes.len() / 2].to_vec(),
+            1 => {
+                let mut b = bytes.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0x5A;
+                b
+            }
+            2 => {
+                let mut b = bytes.clone();
+                b[4] = b[4].wrapping_add(1); // version field
+                b
+            }
+            _ => b"not an artifact frame at all".to_vec(),
+        };
+        std::fs::write(&entry, mutated).expect("write damaged frame");
+        damaged += 1;
+    }
+    assert_eq!(damaged, 6, "one frame per stage");
+
+    // A fresh process over the damaged cache: every load fails verification,
+    // everything recomputes, and the bound is still bit-identical.
+    let store = open(&root);
+    let report = WcetAnalysis::new(2)
+        .with_store(store.clone())
+        .analyse(&f)
+        .expect("analysis over damaged cache");
+    assert_eq!(report, reference, "damaged cache must never change a bound");
+    let stats = store.stats();
+    assert_eq!(stats.disk_stage(Stage::Bound).hits, 0);
+    assert_eq!(stats.disk_stage(Stage::Bound).computes, 1);
+    assert_eq!(stats.total_computes(), 6, "all stages recompute");
+
+    // The damaged frames were discarded and replaced; a third process is
+    // fully warm again.
+    let healed = open(&root);
+    let again = WcetAnalysis::new(2)
+        .with_store(healed.clone())
+        .analyse(&f)
+        .expect("healed analysis");
+    assert_eq!(again, reference);
+    assert_eq!(healed.stats().total_computes(), 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn the_disk_budget_evicts_least_recently_used_frames() {
+    let root = temp_root("budget");
+    // A budget small enough that a handful of functions overflows it, large
+    // enough for any single frame.
+    let store = Arc::new(
+        PersistentStore::with_config(PersistentStoreConfig::new(&root).with_disk_budget(4 * 1024))
+            .expect("open"),
+    );
+    let sources: Vec<String> = (0..6)
+        .map(|i| {
+            format!(
+                "void f{i}(char a __range(0, 3)) {{ if (a > {}) {{ x{i}(); }} else {{ y{i}(); }} }}",
+                i % 3
+            )
+        })
+        .collect();
+    for src in &sources {
+        let f = parse_function(src).expect("parse");
+        WcetAnalysis::new(2)
+            .with_store(store.clone())
+            .analyse(&f)
+            .expect("analysis");
+    }
+    let stats = store.stats();
+    let evictions: u64 = (0..6).map(|i| stats.disk[i].evictions).sum();
+    assert!(evictions > 0, "budget must force evictions: {stats:?}");
+    assert!(
+        stats.disk_bytes <= 4 * 1024,
+        "byte budget must hold after eviction ({} bytes)",
+        stats.disk_bytes
+    );
+    // Evicted artifacts are recomputed, not lost: re-analysing the first
+    // function still matches the storeless pipeline.
+    let f0 = parse_function(&sources[0]).expect("parse");
+    let via_cache = WcetAnalysis::new(2)
+        .with_store(store.clone())
+        .analyse(&f0)
+        .expect("cached");
+    let plain = WcetAnalysis::new(2).analyse(&f0).expect("plain");
+    assert_eq!(via_cache, plain);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Every artifact frame under the cache root.
+fn walk_frames(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for stage in STAGES {
+        let dir = root.join(stage.name());
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("tmga") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}

@@ -1,0 +1,417 @@
+//! Slot-resolved execution program for the simulated machine.
+//!
+//! [`Machine::run`](crate::Machine::run) is the innermost loop of the whole
+//! toolchain: the heuristic test-data search executes every individual of
+//! every generation on it, and the measurement campaign replays every
+//! distinct vector.  Interpreting the mini-C AST directly pays a hash-map
+//! lookup per variable read and an AST walk per statement on every single
+//! run.  [`ExecProgram::compile`] removes all of that once per
+//! [`Machine`](crate::Machine): variables become dense *slots* in a flat
+//! `Vec<i64>`, expressions become an index-linked node pool, statements and
+//! terminators become pre-priced instructions (the per-outcome cycle charges
+//! are looked up from tables computed with the exact same
+//! [`terminator_cycles`]/[`OpCounts::cycles`](crate::compile::OpCounts)
+//! arithmetic the AST path used), and loop-bound bookkeeping becomes an
+//! indexed counter array.  Execution semantics — wrapping arithmetic,
+//! short-circuit `&&`/`||`, C truthiness, division faults, visibility of
+//! locals during initialisation — mirror
+//! [`tmg_minic::interp::eval_expr`] exactly, so run results are
+//! bit-identical to the AST interpreter (the machine's test suite replays
+//! runs against it).
+
+use crate::compile::{terminator_cycles, CompiledFunction};
+use crate::cost::CostModel;
+use rustc_hash::FxHashMap;
+use tmg_cfg::{BlockId, BlockKind, Cfg, Terminator};
+use tmg_minic::ast::{BinOp, Expr, Function, Stmt, StmtId, UnOp};
+use tmg_minic::types::Ty;
+
+/// One node of the resolved expression pool.
+#[derive(Debug, Clone)]
+pub(crate) enum CNode {
+    /// Integer literal.
+    Int(i64),
+    /// Read of the variable in the given slot.
+    Slot(u32),
+    /// Read of a name that is not visible here (faults at evaluation, like
+    /// the AST interpreter's unknown-variable error).
+    Unknown(u32),
+    /// Unary operation.
+    Unary { op: UnOp, operand: u32 },
+    /// Binary operation.
+    Binary { op: BinOp, lhs: u32, rhs: u32 },
+}
+
+/// A resolved statement of a basic-block body.
+#[derive(Debug, Clone)]
+pub(crate) enum CStmt {
+    /// `slot = value`, wrapped to the slot's declared type.
+    Assign { slot: u32, ty: Ty, value: u32 },
+    /// Store to an undeclared variable: evaluates the value (whose faults
+    /// take precedence, matching the AST order) and then faults itself.
+    AssignUnknown { name: u32, value: u32 },
+    /// External call: arguments are evaluated for their faults only.
+    EvalArgs { args: Box<[u32]> },
+    /// `return [value]`.
+    Return { value: Option<u32> },
+}
+
+/// A resolved terminator.  Destinations stay [`BlockId`]s (they index the
+/// block table); cycle charges per outcome live in the owning
+/// [`ExecBlock::term_costs`].
+#[derive(Debug, Clone)]
+pub(crate) enum CTerm {
+    Halt,
+    Jump {
+        dest: BlockId,
+    },
+    Return {
+        exit: BlockId,
+    },
+    Branch {
+        stmt: StmtId,
+        cond: u32,
+        then_dest: BlockId,
+        else_dest: BlockId,
+        /// `(dense loop index, declared bound)` when this branch is a loop
+        /// condition.
+        looping: Option<(u32, u32)>,
+    },
+    Switch {
+        stmt: StmtId,
+        selector: u32,
+        arms: Box<[(i64, BlockId)]>,
+        default_dest: BlockId,
+    },
+}
+
+/// One block of the execution program.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecBlock {
+    pub(crate) stmts: Box<[CStmt]>,
+    /// Straight-line cycle cost of the body under the machine's cost model.
+    pub(crate) body_cycles: u64,
+    pub(crate) term: CTerm,
+    /// Cycle charge per terminator outcome (same indexing as
+    /// [`terminator_cycles`]).
+    pub(crate) term_costs: Box<[u64]>,
+}
+
+/// An evaluation fault (mapped to a `TargetError` by the machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fault {
+    DivisionByZero,
+    ModuloByZero,
+    UnknownVar(u32),
+    UnknownStore(u32),
+}
+
+/// The whole function, resolved for execution under one cost model.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecProgram {
+    nodes: Vec<CNode>,
+    /// Interned names for fault messages (unknown reads/stores).
+    names: Vec<String>,
+    /// Declared type per slot.
+    pub(crate) slot_tys: Box<[Ty]>,
+    /// `(name, slot, type)` per function parameter, in declaration order.
+    pub(crate) params: Box<[(String, u32, Ty)]>,
+    /// `(slot, type, init expr)` per local, in declaration order.
+    pub(crate) locals: Box<[(u32, Ty, Option<u32>)]>,
+    pub(crate) blocks: Box<[ExecBlock]>,
+    /// Number of distinct bounded loops (size of the iteration-counter
+    /// array).
+    pub(crate) loop_count: usize,
+}
+
+impl ExecProgram {
+    /// Resolves `cfg`/`function` against `cost` once.
+    pub(crate) fn compile(
+        cfg: &Cfg,
+        function: &Function,
+        cost: &CostModel,
+        compiled: &CompiledFunction,
+    ) -> ExecProgram {
+        let mut builder = Builder {
+            nodes: Vec::new(),
+            names: Vec::new(),
+            name_ids: FxHashMap::default(),
+            slots: FxHashMap::default(),
+            slot_tys: Vec::new(),
+        };
+
+        // Parameters are visible everywhere; locals become visible one by
+        // one, so an initialiser reading a *later* local faults exactly like
+        // the AST interpreter's unknown-variable read.
+        let mut params = Vec::with_capacity(function.params.len());
+        for param in &function.params {
+            let slot = builder.declare(&param.name, param.ty);
+            params.push((param.name.clone(), slot, param.ty));
+        }
+        let mut locals = Vec::with_capacity(function.locals.len());
+        for local in &function.locals {
+            let init = local.init.as_ref().map(|e| builder.resolve(e));
+            let slot = builder.declare(&local.name, local.ty);
+            locals.push((slot, local.ty, init));
+        }
+
+        // Dense loop indices, in first-encounter (block) order.
+        let mut loop_ids: FxHashMap<StmtId, u32> = FxHashMap::default();
+        let blocks: Vec<ExecBlock> = cfg
+            .blocks()
+            .iter()
+            .map(|block| {
+                let stmts: Vec<CStmt> = block
+                    .stmts
+                    .iter()
+                    .map(|stmt| builder.resolve_stmt(stmt))
+                    .collect();
+                let (term, outcomes) = match &block.terminator {
+                    Terminator::Halt => (CTerm::Halt, 0),
+                    Terminator::Jump(dest) => (CTerm::Jump { dest: *dest }, 1),
+                    Terminator::Return { exit } => (CTerm::Return { exit: *exit }, 1),
+                    Terminator::Branch {
+                        stmt,
+                        cond,
+                        then_dest,
+                        else_dest,
+                    } => {
+                        let looping = cfg.loop_bound(*stmt).map(|bound| {
+                            let next = loop_ids.len() as u32;
+                            (*loop_ids.entry(*stmt).or_insert(next), bound)
+                        });
+                        (
+                            CTerm::Branch {
+                                stmt: *stmt,
+                                cond: builder.resolve(cond),
+                                then_dest: *then_dest,
+                                else_dest: *else_dest,
+                                looping,
+                            },
+                            2,
+                        )
+                    }
+                    Terminator::Switch {
+                        stmt,
+                        selector,
+                        arms,
+                        default_dest,
+                    } => (
+                        CTerm::Switch {
+                            stmt: *stmt,
+                            selector: builder.resolve(selector),
+                            arms: arms.clone().into_boxed_slice(),
+                            default_dest: *default_dest,
+                        },
+                        arms.len() + 1,
+                    ),
+                };
+                let mut term_costs = Vec::with_capacity(outcomes);
+                for outcome in 0..outcomes {
+                    let charge = match &block.terminator {
+                        // The virtual entry block's transfer is free (the
+                        // run loop used to special-case it).
+                        Terminator::Jump(_) if block.kind == BlockKind::Entry => 0,
+                        other => terminator_cycles(other, outcome, cost),
+                    };
+                    term_costs.push(charge);
+                }
+                ExecBlock {
+                    stmts: stmts.into_boxed_slice(),
+                    body_cycles: compiled.block_cycles(block.id, cost),
+                    term,
+                    term_costs: term_costs.into_boxed_slice(),
+                }
+            })
+            .collect();
+
+        ExecProgram {
+            nodes: builder.nodes,
+            names: builder.names,
+            slot_tys: builder.slot_tys.into_boxed_slice(),
+            params: params.into_boxed_slice(),
+            locals: locals.into_boxed_slice(),
+            blocks: blocks.into_boxed_slice(),
+            loop_count: loop_ids.len(),
+        }
+    }
+
+    /// Name behind an interned fault id.
+    pub(crate) fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Evaluates pool node `id` over the slot environment, with the exact
+    /// semantics of [`tmg_minic::interp::eval_expr`].
+    pub(crate) fn eval(&self, id: u32, env: &[i64]) -> Result<i64, Fault> {
+        match &self.nodes[id as usize] {
+            CNode::Int(v) => Ok(*v),
+            CNode::Slot(slot) => Ok(env[*slot as usize]),
+            CNode::Unknown(name) => Err(Fault::UnknownVar(*name)),
+            CNode::Unary { op, operand } => {
+                let v = self.eval(*operand, env)?;
+                Ok(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => i64::from(v == 0),
+                    UnOp::BitNot => !v,
+                })
+            }
+            CNode::Binary { op, lhs, rhs } => {
+                // Short-circuit evaluation for logical connectives.
+                if *op == BinOp::And {
+                    if self.eval(*lhs, env)? == 0 {
+                        return Ok(0);
+                    }
+                    return Ok(i64::from(self.eval(*rhs, env)? != 0));
+                }
+                if *op == BinOp::Or {
+                    if self.eval(*lhs, env)? != 0 {
+                        return Ok(1);
+                    }
+                    return Ok(i64::from(self.eval(*rhs, env)? != 0));
+                }
+                let l = self.eval(*lhs, env)?;
+                let r = self.eval(*rhs, env)?;
+                Ok(match op {
+                    BinOp::Add => l.wrapping_add(r),
+                    BinOp::Sub => l.wrapping_sub(r),
+                    BinOp::Mul => l.wrapping_mul(r),
+                    BinOp::Div => {
+                        if r == 0 {
+                            return Err(Fault::DivisionByZero);
+                        }
+                        l.wrapping_div(r)
+                    }
+                    BinOp::Mod => {
+                        if r == 0 {
+                            return Err(Fault::ModuloByZero);
+                        }
+                        l.wrapping_rem(r)
+                    }
+                    BinOp::Lt => i64::from(l < r),
+                    BinOp::Le => i64::from(l <= r),
+                    BinOp::Gt => i64::from(l > r),
+                    BinOp::Ge => i64::from(l >= r),
+                    BinOp::Eq => i64::from(l == r),
+                    BinOp::Ne => i64::from(l != r),
+                    BinOp::BitAnd => l & r,
+                    BinOp::BitOr => l | r,
+                    BinOp::BitXor => l ^ r,
+                    BinOp::Shl => l.wrapping_shl((r & 63) as u32),
+                    BinOp::Shr => l.wrapping_shr((r & 63) as u32),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                })
+            }
+        }
+    }
+
+    /// Renders a fault as the interpreter-compatible message.
+    pub(crate) fn fault_message(&self, fault: Fault) -> String {
+        match fault {
+            Fault::DivisionByZero => "division by zero".to_owned(),
+            Fault::ModuloByZero => "modulo by zero".to_owned(),
+            Fault::UnknownVar(name) => {
+                format!("read of unknown variable `{}`", self.name(name))
+            }
+            Fault::UnknownStore(name) => {
+                format!("store to unknown variable `{}`", self.name(name))
+            }
+        }
+    }
+}
+
+struct Builder {
+    nodes: Vec<CNode>,
+    names: Vec<String>,
+    name_ids: FxHashMap<String, u32>,
+    slots: FxHashMap<String, u32>,
+    slot_tys: Vec<Ty>,
+}
+
+impl Builder {
+    fn declare(&mut self, name: &str, ty: Ty) -> u32 {
+        match self.slots.get(name) {
+            // Re-declaration (a local shadowing a param of the same name)
+            // re-uses the slot and updates the type, like the AST env's
+            // later insert winning.
+            Some(&slot) => {
+                self.slot_tys[slot as usize] = ty;
+                slot
+            }
+            None => {
+                let slot = self.slot_tys.len() as u32;
+                self.slots.insert(name.to_owned(), slot);
+                self.slot_tys.push(ty);
+                slot
+            }
+        }
+    }
+
+    fn name_id(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.name_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    fn push(&mut self, node: CNode) -> u32 {
+        self.nodes.push(node);
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn resolve(&mut self, expr: &Expr) -> u32 {
+        match expr {
+            Expr::Int(v) => self.push(CNode::Int(*v)),
+            Expr::Var(name) => match self.slots.get(name.as_str()) {
+                Some(&slot) => self.push(CNode::Slot(slot)),
+                None => {
+                    let id = self.name_id(name);
+                    self.push(CNode::Unknown(id))
+                }
+            },
+            Expr::Unary { op, operand } => {
+                let operand = self.resolve(operand);
+                self.push(CNode::Unary { op: *op, operand })
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lhs = self.resolve(lhs);
+                let rhs = self.resolve(rhs);
+                self.push(CNode::Binary { op: *op, lhs, rhs })
+            }
+        }
+    }
+
+    fn resolve_stmt(&mut self, stmt: &Stmt) -> CStmt {
+        match stmt {
+            Stmt::Assign { target, value, .. } => {
+                let value = self.resolve(value);
+                match self.slots.get(target.as_str()) {
+                    Some(&slot) => CStmt::Assign {
+                        slot,
+                        ty: self.slot_tys[slot as usize],
+                        value,
+                    },
+                    None => {
+                        let name = self.name_id(target);
+                        CStmt::AssignUnknown { name, value }
+                    }
+                }
+            }
+            Stmt::Call { args, .. } => {
+                let args: Vec<u32> = args.iter().map(|a| self.resolve(a)).collect();
+                CStmt::EvalArgs {
+                    args: args.into_boxed_slice(),
+                }
+            }
+            Stmt::Return { value, .. } => CStmt::Return {
+                value: value.as_ref().map(|e| self.resolve(e)),
+            },
+            Stmt::If { .. } | Stmt::Switch { .. } | Stmt::While { .. } => {
+                unreachable!("branching statements live in terminators")
+            }
+        }
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod compile;
 pub mod cost;
+pub(crate) mod exec;
 pub mod machine;
 
 pub use compile::CompiledFunction;

@@ -1,15 +1,14 @@
 //! The simulated target machine: instrumented execution with a cycle counter.
 
-use crate::compile::{terminator_cycles, CompiledFunction};
+use crate::compile::CompiledFunction;
 use crate::cost::CostModel;
+use crate::exec::{CStmt, CTerm, ExecProgram};
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
-use tmg_cfg::{BlockId, BlockKind, Cfg, Terminator};
+use tmg_cfg::{BlockId, Cfg};
 use tmg_minic::ast::{Function, StmtId};
-use tmg_minic::interp::{eval_expr, BranchChoice};
-use tmg_minic::types::Ty;
+use tmg_minic::interp::BranchChoice;
 use tmg_minic::value::InputVector;
 
 /// Identity of an instrumentation point within one measurement campaign.
@@ -96,29 +95,23 @@ const MAX_BLOCK_VISITS: u64 = 50_000_000;
 #[derive(Debug, Clone)]
 pub struct Machine<'a> {
     cfg: &'a Cfg,
-    function: &'a Function,
     cost_model: CostModel,
     compiled: CompiledFunction,
-    /// Declared type per variable, hoisted out of the (hot) run loop.
-    types: FxHashMap<&'a str, Ty>,
+    /// The slot-resolved execution program (expressions, statements,
+    /// terminators and cycle charges pre-computed out of the hot run loop).
+    exec: ExecProgram,
 }
 
 impl<'a> Machine<'a> {
     /// Compiles `cfg` for execution under `cost_model`.
     pub fn new(cfg: &'a Cfg, function: &'a Function, cost_model: CostModel) -> Machine<'a> {
-        let mut types = FxHashMap::with_capacity_and_hasher(
-            function.params.len() + function.locals.len(),
-            Default::default(),
-        );
-        for decl in function.decls() {
-            types.insert(decl.name.as_str(), decl.ty);
-        }
+        let compiled = CompiledFunction::compile(cfg);
+        let exec = ExecProgram::compile(cfg, function, &cost_model, &compiled);
         Machine {
             cfg,
-            function,
             cost_model,
-            compiled: CompiledFunction::compile(cfg),
-            types,
+            compiled,
+            exec,
         }
     }
 
@@ -165,18 +158,20 @@ impl<'a> Machine<'a> {
             Some(map)
         };
 
-        let mut env: HashMap<&str, i64> =
-            HashMap::with_capacity(self.function.params.len() + self.function.locals.len());
-        for param in &self.function.params {
-            let raw = inputs.get(&param.name).unwrap_or(0);
-            env.insert(param.name.as_str(), param.ty.wrap(raw));
+        let exec = &self.exec;
+        let mut env: Vec<i64> = vec![0; exec.slot_tys.len()];
+        for (name, slot, ty) in exec.params.iter() {
+            let raw = inputs.get(name).unwrap_or(0);
+            env[*slot as usize] = ty.wrap(raw);
         }
-        for local in &self.function.locals {
-            let init = match &local.init {
-                Some(e) => eval_expr(e, &env).map_err(|e| TargetError(e.to_string()))?,
+        for (slot, ty, init) in exec.locals.iter() {
+            let init = match init {
+                Some(id) => exec
+                    .eval(*id, &env)
+                    .map_err(|f| TargetError(exec.fault_message(f)))?,
                 None => 0,
             };
-            env.insert(local.name.as_str(), local.ty.wrap(init));
+            env[*slot as usize] = ty.wrap(init);
         }
 
         let mut cycles: u64 = 0;
@@ -185,7 +180,7 @@ impl<'a> Machine<'a> {
         let mut executed_blocks =
             FxHashSet::with_capacity_and_hasher(self.cfg.block_count(), Default::default());
         let mut return_value: Option<i64> = None;
-        let mut loop_iterations: FxHashMap<StmtId, u32> = FxHashMap::default();
+        let mut loop_iterations: Vec<u32> = vec![0; exec.loop_count];
         let mut visits: u64 = 0;
 
         let mut block_id = self.cfg.entry();
@@ -197,79 +192,107 @@ impl<'a> Machine<'a> {
                 ));
             }
             executed_blocks.insert(block_id);
-            let block = self.cfg.block(block_id);
+            let block = &exec.blocks[block_id.index()];
 
             // Straight-line body: execute for semantics, charge in one go.
-            for stmt in &block.stmts {
-                self.exec_stmt(stmt, &mut env, &mut return_value)?;
+            for stmt in block.stmts.iter() {
+                match stmt {
+                    CStmt::Assign { slot, ty, value } => {
+                        let v = exec
+                            .eval(*value, &env)
+                            .map_err(|f| TargetError(exec.fault_message(f)))?;
+                        env[*slot as usize] = ty.wrap(v);
+                    }
+                    CStmt::AssignUnknown { name, value } => {
+                        exec.eval(*value, &env)
+                            .map_err(|f| TargetError(exec.fault_message(f)))?;
+                        return Err(TargetError(
+                            exec.fault_message(crate::exec::Fault::UnknownStore(*name)),
+                        ));
+                    }
+                    CStmt::EvalArgs { args } => {
+                        for a in args.iter() {
+                            exec.eval(*a, &env)
+                                .map_err(|f| TargetError(exec.fault_message(f)))?;
+                        }
+                    }
+                    CStmt::Return { value } => {
+                        if let Some(id) = value {
+                            return_value = Some(
+                                exec.eval(*id, &env)
+                                    .map_err(|f| TargetError(exec.fault_message(f)))?,
+                            );
+                        }
+                    }
+                }
             }
-            cycles += self.compiled.block_cycles(block_id, &self.cost_model);
+            cycles += block.body_cycles;
 
             // Terminator: pick the successor, charge the taken outcome.
-            let next = match &block.terminator {
-                Terminator::Halt => break,
-                Terminator::Jump(dest) => {
-                    // The virtual entry block is not real code; its transfer
-                    // into the first block is free.
-                    if block.kind != BlockKind::Entry {
-                        cycles += self.cost_model.jump;
-                    }
+            let next = match &block.term {
+                CTerm::Halt => break,
+                CTerm::Jump { dest } => {
+                    cycles += block.term_costs[0];
                     *dest
                 }
-                Terminator::Return { exit } => {
-                    cycles += self.cost_model.return_transfer;
+                CTerm::Return { exit } => {
+                    cycles += block.term_costs[0];
                     *exit
                 }
-                Terminator::Branch {
+                CTerm::Branch {
                     stmt,
                     cond,
                     then_dest,
                     else_dest,
+                    looping,
                 } => {
-                    let taken = eval_expr(cond, &env).map_err(|e| TargetError(e.to_string()))? != 0;
-                    let is_loop = self.cfg.loop_bound(*stmt);
-                    let choice = match (is_loop.is_some(), taken) {
+                    let taken = exec
+                        .eval(*cond, &env)
+                        .map_err(|f| TargetError(exec.fault_message(f)))?
+                        != 0;
+                    let choice = match (looping.is_some(), taken) {
                         (true, true) => BranchChoice::LoopIterate,
                         (true, false) => BranchChoice::LoopExit,
                         (false, true) => BranchChoice::Then,
                         (false, false) => BranchChoice::Else,
                     };
-                    if let Some(bound) = is_loop {
+                    if let Some((index, bound)) = looping {
+                        let iters = &mut loop_iterations[*index as usize];
                         if taken {
-                            let iters = loop_iterations.entry(*stmt).or_insert(0);
                             *iters += 1;
-                            if *iters > bound {
+                            if *iters > *bound {
                                 return Err(TargetError(format!(
                                     "loop {stmt} exceeded its declared bound of {bound} iterations"
                                 )));
                             }
                         } else {
-                            loop_iterations.insert(*stmt, 0);
+                            *iters = 0;
                         }
                     }
                     branch_signature.push((*stmt, choice));
-                    cycles +=
-                        terminator_cycles(&block.terminator, usize::from(!taken), &self.cost_model);
+                    cycles += block.term_costs[usize::from(!taken)];
                     if taken {
                         *then_dest
                     } else {
                         *else_dest
                     }
                 }
-                Terminator::Switch {
+                CTerm::Switch {
                     stmt,
                     selector,
                     arms,
                     default_dest,
                 } => {
-                    let sel = eval_expr(selector, &env).map_err(|e| TargetError(e.to_string()))?;
+                    let sel = exec
+                        .eval(*selector, &env)
+                        .map_err(|f| TargetError(exec.fault_message(f)))?;
                     let matched = arms.iter().position(|(value, _)| *value == sel);
                     let (choice, outcome, dest) = match matched {
                         Some(i) => (BranchChoice::Case(arms[i].0), i, arms[i].1),
                         None => (BranchChoice::Default, arms.len(), *default_dest),
                     };
                     branch_signature.push((*stmt, choice));
-                    cycles += terminator_cycles(&block.terminator, outcome, &self.cost_model);
+                    cycles += block.term_costs[outcome];
                     dest
                 }
             };
@@ -302,48 +325,6 @@ impl<'a> Machine<'a> {
     /// Same conditions as [`Machine::run`].
     pub fn end_to_end_cycles(&self, inputs: &InputVector) -> Result<u64, TargetError> {
         self.run(inputs, &[]).map(|r| r.cycles)
-    }
-
-    fn exec_stmt<'f>(
-        &'f self,
-        stmt: &'f tmg_minic::ast::Stmt,
-        env: &mut HashMap<&'f str, i64>,
-        return_value: &mut Option<i64>,
-    ) -> Result<(), TargetError> {
-        use tmg_minic::ast::Stmt;
-        match stmt {
-            Stmt::Assign { target, value, .. } => {
-                let v = eval_expr(value, env).map_err(|e| TargetError(e.to_string()))?;
-                let ty =
-                    self.types.get(target.as_str()).copied().ok_or_else(|| {
-                        TargetError(format!("store to unknown variable `{target}`"))
-                    })?;
-                env.insert(
-                    self.function
-                        .decl(target)
-                        .map(|d| d.name.as_str())
-                        .unwrap_or(target.as_str()),
-                    ty.wrap(v),
-                );
-            }
-            Stmt::Call { args, .. } => {
-                for a in args {
-                    eval_expr(a, env).map_err(|e| TargetError(e.to_string()))?;
-                }
-            }
-            Stmt::Return { value, .. } => {
-                if let Some(e) = value {
-                    *return_value =
-                        Some(eval_expr(e, env).map_err(|err| TargetError(err.to_string()))?);
-                }
-            }
-            Stmt::If { .. } | Stmt::Switch { .. } | Stmt::While { .. } => {
-                return Err(TargetError(
-                    "branching statement inside a basic block body".to_owned(),
-                ));
-            }
-        }
-        Ok(())
     }
 }
 

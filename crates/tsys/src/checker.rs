@@ -12,27 +12,27 @@
 //! reduce: the width of variable domains, the number of variables in the
 //! state vector and the number of transitions.
 //!
-//! Two search engines are provided.  [`SearchEngine::Arena`] (the default)
-//! keeps every live state packed in one contiguous arena — a flat `i64`
-//! value array plus a known-bits mask, pushed and popped in stack discipline
-//! with zero per-state heap allocations — evaluates pre-resolved
-//! (index-based) expressions from a [`PreparedModel`], and deduplicates
-//! revisited `(location, monitor, valuation)` states through a
-//! depth-aware `rustc-hash` table.  [`SearchEngine::Baseline`] is the
-//! original clone-per-state implementation, kept so the benchmark harness
-//! can measure the speedup on identical queries.
+//! The search engine ([`SearchEngine::Arena`]) keeps every live state packed
+//! in one contiguous arena — a flat `i64` value array plus a known-bits
+//! mask, pushed and popped in stack discipline with zero per-state heap
+//! allocations — evaluates pre-resolved (index-based) expressions from a
+//! [`PreparedModel`], and deduplicates revisited
+//! `(location, monitor, valuation)` states through a depth-aware
+//! `rustc-hash` table.  (The original clone-per-state `Baseline` engine was
+//! retired once three PRs of `BENCH_*.json` before/after trajectory existed;
+//! its recorded wall times remain the benchmark's *before* floors.)
 
 use crate::encode::encode_function;
-use crate::model::{LocId, Model, Transition, VarRole};
+use crate::model::{Model, VarRole};
 use crate::opt::{apply_optimisations_preserving, OptReport, Optimisations};
 use crate::prepared::{
     ExprPool, INode, NodeId, OwnedPreparedModel, PreparedModel, PreparedTransition,
 };
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
-use tmg_minic::ast::{BinOp, Expr, Function, StmtId, UnOp};
+use tmg_minic::ast::{BinOp, Function, StmtId, UnOp};
 use tmg_minic::interp::BranchChoice;
 use tmg_minic::value::InputVector;
 
@@ -151,14 +151,16 @@ pub struct CheckResult {
 }
 
 /// Which explicit-state search implementation to run.
+///
+/// A single variant remains: the clone-per-state `Baseline` engine was
+/// dropped after PR 3 (ROADMAP-sanctioned once the `BENCH_*.json` trajectory
+/// existed).  The enum itself stays because the engine choice is part of the
+/// checker's `Debug`-rendered configuration, which feeds the content hashes
+/// of the persistent artifact cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SearchEngine {
-    /// Original implementation: one heap-allocated `Vec<Option<i64>>` clone
-    /// per created state, name-resolved expression evaluation, no revisit
-    /// dedup.  Kept as the perf baseline.
-    Baseline,
     /// Packed contiguous state arena, pre-resolved expressions, depth-aware
-    /// revisit dedup (default).
+    /// revisit dedup.
     #[default]
     Arena,
 }
@@ -245,10 +247,7 @@ impl ModelChecker {
 
     /// Runs the search on an already-encoded model.
     pub fn check_model(&self, model: &Model, query: &PathQuery) -> CheckResult {
-        match self.engine {
-            SearchEngine::Baseline => self.check_baseline(model, query),
-            SearchEngine::Arena => self.check_prepared(&PreparedModel::new(model), query),
-        }
+        self.check_prepared(&PreparedModel::new(model), query)
     }
 
     /// Answers a batch of path queries over one function, sharing a single
@@ -272,7 +271,7 @@ impl ModelChecker {
     /// differ, because batched queries report the cost of the shared
     /// exploration.
     pub fn check_many(&self, function: &Function, queries: &[PathQuery]) -> Vec<CheckResult> {
-        if queries.len() < 2 || self.engine == SearchEngine::Baseline {
+        if queries.len() < 2 {
             return self.check_each(function, queries);
         }
         let union: HashSet<StmtId> = queries
@@ -336,9 +335,6 @@ impl ModelChecker {
         shared: &SharedCheckModel,
         queries: &[PathQuery],
     ) -> Vec<CheckResult> {
-        if self.engine == SearchEngine::Baseline {
-            return self.check_each(function, queries);
-        }
         if !queries.iter().all(|q| shared.covers(q)) {
             return self.check_many(function, queries);
         }
@@ -620,167 +616,6 @@ impl ModelChecker {
             opt_report: OptReport::default(),
         }
     }
-
-    /// The original clone-per-state search, kept as the measurable baseline.
-    fn check_baseline(&self, model: &Model, query: &PathQuery) -> CheckResult {
-        let start = Instant::now();
-        let var_index: HashMap<&str, usize> = model
-            .vars
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.name.as_str(), i))
-            .collect();
-        let mut outgoing: Vec<Vec<&Transition>> = vec![Vec::new(); model.locations as usize];
-        for t in &model.transitions {
-            outgoing[t.from.index()].push(t);
-        }
-
-        let initial_values: Vec<Option<i64>> = model.vars.iter().map(|v| v.init).collect();
-        let mut stats = CheckStats {
-            state_bits: model.state_bits(),
-            state_bytes: model.state_bytes(),
-            model_transitions: model.transitions.len(),
-            model_vars: model.vars.len(),
-            ..CheckStats::default()
-        };
-
-        let mut stack: Vec<State> = vec![State {
-            loc: model.initial,
-            values: initial_values,
-            monitor: 0,
-            depth: 0,
-        }];
-        stats.states_created = 1;
-
-        let mut outcome = CheckOutcome::Infeasible;
-        'search: while let Some(state) = stack.pop() {
-            if stats.transitions_fired + stats.states_created >= self.max_transitions {
-                outcome = CheckOutcome::Unknown;
-                break 'search;
-            }
-            stats.max_depth = stats.max_depth.max(state.depth);
-            if state.monitor == query.decisions.len() {
-                outcome = CheckOutcome::Feasible {
-                    witness: witness_from(model, &state, &var_index),
-                    steps: state.depth,
-                };
-                stats.witness_steps = Some(state.depth);
-                break 'search;
-            }
-            if state.depth >= self.max_depth {
-                continue;
-            }
-            let transitions = &outgoing[state.loc.index()];
-            if transitions.is_empty() {
-                continue;
-            }
-            // First pass: find out whether deciding the enabled set requires
-            // the value of a still-unknown variable.
-            let mut split_var: Option<usize> = None;
-            let mut enabled: Vec<&Transition> = Vec::new();
-            for t in transitions {
-                match &t.guard {
-                    None => enabled.push(t),
-                    Some(g) => match eval_partial(g, &state.values, &var_index) {
-                        Eval::Known(v) => {
-                            if v != 0 {
-                                enabled.push(t);
-                            }
-                        }
-                        Eval::Unknown(var) => {
-                            split_var = Some(var);
-                            break;
-                        }
-                        Eval::Error => {}
-                    },
-                }
-            }
-            if split_var.is_none() {
-                // Effects may also read unknown variables.
-                'effects: for t in &enabled {
-                    for (_, e) in &t.effect {
-                        if let Eval::Unknown(var) = eval_partial(e, &state.values, &var_index) {
-                            split_var = Some(var);
-                            break 'effects;
-                        }
-                    }
-                }
-            }
-            if let Some(var) = split_var {
-                let (lo, hi) = model.vars[var].domain;
-                // Push in descending order so the smallest value is explored
-                // first (deterministic witnesses with minimal values).
-                for value in (lo..=hi).rev() {
-                    let mut child = state.clone();
-                    child.values[var] = Some(value);
-                    stack.push(child);
-                    stats.states_created += 1;
-                }
-                continue;
-            }
-            // Fire enabled transitions (in reverse so the first is explored
-            // first by the DFS).
-            for t in enabled.iter().rev() {
-                if stats.transitions_fired >= self.max_transitions {
-                    outcome = CheckOutcome::Unknown;
-                    break 'search;
-                }
-                // Path monitor.
-                let mut monitor = state.monitor;
-                if let Some((stmt, choice)) = &t.decision {
-                    if monitor < query.decisions.len() {
-                        let (expected_stmt, expected_choice) = query.decisions[monitor];
-                        if *stmt == expected_stmt {
-                            if *choice == expected_choice {
-                                monitor += 1;
-                            } else {
-                                // Wrong decision at a constrained branch: this
-                                // run can no longer follow the path.
-                                continue;
-                            }
-                        }
-                    }
-                }
-                let mut values = state.values.clone();
-                let mut failed = false;
-                for (target, expr) in &t.effect {
-                    match eval_partial(expr, &state.values, &var_index) {
-                        Eval::Known(v) => {
-                            let idx = var_index[target.as_str()];
-                            values[idx] = Some(model.vars[idx].ty.wrap(v));
-                        }
-                        Eval::Unknown(_) => {
-                            failed = true;
-                            break;
-                        }
-                        Eval::Error => {
-                            failed = true;
-                            break;
-                        }
-                    }
-                }
-                if failed {
-                    continue;
-                }
-                stats.transitions_fired += 1;
-                stack.push(State {
-                    loc: t.to,
-                    values,
-                    monitor,
-                    depth: state.depth + 1,
-                });
-                stats.states_created += 1;
-            }
-        }
-
-        stats.memory_estimate_bytes = stats.states_created * stats.state_bytes;
-        stats.duration = start.elapsed();
-        CheckResult {
-            outcome,
-            stats,
-            opt_report: OptReport::default(),
-        }
-    }
 }
 
 /// An optimised, encoded and prepared model valid for every path-query batch
@@ -799,6 +634,24 @@ pub struct SharedCheckModel {
 }
 
 impl SharedCheckModel {
+    /// Reassembles a shared model from its encoded parts — the
+    /// deserialization hook of the persistent artifact store.  The model
+    /// preparation (outgoing-transition index, pre-resolved expression pool)
+    /// is re-derived here, so the result behaves identically to the one
+    /// [`ModelChecker::prepare_shared`] originally built; only the
+    /// optimisation and encoding passes that produced `model` are skipped.
+    pub fn from_parts(
+        model: Model,
+        opt_report: OptReport,
+        union: HashSet<StmtId>,
+    ) -> SharedCheckModel {
+        SharedCheckModel {
+            prepared: OwnedPreparedModel::new(model),
+            opt_report,
+            union,
+        }
+    }
+
     /// The encoded transition-system model.
     pub fn model(&self) -> &Model {
         self.prepared.model()
@@ -807,6 +660,12 @@ impl SharedCheckModel {
     /// What the source-level optimisation passes did.
     pub fn opt_report(&self) -> &OptReport {
         &self.opt_report
+    }
+
+    /// The preserve-set union the model was verified with (every query whose
+    /// statements fall inside it is covered).
+    pub fn union(&self) -> &HashSet<StmtId> {
+        &self.union
     }
 
     /// Whether the shared model is valid for `query` (every statement the
@@ -950,26 +809,6 @@ impl StateArena {
     }
 }
 
-#[derive(Debug, Clone)]
-struct State {
-    loc: LocId,
-    values: Vec<Option<i64>>,
-    monitor: usize,
-    depth: u64,
-}
-
-fn witness_from(model: &Model, state: &State, var_index: &HashMap<&str, usize>) -> InputVector {
-    let mut witness = InputVector::new();
-    for var in &model.vars {
-        if var.role == VarRole::Input {
-            let idx = var_index[var.name.as_str()];
-            let value = state.values[idx].unwrap_or_else(|| var.domain.0.max(0).min(var.domain.1));
-            witness.set(var.name.clone(), value);
-        }
-    }
-    witness
-}
-
 pub(crate) fn witness_packed(model: &Model, vals: &[i64], known: &[u64]) -> InputVector {
     let mut witness = InputVector::new();
     for (idx, var) in model.vars.iter().enumerate() {
@@ -1068,46 +907,6 @@ pub(crate) fn eval_packed(pool: &ExprPool, id: NodeId, vals: &[i64], known: &[u6
                 other => return other,
             };
             match eval_op(op, l, r) {
-                Ok(v) => Eval::Known(v),
-                Err(()) => Eval::Error,
-            }
-        }
-    }
-}
-
-/// Partial expression evaluation: returns the value if every read variable is
-/// known, otherwise the index of the first unknown variable encountered.
-fn eval_partial(expr: &Expr, values: &[Option<i64>], var_index: &HashMap<&str, usize>) -> Eval {
-    match expr {
-        Expr::Int(v) => Eval::Known(*v),
-        Expr::Var(name) => match var_index.get(name.as_str()) {
-            Some(idx) => match values[*idx] {
-                Some(v) => Eval::Known(v),
-                None => Eval::Unknown(*idx),
-            },
-            None => Eval::Error,
-        },
-        Expr::Unary { op, operand } => match eval_partial(operand, values, var_index) {
-            Eval::Known(v) => Eval::Known(eval_unop(*op, v)),
-            other => other,
-        },
-        Expr::Binary { op, lhs, rhs } => {
-            let l = match eval_partial(lhs, values, var_index) {
-                Eval::Known(v) => v,
-                other => return other,
-            };
-            // Short-circuit.
-            if *op == BinOp::And && l == 0 {
-                return Eval::Known(0);
-            }
-            if *op == BinOp::Or && l != 0 {
-                return Eval::Known(1);
-            }
-            let r = match eval_partial(rhs, values, var_index) {
-                Eval::Known(v) => v,
-                other => return other,
-            };
-            match eval_op(*op, l, r) {
                 Ok(v) => Eval::Known(v),
                 Err(()) => Eval::Error,
             }
@@ -1322,39 +1121,39 @@ mod tests {
     }
 
     #[test]
-    fn engines_agree_on_outcomes_and_witnesses() {
-        let sources = [
-            r#"void f(char a __range(0, 4), char b __range(0, 4)) {
-                if (a > 2) { if (b == 1) { x(); } else { y(); } } else { z(); }
-            }"#,
-            r#"void f(char a __range(0, 4)) {
+    fn from_parts_rebuilds_an_equivalent_shared_model() {
+        let src = r#"
+            void f(char a __range(0, 4), char b __range(0, 3)) {
                 if (a > 2) { x(); }
                 if (a < 1) { y(); }
-            }"#,
-            r#"void f(char s __range(0, 5), bool go) {
-                switch (s) { case 0: a0(); break; case 3: a3(); break; default: d(); break; }
-                if (go) { g(); }
-            }"#,
-            r#"void f(char n __range(0, 3)) {
-                char i = 0;
-                while (i < n) __bound(3) { i = i + 1; }
-            }"#,
-        ];
-        for src in sources {
-            let (f, paths) = paths_of(src);
-            for path in &paths {
-                let query = PathQuery::new(path.decisions.clone());
-                let arena = ModelChecker::new()
-                    .with_engine(SearchEngine::Arena)
-                    .find_test_data(&f, &query);
-                let baseline = ModelChecker::new()
-                    .with_engine(SearchEngine::Baseline)
-                    .find_test_data(&f, &query);
-                assert_eq!(
-                    arena.outcome, baseline.outcome,
-                    "engines disagree on {src} / {path}"
-                );
+                if (b == 2) { z(); } else { w(); }
             }
+        "#;
+        let (f, paths) = paths_of(src);
+        let queries: Vec<PathQuery> = paths
+            .iter()
+            .map(|p| PathQuery::new(p.decisions.clone()))
+            .collect();
+        let union: HashSet<StmtId> = queries
+            .iter()
+            .flat_map(|q| q.stmts().iter().copied())
+            .collect();
+        let mc = ModelChecker::new();
+        let original = mc.prepare_shared(&f, union).expect("shared model");
+        // Reassemble from the encoded parts, as the persistent store does
+        // after a disk round-trip.
+        let rebuilt = SharedCheckModel::from_parts(
+            original.model().clone(),
+            original.opt_report().clone(),
+            original.union().clone(),
+        );
+        assert_eq!(original.model(), rebuilt.model());
+        assert_eq!(original.opt_report(), rebuilt.opt_report());
+        assert_eq!(original.union(), rebuilt.union());
+        let via_original = mc.check_many_shared(&f, &original, &queries);
+        let via_rebuilt = mc.check_many_shared(&f, &rebuilt, &queries);
+        for (a, b) in via_original.iter().zip(&via_rebuilt) {
+            assert_eq!(a.outcome, b.outcome, "rebuilt model diverges");
         }
     }
 
@@ -1437,7 +1236,8 @@ mod tests {
     fn dedup_preserves_verdicts_and_witnesses() {
         // Reconvergent control flow (branches that do not touch state) is
         // where revisit dedup prunes; forcing it on from the first pop must
-        // not change any verdict or witness.
+        // not change any verdict or witness relative to a search whose dedup
+        // never engages.
         let src = r#"
             void f(char a __range(0, 6), char b __range(0, 6)) {
                 if (a > 1) { p1(); } else { p2(); }
@@ -1452,12 +1252,12 @@ mod tests {
             let mut eager = ModelChecker::new();
             eager.dedup_after_pops = 0;
             let deduped = eager.find_test_data(&f, &query);
-            let baseline = ModelChecker::new()
-                .with_engine(SearchEngine::Baseline)
-                .find_test_data(&f, &query);
-            assert_eq!(deduped.outcome, baseline.outcome, "path {path}");
+            let mut lazy = ModelChecker::new();
+            lazy.dedup_after_pops = u64::MAX;
+            let undeduped = lazy.find_test_data(&f, &query);
+            assert_eq!(deduped.outcome, undeduped.outcome, "path {path}");
             // Pruning must never expand more states than the undeduped run.
-            assert!(deduped.stats.states_created <= baseline.stats.states_created);
+            assert!(deduped.stats.states_created <= undeduped.stats.states_created);
         }
     }
 }

@@ -603,7 +603,6 @@ impl MultiQueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checker::SearchEngine;
     use crate::encode::encode_function;
     use crate::opt::Optimisations;
     use tmg_cfg::{build_cfg, enumerate_region_paths};
@@ -763,13 +762,17 @@ mod tests {
     }
 
     #[test]
-    fn baseline_engine_answers_batches_per_query() {
+    fn solo_batches_answer_like_the_single_query_engine() {
         let (f, queries) =
             all_queries("void f(char a __range(0, 3)) { if (a > 1) { x(); } else { y(); } }");
-        let baseline = ModelChecker::new().with_engine(SearchEngine::Baseline);
-        let results = baseline.check_many(&f, &queries);
-        for (query, result) in queries.iter().zip(&results) {
-            assert_eq!(result.outcome, baseline.find_test_data(&f, query).outcome);
+        let checker = ModelChecker::new();
+        for query in &queries {
+            let solo = checker.check_many(&f, std::slice::from_ref(query));
+            assert_eq!(
+                solo[0].outcome,
+                checker.find_test_data(&f, query).outcome,
+                "a one-query batch must cost and answer like the plain search"
+            );
         }
     }
 

@@ -50,7 +50,7 @@ fn second_analyse_of_an_unchanged_function_recomputes_nothing() {
     ] {
         assert_eq!(
             store.stats(stage),
-            StageStats { hits: 0, misses: 1 },
+            StageStats::hm(0, 1),
             "cold run must compute stage {stage} once"
         );
     }
@@ -60,7 +60,7 @@ fn second_analyse_of_an_unchanged_function_recomputes_nothing() {
     // The warm run is served entirely from the final bound artifact: no
     // re-partitioning, no re-encoding, not even a lookup of the earlier
     // stages.
-    assert_eq!(store.stats(Stage::Bound), StageStats { hits: 1, misses: 1 });
+    assert_eq!(store.stats(Stage::Bound), StageStats::hm(1, 1));
     for stage in [
         Stage::Lower,
         Stage::Partition,
@@ -70,7 +70,7 @@ fn second_analyse_of_an_unchanged_function_recomputes_nothing() {
     ] {
         assert_eq!(
             store.stats(stage),
-            StageStats { hits: 0, misses: 1 },
+            StageStats::hm(0, 1),
             "warm run must not touch stage {stage}"
         );
     }
@@ -94,17 +94,11 @@ fn changing_the_bound_reuses_lowering_and_the_prepared_model() {
     let coarse = at_bound(100);
     assert!(fine.instrumentation_points > coarse.instrumentation_points);
     // Two bounds → two partitions, two suites, two campaigns, two bounds...
-    assert_eq!(
-        store.stats(Stage::Partition),
-        StageStats { hits: 0, misses: 2 }
-    );
-    assert_eq!(store.stats(Stage::Bound), StageStats { hits: 0, misses: 2 });
+    assert_eq!(store.stats(Stage::Partition), StageStats::hm(0, 2));
+    assert_eq!(store.stats(Stage::Bound), StageStats::hm(0, 2));
     // ...but one lowering and one encoded model serve both.
-    assert_eq!(store.stats(Stage::Lower), StageStats { hits: 1, misses: 1 });
-    assert_eq!(
-        store.stats(Stage::PrepareModel),
-        StageStats { hits: 1, misses: 1 }
-    );
+    assert_eq!(store.stats(Stage::Lower), StageStats::hm(1, 1));
+    assert_eq!(store.stats(Stage::PrepareModel), StageStats::hm(1, 1));
 }
 
 #[test]
@@ -127,8 +121,8 @@ fn a_changed_function_body_misses_every_stage() {
     )
     .expect("parse");
     analysis.analyse(&changed).expect("changed");
-    assert_eq!(store.stats(Stage::Lower), StageStats { hits: 0, misses: 2 });
-    assert_eq!(store.stats(Stage::Bound), StageStats { hits: 0, misses: 2 });
+    assert_eq!(store.stats(Stage::Lower), StageStats::hm(0, 2));
+    assert_eq!(store.stats(Stage::Bound), StageStats::hm(0, 2));
 }
 
 #[test]
@@ -182,16 +176,7 @@ fn detailed_analysis_through_the_store_reuses_stage_artifacts() {
     assert_eq!(campaign1, campaign2);
     assert_eq!(report1, report2);
     // The second detailed run materialises the chain purely from hits.
-    assert_eq!(
-        store.stats(Stage::Partition),
-        StageStats { hits: 1, misses: 1 }
-    );
-    assert_eq!(
-        store.stats(Stage::Testgen),
-        StageStats { hits: 1, misses: 1 }
-    );
-    assert_eq!(
-        store.stats(Stage::Measure),
-        StageStats { hits: 1, misses: 1 }
-    );
+    assert_eq!(store.stats(Stage::Partition), StageStats::hm(1, 1));
+    assert_eq!(store.stats(Stage::Testgen), StageStats::hm(1, 1));
+    assert_eq!(store.stats(Stage::Measure), StageStats::hm(1, 1));
 }
