@@ -8,12 +8,12 @@
 //! cargo run -p tmg-bench --release --bin reproduce -- sweep --stats   # + artifact-store counters
 //! cargo run -p tmg-bench --release --bin reproduce -- serve           # JSON-lines analysis server
 //! cargo run -p tmg-bench --release --bin reproduce -- serve --smoke   # scripted cold/warm smoke
-//! cargo run -p tmg-bench --release --bin reproduce -- bench           # writes BENCH_pr4.json
+//! cargo run -p tmg-bench --release --bin reproduce -- bench           # writes BENCH_pr5.json
 //! cargo run -p tmg-bench --release --bin reproduce -- --quick         # CI smoke run
 //! ```
 //!
 //! `bench` records the before/after perf baseline and writes
-//! `BENCH_pr4.json` (path overridable with the `TMG_BENCH_OUT` environment
+//! `BENCH_pr5.json` (path overridable with the `TMG_BENCH_OUT` environment
 //! variable).  `sweep` prints the cached incremental Figure-2/3 tradeoff
 //! sweep as machine-readable JSON (written by hand; the vendored serde is
 //! derive-markers only); `TMG_TARGET_BLOCKS` sizes the generated function
@@ -26,8 +26,8 @@
 
 use std::sync::Arc;
 use tmg_bench::{
-    case_study, figure2_3, multiquery_crosscheck, perf_report, sweep_crosscheck, table1,
-    table1_paper, table2, testgen_experiment,
+    case_study, figure2_3, multiquery_crosscheck, perf_report, shard_crosscheck, sweep_crosscheck,
+    table1, table1_paper, table2, testgen_experiment,
 };
 use tmg_core::pipeline::ArtifactStore;
 use tmg_service::{json, PersistentStore, Server};
@@ -208,6 +208,10 @@ fn run_quick() {
     );
     let checked = multiquery_crosscheck();
     println!("quick: batched vs single-query verdicts identical on {checked} queries — ok");
+    let sharded = shard_crosscheck();
+    println!(
+        "quick: 1-thread and default-thread shard resolutions identical on {sharded} queries — ok"
+    );
     let points = sweep_crosscheck();
     println!(
         "quick: incremental sweep bit-identical to the per-bound reference on {points} points — ok"
@@ -255,7 +259,7 @@ fn print_sweep_json(with_stats: bool) {
 
 /// Full perf baseline: times the optimised hot paths against their
 /// references (recorded floors where the measured reference was dropped),
-/// checks result equality, writes `BENCH_pr4.json`.
+/// checks result equality, writes `BENCH_pr5.json`.
 fn run_bench() {
     let report = perf_report();
     println!("== Perf baseline (before = pre-optimisation, after = optimised) ==");

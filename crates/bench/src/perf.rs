@@ -1,4 +1,4 @@
-//! Machine-readable performance baseline (`BENCH_pr4.json`).
+//! Machine-readable performance baseline (`BENCH_pr5.json`).
 //!
 //! Every PR that touches a hot path needs a number to beat.  This module
 //! times the paper-reproduction workloads (Table 1, Table 2, Figure 2/3,
@@ -15,11 +15,14 @@
 //! against the reference implementations still in-tree (the unbatched
 //! sequential generator, per-query checking, the per-bound sweep).
 //! Workloads whose pre-optimisation path still exists (`tradeoff_sweep`,
-//! `checker_multiquery_heavy`, `pipeline_cached`) keep measuring both sides
-//! live.  Two workloads isolate this PR's tentpole: `service_cold_vs_warm`
-//! (a fresh-process analysis served from the on-disk artifact cache vs the
-//! cold run) and `service_concurrent_burst` (a duplicate-heavy request
-//! batch through the deduplicating scheduler, one worker vs many).
+//! `checker_multiquery_heavy`, `pipeline_cached`, the service pair) keep
+//! measuring both sides live.  Two workloads isolate the PR-5 tentpole:
+//! `checker_sliced_vs_full` (one batch answered on the full model vs on its
+//! cone-of-influence slice with full-model witness completion, outcomes
+//! bit-identical) and `checker_shard_scaling` (the shard-triggering heavy
+//! batch at one worker thread vs the machine's available parallelism,
+//! resolutions bit-identical by the deterministic reduction — the speedup
+//! column only moves on multi-core hosts).
 //!
 //! The JSON is written by hand (the vendored serde is derive-markers only);
 //! the schema is documented in ROADMAP.md under "Open items".
@@ -41,7 +44,7 @@ use tmg_service::{PersistentStore, Server};
 use tmg_tsys::{CheckOutcome, ModelChecker, PathQuery};
 
 /// Label recorded in the emitted JSON; the output file is `BENCH_<label>.json`.
-pub const PR_LABEL: &str = "pr4";
+pub const PR_LABEL: &str = "pr5";
 
 /// `before_ms` wall times recorded in `BENCH_pr3.json` for the workloads
 /// whose measured pre-optimisation implementation (the Baseline engine) was
@@ -214,8 +217,11 @@ fn timed<T>(f: impl FnOnce() -> T) -> (Duration, T) {
 /// Samples per measured comparison side: the recorded wall time is the
 /// fastest of these (warm caches, minimal noise).  Raised from 3 to 5 when
 /// the recorded-floor regime started (a fixed floor leaves no second chance
-/// to a noisy sample).
-const BEST_OF: usize = 5;
+/// to a noisy sample), and from 5 to 7 in PR 5: the recording host shares
+/// cores with other tenants and drifts by double-digit percentages between
+/// phases, so the minimum needs more draws to reflect the code instead of
+/// the noise floor.
+const BEST_OF: usize = 7;
 
 /// Runs a workload `runs` times and returns the fastest wall time with the
 /// last result (warm caches, minimal noise).
@@ -313,6 +319,128 @@ fn compare_multiquery(
     }
 }
 
+/// A module shaped like the slicing sweet spot: a narrow needle chain over
+/// `key` interleaved with wide-domain branches over auxiliary inputs no
+/// query mentions.  The batch queries only the `key` decisions, so the
+/// cone-of-influence slice drops the auxiliary branches — and with them the
+/// `21 × 21 × 6`-way domain splits the full model pays on every run.
+fn sliced_probe_function() -> tmg_minic::Function {
+    parse_function(
+        r#"
+        void sliced_probe(int key __range(0, 2000), int aux0 __range(0, 20), int aux1 __range(0, 20), char sel __range(0, 5)) {
+            if (key == 777) { hit0(); }
+            if (aux0 > 10) { a0(); } else { b0(); }
+            if (key == 1500) { hit1(); }
+            if (aux1 > 4) { a1(); } else { b1(); }
+            switch (sel) { case 0: s0(); break; case 3: s3(); break; default: sd(); break; }
+            if (key < 0) { never(); }
+        }
+    "#,
+    )
+    .expect("sliced-probe module parses")
+}
+
+/// The slicing workload: a batch whose statement union covers only the
+/// `key` branches of [`sliced_probe_function`], answered by the same
+/// checker with slicing disabled (full model, the pre-tentpole behaviour)
+/// versus enabled (cone-of-influence slice + full-model witness
+/// completion).  Every outcome — verdict, witness vector, step count —
+/// must be bit-identical.
+fn compare_sliced_vs_full() -> Comparison {
+    use tmg_minic::ast::Stmt;
+    let function = sliced_probe_function();
+    let mut key_branches = Vec::new();
+    function.for_each_stmt(&mut |s| {
+        if let Stmt::If { id, cond, .. } = s {
+            if cond.referenced_vars().contains(&"key") {
+                key_branches.push(*id);
+            }
+        }
+    });
+    assert_eq!(key_branches.len(), 3, "three key branches expected");
+    let mut queries = Vec::new();
+    use tmg_minic::interp::BranchChoice;
+    for c0 in [BranchChoice::Then, BranchChoice::Else] {
+        for c1 in [BranchChoice::Then, BranchChoice::Else] {
+            queries.push(PathQuery::new(vec![
+                (key_branches[0], c0),
+                (key_branches[1], c1),
+                (key_branches[2], BranchChoice::Else),
+            ]));
+        }
+    }
+    let full = ModelChecker::new().with_slicing(false);
+    let sliced = ModelChecker::new();
+    let (before, full_outcomes) = best_of(BEST_OF, || {
+        full.check_many(&function, &queries)
+            .into_iter()
+            .map(|r| r.outcome)
+            .collect::<Vec<_>>()
+    });
+    let (after, sliced_outcomes) = best_of(BEST_OF, || {
+        sliced
+            .check_many(&function, &queries)
+            .into_iter()
+            .map(|r| r.outcome)
+            .collect::<Vec<_>>()
+    });
+    Comparison {
+        name: "checker_sliced_vs_full".to_owned(),
+        before,
+        after,
+        identical_results: full_outcomes == sliced_outcomes,
+    }
+}
+
+/// The thread-scaling workload: the shard-triggering heavy batch explored
+/// with one worker versus the machine's available parallelism, results
+/// bit-identical by the deterministic reduction.  On a single-core host the
+/// two runs execute the same shard schedule and the ratio hovers around
+/// 1.0×; the speedup column is the point of the workload on multi-core
+/// hosts.
+fn compare_shard_scaling() -> Comparison {
+    use tmg_tsys::{encode_function, MultiQueryEngine, Optimisations, PreparedModel};
+    let function = checker_heavy_function();
+    let lowered = build_cfg(&function);
+    let paths = tmg_cfg::enumerate_region_paths(&lowered.cfg, lowered.regions.root(), 256)
+        .expect("heavy paths enumerate");
+    let queries: Vec<PathQuery> = paths
+        .into_iter()
+        .map(|p| PathQuery::new(p.decisions))
+        .collect();
+    let checker = ModelChecker::new();
+    let model = encode_function(&function, &Optimisations::all().encode_options());
+    let prepared = PreparedModel::new(&model);
+    // Two workers minimum even on a single-core host, so the recorded
+    // bit-identity evidence genuinely exercises a multi-worker schedule
+    // (the wall-clock speedup column is still what multi-core hosts see).
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(2);
+    let collect = |engine: &MultiQueryEngine| {
+        (0..queries.len())
+            .map(|q| engine.outcome(q))
+            .collect::<Vec<_>>()
+    };
+    let (before, sequential) = best_of(BEST_OF, || {
+        collect(&MultiQueryEngine::explore_with_threads(
+            &checker, &prepared, &queries, 1,
+        ))
+    });
+    let (after, parallel) = best_of(BEST_OF, || {
+        collect(&MultiQueryEngine::explore_with_threads(
+            &checker, &prepared, &queries, threads,
+        ))
+    });
+    Comparison {
+        name: "checker_shard_scaling".to_owned(),
+        before,
+        after,
+        identical_results: sequential == parallel && sequential.iter().all(|o| o.is_some()),
+    }
+}
+
 /// The Figure-2/3 sweep workload: the pre-optimisation per-bound
 /// `PartitionPlan::compute` sweep versus the incremental region-tree event
 /// walk over the shared `PathCounts` artifact, on a TargetLink-sized
@@ -390,16 +518,20 @@ fn compare_service_cold_vs_warm() -> Comparison {
             .analyse(&wiper)
             .expect("cold analysis")
     });
-    // The last cold sample left the directory populated.
+    // The last cold sample left the directory populated.  The zero-
+    // recomputation check reads the counter snapshot *after* the timed
+    // region: `stats()` walks the disk index, which is not part of serving
+    // the answer.
     let (after, warm) = best_of(BEST_OF, || {
         let store = Arc::new(PersistentStore::open(&root).expect("open cache"));
         let report = WcetAnalysis::new(bound)
             .with_store(store.clone())
             .analyse(&wiper)
             .expect("warm analysis");
-        (report, store.stats().total_computes())
+        (report, store)
     });
-    let (warm_report, warm_computes) = warm;
+    let (warm_report, warm_store) = warm;
+    let warm_computes = warm_store.stats().total_computes();
     let _ = std::fs::remove_dir_all(&root);
     Comparison {
         name: "service_cold_vs_warm".to_owned(),
@@ -453,8 +585,12 @@ fn compare_service_concurrent_burst() -> Comparison {
         lines.sort();
         (summary, lines)
     };
-    let (before, (_, sequential)) = best_of(BEST_OF, || run_burst(1, "burst-seq"));
-    let (after, (summary, concurrent)) = best_of(BEST_OF, || run_burst(8, "burst-par"));
+    // The burst is a ~2 ms workload whose two sides differ by well under
+    // the run-to-run noise of thread spawning and tmpfs traffic; double the
+    // sampling so the recorded minimum reflects the scheduler, not the
+    // noise floor.
+    let (before, (_, sequential)) = best_of(BEST_OF * 2, || run_burst(1, "burst-seq"));
+    let (after, (summary, concurrent)) = best_of(BEST_OF * 2, || run_burst(8, "burst-par"));
     Comparison {
         name: "service_concurrent_burst".to_owned(),
         before,
@@ -514,6 +650,8 @@ pub fn perf_report() -> PerfReport {
         compare_testgen("testgen_checker_heavy", &heavy, 4096),
         compare_testgen("testgen_automotive", &automotive, 64),
         compare_multiquery("checker_multiquery_heavy", &heavy, 4096, 64),
+        compare_sliced_vs_full(),
+        compare_shard_scaling(),
         compare_tradeoff_sweep(400),
         compare_pipeline_cached(5),
     ];
@@ -598,6 +736,26 @@ mod tests {
         // flake on loaded CI runners).
         let c = compare_pipeline_cached(2);
         assert!(c.identical_results, "cached reports must be bit-identical");
+    }
+
+    #[test]
+    fn sliced_vs_full_comparison_is_identical() {
+        let c = compare_sliced_vs_full();
+        assert!(
+            c.identical_results,
+            "sliced and full-model outcomes must be bit-identical"
+        );
+        assert_eq!(c.name, "checker_sliced_vs_full");
+    }
+
+    #[test]
+    fn shard_scaling_comparison_is_identical() {
+        let c = compare_shard_scaling();
+        assert!(
+            c.identical_results,
+            "1-thread and N-thread resolutions must be bit-identical"
+        );
+        assert_eq!(c.name, "checker_shard_scaling");
     }
 
     #[test]

@@ -1,0 +1,554 @@
+//! Def/use dependence analysis and cone-of-influence computation.
+//!
+//! The model checker answers a *batch* of path queries about one function;
+//! every query mentions a handful of branch statements.  Following the
+//! program-slicing approach of Béchennec & Cassez (slice the program to the
+//! cone of influence of the property before checking), the checker wants to
+//! know which statements and variables can possibly affect the feasibility
+//! of the queried decisions — everything else can be removed from the model
+//! without changing any query's verdict.
+//!
+//! [`cone_of_influence`] computes that set with a flow-sensitive *backward*
+//! walk over the structured AST:
+//!
+//! * the queried branch statements seed the analysis — their conditions'
+//!   variables become live;
+//! * an assignment is kept iff its target is live at that program point (its
+//!   right-hand side's variables become live in turn — the def/use closure);
+//! * a branch statement is kept iff it is a seed, contains a kept statement
+//!   (control dependence), or contains a `return` (dropping it would change
+//!   which executions reach the code behind it);
+//! * `while` loops are always kept: proving that a dropped loop terminates
+//!   for at least one valuation is out of scope, and a non-terminating loop
+//!   would make everything behind it unreachable;
+//! * statements whose expressions can *fault* (division or modulo by
+//!   anything other than a non-zero constant, or a read of an undeclared
+//!   name) are kept, because a faulting transition kills the run in the
+//!   encoded model and thereby constrains reachability.
+//!
+//! The result is exact for the checker's purposes: a dropped branch has no
+//! kept statement and no `return` in either arm, always rejoins the same
+//! continuation, and cannot write any variable a kept guard (transitively)
+//! reads — so for every input vector the kept statements compute the same
+//! values and take the same decisions with or without the dropped code.
+//! Function parameters are never dropped (witness vectors stay complete);
+//! locals mentioned only by dropped statements disappear from the model,
+//! which is where the checker's state-vector reduction comes from.
+
+use std::collections::HashSet;
+use tmg_minic::ast::{Block, Expr, Function, Stmt, StmtId};
+
+/// The cone of influence of a set of queried branch statements.
+#[derive(Debug, Clone)]
+pub struct ConeOfInfluence {
+    /// Assignment and branching statements that must survive slicing.
+    /// (`Call` and `Return` statements are always retained and never appear
+    /// here; a branch absent from this set may be dropped wholesale.)
+    pub keep: HashSet<StmtId>,
+    /// Variables that can affect a kept guard or kept assignment — the
+    /// def/use closure of the seeds (every variable a kept statement
+    /// mentions).
+    pub relevant_vars: HashSet<String>,
+    /// Variables whose value *at function entry* can affect a kept guard
+    /// (backward liveness at the entry point).  An input outside this set is
+    /// overwritten before any kept read, so its initial value — the thing a
+    /// witness assigns — cannot matter; the checker pins exactly the inputs
+    /// in this set when completing sliced witnesses.
+    pub entry_live: HashSet<String>,
+    /// Assignment/branch statements outside the cone (droppable).
+    pub droppable_stmts: usize,
+    /// Locals mentioned only outside the cone (their state dimensions can be
+    /// dropped from the model).
+    pub droppable_locals: Vec<String>,
+}
+
+impl ConeOfInfluence {
+    /// Whether slicing to this cone would remove anything at all.
+    pub fn drops_anything(&self) -> bool {
+        self.droppable_stmts > 0 || !self.droppable_locals.is_empty()
+    }
+}
+
+/// Computes the cone of influence of `seeds` (branch statement ids, usually
+/// the statement union of a path-query batch) in `function`.
+pub fn cone_of_influence(function: &Function, seeds: &HashSet<StmtId>) -> ConeOfInfluence {
+    let declared: HashSet<&str> = function
+        .params
+        .iter()
+        .chain(function.locals.iter())
+        .map(|d| d.name.as_str())
+        .collect();
+    let mut analysis = Analysis {
+        seeds,
+        declared,
+        keep: HashSet::new(),
+    };
+    let mut live: HashSet<String> = HashSet::new();
+    analysis.slice_block(&function.body, &mut live);
+    // Non-constant local initialisers execute as assignments before the
+    // body; their reads feed the initialised variable exactly like an
+    // assignment would (the encoder emits one).
+    loop {
+        let before = live.len();
+        for local in &function.locals {
+            if let Some(init) = &local.init {
+                if !matches!(init, Expr::Int(_))
+                    && (live.contains(&local.name) || analysis.has_unsafe_expr(init))
+                {
+                    for v in init.referenced_vars() {
+                        live.insert(v.to_owned());
+                    }
+                }
+            }
+        }
+        if live.len() == before {
+            break;
+        }
+    }
+
+    let keep = analysis.keep;
+    // Count what the cone leaves behind.
+    let mut droppable_stmts = 0usize;
+    let mut mentioned: HashSet<String> = HashSet::new();
+    count_droppable(&function.body, &keep, &mut droppable_stmts, &mut mentioned);
+    // Kept non-constant initialisers mention their reads too (fixpoint:
+    // initialisers may chain through other locals).
+    loop {
+        let before = mentioned.len();
+        for local in &function.locals {
+            if let Some(init) = &local.init {
+                if !matches!(init, Expr::Int(_)) && mentioned.contains(&local.name) {
+                    for v in init.referenced_vars() {
+                        mentioned.insert(v.to_owned());
+                    }
+                }
+            }
+        }
+        if mentioned.len() == before {
+            break;
+        }
+    }
+    let droppable_locals: Vec<String> = function
+        .locals
+        .iter()
+        .filter(|l| !mentioned.contains(&l.name))
+        .map(|l| l.name.clone())
+        .collect();
+    ConeOfInfluence {
+        keep,
+        relevant_vars: mentioned,
+        entry_live: live,
+        droppable_stmts,
+        droppable_locals,
+    }
+}
+
+struct Analysis<'a> {
+    seeds: &'a HashSet<StmtId>,
+    declared: HashSet<&'a str>,
+    keep: HashSet<StmtId>,
+}
+
+impl Analysis<'_> {
+    /// Whether evaluating `e` can fault in the encoded model: division or
+    /// modulo by anything but a non-zero constant, or a read of an
+    /// undeclared name.  Faulting transitions kill the run, so statements
+    /// containing such expressions constrain reachability and must be kept.
+    fn has_unsafe_expr(&self, e: &Expr) -> bool {
+        use tmg_minic::ast::BinOp;
+        match e {
+            Expr::Int(_) => false,
+            Expr::Var(name) => !self.declared.contains(name.as_str()),
+            Expr::Unary { operand, .. } => self.has_unsafe_expr(operand),
+            Expr::Binary { op, lhs, rhs } => {
+                if matches!(op, BinOp::Div | BinOp::Mod) && !matches!(**rhs, Expr::Int(v) if v != 0)
+                {
+                    return true;
+                }
+                self.has_unsafe_expr(lhs) || self.has_unsafe_expr(rhs)
+            }
+        }
+    }
+
+    fn mark_live(live: &mut HashSet<String>, e: &Expr) {
+        for v in e.referenced_vars() {
+            live.insert(v.to_owned());
+        }
+    }
+
+    /// Backward flow-sensitive slice of one block.  `live` is the set of
+    /// variables whose value at block exit can affect a kept statement; on
+    /// return it holds the same set at block entry.  Returns whether the
+    /// block keeps any statement (control dependence for the enclosing
+    /// branch).
+    fn slice_block(&mut self, block: &Block, live: &mut HashSet<String>) -> bool {
+        let mut kept_any = false;
+        for stmt in block.stmts.iter().rev() {
+            match stmt {
+                // Calls are skip transitions in the model (externals have no
+                // effect on program variables); they ride along with whatever
+                // surrounds them and never force a branch to stay.
+                Stmt::Call { .. } => {}
+                // A `return` redirects every execution reaching it to the
+                // function exit; it reads nothing the encoder evaluates, but
+                // the *enclosing* branches must stay (handled by the caller
+                // via `has_return`).
+                Stmt::Return { .. } => {}
+                Stmt::Assign {
+                    id, target, value, ..
+                } => {
+                    if live.contains(target) || self.has_unsafe_expr(value) {
+                        self.keep.insert(*id);
+                        kept_any = true;
+                        live.remove(target);
+                        Self::mark_live(live, value);
+                    }
+                }
+                Stmt::If {
+                    id,
+                    cond,
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    let mut live_then = live.clone();
+                    let kept_then = self.slice_block(then_branch, &mut live_then);
+                    let (kept_else, live_else) = match else_branch {
+                        Some(b) => {
+                            let mut l = live.clone();
+                            (self.slice_block(b, &mut l), Some(l))
+                        }
+                        None => (false, None),
+                    };
+                    let must_keep = self.seeds.contains(id)
+                        || kept_then
+                        || kept_else
+                        || block_has_return(then_branch)
+                        || else_branch.as_ref().is_some_and(block_has_return)
+                        || self.has_unsafe_expr(cond);
+                    if must_keep {
+                        self.keep.insert(*id);
+                        kept_any = true;
+                        live.extend(live_then);
+                        if let Some(l) = live_else {
+                            live.extend(l);
+                        }
+                        Self::mark_live(live, cond);
+                    }
+                }
+                Stmt::Switch {
+                    id,
+                    selector,
+                    cases,
+                    default,
+                    ..
+                } => {
+                    let mut kept_arm = false;
+                    let mut has_return = false;
+                    let mut merged: Vec<HashSet<String>> = Vec::new();
+                    for case in cases {
+                        let mut l = live.clone();
+                        kept_arm |= self.slice_block(&case.body, &mut l);
+                        has_return |= block_has_return(&case.body);
+                        merged.push(l);
+                    }
+                    if let Some(d) = default {
+                        let mut l = live.clone();
+                        kept_arm |= self.slice_block(d, &mut l);
+                        has_return |= block_has_return(d);
+                        merged.push(l);
+                    }
+                    let must_keep = self.seeds.contains(id)
+                        || kept_arm
+                        || has_return
+                        || self.has_unsafe_expr(selector);
+                    if must_keep {
+                        self.keep.insert(*id);
+                        kept_any = true;
+                        for l in merged {
+                            live.extend(l);
+                        }
+                        Self::mark_live(live, selector);
+                    }
+                }
+                Stmt::While { id, cond, body, .. } => {
+                    // Always kept: a dropped loop that never exits for any
+                    // valuation would make code behind it unreachable, and
+                    // termination is not something this analysis proves.
+                    self.keep.insert(*id);
+                    kept_any = true;
+                    // Loop fixpoint: the body executes before the condition
+                    // is re-read, so body liveness feeds itself.
+                    Self::mark_live(live, cond);
+                    loop {
+                        let mut iter = live.clone();
+                        self.slice_block(body, &mut iter);
+                        Self::mark_live(&mut iter, cond);
+                        let before = live.len();
+                        live.extend(iter);
+                        if live.len() == before {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        kept_any
+    }
+}
+
+fn block_has_return(block: &Block) -> bool {
+    block.stmts.iter().any(|s| match s {
+        Stmt::Return { .. } => true,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => block_has_return(then_branch) || else_branch.as_ref().is_some_and(block_has_return),
+        Stmt::Switch { cases, default, .. } => {
+            cases.iter().any(|c| block_has_return(&c.body))
+                || default.as_ref().is_some_and(block_has_return)
+        }
+        Stmt::While { body, .. } => block_has_return(body),
+        _ => false,
+    })
+}
+
+/// Counts statements outside `keep` and collects the variables mentioned by
+/// the statements that survive (so droppable locals can be identified).
+fn count_droppable(
+    block: &Block,
+    keep: &HashSet<StmtId>,
+    droppable: &mut usize,
+    mentioned: &mut HashSet<String>,
+) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Call { .. } | Stmt::Return { .. } => {}
+            Stmt::Assign {
+                id, target, value, ..
+            } => {
+                if keep.contains(id) {
+                    mentioned.insert(target.clone());
+                    for v in value.referenced_vars() {
+                        mentioned.insert(v.to_owned());
+                    }
+                } else {
+                    *droppable += 1;
+                }
+            }
+            Stmt::If {
+                id,
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                if keep.contains(id) {
+                    for v in cond.referenced_vars() {
+                        mentioned.insert(v.to_owned());
+                    }
+                    count_droppable(then_branch, keep, droppable, mentioned);
+                    if let Some(b) = else_branch {
+                        count_droppable(b, keep, droppable, mentioned);
+                    }
+                } else {
+                    *droppable += 1;
+                }
+            }
+            Stmt::Switch {
+                id,
+                selector,
+                cases,
+                default,
+                ..
+            } => {
+                if keep.contains(id) {
+                    for v in selector.referenced_vars() {
+                        mentioned.insert(v.to_owned());
+                    }
+                    for case in cases {
+                        count_droppable(&case.body, keep, droppable, mentioned);
+                    }
+                    if let Some(b) = default {
+                        count_droppable(b, keep, droppable, mentioned);
+                    }
+                } else {
+                    *droppable += 1;
+                }
+            }
+            Stmt::While { id, cond, body, .. } => {
+                if keep.contains(id) {
+                    for v in cond.referenced_vars() {
+                        mentioned.insert(v.to_owned());
+                    }
+                    count_droppable(body, keep, droppable, mentioned);
+                } else {
+                    *droppable += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_minic::parse_function;
+
+    fn branch_ids(f: &Function) -> Vec<StmtId> {
+        let mut out = Vec::new();
+        f.for_each_stmt(&mut |s| {
+            if matches!(
+                s,
+                Stmt::If { .. } | Stmt::Switch { .. } | Stmt::While { .. }
+            ) {
+                out.push(s.id());
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn unqueried_independent_branches_leave_the_cone() {
+        let src = r#"
+            void f(int key __range(0, 100), char mode __range(0, 5)) {
+                if (key == 42) { hit(); }
+                if (mode > 3) { fast(); } else { slow(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let branches = branch_ids(&f);
+        let seeds: HashSet<StmtId> = [branches[0]].into_iter().collect();
+        let cone = cone_of_influence(&f, &seeds);
+        assert!(cone.keep.contains(&branches[0]));
+        assert!(
+            !cone.keep.contains(&branches[1]),
+            "mode branch is droppable"
+        );
+        assert!(cone.relevant_vars.contains("key"));
+        assert!(!cone.relevant_vars.contains("mode"));
+        assert!(cone.drops_anything());
+    }
+
+    #[test]
+    fn data_dependencies_pull_assignments_into_the_cone() {
+        let src = r#"
+            void f(int a __range(0, 9), int b __range(0, 9)) {
+                int t; int dead;
+                t = a + 1;
+                dead = b + 1;
+                if (t > 4) { x(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let seeds: HashSet<StmtId> = branch_ids(&f).into_iter().collect();
+        let cone = cone_of_influence(&f, &seeds);
+        assert!(cone.relevant_vars.contains("t"));
+        assert!(cone.relevant_vars.contains("a"));
+        assert!(!cone.relevant_vars.contains("b"));
+        assert_eq!(cone.droppable_locals, vec!["dead".to_owned()]);
+        assert_eq!(cone.droppable_stmts, 1);
+    }
+
+    #[test]
+    fn flow_sensitivity_ignores_assignments_after_the_last_use() {
+        let src = r#"
+            void f(int a __range(0, 9)) {
+                int t;
+                t = a;
+                if (t > 4) { x(); }
+                t = a + 7;
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let seeds: HashSet<StmtId> = branch_ids(&f).into_iter().collect();
+        let cone = cone_of_influence(&f, &seeds);
+        // The trailing reassignment cannot affect the earlier guard.
+        assert_eq!(cone.droppable_stmts, 1);
+    }
+
+    #[test]
+    fn branches_containing_returns_are_kept() {
+        let src = r#"
+            void f(int a __range(0, 9), int g __range(0, 1)) {
+                if (g > 0) { return; }
+                if (a > 4) { x(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let branches = branch_ids(&f);
+        let seeds: HashSet<StmtId> = [branches[1]].into_iter().collect();
+        let cone = cone_of_influence(&f, &seeds);
+        assert!(
+            cone.keep.contains(&branches[0]),
+            "early-return branch constrains which runs reach the seed"
+        );
+        assert!(cone.relevant_vars.contains("g"));
+    }
+
+    #[test]
+    fn while_loops_are_always_kept() {
+        let src = r#"
+            void f(int a __range(0, 3), int n __range(0, 3)) {
+                int i = 0;
+                while (i < n) __bound(3) { i = i + 1; }
+                if (a > 1) { x(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let branches = branch_ids(&f);
+        let seed_if = *branches.last().expect("if");
+        let seeds: HashSet<StmtId> = [seed_if].into_iter().collect();
+        let cone = cone_of_influence(&f, &seeds);
+        assert_eq!(cone.keep.len(), 3, "while + its counter assignment + if");
+        assert!(cone.relevant_vars.contains("n"));
+    }
+
+    #[test]
+    fn unsafe_divisions_are_kept() {
+        let src = r#"
+            void f(int a __range(0, 9), int d __range(0, 9)) {
+                int t;
+                t = a / d;
+                if (a > 4) { x(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let seeds: HashSet<StmtId> = branch_ids(&f).into_iter().collect();
+        let cone = cone_of_influence(&f, &seeds);
+        // `t` is never read, but `a / d` faults for d == 0, which kills runs
+        // in the model — the assignment constrains reachability.
+        assert_eq!(cone.droppable_stmts, 0);
+        assert!(cone.relevant_vars.contains("d"));
+    }
+
+    #[test]
+    fn constant_divisions_are_droppable() {
+        let src = r#"
+            void f(int a __range(0, 9), int s __range(0, 9)) {
+                int t;
+                t = s / 3;
+                if (a > 4) { x(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let seeds: HashSet<StmtId> = branch_ids(&f).into_iter().collect();
+        let cone = cone_of_influence(&f, &seeds);
+        assert_eq!(cone.droppable_stmts, 1);
+        assert_eq!(cone.droppable_locals, vec!["t".to_owned()]);
+    }
+
+    #[test]
+    fn full_seed_set_keeps_everything_control_relevant() {
+        let src = r#"
+            void f(char a __range(0, 4), char b __range(0, 4)) {
+                if (a > 2) { if (b == 1) { x(); } else { y(); } } else { z(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let seeds: HashSet<StmtId> = branch_ids(&f).into_iter().collect();
+        let cone = cone_of_influence(&f, &seeds);
+        assert!(!cone.drops_anything());
+    }
+}

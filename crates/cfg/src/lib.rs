@@ -35,6 +35,7 @@
 pub mod block;
 pub mod builder;
 pub mod counts;
+pub mod depend;
 pub mod dominators;
 pub mod dot;
 pub mod graph;
@@ -45,6 +46,7 @@ pub mod regions;
 pub use block::{BasicBlock, BlockId, BlockKind, Terminator};
 pub use builder::{build_cfg, LoweredFunction};
 pub use counts::{PartitionStats, PathCounts};
+pub use depend::{cone_of_influence, ConeOfInfluence};
 pub use dominators::DominatorTree;
 pub use graph::Cfg;
 pub use hash::{combine_hashes, function_fingerprint, key_hex, stable_hash_str, StableHasher};

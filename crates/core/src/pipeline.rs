@@ -965,6 +965,22 @@ mod tests {
     }
 
     #[test]
+    fn prepared_model_keys_incorporate_the_slicing_config() {
+        // The checker's cone-of-influence slicing changes which model a
+        // batch explores; a persisted artifact prepared under one slicing
+        // setting must never be served to a checker running another.  The
+        // key derives from the `Debug`-rendered configuration, which
+        // includes the `slicing` flag.
+        let function_key = tmg_cfg::function_fingerprint(&small_function());
+        let sliced = prepared_model_key(function_key, &ModelChecker::new());
+        let unsliced = prepared_model_key(function_key, &ModelChecker::new().with_slicing(false));
+        assert_ne!(
+            sliced, unsliced,
+            "slicing configuration must feed the artifact key"
+        );
+    }
+
+    #[test]
     fn stage_names_are_stable() {
         let names: Vec<&str> = STAGES.iter().map(|s| s.name()).collect();
         assert_eq!(

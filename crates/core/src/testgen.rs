@@ -691,12 +691,16 @@ fn goal_matches(goal: &CoverageGoal, run: &tmg_target::RunResult) -> bool {
 /// restricted trace on every call; the fitness evaluation calls it for every
 /// `(goal, individual)` pair of every generation, which made the matching —
 /// not the target runs — the dominant cost on small functions.  The matcher
-/// computes each goal's relevant set once and reuses one scratch buffer for
-/// the restricted trace, returning bit-identical verdicts.
+/// computes each goal's relevant set once as a dense bitmap over statement
+/// ids (one array index per trace element instead of a hash probe) and
+/// reuses one scratch buffer for the restricted trace, returning
+/// bit-identical verdicts.
 struct GoalMatcher<'g> {
     goals: &'g [CoverageGoal],
-    /// Per region-path goal: the statements its decisions mention.
-    relevant: Vec<FxHashSet<StmtId>>,
+    /// Per region-path goal: dense membership bitmap of the statements its
+    /// decisions mention (indexed by raw [`StmtId`]; out-of-range means
+    /// irrelevant).
+    relevant: Vec<Box<[bool]>>,
     /// Reused buffer for the relevant-restricted branch trace.
     scratch: Vec<(StmtId, BranchChoice)>,
 }
@@ -706,8 +710,20 @@ impl<'g> GoalMatcher<'g> {
         let relevant = goals
             .iter()
             .map(|goal| match &goal.kind {
-                GoalKind::RegionPath(path) => path.decisions.iter().map(|(s, _)| *s).collect(),
-                GoalKind::BlockExecution(_) => FxHashSet::default(),
+                GoalKind::RegionPath(path) => {
+                    let max = path
+                        .decisions
+                        .iter()
+                        .map(|(s, _)| s.0 as usize)
+                        .max()
+                        .unwrap_or(0);
+                    let mut bits = vec![false; max + 1].into_boxed_slice();
+                    for (s, _) in &path.decisions {
+                        bits[s.0 as usize] = true;
+                    }
+                    bits
+                }
+                GoalKind::BlockExecution(_) => Box::default(),
             })
             .collect();
         GoalMatcher {
@@ -731,7 +747,7 @@ impl<'g> GoalMatcher<'g> {
                     run.branch_signature
                         .iter()
                         .copied()
-                        .filter(|(s, _)| relevant.contains(s)),
+                        .filter(|(s, _)| relevant.get(s.0 as usize).copied().unwrap_or(false)),
                 );
                 if self.scratch.len() < path.decisions.len() {
                     return false;

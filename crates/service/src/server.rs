@@ -108,8 +108,31 @@ impl Job {
     }
 }
 
+/// Shared queue state, all under one lock: the pending jobs, whether the
+/// session is still accepting, and the number of parked-and-unclaimed
+/// workers.  The idle count is *claimed* by the enqueuer at notify time —
+/// checking it after the notify (as a separate atomic would) races against
+/// the worker still waking up and would under-spawn a burst of distinct
+/// jobs onto one thread.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+    idle: usize,
+}
+
+/// How the scheduler accepted a request.
+enum Enqueued {
+    /// Attached as a waiter to an identical in-flight job.
+    Duplicate,
+    /// Scheduled and handed to an already-parked worker.
+    Claimed,
+    /// Scheduled with no parked worker available — the serve loop should
+    /// spawn one if the cap allows.
+    NeedsWorker,
+}
+
 struct Scheduler {
-    queue: Mutex<(VecDeque<Job>, bool /* open */)>,
+    queue: Mutex<QueueState>,
     queued: Condvar,
     /// Requests accepted but not yet responded to (barrier condition).
     outstanding: Mutex<usize>,
@@ -124,7 +147,11 @@ struct Scheduler {
 impl Scheduler {
     fn new() -> Scheduler {
         Scheduler {
-            queue: Mutex::new((VecDeque::new(), true)),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+                idle: 0,
+            }),
             queued: Condvar::new(),
             outstanding: Mutex::new(0),
             drained: Condvar::new(),
@@ -135,8 +162,11 @@ impl Scheduler {
     }
 
     /// Accepts a job: schedules it, or — when an identical job is already
-    /// queued or running — registers the request as a waiter on that job.
-    fn enqueue_or_attach(&self, job: Job) {
+    /// queued or running — registers the request as a waiter on that job
+    /// (without waking or warranting any worker).  A scheduled job claims a
+    /// parked worker under the queue lock, so the caller's spawn decision
+    /// cannot race the worker's wake-up.
+    fn enqueue_or_attach(&self, job: Job) -> Enqueued {
         *self.outstanding.lock().expect("outstanding") += 1;
         let key = job.dedup_key();
         {
@@ -144,27 +174,47 @@ impl Scheduler {
             if let Some(waiters) = in_flight.get_mut(&key) {
                 waiters.push(job.id());
                 self.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                return;
+                return Enqueued::Duplicate;
             }
             in_flight.insert(key, Vec::new());
         }
-        self.queue.lock().expect("queue").0.push_back(job);
-        self.queued.notify_one();
+        let mut queue = self.queue.lock().expect("queue");
+        queue.jobs.push_back(job);
+        if queue.idle > 0 {
+            queue.idle -= 1;
+            self.queued.notify_one();
+            Enqueued::Claimed
+        } else {
+            Enqueued::NeedsWorker
+        }
     }
 
     fn close(&self) {
-        self.queue.lock().expect("queue").1 = false;
+        self.queue.lock().expect("queue").open = false;
         self.queued.notify_all();
     }
 
     fn next(&self) -> Option<Job> {
         let mut guard = self.queue.lock().expect("queue");
+        // Whether this worker is currently counted in `idle`.  A claim
+        // decrements the count at enqueue time; if a *different* worker
+        // steals the job first, our stale park slot merely under-counts
+        // idle workers, which at worst spawns an extra (cap-bounded)
+        // thread — never the reverse.
+        let mut parked = false;
         loop {
-            if let Some(job) = guard.0.pop_front() {
+            if let Some(job) = guard.jobs.pop_front() {
                 return Some(job);
             }
-            if !guard.1 {
+            if !guard.open {
+                if parked {
+                    guard.idle = guard.idle.saturating_sub(1);
+                }
                 return None;
+            }
+            if !parked {
+                guard.idle += 1;
+                parked = true;
             }
             guard = self.queued.wait(guard).expect("queue wait");
         }
@@ -221,13 +271,20 @@ impl Server {
         let mut clean_shutdown = false;
 
         std::thread::scope(|scope| -> io::Result<()> {
-            for _ in 0..self.workers {
-                scope.spawn(|| {
-                    while let Some(job) = scheduler.next() {
-                        self.run_job(&scheduler, &writer, job);
-                    }
-                });
-            }
+            // Workers are spawned on demand: a fresh (non-duplicate) job
+            // only starts a new thread when no existing worker is parked on
+            // the queue and the cap leaves room.  A duplicate-heavy burst
+            // therefore costs as many threads as it has distinct
+            // computations, not a full eagerly-spawned pool — and never more
+            // threads than the host has cores, because scheduler workers are
+            // CPU-bound (jobs fan out internally via rayon) and extra
+            // threads on a saturated host only add switching overhead.
+            let cap = self.workers.min(
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
+            );
+            let mut spawned = 0usize;
             for line in reader.lines() {
                 let line = match line {
                     Ok(line) => line,
@@ -241,7 +298,18 @@ impl Server {
                 }
                 requests += 1;
                 match parse_request(&line) {
-                    Ok(Request::Job(job)) => scheduler.enqueue_or_attach(job),
+                    Ok(Request::Job(job)) => {
+                        if matches!(scheduler.enqueue_or_attach(job), Enqueued::NeedsWorker)
+                            && spawned < cap
+                        {
+                            spawned += 1;
+                            scope.spawn(|| {
+                                while let Some(job) = scheduler.next() {
+                                    self.run_job(&scheduler, &writer, job);
+                                }
+                            });
+                        }
+                    }
                     Ok(Request::Stats { id }) => {
                         // Barrier: counters reflect every request scripted
                         // before this one.

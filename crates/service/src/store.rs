@@ -15,7 +15,8 @@
 //!    tiers.
 //!
 //! The disk tier is bounded by a byte budget: each store records the file
-//! size in an in-process index (rebuilt from the directory on open, ordered
+//! size in an in-process index (rebuilt lazily from the directory on first
+//! write/stats — never on the read-only warm path — ordered
 //! by modification time) and evicts least-recently-used files until the
 //! budget holds again.  Like the in-memory LRU this is pure cache policy —
 //! an evicted artifact is recomputed on the next request.
@@ -92,17 +93,21 @@ impl TierStats {
 
     /// Renders the snapshot as one JSON object (hand-written; schema
     /// `tmg-tier-stats/v1`), embedding the memory tier's
-    /// [`StoreStats::to_json`] output.
+    /// [`StoreStats::to_json`] output and the process-wide checker counters
+    /// ([`tmg_tsys::metrics`]: slicing reductions, sharded-explorer activity
+    /// and visited-table contention), so perf work on the checker stays
+    /// observable through the service `stats` op.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{ \"schema\": \"tmg-tier-stats/v1\", \"computes\": {}, \"disk_bytes\": {}, \"disk_budget\": {}, \"memory\": {}, \"disk\": {{",
+            "{{ \"schema\": \"tmg-tier-stats/v1\", \"computes\": {}, \"disk_bytes\": {}, \"disk_budget\": {}, \"memory\": {}, \"checker\": {}, \"disk\": {{",
             self.total_computes(),
             self.disk_bytes,
             self.disk_budget,
-            self.memory.to_json()
+            self.memory.to_json(),
+            tmg_tsys::metrics::snapshot().to_json()
         );
         for (i, stage) in STAGES.iter().enumerate() {
             let s = self.disk_stage(*stage);
@@ -143,7 +148,14 @@ struct DiskIndex {
 struct DiskCache {
     root: PathBuf,
     budget: u64,
-    index: Mutex<DiskIndex>,
+    /// Lazily built: a fresh process serving a warm cache is read-only on
+    /// the hot path, and scanning six stage directories before the first
+    /// answer used to cost as much as the answer itself.  The scan runs on
+    /// the first operation that actually needs byte accounting (a store, a
+    /// discard, or a stats snapshot); loads before that simply skip the LRU
+    /// touch (the scan seeds recency from file mtimes, so the order such
+    /// loads would have established is approximated anyway).
+    index: Mutex<Option<DiskIndex>>,
     hits: [AtomicU64; 6],
     misses: [AtomicU64; 6],
     stores: [AtomicU64; 6],
@@ -152,16 +164,39 @@ struct DiskCache {
 
 impl DiskCache {
     fn open(root: &Path, budget: u64) -> io::Result<DiskCache> {
+        // The stage directories and the file index are built lazily, but an
+        // unusable root must still fail *here* — operators rely on `open`
+        // surfacing a typo'd or read-only cache path instead of silently
+        // running with persistence disabled.
+        fs::create_dir_all(root)?;
+        Ok(DiskCache {
+            root: root.to_path_buf(),
+            budget,
+            index: Mutex::new(None),
+            hits: Default::default(),
+            misses: Default::default(),
+            stores: Default::default(),
+            evictions: Default::default(),
+        })
+    }
+
+    /// Builds the index from the directory (creating the stage directories
+    /// on first use); modification time seeds the LRU order so a reopened
+    /// cache evicts oldest-first.  I/O failures degrade to an empty index —
+    /// the cache then simply stops accounting until writes succeed.
+    fn scan(&self) -> DiskIndex {
         let mut files = FxHashMap::default();
         let mut total_bytes = 0u64;
-        // Rebuild the index from the directory; modification time seeds the
-        // LRU order so a reopened cache evicts oldest-first.
         let mut found: Vec<((u8, u64), u64, std::time::SystemTime)> = Vec::new();
         for stage in STAGES {
-            let dir = root.join(stage.name());
-            fs::create_dir_all(&dir)?;
-            for entry in fs::read_dir(&dir)? {
-                let entry = entry?;
+            let dir = self.root.join(stage.name());
+            if fs::create_dir_all(&dir).is_err() {
+                continue;
+            }
+            let Ok(entries) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
                 let path = entry.path();
                 let ext = path.extension().and_then(|e| e.to_str());
                 if ext == Some("tmp") {
@@ -176,7 +211,7 @@ impl DiskCache {
                     .and_then(|_| path.file_stem()?.to_str())
                     .and_then(|stem| u64::from_str_radix(stem, 16).ok());
                 let Some(key) = stem_key else { continue };
-                let meta = entry.metadata()?;
+                let Ok(meta) = entry.metadata() else { continue };
                 let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
                 found.push(((stage.index() as u8, key), meta.len(), mtime));
             }
@@ -194,19 +229,20 @@ impl DiskCache {
                 },
             );
         }
-        Ok(DiskCache {
-            root: root.to_path_buf(),
-            budget,
-            index: Mutex::new(DiskIndex {
-                files,
-                total_bytes,
-                tick,
-            }),
-            hits: Default::default(),
-            misses: Default::default(),
-            stores: Default::default(),
-            evictions: Default::default(),
-        })
+        DiskIndex {
+            files,
+            total_bytes,
+            tick,
+        }
+    }
+
+    /// Runs `f` over the (lazily built) index.
+    fn with_index<R>(&self, f: impl FnOnce(&mut DiskIndex) -> R) -> R {
+        let mut guard = self.index.lock().expect("disk index");
+        if guard.is_none() {
+            *guard = Some(self.scan());
+        }
+        f(guard.as_mut().expect("just built"))
     }
 
     fn path_of(&self, stage: Stage, key: u64) -> PathBuf {
@@ -222,11 +258,15 @@ impl DiskCache {
     fn load(&self, stage: Stage, key: u64) -> Option<Vec<u8>> {
         let bytes = fs::read(self.path_of(stage, key)).ok();
         if bytes.is_some() {
-            let mut index = self.index.lock().expect("disk index");
-            index.tick += 1;
-            let tick = index.tick;
-            if let Some(entry) = index.files.get_mut(&(stage.index() as u8, key)) {
-                entry.touched = tick;
+            // Touch the LRU slot, but never *build* the index for a read:
+            // pre-scan loads are already ordered by the mtime seeding.
+            let mut guard = self.index.lock().expect("disk index");
+            if let Some(index) = guard.as_mut() {
+                index.tick += 1;
+                let tick = index.tick;
+                if let Some(entry) = index.files.get_mut(&(stage.index() as u8, key)) {
+                    entry.touched = tick;
+                }
             }
         }
         bytes
@@ -246,16 +286,20 @@ impl DiskCache {
             path.display()
         );
         let _ = fs::remove_file(&path);
-        let mut index = self.index.lock().expect("disk index");
-        if let Some(entry) = index.files.remove(&(stage.index() as u8, key)) {
-            index.total_bytes = index.total_bytes.saturating_sub(entry.size);
-        }
+        self.with_index(|index| {
+            if let Some(entry) = index.files.remove(&(stage.index() as u8, key)) {
+                index.total_bytes = index.total_bytes.saturating_sub(entry.size);
+            }
+        });
     }
 
     /// Writes a frame (atomically via a temp file + rename) and evicts
     /// least-recently-used frames until the byte budget holds.  Failures are
     /// swallowed: a cache that cannot write simply stops accelerating.
     fn store(&self, stage: Stage, key: u64, bytes: &[u8]) {
+        // Building the index creates the stage directories, so it must
+        // happen before the write; cold runs pay the one-time scan here.
+        self.with_index(|_| ());
         let path = self.path_of(stage, key);
         let tmp = path.with_extension("tmp");
         let written = fs::write(&tmp, bytes).and_then(|()| fs::rename(&tmp, &path));
@@ -264,9 +308,7 @@ impl DiskCache {
             return;
         }
         self.stores[stage.index()].fetch_add(1, Ordering::Relaxed);
-        let mut evict: Vec<(u8, u64)> = Vec::new();
-        {
-            let mut index = self.index.lock().expect("disk index");
+        let evict: Vec<(u8, u64)> = self.with_index(|index| {
             index.tick += 1;
             let tick = index.tick;
             let id = (stage.index() as u8, key);
@@ -281,6 +323,7 @@ impl DiskCache {
                 index.total_bytes = index.total_bytes.saturating_sub(old.size);
             }
             index.total_bytes += size;
+            let mut evict = Vec::new();
             while index.total_bytes > self.budget {
                 let Some(victim) = index
                     .files
@@ -295,7 +338,8 @@ impl DiskCache {
                 index.total_bytes = index.total_bytes.saturating_sub(entry.size);
                 evict.push(victim);
             }
-        }
+            evict
+        });
         for (stage_idx, victim_key) in evict {
             let stage = STAGES[stage_idx as usize];
             let _ = fs::remove_file(self.path_of(stage, victim_key));
@@ -315,7 +359,7 @@ impl DiskCache {
                 computes: computes[i].load(Ordering::Relaxed),
             };
         }
-        let bytes = self.index.lock().expect("disk index").total_bytes;
+        let bytes = self.with_index(|index| index.total_bytes);
         (out, bytes)
     }
 }

@@ -26,7 +26,7 @@ use crate::encode::encode_function;
 use crate::model::{Model, VarRole};
 use crate::opt::{apply_optimisations_preserving, OptReport, Optimisations};
 use crate::prepared::{
-    ExprPool, INode, NodeId, OwnedPreparedModel, PreparedModel, PreparedTransition,
+    ExprPool, FastGuard, INode, NodeId, OwnedPreparedModel, PreparedModel, PreparedTransition,
 };
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
@@ -178,6 +178,19 @@ pub struct ModelChecker {
     pub max_depth: u64,
     /// Search implementation.
     pub engine: SearchEngine,
+    /// Cone-of-influence slicing for multi-query batches
+    /// ([`ModelChecker::check_many_shared`]): before the shared exploration
+    /// runs, the batch model is sliced to the def/use cone of the queried
+    /// decisions ([`crate::opt::slice_for_queries`]) — variables, assignments
+    /// and whole unqueried branches that cannot affect any query's verdict
+    /// are dropped, shrinking both the state vector and the set of domain
+    /// splits.  Witnesses found on the slice are completed against the full
+    /// model by a pinned re-search, so reported witnesses and step counts
+    /// stay full-model-consistent; a completion that fails to replay falls
+    /// back to the ordinary per-query search.  Part of the checker's
+    /// `Debug`-rendered configuration, so the pipeline's content-addressed
+    /// artifact keys change with it.
+    pub slicing: bool,
     /// Number of expanded states after which the arena engine starts
     /// deduplicating revisited `(location, monitor, valuation)` states.
     /// On searches that complete within the transition budget, dedup is pure
@@ -218,6 +231,7 @@ impl ModelChecker {
             max_transitions: 50_000_000,
             max_depth: 100_000,
             engine: SearchEngine::default(),
+            slicing: true,
             dedup_after_pops: DEDUP_AFTER_POPS_DEFAULT,
         }
     }
@@ -231,6 +245,14 @@ impl ModelChecker {
     /// Selects the search engine.
     pub fn with_engine(mut self, engine: SearchEngine) -> ModelChecker {
         self.engine = engine;
+        self
+    }
+
+    /// Enables or disables cone-of-influence slicing for multi-query batches
+    /// (see [`ModelChecker::slicing`]; used by the bench to isolate the
+    /// slicing speedup).
+    pub fn with_slicing(mut self, slicing: bool) -> ModelChecker {
+        self.slicing = slicing;
         self
     }
 
@@ -350,6 +372,11 @@ impl ModelChecker {
             // nothing is shared and nothing needs re-encoding.
             return queries.iter().map(off_shared).collect();
         }
+        if self.slicing {
+            if let Some(results) = self.check_many_sliced(function, shared, queries) {
+                return results;
+            }
+        }
         let explored = crate::multiquery::MultiQueryEngine::explore(self, &prepared, queries);
         queries
             .iter()
@@ -366,6 +393,109 @@ impl ModelChecker {
             .collect()
     }
 
+    /// The slicing fast path of [`check_many_shared`]: builds a
+    /// cone-of-influence slice of `function` for this batch's statement
+    /// union, explores the (smaller) sliced model instead of the full one,
+    /// and completes every feasible witness against the full model.
+    ///
+    /// Returns `None` when slicing cannot help — the cone covers the whole
+    /// function, or the sliced source fails the shared-optimisation
+    /// preserve-insensitivity check — in which case the caller proceeds on
+    /// the full cached model, bit-identically to a checker with slicing
+    /// disabled.
+    ///
+    /// Verdicts are preserved by construction (see
+    /// [`crate::opt::slice_for_queries`]); witnesses and step counts are
+    /// produced by a full-model re-search with the slice's relevant inputs
+    /// pinned ([`ModelChecker::check_prepared_pinned`]), and any completion
+    /// that fails to replay feasibly drops that query back to the ordinary
+    /// per-query search — the slice never gets the last word on a witness.
+    /// The one intended divergence: a query whose full-model search would
+    /// exhaust [`ModelChecker::max_transitions`] may settle to a definite
+    /// verdict on the much cheaper slice (the same strengthening the arena
+    /// engine's adaptive dedup has always documented).
+    ///
+    /// [`check_many_shared`]: ModelChecker::check_many_shared
+    fn check_many_sliced(
+        &self,
+        function: &Function,
+        shared: &SharedCheckModel,
+        queries: &[PathQuery],
+    ) -> Option<Vec<CheckResult>> {
+        let union: HashSet<StmtId> = queries
+            .iter()
+            .flat_map(|q| q.stmts().iter().copied())
+            .collect();
+        let Some((sliced_fn, slice_report)) = crate::opt::slice_for_queries(function, &union)
+        else {
+            crate::metrics::add_slice_identity_batches(1);
+            return None;
+        };
+        let (optimised, _) =
+            crate::opt::shared_optimisation_for_queries(&sliced_fn, &self.optimisations, &union)?;
+        let sliced_model = encode_function(&optimised, &self.optimisations.encode_options());
+        let sliced = OwnedPreparedModel::new(sliced_model);
+        crate::metrics::add_sliced_batches(1);
+        crate::metrics::add_sliced_stmts(slice_report.removed_stmts as u64);
+        crate::metrics::add_sliced_vars(slice_report.removed_vars.len() as u64);
+
+        let full = shared.prepared.view();
+        // Full-model state-vector indices of the inputs the slice actually
+        // constrains; everything else is left free so the completing
+        // re-search chooses exactly the values the unpinned full search
+        // would.
+        let relevant_inputs: Vec<(usize, String)> = shared
+            .model()
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                v.role == VarRole::Input && slice_report.constrained_inputs.contains(&v.name)
+            })
+            .map(|(i, v)| (i, v.name.clone()))
+            .collect();
+
+        let explored = crate::multiquery::MultiQueryEngine::explore(self, &sliced.view(), queries);
+        let results = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let Some(result) = explored.result(i) else {
+                    // Shared budget exhausted before this query settled.
+                    let mut r = self.check_prepared(&full, q);
+                    r.opt_report = shared.opt_report.clone();
+                    return r;
+                };
+                let mut result = match result.outcome {
+                    CheckOutcome::Feasible { ref witness, .. } => {
+                        let pins: Vec<(usize, i64)> = relevant_inputs
+                            .iter()
+                            .filter_map(|(idx, name)| witness.get(name).map(|v| (*idx, v)))
+                            .collect();
+                        let completed = self.check_prepared_pinned(&full, q, &pins);
+                        match completed.outcome {
+                            CheckOutcome::Feasible { witness, steps } => {
+                                crate::metrics::add_witnesses_reconstructed(1);
+                                let mut r = result;
+                                r.stats.witness_steps = Some(steps);
+                                r.outcome = CheckOutcome::Feasible { witness, steps };
+                                r
+                            }
+                            // The completion oracle disagreed with the
+                            // slice: distrust it and re-ask the full model
+                            // from scratch.
+                            _ => self.check_prepared(&full, q),
+                        }
+                    }
+                    _ => result,
+                };
+                result.opt_report = shared.opt_report.clone();
+                result
+            })
+            .collect();
+        Some(results)
+    }
+
     /// The per-query reference path: one independent search per query.
     fn check_each(&self, function: &Function, queries: &[PathQuery]) -> Vec<CheckResult> {
         queries
@@ -377,6 +507,31 @@ impl ModelChecker {
     /// Runs the arena search on a [`PreparedModel`], reusing its outgoing
     /// transition index and pre-resolved expressions across queries.
     pub fn check_prepared(&self, prepared: &PreparedModel<'_>, query: &PathQuery) -> CheckResult {
+        self.check_prepared_pinned(prepared, query, &[])
+    }
+
+    /// Like [`check_prepared`](ModelChecker::check_prepared), but with the
+    /// given `(state-vector index, value)` pairs *pinned* in the initial
+    /// state: the search never splits over a pinned variable and every
+    /// witness carries the pinned values.  This is the witness-completion
+    /// oracle of the slicing path: re-searching the full model with a sliced
+    /// witness's relevant inputs pinned yields a witness and step count that
+    /// are genuine full-model search results (the unconstrained splits take
+    /// their lowest completing values, exactly as an unpinned search's
+    /// would).  The completed witness usually coincides bit-for-bit with the
+    /// unpinned full-model search's — the exception is a batch whose
+    /// *dropped* statements read a relevant input before the kept code does,
+    /// which shifts the full search's split order and can make it settle on
+    /// a different (equally valid) lex-minimal assignment.  The binding
+    /// contract is therefore the one the slicing equivalence suite pins:
+    /// verdicts are bit-identical, and every witness is a feasible
+    /// full-model witness for its query.
+    pub(crate) fn check_prepared_pinned(
+        &self,
+        prepared: &PreparedModel<'_>,
+        query: &PathQuery,
+        pins: &[(usize, i64)],
+    ) -> CheckResult {
         let start = Instant::now();
         let model = prepared.model;
         let vars_n = model.vars.len();
@@ -400,6 +555,12 @@ impl ModelChecker {
                 if let Some(init) = var.init {
                     vals[i] = init;
                     known[i >> 6] |= 1 << (i & 63);
+                }
+            }
+            for &(idx, value) in pins {
+                if idx < vars_n {
+                    vals[idx] = value;
+                    known[idx >> 6] |= 1 << (idx & 63);
                 }
             }
             arena.push(model.initial.index() as u32, 0, 0, &vals, &known);
@@ -490,20 +651,17 @@ impl ModelChecker {
             let mut split_var: Option<usize> = None;
             enabled.clear();
             for (i, t) in transitions.iter().enumerate() {
-                match t.guard {
-                    None => enabled.push(i),
-                    Some(g) => match eval_packed(pool, g, &cur_vals, &cur_known) {
-                        Eval::Known(v) => {
-                            if v != 0 {
-                                enabled.push(i);
-                            }
+                match eval_guard(pool, t, &cur_vals, &cur_known) {
+                    Eval::Known(v) => {
+                        if v != 0 {
+                            enabled.push(i);
                         }
-                        Eval::Unknown(var) => {
-                            split_var = Some(var);
-                            break;
-                        }
-                        Eval::Error => {}
-                    },
+                    }
+                    Eval::Unknown(var) => {
+                        split_var = Some(var);
+                        break;
+                    }
+                    Eval::Error => {}
                 }
             }
             effect_cache.clear();
@@ -703,6 +861,20 @@ pub(crate) struct PoppedState {
     pub(crate) depth: u64,
 }
 
+/// One frontier work item extracted from a paused arena: a concrete pending
+/// state, or a pending lazy split (`split = (var, lo, hi)`) whose children
+/// materialise in ascending value order.  The multi-query explorer chunks
+/// these into deterministic shards.
+#[derive(Debug, Clone)]
+pub(crate) struct FrontierEntry {
+    pub(crate) loc: u32,
+    pub(crate) monitor: u32,
+    pub(crate) depth: u64,
+    pub(crate) vals: Vec<i64>,
+    pub(crate) known: Vec<u64>,
+    pub(crate) split: Option<(u32, i64, i64)>,
+}
+
 /// Stack-disciplined arena of packed states: entry metadata in one vector,
 /// values and known-bit masks in parallel flat arrays.  Push appends, pop
 /// copies into caller scratch and truncates — no per-state allocation ever.
@@ -768,6 +940,63 @@ impl StateArena {
         self.known.extend_from_slice(known);
     }
 
+    /// Remaining width of every pending entry, in pop order units: `1` for a
+    /// concrete entry, the number of unmaterialised children for a split.
+    pub(crate) fn frontier_shape(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|e| match e.kind {
+            EntryKind::Concrete => 1,
+            EntryKind::Split { next, hi, .. } => (hi - next + 1).max(1) as u64,
+        })
+    }
+
+    /// Consumes the arena into frontier entries in **pop order** (top of the
+    /// stack first), each owning its packed state block.
+    pub(crate) fn drain_frontier(&mut self) -> Vec<FrontierEntry> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for (k, entry) in self.entries.iter().enumerate().rev() {
+            let vals = self.values[k * self.vars..(k + 1) * self.vars].to_vec();
+            let known = self.known[k * self.words..(k + 1) * self.words].to_vec();
+            out.push(FrontierEntry {
+                loc: entry.loc,
+                monitor: entry.monitor,
+                depth: entry.depth,
+                vals,
+                known,
+                split: match entry.kind {
+                    EntryKind::Concrete => None,
+                    EntryKind::Split { var, next, hi } => Some((var, next, hi)),
+                },
+            });
+        }
+        self.entries.clear();
+        self.values.clear();
+        self.known.clear();
+        out
+    }
+
+    /// Pushes a frontier entry back onto the stack (shard seeding).
+    pub(crate) fn push_frontier(&mut self, entry: &FrontierEntry) {
+        match entry.split {
+            None => self.push(
+                entry.loc,
+                entry.monitor,
+                entry.depth,
+                &entry.vals,
+                &entry.known,
+            ),
+            Some((var, lo, hi)) => self.push_split(
+                entry.loc,
+                entry.monitor,
+                entry.depth,
+                &entry.vals,
+                &entry.known,
+                var,
+                lo,
+                hi,
+            ),
+        }
+    }
+
     pub(crate) fn pop(&mut self, vals: &mut [i64], known: &mut [u64]) -> Option<PoppedState> {
         let entry = self.entries.pop()?;
         let vbase = self.values.len() - self.vars;
@@ -829,6 +1058,40 @@ pub(crate) enum Eval {
     Known(i64),
     Unknown(usize),
     Error,
+}
+
+/// Evaluates a transition's guard over a packed state, taking the
+/// specialised [`FastGuard`] path for the common single-comparison shapes
+/// and falling back to the pool walk otherwise.  Semantics are identical to
+/// evaluating the pre-resolved guard expression (comparisons cannot fault).
+#[inline]
+pub(crate) fn eval_guard(
+    pool: &ExprPool,
+    t: &PreparedTransition,
+    vals: &[i64],
+    known: &[u64],
+) -> Eval {
+    match t.fast_guard {
+        FastGuard::Always => Eval::Known(1),
+        FastGuard::Cmp {
+            var,
+            op,
+            rhs,
+            negate,
+        } => {
+            let v = var as usize;
+            if known[v >> 6] & (1 << (v & 63)) != 0 {
+                let holds = match eval_op(op, vals[v], rhs) {
+                    Ok(r) => r != 0,
+                    Err(()) => unreachable!("comparisons cannot fault"),
+                };
+                Eval::Known(i64::from(holds != negate))
+            } else {
+                Eval::Unknown(v)
+            }
+        }
+        FastGuard::Node(g) => eval_packed(pool, g, vals, known),
+    }
 }
 
 /// Evaluates the shared arithmetic of both engines.

@@ -28,7 +28,18 @@
 //!   function's state space once and answers a whole batch of path queries
 //!   from the shared, decision-signature-annotated graph
 //!   ([`ModelChecker::check_many`]), with results bit-identical to the
-//!   per-query engines.
+//!   per-query engines.  Since PR 5 the batch path runs a two-stage
+//!   *slice→shard* pipeline: the model is first reduced to the
+//!   cone of influence of the queried decisions
+//!   ([`opt::slice_for_queries`], fed by `tmg_cfg`'s def/use dependence
+//!   analysis; witnesses are completed against the full model), then
+//!   explored by a deterministic work-sharing parallel search whose
+//!   verdicts, witnesses and step counts are reproducible for every thread
+//!   count — see `crates/tsys/README.md` for the architecture and the
+//!   determinism contract;
+//! * [`metrics`] — process-wide observability counters (slicing reductions,
+//!   shard activity, visited-table contention) embedded in the service
+//!   `stats` snapshot.
 //!
 //! # Example: generate test data for a path
 //!
@@ -50,6 +61,7 @@
 
 pub mod checker;
 pub mod encode;
+pub mod metrics;
 pub mod model;
 pub mod multiquery;
 pub mod opt;
@@ -59,7 +71,8 @@ pub use checker::{
     CheckOutcome, CheckResult, CheckStats, ModelChecker, PathQuery, SearchEngine, SharedCheckModel,
 };
 pub use encode::{encode_function, EncodeOptions};
+pub use metrics::CheckerMetrics;
 pub use model::{LocId, Model, StateVar, Transition, VarRole};
 pub use multiquery::MultiQueryEngine;
-pub use opt::{apply_optimisations, OptReport, Optimisations};
+pub use opt::{apply_optimisations, slice_for_queries, OptReport, Optimisations, SliceReport};
 pub use prepared::{OwnedPreparedModel, PreparedModel};

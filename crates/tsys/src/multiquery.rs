@@ -1,5 +1,5 @@
 //! Multi-query reachability: explore the state space once, answer every
-//! coverage query from the shared annotated graph.
+//! coverage query from the shared annotated graph — in parallel.
 //!
 //! The test-generation phase asks the model checker dozens of near-identical
 //! questions about *one* function — one [`PathQuery`] per residual coverage
@@ -26,25 +26,34 @@
 //! [`PathQuery::stmts`] of every query in the batch never extend a signature
 //! (they cannot advance or kill any monitor), so straight-line code and
 //! unqueried branches leave the signature — and thus the dedup key —
-//! untouched.  Signatures form a lattice ordered by per-query progress;
-//! nodes are interned once, stepped via a memoised `(signature, transition)`
-//! table, and each records which queries it completes (its *parent link* in
-//! the lattice is the signature it was stepped from, which is how a witness
-//! decision history can be reconstructed when needed).
+//! untouched.
 //!
-//! # Answering queries
+//! # Seed, then shards
 //!
 //! The traversal is the same packed-arena DFS as the single-query engine
-//! (same split order, same depth budget), so states pop in exactly the order
-//! the single-query search would pop the states of its own pruned subtree.
-//! Query `q` is **feasible** iff some popped state's signature has
-//! `m_q = len(q)`; the first such pop is, by the order-preservation argument
-//! above, precisely the state the single-query search reports, so the
-//! recorded witness input vector and step count are bit-identical to
-//! [`ModelChecker::find_test_data`].  A query with no completing signature
-//! after the stack drains is **infeasible**.  Coverage lookups are a
-//! membership scan over the signature set, witness extraction a lookup of
-//! the first-pop record.
+//! (same split order, same depth budget).  Small explorations run it
+//! sequentially to the end, exactly as before.  A large exploration runs a
+//! sequential **seed phase** up to a fixed op budget ([`SHARD_SEED_OPS`] —
+//! thread-count-independent, so the cut is deterministic), then snapshots
+//! the DFS frontier into an ordered list of **shards**: each arena entry
+//! becomes a work item, and a pending lazy domain split is cut into
+//! ascending value ranges.  Shard order is exactly the sequential pop order,
+//! so running the shards one after another *is* the sequential exploration —
+//! and running them on worker threads explores the same states with the
+//! same per-shard sub-DFS order, just wall-clock-parallel.
+//!
+//! **Deterministic reduction.**  Workers claim shards in index order from an
+//! atomic counter.  Per query, the winning completion is the one from the
+//! lexicographically smallest shard (and, inside a shard, the first pop of
+//! its sub-DFS) — which by the order argument is precisely the completion
+//! the sequential search reports.  Cross-shard knowledge only ever flows
+//! from smaller to larger shard indices (a completion *hint* lets later
+//! shards prune subtrees that are dead for every still-unsettled query, and
+//! a shard is skipped outright once every query is settled by *finished*
+//! earlier shards), so verdicts, witnesses and step counts are bit-identical
+//! for every thread count, including one.  Only the cost statistics may vary
+//! with timing, because hint-driven pruning saves nondeterministic amounts
+//! of speculative work.
 //!
 //! # Per-query budget accounting
 //!
@@ -58,38 +67,36 @@
 //! post-decision signature — a transition whose decision kills query `q` is
 //! exactly the transition the single-query search prunes before counting),
 //! and query `q`'s counter is the sum over signatures in which `q` is not
-//! dead.  By the same order preservation, that sum equals the single-query
-//! search's own counter at the corresponding point, so the engine knows
-//! *exactly* when the per-query search would have given up: a query whose
-//! counter reaches the budget before its first completing pop is a
-//! **certified Unknown**, a completing pop under budget is Feasible, a
-//! drained stack under budget is Infeasible.  This is what lets one shared
-//! exploration settle a batch whose members each individually exhaust the
-//! budget, instead of re-running every exhausting search.  The shared run
-//! itself is allowed several multiples of the per-query budget (it is doing
-//! many queries' work) and stops as soon as every query is settled; whatever
-//! is still unsettled when it stops fall back to per-query search.
+//! dead.  Because shards partition the sequential traversal, the counter at
+//! `q`'s winning completion is the seed's contribution plus every earlier
+//! shard's plus the winning shard's count at the pop — the exact value the
+//! sequential search would have seen.  A query whose counter reaches the
+//! budget before its first completion is a **certified Unknown**, a
+//! completion under budget is Feasible, a drained frontier under budget is
+//! Infeasible; whatever the shared run cannot settle within its own cap
+//! ([`SHARED_BUDGET_FACTOR`] per-query budgets) falls back to per-query
+//! search.
 //!
-//! The traversal runs without revisit dedup: dedup skips work the
-//! single-query engines would count, which would silently undercount the
-//! per-query budget attribution.  (On searches that finish within budget
-//! dedup never changes a verdict or witness anyway; on budget-bound searches
-//! the arena engine's adaptive dedup has always been documented as able to
-//! settle where the undeduped baseline reports Unknown — the accounting here
-//! is bit-exact against the undeduped reference semantics.)  The flip side
-//! is the worst case on heavily reconvergent state spaces: where per-query
-//! dedup would prune revisits, the shared run re-explores them, and a batch
-//! that then fails to certify anything costs up to the shared budget cap on
-//! top of the per-query fallbacks — which is why the cap is a small multiple
-//! of one query's budget rather than "until drained".
+//! The traversal runs without revisit dedup in the seed and engages the
+//! striped [`ShardedVisited`] table only when a single shard's sub-DFS grows
+//! past [`SHARD_DEDUP_AFTER_POPS`] pops: dedup skips work the single-query
+//! engines would count, which would silently undercount the per-query budget
+//! attribution, so it stays a blow-up safety valve (with the same caveat the
+//! arena engine's adaptive dedup has always documented) rather than a
+//! routine pruning step.  Skips consult only entries the same shard wrote,
+//! which keeps resolutions deterministic; the striping exists to bound the
+//! table's total memory across shards and to expose contention counters.
 
 use crate::checker::{
-    eval_packed, witness_packed, CheckOutcome, CheckResult, CheckStats, Eval, ModelChecker,
-    PathQuery, StateArena,
+    eval_guard, eval_packed, witness_packed, CheckOutcome, CheckResult, CheckStats, Eval,
+    FrontierEntry, ModelChecker, PathQuery, StateArena,
 };
+use crate::metrics;
 use crate::prepared::{PreparedModel, PreparedTransition};
 use rustc_hash::FxHashMap;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 use tmg_minic::ast::StmtId;
 use tmg_minic::value::InputVector;
@@ -101,8 +108,8 @@ const DEAD: u32 = u32::MAX;
 /// Interned id of a decision signature (an index into [`SigLattice::vecs`]).
 type SigId = u32;
 
-/// The interned signature lattice of one exploration, including the per-
-/// signature op counters that reconstruct every query's private budget.
+/// The interned signature lattice of one exploration run, including the
+/// per-signature op counters that reconstruct every query's private budget.
 struct SigLattice {
     /// Monitor vector of each signature (`decisions matched` per query, or
     /// [`DEAD`]).
@@ -115,19 +122,27 @@ struct SigLattice {
     /// resolution (cleared on first pop so later pops skip the scan).
     pending: Vec<bool>,
     /// Budget ops (states created + transitions fired) charged under each
-    /// signature.
+    /// signature *within this run*.
     ops: Vec<u64>,
-    /// Liveness cache: whether the signature still matters to any unresolved
-    /// query (some unresolved query is neither dead nor settled under it).
+    /// Liveness cache: whether the signature still matters to any unsettled
+    /// query (some unsettled query is neither dead nor settled under it).
     live: Vec<bool>,
-    /// Resolution epoch at which each `live` entry was computed.
+    /// Epoch at which each `live` entry was computed.
     live_epoch: Vec<u64>,
-    /// Memoised signature step per `(signature, transition index)`.
-    step_memo: FxHashMap<u64, SigId>,
+    /// Memoised signature step per `(signature, relevant transition)`, as a
+    /// flat `signatures × relevant-transitions` array (sentinel
+    /// [`SigId::MAX`]): the hot loop consults it once per fired relevant
+    /// transition, so it must be an index, not a hash lookup.  Rows cover
+    /// only the transitions the batch's queries mention — irrelevant
+    /// transitions never step a signature, and a row per *model* transition
+    /// would waste memory proportional to function size.
+    step_memo: Vec<SigId>,
+    /// Relevant transitions per signature row of `step_memo`.
+    relevant_n: usize,
 }
 
 impl SigLattice {
-    fn new(queries: &[PathQuery]) -> SigLattice {
+    fn new(queries: &[PathQuery], relevant_n: usize) -> SigLattice {
         let mut lattice = SigLattice {
             vecs: Vec::new(),
             intern: FxHashMap::default(),
@@ -136,12 +151,49 @@ impl SigLattice {
             ops: Vec::new(),
             live: Vec::new(),
             live_epoch: Vec::new(),
-            step_memo: FxHashMap::default(),
+            step_memo: Vec::new(),
+            relevant_n,
         };
         // Root signature: nothing matched yet.  Queries of length zero (the
         // `any_execution` probe) are complete right here.
         lattice.intern_vec(vec![0u32; queries.len()].into_boxed_slice(), queries);
         lattice
+    }
+
+    /// A shard's private copy of this lattice: same interned signatures and
+    /// step memo (so shards reuse the seed's work), fresh op counters and a
+    /// `pending` mask recomputed against the queries still `alive`.
+    fn fork(&self, alive: &[bool]) -> SigLattice {
+        SigLattice {
+            vecs: self.vecs.clone(),
+            intern: self.intern.clone(),
+            completes: self.completes.clone(),
+            pending: self
+                .completes
+                .iter()
+                .map(|c| c.iter().any(|&q| alive[q as usize]))
+                .collect(),
+            ops: vec![0; self.vecs.len()],
+            live: vec![true; self.vecs.len()],
+            live_epoch: vec![0; self.vecs.len()],
+            step_memo: self.step_memo.clone(),
+            relevant_n: self.relevant_n,
+        }
+    }
+
+    /// Resets a worker-local lattice for its next shard: zeroed op counters,
+    /// recomputed `pending`, cleared liveness cache.  Signatures interned by
+    /// earlier shards (and their step memo) are deliberately *kept* — every
+    /// result the engine extracts is id-agnostic (completions are recorded
+    /// per query, ops are summed over monitor vectors), so a superset
+    /// lattice changes nothing but the amount of re-interning saved.
+    fn reset_for_shard(&mut self, alive: &[bool]) {
+        self.ops.fill(0);
+        for (pending, completes) in self.pending.iter_mut().zip(&self.completes) {
+            *pending = completes.iter().any(|&q| alive[q as usize]);
+        }
+        self.live.fill(true);
+        self.live_epoch.fill(0);
     }
 
     fn intern_vec(&mut self, vec: Box<[u32]>, queries: &[PathQuery]) -> SigId {
@@ -160,36 +212,47 @@ impl SigLattice {
         self.ops.push(0);
         self.live.push(true);
         self.live_epoch.push(0);
+        self.step_memo.resize(
+            self.vecs.len().wrapping_add(1) * self.relevant_n,
+            SigId::MAX,
+        );
         self.intern.insert(vec.clone(), id);
         self.vecs.push(vec);
         id
     }
 
-    /// Whether `sig` still matters to any unresolved query, recomputing the
-    /// cached answer when resolutions have advanced since it was last
-    /// checked.  A signature in which every unresolved query is dead heads a
-    /// subtree that no single-query search would explore (each of them
-    /// pruned it at or before the killing decision), so the shared traversal
-    /// prunes it too — the op attribution of unresolved queries is untouched
-    /// by construction.
-    fn is_live(&mut self, sig: SigId, resolutions: &[Option<Resolution>], epoch: u64) -> bool {
+    /// Whether `sig` still matters to any query alive in this run,
+    /// recomputing the cached answer when resolutions have advanced since it
+    /// was last checked.  A signature in which every alive query is dead
+    /// heads a subtree that no single-query search would explore (each of
+    /// them pruned it at or before the killing decision), so the traversal
+    /// prunes it too — the op attribution of alive queries is untouched by
+    /// construction.
+    fn is_live(&mut self, sig: SigId, alive: &[bool], epoch: u64) -> bool {
         let i = sig as usize;
         if self.live_epoch[i] != epoch {
             self.live_epoch[i] = epoch;
             self.live[i] = self.vecs[i]
                 .iter()
-                .zip(resolutions)
-                .any(|(&m, r)| r.is_none() && m != DEAD);
+                .zip(alive)
+                .any(|(&m, &alive)| alive && m != DEAD);
         }
         self.live[i]
     }
 
     /// Steps `sig` over the decision of transition `t`, interning the
     /// successor on first encounter.
-    fn step(&mut self, sig: SigId, t: &PreparedTransition, queries: &[PathQuery]) -> SigId {
-        let key = (u64::from(sig) << 32) | u64::from(t.index);
-        if let Some(&next) = self.step_memo.get(&key) {
-            return next;
+    fn step(
+        &mut self,
+        sig: SigId,
+        dense: u32,
+        t: &PreparedTransition,
+        queries: &[PathQuery],
+    ) -> SigId {
+        let key = sig as usize * self.relevant_n + dense as usize;
+        let memoised = self.step_memo[key];
+        if memoised != SigId::MAX {
+            return memoised;
         }
         let (stmt, choice) = t.decision.expect("stepped transitions carry a decision");
         let cur = self.vecs[sig as usize].clone();
@@ -213,21 +276,36 @@ impl SigLattice {
             None => sig,
             Some(vec) => self.intern_vec(vec, queries),
         };
-        self.step_memo.insert(key, next);
+        self.step_memo[key] = next;
         next
     }
 
-    /// Query `q`'s reconstructed private op counter: the ops charged under
-    /// every signature in which `q` is still matchable or complete.  By order
-    /// preservation this equals the op counter of `q`'s own single-query
-    /// search at the corresponding point of its traversal.
+    /// Query `q`'s op counter within this run: the ops charged under every
+    /// signature in which `q` is still matchable or complete.
     fn query_ops(&self, q: usize) -> u64 {
-        self.vecs
+        self.ops
             .iter()
-            .zip(&self.ops)
-            .filter(|(vec, _)| vec[q] != DEAD)
-            .map(|(_, ops)| *ops)
+            .zip(&self.vecs)
+            .filter(|(ops, vec)| **ops > 0 && vec[q] != DEAD)
+            .map(|(ops, _)| *ops)
             .sum()
+    }
+
+    /// All queries' op counters in one pass over the signatures this run
+    /// actually charged (shards touch a small slice of the lattice, so this
+    /// is far cheaper than a per-query scan).
+    fn query_ops_all(&self, out: &mut [u64]) {
+        out.fill(0);
+        for (ops, vec) in self.ops.iter().zip(&self.vecs) {
+            if *ops == 0 {
+                continue;
+            }
+            for (q, &m) in vec.iter().enumerate() {
+                if m != DEAD {
+                    out[q] += *ops;
+                }
+            }
+        }
     }
 }
 
@@ -240,7 +318,7 @@ enum Resolution {
     /// The query's reconstructed op counter hit the per-query budget before
     /// a completing pop: its own search would have reported Unknown.
     Unknown,
-    /// The stack drained with the query's counter under budget and no
+    /// The frontier drained with the query's counter under budget and no
     /// completing pop.
     Infeasible,
 }
@@ -255,29 +333,671 @@ const SHARED_BUDGET_FACTOR: u64 = 4;
 /// reconstructed counter against the budget).
 const SWEEP_INTERVAL: u64 = 1 << 20;
 
-/// The annotated state graph of one shared exploration, ready to answer any
-/// of the queries it was explored for.
+/// Seed-phase op budget after which a large exploration snapshots its DFS
+/// frontier into shards.  Fixed (never derived from the thread count) so the
+/// shard set — and with it every verdict, witness and step count — is
+/// deterministic across thread counts.
+const SHARD_SEED_OPS: u64 = 1 << 15;
+
+/// Target shard count for one exploration (fixed for determinism; actual
+/// count depends on the frontier shape).
+const SHARD_TARGET: u64 = 192;
+
+/// Minimum frontier units (pending states + pending split values) worth
+/// sharding; narrower frontiers keep exploring sequentially.
+const SHARD_MIN_UNITS: u64 = 64;
+
+/// Pops between a shard's polls of the cross-shard completion hints.
+const HINT_POLL_POPS: u64 = 4096;
+
+/// Shard-local pop count after which the sharded visited table engages
+/// (blow-up safety valve; see the module docs for the attribution caveat).
+const SHARD_DEDUP_AFTER_POPS: u64 = 1 << 20;
+
+/// Stripes of the sharded visited table.
+const VISITED_STRIPES: usize = 64;
+
+/// Total entry budget of the sharded visited table across all stripes.
+const VISITED_TOTAL_CAP: usize = 1 << 21;
+
+/// One stripe of the sharded visited table: packed state key → (owning
+/// shard, best depth).
+type VisitedStripe = Mutex<FxHashMap<Box<[u64]>, (u32, u64)>>;
+
+/// The striped-lock visited table shared by every shard of one exploration.
+///
+/// Entries are keyed by the packed `(location, signature, valuation)` state
+/// and tagged with the shard that wrote them; a shard only *skips* on its
+/// own entries (cross-shard skipping would make resolutions depend on race
+/// timing), so the sharing exists to bound total memory and to surface
+/// contention, not to prune across shards.
+pub(crate) struct ShardedVisited {
+    stripes: Vec<VisitedStripe>,
+    insertions: AtomicU64,
+    hits: AtomicU64,
+    collisions: AtomicU64,
+}
+
+impl ShardedVisited {
+    fn new() -> ShardedVisited {
+        ShardedVisited {
+            stripes: (0..VISITED_STRIPES)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            insertions: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+        }
+    }
+
+    fn stripe_of(key: &[u64]) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in key.iter().take(2) {
+            h ^= *w;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        (h as usize) & (VISITED_STRIPES - 1)
+    }
+
+    /// Records a visit of `key` at `depth` by `shard`; returns
+    /// `(skippable, inserted)` — skippable when a previous visit *by the
+    /// same shard* at the same or smaller depth covers the revisit.  The
+    /// caller enforces a deterministic per-shard insertion quota via
+    /// `may_insert` (a shared racy cap would make one shard's skip set
+    /// depend on how fast the others filled the table).
+    fn check_and_insert(
+        &self,
+        key: &[u64],
+        shard: u32,
+        depth: u64,
+        may_insert: bool,
+    ) -> (bool, bool) {
+        let stripe = &self.stripes[Self::stripe_of(key)];
+        let mut guard = match stripe.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+                stripe.lock().expect("visited stripe")
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        };
+        match guard.get_mut(key) {
+            Some((owner, best)) if *owner == shard => {
+                if *best <= depth {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (true, false);
+                }
+                *best = depth;
+                (false, false)
+            }
+            Some(_) => (false, false),
+            None => {
+                if may_insert {
+                    guard.insert(key.to_vec().into_boxed_slice(), (shard, depth));
+                    self.insertions.fetch_add(1, Ordering::Relaxed);
+                    (false, true)
+                } else {
+                    (false, false)
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot `(insertions, hits, stripe collisions)`; the caller
+    /// publishes exactly one phase's numbers (a discarded speculative phase
+    /// must not inflate the operator-facing metrics).
+    fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.insertions.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+            self.collisions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Cross-shard knowledge, published so running shards can stop spending on
+/// queries whose fate is already sealed.  Every fact here is *deterministic
+/// in content* — a completion's owning shard index, or the per-query op
+/// total over a finished shard prefix — even though *when* a given shard
+/// learns it is timing-dependent.  Pruning on such facts is result-safe:
+/// it only ever skips subtrees whose contribution could no longer change
+/// any verdict, witness or step count (see the module docs), so late
+/// knowledge merely costs speculative work.
+struct SharedKnowledge {
+    /// Per query: the smallest shard index that found a completion so far.
+    /// A shard consults indices strictly below its own, so knowledge flows
+    /// only from lexicographically earlier work.
+    first_shard: Vec<AtomicU64>,
+    /// Per query: attributed ops summed over the finished shard prefix
+    /// (monotone; written only under the prefix lock, in shard order, so
+    /// every published value is a prefix sum the sequential run would also
+    /// compute).
+    prefix_ops: Vec<AtomicU64>,
+}
+
+impl SharedKnowledge {
+    fn new(queries: usize) -> SharedKnowledge {
+        SharedKnowledge {
+            first_shard: (0..queries).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            prefix_ops: (0..queries).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record_completion(&self, q: usize, shard: u64) {
+        self.first_shard[q].fetch_min(shard, Ordering::Relaxed);
+    }
+
+    fn completed_below(&self, q: usize, shard: u64) -> bool {
+        self.first_shard[q].load(Ordering::Relaxed) < shard
+    }
+
+    fn prefix_ops(&self, q: usize) -> u64 {
+        self.prefix_ops[q].load(Ordering::Relaxed)
+    }
+}
+
+/// One query's first completion within a run.
+struct Completion {
+    witness: InputVector,
+    depth: u64,
+    /// The query's attributed op counter (run-local) at the completing pop.
+    ops_at_pop: u64,
+}
+
+/// Everything one traversal run (seed or shard) produced.
+struct RunOutput {
+    /// Per-query attributed ops within this run.
+    query_ops: Vec<u64>,
+    /// First completion per query within this run.
+    completions: Vec<Option<Completion>>,
+    states_created: u64,
+    transitions_fired: u64,
+    max_depth: u64,
+    pops: u64,
+    /// Whether this run hit its op cap with work left.
+    tripped: bool,
+    /// Visited-table consultations (nonzero once the dedup valve engaged).
+    dedup_checks: u64,
+    signatures: usize,
+}
+
+enum RunExit {
+    /// The arena drained.
+    Drained,
+    /// Every alive query was settled within this run's view.
+    AllSettled,
+    /// The op cap tripped with the arena non-empty.
+    Tripped,
+    /// Seed only: the shard trigger fired; the arena holds the frontier.
+    ShardReady,
+}
+
+/// Immutable context shared by every run of one exploration.
+struct RunCtx<'a> {
+    prepared: &'a PreparedModel<'a>,
+    queries: &'a [PathQuery],
+    /// Per model transition: its dense relevant-transition id, or
+    /// `u32::MAX` when no query mentions its decision statement.
+    relevant_dense: &'a [u32],
+    vars_n: usize,
+    words: usize,
+    query_budget: u64,
+    op_cap: u64,
+    /// Ops already attributed to each query before this run (zeros for the
+    /// seed; the seed's counters for shards).
+    base_ops: &'a [u64],
+    /// `(knowledge, own shard index)` — shards only.
+    knowledge: Option<(&'a SharedKnowledge, u64)>,
+    /// `(table, own shard tag)` — shards only.
+    visited: Option<(&'a ShardedVisited, u32)>,
+    /// Deterministic cap on this run's visited-table insertions (the total
+    /// memory bound divided by the shard count).
+    visited_quota: usize,
+    /// Seed only: op count at which to stop and hand the frontier to shards
+    /// (provided the frontier is wide enough).
+    shard_trigger: Option<u64>,
+    /// Maximum run length ([`ModelChecker::max_depth`]).
+    max_depth: u64,
+}
+
+/// One traversal run: the packed-arena DFS with signature stepping, budget
+/// attribution and liveness pruning.  The seed and every shard execute this
+/// same loop; they differ only in their starting arena and context knobs.
+fn run_exploration(
+    ctx: &RunCtx<'_>,
+    lattice: &mut SigLattice,
+    arena: &mut StateArena,
+    alive: &mut [bool],
+    out: &mut RunOutput,
+) -> RunExit {
+    let model = ctx.prepared.model;
+    let pool = &ctx.prepared.program.pool;
+    let mut open = alive.iter().filter(|&&a| a).count();
+    let mut epoch: u64 = 1;
+    let mut next_sweep = SWEEP_INTERVAL;
+    let mut next_hint_poll = HINT_POLL_POPS;
+    // Throttle for the seed's frontier-width probe: scanning the arena is
+    // O(stack depth), so it runs every few thousand ops, not every pop.
+    let mut next_shard_check = ctx.shard_trigger.unwrap_or(u64::MAX);
+
+    let mut cur_vals = vec![0i64; ctx.vars_n];
+    let mut cur_known = vec![0u64; ctx.words];
+    let mut child_vals = vec![0i64; ctx.vars_n];
+    let mut child_known = vec![0u64; ctx.words];
+    let mut enabled: Vec<usize> = Vec::with_capacity(8);
+    let mut effect_cache: Vec<Eval> = Vec::with_capacity(8);
+    let mut effect_offsets: Vec<usize> = Vec::with_capacity(8);
+    let mut key_buf: Vec<u64> = Vec::with_capacity(1 + ctx.words + ctx.vars_n);
+    let mut dedup_enabled = true;
+    let mut dedup_checks: u64 = 0;
+    let mut dedup_hits: u64 = 0;
+    let mut dedup_inserted: usize = 0;
+
+    if open == 0 {
+        return RunExit::AllSettled;
+    }
+
+    'search: loop {
+        let total_ops = out.transitions_fired + out.states_created;
+        if total_ops >= ctx.op_cap {
+            out.tripped = true;
+            break 'search RunExit::Tripped;
+        }
+        if total_ops >= next_shard_check {
+            if frontier_units(arena) >= SHARD_MIN_UNITS {
+                return RunExit::ShardReady;
+            }
+            next_shard_check = total_ops + (SHARD_SEED_OPS >> 3);
+        }
+        if total_ops >= next_sweep {
+            // Certification sweep: any alive query whose attributed counter
+            // — base (seed), published finished-prefix total, and this run's
+            // own share — has crossed its budget is spent: whatever this or
+            // any later shard finds for it can only confirm Unknown, so stop
+            // paying for it.  (Final verdicts recompute the exact counter
+            // from the per-run outputs; the sweep only prunes.)
+            next_sweep = total_ops + SWEEP_INTERVAL;
+            for (q, alive_q) in alive.iter_mut().enumerate() {
+                if !*alive_q {
+                    continue;
+                }
+                let prefix = ctx.knowledge.map(|(k, _)| k.prefix_ops(q)).unwrap_or(0);
+                if ctx.base_ops[q] + prefix + lattice.query_ops(q) >= ctx.query_budget {
+                    *alive_q = false;
+                    open -= 1;
+                    epoch += 1;
+                }
+            }
+            if open == 0 {
+                break 'search RunExit::AllSettled;
+            }
+        }
+        if let Some((knowledge, me)) = ctx.knowledge {
+            if out.pops >= next_hint_poll {
+                next_hint_poll = out.pops + HINT_POLL_POPS;
+                for (q, alive_q) in alive.iter_mut().enumerate() {
+                    if !*alive_q {
+                        continue;
+                    }
+                    // A lexicographically earlier shard holds this query's
+                    // winning completion, or the finished prefix already
+                    // spent its budget: nothing this shard finds for it can
+                    // matter any more.
+                    let sealed = knowledge.completed_below(q, me)
+                        || ctx.base_ops[q] + knowledge.prefix_ops(q) + lattice.query_ops(q)
+                            >= ctx.query_budget;
+                    if sealed {
+                        *alive_q = false;
+                        open -= 1;
+                        epoch += 1;
+                    }
+                }
+                if open == 0 {
+                    break 'search RunExit::AllSettled;
+                }
+            }
+        }
+
+        let Some(entry) = arena.pop(&mut cur_vals, &mut cur_known) else {
+            break 'search RunExit::Drained;
+        };
+        out.pops += 1;
+        out.max_depth = out.max_depth.max(entry.depth);
+        let sig = entry.monitor;
+        // Membership scan: does this state's signature complete a query that
+        // is still alive?  Pops happen in the exact DFS order of the
+        // single-query search, so the first hit per query within the
+        // seed-then-shard order *is* the single-query witness state.
+        if lattice.pending[sig as usize] {
+            for i in 0..lattice.completes[sig as usize].len() {
+                let q = lattice.completes[sig as usize][i] as usize;
+                if alive[q] && out.completions[q].is_none() {
+                    out.completions[q] = Some(Completion {
+                        witness: witness_packed(model, &cur_vals, &cur_known),
+                        depth: entry.depth,
+                        ops_at_pop: lattice.query_ops(q),
+                    });
+                    if let Some((knowledge, me)) = ctx.knowledge {
+                        knowledge.record_completion(q, me);
+                    }
+                    alive[q] = false;
+                    open -= 1;
+                    epoch += 1;
+                }
+            }
+            lattice.pending[sig as usize] = false;
+            if open == 0 {
+                // Every query this run can still influence is settled; the
+                // rest of the traversal could only prove infeasibilities
+                // nobody is waiting for.
+                break 'search RunExit::AllSettled;
+            }
+        }
+        if !lattice.is_live(sig, alive, epoch) {
+            // Every alive query is dead here: no single-query search would
+            // expand this state.
+            continue;
+        }
+        if entry.depth >= ctx.max_depth {
+            continue;
+        }
+        let transitions = &ctx.prepared.program.outgoing[entry.loc as usize];
+        if transitions.is_empty() {
+            continue;
+        }
+
+        // Blow-up safety valve: once a single run's sub-DFS is past the
+        // engagement threshold, consult the sharded visited table (own-shard
+        // entries only — see the struct docs).  Like the single-query
+        // engine's adaptive dedup, it switches itself off when the hit rate
+        // shows the state space is not reconverging — wide-domain splits
+        // produce millions of unique states that would only burn memory.
+        if let Some((visited, tag)) = ctx.visited {
+            if dedup_enabled && out.pops > SHARD_DEDUP_AFTER_POPS {
+                dedup_checks += 1;
+                key_buf.clear();
+                key_buf.push(u64::from(entry.loc) | (u64::from(sig) << 32));
+                key_buf.extend_from_slice(&cur_known);
+                key_buf.extend(cur_vals.iter().map(|v| *v as u64));
+                let (skip, inserted) = visited.check_and_insert(
+                    &key_buf,
+                    tag,
+                    entry.depth,
+                    dedup_inserted < ctx.visited_quota,
+                );
+                if inserted {
+                    dedup_inserted += 1;
+                }
+                if skip {
+                    dedup_hits += 1;
+                    continue;
+                }
+                if dedup_checks & 0xFFFF == 0 && dedup_hits * 10 < dedup_checks {
+                    dedup_enabled = false;
+                }
+                out.dedup_checks = dedup_checks;
+            }
+        }
+
+        // Enabled-set computation and lazy splitting, identical to the
+        // single-query engine.
+        let mut split_var: Option<usize> = None;
+        enabled.clear();
+        for (i, t) in transitions.iter().enumerate() {
+            match eval_guard(pool, t, &cur_vals, &cur_known) {
+                Eval::Known(v) => {
+                    if v != 0 {
+                        enabled.push(i);
+                    }
+                }
+                Eval::Unknown(var) => {
+                    split_var = Some(var);
+                    break;
+                }
+                Eval::Error => {}
+            }
+        }
+        effect_cache.clear();
+        effect_offsets.clear();
+        if split_var.is_none() {
+            'effects: for &i in &enabled {
+                effect_offsets.push(effect_cache.len());
+                for &(_, e) in &transitions[i].effect {
+                    let value = eval_packed(pool, e, &cur_vals, &cur_known);
+                    if let Eval::Unknown(var) = value {
+                        split_var = Some(var);
+                        break 'effects;
+                    }
+                    effect_cache.push(value);
+                }
+            }
+        }
+        if let Some(var) = split_var {
+            let (lo, hi) = model.vars[var].domain;
+            out.states_created += model.vars[var].domain_size();
+            lattice.ops[sig as usize] += model.vars[var].domain_size();
+            arena.push_split(
+                entry.loc,
+                sig,
+                entry.depth,
+                &cur_vals,
+                &cur_known,
+                var as u32,
+                lo,
+                hi,
+            );
+            continue;
+        }
+        // Fire enabled transitions (in reverse so the first is explored
+        // first by the DFS).  Unlike the single-query monitor there is no
+        // pruning: a wrong decision only kills the affected monitors inside
+        // the signature — the run stays interesting to the other queries,
+        // and the fire/push ops are charged to the post-decision signature,
+        // which is exactly the set of queries whose own search would have
+        // paid for them.
+        for pos in (0..enabled.len()).rev() {
+            let t: &PreparedTransition = &transitions[enabled[pos]];
+            let dense = ctx.relevant_dense[t.index as usize];
+            let sig_next = if dense != u32::MAX {
+                lattice.step(sig, dense, t, ctx.queries)
+            } else {
+                sig
+            };
+            if sig_next != sig && !lattice.is_live(sig_next, alive, epoch) {
+                // The decision just killed the last alive query that was
+                // still matchable on this run: every single-query search
+                // prunes this transition (at this decision or an earlier
+                // one), so the shared traversal does too, and no alive
+                // query's op counter is owed anything for it.
+                continue;
+            }
+            child_vals.copy_from_slice(&cur_vals);
+            child_known.copy_from_slice(&cur_known);
+            let mut failed = false;
+            let cached = &effect_cache[effect_offsets[pos]..];
+            for (&(target, _), value) in t.effect.iter().zip(cached) {
+                match *value {
+                    Eval::Known(v) => {
+                        let target = target as usize;
+                        if target >= ctx.vars_n {
+                            failed = true;
+                            break;
+                        }
+                        child_vals[target] = model.vars[target].ty.wrap(v);
+                        child_known[target >> 6] |= 1 << (target & 63);
+                    }
+                    Eval::Unknown(_) | Eval::Error => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if failed {
+                continue;
+            }
+            out.transitions_fired += 1;
+            out.states_created += 1;
+            lattice.ops[sig_next as usize] += 2;
+            arena.push(t.to, sig_next, entry.depth + 1, &child_vals, &child_known);
+        }
+    }
+}
+
+impl<'a> RunCtx<'a> {
+    fn output(&self) -> RunOutput {
+        RunOutput {
+            query_ops: vec![0; self.queries.len()],
+            completions: (0..self.queries.len()).map(|_| None).collect(),
+            states_created: 0,
+            transitions_fired: 0,
+            max_depth: 0,
+            pops: 0,
+            tripped: false,
+            dedup_checks: 0,
+            signatures: 0,
+        }
+    }
+}
+
+/// Pending work still on the arena, in frontier units (a concrete entry is
+/// one unit, a pending split one unit per remaining value).
+fn frontier_units(arena: &StateArena) -> u64 {
+    arena
+        .frontier_shape()
+        .map(|width| width.max(1))
+        .sum::<u64>()
+}
+
+/// One shard: a contiguous run of frontier work items, in sequential pop
+/// order.
+struct Shard {
+    items: Vec<FrontierEntry>,
+}
+
+/// Cuts the seed's frontier into ordered shards: entries in pop order, lazy
+/// splits chunked into ascending value ranges, consecutive items packed
+/// until each shard holds roughly `units / SHARD_TARGET` frontier units.
+/// Everything here is a pure function of the frontier — never of the thread
+/// count — so the shard set is deterministic.
+fn build_shards(frontier: Vec<FrontierEntry>) -> Vec<Shard> {
+    let units: u64 = frontier
+        .iter()
+        .map(|e| match e.split {
+            Some((_, lo, hi)) => (hi - lo + 1).max(1) as u64,
+            None => 1,
+        })
+        .sum();
+    let per_shard = (units / SHARD_TARGET).max(1);
+    let mut shards: Vec<Shard> = Vec::new();
+    let mut current: Vec<FrontierEntry> = Vec::new();
+    let mut current_units: u64 = 0;
+    let mut flush = |current: &mut Vec<FrontierEntry>, current_units: &mut u64| {
+        if !current.is_empty() {
+            shards.push(Shard {
+                items: std::mem::take(current),
+            });
+            *current_units = 0;
+        }
+    };
+    for entry in frontier {
+        match entry.split {
+            None => {
+                current.push(entry);
+                current_units += 1;
+                if current_units >= per_shard {
+                    flush(&mut current, &mut current_units);
+                }
+            }
+            Some((var, lo, hi)) => {
+                let mut next = lo;
+                while next <= hi {
+                    let room = per_shard - current_units;
+                    let take = room.min((hi - next + 1) as u64).max(1);
+                    let upper = next + take as i64 - 1;
+                    current.push(FrontierEntry {
+                        split: Some((var, next, upper)),
+                        ..entry.clone()
+                    });
+                    current_units += take;
+                    next = upper + 1;
+                    if current_units >= per_shard {
+                        flush(&mut current, &mut current_units);
+                    }
+                }
+            }
+        }
+    }
+    flush(&mut current, &mut current_units);
+    shards
+}
+
+/// Resolves the explorer's worker count: an explicit override via
+/// `TMG_EXPLORE_THREADS` or `RAYON_NUM_THREADS`, else the machine's
+/// available parallelism.  Thread count never changes results — only
+/// wall-clock time.
+fn default_explore_threads() -> usize {
+    // Inside a rayon worker (testgen's residual fan-out, the service's
+    // analyse_all) the cores are already owned by the outer parallelism:
+    // spawning a full complement of scoped workers per task would
+    // oversubscribe quadratically, so nested explorations stay sequential —
+    // mirroring the vendored rayon shim's own nested-collect rule.
+    if std::thread::current()
+        .name()
+        .is_some_and(|name| name.starts_with("rayon-shim-"))
+    {
+        return 1;
+    }
+    for var in ["TMG_EXPLORE_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The annotated result of one shared exploration, ready to answer any of
+/// the queries it was explored for.
 #[derive(Debug)]
 pub struct MultiQueryEngine {
     /// Per query: how the shared exploration settled it (`None` = give the
     /// query back to per-query search).
     resolutions: Vec<Option<Resolution>>,
-    /// Whether the exploration stopped at the shared budget with the stack
-    /// non-empty.
+    /// Whether the exploration stopped at the shared budget with work left.
     gave_up: bool,
     /// Cost of the shared exploration.
     stats: CheckStats,
-    /// Number of distinct decision signatures encountered.
+    /// Number of distinct decision signatures encountered (seed lattice plus
+    /// the largest shard extension).
     signatures: usize,
 }
 
 impl MultiQueryEngine {
     /// Explores `prepared`'s state space once and settles every query it can
-    /// within `min(queries, 4)` multiples of `checker`'s per-query budget.
+    /// within `min(queries, 4)` multiples of `checker`'s per-query budget,
+    /// fanning large explorations out across the machine's cores (see the
+    /// module docs; results are identical for every thread count).
     pub fn explore(
         checker: &ModelChecker,
         prepared: &PreparedModel<'_>,
         queries: &[PathQuery],
+    ) -> MultiQueryEngine {
+        Self::explore_with_threads(checker, prepared, queries, default_explore_threads())
+    }
+
+    /// Like [`explore`](MultiQueryEngine::explore) with an explicit worker
+    /// count (used by the determinism tests and the thread-scaling bench).
+    pub fn explore_with_threads(
+        checker: &ModelChecker,
+        prepared: &PreparedModel<'_>,
+        queries: &[PathQuery],
+        threads: usize,
     ) -> MultiQueryEngine {
         let start = Instant::now();
         let model = prepared.model;
@@ -299,28 +1019,45 @@ impl MultiQueryEngine {
             .iter()
             .flat_map(|q| q.stmts().iter().copied())
             .collect();
-        let mut relevant = vec![false; model.transitions.len()];
+        let mut relevant_dense = vec![u32::MAX; model.transitions.len()];
+        let mut relevant_n: u32 = 0;
         for transitions in &prepared.program.outgoing {
             for t in transitions {
                 if let Some((stmt, _)) = t.decision {
-                    relevant[t.index as usize] = relevant_stmts.contains(&stmt);
+                    if relevant_stmts.contains(&stmt) {
+                        relevant_dense[t.index as usize] = relevant_n;
+                        relevant_n += 1;
+                    }
                 }
             }
         }
 
         let query_budget = checker.max_transitions;
-        let shared_budget =
+        let op_cap =
             query_budget.saturating_mul(SHARED_BUDGET_FACTOR.min(queries.len().max(1) as u64));
-        let mut next_sweep = SWEEP_INTERVAL;
+        let zeros = vec![0u64; queries.len()];
+        let threads = threads.max(1);
+        let seed_ctx = RunCtx {
+            prepared,
+            queries,
+            relevant_dense: &relevant_dense,
+            vars_n,
+            words,
+            query_budget,
+            op_cap,
+            base_ops: &zeros,
+            knowledge: None,
+            visited: None,
+            visited_quota: 0,
+            // The trigger never depends on the thread count: one worker runs
+            // the exact same shard set in order, which is what makes 1-vs-N
+            // results bit-identical even at the shared-budget give-up
+            // boundary (the determinism tests pin this).
+            shard_trigger: Some(SHARD_SEED_OPS),
+            max_depth: checker.max_depth,
+        };
 
-        let mut lattice = SigLattice::new(queries);
-        let mut resolutions: Vec<Option<Resolution>> = vec![None; queries.len()];
-        let mut open = queries.len();
-        // Bumped on every resolution so cached per-signature liveness is
-        // recomputed lazily.
-        let mut epoch: u64 = 1;
-
-        let pool = &prepared.program.pool;
+        let mut lattice = SigLattice::new(queries, relevant_n as usize);
         let mut arena = StateArena::new(vars_n, words);
         {
             let mut vals = vec![0i64; vars_n];
@@ -333,226 +1070,343 @@ impl MultiQueryEngine {
             }
             arena.push(model.initial.index() as u32, 0, 0, &vals, &known);
         }
-        stats.states_created = 1;
+        let mut alive = vec![true; queries.len()];
+        let mut seed_out = seed_ctx.output();
+        seed_out.states_created = 1;
         lattice.ops[0] += 1;
 
-        let mut cur_vals = vec![0i64; vars_n];
-        let mut cur_known = vec![0u64; words];
-        let mut child_vals = vec![0i64; vars_n];
-        let mut child_known = vec![0u64; words];
-        let mut enabled: Vec<usize> = Vec::with_capacity(8);
-        let mut effect_cache: Vec<Eval> = Vec::with_capacity(8);
-        let mut effect_offsets: Vec<usize> = Vec::with_capacity(8);
-        let mut gave_up = false;
-        let mut drained = true;
+        let seed_exit = run_exploration(
+            &seed_ctx,
+            &mut lattice,
+            &mut arena,
+            &mut alive,
+            &mut seed_out,
+        );
+        lattice.query_ops_all(&mut seed_out.query_ops);
+        seed_out.signatures = lattice.vecs.len();
 
-        'search: while let Some(entry) = arena.pop(&mut cur_vals, &mut cur_known) {
-            let total_ops = stats.transitions_fired + stats.states_created;
-            if total_ops >= shared_budget {
-                gave_up = true;
-                drained = false;
-                break 'search;
-            }
-            if total_ops >= next_sweep {
-                // Certification sweep: any open query whose reconstructed
-                // counter has hit its budget is settled as Unknown — its own
-                // search would have given up by now.
-                next_sweep = total_ops + SWEEP_INTERVAL;
-                for (q, slot) in resolutions.iter_mut().enumerate() {
-                    if slot.is_none() && lattice.query_ops(q) >= query_budget {
-                        *slot = Some(Resolution::Unknown);
-                        open -= 1;
-                        epoch += 1;
-                    }
-                }
-                if open == 0 {
-                    drained = false;
-                    break 'search;
-                }
-            }
-            stats.max_depth = stats.max_depth.max(entry.depth);
-            let sig = entry.monitor;
-            // Membership scan: does this state's signature complete a query
-            // that is still open?  Pops happen in the exact DFS order of the
-            // single-query search, so the first hit per query *is* the
-            // single-query witness state — unless that search's budget
-            // counter had already tripped, in which case it never got here.
-            if lattice.pending[sig as usize] {
-                for i in 0..lattice.completes[sig as usize].len() {
-                    let q = lattice.completes[sig as usize][i] as usize;
-                    if resolutions[q].is_none() {
-                        resolutions[q] = Some(if lattice.query_ops(q) >= query_budget {
-                            Resolution::Unknown
-                        } else {
-                            Resolution::Feasible(
-                                witness_packed(model, &cur_vals, &cur_known),
-                                entry.depth,
-                            )
-                        });
-                        open -= 1;
-                        epoch += 1;
-                    }
-                }
-                lattice.pending[sig as usize] = false;
-                if open == 0 {
-                    // Every query is settled; the rest of the exploration
-                    // could only prove infeasibilities nobody asked about.
-                    drained = false;
-                    break 'search;
-                }
-            }
-            if !lattice.is_live(sig, &resolutions, epoch) {
-                // Every unresolved query is dead here: no single-query search
-                // would expand this state.
-                continue;
-            }
-            if entry.depth >= checker.max_depth {
-                continue;
-            }
-            let transitions = &prepared.program.outgoing[entry.loc as usize];
-            if transitions.is_empty() {
-                continue;
-            }
+        let mut shard_runs: Vec<ShardSlot> = Vec::new();
+        let seed_tripped = matches!(seed_exit, RunExit::Tripped);
 
-            // Enabled-set computation and lazy splitting, identical to the
-            // single-query engine.
-            let mut split_var: Option<usize> = None;
-            enabled.clear();
-            for (i, t) in transitions.iter().enumerate() {
-                match t.guard {
-                    None => enabled.push(i),
-                    Some(g) => match eval_packed(pool, g, &cur_vals, &cur_known) {
-                        Eval::Known(v) => {
-                            if v != 0 {
-                                enabled.push(i);
-                            }
-                        }
-                        Eval::Unknown(var) => {
-                            split_var = Some(var);
-                            break;
-                        }
-                        Eval::Error => {}
-                    },
-                }
-            }
-            effect_cache.clear();
-            effect_offsets.clear();
-            if split_var.is_none() {
-                'effects: for &i in &enabled {
-                    effect_offsets.push(effect_cache.len());
-                    for &(_, e) in &transitions[i].effect {
-                        let value = eval_packed(pool, e, &cur_vals, &cur_known);
-                        if let Eval::Unknown(var) = value {
-                            split_var = Some(var);
-                            break 'effects;
-                        }
-                        effect_cache.push(value);
-                    }
-                }
-            }
-            if let Some(var) = split_var {
-                let (lo, hi) = model.vars[var].domain;
-                stats.states_created += model.vars[var].domain_size();
-                lattice.ops[sig as usize] += model.vars[var].domain_size();
-                arena.push_split(
-                    entry.loc,
-                    sig,
-                    entry.depth,
-                    &cur_vals,
-                    &cur_known,
-                    var as u32,
-                    lo,
-                    hi,
-                );
-                continue;
-            }
-            // Fire enabled transitions (in reverse so the first is explored
-            // first by the DFS).  Unlike the single-query monitor there is no
-            // pruning: a wrong decision only kills the affected monitors
-            // inside the signature — the run stays interesting to the other
-            // queries, and the fire/push ops are charged to the post-decision
-            // signature, which is exactly the set of queries whose own search
-            // would have paid for them.
-            for pos in (0..enabled.len()).rev() {
-                let t: &PreparedTransition = &transitions[enabled[pos]];
-                let sig_next = if relevant[t.index as usize] {
-                    lattice.step(sig, t, queries)
-                } else {
-                    sig
-                };
-                if sig_next != sig && !lattice.is_live(sig_next, &resolutions, epoch) {
-                    // The decision just killed the last unresolved query that
-                    // was still matchable on this run: every single-query
-                    // search prunes this transition (at this decision or an
-                    // earlier one), so the shared traversal does too, and no
-                    // unresolved query's op counter is owed anything for it.
-                    continue;
-                }
-                child_vals.copy_from_slice(&cur_vals);
-                child_known.copy_from_slice(&cur_known);
-                let mut failed = false;
-                let cached = &effect_cache[effect_offsets[pos]..];
-                for (&(target, _), value) in t.effect.iter().zip(cached) {
-                    match *value {
-                        Eval::Known(v) => {
-                            let target = target as usize;
-                            if target >= vars_n {
-                                failed = true;
-                                break;
-                            }
-                            child_vals[target] = model.vars[target].ty.wrap(v);
-                            child_known[target >> 6] |= 1 << (target & 63);
-                        }
-                        Eval::Unknown(_) | Eval::Error => {
-                            failed = true;
-                            break;
-                        }
-                    }
-                }
-                if failed {
-                    continue;
-                }
-                stats.transitions_fired += 1;
-                stats.states_created += 1;
-                lattice.ops[sig_next as usize] += 2;
-                arena.push(t.to, sig_next, entry.depth + 1, &child_vals, &child_known);
-            }
-        }
+        if matches!(seed_exit, RunExit::ShardReady) {
+            let frontier = arena.drain_frontier();
+            let shards = build_shards(frontier);
+            let shard_base: Vec<u64> = seed_out.query_ops.clone();
+            let unresolved_at_seed: Vec<bool> = alive.clone();
+            let open_after_seed = alive.iter().filter(|&&a| a).count();
+            // Per-shard visited-table quota: the memory bound is divided
+            // deterministically instead of raced for, so a shard's own
+            // dedup-skip set never depends on how fast *other* shards filled
+            // the table.
+            let visited_quota = VISITED_TOTAL_CAP / shards.len().max(1);
 
-        if drained {
-            // Stack empty: every open query either ran out of its own budget
-            // on the way (Unknown) or provably has no completing state
-            // (Infeasible).
-            for (q, slot) in resolutions.iter_mut().enumerate() {
-                if slot.is_none() {
-                    *slot = Some(if lattice.query_ops(q) >= query_budget {
-                        Resolution::Unknown
+            let run_shard_phase = |workers: usize| -> (Vec<ShardSlot>, (u64, u64, u64)) {
+                let knowledge = SharedKnowledge::new(queries.len());
+                let visited = ShardedVisited::new();
+                let slots: Vec<Mutex<ShardSlotState>> = (0..shards.len())
+                    .map(|_| Mutex::new(ShardSlotState::Pending))
+                    .collect();
+                let next_shard = AtomicUsize::new(0);
+                let all_settled = AtomicBool::new(open_after_seed == 0);
+                let prefix = Mutex::new(PrefixState {
+                    next: 0,
+                    cumulative: shard_base.clone(),
+                    settled: unresolved_at_seed.iter().map(|&a| !a).collect(),
+                    open: open_after_seed,
+                });
+
+                let run_one = |index: usize, local: &mut Option<SigLattice>| {
+                    if all_settled.load(Ordering::Acquire) {
+                        *slots[index].lock().expect("slot") = ShardSlotState::Skipped;
                     } else {
-                        Resolution::Infeasible
+                        let ctx = RunCtx {
+                            prepared,
+                            queries,
+                            relevant_dense: &relevant_dense,
+                            vars_n,
+                            words,
+                            query_budget,
+                            op_cap,
+                            base_ops: &shard_base,
+                            knowledge: Some((&knowledge, index as u64)),
+                            visited: Some((&visited, index as u32)),
+                            visited_quota,
+                            shard_trigger: None,
+                            max_depth: checker.max_depth,
+                        };
+                        // Each worker forks the seed lattice once and resets
+                        // it between shards: the interned signatures and the
+                        // step memo are reusable verbatim, and every result
+                        // the reduction extracts is id-agnostic, so reuse
+                        // only saves the per-shard deep clone.
+                        let shard_lattice = match local {
+                            Some(lattice) => {
+                                lattice.reset_for_shard(&unresolved_at_seed);
+                                lattice
+                            }
+                            None => local.insert(lattice.fork(&unresolved_at_seed)),
+                        };
+                        let mut shard_arena = StateArena::new(vars_n, words);
+                        for item in shards[index].items.iter().rev() {
+                            shard_arena.push_frontier(item);
+                        }
+                        let mut shard_alive = unresolved_at_seed.clone();
+                        let mut out = ctx.output();
+                        run_exploration(
+                            &ctx,
+                            shard_lattice,
+                            &mut shard_arena,
+                            &mut shard_alive,
+                            &mut out,
+                        );
+                        shard_lattice.query_ops_all(&mut out.query_ops);
+                        out.signatures = shard_lattice.vecs.len();
+                        *slots[index].lock().expect("slot") = ShardSlotState::Done(out);
+                    }
+                    // Advance the done prefix: accumulate per-query ops over
+                    // finished shards *in index order* and mark queries
+                    // settled once the prefix holds a completion for them or
+                    // has spent their budget.  Every published value is a
+                    // prefix sum the sequential run computes too, so the
+                    // knowledge running shards prune on is deterministic in
+                    // content.
+                    let mut prefix = prefix.lock().expect("prefix");
+                    while prefix.next < slots.len() {
+                        let slot = slots[prefix.next].lock().expect("slot");
+                        match &*slot {
+                            ShardSlotState::Pending => break,
+                            ShardSlotState::Skipped => {}
+                            ShardSlotState::Done(out) => {
+                                if out.tripped {
+                                    // Everything behind the first trip is
+                                    // discarded by the reduction's cutoff;
+                                    // exploring it would be pure waste.
+                                    all_settled.store(true, Ordering::Release);
+                                }
+                                let PrefixState {
+                                    cumulative,
+                                    settled,
+                                    open,
+                                    ..
+                                } = &mut *prefix;
+                                for (q, settled_q) in settled.iter_mut().enumerate() {
+                                    if *settled_q {
+                                        continue;
+                                    }
+                                    if out.completions[q].is_some() {
+                                        *settled_q = true;
+                                        *open -= 1;
+                                        continue;
+                                    }
+                                    cumulative[q] += out.query_ops[q];
+                                    knowledge.prefix_ops[q].store(
+                                        cumulative[q].saturating_sub(shard_base[q]),
+                                        Ordering::Relaxed,
+                                    );
+                                    if cumulative[q] >= query_budget {
+                                        *settled_q = true;
+                                        *open -= 1;
+                                    }
+                                }
+                            }
+                        }
+                        drop(slot);
+                        prefix.next += 1;
+                    }
+                    if prefix.open == 0 {
+                        all_settled.store(true, Ordering::Release);
+                    }
+                };
+
+                if workers <= 1 {
+                    let mut local = None;
+                    for index in 0..shards.len() {
+                        run_one(index, &mut local);
+                    }
+                } else {
+                    std::thread::scope(|scope| {
+                        for _ in 0..workers {
+                            scope.spawn(|| {
+                                let mut local = None;
+                                loop {
+                                    let index = next_shard.fetch_add(1, Ordering::Relaxed);
+                                    if index >= shards.len() {
+                                        break;
+                                    }
+                                    run_one(index, &mut local);
+                                }
+                            });
+                        }
                     });
                 }
+                let counters = visited.counters();
+                let runs: Vec<ShardSlot> = slots
+                    .into_iter()
+                    .map(|slot| match slot.into_inner().expect("slot") {
+                        ShardSlotState::Done(out) => ShardSlot::Done(out),
+                        ShardSlotState::Skipped => ShardSlot::Skipped,
+                        ShardSlotState::Pending => unreachable!("every shard was claimed"),
+                    })
+                    .collect();
+                (runs, counters)
+            };
+
+            let workers = threads.max(1).min(shards.len().max(1));
+            let (runs, mut visited_counters) = run_shard_phase(workers);
+            shard_runs = runs;
+            if workers > 1
+                && shard_runs.iter().any(
+                    |s| matches!(s, ShardSlot::Done(out) if out.tripped || out.dedup_checks > 0),
+                )
+            {
+                // A shard hit its op cap, or grew large enough for the
+                // visited-table valve to engage.  Both make results depend on
+                // how much speculative work the shard did before cross-shard
+                // knowledge reached it — which is timing-dependent: the
+                // give-up cutoff discards everything behind the first trip,
+                // and dedup skips change the ops attribution.  To keep
+                // resolutions bit-identical across thread counts, these rare
+                // regimes re-run the shard schedule in order on one worker,
+                // where knowledge is always complete before each shard
+                // starts and every decision is a pure function of the
+                // inputs.  (A multi-threaded run always does at least as
+                // many pops per shard as the sequential schedule, so any
+                // run the sequential schedule would trip or dedup is
+                // re-run here too.)
+                let (runs, counters) = run_shard_phase(1);
+                shard_runs = runs;
+                visited_counters = counters;
             }
-        } else if gave_up {
-            // Shared budget exhausted: certify what can be certified, give
-            // the rest back to per-query search.
-            for (q, slot) in resolutions.iter_mut().enumerate() {
-                if slot.is_none() && lattice.query_ops(q) >= query_budget {
-                    *slot = Some(Resolution::Unknown);
+            // Publish metrics once, for the phase whose results are used.
+            let (insertions, hits, collisions) = visited_counters;
+            metrics::add_visited_insertions(insertions);
+            metrics::add_visited_hits(hits);
+            metrics::add_visited_collisions(collisions);
+            metrics::add_shards_explored(
+                shard_runs
+                    .iter()
+                    .filter(|s| matches!(s, ShardSlot::Done(_)))
+                    .count() as u64,
+            );
+            metrics::add_shards_skipped(
+                shard_runs
+                    .iter()
+                    .filter(|s| matches!(s, ShardSlot::Skipped))
+                    .count() as u64,
+            );
+        }
+
+        // Deterministic reduction over seed + shards in order.
+        let mut resolutions: Vec<Option<Resolution>> = vec![None; queries.len()];
+        let mut gave_up = seed_tripped;
+        // The cutoff: shards at or before the first tripped one contribute;
+        // results past it are discarded (the sequential search would have
+        // given up there).
+        let mut cutoff = shard_runs.len();
+        for (i, slot) in shard_runs.iter().enumerate() {
+            if let ShardSlot::Done(out) = slot {
+                if out.tripped {
+                    cutoff = i + 1;
+                    gave_up = true;
+                    break;
                 }
             }
         }
+        // Whether the whole reachable frontier was explored (Infeasible
+        // verdicts are only sound then).  `AllSettled` counts: the traversal
+        // stopped early only because every query already had a completion or
+        // certification, which the per-query loop below consumes first.
+        let fully_drained = match seed_exit {
+            RunExit::Drained | RunExit::AllSettled => true,
+            RunExit::Tripped => false,
+            RunExit::ShardReady => cutoff == shard_runs.len(),
+        };
 
+        for (q, resolution) in resolutions.iter_mut().enumerate() {
+            let mut cumulative = seed_out.query_ops[q];
+            if let Some(c) = &seed_out.completions[q] {
+                *resolution = Some(if c.ops_at_pop >= query_budget {
+                    Resolution::Unknown
+                } else {
+                    Resolution::Feasible(c.witness.clone(), c.depth)
+                });
+                continue;
+            }
+            if cumulative >= query_budget {
+                *resolution = Some(Resolution::Unknown);
+                continue;
+            }
+            if seed_tripped {
+                continue; // unresolved → per-query fallback
+            }
+            let mut settled = false;
+            let mut hit_skip = false;
+            for slot in shard_runs.iter().take(cutoff) {
+                let out = match slot {
+                    ShardSlot::Done(out) => out,
+                    // A shard is only skipped once every query is settled by
+                    // earlier *finished* shards, so a still-unsettled query
+                    // cannot legitimately get here; bail to per-query
+                    // fallback rather than mis-certify.
+                    ShardSlot::Skipped => {
+                        hit_skip = true;
+                        break;
+                    }
+                };
+                if let Some(c) = &out.completions[q] {
+                    let total = cumulative + c.ops_at_pop;
+                    *resolution = Some(if total >= query_budget {
+                        Resolution::Unknown
+                    } else {
+                        Resolution::Feasible(c.witness.clone(), c.depth)
+                    });
+                    settled = true;
+                    break;
+                }
+                cumulative += out.query_ops[q];
+                if cumulative >= query_budget {
+                    *resolution = Some(Resolution::Unknown);
+                    settled = true;
+                    break;
+                }
+            }
+            if !settled && !hit_skip && fully_drained {
+                *resolution = Some(if cumulative >= query_budget {
+                    Resolution::Unknown
+                } else {
+                    Resolution::Infeasible
+                });
+            }
+        }
+
+        // Aggregate cost statistics (deterministic parts plus whatever the
+        // contributing shards actually explored).
+        stats.states_created = seed_out.states_created;
+        stats.transitions_fired = seed_out.transitions_fired;
+        stats.max_depth = seed_out.max_depth;
+        let mut signatures = seed_out.signatures;
+        let mut pops = seed_out.pops;
+        for slot in shard_runs.iter().take(cutoff) {
+            if let ShardSlot::Done(out) = slot {
+                stats.states_created += out.states_created;
+                stats.transitions_fired += out.transitions_fired;
+                stats.max_depth = stats.max_depth.max(out.max_depth);
+                signatures = signatures.max(out.signatures);
+                pops += out.pops;
+            }
+        }
+        metrics::add_states_explored(pops);
         stats.memory_estimate_bytes = stats.states_created * stats.state_bytes;
         stats.duration = start.elapsed();
         MultiQueryEngine {
             resolutions,
             gave_up,
             stats,
-            signatures: lattice.vecs.len(),
+            signatures,
         }
     }
 
-    /// Whether the exploration hit the shared budget before the stack
+    /// Whether the exploration hit the shared budget before the frontier
     /// drained (queries it could not certify then report `None` from
     /// [`MultiQueryEngine::outcome`]).
     pub fn exhausted(&self) -> bool {
@@ -598,6 +1452,29 @@ impl MultiQueryEngine {
             opt_report: Default::default(),
         })
     }
+}
+
+/// A shard's published result.
+enum ShardSlot {
+    Done(RunOutput),
+    Skipped,
+}
+
+enum ShardSlotState {
+    Pending,
+    Done(RunOutput),
+    Skipped,
+}
+
+/// Deterministic settled-prefix tracking for the shard skip rule: the next
+/// unprocessed shard index, the per-query op totals over the processed
+/// prefix (seeded with the seed phase's counters), and which queries that
+/// prefix already settles.
+struct PrefixState {
+    next: usize,
+    cumulative: Vec<u64>,
+    settled: Vec<bool>,
+    open: usize,
 }
 
 #[cfg(test)]
@@ -793,5 +1670,100 @@ mod tests {
         assert!(batched
             .windows(2)
             .all(|w| w[0].stats.states_created == w[1].stats.states_created));
+    }
+
+    /// A function wide enough to trip the shard trigger (one 0..=20000 split
+    /// at the first guard read).
+    fn sharded_fixture() -> (tmg_minic::Function, Vec<PathQuery>) {
+        all_queries(
+            r#"
+            void f(int key __range(0, 20000), char mode __range(0, 3)) {
+                if (key == 1234) { h1(); }
+                if (key == 19999) { h2(); }
+                if (mode > 1) { fast(); } else { slow(); }
+            }
+        "#,
+        )
+    }
+
+    #[test]
+    fn sharded_exploration_matches_single_query_results() {
+        let (f, queries) = sharded_fixture();
+        let checker = ModelChecker::new();
+        let model = encode_function(&f, &Optimisations::all().encode_options());
+        let prepared = PreparedModel::new(&model);
+        let engine = MultiQueryEngine::explore_with_threads(&checker, &prepared, &queries, 2);
+        for (i, query) in queries.iter().enumerate() {
+            let single = checker.check_prepared(&prepared, query);
+            assert_eq!(
+                engine.outcome(i).expect("settled"),
+                single.outcome,
+                "sharded vs single on {:?}",
+                query.decisions
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_resolutions() {
+        let (f, queries) = sharded_fixture();
+        let checker = ModelChecker::new();
+        let model = encode_function(&f, &Optimisations::all().encode_options());
+        let prepared = PreparedModel::new(&model);
+        let reference: Vec<Option<CheckOutcome>> = {
+            let engine = MultiQueryEngine::explore_with_threads(&checker, &prepared, &queries, 1);
+            (0..queries.len()).map(|q| engine.outcome(q)).collect()
+        };
+        for threads in [2, 4, 8] {
+            let engine =
+                MultiQueryEngine::explore_with_threads(&checker, &prepared, &queries, threads);
+            let outcomes: Vec<Option<CheckOutcome>> =
+                (0..queries.len()).map(|q| engine.outcome(q)).collect();
+            assert_eq!(outcomes, reference, "{threads} threads diverge from 1");
+        }
+    }
+
+    #[test]
+    fn shard_chunking_is_deterministic_and_ordered() {
+        let frontier = vec![
+            FrontierEntry {
+                loc: 1,
+                monitor: 0,
+                depth: 3,
+                vals: vec![0],
+                known: vec![0],
+                split: Some((0, 0, 999)),
+            },
+            FrontierEntry {
+                loc: 2,
+                monitor: 0,
+                depth: 1,
+                vals: vec![0],
+                known: vec![0],
+                split: None,
+            },
+        ];
+        let shards = build_shards(frontier.clone());
+        let shards_again = build_shards(frontier);
+        assert_eq!(shards.len(), shards_again.len());
+        // Split ranges come out ascending and contiguous, concrete entries
+        // keep their position after the split.
+        let mut next_expected = 0i64;
+        let mut saw_concrete = false;
+        for shard in &shards {
+            for item in &shard.items {
+                match item.split {
+                    Some((_, lo, hi)) => {
+                        assert!(!saw_concrete, "split chunks precede the deeper entry");
+                        assert_eq!(lo, next_expected);
+                        assert!(hi >= lo);
+                        next_expected = hi + 1;
+                    }
+                    None => saw_concrete = true,
+                }
+            }
+        }
+        assert_eq!(next_expected, 1000);
+        assert!(saw_concrete);
     }
 }

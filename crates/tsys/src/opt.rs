@@ -190,6 +190,140 @@ pub fn shared_optimisation_for_queries(
 }
 
 // ---------------------------------------------------------------------------
+// Cone-of-influence slicing (query-batch-aware reduction)
+// ---------------------------------------------------------------------------
+
+/// What the cone-of-influence slice removed for one query batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SliceReport {
+    /// Statements removed (assignments and whole branch statements together
+    /// with everything inside them).
+    pub removed_stmts: usize,
+    /// Locals whose every mention was removed (their state dimensions
+    /// disappear from the encoded model).
+    pub removed_vars: Vec<String>,
+    /// Inputs whose entry value can affect a kept guard
+    /// ([`tmg_cfg::ConeOfInfluence::entry_live`]): the ones a sliced witness
+    /// genuinely constrains.  The checker pins exactly these when completing
+    /// the witness against the full model.
+    pub constrained_inputs: HashSet<String>,
+}
+
+/// Slices `function` to the cone of influence of a path-query batch whose
+/// statement union is `union`: statements and locals that can affect neither
+/// the queried decisions nor any guard those decisions (transitively) depend
+/// on are removed ([`tmg_cfg::cone_of_influence`] computes the set).
+///
+/// Returns `None` when the cone covers the whole function — the caller
+/// should keep using its full (usually cached) model, paying nothing.
+/// Function parameters always survive, so a witness found on the slice
+/// assigns every input of the full model.
+///
+/// The sliced function preserves every covered query's *verdict*: a dropped
+/// branch has no kept statement and no `return` in any arm (so all runs
+/// rejoin identically), dropped assignments feed no kept guard, dropped
+/// expressions cannot fault, and `while` loops are never dropped — hence for
+/// any input vector the kept guards evaluate identically with and without
+/// the dropped code, and the monitors (which watch statements inside `union`,
+/// all of them kept) make identical progress.  Witness *vectors* are
+/// completed against the full model by the caller
+/// ([`crate::ModelChecker::check_many_shared`] re-searches the full model
+/// with the slice's relevant inputs pinned), so reported witnesses and step
+/// counts are full-model-consistent.
+pub fn slice_for_queries(
+    function: &Function,
+    union: &HashSet<StmtId>,
+) -> Option<(Function, SliceReport)> {
+    let cone = tmg_cfg::cone_of_influence(function, union);
+    if !cone.drops_anything() {
+        return None;
+    }
+    let mut f = function.clone();
+    let mut removed_stmts = 0usize;
+    retain_cone(&mut f.body, &cone.keep, &mut removed_stmts);
+    let dropped: HashSet<&String> = cone.droppable_locals.iter().collect();
+    f.locals.retain(|l| !dropped.contains(&l.name));
+    Some((
+        f,
+        SliceReport {
+            removed_stmts,
+            removed_vars: cone.droppable_locals.clone(),
+            constrained_inputs: cone.entry_live,
+        },
+    ))
+}
+
+/// Number of statements in `stmt` including everything nested inside it
+/// (so a dropped branch reports the full size of the code it removes).
+fn deep_stmt_count(stmt: &Stmt) -> usize {
+    fn block_count(block: &Block) -> usize {
+        block.stmts.iter().map(deep_stmt_count).sum()
+    }
+    1 + match stmt {
+        Stmt::Assign { .. } | Stmt::Call { .. } | Stmt::Return { .. } => 0,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => block_count(then_branch) + else_branch.as_ref().map(block_count).unwrap_or(0),
+        Stmt::Switch { cases, default, .. } => {
+            cases.iter().map(|c| block_count(&c.body)).sum::<usize>()
+                + default.as_ref().map(block_count).unwrap_or(0)
+        }
+        Stmt::While { body, .. } => block_count(body),
+    }
+}
+
+/// Drops every assignment and branch statement outside `keep` (branches go
+/// with their whole bodies; calls and returns always survive).
+fn retain_cone(block: &mut Block, keep: &HashSet<StmtId>, removed: &mut usize) {
+    let dropped: usize = block
+        .stmts
+        .iter()
+        .filter(|s| match s {
+            Stmt::Call { .. } | Stmt::Return { .. } => false,
+            Stmt::Assign { id, .. }
+            | Stmt::If { id, .. }
+            | Stmt::Switch { id, .. }
+            | Stmt::While { id, .. } => !keep.contains(id),
+        })
+        .map(deep_stmt_count)
+        .sum();
+    block.stmts.retain(|s| match s {
+        Stmt::Call { .. } | Stmt::Return { .. } => true,
+        Stmt::Assign { id, .. }
+        | Stmt::If { id, .. }
+        | Stmt::Switch { id, .. }
+        | Stmt::While { id, .. } => keep.contains(id),
+    });
+    *removed += dropped;
+    for stmt in &mut block.stmts {
+        match stmt {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                retain_cone(then_branch, keep, removed);
+                if let Some(b) = else_branch {
+                    retain_cone(b, keep, removed);
+                }
+            }
+            Stmt::Switch { cases, default, .. } => {
+                for case in cases.iter_mut() {
+                    retain_cone(&mut case.body, keep, removed);
+                }
+                if let Some(b) = default {
+                    retain_cone(b, keep, removed);
+                }
+            }
+            Stmt::While { body, .. } => retain_cone(body, keep, removed),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Reverse CSE (3.2.1)
 // ---------------------------------------------------------------------------
 
@@ -761,6 +895,55 @@ mod tests {
         assert!(optimised.vars.len() < naive.vars.len());
         assert!(optimised.transitions.len() <= naive.transitions.len());
         assert!(optimised.initial_state_count() < naive.initial_state_count());
+    }
+
+    #[test]
+    fn slice_drops_unqueried_independent_branches_and_their_vars() {
+        let src = r#"
+            void f(int key __range(0, 100), char mode __range(0, 5)) {
+                int log;
+                if (key == 42) { hit(); }
+                log = mode + 1;
+                if (mode > 3) { fast(); } else { slow(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let mut key_branch = None;
+        f.for_each_stmt(&mut |s| {
+            if matches!(s, Stmt::If { cond, .. } if cond.referenced_vars().contains(&"key")) {
+                key_branch = Some(s.id());
+            }
+        });
+        let union: HashSet<StmtId> = key_branch.into_iter().collect();
+        let (sliced, report) = slice_for_queries(&f, &union).expect("slice bites");
+        assert_eq!(sliced.branch_count(), 1, "mode branch removed");
+        assert!(sliced.decl("log").is_none());
+        assert_eq!(sliced.params.len(), 2, "parameters always survive");
+        assert!(report.removed_stmts >= 2);
+        assert_eq!(report.removed_vars, vec!["log".to_owned()]);
+        // Slicing is idempotent: slicing the slice changes nothing.
+        assert!(
+            slice_for_queries(&sliced, &union).is_none(),
+            "slicing a slice must be the identity"
+        );
+    }
+
+    #[test]
+    fn slice_is_identity_when_every_branch_is_queried() {
+        let src = r#"
+            void f(char a __range(0, 4)) {
+                if (a > 2) { x(); }
+                if (a < 1) { y(); }
+            }
+        "#;
+        let f = parse_function(src).expect("parse");
+        let mut union = HashSet::new();
+        f.for_each_stmt(&mut |s| {
+            if matches!(s, Stmt::If { .. }) {
+                union.insert(s.id());
+            }
+        });
+        assert!(slice_for_queries(&f, &union).is_none());
     }
 
     #[test]

@@ -68,13 +68,73 @@ impl ExprPool {
     }
 }
 
+/// A guard specialised for the overwhelmingly common shapes the encoder
+/// emits — `var ⋈ const`, a bare boolean variable, and their negations — so
+/// the search's enabled-set loop can decide them with one packed-state read
+/// instead of a pool walk.  Anything else falls back to the generic
+/// pool-evaluated [`NodeId`] path with identical semantics (comparisons
+/// cannot fault, so the fast path never has to model `Eval::Error`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FastGuard {
+    /// No guard: always enabled.
+    Always,
+    /// `var ⋈ rhs` (or its negation): `negate ^ (vals[var] ⋈ rhs)`.
+    Cmp {
+        var: u32,
+        op: BinOp,
+        rhs: i64,
+        negate: bool,
+    },
+    /// Anything else: evaluate the pre-resolved pool expression.
+    Node(NodeId),
+}
+
+impl FastGuard {
+    /// Classifies `expr` (already added to the pool as `node`).
+    fn classify(expr: &Expr, node: NodeId, var_index: &FxHashMap<&str, usize>) -> FastGuard {
+        fn atom(expr: &Expr, var_index: &FxHashMap<&str, usize>) -> Option<(u32, BinOp, i64)> {
+            match expr {
+                // Bare boolean read: truthy ⇔ `var != 0`.
+                Expr::Var(name) => var_index
+                    .get(name.as_str())
+                    .map(|&v| (v as u32, BinOp::Ne, 0)),
+                Expr::Binary { op, lhs, rhs } if op.is_comparison() => match (&**lhs, &**rhs) {
+                    (Expr::Var(name), Expr::Int(c)) => {
+                        var_index.get(name.as_str()).map(|&v| (v as u32, *op, *c))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        let (inner, negate) = match expr {
+            Expr::Unary {
+                op: UnOp::Not,
+                operand,
+            } => (&**operand, true),
+            other => (other, false),
+        };
+        match atom(inner, var_index) {
+            Some((var, op, rhs)) => FastGuard::Cmp {
+                var,
+                op,
+                rhs,
+                negate,
+            },
+            None => FastGuard::Node(node),
+        }
+    }
+}
+
 /// A transition with its guard and effects pre-resolved.
 #[derive(Debug, Clone)]
 pub(crate) struct PreparedTransition {
     /// Index of the source [`Transition`] in the model.
     pub(crate) index: u32,
-    /// Pre-resolved guard (`None` = always enabled).
-    pub(crate) guard: Option<NodeId>,
+    /// Pre-resolved guard, specialised for the common single-comparison
+    /// shapes (see [`FastGuard`]; `Always` when the transition has no
+    /// guard, `Node` for anything the fast path cannot decide).
+    pub(crate) fast_guard: FastGuard,
     /// Pre-resolved simultaneous assignments `(target index, expression)`.
     /// Targets that are not state variables get `u32::MAX`.
     pub(crate) effect: Vec<(u32, NodeId)>,
@@ -107,9 +167,16 @@ impl PreparedProgram {
         let mut outgoing: Vec<Vec<PreparedTransition>> =
             (0..model.locations as usize).map(|_| Vec::new()).collect();
         for (index, t) in model.transitions.iter().enumerate() {
+            let fast_guard = match &t.guard {
+                Some(g) => {
+                    let node = pool.add(g, &var_index);
+                    FastGuard::classify(g, node, &var_index)
+                }
+                None => FastGuard::Always,
+            };
             outgoing[t.from.index()].push(PreparedTransition {
                 index: index as u32,
-                guard: t.guard.as_ref().map(|g| pool.add(g, &var_index)),
+                fast_guard,
                 effect: t
                     .effect
                     .iter()
