@@ -7,30 +7,43 @@
 //! cargo run -p tmg-bench --release --bin reproduce -- sweep           # Figure-2/3 curve as JSON
 //! cargo run -p tmg-bench --release --bin reproduce -- sweep --stats   # + artifact-store counters
 //! cargo run -p tmg-bench --release --bin reproduce -- serve           # JSON-lines analysis server
+//! cargo run -p tmg-bench --release --bin reproduce -- serve --tcp 127.0.0.1:7077   # TCP transport
 //! cargo run -p tmg-bench --release --bin reproduce -- serve --smoke   # scripted cold/warm smoke
-//! cargo run -p tmg-bench --release --bin reproduce -- bench           # writes BENCH_pr5.json
+//! cargo run -p tmg-bench --release --bin reproduce -- loadtest        # mixed socket loadtest
+//! cargo run -p tmg-bench --release --bin reproduce -- bench           # writes BENCH_pr6.json
 //! cargo run -p tmg-bench --release --bin reproduce -- --quick         # CI smoke run
 //! ```
 //!
 //! `bench` records the before/after perf baseline and writes
-//! `BENCH_pr5.json` (path overridable with the `TMG_BENCH_OUT` environment
+//! `BENCH_pr6.json` (path overridable with the `TMG_BENCH_OUT` environment
 //! variable).  `sweep` prints the cached incremental Figure-2/3 tradeoff
 //! sweep as machine-readable JSON (written by hand; the vendored serde is
 //! derive-markers only); `TMG_TARGET_BLOCKS` sizes the generated function
-//! and `--stats` appends the artifact-store counter snapshot.  `serve`
-//! starts the persistent `tmg-service/v1` analysis server on stdin/stdout
-//! with the on-disk artifact cache rooted at `TMG_CACHE_DIR` (default
-//! `.tmg-cache`); `serve --smoke` runs a scripted two-session batch — cold
-//! run, warm re-run in a fresh store, stats assert — and fails on any bound
-//! mismatch or on a warm-run recomputation.
+//! and `--stats` appends the artifact-store counter snapshot.
+//!
+//! `serve` starts the persistent `tmg-service/v1` analysis server with the
+//! on-disk artifact cache rooted at `TMG_CACHE_DIR` (default `.tmg-cache`)
+//! on stdin/stdout, or — with `--tcp <addr>` — on a TCP listener accepting
+//! many concurrent pipelined connections.  Startup always runs the crash
+//! recovery scan (quarantining unverifiable frames, reclaiming orphaned
+//! `.tmp` files); `TMG_FAULT_PLAN` (e.g. `torn_write:3,crash_after_publish:1`)
+//! arms deterministic I/O fault injection.  `serve --smoke` runs a scripted
+//! cold/warm two-session batch and fails on any bound mismatch or warm-run
+//! recomputation; under `TMG_FAULT_PLAN` it additionally asserts that the
+//! faulted sessions answer bit-identically to a fault-free reference and
+//! that recovery quarantines what the faults damaged.  `loadtest` drives
+//! thousands of mixed requests (duplicate-heavy, cache-hostile,
+//! deadline-violating) over real sockets — `--requests N` / `--workers N`
+//! override the mix size and the scheduler pool — and then proves load
+//! shedding on a zero-capacity queue.
 
 use std::sync::Arc;
 use tmg_bench::{
-    case_study, figure2_3, multiquery_crosscheck, perf_report, shard_crosscheck, sweep_crosscheck,
-    table1, table1_paper, table2, testgen_experiment,
+    case_study, figure2_3, loadtest, multiquery_crosscheck, perf_report, shard_crosscheck,
+    sweep_crosscheck, table1, table1_paper, table2, testgen_experiment, LoadtestConfig,
 };
 use tmg_core::pipeline::ArtifactStore;
-use tmg_service::{json, PersistentStore, Server};
+use tmg_service::{json, FaultPlan, PersistentStore, PersistentStoreConfig, Server};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,7 +52,11 @@ fn main() {
         return;
     }
     if args.iter().any(|a| a == "serve") {
-        run_serve(args.iter().any(|a| a == "--smoke"));
+        run_serve(&args);
+        return;
+    }
+    if args.iter().any(|a| a == "loadtest") {
+        run_loadtest(&args);
         return;
     }
     let with_stats = args.iter().any(|a| a == "--stats");
@@ -70,35 +87,119 @@ fn main() {
             "testgen" => print_testgen(),
             "sweep" => print_sweep_json(with_stats),
             "bench" => run_bench(),
-            other => eprintln!("unknown experiment `{other}` (expected table1, figure2, figure3, table2, case-study, testgen, sweep, serve, bench, all)"),
+            other => eprintln!("unknown experiment `{other}` (expected table1, figure2, figure3, table2, case-study, testgen, sweep, serve, loadtest, bench, all)"),
         }
     }
 }
 
-/// Starts the analysis server, or runs the scripted smoke batch.
-fn run_serve(smoke: bool) {
-    if smoke {
+/// Starts the analysis server (stdin or TCP), or runs the scripted smoke
+/// batch.  Startup arms `TMG_FAULT_PLAN` (if set) and always runs the
+/// crash recovery scan before accepting requests.
+fn run_serve(args: &[String]) {
+    if args.iter().any(|a| a == "--smoke") {
         run_serve_smoke();
         return;
     }
+    let tcp_addr = arg_value(args, "--tcp");
     let root = std::env::var("TMG_CACHE_DIR").unwrap_or_else(|_| ".tmg-cache".to_owned());
-    let store = Arc::new(PersistentStore::open(&root).expect("open artifact cache"));
-    eprintln!(
-        "tmg-service/v1 serving on stdin/stdout (artifact cache: {root}); ops: analyse, sweep, stats, shutdown"
+    let store = Arc::new(
+        PersistentStore::with_config(
+            PersistentStoreConfig::new(&root).with_fault_plan(FaultPlan::from_env()),
+        )
+        .expect("open artifact cache"),
     );
-    let stdin = std::io::stdin();
-    let summary = Server::new(store)
-        .serve(stdin.lock(), std::io::stdout())
-        .expect("serve");
+    let recovery = store.recovery_scan();
     eprintln!(
-        "served {} requests ({} responses, {} deduplicated, clean shutdown: {})",
-        summary.requests, summary.responses, summary.deduplicated, summary.clean_shutdown
+        "recovery scan: {} frames verified, {} quarantined, {} orphaned .tmp reclaimed",
+        recovery.scanned, recovery.quarantined, recovery.reclaimed_tmp
+    );
+    let summary = match tcp_addr {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr).expect("bind TCP listener");
+            eprintln!(
+                "tmg-service/v1 serving on tcp {} (artifact cache: {root}); ops: analyse, sweep, stats, shutdown",
+                listener.local_addr().expect("local addr")
+            );
+            Server::new(store).serve_tcp(listener).expect("serve_tcp")
+        }
+        None => {
+            eprintln!(
+                "tmg-service/v1 serving on stdin/stdout (artifact cache: {root}); ops: analyse, sweep, stats, shutdown"
+            );
+            let stdin = std::io::stdin();
+            Server::new(store)
+                .serve(stdin.lock(), std::io::stdout())
+                .expect("serve")
+        }
+    };
+    eprintln!(
+        "served {} requests ({} responses, {} deduplicated, {} shed, {} expired, clean shutdown: {})",
+        summary.requests,
+        summary.responses,
+        summary.deduplicated,
+        summary.shed,
+        summary.expired,
+        summary.clean_shutdown
+    );
+}
+
+/// The value following `flag` in `args`, if present.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+/// Drives the mixed socket loadtest (see `tmg_bench::loadtest`): every
+/// request must come back with `ok` or a typed error, identical sources
+/// must bound identically, and a zero-capacity queue must shed instead of
+/// queueing without bound.
+fn run_loadtest(args: &[String]) {
+    let mut config = LoadtestConfig::default();
+    if let Some(n) = arg_value(args, "--requests").and_then(|v| v.parse().ok()) {
+        config.requests = n;
+    }
+    if let Some(n) = arg_value(args, "--workers").and_then(|v| v.parse().ok()) {
+        config.workers = n;
+    }
+    println!(
+        "loadtest: {} mixed requests over TCP, {} connections, {} workers, queue capacity {}",
+        config.requests, config.connections, config.workers, config.queue_capacity
+    );
+    let report = loadtest(&config);
+    println!(
+        "answered {}/{}: {} ok, {} cancelled (deadline), {} overloaded, {} faults",
+        report.answered(),
+        report.requests,
+        report.ok,
+        report.cancelled,
+        report.overloaded,
+        report.faults
+    );
+    println!(
+        "wall {:.1} ms, throughput {:.0} req/s, server-side analyse p99 {:.3} ms, {} deduplicated",
+        report.wall.as_secs_f64() * 1e3,
+        report.throughput_rps,
+        report.p99_analyse_ms,
+        report.summary.deduplicated
+    );
+    assert_eq!(report.faults, 0, "well-formed requests must never fault");
+    assert!(
+        report.cancelled >= 1,
+        "the mix must exercise deadline violations"
+    );
+    let shed = tmg_bench::saturate(60);
+    println!(
+        "saturation: {} jobs shed with typed overloaded + retry_after_ms on a zero-capacity queue — ok",
+        shed.summary.shed
     );
 }
 
 /// The CI smoke: a cold session populates a scratch cache, a *fresh* server
 /// session over the same directory must answer the identical bound from
 /// disk with zero stage recomputation.
+///
+/// Under `TMG_FAULT_PLAN` the smoke additionally runs a fault-free
+/// reference first and asserts the faulted sessions answer bit-identically
+/// — injected faults may only cost recomputation, never change an answer.
 ///
 /// # Panics
 ///
@@ -115,10 +216,13 @@ fn run_serve_smoke() {
         json::escape(&source)
     );
 
-    let session = |script: String| -> Vec<json::Value> {
-        let store = Arc::new(PersistentStore::open(&root).expect("open cache"));
+    let session = |script: String, plan: FaultPlan| -> (Vec<json::Value>, u64) {
+        let store = Arc::new(
+            PersistentStore::with_config(PersistentStoreConfig::new(&root).with_fault_plan(plan))
+                .expect("open cache"),
+        );
         let mut out = Vec::new();
-        Server::new(store)
+        Server::new(store.clone())
             .serve(Cursor::new(script), &mut out)
             .expect("serve");
         let mut responses: Vec<json::Value> = String::from_utf8(out)
@@ -127,7 +231,7 @@ fn run_serve_smoke() {
             .map(|line| json::parse(line).expect("response parses"))
             .collect();
         responses.sort_by_key(|v| v.get("id").and_then(json::Value::as_u64).unwrap_or(0));
-        responses
+        (responses, store.fault_shots_fired())
     };
     let reports_of = |response: &json::Value| -> json::Value {
         assert_eq!(
@@ -145,7 +249,7 @@ fn run_serve_smoke() {
         analyse.replace("ID", "1"),
         analyse.replace("ID", "2")
     );
-    let cold = session(cold_script);
+    let (cold, _) = session(cold_script.clone(), FaultPlan::none());
     let cold_reports = reports_of(&cold[0]);
     assert_eq!(
         cold_reports,
@@ -158,7 +262,7 @@ fn run_serve_smoke() {
         "{}\n{{\"id\": 2, \"op\": \"stats\"}}\n{{\"id\": 3, \"op\": \"shutdown\"}}\n",
         analyse.replace("ID", "1")
     );
-    let warm = session(warm_script);
+    let (warm, _) = session(warm_script.clone(), FaultPlan::none());
     let warm_reports = reports_of(&warm[0]);
     assert_eq!(
         cold_reports, warm_reports,
@@ -188,6 +292,36 @@ fn run_serve_smoke() {
     println!(
         "serve smoke: cold and warm sessions agree on wcet_bound = {wcet} cycles; warm run: 0 recomputations, {bound_hits} disk bound hit(s) — ok"
     );
+
+    // Fault phase (only when `TMG_FAULT_PLAN` is armed): rerun the cold
+    // session against a wiped cache with faults injected.  Faults may only
+    // cost recomputation — every response must be bit-identical to the
+    // fault-free reference, and a fresh process's recovery scan plus warm
+    // rerun must still agree.
+    if std::env::var("TMG_FAULT_PLAN").is_ok_and(|v| !v.trim().is_empty()) {
+        let _ = std::fs::remove_dir_all(&root);
+        let plan = FaultPlan::from_env();
+        let (faulted, shots) = session(cold_script, plan);
+        assert!(shots > 0, "the armed fault plan never fired");
+        assert_eq!(
+            reports_of(&faulted[0]),
+            cold_reports,
+            "injected faults must never change an answer"
+        );
+        let fresh = PersistentStore::open(&root).expect("reopen cache");
+        let recovery = fresh.recovery_scan();
+        drop(fresh);
+        let (healed, _) = session(warm_script, FaultPlan::none());
+        assert_eq!(
+            reports_of(&healed[0]),
+            cold_reports,
+            "the post-recovery rerun must answer identically"
+        );
+        println!(
+            "fault smoke: {shots} injected fault(s) fired; recovery scan quarantined {} frame(s), reclaimed {} orphan(s); all responses bit-identical to the fault-free reference — ok",
+            recovery.quarantined, recovery.reclaimed_tmp
+        );
+    }
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -259,7 +393,7 @@ fn print_sweep_json(with_stats: bool) {
 
 /// Full perf baseline: times the optimised hot paths against their
 /// references (recorded floors where the measured reference was dropped),
-/// checks result equality, writes `BENCH_pr5.json`.
+/// checks result equality, writes `BENCH_pr6.json`.
 fn run_bench() {
     let report = perf_report();
     println!("== Perf baseline (before = pre-optimisation, after = optimised) ==");
@@ -275,6 +409,24 @@ fn run_bench() {
             c.identical_results
         );
     }
+    let lt = &report.service_loadtest;
+    println!(
+        "service_loadtest: {} requests   1-worker {:.2} ms   pool {:.2} ms   {:.0} req/s   p99 {:.3} ms   identical across workers: {}",
+        lt.requests,
+        lt.one_worker_wall.as_secs_f64() * 1e3,
+        lt.wall.as_secs_f64() * 1e3,
+        lt.throughput_rps,
+        lt.p99_analyse_ms,
+        lt.identical_across_workers
+    );
+    let rec = &report.service_recovery;
+    println!(
+        "service_recovery_scan: {} frames in {:.2} ms   quarantined {}   healthy: {}",
+        rec.frames,
+        rec.wall.as_secs_f64() * 1e3,
+        rec.quarantined,
+        rec.healthy
+    );
     println!(
         "hot-path speedup (geomean): {:.2}x   all results identical: {}",
         report.hot_path_speedup(),

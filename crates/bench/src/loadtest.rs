@@ -1,0 +1,386 @@
+//! Socket loadtest for the fault-tolerant analysis server.
+//!
+//! [`loadtest`] drives a real [`Server::serve_tcp`] session over loopback
+//! TCP from several pipelining client connections, with a deterministic
+//! request mix exercising every scheduling path the server has:
+//!
+//! * **duplicate-heavy** — repeated identical `analyse`/`sweep` requests,
+//!   feeding the in-flight dedup and the warm cache tiers;
+//! * **cache-hostile** — a distinct generated function per request, so the
+//!   store keeps admitting new artifacts and the disk tier keeps writing;
+//! * **deadline-violating** — `"deadline_ms": 0` requests, declined with a
+//!   typed `cancelled` error before any work is queued.
+//!
+//! Every request must be answered exactly once, with either `ok: true` or
+//! a *typed* error (`cancelled` / `overloaded` / `fault`) — the server's
+//! "never a wrong answer, only declined or slow" contract.  Identical
+//! sources must report identical bounds whichever worker, connection, or
+//! cache tier served them.  Clients window their pipelining so the bounded
+//! queue is never overrun in the main run; [`saturate`] then deliberately
+//! overruns a zero-capacity queue and asserts that every job is shed with
+//! a typed `overloaded` + `retry_after_ms` answer instead of growing the
+//! queue without bound.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tmg_service::json::{self, Value};
+use tmg_service::{PersistentStore, PersistentStoreConfig, ServeSummary, Server};
+
+/// Requests each client keeps in flight before reading responses back.
+/// `connections * WINDOW` must stay below the server queue capacity, so
+/// the main run measures throughput, not shedding.
+const WINDOW: usize = 16;
+
+/// Shape of one loadtest run.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity (see [`tmg_service::DEFAULT_QUEUE_CAPACITY`]).
+    pub queue_capacity: usize,
+    /// Cache directory; a scratch directory under the system temp dir when
+    /// `None`.  Reusing one root across runs measures the warm path.
+    pub cache_root: Option<PathBuf>,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> LoadtestConfig {
+        LoadtestConfig {
+            requests: 2000,
+            connections: 4,
+            workers: std::thread::available_parallelism()
+                .map_or(2, std::num::NonZeroUsize::get)
+                .min(8),
+            queue_capacity: tmg_service::DEFAULT_QUEUE_CAPACITY,
+            cache_root: None,
+        }
+    }
+}
+
+/// What one loadtest run observed.
+#[derive(Debug, Clone)]
+pub struct LoadtestReport {
+    /// Requests sent (excluding the final control `stats`/`shutdown`).
+    pub requests: u64,
+    /// `ok: true` responses.
+    pub ok: u64,
+    /// Typed `cancelled` responses (deadline violations).
+    pub cancelled: u64,
+    /// Typed `overloaded` responses (load shedding).
+    pub overloaded: u64,
+    /// Typed `fault` responses.
+    pub faults: u64,
+    /// Wall-clock of the request phase (connect → last response read).
+    pub wall: Duration,
+    /// Answered requests per second of wall-clock.
+    pub throughput_rps: f64,
+    /// Server-side end-to-end p99 of `analyse`, from the `stats` snapshot.
+    pub p99_analyse_ms: f64,
+    /// The server's own session summary.
+    pub summary: ServeSummary,
+    /// Every job response line (id-tagged), sorted by id — the basis for
+    /// the 1-vs-N-worker identity check.
+    pub response_lines: Vec<String>,
+}
+
+impl LoadtestReport {
+    /// Answered-exactly-once, with a typed outcome.
+    pub fn answered(&self) -> u64 {
+        self.ok + self.cancelled + self.overloaded + self.faults
+    }
+}
+
+/// One fixed function for the duplicate-heavy share of the mix.
+const HOT_SOURCE: &str = "void hot(char level __range(0, 5), bool armed) { \
+     if (armed) { if (level > 2) { high(); } else { low(); } } else { idle(); } \
+     if (level > 2) { if (level < 1) { never(); } } }";
+
+/// The request line (without trailing newline) and its JSON `id` for slot
+/// `i` of the deterministic mix.
+fn request_line(i: usize) -> String {
+    let id = i + 1;
+    if i % 7 == 3 {
+        // Deadline violation: declined at submit with a typed `cancelled`.
+        return format!(
+            "{{\"id\": {id}, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2, \"deadline_ms\": 0}}",
+            json::escape(HOT_SOURCE)
+        );
+    }
+    match i % 3 {
+        0 => format!(
+            "{{\"id\": {id}, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}",
+            json::escape(HOT_SOURCE)
+        ),
+        1 => {
+            // Cache-hostile: a distinct function name per slot, so every
+            // request admits fresh artifacts into the store.
+            let range = 1 + i % 4;
+            let pivot = i % 3;
+            let source = format!(
+                "void cold_{i}(char a __range(0, {range})) {{ if (a > {pivot}) {{ x(); }} else {{ y(); }} }}"
+            );
+            format!(
+                "{{\"id\": {id}, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}",
+                json::escape(&source)
+            )
+        }
+        _ => format!(
+            "{{\"id\": {id}, \"op\": \"sweep\", \"source\": \"{}\", \"max_bound\": 40}}",
+            json::escape(HOT_SOURCE)
+        ),
+    }
+}
+
+/// Strips the `"id": N, ` prefix so responses to identical requests can be
+/// compared across runs with different id assignments.
+fn body_of(line: &str) -> &str {
+    match line.split_once(", ") {
+        Some((_, body)) => body,
+        None => line,
+    }
+}
+
+/// Runs the mixed loadtest against a freshly started TCP server and checks
+/// the answer-every-request and identical-bounds invariants.
+///
+/// # Panics
+///
+/// Panics when any invariant is violated: a request unanswered or answered
+/// without a typed outcome, identical requests with different bodies, or a
+/// `fault` response to a well-formed request.
+pub fn loadtest(config: &LoadtestConfig) -> LoadtestReport {
+    let scratch;
+    let root: &Path = match &config.cache_root {
+        Some(root) => root,
+        None => {
+            scratch = std::env::temp_dir().join(format!("tmg-loadtest-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&scratch);
+            &scratch
+        }
+    };
+    let store = Arc::new(
+        PersistentStore::with_config(PersistentStoreConfig::new(root)).expect("open cache"),
+    );
+    let server = Server::new(store)
+        .with_workers(config.workers)
+        .with_queue_capacity(config.queue_capacity);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+
+    let lines: Vec<String> = (0..config.requests).map(request_line).collect();
+    let chunk = lines.len().div_ceil(config.connections.max(1));
+
+    let (summary, stats_line, mut responses, wall) = std::thread::scope(|scope| {
+        let server = &server;
+        let handle = scope.spawn(move || server.serve_tcp(listener).expect("serve_tcp"));
+        let started = Instant::now();
+        let clients: Vec<_> = lines
+            .chunks(chunk.max(1))
+            .map(|slice| scope.spawn(move || run_client(addr, slice)))
+            .collect();
+        let mut responses = Vec::new();
+        for client in clients {
+            responses.extend(client.join().expect("client thread"));
+        }
+        let wall = started.elapsed();
+        // Control connection: harvest the latency histograms, then end the
+        // session (the `stats` barrier also guarantees every job finished).
+        let control = run_client(
+            addr,
+            &[
+                "{\"id\": 900000001, \"op\": \"stats\"}".to_owned(),
+                "{\"id\": 900000002, \"op\": \"shutdown\"}".to_owned(),
+            ],
+        );
+        let summary = handle.join().expect("server thread");
+        (summary, control[0].clone(), responses, wall)
+    });
+    if config.cache_root.is_none() {
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    responses.sort_by_key(|(id, _)| *id);
+    let mut report = LoadtestReport {
+        requests: config.requests as u64,
+        ok: 0,
+        cancelled: 0,
+        overloaded: 0,
+        faults: 0,
+        wall,
+        throughput_rps: responses.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p99_analyse_ms: 0.0,
+        summary,
+        response_lines: responses.iter().map(|(_, line)| line.clone()).collect(),
+    };
+
+    // Every request answered exactly once, with a typed outcome.
+    assert_eq!(
+        responses.len(),
+        config.requests,
+        "every request must be answered exactly once"
+    );
+    let mut by_request: HashMap<&str, &str> = HashMap::new();
+    for ((id, line), request) in responses.iter().zip(&lines) {
+        let parsed =
+            json::parse(line).unwrap_or_else(|e| panic!("unparseable response {line:?}: {e}"));
+        assert_eq!(
+            parsed.get("id").and_then(Value::as_u64),
+            Some(*id),
+            "response id echo"
+        );
+        if parsed.get("ok").and_then(Value::as_bool) == Some(true) {
+            report.ok += 1;
+        } else {
+            let kind = parsed
+                .get("error_kind")
+                .and_then(Value::as_str)
+                .unwrap_or_else(|| panic!("untyped failure: {line}"));
+            match kind {
+                "cancelled" => report.cancelled += 1,
+                "overloaded" => {
+                    assert!(
+                        parsed
+                            .get("retry_after_ms")
+                            .and_then(Value::as_u64)
+                            .is_some(),
+                        "overloaded without retry hint: {line}"
+                    );
+                    report.overloaded += 1;
+                }
+                "fault" => report.faults += 1,
+                other => panic!("unknown error_kind {other:?}: {line}"),
+            }
+        }
+        // Identical requests (modulo id) must get identical bodies.
+        let request_body = body_of(request);
+        let response_body = body_of(line);
+        if let Some(previous) = by_request.insert(request_body, response_body) {
+            assert_eq!(
+                previous, response_body,
+                "identical requests must be answered identically"
+            );
+        }
+    }
+
+    let stats = json::parse(&stats_line.1).expect("stats response parses");
+    report.p99_analyse_ms = stats
+        .get("stats")
+        .and_then(|s| s.get("latency"))
+        .and_then(|l| l.get("analyse"))
+        .and_then(|a| a.get("p99_ms"))
+        .and_then(Value::as_f64)
+        .expect("stats carries the analyse p99");
+    report
+}
+
+/// Overruns a zero-capacity queue and asserts every job request is shed
+/// with a typed `overloaded` answer — bounded memory under saturation by
+/// construction, never a silent drop.
+pub fn saturate(requests: usize) -> LoadtestReport {
+    let config = LoadtestConfig {
+        requests,
+        connections: 2,
+        queue_capacity: 0,
+        ..LoadtestConfig::default()
+    };
+    let report = loadtest(&config);
+    assert_eq!(
+        report.overloaded + report.cancelled,
+        report.requests,
+        "a zero-capacity queue must shed every admitted job"
+    );
+    assert!(report.summary.shed > 0, "shedding must be observed");
+    report
+}
+
+/// Writes `lines` through one connection in windows of [`WINDOW`], reading
+/// each window's responses back before sending the next, and returns
+/// `(id, response line)` pairs.
+fn run_client(addr: SocketAddr, lines: &[String]) -> Vec<(u64, String)> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut responses = Vec::with_capacity(lines.len());
+    for window in lines.chunks(WINDOW) {
+        let batch: String = window.iter().map(|l| format!("{l}\n")).collect();
+        writer.write_all(batch.as_bytes()).expect("send window");
+        for _ in window {
+            let mut line = String::new();
+            assert!(
+                reader.read_line(&mut line).expect("read response") > 0,
+                "connection closed before every response arrived"
+            );
+            let line = line.trim_end().to_owned();
+            let id = json::parse(&line)
+                .ok()
+                .and_then(|v| v.get("id").and_then(Value::as_u64))
+                .expect("response carries its request id");
+            responses.push((id, line));
+        }
+    }
+    responses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_mixed_loadtest_answers_every_request_with_a_typed_outcome() {
+        let report = loadtest(&LoadtestConfig {
+            requests: 60,
+            connections: 3,
+            workers: 2,
+            ..LoadtestConfig::default()
+        });
+        assert_eq!(report.answered(), 60);
+        assert_eq!(report.faults, 0, "well-formed requests never fault");
+        assert!(
+            report.cancelled >= 1,
+            "the mix contains deadline violations"
+        );
+        assert!(report.ok >= 40);
+        assert!(report.summary.clean_shutdown);
+        assert!(report.p99_analyse_ms > 0.0);
+    }
+
+    #[test]
+    fn saturation_sheds_with_typed_overloads_instead_of_queueing() {
+        let report = saturate(30);
+        assert!(report.overloaded > 0);
+        assert_eq!(report.faults, 0);
+    }
+
+    #[test]
+    fn one_and_many_workers_answer_the_mix_identically() {
+        let root = std::env::temp_dir().join(format!("tmg-loadtest-ident-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let one = loadtest(&LoadtestConfig {
+            requests: 45,
+            connections: 2,
+            workers: 1,
+            cache_root: Some(root.clone()),
+            ..LoadtestConfig::default()
+        });
+        let many = loadtest(&LoadtestConfig {
+            requests: 45,
+            connections: 3,
+            workers: 4,
+            cache_root: Some(root.clone()),
+            ..LoadtestConfig::default()
+        });
+        assert_eq!(
+            one.response_lines, many.response_lines,
+            "scheduler answers must not depend on worker count"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,4 +1,4 @@
-//! Machine-readable performance baseline (`BENCH_pr5.json`).
+//! Machine-readable performance baseline (`BENCH_pr6.json`).
 //!
 //! Every PR that touches a hot path needs a number to beat.  This module
 //! times the paper-reproduction workloads (Table 1, Table 2, Figure 2/3,
@@ -44,7 +44,7 @@ use tmg_service::{PersistentStore, Server};
 use tmg_tsys::{CheckOutcome, ModelChecker, PathQuery};
 
 /// Label recorded in the emitted JSON; the output file is `BENCH_<label>.json`.
-pub const PR_LABEL: &str = "pr5";
+pub const PR_LABEL: &str = "pr6";
 
 /// `before_ms` wall times recorded in `BENCH_pr3.json` for the workloads
 /// whose measured pre-optimisation implementation (the Baseline engine) was
@@ -115,6 +115,50 @@ pub struct PerfReport {
     pub testgen: Vec<Comparison>,
     /// End-to-end WCET pipeline comparison (wiper case study).
     pub pipeline: Comparison,
+    /// The socket loadtest measurement (mixed mix over loopback TCP).
+    pub service_loadtest: ServiceLoadtest,
+    /// The startup recovery-scan measurement (healthy populated cache).
+    pub service_recovery: ServiceRecovery,
+}
+
+/// What the TCP loadtest recorded.  Wall times are best-of-[`BEST_OF`] on a
+/// shared (warming) cache root; throughput and p99 come from the fastest
+/// full-pool run.  Single-core caveat: on a one-core host the full pool
+/// degenerates to time slicing, so the 1-vs-N wall ratio is flat there —
+/// the identity flag is the portable signal.
+#[derive(Debug, Clone)]
+pub struct ServiceLoadtest {
+    /// Requests per run (excluding the control `stats`/`shutdown`).
+    pub requests: u64,
+    /// Best wall of the mixed run with a single scheduler worker.
+    pub one_worker_wall: Duration,
+    /// Best wall of the mixed run with the full worker pool.
+    pub wall: Duration,
+    /// Answered requests per second in the fastest full-pool run.
+    pub throughput_rps: f64,
+    /// Server-side `analyse` p99 (ms) reported by the final `stats`.
+    pub p99_analyse_ms: f64,
+    /// In-flight duplicates coalesced in the fastest full-pool run.
+    pub deduplicated: u64,
+    /// Deadline violations declined with a typed `cancelled`.
+    pub expired: u64,
+    /// Jobs shed by the dedicated zero-capacity saturation run.
+    pub shed_under_saturation: u64,
+    /// Whether 1-worker and full-pool runs answered byte-identically.
+    pub identical_across_workers: bool,
+}
+
+/// What the recovery-scan measurement recorded.
+#[derive(Debug, Clone)]
+pub struct ServiceRecovery {
+    /// `.tmga` frames the scan verified.
+    pub frames: u64,
+    /// Frames quarantined (must be 0 on a healthy cache).
+    pub quarantined: u64,
+    /// Best-of-[`BEST_OF`] wall of one full scan.
+    pub wall: Duration,
+    /// Post-scan warm analysis bit-identical with zero recomputation.
+    pub healthy: bool,
 }
 
 impl PerfReport {
@@ -134,6 +178,8 @@ impl PerfReport {
         self.table2.identical_results
             && self.pipeline.identical_results
             && self.testgen.iter().all(|c| c.identical_results)
+            && self.service_loadtest.identical_across_workers
+            && self.service_recovery.healthy
     }
 
     /// Serialises the report as pretty-printed JSON.
@@ -170,6 +216,29 @@ impl PerfReport {
         }
         let _ = writeln!(out, "  ],");
         let _ = writeln!(out, "  \"pipeline\": {},", comparison_json(&self.pipeline));
+        let lt = &self.service_loadtest;
+        let _ = writeln!(
+            out,
+            "  \"service_loadtest\": {{ \"requests\": {}, \"one_worker_wall_ms\": {:.3}, \"wall_ms\": {:.3}, \"throughput_rps\": {:.1}, \"p99_analyse_ms\": {:.3}, \"deduplicated\": {}, \"expired\": {}, \"shed_under_saturation\": {}, \"identical_across_workers\": {} }},",
+            lt.requests,
+            ms(lt.one_worker_wall),
+            ms(lt.wall),
+            lt.throughput_rps,
+            lt.p99_analyse_ms,
+            lt.deduplicated,
+            lt.expired,
+            lt.shed_under_saturation,
+            lt.identical_across_workers
+        );
+        let rec = &self.service_recovery;
+        let _ = writeln!(
+            out,
+            "  \"service_recovery_scan\": {{ \"frames\": {}, \"quarantined\": {}, \"wall_ms\": {:.3}, \"healthy\": {} }},",
+            rec.frames,
+            rec.quarantined,
+            ms(rec.wall),
+            rec.healthy
+        );
         let _ = writeln!(
             out,
             "  \"hot_path_speedup_geomean\": {:.3},",
@@ -599,6 +668,86 @@ fn compare_service_concurrent_burst() -> Comparison {
     }
 }
 
+/// The fault-tolerance tentpole workload, measured over real loopback
+/// sockets: the deterministic mixed request stream (duplicate-heavy,
+/// cache-hostile, deadline-violating) through [`Server::serve_tcp`].  Each
+/// sample is a complete session — bind, worker pool, pipelined clients,
+/// drain, flush.  All samples share one cache root, so the first 1-worker
+/// sample pays the cold computes and everything after measures the
+/// scheduler and transport, not the checker.
+fn measure_service_loadtest() -> ServiceLoadtest {
+    use crate::loadtest::{loadtest, saturate, LoadtestConfig};
+    const REQUESTS: usize = 400;
+    let root = scratch_cache("loadtest");
+    let config = |workers: usize, connections: usize| LoadtestConfig {
+        requests: REQUESTS,
+        connections,
+        workers,
+        cache_root: Some(root.clone()),
+        ..LoadtestConfig::default()
+    };
+    let best = |workers: usize, connections: usize| {
+        let mut best: Option<crate::LoadtestReport> = None;
+        for _ in 0..BEST_OF {
+            let run = loadtest(&config(workers, connections));
+            if best.as_ref().is_none_or(|b| run.wall < b.wall) {
+                best = Some(run);
+            }
+        }
+        best.expect("at least one run")
+    };
+    let one = best(1, 2);
+    let many = best(8, 4);
+    let shed = saturate(60);
+    let _ = std::fs::remove_dir_all(&root);
+    ServiceLoadtest {
+        requests: REQUESTS as u64,
+        one_worker_wall: one.wall,
+        wall: many.wall,
+        throughput_rps: many.throughput_rps,
+        p99_analyse_ms: many.p99_analyse_ms,
+        deduplicated: many.summary.deduplicated,
+        expired: many.summary.expired,
+        shed_under_saturation: shed.summary.shed,
+        identical_across_workers: one.response_lines == many.response_lines,
+    }
+}
+
+/// Startup recovery-scan cost on a healthy populated cache: what every
+/// process pays before serving when crash recovery is on.  `healthy` also
+/// re-checks the post-scan warm path (bit-identical, zero recomputation).
+fn measure_service_recovery() -> ServiceRecovery {
+    let wiper = wiper_function();
+    let bound = crate::wiper_case_bound();
+    let root = scratch_cache("recovery");
+    let cold = {
+        let store = Arc::new(PersistentStore::open(&root).expect("open cache"));
+        WcetAnalysis::new(bound)
+            .with_store(store)
+            .analyse(&wiper)
+            .expect("populate cache")
+    };
+    let (wall, report) = best_of(BEST_OF, || {
+        PersistentStore::open(&root)
+            .expect("reopen cache")
+            .recovery_scan()
+    });
+    let fresh = Arc::new(PersistentStore::open(&root).expect("reopen cache"));
+    fresh.recovery_scan();
+    let warm = WcetAnalysis::new(bound)
+        .with_store(fresh.clone())
+        .analyse(&wiper)
+        .expect("post-scan warm analysis");
+    let healthy = report.quarantined == 0 && warm == cold && fresh.stats().total_computes() == 0;
+    let _ = std::fs::remove_dir_all(&root);
+    ServiceRecovery {
+        frames: report.scanned,
+        quarantined: report.quarantined,
+        wall,
+        healthy,
+    }
+}
+
 /// Produces the complete perf baseline (the payload of
 /// `BENCH_<`[`PR_LABEL`]`>.json`).
 pub fn perf_report() -> PerfReport {
@@ -675,9 +824,11 @@ pub fn perf_report() -> PerfReport {
         identical_results: report_reference == report_after,
     };
 
-    // The tentpole service workloads run last (see above).
+    // The service workloads run last (see above).
     testgen.push(compare_service_cold_vs_warm());
     testgen.push(compare_service_concurrent_burst());
+    let service_loadtest = measure_service_loadtest();
+    let service_recovery = measure_service_recovery();
 
     // Case study summary (optimised path).
     let (case_study_wall, case) = timed(case_study);
@@ -694,6 +845,8 @@ pub fn perf_report() -> PerfReport {
         table2,
         testgen,
         pipeline,
+        service_loadtest,
+        service_recovery,
     }
 }
 
@@ -778,6 +931,14 @@ mod tests {
     }
 
     #[test]
+    fn recovery_scan_measurement_is_healthy_on_a_clean_cache() {
+        let rec = measure_service_recovery();
+        assert_eq!(rec.frames, 6, "one frame per stage");
+        assert_eq!(rec.quarantined, 0);
+        assert!(rec.healthy, "post-scan warm path must be bit-identical");
+    }
+
+    #[test]
     fn comparison_speedup_is_the_ratio() {
         let c = Comparison {
             name: "x".into(),
@@ -817,10 +978,29 @@ mod tests {
                 after: Duration::from_millis(9),
                 identical_results: true,
             },
+            service_loadtest: ServiceLoadtest {
+                requests: 400,
+                one_worker_wall: Duration::from_millis(40),
+                wall: Duration::from_millis(20),
+                throughput_rps: 20_000.0,
+                p99_analyse_ms: 2.048,
+                deduplicated: 10,
+                expired: 57,
+                shed_under_saturation: 40,
+                identical_across_workers: true,
+            },
+            service_recovery: ServiceRecovery {
+                frames: 6,
+                quarantined: 0,
+                wall: Duration::from_millis(1),
+                healthy: true,
+            },
         }
         .to_json();
         assert!(report.contains("\"schema\": \"tmg-bench-perf/v1\""));
         assert!(report.contains("\"speedup\""));
+        assert!(report.contains("\"service_loadtest\""));
+        assert!(report.contains("\"service_recovery_scan\""));
         assert_eq!(
             report.matches('{').count(),
             report.matches('}').count(),

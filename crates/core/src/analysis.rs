@@ -21,6 +21,22 @@ use tmg_minic::ast::Function;
 use tmg_minic::value::InputVector;
 use tmg_target::CostModel;
 
+/// Classifies an [`AnalysisError`] for callers that must tell genuine
+/// pipeline faults apart from cooperative cancellation — the analysis
+/// service maps the kind onto its typed JSON error vocabulary (`fault`
+/// vs `deadline_exceeded`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisErrorKind {
+    /// A real pipeline failure (e.g. a measurement run faulted on the
+    /// target).
+    Fault,
+    /// The request's deadline expired (or its caller cancelled it) before
+    /// the analysis completed.  Nothing was computed, published or cached
+    /// under the fired token — re-running the same request without a
+    /// deadline yields the normal result.
+    Cancelled,
+}
+
 /// Error raised by the analysis pipeline, attributed to the stage and
 /// function it occurred in.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +47,8 @@ pub struct AnalysisError {
     pub function: String,
     /// What went wrong.
     pub message: String,
+    /// Fault or cooperative cancellation.
+    pub kind: AnalysisErrorKind,
 }
 
 impl AnalysisError {
@@ -44,7 +62,25 @@ impl AnalysisError {
             stage,
             function: function.into(),
             message: message.into(),
+            kind: AnalysisErrorKind::Fault,
         }
+    }
+
+    /// Creates a cancellation error: the deadline fired while `stage` was
+    /// the next (or current) stage of `function`'s pipeline.
+    pub fn cancelled(stage: Stage, function: impl Into<String>) -> AnalysisError {
+        AnalysisError {
+            stage,
+            function: function.into(),
+            message: "deadline expired or request cancelled before the analysis completed"
+                .to_string(),
+            kind: AnalysisErrorKind::Cancelled,
+        }
+    }
+
+    /// Whether this error is a cooperative cancellation rather than a fault.
+    pub fn is_cancelled(&self) -> bool {
+        self.kind == AnalysisErrorKind::Cancelled
     }
 }
 
@@ -171,6 +207,19 @@ impl WcetAnalysis {
         self
     }
 
+    /// Installs a cooperative cancellation token: the stage chain polls it
+    /// at stage boundaries and the model checker at shard-claim boundaries,
+    /// so a fired deadline surfaces as a typed
+    /// [`AnalysisErrorKind::Cancelled`] error instead of a weaker (and
+    /// unsound-to-cache) result.  Stages are atomic with respect to
+    /// cancellation — each one either completes (and may be cached, it is
+    /// correct) or unwinds with nothing published.  The token is excluded
+    /// from every artifact key, so deadlines never fragment the cache.
+    pub fn with_cancel(mut self, cancel: tmg_tsys::CancelToken) -> WcetAnalysis {
+        self.generator.checker.cancel = cancel;
+        self
+    }
+
     /// Runs the full pipeline on `function`.
     ///
     /// # Errors
@@ -233,13 +282,14 @@ impl WcetAnalysis {
         ),
         AnalysisError,
     > {
-        let staged = match &self.store {
-            None => analyse_staged_detailed(&ArtifactStore::new(), self, function, None)?,
+        let staged = tmg_tsys::catch_cancel(|| match &self.store {
+            None => analyse_staged_detailed(&ArtifactStore::new(), self, function, None),
             Some(tier) => match tier.as_memory_store() {
-                Some(memory) => analyse_staged_detailed(memory, self, function, None)?,
-                None => analyse_staged_detailed(&**tier, self, function, None)?,
+                Some(memory) => analyse_staged_detailed(memory, self, function, None),
+                None => analyse_staged_detailed(&**tier, self, function, None),
             },
-        };
+        })
+        .unwrap_or_else(|_| Err(AnalysisError::cancelled(Stage::Testgen, &function.name)))?;
         Ok((
             staged.partition.plan.clone(),
             staged.suite.suite.clone(),
@@ -257,13 +307,18 @@ impl WcetAnalysis {
         function: &Function,
         input_space: Option<&[InputVector]>,
     ) -> Result<AnalysisReport, AnalysisError> {
-        match &self.store {
+        // A fired deadline unwinds out of the model checker (the only stage
+        // component with in-flight checkpoints); catching it here converts
+        // the unwind into a typed error and attributes it to the test
+        // generation stage, which hosts the checker.
+        tmg_tsys::catch_cancel(|| match &self.store {
             None => analyse_staged(&ArtifactStore::new(), self, function, input_space),
             Some(tier) => match tier.as_memory_store() {
                 Some(memory) => analyse_staged(memory, self, function, input_space),
                 None => analyse_staged(&**tier, self, function, input_space),
             },
-        }
+        })
+        .unwrap_or_else(|_| Err(AnalysisError::cancelled(Stage::Testgen, &function.name)))
     }
 }
 
@@ -378,5 +433,49 @@ mod tests {
             "wcet analysis error in stage `measure` of `wiper`: run faulted"
         );
         assert_eq!(e.stage, Stage::Measure);
+        assert_eq!(e.kind, AnalysisErrorKind::Fault);
+        assert!(!e.is_cancelled());
+    }
+
+    #[test]
+    fn a_fired_token_yields_a_typed_cancellation_error_and_poisons_nothing() {
+        let f =
+            parse_function("void f(char a __range(0, 3)) { if (a > 1) { x(); } }").expect("parse");
+        let token = tmg_tsys::CancelToken::new();
+        token.cancel();
+        let store = Arc::new(ArtifactStore::new());
+        let err = WcetAnalysis::new(2)
+            .with_store(store.clone())
+            .with_cancel(token)
+            .analyse(&f)
+            .expect_err("pre-fired token must cancel the analysis");
+        assert!(err.is_cancelled(), "kind must be Cancelled: {err:?}");
+        assert_eq!(err.kind, AnalysisErrorKind::Cancelled);
+        // The cancelled run left nothing wrong behind: the same store now
+        // serves the normal result, bit-identical to the storeless pipeline.
+        let warm = WcetAnalysis::new(2)
+            .with_store(store)
+            .analyse(&f)
+            .expect("uncancelled re-run");
+        assert_eq!(warm, WcetAnalysis::new(2).analyse(&f).expect("plain"));
+    }
+
+    #[test]
+    fn an_inert_token_changes_nothing() {
+        let f =
+            parse_function("void f(char a __range(0, 3)) { if (a > 1) { x(); } }").expect("parse");
+        let plain = WcetAnalysis::new(2).analyse(&f).expect("plain");
+        let with_token = WcetAnalysis::new(2)
+            .with_cancel(tmg_tsys::CancelToken::none())
+            .analyse(&f)
+            .expect("inert token");
+        assert_eq!(plain, with_token);
+        // An unfired *live* token (a generous deadline) is also invisible.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let with_deadline = WcetAnalysis::new(2)
+            .with_cancel(tmg_tsys::CancelToken::with_deadline(deadline))
+            .analyse(&f)
+            .expect("generous deadline");
+        assert_eq!(plain, with_deadline);
     }
 }

@@ -909,10 +909,27 @@ fn run_stages<S: TieredStore + ?Sized>(
     function_key: u64,
     input_space: Option<&[InputVector]>,
 ) -> Result<StagedAnalysis, AnalysisError> {
+    // Stage-boundary cancellation guards: each stage is atomic (it either
+    // completes — and is then correct and safely cacheable — or, inside the
+    // checker, unwinds with nothing published), so between stages is where a
+    // fired deadline turns into a typed error with an accurate stage.
+    let cancel = &analysis.generator.checker.cancel;
+    let guard = |stage: Stage| {
+        if cancel.is_cancelled() {
+            Err(AnalysisError::cancelled(stage, &function.name))
+        } else {
+            Ok(())
+        }
+    };
+    guard(Stage::Lower)?;
     let lowered = store.lowered_keyed(function, function_key);
+    guard(Stage::Partition)?;
     let partition = store.partition(&lowered, analysis.path_bound);
+    guard(Stage::Testgen)?;
     let suite = store.suite(function, &lowered, &partition, &analysis.generator);
+    guard(Stage::Measure)?;
     let campaign = store.campaign(function, &lowered, &partition, &suite, &analysis.cost_model)?;
+    guard(Stage::Bound)?;
     let exhaustive_max = match input_space {
         Some(space) => Some(
             exhaustive_end_to_end(function, &lowered.lowered, space, &analysis.cost_model)

@@ -301,6 +301,22 @@ pub fn decode_frame(bytes: &[u8], stage: Stage, key: u64) -> Result<&[u8]> {
     Ok(&bytes[HEADER_LEN..body_end])
 }
 
+/// Integrity check of a raw frame without decoding the payload: magic,
+/// version, kind tag, content key, declared length and the trailing digest.
+/// This is what the startup recovery scan runs over every `.tmga` file —
+/// any frame it rejects would also fail [`decode_frame`] on the read path,
+/// so quarantining it early turns a would-be runtime discard into a clean
+/// startup miss.  (Payload *structure* is still validated by the typed
+/// decoder on first use; the digest makes a structurally-bad-but-verified
+/// frame require a writer bug, not disk corruption.)
+///
+/// # Errors
+///
+/// Returns the same [`CodecError`] the read path would report.
+pub fn verify_frame(bytes: &[u8], stage: Stage, key: u64) -> Result<()> {
+    decode_frame(bytes, stage, key).map(|_| ())
+}
+
 // ---------------------------------------------------------------------------
 // mini-C fragments (expressions, statements) — embedded in CFG terminators,
 // block bodies and the prepared model's guards/effects.

@@ -1,0 +1,256 @@
+//! Deterministic fault injection for the disk tier.
+//!
+//! A [`FaultPlan`] arms a bounded number of *shots* per fault kind; the disk
+//! cache consults it at its I/O boundaries and, while shots remain, mutates
+//! the operation the way a hostile environment would: a torn write, a short
+//! read, a flipped bit, or a process crash on either side of the atomic
+//! publish.  Every mutation is deterministic (fixed positions, no clocks, no
+//! randomness), so a test or CI run asserting the tier's invariant — *every
+//! injected fault yields a clean miss + recompute or a bit-identical valid
+//! artifact, never a wrong one* — is reproducible.
+//!
+//! The plan is armed from the environment by the CLI entry points:
+//!
+//! ```text
+//! TMG_FAULT_PLAN=torn_write:3,crash_after_publish:1 reproduce -- serve --smoke
+//! ```
+//!
+//! Kinds: `torn_write`, `short_read`, `bit_flip`, `crash_before_publish`,
+//! `crash_after_publish`.  A count of `n` fires on the first `n` qualifying
+//! operations.  An unset or empty plan is fully inert — the production code
+//! path contains one `Option` check per I/O operation and nothing else.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One injectable fault class.  See the module docs for the wire names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A store writes only the first half of the frame to the *final* path
+    /// (the legacy non-atomic write dying mid-frame).
+    TornWrite,
+    /// A load returns only the first half of the frame bytes.
+    ShortRead,
+    /// A load returns the frame with one bit flipped in the middle.
+    BitFlip,
+    /// A store writes (and syncs) the temp file but "crashes" before the
+    /// rename: the artifact is never published, the orphan `.tmp` remains.
+    CrashBeforePublish,
+    /// A store publishes the frame normally but "crashes" before any
+    /// in-process accounting: the next process must still serve it warm.
+    CrashAfterPublish,
+}
+
+impl FaultKind {
+    /// All kinds, in wire-name order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::TornWrite,
+        FaultKind::ShortRead,
+        FaultKind::BitFlip,
+        FaultKind::CrashBeforePublish,
+        FaultKind::CrashAfterPublish,
+    ];
+
+    /// The `TMG_FAULT_PLAN` name of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::ShortRead => "short_read",
+            FaultKind::BitFlip => "bit_flip",
+            FaultKind::CrashBeforePublish => "crash_before_publish",
+            FaultKind::CrashAfterPublish => "crash_after_publish",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::TornWrite => 0,
+            FaultKind::ShortRead => 1,
+            FaultKind::BitFlip => 2,
+            FaultKind::CrashBeforePublish => 3,
+            FaultKind::CrashAfterPublish => 4,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shots {
+    remaining: [AtomicU64; 5],
+    fired: [AtomicU64; 5],
+}
+
+/// An armed (or inert) set of fault shots, shared by every clone.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    shots: Option<Arc<Shots>>,
+}
+
+impl FaultPlan {
+    /// The inert plan: injects nothing, costs one `Option` check per query.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan with `count` shots of `kind` armed (chainable).
+    pub fn with(self, kind: FaultKind, count: u64) -> FaultPlan {
+        let shots = self.shots.unwrap_or_else(|| Arc::new(Shots::default()));
+        shots.remaining[kind.index()].fetch_add(count, Ordering::Relaxed);
+        FaultPlan { shots: Some(shots) }
+    }
+
+    /// Parses a `kind:count,kind:count` spec.  Unknown kinds and unparsable
+    /// counts are errors — a typo'd plan must not silently test nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (name, count) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("fault entry `{entry}` is not `kind:count`"))?;
+            let kind = FaultKind::ALL
+                .into_iter()
+                .find(|k| k.name() == name.trim())
+                .ok_or_else(|| format!("unknown fault kind `{name}`"))?;
+            let count: u64 = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault count `{count}` is not a number"))?;
+            plan = plan.with(kind, count);
+        }
+        Ok(plan)
+    }
+
+    /// Arms a plan from the `TMG_FAULT_PLAN` environment variable; unset or
+    /// empty yields the inert plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec — fault injection is an operator/CI
+    /// feature and a bad plan must fail loudly, not silently test nothing.
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("TMG_FAULT_PLAN") {
+            Ok(spec) if !spec.trim().is_empty() => FaultPlan::parse(&spec).expect("TMG_FAULT_PLAN"),
+            _ => FaultPlan::none(),
+        }
+    }
+
+    /// Whether any shots were ever armed (inert plans answer `false`).
+    pub fn is_armed(&self) -> bool {
+        self.shots.is_some()
+    }
+
+    /// Consumes one shot of `kind` if any remain; `true` means the caller
+    /// must inject the fault now.
+    pub fn take(&self, kind: FaultKind) -> bool {
+        let Some(shots) = &self.shots else {
+            return false;
+        };
+        let remaining = &shots.remaining[kind.index()];
+        let mut current = remaining.load(Ordering::Relaxed);
+        while current > 0 {
+            match remaining.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    shots.fired[kind.index()].fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => current = seen,
+            }
+        }
+        false
+    }
+
+    /// How many shots of `kind` have fired so far.
+    pub fn fired(&self, kind: FaultKind) -> u64 {
+        self.shots
+            .as_ref()
+            .map_or(0, |s| s.fired[kind.index()].load(Ordering::Relaxed))
+    }
+
+    /// Total shots fired across all kinds.
+    pub fn total_fired(&self) -> u64 {
+        FaultKind::ALL.into_iter().map(|k| self.fired(k)).sum()
+    }
+}
+
+/// Deterministically damages `bytes` for [`FaultKind::ShortRead`] /
+/// [`FaultKind::BitFlip`] / [`FaultKind::TornWrite`]: truncation keeps the
+/// first half, the bit flip XORs the middle byte.
+pub fn damage(kind: FaultKind, bytes: &[u8]) -> Vec<u8> {
+    match kind {
+        FaultKind::ShortRead | FaultKind::TornWrite => bytes[..bytes.len() / 2].to_vec(),
+        FaultKind::BitFlip => {
+            let mut out = bytes.to_vec();
+            if !out.is_empty() {
+                let mid = out.len() / 2;
+                out[mid] ^= 0x40;
+            }
+            out
+        }
+        FaultKind::CrashBeforePublish | FaultKind::CrashAfterPublish => bytes.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_issue_example() {
+        let plan = FaultPlan::parse("torn_write:3,crash_after_publish:1").expect("parse");
+        assert!(plan.is_armed());
+        assert!(plan.take(FaultKind::TornWrite));
+        assert!(plan.take(FaultKind::TornWrite));
+        assert!(plan.take(FaultKind::TornWrite));
+        assert!(!plan.take(FaultKind::TornWrite), "only 3 shots armed");
+        assert!(plan.take(FaultKind::CrashAfterPublish));
+        assert!(!plan.take(FaultKind::CrashAfterPublish));
+        assert!(!plan.take(FaultKind::ShortRead), "never armed");
+        assert_eq!(plan.fired(FaultKind::TornWrite), 3);
+        assert_eq!(plan.total_fired(), 4);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(FaultPlan::parse("torn_write").is_err());
+        assert!(FaultPlan::parse("torn_write:x").is_err());
+        assert!(FaultPlan::parse("no_such_fault:1").is_err());
+        assert!(!FaultPlan::parse("").expect("empty is inert").is_armed());
+        assert!(!FaultPlan::parse(" , ").expect("blank entries").is_armed());
+    }
+
+    #[test]
+    fn the_inert_plan_never_fires() {
+        let plan = FaultPlan::none();
+        for kind in FaultKind::ALL {
+            assert!(!plan.take(kind));
+        }
+        assert_eq!(plan.total_fired(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_shot_pool() {
+        let plan = FaultPlan::none().with(FaultKind::BitFlip, 1);
+        let clone = plan.clone();
+        assert!(clone.take(FaultKind::BitFlip));
+        assert!(!plan.take(FaultKind::BitFlip), "shots are shared");
+        assert_eq!(plan.fired(FaultKind::BitFlip), 1);
+    }
+
+    #[test]
+    fn damage_is_deterministic() {
+        let bytes: Vec<u8> = (0..32).collect();
+        assert_eq!(damage(FaultKind::ShortRead, &bytes), &bytes[..16]);
+        let flipped = damage(FaultKind::BitFlip, &bytes);
+        assert_eq!(flipped.len(), bytes.len());
+        assert_eq!(flipped[16], bytes[16] ^ 0x40);
+        assert_eq!(damage(FaultKind::BitFlip, &bytes), flipped);
+    }
+}

@@ -69,6 +69,15 @@ impl Value {
         self.as_u128().and_then(|v| u64::try_from(v).ok())
     }
 
+    /// The numeric payload as `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The array elements, if this is an array.
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {

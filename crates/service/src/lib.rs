@@ -19,11 +19,17 @@
 //! See `crates/service/README.md` for the protocol and the cache layout.
 
 pub mod codec;
+pub mod fault;
 pub mod json;
+pub mod latency;
 pub mod server;
 pub mod store;
+pub mod tcp;
 
-pub use server::{ServeSummary, Server, PROTOCOL};
+pub use fault::{FaultKind, FaultPlan};
+pub use latency::{Histogram, LatencySet};
+pub use server::{ServeSummary, Server, DEFAULT_QUEUE_CAPACITY, PROTOCOL};
 pub use store::{
-    DiskStageStats, PersistentStore, PersistentStoreConfig, TierStats, DEFAULT_DISK_BUDGET,
+    DiskStageStats, PersistentStore, PersistentStoreConfig, RecoveryReport, TierStats,
+    DEFAULT_DISK_BUDGET,
 };

@@ -1,53 +1,87 @@
-//! The `tmg-service/v1` request server: JSON-lines over any
-//! reader/writer pair (stdin/stdout in production), driven by a concurrent
-//! scheduler with in-flight request deduplication.
+//! The `tmg-service/v1` request server: JSON-lines over any transport,
+//! driven by a transport-independent concurrent scheduler with bounded
+//! queues, per-request deadlines, and in-flight request deduplication.
 //!
 //! # Protocol
 //!
 //! One JSON object per line.  Every request carries a caller-chosen `id`
-//! that is echoed in the response; responses to concurrent requests may
-//! arrive in any order, so callers match on `id`.
+//! that is echoed in the response; responses to concurrent (or pipelined)
+//! requests may arrive in any order, so callers match on `id`.
 //!
 //! | op         | request fields                                        | response |
 //! |------------|-------------------------------------------------------|----------|
-//! | `analyse`  | `source` (mini-C module), `path_bound`, optional `function` filter | `reports`: one object per analysed function |
-//! | `sweep`    | `source`, optional `max_bound` (default 10⁶)          | `points`: the Figure-2/3 tradeoff curve |
-//! | `stats`    | —                                                     | `stats`: the two-tier cache counter snapshot |
-//! | `shutdown` | —                                                     | ack, then the server drains and exits |
+//! | `analyse`  | `source` (mini-C module), `path_bound`, optional `function` filter, optional `deadline_ms` | `reports`: one object per analysed function |
+//! | `sweep`    | `source`, optional `max_bound` (default 10⁶), optional `deadline_ms` | `points`: the Figure-2/3 tradeoff curve |
+//! | `stats`    | —                                                     | `stats`: the two-tier cache counter snapshot plus per-op latency histograms |
+//! | `shutdown` | —                                                     | ack after the drain + disk flush, then the server exits |
 //!
-//! Failures are per-request: `{"id":N,"ok":false,"error":"..."}`.
+//! Failures are per-request and typed:
+//! `{"id":N,"ok":false,"error_kind":"fault"|"cancelled"|"overloaded","error":"..."}`
+//! — an `overloaded` response additionally carries `retry_after_ms`.  The
+//! server's contract is *never a wrong answer, only declined or slow*: any
+//! fault, expiry, or shed yields a typed error, never a partial result.
 //!
-//! # Scheduling
+//! # Scheduling, backpressure, deadlines
 //!
-//! `analyse` and `sweep` requests are enqueued and picked up by a pool of
-//! scheduler threads; *identical* in-flight requests (same op, source,
-//! bound, filter) are deduplicated at enqueue time — a duplicate of a
-//! queued or running job registers as a waiter on that job instead of
-//! being scheduled again, and the one computation answers every waiter
-//! (the `deduplicated` counter in [`ServeSummary`] counts them).
-//! Within one `analyse` of a multi-function module, the functions fan out
-//! across the rayon worker pool via `WcetAnalysis::analyse_all`, and every
-//! worker shares the same [`PersistentStore`] tiers.  `stats` and
-//! `shutdown` are barriers: they wait for all in-flight work so their
-//! answers are deterministic (a scripted cold-run/warm-run/stats batch
-//! observes the counters *after* the runs it scripted).
+//! `analyse` and `sweep` requests are enqueued into a bounded queue and
+//! picked up by a pool of scheduler threads (spawned on demand).  When the
+//! queue is full, the request is *shed* immediately with an `overloaded`
+//! error whose `retry_after_ms` is derived from the measured mean latency
+//! of that op — callers get backpressure instead of unbounded memory.
+//!
+//! A request with `deadline_ms` is declined (typed `cancelled` error) when
+//! the deadline expires before a worker picks it up, and the deadline is
+//! propagated into the model checker as a cooperative cancellation token,
+//! so an in-flight analysis stops at the next stage or shard boundary.
+//! Stages are atomic with respect to cancellation: each completes fully
+//! (and is then correct and safely cacheable) or unwinds with nothing
+//! published — a deadline can never poison the cache.
+//!
+//! *Identical* in-flight requests **without deadlines** (same op, source,
+//! bound, filter) are deduplicated at submit time — a duplicate registers
+//! as a waiter on the in-flight job and the one computation answers every
+//! waiter (the `deduplicated` counter in [`ServeSummary`]).  Requests with
+//! deadlines are never deduplicated: each must be able to expire
+//! independently.  Within one `analyse` of a multi-function module, the
+//! functions fan out across the rayon worker pool, and every worker shares
+//! the same [`PersistentStore`] tiers.
+//!
+//! `stats` and `shutdown` are global barriers: they wait for all in-flight
+//! work so their answers are deterministic.  `shutdown` additionally
+//! flushes the disk tier (fsync) before acknowledging; EOF on a transport
+//! performs the same drain + flush without the ack.
+//!
+//! # Transports
+//!
+//! [`Server::serve`] runs the protocol over any reader/writer pair
+//! (stdin/stdout in production); [`Server::serve_tcp`] (see [`crate::tcp`])
+//! runs it over a TCP listener with many concurrent connections, sharing
+//! this scheduler.  Responses are byte-identical whichever transport or
+//! worker count delivers them.
 
 use crate::json::{self, Value};
+use crate::latency::LatencySet;
 use crate::store::PersistentStore;
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use tmg_core::tradeoff::{log_spaced_bounds, sweep_with_counts};
 use tmg_core::{AnalysisReport, TieredStore, WcetAnalysis};
 use tmg_minic::parse_program;
+use tmg_tsys::CancelToken;
 
 /// Protocol identifier echoed by every response.
 pub const PROTOCOL: &str = "tmg-service/v1";
 
-/// What one serve session did (used by the CI smoke and the bench burst).
+/// Queue slots before the scheduler sheds (see
+/// [`Server::with_queue_capacity`]).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
+
+/// What one serve session did (used by the CI smokes and the loadtest).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeSummary {
     /// Request lines parsed.
@@ -56,19 +90,29 @@ pub struct ServeSummary {
     pub responses: u64,
     /// Requests answered by piggy-backing on an identical in-flight one.
     pub deduplicated: u64,
+    /// Requests declined with a typed `overloaded` error (queue full).
+    pub shed: u64,
+    /// Requests declined with a typed `cancelled` error because their
+    /// deadline expired before a worker picked them up.
+    pub expired: u64,
+    /// Whether the session drained in-flight work and flushed the disk
+    /// tier before ending (true for both `shutdown` and EOF).
+    pub flushed: bool,
     /// Whether the session ended with an explicit `shutdown` (vs EOF).
     pub clean_shutdown: bool,
 }
 
-/// The request server.
+/// The request server.  See the module docs for protocol and semantics.
 pub struct Server {
     store: Arc<PersistentStore>,
     workers: usize,
+    queue_capacity: usize,
+    latency: LatencySet,
 }
 
 /// A parsed, schedulable request.
 #[derive(Debug, Clone)]
-enum Job {
+pub(crate) enum Job {
     Analyse {
         id: u64,
         source: String,
@@ -86,6 +130,13 @@ impl Job {
     fn id(&self) -> u64 {
         match self {
             Job::Analyse { id, .. } | Job::Sweep { id, .. } => *id,
+        }
+    }
+
+    fn op_name(&self) -> &'static str {
+        match self {
+            Job::Analyse { .. } => "analyse",
+            Job::Sweep { .. } => "sweep",
         }
     }
 
@@ -108,44 +159,66 @@ impl Job {
     }
 }
 
+/// How a transport delivers one response line.  Each transport (or TCP
+/// connection) supplies its own, so the scheduler can route a response to
+/// whichever connection asked.
+pub(crate) type Respond<'env> = Arc<dyn Fn(u64, &str) + Send + Sync + 'env>;
+
+/// An accepted request waiting for (or holding) a worker.
+pub(crate) struct Pending<'env> {
+    job: Job,
+    respond: Respond<'env>,
+    deadline: Option<Instant>,
+    accepted_at: Instant,
+}
+
 /// Shared queue state, all under one lock: the pending jobs, whether the
 /// session is still accepting, and the number of parked-and-unclaimed
 /// workers.  The idle count is *claimed* by the enqueuer at notify time —
 /// checking it after the notify (as a separate atomic would) races against
 /// the worker still waking up and would under-spawn a burst of distinct
 /// jobs onto one thread.
-struct QueueState {
-    jobs: VecDeque<Job>,
+struct QueueState<'env> {
+    jobs: VecDeque<Pending<'env>>,
     open: bool,
     idle: usize,
 }
 
-/// How the scheduler accepted a request.
-enum Enqueued {
+/// How the scheduler accepted (or declined) a request.
+enum Submitted<'env> {
+    /// Queued; `needs_worker` asks the transport to spawn a scheduler
+    /// thread if the cap allows.
+    Queued { needs_worker: bool },
     /// Attached as a waiter to an identical in-flight job.
-    Duplicate,
-    /// Scheduled and handed to an already-parked worker.
-    Claimed,
-    /// Scheduled with no parked worker available — the serve loop should
-    /// spawn one if the cap allows.
-    NeedsWorker,
+    Attached,
+    /// Declined: the queue is full.  The request is handed back so the
+    /// caller can answer it with a typed `overloaded` error.
+    Shed(Pending<'env>),
 }
 
-struct Scheduler {
-    queue: Mutex<QueueState>,
+/// The transport-independent scheduler: bounded queue, dedup map, drain
+/// barrier, and the session counters.  One instance serves a whole session
+/// regardless of transport; every TCP connection and the stdin loop submit
+/// into the same queue.
+pub(crate) struct Scheduler<'env> {
+    queue: Mutex<QueueState<'env>>,
     queued: Condvar,
+    capacity: usize,
     /// Requests accepted but not yet responded to (barrier condition).
     outstanding: Mutex<usize>,
     drained: Condvar,
-    /// Dedup key of every queued-or-running job → ids of the duplicate
+    /// Dedup key of every queued-or-running no-deadline job → the duplicate
     /// requests waiting for the same response body.
-    in_flight: Mutex<FxHashMap<String, Vec<u64>>>,
-    dedup_hits: AtomicU64,
+    in_flight: Mutex<FxHashMap<String, Vec<(u64, Respond<'env>)>>>,
+    requests: AtomicU64,
     responses: AtomicU64,
+    dedup_hits: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
 }
 
-impl Scheduler {
-    fn new() -> Scheduler {
+impl<'env> Scheduler<'env> {
+    pub(crate) fn new(capacity: usize) -> Scheduler<'env> {
         Scheduler {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -153,48 +226,69 @@ impl Scheduler {
                 idle: 0,
             }),
             queued: Condvar::new(),
+            capacity,
             outstanding: Mutex::new(0),
             drained: Condvar::new(),
             in_flight: Mutex::new(FxHashMap::default()),
-            dedup_hits: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
             responses: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
         }
     }
 
-    /// Accepts a job: schedules it, or — when an identical job is already
-    /// queued or running — registers the request as a waiter on that job
-    /// (without waking or warranting any worker).  A scheduled job claims a
-    /// parked worker under the queue lock, so the caller's spawn decision
-    /// cannot race the worker's wake-up.
-    fn enqueue_or_attach(&self, job: Job) -> Enqueued {
-        *self.outstanding.lock().expect("outstanding") += 1;
-        let key = job.dedup_key();
-        {
+    /// Writes one response through the transport's responder and counts it.
+    fn respond(&self, respond: &Respond<'env>, id: u64, body: &str) {
+        respond(id, body);
+        self.responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accepts a job: queues it, sheds it (bounded queue), or — when
+    /// deduplicable and an identical job is already queued or running —
+    /// registers the request as a waiter on that job.  A queued job claims
+    /// a parked worker under the queue lock, so the caller's spawn decision
+    /// cannot race the worker's wake-up.  Lock order: `in_flight` before
+    /// `queue`.
+    fn try_submit(&self, pending: Pending<'env>, dedup: bool) -> Submitted<'env> {
+        let mut in_flight = if dedup {
             let mut in_flight = self.in_flight.lock().expect("in-flight map");
-            if let Some(waiters) = in_flight.get_mut(&key) {
-                waiters.push(job.id());
+            if let Some(waiters) = in_flight.get_mut(&pending.job.dedup_key()) {
+                waiters.push((pending.job.id(), Arc::clone(&pending.respond)));
                 self.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                return Enqueued::Duplicate;
+                *self.outstanding.lock().expect("outstanding") += 1;
+                return Submitted::Attached;
             }
-            in_flight.insert(key, Vec::new());
-        }
+            Some(in_flight)
+        } else {
+            None
+        };
         let mut queue = self.queue.lock().expect("queue");
-        queue.jobs.push_back(job);
-        if queue.idle > 0 {
+        if queue.jobs.len() >= self.capacity {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Submitted::Shed(pending);
+        }
+        if let Some(map) = in_flight.as_mut() {
+            map.insert(pending.job.dedup_key(), Vec::new());
+        }
+        *self.outstanding.lock().expect("outstanding") += 1;
+        queue.jobs.push_back(pending);
+        let needs_worker = if queue.idle > 0 {
             queue.idle -= 1;
             self.queued.notify_one();
-            Enqueued::Claimed
+            false
         } else {
-            Enqueued::NeedsWorker
-        }
+            true
+        };
+        Submitted::Queued { needs_worker }
     }
 
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         self.queue.lock().expect("queue").open = false;
         self.queued.notify_all();
     }
 
-    fn next(&self) -> Option<Job> {
+    pub(crate) fn next(&self) -> Option<Pending<'env>> {
         let mut guard = self.queue.lock().expect("queue");
         // Whether this worker is currently counted in `idle`.  A claim
         // decrements the count at enqueue time; if a *different* worker
@@ -220,8 +314,8 @@ impl Scheduler {
         }
     }
 
-    /// Blocks until every enqueued job has been responded to.
-    fn barrier(&self) {
+    /// Blocks until every accepted job has been responded to.
+    pub(crate) fn barrier(&self) {
         let mut outstanding = self.outstanding.lock().expect("outstanding");
         while *outstanding > 0 {
             outstanding = self.drained.wait(outstanding).expect("drain wait");
@@ -235,17 +329,50 @@ impl Scheduler {
             self.drained.notify_all();
         }
     }
+
+    pub(crate) fn summary(&self, clean_shutdown: bool, flushed: bool) -> ServeSummary {
+        ServeSummary {
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            deduplicated: self.dedup_hits.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            flushed,
+            clean_shutdown,
+        }
+    }
+}
+
+fn expired_body(op: &str) -> String {
+    format!(
+        "\"op\": \"{op}\", \"ok\": false, \"error_kind\": \"cancelled\", \
+         \"error\": \"deadline expired before the request completed\""
+    )
+}
+
+fn overloaded_body(op: &str, retry_after_ms: u64) -> String {
+    format!(
+        "\"op\": \"{op}\", \"ok\": false, \"error_kind\": \"overloaded\", \
+         \"error\": \"server overloaded; request queue is full\", \
+         \"retry_after_ms\": {retry_after_ms}"
+    )
 }
 
 impl Server {
     /// A server over `store` with one scheduler thread per available core
-    /// (capped at 8 — analyse jobs already fan out internally via rayon).
+    /// (capped at 8 — analyse jobs already fan out internally via rayon)
+    /// and the default queue capacity.
     pub fn new(store: Arc<PersistentStore>) -> Server {
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
             .min(8);
-        Server { store, workers }
+        Server {
+            store,
+            workers,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            latency: LatencySet::default(),
+        }
     }
 
     /// Overrides the scheduler thread count (minimum 1).
@@ -254,7 +381,33 @@ impl Server {
         self
     }
 
+    /// Overrides the bounded queue capacity.  Requests beyond this backlog
+    /// are shed with a typed `overloaded` error; `0` sheds everything
+    /// (useful for testing caller backoff).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Server {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    pub(crate) fn worker_cap(&self) -> usize {
+        self.workers.min(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    pub(crate) fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    pub(crate) fn flush_store(&self) {
+        self.store.flush();
+    }
+
     /// Serves JSON-lines requests from `reader` until `shutdown` or EOF.
+    /// This is the stdin/stdout transport: a thin adapter over the same
+    /// scheduler the TCP transport uses.
     ///
     /// # Errors
     ///
@@ -265,26 +418,31 @@ impl Server {
         reader: R,
         writer: W,
     ) -> io::Result<ServeSummary> {
-        let scheduler = Scheduler::new();
         let writer = Mutex::new(writer);
-        let mut requests = 0u64;
+        let scheduler = Scheduler::new(self.queue_capacity);
         let mut clean_shutdown = false;
-
         std::thread::scope(|scope| -> io::Result<()> {
+            let respond: Respond<'_> = Arc::new(|id, body| write_line(&writer, id, body));
             // Workers are spawned on demand: a fresh (non-duplicate) job
             // only starts a new thread when no existing worker is parked on
             // the queue and the cap leaves room.  A duplicate-heavy burst
             // therefore costs as many threads as it has distinct
-            // computations, not a full eagerly-spawned pool — and never more
-            // threads than the host has cores, because scheduler workers are
-            // CPU-bound (jobs fan out internally via rayon) and extra
-            // threads on a saturated host only add switching overhead.
-            let cap = self.workers.min(
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1),
-            );
-            let mut spawned = 0usize;
+            // computations — and never more threads than the host has
+            // cores, because scheduler workers are CPU-bound.
+            let cap = self.worker_cap();
+            let spawned = AtomicUsize::new(0);
+            let spawn_worker = || {
+                let claim = spawned.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    (n < cap).then_some(n + 1)
+                });
+                if claim.is_ok() {
+                    scope.spawn(|| {
+                        while let Some(pending) = scheduler.next() {
+                            self.run_pending(&scheduler, pending);
+                        }
+                    });
+                }
+            };
             for line in reader.lines() {
                 let line = match line {
                     Ok(line) => line,
@@ -296,105 +454,205 @@ impl Server {
                 if line.trim().is_empty() {
                     continue;
                 }
-                requests += 1;
-                match parse_request(&line) {
-                    Ok(Request::Job(job)) => {
-                        if matches!(scheduler.enqueue_or_attach(job), Enqueued::NeedsWorker)
-                            && spawned < cap
-                        {
-                            spawned += 1;
-                            scope.spawn(|| {
-                                while let Some(job) = scheduler.next() {
-                                    self.run_job(&scheduler, &writer, job);
-                                }
-                            });
-                        }
-                    }
-                    Ok(Request::Stats { id }) => {
-                        // Barrier: counters reflect every request scripted
-                        // before this one.
-                        scheduler.barrier();
-                        let body = format!(
-                            "\"op\": \"stats\", \"ok\": true, \"stats\": {}",
-                            self.store.stats().to_json()
-                        );
-                        emit(&scheduler, &writer, id, &body);
-                    }
-                    Ok(Request::Shutdown { id }) => {
-                        scheduler.barrier();
-                        emit(
-                            &scheduler,
-                            &writer,
-                            id,
-                            "\"op\": \"shutdown\", \"ok\": true",
-                        );
-                        clean_shutdown = true;
-                        break;
-                    }
-                    Err((id, message)) => {
-                        let body =
-                            format!("\"ok\": false, \"error\": \"{}\"", json::escape(&message));
-                        emit(&scheduler, &writer, id.unwrap_or(0), &body);
-                    }
+                if self.dispatch(&scheduler, &line, &respond, &spawn_worker) {
+                    clean_shutdown = true;
+                    break;
                 }
             }
-            scheduler.barrier();
+            if !clean_shutdown {
+                // EOF: same drain + flush as an explicit shutdown, minus
+                // the ack (there is nobody left to read it).
+                scheduler.barrier();
+                self.store.flush();
+            }
             scheduler.close();
             Ok(())
         })?;
-
-        Ok(ServeSummary {
-            requests,
-            responses: scheduler.responses.load(Ordering::Relaxed),
-            deduplicated: scheduler.dedup_hits.load(Ordering::Relaxed),
-            clean_shutdown,
-        })
+        Ok(scheduler.summary(clean_shutdown, true))
     }
 
-    /// Computes one job and answers it plus every waiter that attached to it
-    /// while it was queued or running.
-    fn run_job<W: Write>(&self, scheduler: &Scheduler, writer: &Mutex<W>, job: Job) {
+    /// Parses and executes one request line.  Control ops (`stats`,
+    /// `shutdown`) run inline on the calling transport thread; jobs go
+    /// through the scheduler.  Returns `true` when the session must end
+    /// (`shutdown` was acknowledged, with the drain and disk flush done).
+    pub(crate) fn dispatch<'env>(
+        &self,
+        scheduler: &Scheduler<'env>,
+        line: &str,
+        respond: &Respond<'env>,
+        spawn_worker: &dyn Fn(),
+    ) -> bool {
+        scheduler.requests.fetch_add(1, Ordering::Relaxed);
+        match parse_request(line) {
+            Ok(Request::Job(job, deadline_ms)) => {
+                self.submit(scheduler, job, deadline_ms, respond, spawn_worker);
+                false
+            }
+            Ok(Request::Stats { id }) => {
+                // Barrier: counters reflect every request scripted before
+                // this one.
+                scheduler.barrier();
+                let latency = self.latency.to_json();
+                let body = format!(
+                    "\"op\": \"stats\", \"ok\": true, \"stats\": {}",
+                    self.store.stats().to_json_with(Some(&latency))
+                );
+                scheduler.respond(respond, id, &body);
+                false
+            }
+            Ok(Request::Shutdown { id }) => {
+                scheduler.barrier();
+                self.store.flush();
+                scheduler.respond(
+                    respond,
+                    id,
+                    "\"op\": \"shutdown\", \"ok\": true, \"drained\": true, \"flushed\": true",
+                );
+                true
+            }
+            Err((id, message)) => {
+                let body = format!(
+                    "\"ok\": false, \"error_kind\": \"fault\", \"error\": \"{}\"",
+                    json::escape(&message)
+                );
+                scheduler.respond(respond, id.unwrap_or(0), &body);
+                false
+            }
+        }
+    }
+
+    /// Admission control for one job: declines zero deadlines outright,
+    /// sheds when the bounded queue is full (typed `overloaded` error with
+    /// a `retry_after_ms` derived from the measured mean latency of the
+    /// op), deduplicates no-deadline requests, and otherwise queues.
+    fn submit<'env>(
+        &self,
+        scheduler: &Scheduler<'env>,
+        job: Job,
+        deadline_ms: Option<u64>,
+        respond: &Respond<'env>,
+        spawn_worker: &dyn Fn(),
+    ) {
+        let accepted_at = Instant::now();
+        if deadline_ms == Some(0) {
+            scheduler.expired.fetch_add(1, Ordering::Relaxed);
+            scheduler.respond(respond, job.id(), &expired_body(job.op_name()));
+            return;
+        }
+        let deadline = deadline_ms.map(|ms| accepted_at + Duration::from_millis(ms));
+        let pending = Pending {
+            job,
+            respond: Arc::clone(respond),
+            deadline,
+            accepted_at,
+        };
+        match scheduler.try_submit(pending, deadline.is_none()) {
+            Submitted::Queued { needs_worker } => {
+                if needs_worker {
+                    spawn_worker();
+                }
+            }
+            Submitted::Attached => {}
+            Submitted::Shed(pending) => {
+                let retry = self.retry_hint_ms(&pending.job);
+                scheduler.respond(
+                    &pending.respond,
+                    pending.job.id(),
+                    &overloaded_body(pending.job.op_name(), retry),
+                );
+            }
+        }
+    }
+
+    /// How long a shed caller should back off: the measured mean latency of
+    /// the op (the expected time for one queue slot to free up), or 50 ms
+    /// before any measurement exists.
+    fn retry_hint_ms(&self, job: &Job) -> u64 {
+        let histogram = match job {
+            Job::Analyse { .. } => &self.latency.analyse,
+            Job::Sweep { .. } => &self.latency.sweep,
+        };
+        if histogram.count() == 0 {
+            50
+        } else {
+            (histogram.mean_ms().ceil() as u64).max(1)
+        }
+    }
+
+    /// Computes one job and answers it plus every waiter that attached to
+    /// it while it was queued or running.  A job whose deadline expired in
+    /// the queue is declined without running.
+    pub(crate) fn run_pending<'env>(&self, scheduler: &Scheduler<'env>, pending: Pending<'env>) {
+        let Pending {
+            job,
+            respond,
+            deadline,
+            accepted_at,
+        } = pending;
         let id = job.id();
-        let key = job.dedup_key();
-        let body = catch_unwind(AssertUnwindSafe(|| self.handle(&job)))
-            .unwrap_or_else(|_| "\"ok\": false, \"error\": \"internal error\"".to_owned());
-        let waiters = scheduler
-            .in_flight
-            .lock()
-            .expect("in-flight map")
-            .remove(&key)
-            .unwrap_or_default();
-        emit(scheduler, writer, id, &body);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            scheduler.expired.fetch_add(1, Ordering::Relaxed);
+            scheduler.respond(&respond, id, &expired_body(job.op_name()));
+            scheduler.job_done();
+            return;
+        }
+        let cancel = deadline.map_or_else(CancelToken::none, CancelToken::with_deadline);
+        let body =
+            catch_unwind(AssertUnwindSafe(|| self.handle(&job, cancel))).unwrap_or_else(|_| {
+                "\"ok\": false, \"error_kind\": \"fault\", \"error\": \"internal error\"".to_owned()
+            });
+        let histogram = match &job {
+            Job::Analyse { .. } => &self.latency.analyse,
+            Job::Sweep { .. } => &self.latency.sweep,
+        };
+        histogram.record(accepted_at.elapsed());
+        let waiters = if deadline.is_none() {
+            scheduler
+                .in_flight
+                .lock()
+                .expect("in-flight map")
+                .remove(&job.dedup_key())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        scheduler.respond(&respond, id, &body);
         scheduler.job_done();
-        for waiter in waiters {
-            emit(scheduler, writer, waiter, &body);
+        for (waiter, waiter_respond) in waiters {
+            scheduler.respond(&waiter_respond, waiter, &body);
             scheduler.job_done();
         }
     }
 
     /// Produces the response body (everything after the `id` member).
-    fn handle(&self, job: &Job) -> String {
+    fn handle(&self, job: &Job, cancel: CancelToken) -> String {
         match job {
             Job::Analyse {
                 source,
                 path_bound,
                 function,
                 ..
-            } => self.handle_analyse(source, *path_bound, function.as_deref()),
+            } => self.handle_analyse(source, *path_bound, function.as_deref(), cancel),
             Job::Sweep {
                 source, max_bound, ..
             } => self.handle_sweep(source, *max_bound),
         }
     }
 
-    fn handle_analyse(&self, source: &str, path_bound: u128, filter: Option<&str>) -> String {
+    fn handle_analyse(
+        &self,
+        source: &str,
+        path_bound: u128,
+        filter: Option<&str>,
+        cancel: CancelToken,
+    ) -> String {
         let program = match parse_program(source) {
             Ok(program) => program,
             Err(e) => {
                 return format!(
-                    "\"op\": \"analyse\", \"ok\": false, \"error\": \"{}\"",
-                    json::escape(&e.to_string())
-                )
+                "\"op\": \"analyse\", \"ok\": false, \"error_kind\": \"fault\", \"error\": \"{}\"",
+                json::escape(&e.to_string())
+            )
             }
         };
         let functions: Vec<_> = program
@@ -404,18 +662,25 @@ impl Server {
             .cloned()
             .collect();
         if functions.is_empty() {
-            return "\"op\": \"analyse\", \"ok\": false, \"error\": \"no matching function\""
+            return "\"op\": \"analyse\", \"ok\": false, \"error_kind\": \"fault\", \"error\": \"no matching function\""
                 .to_owned();
         }
         let store: Arc<dyn TieredStore> = self.store.clone();
-        let analysis = WcetAnalysis::new(path_bound).with_store(store);
+        let analysis = WcetAnalysis::new(path_bound)
+            .with_store(store)
+            .with_cancel(cancel);
         // Independent functions fan out across the rayon pool; the staged
         // pipeline behind the shared store deduplicates the artifacts.
         let results = analysis.analyse_all(&functions);
         for result in &results {
             if let Err(e) = result {
+                let kind = if e.is_cancelled() {
+                    "cancelled"
+                } else {
+                    "fault"
+                };
                 return format!(
-                    "\"op\": \"analyse\", \"ok\": false, \"error\": \"{}\"",
+                    "\"op\": \"analyse\", \"ok\": false, \"error_kind\": \"{kind}\", \"error\": \"{}\"",
                     json::escape(&e.to_string())
                 );
             }
@@ -435,13 +700,13 @@ impl Server {
             Ok(program) => program,
             Err(e) => {
                 return format!(
-                    "\"op\": \"sweep\", \"ok\": false, \"error\": \"{}\"",
-                    json::escape(&e.to_string())
-                )
+                "\"op\": \"sweep\", \"ok\": false, \"error_kind\": \"fault\", \"error\": \"{}\"",
+                json::escape(&e.to_string())
+            )
             }
         };
         let Some(function) = program.functions.first() else {
-            return "\"op\": \"sweep\", \"ok\": false, \"error\": \"empty module\"".to_owned();
+            return "\"op\": \"sweep\", \"ok\": false, \"error_kind\": \"fault\", \"error\": \"empty module\"".to_owned();
         };
         // Lowering goes through the tiers, so a warm sweep of a known
         // function re-reads the cached CFG and path counts from disk.
@@ -491,7 +756,7 @@ fn report_json(r: &AnalysisReport) -> String {
 }
 
 enum Request {
-    Job(Job),
+    Job(Job, Option<u64>),
     Stats { id: u64 },
     Shutdown { id: u64 },
 }
@@ -506,6 +771,13 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
         .and_then(Value::as_str)
         .ok_or((id, "missing op".to_owned()))?;
     let id = id.ok_or((None, "missing id".to_owned()))?;
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or((
+            Some(id),
+            "deadline_ms must be a non-negative integer".to_owned(),
+        ))?),
+    };
     match op {
         "analyse" => {
             let source = value
@@ -524,12 +796,15 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
                 .get("function")
                 .and_then(Value::as_str)
                 .map(str::to_owned);
-            Ok(Request::Job(Job::Analyse {
-                id,
-                source,
-                path_bound,
-                function,
-            }))
+            Ok(Request::Job(
+                Job::Analyse {
+                    id,
+                    source,
+                    path_bound,
+                    function,
+                },
+                deadline_ms,
+            ))
         }
         "sweep" => {
             let source = value
@@ -544,11 +819,14 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
                     .filter(|b| *b >= 1)
                     .ok_or((Some(id), "max_bound must be a positive integer".to_owned()))?,
             };
-            Ok(Request::Job(Job::Sweep {
-                id,
-                source,
-                max_bound,
-            }))
+            Ok(Request::Job(
+                Job::Sweep {
+                    id,
+                    source,
+                    max_bound,
+                },
+                deadline_ms,
+            ))
         }
         "stats" => Ok(Request::Stats { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
@@ -557,13 +835,12 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
 }
 
 /// Writes one response line `{"id":N,<body>}`.
-fn emit<W: Write>(scheduler: &Scheduler, writer: &Mutex<W>, id: u64, body: &str) {
+fn write_line<W: Write>(writer: &Mutex<W>, id: u64, body: &str) {
     let mut writer = writer.lock().expect("writer");
     let write = writeln!(writer, "{{\"id\": {id}, {body}}}").and_then(|()| writer.flush());
     if let Err(e) = write {
         eprintln!("tmg-service: dropping response for request {id}: {e}");
     }
-    scheduler.responses.fetch_add(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -579,14 +856,13 @@ mod tests {
         dir
     }
 
-    fn serve_script(
-        store: &Arc<PersistentStore>,
-        workers: usize,
-        script: &str,
-    ) -> (ServeSummary, Vec<Value>) {
+    fn open_store(root: &std::path::Path) -> Arc<PersistentStore> {
+        Arc::new(PersistentStore::with_config(PersistentStoreConfig::new(root)).expect("open"))
+    }
+
+    fn serve_script(server: &Server, script: &str) -> (ServeSummary, Vec<Value>) {
         let mut out = Vec::new();
-        let summary = Server::new(Arc::clone(store))
-            .with_workers(workers)
+        let summary = server
             .serve(Cursor::new(script.to_owned()), &mut out)
             .expect("serve");
         let text = String::from_utf8(out).expect("utf-8 responses");
@@ -603,9 +879,7 @@ mod tests {
     #[test]
     fn analyse_stats_and_shutdown_round_trip() {
         let root = temp_root("roundtrip");
-        let store = Arc::new(
-            PersistentStore::with_config(PersistentStoreConfig::new(&root)).expect("open"),
-        );
+        let store = open_store(&root);
         let script = format!(
             "{}\n{}\n{}\n",
             format_args!(
@@ -615,10 +889,14 @@ mod tests {
             "{\"id\": 2, \"op\": \"stats\"}",
             "{\"id\": 3, \"op\": \"shutdown\"}"
         );
-        let (summary, responses) = serve_script(&store, 2, &script);
+        let server = Server::new(store).with_workers(2);
+        let (summary, responses) = serve_script(&server, &script);
         assert!(summary.clean_shutdown);
+        assert!(summary.flushed);
         assert_eq!(summary.requests, 3);
         assert_eq!(summary.responses, 3);
+        assert_eq!(summary.shed, 0);
+        assert_eq!(summary.expired, 0);
         let analyse = &responses[0];
         assert_eq!(analyse.get("ok").and_then(Value::as_bool), Some(true));
         let reports = analyse
@@ -635,10 +913,25 @@ mod tests {
         );
         let stats = &responses[1];
         assert_eq!(stats.get("ok").and_then(Value::as_bool), Some(true));
-        assert!(stats.get("stats").is_some());
+        // The snapshot embeds the per-op latency histograms: the analyse we
+        // just ran must be on the record.
+        let latency = stats
+            .get("stats")
+            .and_then(|s| s.get("latency"))
+            .expect("latency histograms in stats");
         assert_eq!(
-            responses[2].get("op").and_then(Value::as_str),
-            Some("shutdown")
+            latency
+                .get("analyse")
+                .and_then(|a| a.get("count"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        let shutdown = &responses[2];
+        assert_eq!(shutdown.get("op").and_then(Value::as_str), Some("shutdown"));
+        assert_eq!(
+            shutdown.get("flushed").and_then(Value::as_bool),
+            Some(true),
+            "shutdown acks the drain + flush explicitly"
         );
         let _ = std::fs::remove_dir_all(&root);
     }
@@ -646,9 +939,7 @@ mod tests {
     #[test]
     fn identical_concurrent_requests_are_deduplicated() {
         let root = temp_root("dedup");
-        let store = Arc::new(
-            PersistentStore::with_config(PersistentStoreConfig::new(&root)).expect("open"),
-        );
+        let store = open_store(&root);
         let request = format!(
             "{{\"id\": ID, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 4}}",
             json::escape(SOURCE)
@@ -659,7 +950,8 @@ mod tests {
             script.push('\n');
         }
         script.push_str("{\"id\": 7, \"op\": \"shutdown\"}\n");
-        let (summary, responses) = serve_script(&store, 4, &script);
+        let server = Server::new(store).with_workers(4);
+        let (summary, responses) = serve_script(&server, &script);
         assert_eq!(summary.responses, 7);
         assert!(
             summary.deduplicated > 0,
@@ -679,15 +971,14 @@ mod tests {
     #[test]
     fn malformed_and_unknown_requests_fail_cleanly() {
         let root = temp_root("errors");
-        let store = Arc::new(
-            PersistentStore::with_config(PersistentStoreConfig::new(&root)).expect("open"),
-        );
+        let store = open_store(&root);
         let script = "this is not json\n\
                       {\"id\": 2, \"op\": \"frobnicate\"}\n\
                       {\"id\": 3, \"op\": \"analyse\", \"source\": \"void f( {\"}\n\
                       {\"id\": 4, \"op\": \"analyse\", \"source\": \"void f() { }\", \"path_bound\": 0}\n\
                       {\"id\": 5, \"op\": \"shutdown\"}\n";
-        let (summary, responses) = serve_script(&store, 2, script);
+        let server = Server::new(store).with_workers(2);
+        let (summary, responses) = serve_script(&server, script);
         assert!(summary.clean_shutdown);
         assert_eq!(summary.responses, 5);
         for r in &responses[..4] {
@@ -704,14 +995,13 @@ mod tests {
     #[test]
     fn sweep_returns_the_tradeoff_curve() {
         let root = temp_root("sweep");
-        let store = Arc::new(
-            PersistentStore::with_config(PersistentStoreConfig::new(&root)).expect("open"),
-        );
+        let store = open_store(&root);
         let script = format!(
             "{{\"id\": 1, \"op\": \"sweep\", \"source\": \"{}\", \"max_bound\": 100}}\n{{\"id\": 2, \"op\": \"shutdown\"}}\n",
             json::escape(SOURCE)
         );
-        let (_, responses) = serve_script(&store, 1, &script);
+        let server = Server::new(store).with_workers(1);
+        let (_, responses) = serve_script(&server, &script);
         let sweep = &responses[0];
         assert_eq!(sweep.get("ok").and_then(Value::as_bool), Some(true));
         let points = sweep
@@ -720,6 +1010,134 @@ mod tests {
             .expect("points");
         assert!(!points.is_empty());
         assert!(points[0].get("instrumentation_points").is_some());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn a_zero_deadline_is_declined_with_a_typed_cancellation() {
+        let root = temp_root("deadline-zero");
+        let store = open_store(&root);
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2, \"deadline_ms\": 0}}\n\
+             {{\"id\": 2, \"op\": \"shutdown\"}}\n",
+            json::escape(SOURCE)
+        );
+        let server = Server::new(store).with_workers(2);
+        let (summary, responses) = serve_script(&server, &script);
+        assert_eq!(summary.expired, 1);
+        assert_eq!(summary.responses, 2);
+        let declined = &responses[0];
+        assert_eq!(declined.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            declined.get("error_kind").and_then(Value::as_str),
+            Some("cancelled")
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn a_generous_deadline_changes_nothing_about_the_answer() {
+        let root_plain = temp_root("deadline-plain");
+        let root_deadline = temp_root("deadline-generous");
+        let request = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 4DEADLINE}}\n\
+             {{\"id\": 2, \"op\": \"shutdown\"}}\n",
+            json::escape(SOURCE)
+        );
+        let plain = Server::new(open_store(&root_plain)).with_workers(2);
+        let (_, plain_responses) = serve_script(&plain, &request.replace("DEADLINE", ""));
+        let with_deadline = Server::new(open_store(&root_deadline)).with_workers(2);
+        let (summary, deadline_responses) = serve_script(
+            &with_deadline,
+            &request.replace("DEADLINE", ", \"deadline_ms\": 60000"),
+        );
+        assert_eq!(summary.expired, 0);
+        assert_eq!(
+            plain_responses[0].get("reports"),
+            deadline_responses[0].get("reports"),
+            "a deadline that never fires must not change the answer"
+        );
+        let _ = std::fs::remove_dir_all(&root_plain);
+        let _ = std::fs::remove_dir_all(&root_deadline);
+    }
+
+    #[test]
+    fn a_full_queue_sheds_with_a_typed_overload_and_retry_hint() {
+        let root = temp_root("shed");
+        let store = open_store(&root);
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}\n\
+             {{\"id\": 2, \"op\": \"shutdown\"}}\n",
+            json::escape(SOURCE)
+        );
+        // Capacity 0: every job is shed at admission, deterministically.
+        let server = Server::new(store).with_workers(2).with_queue_capacity(0);
+        let (summary, responses) = serve_script(&server, &script);
+        assert_eq!(summary.shed, 1);
+        assert_eq!(summary.responses, 2);
+        assert!(summary.clean_shutdown, "shedding must not wedge shutdown");
+        let shed = &responses[0];
+        assert_eq!(shed.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            shed.get("error_kind").and_then(Value::as_str),
+            Some("overloaded")
+        );
+        assert!(
+            shed.get("retry_after_ms").and_then(Value::as_u64).unwrap() > 0,
+            "an overload response must tell the caller when to retry"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn responses_are_identical_across_one_and_many_workers() {
+        let sources = [
+            "void f(char a __range(0, 3)) { if (a > 1) { x(); } else { y(); } }",
+            "void g(char b __range(0, 7)) { if (b > 4) { p(); } if (b > 6) { q(); } }",
+            "void h(bool c) { if (c) { r(); } }",
+        ];
+        let mut script = String::new();
+        for (i, source) in sources.iter().enumerate() {
+            script.push_str(&format!(
+                "{{\"id\": {}, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 4}}\n",
+                i + 1,
+                json::escape(source)
+            ));
+        }
+        script.push_str(&format!(
+            "{{\"id\": 9, \"op\": \"sweep\", \"source\": \"{}\", \"max_bound\": 1000}}\n",
+            json::escape(sources[0])
+        ));
+        script.push_str("{\"id\": 10, \"op\": \"shutdown\"}\n");
+
+        let root_one = temp_root("workers-one");
+        let one = Server::new(open_store(&root_one)).with_workers(1);
+        let (_, one_responses) = serve_script(&one, &script);
+        let root_many = temp_root("workers-many");
+        let many = Server::new(open_store(&root_many)).with_workers(4);
+        let (_, many_responses) = serve_script(&many, &script);
+        assert_eq!(
+            one_responses, many_responses,
+            "the scheduler must answer identically with 1 and N workers"
+        );
+        let _ = std::fs::remove_dir_all(&root_one);
+        let _ = std::fs::remove_dir_all(&root_many);
+    }
+
+    #[test]
+    fn eof_drains_and_flushes_without_a_clean_shutdown() {
+        let root = temp_root("eof");
+        let store = open_store(&root);
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}\n",
+            json::escape(SOURCE)
+        );
+        let server = Server::new(store).with_workers(2);
+        let (summary, responses) = serve_script(&server, &script);
+        assert!(!summary.clean_shutdown, "EOF is not a shutdown");
+        assert!(summary.flushed, "EOF still drains and flushes");
+        assert_eq!(summary.responses, 1, "in-flight work was answered");
+        assert_eq!(responses[0].get("ok").and_then(Value::as_bool), Some(true));
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -24,9 +24,10 @@
 //! Measurement faults are never cached, matching the in-memory tier.
 
 use crate::codec::{self, CodecError};
+use crate::fault::{self, FaultKind, FaultPlan};
 use rustc_hash::FxHashMap;
 use std::fs;
-use std::io;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -59,6 +60,10 @@ pub struct DiskStageStats {
     pub evictions: u64,
     /// Stage computations actually executed (neither tier had the artifact).
     pub computes: u64,
+    /// Frames deleted by the startup recovery scan because they failed
+    /// integrity verification (torn writes, bit rot, foreign versions).
+    /// Each becomes a clean miss on its next request.
+    pub quarantined: u64,
 }
 
 /// Counter + occupancy snapshot of a [`PersistentStore`], combining both
@@ -98,29 +103,41 @@ impl TierStats {
     /// and visited-table contention), so perf work on the checker stays
     /// observable through the service `stats` op.
     pub fn to_json(&self) -> String {
+        self.to_json_with(None)
+    }
+
+    /// Like [`TierStats::to_json`], with an optional pre-rendered JSON
+    /// object of per-op latency histograms (the server's request-level
+    /// p50/p95/p99 view) embedded under `"latency"`.
+    pub fn to_json_with(&self, latency: Option<&str>) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{ \"schema\": \"tmg-tier-stats/v1\", \"computes\": {}, \"disk_bytes\": {}, \"disk_budget\": {}, \"memory\": {}, \"checker\": {}, \"disk\": {{",
+            "{{ \"schema\": \"tmg-tier-stats/v1\", \"computes\": {}, \"disk_bytes\": {}, \"disk_budget\": {}, \"memory\": {}, \"checker\": {}, ",
             self.total_computes(),
             self.disk_bytes,
             self.disk_budget,
             self.memory.to_json(),
             tmg_tsys::metrics::snapshot().to_json()
         );
+        if let Some(latency) = latency {
+            let _ = write!(out, "\"latency\": {latency}, ");
+        }
+        out.push_str("\"disk\": {");
         for (i, stage) in STAGES.iter().enumerate() {
             let s = self.disk_stage(*stage);
             let comma = if i + 1 < STAGES.len() { "," } else { "" };
             let _ = write!(
                 out,
-                " \"{}\": {{ \"hits\": {}, \"misses\": {}, \"stores\": {}, \"evictions\": {}, \"computes\": {} }}{}",
+                " \"{}\": {{ \"hits\": {}, \"misses\": {}, \"stores\": {}, \"evictions\": {}, \"computes\": {}, \"quarantined\": {} }}{}",
                 stage.name(),
                 s.hits,
                 s.misses,
                 s.stores,
                 s.evictions,
                 s.computes,
+                s.quarantined,
                 comma
             );
         }
@@ -156,14 +173,20 @@ struct DiskCache {
     /// touch (the scan seeds recency from file mtimes, so the order such
     /// loads would have established is approximated anyway).
     index: Mutex<Option<DiskIndex>>,
+    /// Armed by tests / the CLI via `TMG_FAULT_PLAN`; inert in production.
+    faults: FaultPlan,
+    /// Uniquifies temp-file names so concurrent same-key writers (and
+    /// writers from a previous crashed process) never collide mid-write.
+    tmp_seq: AtomicU64,
     hits: [AtomicU64; 6],
     misses: [AtomicU64; 6],
     stores: [AtomicU64; 6],
     evictions: [AtomicU64; 6],
+    quarantined: [AtomicU64; 6],
 }
 
 impl DiskCache {
-    fn open(root: &Path, budget: u64) -> io::Result<DiskCache> {
+    fn open(root: &Path, budget: u64, faults: FaultPlan) -> io::Result<DiskCache> {
         // The stage directories and the file index are built lazily, but an
         // unusable root must still fail *here* — operators rely on `open`
         // surfacing a typo'd or read-only cache path instead of silently
@@ -173,10 +196,13 @@ impl DiskCache {
             root: root.to_path_buf(),
             budget,
             index: Mutex::new(None),
+            faults,
+            tmp_seq: AtomicU64::new(0),
             hits: Default::default(),
             misses: Default::default(),
             stores: Default::default(),
             evictions: Default::default(),
+            quarantined: Default::default(),
         })
     }
 
@@ -256,7 +282,14 @@ impl DiskCache {
     /// the frame has passed verification — a file that exists but fails to
     /// decode is a miss, not a hit.
     fn load(&self, stage: Stage, key: u64) -> Option<Vec<u8>> {
-        let bytes = fs::read(self.path_of(stage, key)).ok();
+        let mut bytes = fs::read(self.path_of(stage, key)).ok();
+        if let Some(buf) = bytes.as_mut() {
+            for kind in [FaultKind::ShortRead, FaultKind::BitFlip] {
+                if self.faults.take(kind) {
+                    *buf = fault::damage(kind, buf);
+                }
+            }
+        }
         if bytes.is_some() {
             // Touch the LRU slot, but never *build* the index for a read:
             // pre-scan loads are already ordered by the mtime seeding.
@@ -293,7 +326,53 @@ impl DiskCache {
         });
     }
 
-    /// Writes a frame (atomically via a temp file + rename) and evicts
+    /// Path of a uniquely named temp file next to `(stage, key)`'s final
+    /// path.  The `.tmp` extension is what the index scan and the recovery
+    /// scan reclaim; the pid + sequence infix keeps concurrent same-key
+    /// writers (and leftovers of a crashed process) from colliding.
+    fn tmp_path_of(&self, stage: Stage, key: u64) -> PathBuf {
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        self.root.join(stage.name()).join(format!(
+            "{}.{}-{seq}.tmp",
+            key_hex(key),
+            std::process::id()
+        ))
+    }
+
+    /// Durable atomic publish: write the frame to a uniquely named temp
+    /// file, fsync it, rename it over the final path, then (best-effort)
+    /// fsync the directory so the rename itself survives a crash.  Returns
+    /// `false` when nothing was published — no reader can ever observe a
+    /// partially written frame at the final path.
+    fn publish(&self, tmp: &Path, path: &Path, bytes: &[u8]) -> bool {
+        let write = |dest: &Path| -> io::Result<()> {
+            let mut file = fs::File::create(dest)?;
+            file.write_all(bytes)?;
+            file.sync_all()
+        };
+        if write(tmp).is_err() {
+            let _ = fs::remove_file(tmp);
+            return false;
+        }
+        if self.faults.take(FaultKind::CrashBeforePublish) {
+            // Simulated crash between the data fsync and the rename: the
+            // artifact was never published; the synced orphan `.tmp` stays
+            // behind for the recovery scan to reclaim.
+            return false;
+        }
+        if fs::rename(tmp, path).is_err() {
+            let _ = fs::remove_file(tmp);
+            return false;
+        }
+        if let Some(dir) = path.parent() {
+            if let Ok(dir) = fs::File::open(dir) {
+                let _ = dir.sync_all();
+            }
+        }
+        true
+    }
+
+    /// Writes a frame (atomically, see [`DiskCache::publish`]) and evicts
     /// least-recently-used frames until the byte budget holds.  Failures are
     /// swallowed: a cache that cannot write simply stops accelerating.
     fn store(&self, stage: Stage, key: u64, bytes: &[u8]) {
@@ -301,10 +380,21 @@ impl DiskCache {
         // happen before the write; cold runs pay the one-time scan here.
         self.with_index(|_| ());
         let path = self.path_of(stage, key);
-        let tmp = path.with_extension("tmp");
-        let written = fs::write(&tmp, bytes).and_then(|()| fs::rename(&tmp, &path));
-        if written.is_err() {
-            let _ = fs::remove_file(&tmp);
+        if self.faults.take(FaultKind::TornWrite) {
+            // The legacy non-atomic write dying mid-frame: half a frame
+            // lands directly on the final path, exactly what the atomic
+            // publish exists to prevent.  No accounting — the "crashed"
+            // writer would not have updated anything either.
+            let _ = fs::write(&path, fault::damage(FaultKind::TornWrite, bytes));
+            return;
+        }
+        if !self.publish(&self.tmp_path_of(stage, key), &path, bytes) {
+            return;
+        }
+        if self.faults.take(FaultKind::CrashAfterPublish) {
+            // Simulated crash right after the rename: the frame is durable
+            // and valid, only this (dead) process's counters and LRU
+            // accounting are lost.  A fresh process must serve it warm.
             return;
         }
         self.stores[stage.index()].fetch_add(1, Ordering::Relaxed);
@@ -357,11 +447,89 @@ impl DiskCache {
                 stores: self.stores[i].load(Ordering::Relaxed),
                 evictions: self.evictions[i].load(Ordering::Relaxed),
                 computes: computes[i].load(Ordering::Relaxed),
+                quarantined: self.quarantined[i].load(Ordering::Relaxed),
             };
         }
         let bytes = self.with_index(|index| index.total_bytes);
         (out, bytes)
     }
+
+    /// Best-effort durability flush: fsyncs every stage directory so all
+    /// published renames are on stable storage.  Run by the server's
+    /// graceful drain before it reports a clean shutdown.
+    fn flush(&self) {
+        for stage in STAGES {
+            if let Ok(dir) = fs::File::open(self.root.join(stage.name())) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+
+    /// Crash-recovery pass over the cache directory: reclaims orphaned
+    /// `.tmp` files and verifies every `.tmga` frame's header and digest
+    /// ([`codec::verify_frame`]), deleting — *quarantining* — any that fail
+    /// so later requests see a clean miss instead of paying a runtime
+    /// discard.  Deliberately not part of `open`: the scan reads every
+    /// frame, and the warm read path must stay scan-free ([`DiskCache`]'s
+    /// lazy index); servers run it once at startup.
+    fn recovery_scan(&self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        for stage in STAGES {
+            let dir = self.root.join(stage.name());
+            let Ok(entries) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let ext = path.extension().and_then(|e| e.to_str());
+                if ext == Some("tmp") {
+                    let _ = fs::remove_file(&path);
+                    report.reclaimed_tmp += 1;
+                    continue;
+                }
+                if ext != Some(ARTIFACT_EXT) {
+                    continue;
+                }
+                report.scanned += 1;
+                let key = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| u64::from_str_radix(s, 16).ok());
+                let verdict = match key {
+                    None => Err(CodecError::Malformed("filename is not a frame key")),
+                    Some(key) => fs::read(&path)
+                        .map_err(|_| CodecError::Malformed("unreadable frame"))
+                        .and_then(|bytes| codec::verify_frame(&bytes, stage, key)),
+                };
+                if let Err(error) = verdict {
+                    eprintln!(
+                        "tmg-service: quarantining unverifiable cache frame {} ({error})",
+                        path.display()
+                    );
+                    let _ = fs::remove_file(&path);
+                    self.quarantined[stage.index()].fetch_add(1, Ordering::Relaxed);
+                    report.quarantined += 1;
+                }
+            }
+        }
+        // Quarantine deletions invalidate any previously built byte
+        // accounting; the next write/stats rebuilds it.
+        if report.quarantined > 0 || report.reclaimed_tmp > 0 {
+            *self.index.lock().expect("disk index") = None;
+        }
+        report
+    }
+}
+
+/// What a [`PersistentStore::recovery_scan`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// `.tmga` frames examined.
+    pub scanned: u64,
+    /// Frames that failed verification and were deleted (now clean misses).
+    pub quarantined: u64,
+    /// Orphaned `.tmp` files reclaimed (crashed mid-write, never published).
+    pub reclaimed_tmp: u64,
 }
 
 /// Configuration of a [`PersistentStore`].
@@ -374,6 +542,9 @@ pub struct PersistentStoreConfig {
     /// In-memory entries per stage map
     /// ([`pipeline::DEFAULT_STAGE_CAPACITY`] by default).
     pub memory_capacity: usize,
+    /// Fault-injection plan ([`FaultPlan::none`] by default; the CLI entry
+    /// points arm it from `TMG_FAULT_PLAN`).
+    pub fault_plan: FaultPlan,
 }
 
 impl PersistentStoreConfig {
@@ -383,6 +554,7 @@ impl PersistentStoreConfig {
             root: root.into(),
             disk_budget: DEFAULT_DISK_BUDGET,
             memory_capacity: pipeline::DEFAULT_STAGE_CAPACITY,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -395,6 +567,12 @@ impl PersistentStoreConfig {
     /// Overrides the in-memory per-stage entry cap.
     pub fn with_memory_capacity(mut self, capacity: usize) -> PersistentStoreConfig {
         self.memory_capacity = capacity;
+        self
+    }
+
+    /// Arms a fault-injection plan for the disk tier.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> PersistentStoreConfig {
+        self.fault_plan = plan;
         self
     }
 }
@@ -436,7 +614,7 @@ impl PersistentStore {
     pub fn with_config(config: PersistentStoreConfig) -> io::Result<PersistentStore> {
         Ok(PersistentStore {
             memory: ArtifactStore::with_capacity(config.memory_capacity),
-            disk: DiskCache::open(&config.root, config.disk_budget)?,
+            disk: DiskCache::open(&config.root, config.disk_budget, config.fault_plan)?,
             computes: Default::default(),
         })
     }
@@ -444,6 +622,29 @@ impl PersistentStore {
     /// Cache directory root.
     pub fn root(&self) -> &Path {
         &self.disk.root
+    }
+
+    /// Runs the crash-recovery pass: reclaims orphaned `.tmp` files and
+    /// quarantines (deletes and counts) every `.tmga` frame that fails
+    /// integrity verification, so later requests get a clean miss instead
+    /// of a runtime discard.  Servers call this once at startup; it is not
+    /// part of [`PersistentStore::open`] because it reads every frame and
+    /// the warm read path is deliberately scan-free.
+    pub fn recovery_scan(&self) -> RecoveryReport {
+        self.disk.recovery_scan()
+    }
+
+    /// Flushes the disk tier (fsyncs the stage directories); part of the
+    /// server's graceful drain.
+    pub fn flush(&self) {
+        self.disk.flush();
+    }
+
+    /// Total injected-fault shots that have fired against this store (0 when
+    /// no [`FaultPlan`] was armed).  Tests and the fault-injection smoke use
+    /// this to prove a plan actually exercised the I/O path.
+    pub fn fault_shots_fired(&self) -> u64 {
+        self.disk.faults.total_fired()
     }
 
     /// Combined counter snapshot of both tiers.
@@ -628,7 +829,14 @@ mod tests {
         let json = stats.to_json();
         assert!(json.contains("\"schema\": \"tmg-tier-stats/v1\""));
         assert!(json.contains("\"schema\": \"tmg-store-stats/v1\""));
-        assert!(json.contains("\"bound\": { \"hits\": 0, \"misses\": 0, \"stores\": 0, \"evictions\": 0, \"computes\": 0 }"));
+        assert!(json.contains("\"bound\": { \"hits\": 0, \"misses\": 0, \"stores\": 0, \"evictions\": 0, \"computes\": 0, \"quarantined\": 0 }"));
+        assert!(!json.contains("\"latency\""), "no histograms unless given");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let with_latency = stats.to_json_with(Some("{ \"analyse\": { \"count\": 0 } }"));
+        assert!(with_latency.contains("\"latency\": { \"analyse\""));
+        assert_eq!(
+            with_latency.matches('{').count(),
+            with_latency.matches('}').count()
+        );
     }
 }

@@ -1,0 +1,319 @@
+//! TCP transport for the analysis server.
+//!
+//! [`Server::serve_tcp`] runs the same `tmg-service/v1` JSON-lines protocol
+//! as [`Server::serve`], over a [`TcpListener`] with many concurrent
+//! connections.  Each connection is fully pipelined: a client may write any
+//! number of request lines before reading responses, and responses arrive
+//! in completion order tagged with the request `id`.  All connections
+//! submit into one shared scheduler, so backpressure (the bounded queue),
+//! deadlines, dedup, and the `stats`/`shutdown` barriers are session-wide,
+//! exactly as in stdin mode — response bodies are byte-identical whichever
+//! transport delivers them.
+//!
+//! A `shutdown` request from *any* connection ends the session: the
+//! scheduler drains in-flight work, the disk tier is flushed, the ack is
+//! written, and then every connection (and the accept loop) is unblocked.
+//! EOF on one connection only ends that connection, never the session.
+//!
+//! Unlike stdin mode (which spawns scheduler workers on demand from its
+//! single dispatch thread), TCP mode spawns the worker pool eagerly at
+//! session start: a TCP session is long-lived, and parked workers cost
+//! nothing but a condvar wait.
+
+use crate::server::{Respond, Scheduler, ServeSummary, Server};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often the accept loop re-checks the session-stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+impl Server {
+    /// Serves the `tmg-service/v1` protocol over `listener` until a
+    /// `shutdown` request arrives on any connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fatal listener error (per-connection and
+    /// per-response I/O errors only end the affected connection).
+    pub fn serve_tcp(&self, listener: TcpListener) -> io::Result<ServeSummary> {
+        listener.set_nonblocking(true)?;
+        let scheduler = Scheduler::new(self.queue_capacity());
+        let stop = AtomicBool::new(false);
+        let clean = AtomicBool::new(false);
+        // One try-cloned handle per accepted connection, so a shutdown can
+        // unblock every reader with `Shutdown::Both`.
+        let connections: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..self.worker_cap() {
+                scope.spawn(|| {
+                    while let Some(pending) = scheduler.next() {
+                        self.run_pending(&scheduler, pending);
+                    }
+                });
+            }
+            let mut accept_error = None;
+            while !stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        match stream.try_clone() {
+                            Ok(handle) => connections.lock().expect("connections").push(handle),
+                            Err(_) => continue,
+                        }
+                        let scheduler = &scheduler;
+                        let stop = &stop;
+                        let clean = &clean;
+                        let connections = &connections;
+                        scope.spawn(move || {
+                            self.serve_connection(scheduler, stream, stop, clean, connections);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) => {
+                        accept_error = Some(e);
+                        stop.store(true, Ordering::Release);
+                        unblock_all(&connections);
+                        break;
+                    }
+                }
+            }
+            // Session teardown: answer everything accepted, persist it, and
+            // let the workers and connection threads exit.  A clean
+            // shutdown already drained and flushed inside `dispatch`; both
+            // operations are idempotent.
+            scheduler.barrier();
+            self.flush_store();
+            scheduler.close();
+            match accept_error {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        })?;
+        Ok(scheduler.summary(clean.load(Ordering::Acquire), true))
+    }
+
+    /// Reads request lines from one connection until EOF, a read error, or
+    /// a session shutdown.  Responses for this connection's requests are
+    /// routed back through its own socket, whichever worker computes them.
+    fn serve_connection<'env>(
+        &self,
+        scheduler: &Scheduler<'env>,
+        stream: TcpStream,
+        stop: &AtomicBool,
+        clean: &AtomicBool,
+        connections: &Mutex<Vec<TcpStream>>,
+    ) {
+        let reader = match stream.try_clone() {
+            Ok(read_half) => BufReader::new(read_half),
+            Err(e) => {
+                eprintln!("tmg-service: dropping connection: {e}");
+                return;
+            }
+        };
+        let writer = Mutex::new(stream);
+        let respond: Respond<'env> = Arc::new(move |id, body| {
+            let mut writer = writer.lock().expect("tcp writer");
+            let line = format!("{{\"id\": {id}, {body}}}\n");
+            if let Err(e) = writer.write_all(line.as_bytes()) {
+                eprintln!("tmg-service: dropping response for request {id}: {e}");
+            }
+        });
+        // The worker pool is eager in TCP mode, so dispatch never needs to
+        // spawn one.
+        let no_spawn = || {};
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if self.dispatch(scheduler, &line, &respond, &no_spawn) {
+                // `shutdown`: the drain + flush already happened and the
+                // ack is written.  End the whole session: stop accepting,
+                // then unblock every connection's reader (including ours).
+                clean.store(true, Ordering::Release);
+                stop.store(true, Ordering::Release);
+                unblock_all(connections);
+                break;
+            }
+        }
+    }
+}
+
+fn unblock_all(connections: &Mutex<Vec<TcpStream>>) {
+    for connection in connections.lock().expect("connections").iter() {
+        let _ = connection.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+    use crate::store::{PersistentStore, PersistentStoreConfig};
+    use std::io::Read;
+    use std::net::SocketAddr;
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tmg-tcp-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open_store(root: &std::path::Path) -> Arc<PersistentStore> {
+        Arc::new(PersistentStore::with_config(PersistentStoreConfig::new(root)).expect("open"))
+    }
+
+    const SOURCE: &str = "void f(char a __range(0, 3)) { if (a > 1) { x(); } else { y(); } }";
+
+    /// Writes `lines` to a fresh connection, then reads to EOF and returns
+    /// the parsed responses sorted by id.
+    fn rpc(addr: SocketAddr, lines: &str) -> Vec<Value> {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(lines.as_bytes()).expect("send");
+        let mut raw = String::new();
+        let _ = stream.read_to_string(&mut raw);
+        let mut responses: Vec<Value> = raw
+            .lines()
+            .map(|line| json::parse(line).expect("response parses"))
+            .collect();
+        responses.sort_by_key(|v| v.get("id").and_then(Value::as_u64).unwrap_or(0));
+        responses
+    }
+
+    #[test]
+    fn a_pipelined_tcp_session_round_trips_and_shuts_down() {
+        let root = temp_root("roundtrip");
+        let server = Server::new(open_store(&root)).with_workers(2);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.serve_tcp(listener).expect("serve_tcp"));
+            // All four requests are written before any response is read:
+            // the connection is pipelined.
+            let script = format!(
+                "{}\n{}\n{}\n{}\n",
+                format_args!(
+                    "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}",
+                    json::escape(SOURCE)
+                ),
+                format_args!(
+                    "{{\"id\": 2, \"op\": \"sweep\", \"source\": \"{}\", \"max_bound\": 100}}",
+                    json::escape(SOURCE)
+                ),
+                "{\"id\": 3, \"op\": \"stats\"}",
+                "{\"id\": 4, \"op\": \"shutdown\"}"
+            );
+            let responses = rpc(addr, &script);
+            assert_eq!(responses.len(), 4);
+            assert_eq!(
+                responses[0].get("ok").and_then(Value::as_bool),
+                Some(true),
+                "analyse: {responses:?}"
+            );
+            assert_eq!(responses[1].get("ok").and_then(Value::as_bool), Some(true));
+            assert!(
+                responses[2]
+                    .get("stats")
+                    .and_then(|s| s.get("latency"))
+                    .is_some(),
+                "stats over TCP carries the latency histograms"
+            );
+            assert_eq!(
+                responses[3].get("flushed").and_then(Value::as_bool),
+                Some(true)
+            );
+            let summary = handle.join().expect("server thread");
+            assert!(summary.clean_shutdown);
+            assert!(summary.flushed);
+            assert_eq!(summary.requests, 4);
+            assert_eq!(summary.responses, 4);
+        });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn a_shutdown_from_one_connection_unblocks_the_others() {
+        let root = temp_root("multi");
+        let server = Server::new(open_store(&root)).with_workers(2);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.serve_tcp(listener).expect("serve_tcp"));
+            // Connection A sends work and reads its response, but never
+            // closes or shuts down — it idles, blocked on the next line.
+            let mut idle = TcpStream::connect(addr).expect("connect A");
+            let request = format!(
+                "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}\n",
+                json::escape(SOURCE)
+            );
+            idle.write_all(request.as_bytes()).expect("send A");
+            let mut reader = BufReader::new(idle.try_clone().expect("clone A"));
+            let mut first = String::new();
+            reader.read_line(&mut first).expect("A's own response");
+            let parsed = json::parse(&first).expect("A response parses");
+            assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true));
+
+            // Connection B shuts the whole session down; A's blocked read
+            // must return (EOF), not hang.
+            let responses = rpc(addr, "{\"id\": 9, \"op\": \"shutdown\"}\n");
+            assert_eq!(responses.len(), 1);
+            let mut rest = String::new();
+            let _ = reader.read_to_string(&mut rest);
+            assert_eq!(rest, "", "A gets EOF after B's shutdown");
+            let summary = handle.join().expect("server thread");
+            assert!(summary.clean_shutdown);
+            assert_eq!(summary.requests, 2);
+            assert_eq!(summary.responses, 2);
+        });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tcp_and_stdin_responses_are_byte_identical() {
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 4}}\n\
+             {{\"id\": 2, \"op\": \"shutdown\"}}\n",
+            json::escape(SOURCE)
+        );
+
+        let root_stdin = temp_root("ident-stdin");
+        let stdin_server = Server::new(open_store(&root_stdin)).with_workers(2);
+        let mut out = Vec::new();
+        stdin_server
+            .serve(std::io::Cursor::new(script.clone()), &mut out)
+            .expect("stdin serve");
+        let stdin_lines: Vec<String> = String::from_utf8(out)
+            .expect("utf-8")
+            .lines()
+            .map(str::to_owned)
+            .collect();
+
+        let root_tcp = temp_root("ident-tcp");
+        let tcp_server = Server::new(open_store(&root_tcp)).with_workers(2);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let tcp_lines = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| tcp_server.serve_tcp(listener).expect("serve_tcp"));
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(script.as_bytes()).expect("send");
+            let mut raw = String::new();
+            let _ = stream.read_to_string(&mut raw);
+            handle.join().expect("server thread");
+            raw.lines().map(str::to_owned).collect::<Vec<_>>()
+        });
+        assert_eq!(
+            stdin_lines, tcp_lines,
+            "the two transports must produce byte-identical response lines"
+        );
+        let _ = std::fs::remove_dir_all(&root_stdin);
+        let _ = std::fs::remove_dir_all(&root_tcp);
+    }
+}

@@ -121,6 +121,29 @@ proptest! {
     }
 
     #[test]
+    fn any_truncation_is_a_clean_error_never_a_panic(
+        shape in 0u64..u64::MAX,
+        cut_seed in 0u64..u64::MAX,
+    ) {
+        let src = random_function(shape, 2);
+        let f = parse_function(&src).expect("generated function parses");
+        let store = ArtifactStore::new();
+        let lowered = store.lowered(&f);
+        let good = codec::encode_lowered(&lowered);
+        let cut = (cut_seed % good.len() as u64) as usize;
+        prop_assert!(
+            codec::decode_lowered(&good[..cut], lowered.function_key).is_err(),
+            "a frame truncated to {} of {} bytes must be a clean miss on {}",
+            cut, good.len(), src
+        );
+        prop_assert!(
+            codec::verify_frame(&good[..cut], pipeline::Stage::Lower, lowered.function_key)
+                .is_err(),
+            "the recovery scan must reject the same truncation"
+        );
+    }
+
+    #[test]
     fn single_byte_corruption_is_always_detected(
         shape in 0u64..u64::MAX,
         victim in 0u64..u64::MAX,
@@ -193,6 +216,88 @@ proptest! {
         }
         prop_assert_eq!(codec::encode_prepared_model(&back), bytes);
     }
+}
+
+/// Recomputes a frame's trailing digest so that *only* the check under
+/// test can reject it (same technique as the version-bump test).
+fn repair_digest(frame: &mut [u8]) {
+    use std::hash::Hasher;
+    let body_end = frame.len() - 8;
+    let mut h = tmg_cfg::StableHasher::new();
+    h.write(&frame[..body_end]);
+    let digest = h.finish();
+    frame[body_end..].copy_from_slice(&digest.to_le_bytes());
+}
+
+#[test]
+fn truncation_at_every_header_byte_boundary_is_a_clean_error() {
+    let f = parse_function("void f(char a __range(0, 3)) { if (a > 1) { x(); } }").expect("parse");
+    let store = ArtifactStore::new();
+    let lowered = store.lowered(&f);
+    let good = codec::encode_lowered(&lowered);
+    // Every prefix is rejected without a panic — most importantly each of
+    // the 24 header byte boundaries and each digest byte, where a sloppy
+    // decoder would index past the end.
+    for cut in 0..good.len() {
+        assert!(
+            codec::decode_lowered(&good[..cut], lowered.function_key).is_err(),
+            "a frame truncated to {cut} of {} bytes must not decode",
+            good.len()
+        );
+        assert!(
+            codec::verify_frame(&good[..cut], pipeline::Stage::Lower, lowered.function_key)
+                .is_err(),
+            "the recovery scan must reject the truncation to {cut} bytes"
+        );
+    }
+}
+
+#[test]
+fn a_zero_length_payload_is_a_valid_frame_but_a_clean_typed_miss() {
+    let frame = codec::encode_frame(pipeline::Stage::Lower, 42, &[]);
+    // The frame layer round-trips an empty payload...
+    assert_eq!(
+        codec::decode_frame(&frame, pipeline::Stage::Lower, 42).expect("empty frame verifies"),
+        &[] as &[u8]
+    );
+    assert!(codec::verify_frame(&frame, pipeline::Stage::Lower, 42).is_ok());
+    // ...but the typed decoder reports a malformed payload, never a panic.
+    assert!(matches!(
+        codec::decode_lowered(&frame, 42),
+        Err(codec::CodecError::Malformed(_))
+    ));
+}
+
+#[test]
+fn a_declared_payload_length_beyond_the_frame_is_rejected() {
+    let f = parse_function("void f(char a __range(0, 3)) { if (a > 1) { x(); } }").expect("parse");
+    let store = ArtifactStore::new();
+    let lowered = store.lowered(&f);
+    let mut frame = codec::encode_lowered(&lowered);
+    // Claim a payload far larger than the file and repair the digest, so
+    // only the length check can reject the frame: a decoder trusting the
+    // declared length would read past the end of the mapping.
+    frame[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+    repair_digest(&mut frame);
+    assert!(matches!(
+        codec::decode_lowered(&frame, lowered.function_key),
+        Err(codec::CodecError::Malformed(
+            "payload length disagrees with frame"
+        ))
+    ));
+    assert!(codec::verify_frame(&frame, pipeline::Stage::Lower, lowered.function_key).is_err());
+
+    // The under-declared twin: the length field claims less than the frame
+    // holds.  Same clean rejection.
+    let mut frame = codec::encode_lowered(&lowered);
+    frame[16..24].copy_from_slice(&0u64.to_le_bytes());
+    repair_digest(&mut frame);
+    assert!(matches!(
+        codec::decode_lowered(&frame, lowered.function_key),
+        Err(codec::CodecError::Malformed(
+            "payload length disagrees with frame"
+        ))
+    ));
 }
 
 #[test]

@@ -1,0 +1,243 @@
+//! Fault-injection acceptance tests for the crash-safe disk tier.
+//!
+//! The invariant under test, for every injected fault class: the analysis
+//! returns either the bit-identical correct artifact or a clean
+//! miss + recompute — never a wrong or partial result — and a fresh process
+//! after an injected crash serves warm hits bit-identical to a fault-free
+//! run.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tmg_core::pipeline::{Stage, STAGES};
+use tmg_core::{AnalysisReport, WcetAnalysis};
+use tmg_minic::parse_function;
+use tmg_service::{FaultKind, FaultPlan, PersistentStore, PersistentStoreConfig};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tmg-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn controller() -> tmg_minic::Function {
+    // The infeasible `demand > 3 && demand < 2` pair forces a residual
+    // checker goal, so the prepare-model stage and the sharded explorer run.
+    parse_function(
+        r#"
+        void controller(char demand __range(0, 6), bool enabled) {
+            if (enabled) {
+                if (demand > 3) { heavy(); } else { light(); }
+            } else {
+                off();
+            }
+            if (demand > 3) { if (demand < 2) { never(); } }
+            if (demand == 0) { idle(); }
+        }
+        "#,
+    )
+    .expect("parse")
+}
+
+fn open_with(root: &Path, plan: FaultPlan) -> Arc<PersistentStore> {
+    Arc::new(
+        PersistentStore::with_config(PersistentStoreConfig::new(root).with_fault_plan(plan))
+            .expect("open cache"),
+    )
+}
+
+fn analyse(store: &Arc<PersistentStore>) -> AnalysisReport {
+    WcetAnalysis::new(2)
+        .with_store(store.clone())
+        .analyse(&controller())
+        .expect("analysis")
+}
+
+fn reference() -> AnalysisReport {
+    WcetAnalysis::new(2)
+        .analyse(&controller())
+        .expect("storeless reference")
+}
+
+#[test]
+fn torn_writes_never_corrupt_a_result_and_the_recovery_scan_quarantines_them() {
+    let root = temp_root("torn");
+    let reference = reference();
+
+    // Cold run with every store torn mid-frame: the result must still be
+    // bit-identical (the cache is an accelerator, never an authority).
+    let faulty = open_with(&root, FaultPlan::none().with(FaultKind::TornWrite, 100));
+    assert_eq!(analyse(&faulty), reference);
+    assert_eq!(
+        faulty.stats().disk.iter().map(|s| s.stores).sum::<u64>(),
+        0,
+        "every write was torn; none may count as a store"
+    );
+
+    // A fresh process's recovery scan quarantines all six torn frames...
+    let fresh = open_with(&root, FaultPlan::none());
+    let report = fresh.recovery_scan();
+    assert_eq!(report.scanned, 6, "one torn frame per stage");
+    assert_eq!(report.quarantined, 6, "every torn frame fails verification");
+    let stats = fresh.stats();
+    for stage in STAGES {
+        assert_eq!(stats.disk_stage(stage).quarantined, 1, "stage {stage}");
+    }
+
+    // ...after which the rerun is a clean miss + recompute: no runtime
+    // discards, correct result, and a third process is fully warm.
+    assert_eq!(analyse(&fresh), reference);
+    assert_eq!(fresh.stats().total_computes(), 6);
+    let healed = open_with(&root, FaultPlan::none());
+    assert_eq!(healed.recovery_scan().quarantined, 0);
+    assert_eq!(analyse(&healed), reference);
+    assert_eq!(healed.stats().total_computes(), 0, "fully warm after heal");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_crash_before_publish_leaves_no_partial_frame_behind() {
+    let root = temp_root("crash-before");
+    let reference = reference();
+
+    // The first write "crashes" after fsync but before the atomic rename.
+    let faulty = open_with(
+        &root,
+        FaultPlan::none().with(FaultKind::CrashBeforePublish, 1),
+    );
+    assert_eq!(analyse(&faulty), reference);
+
+    // The unpublished artifact exists only as an orphaned `.tmp`; every
+    // published `.tmga` frame verifies.  This is the regression test for
+    // the old non-atomic write path, which could leave a stray partial
+    // `.tmga` when the process died mid-write.
+    let orphans = count_files(&root, "tmp");
+    assert_eq!(orphans, 1, "the crashed write leaves exactly one orphan");
+    assert_eq!(count_files(&root, "tmga"), 5, "five frames published");
+
+    // A fresh process reclaims the orphan; the surviving bound frame still
+    // verifies, so the warm fast-path serves the result without ever
+    // touching the lost upstream stage.
+    let fresh = open_with(&root, FaultPlan::none());
+    let report = fresh.recovery_scan();
+    assert_eq!(report.reclaimed_tmp, 1);
+    assert_eq!(report.quarantined, 0, "published frames all verify");
+    assert_eq!(count_files(&root, "tmp"), 0);
+    assert_eq!(analyse(&fresh), reference);
+    assert_eq!(fresh.stats().total_computes(), 0, "bound fast-path hit");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_crash_before_every_publish_degrades_to_a_fully_cold_recompute() {
+    let root = temp_root("crash-before-all");
+    let reference = reference();
+    let faulty = open_with(
+        &root,
+        FaultPlan::none().with(FaultKind::CrashBeforePublish, 100),
+    );
+    assert_eq!(analyse(&faulty), reference);
+    assert_eq!(count_files(&root, "tmga"), 0, "nothing was ever published");
+
+    // Every artifact died pre-rename: the fresh process reclaims all six
+    // orphans and recomputes every stage — a clean miss, never a wrong or
+    // partial answer.
+    let fresh = open_with(&root, FaultPlan::none());
+    let report = fresh.recovery_scan();
+    assert_eq!(report.reclaimed_tmp, 6);
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(analyse(&fresh), reference);
+    assert_eq!(fresh.stats().total_computes(), 6, "fully cold recompute");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_crash_after_publish_still_serves_the_frame_warm_in_a_fresh_process() {
+    let root = temp_root("crash-after");
+    let reference = reference();
+    let faulty = open_with(
+        &root,
+        FaultPlan::none().with(FaultKind::CrashAfterPublish, 2),
+    );
+    assert_eq!(analyse(&faulty), reference);
+
+    // The crashes happened *after* the atomic rename: all six frames are
+    // durable, so a fresh process is fully warm and bit-identical.
+    let fresh = open_with(&root, FaultPlan::none());
+    assert_eq!(fresh.recovery_scan().quarantined, 0);
+    assert_eq!(analyse(&fresh), reference);
+    assert_eq!(fresh.stats().total_computes(), 0, "all frames published");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn short_reads_and_bit_flips_degrade_to_a_clean_recompute() {
+    let root = temp_root("read-faults");
+    let reference = reference();
+    assert_eq!(analyse(&open_with(&root, FaultPlan::none())), reference);
+
+    for (tag, kind) in [
+        ("short_read", FaultKind::ShortRead),
+        ("bit_flip", FaultKind::BitFlip),
+    ] {
+        // A warm process whose first load is damaged in flight: the frame
+        // fails verification, is discarded, and the stage recomputes — the
+        // result is still bit-identical, and the re-stored frame heals the
+        // cache for the next process.
+        let faulty = open_with(&root, FaultPlan::none().with(kind, 1));
+        assert_eq!(
+            analyse(&faulty),
+            reference,
+            "{tag} must not change a result"
+        );
+        assert_eq!(faulty.fault_shots_fired(), 1, "{tag} must actually fire");
+        let stats = faulty.stats();
+        assert_eq!(
+            stats.disk_stage(Stage::Bound).misses,
+            1,
+            "{tag}: the damaged bound frame is a miss, not a hit"
+        );
+        assert!(stats.total_computes() >= 1, "{tag}: recompute happened");
+
+        let healed = open_with(&root, FaultPlan::none());
+        assert_eq!(analyse(&healed), reference);
+        assert_eq!(healed.stats().total_computes(), 0, "{tag}: cache healed");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn the_issue_example_plan_parses_and_drives_a_mixed_fault_session() {
+    let root = temp_root("mixed");
+    let reference = reference();
+    let plan = FaultPlan::parse("torn_write:3,crash_after_publish:1").expect("plan");
+    let faulty = open_with(&root, plan.clone());
+    assert_eq!(analyse(&faulty), reference);
+    assert_eq!(plan.fired(FaultKind::TornWrite), 3);
+    assert_eq!(plan.fired(FaultKind::CrashAfterPublish), 1);
+
+    // Recovery quarantines the three torn frames; the crash-after-publish
+    // frame and the two clean ones — including the bound frame — survive
+    // and verify, so the rerun is served warm off the bound fast-path.
+    let fresh = open_with(&root, FaultPlan::none());
+    let report = fresh.recovery_scan();
+    assert_eq!(report.quarantined, 3);
+    assert_eq!(report.scanned, 6);
+    assert_eq!(analyse(&fresh), reference);
+    assert_eq!(fresh.stats().total_computes(), 0, "bound frame survived");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Files under the cache root with the given extension.
+fn count_files(root: &Path, ext: &str) -> usize {
+    let mut n = 0;
+    for stage in STAGES {
+        let Ok(entries) = std::fs::read_dir(root.join(stage.name())) else {
+            continue;
+        };
+        n += entries
+            .flatten()
+            .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some(ext))
+            .count();
+    }
+    n
+}

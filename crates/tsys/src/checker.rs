@@ -166,7 +166,7 @@ pub enum SearchEngine {
 }
 
 /// Explicit-state bounded model checker.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ModelChecker {
     /// Optimisations applied before encoding in [`ModelChecker::find_test_data`].
     pub optimisations: Optimisations,
@@ -199,11 +199,37 @@ pub struct ModelChecker {
     /// [`CheckOutcome::Unknown`], because pruning stretches the budget
     /// further.  It only trades hashing cost against re-exploration cost.
     pub dedup_after_pops: u64,
+    /// Cooperative cancellation handle, polled at shard-claim boundaries of
+    /// the multi-query explorer and between per-query fallback searches.  A
+    /// fired token makes the search *unwind* with [`crate::cancel::Cancelled`]
+    /// (caught by [`crate::cancel::catch_cancel`] at the pipeline boundary)
+    /// rather than return a weaker verdict — a cancelled search never
+    /// produces, and therefore never caches, a result.  Runtime-only state:
+    /// deliberately excluded from the checker's `Debug` rendering so the
+    /// content-addressed artifact keys are deadline-independent.
+    pub cancel: crate::cancel::CancelToken,
 }
 
 impl Default for ModelChecker {
     fn default() -> Self {
         ModelChecker::new()
+    }
+}
+
+impl std::fmt::Debug for ModelChecker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Renders exactly the configuration fields the derived impl covered
+        // before the cancel token existed: the persistent artifact keys hash
+        // this string, and a per-request deadline must not fragment the
+        // cache (see `tmg_core::pipeline`'s key derivation).
+        f.debug_struct("ModelChecker")
+            .field("optimisations", &self.optimisations)
+            .field("max_transitions", &self.max_transitions)
+            .field("max_depth", &self.max_depth)
+            .field("engine", &self.engine)
+            .field("slicing", &self.slicing)
+            .field("dedup_after_pops", &self.dedup_after_pops)
+            .finish()
     }
 }
 
@@ -233,6 +259,7 @@ impl ModelChecker {
             engine: SearchEngine::default(),
             slicing: true,
             dedup_after_pops: DEDUP_AFTER_POPS_DEFAULT,
+            cancel: crate::cancel::CancelToken::none(),
         }
     }
 
@@ -253,6 +280,13 @@ impl ModelChecker {
     /// slicing speedup).
     pub fn with_slicing(mut self, slicing: bool) -> ModelChecker {
         self.slicing = slicing;
+        self
+    }
+
+    /// Installs a cooperative cancellation token (see
+    /// [`ModelChecker::cancel`]).  Does not affect artifact keys.
+    pub fn with_cancel(mut self, cancel: crate::cancel::CancelToken) -> ModelChecker {
+        self.cancel = cancel;
         self
     }
 
@@ -362,6 +396,9 @@ impl ModelChecker {
         }
         let prepared = shared.prepared.view();
         let off_shared = |q: &PathQuery| {
+            // Between fallback searches is the last cooperative point before
+            // a potentially long single-query exploration.
+            self.cancel.checkpoint();
             let mut result = self.check_prepared(&prepared, q);
             result.opt_report = shared.opt_report.clone();
             result

@@ -59,6 +59,7 @@
 //! # Ok::<(), tmg_minic::Error>(())
 //! ```
 
+pub mod cancel;
 pub mod checker;
 pub mod encode;
 pub mod metrics;
@@ -67,6 +68,7 @@ pub mod multiquery;
 pub mod opt;
 pub mod prepared;
 
+pub use cancel::{catch_cancel, CancelToken, Cancelled};
 pub use checker::{
     CheckOutcome, CheckResult, CheckStats, ModelChecker, PathQuery, SearchEngine, SharedCheckModel,
 };

@@ -999,6 +999,7 @@ impl MultiQueryEngine {
         queries: &[PathQuery],
         threads: usize,
     ) -> MultiQueryEngine {
+        checker.cancel.checkpoint();
         let start = Instant::now();
         let model = prepared.model;
         let vars_n = model.vars.len();
@@ -1084,6 +1085,10 @@ impl MultiQueryEngine {
         );
         lattice.query_ops_all(&mut seed_out.query_ops);
         seed_out.signatures = lattice.vecs.len();
+        // The seed/shard boundary is the first cooperative cancellation
+        // point after real work: a cancelled exploration unwinds here with
+        // nothing published, never with partial resolutions.
+        checker.cancel.checkpoint();
 
         let mut shard_runs: Vec<ShardSlot> = Vec::new();
         let seed_tripped = matches!(seed_exit, RunExit::Tripped);
@@ -1116,6 +1121,15 @@ impl MultiQueryEngine {
                 });
 
                 let run_one = |index: usize, local: &mut Option<SigLattice>| {
+                    if checker.cancel.is_cancelled() {
+                        // A fired token settles the phase: every remaining
+                        // shard is still claimed (keeping the slot-state
+                        // invariant) but marked skipped, so the worker scope
+                        // joins promptly and the caller unwinds after the
+                        // join — no shard result computed under a cancelled
+                        // token is ever reduced or published.
+                        all_settled.store(true, Ordering::Release);
+                    }
                     if all_settled.load(Ordering::Acquire) {
                         *slots[index].lock().expect("slot") = ShardSlotState::Skipped;
                     } else {
@@ -1253,6 +1267,10 @@ impl MultiQueryEngine {
 
             let workers = threads.max(1).min(shards.len().max(1));
             let (runs, mut visited_counters) = run_shard_phase(workers);
+            // Unwind before the sequential re-run and the reduction: a
+            // cancelled phase's slots may be skipped mid-schedule, and
+            // nothing downstream may observe them.
+            checker.cancel.checkpoint();
             shard_runs = runs;
             if workers > 1
                 && shard_runs.iter().any(
@@ -1274,6 +1292,7 @@ impl MultiQueryEngine {
                 // run the sequential schedule would trip or dedup is
                 // re-run here too.)
                 let (runs, counters) = run_shard_phase(1);
+                checker.cancel.checkpoint();
                 shard_runs = runs;
                 visited_counters = counters;
             }
