@@ -10,12 +10,12 @@
 //! cargo run -p tmg-bench --release --bin reproduce -- serve --tcp 127.0.0.1:7077   # TCP transport
 //! cargo run -p tmg-bench --release --bin reproduce -- serve --smoke   # scripted cold/warm smoke
 //! cargo run -p tmg-bench --release --bin reproduce -- loadtest        # mixed socket loadtest
-//! cargo run -p tmg-bench --release --bin reproduce -- bench           # writes BENCH_pr6.json
+//! cargo run -p tmg-bench --release --bin reproduce -- bench           # writes BENCH_pr7.json
 //! cargo run -p tmg-bench --release --bin reproduce -- --quick         # CI smoke run
 //! ```
 //!
 //! `bench` records the before/after perf baseline and writes
-//! `BENCH_pr6.json` (path overridable with the `TMG_BENCH_OUT` environment
+//! `BENCH_pr7.json` (path overridable with the `TMG_BENCH_OUT` environment
 //! variable).  `sweep` prints the cached incremental Figure-2/3 tradeoff
 //! sweep as machine-readable JSON (written by hand; the vendored serde is
 //! derive-markers only); `TMG_TARGET_BLOCKS` sizes the generated function
@@ -28,10 +28,11 @@
 //! recovery scan (quarantining unverifiable frames, reclaiming orphaned
 //! `.tmp` files); `TMG_FAULT_PLAN` (e.g. `torn_write:3,crash_after_publish:1`)
 //! arms deterministic I/O fault injection.  `serve --smoke` runs a scripted
-//! cold/warm two-session batch and fails on any bound mismatch or warm-run
-//! recomputation; under `TMG_FAULT_PLAN` it additionally asserts that the
-//! faulted sessions answer bit-identically to a fault-free reference and
-//! that recovery quarantines what the faults damaged.  `loadtest` drives
+//! cold/warm two-session batch, then spawns a *second OS process* over the
+//! same cache directory and fails on any bound mismatch or warm-run
+//! recomputation in either process; under `TMG_FAULT_PLAN` it additionally
+//! asserts that the faulted sessions answer bit-identically to a fault-free
+//! reference and that recovery quarantines what the faults damaged.  `loadtest` drives
 //! thousands of mixed requests (duplicate-heavy, cache-hostile,
 //! deadline-violating) over real sockets — `--requests N` / `--workers N`
 //! override the mix size and the scheduler pool — and then proves load
@@ -96,6 +97,14 @@ fn main() {
 /// batch.  Startup arms `TMG_FAULT_PLAN` (if set) and always runs the
 /// crash recovery scan before accepting requests.
 fn run_serve(args: &[String]) {
+    if args.iter().any(|a| a == "--seed-child") {
+        run_seed_child();
+        return;
+    }
+    if args.iter().any(|a| a == "--smoke-child") {
+        run_smoke_child();
+        return;
+    }
     if args.iter().any(|a| a == "--smoke") {
         run_serve_smoke();
         return;
@@ -293,6 +302,38 @@ fn run_serve_smoke() {
         "serve smoke: cold and warm sessions agree on wcet_bound = {wcet} cycles; warm run: 0 recomputations, {bound_hits} disk bound hit(s) — ok"
     );
 
+    // Multi-process phase: a true second OS process (this binary, re-spawned
+    // with `serve --smoke-child`) opens the same cache directory and must
+    // serve the bit-identical bound fully warm.  The child asserts zero
+    // recomputation in-process; the parent verifies the answers match.
+    let exe = std::env::current_exe().expect("current exe");
+    let child = std::process::Command::new(exe)
+        .args(["serve", "--smoke-child"])
+        .env("TMG_CACHE_DIR", &root)
+        .env_remove("TMG_FAULT_PLAN")
+        .output()
+        .expect("spawn smoke child");
+    assert!(
+        child.status.success(),
+        "the second-process smoke failed:\n{}{}",
+        String::from_utf8_lossy(&child.stdout),
+        String::from_utf8_lossy(&child.stderr)
+    );
+    let child_out = String::from_utf8(child.stdout).expect("utf-8 child output");
+    let child_analyse = child_out
+        .lines()
+        .filter_map(|line| json::parse(line).ok())
+        .find(|v| v.get("id").and_then(json::Value::as_u64) == Some(1))
+        .expect("child analyse response");
+    assert_eq!(
+        reports_of(&child_analyse),
+        cold_reports,
+        "the second process must answer bit-identically from the shared cache"
+    );
+    println!(
+        "multi-process smoke: second process answered bit-identically from the shared cache with 0 recomputations — ok"
+    );
+
     // Fault phase (only when `TMG_FAULT_PLAN` is armed): rerun the cold
     // session against a wiped cache with faults injected.  Faults may only
     // cost recomputation — every response must be bit-identical to the
@@ -323,6 +364,90 @@ fn run_serve_smoke() {
         );
     }
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The *first* process of a scripted multi-process run: populates the cache
+/// at `TMG_CACHE_DIR` with the smoke's analyse request (cold) and exits
+/// cleanly, sealing its segment and publishing the index snapshot.  CI
+/// pairs this with a follow-up `serve --smoke-child` process to prove the
+/// shared-directory warm start across real OS processes.
+fn run_seed_child() {
+    use std::io::Cursor;
+    let root = std::env::var("TMG_CACHE_DIR").unwrap_or_else(|_| ".tmg-cache".to_owned());
+    let source = tmg_minic::pretty::function_to_string(&tmg_codegen::wiper_function());
+    let bound = tmg_bench::wiper_case_bound();
+    let script = format!(
+        "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": {bound}}}\n{{\"id\": 2, \"op\": \"shutdown\"}}\n",
+        json::escape(&source)
+    );
+    let store = Arc::new(PersistentStore::open(&root).expect("open cache"));
+    store.recovery_scan();
+    let mut out = Vec::new();
+    Server::new(store)
+        .serve(Cursor::new(script), &mut out)
+        .expect("serve");
+    let text = String::from_utf8(out).expect("utf-8 responses");
+    let ok = text
+        .lines()
+        .filter_map(|line| json::parse(line).ok())
+        .find(|v| v.get("id").and_then(json::Value::as_u64) == Some(1))
+        .and_then(|v| v.get("ok").and_then(json::Value::as_bool))
+        .unwrap_or(false);
+    assert!(ok, "the seeding analyse must succeed:\n{text}");
+    eprintln!("seed child: populated {root} and exited cleanly");
+}
+
+/// The second OS process of the multi-process smoke, spawned by
+/// [`run_serve_smoke`] as `serve --smoke-child` with `TMG_CACHE_DIR`
+/// pointing at the parent's populated cache.  Opens the shared directory
+/// with a brand-new store, serves the same analyse request, asserts zero
+/// recomputation *in this process*, and prints the raw response lines for
+/// the parent to verify bit-identical.
+///
+/// # Panics
+///
+/// Panics (failing the parent smoke) on any recomputation or missing disk
+/// hit — a cold child means the shared warm start is broken.
+fn run_smoke_child() {
+    use std::io::Cursor;
+    let root = std::env::var("TMG_CACHE_DIR").expect("TMG_CACHE_DIR set by the parent smoke");
+    let source = tmg_minic::pretty::function_to_string(&tmg_codegen::wiper_function());
+    let bound = tmg_bench::wiper_case_bound();
+    let script = format!(
+        "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": {bound}}}\n{{\"id\": 2, \"op\": \"stats\"}}\n{{\"id\": 3, \"op\": \"shutdown\"}}\n",
+        json::escape(&source)
+    );
+    let store = Arc::new(PersistentStore::open(&root).expect("open shared cache"));
+    let mut out = Vec::new();
+    Server::new(store)
+        .serve(Cursor::new(script), &mut out)
+        .expect("serve");
+    let text = String::from_utf8(out).expect("utf-8 responses");
+    let stats = text
+        .lines()
+        .filter_map(|line| json::parse(line).ok())
+        .find(|v| v.get("id").and_then(json::Value::as_u64) == Some(2))
+        .and_then(|v| v.get("stats").cloned())
+        .expect("stats payload");
+    let computes = stats
+        .get("computes")
+        .and_then(json::Value::as_u64)
+        .expect("computes counter");
+    assert_eq!(
+        computes, 0,
+        "the second process must start fully warm: {stats:?}"
+    );
+    let bound_hits = stats
+        .get("disk")
+        .and_then(|d| d.get("bound"))
+        .and_then(|b| b.get("hits"))
+        .and_then(json::Value::as_u64)
+        .expect("disk bound hits");
+    assert!(
+        bound_hits >= 1,
+        "the second process must hit the shared segment log: {stats:?}"
+    );
+    print!("{text}");
 }
 
 /// Fast smoke run for CI: the exact Table-1 reproduction, one full (small)
@@ -356,7 +481,9 @@ fn run_quick() {
 /// incremental sweep is scriptable (`reproduce -- sweep | jq ...`).  With
 /// `--stats` the sweep's lowering runs through an [`ArtifactStore`] and the
 /// store's counter snapshot is appended, so scripts can observe the cache
-/// behaviour behind the curve.
+/// behaviour behind the curve; when `TMG_CACHE_DIR` is also set, the
+/// persistent tier at that root is opened and its full counter snapshot
+/// (including the segment-tier section) is appended under `"tier"`.
 fn print_sweep_json(with_stats: bool) {
     let target_blocks = std::env::var("TMG_TARGET_BLOCKS")
         .ok()
@@ -379,6 +506,12 @@ fn print_sweep_json(with_stats: bool) {
     if let Some(store) = &store {
         println!("  \"store\": {},", store.store_stats().to_json());
     }
+    if with_stats {
+        if let Ok(root) = std::env::var("TMG_CACHE_DIR") {
+            let persistent = PersistentStore::open(&root).expect("open artifact cache");
+            println!("  \"tier\": {},", persistent.stats().to_json());
+        }
+    }
     println!("  \"points\": [");
     for (i, p) in sweep.iter().enumerate() {
         let comma = if i + 1 < sweep.len() { "," } else { "" };
@@ -393,7 +526,7 @@ fn print_sweep_json(with_stats: bool) {
 
 /// Full perf baseline: times the optimised hot paths against their
 /// references (recorded floors where the measured reference was dropped),
-/// checks result equality, writes `BENCH_pr6.json`.
+/// checks result equality, writes `BENCH_pr7.json`.
 fn run_bench() {
     let report = perf_report();
     println!("== Perf baseline (before = pre-optimisation, after = optimised) ==");
@@ -427,6 +560,17 @@ fn run_bench() {
         rec.quarantined,
         rec.healthy
     );
+    let seg = &report.segment_tier;
+    println!(
+        "segment_tier: compaction reclaimed {} -> {} dead bytes ({} frames copied) in {:.2} ms   group commit: {} batch(es), {} ms window   identical: {}",
+        seg.dead_bytes_before,
+        seg.dead_bytes_after,
+        seg.compacted_frames,
+        seg.wall.as_secs_f64() * 1e3,
+        seg.group_commit_batches,
+        seg.group_commit_window_ms,
+        seg.identical
+    );
     println!(
         "hot-path speedup (geomean): {:.2}x   all results identical: {}",
         report.hot_path_speedup(),
@@ -439,6 +583,16 @@ fn run_bench() {
     assert!(
         report.table1_matches_paper,
         "Table 1 must reproduce exactly"
+    );
+    let burst = report
+        .testgen
+        .iter()
+        .find(|c| c.name == "service_concurrent_burst")
+        .expect("burst workload present");
+    assert!(
+        burst.speedup() >= 1.0,
+        "service_concurrent_burst fell below its PR 5 floor: {:.3}x",
+        burst.speedup()
     );
     let out = std::env::var("TMG_BENCH_OUT")
         .unwrap_or_else(|_| format!("BENCH_{}.json", tmg_bench::perf::PR_LABEL));

@@ -1,4 +1,4 @@
-//! Machine-readable performance baseline (`BENCH_pr6.json`).
+//! Machine-readable performance baseline (`BENCH_pr7.json`).
 //!
 //! Every PR that touches a hot path needs a number to beat.  This module
 //! times the paper-reproduction workloads (Table 1, Table 2, Figure 2/3,
@@ -36,15 +36,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tmg_cfg::build_cfg;
 use tmg_codegen::{generate_automotive, table2::table2_function, wiper_function, AutomotiveConfig};
-use tmg_core::pipeline::ArtifactStore;
+use tmg_core::pipeline::{ArtifactStore, BoundArtifact, TieredStore};
 use tmg_core::tradeoff::{log_spaced_bounds, sweep_path_bounds, sweep_path_bounds_reference};
-use tmg_core::{GoalKind, HybridGenerator, PartitionPlan, WcetAnalysis};
+use tmg_core::{AnalysisReport, GoalKind, HybridGenerator, PartitionPlan, WcetAnalysis};
 use tmg_minic::parse_function;
-use tmg_service::{PersistentStore, Server};
+use tmg_service::{codec, PersistentStore, Server};
 use tmg_tsys::{CheckOutcome, ModelChecker, PathQuery};
 
 /// Label recorded in the emitted JSON; the output file is `BENCH_<label>.json`.
-pub const PR_LABEL: &str = "pr6";
+pub const PR_LABEL: &str = "pr7";
 
 /// `before_ms` wall times recorded in `BENCH_pr3.json` for the workloads
 /// whose measured pre-optimisation implementation (the Baseline engine) was
@@ -119,6 +119,8 @@ pub struct PerfReport {
     pub service_loadtest: ServiceLoadtest,
     /// The startup recovery-scan measurement (healthy populated cache).
     pub service_recovery: ServiceRecovery,
+    /// The segment-tier measurement (compaction + group commit).
+    pub segment_tier: SegmentTierReport,
 }
 
 /// What the TCP loadtest recorded.  Wall times are best-of-[`BEST_OF`] on a
@@ -161,6 +163,31 @@ pub struct ServiceRecovery {
     pub healthy: bool,
 }
 
+/// What the segment-tier measurement recorded: one full compaction of a
+/// half-dead segment, plus the group-commit and zero-copy counters from
+/// the write/read phases that produced it.
+#[derive(Debug, Clone)]
+pub struct SegmentTierReport {
+    /// Accounted dead bytes before the timed compaction.
+    pub dead_bytes_before: u64,
+    /// Accounted dead bytes after it.
+    pub dead_bytes_after: u64,
+    /// Compactions the timed store ran.
+    pub compactions: u64,
+    /// Live frames the compactor copied forward.
+    pub compacted_frames: u64,
+    /// Batched fsyncs issued by the writer (group commit).
+    pub group_commit_batches: u64,
+    /// The configured group-commit latency window in milliseconds.
+    pub group_commit_window_ms: u64,
+    /// Warm reads served from borrowed frame bytes during verification.
+    pub zero_copy_hits: u64,
+    /// Best-of-[`BEST_OF`] wall of one full compaction.
+    pub wall: Duration,
+    /// Every live key read bit-identically after compaction.
+    pub identical: bool,
+}
+
 impl PerfReport {
     /// Geometric mean of the hot-path speedups (Table 2 + test generation).
     pub fn hot_path_speedup(&self) -> f64 {
@@ -180,6 +207,7 @@ impl PerfReport {
             && self.testgen.iter().all(|c| c.identical_results)
             && self.service_loadtest.identical_across_workers
             && self.service_recovery.healthy
+            && self.segment_tier.identical
     }
 
     /// Serialises the report as pretty-printed JSON.
@@ -238,6 +266,20 @@ impl PerfReport {
             rec.quarantined,
             ms(rec.wall),
             rec.healthy
+        );
+        let seg = &self.segment_tier;
+        let _ = writeln!(
+            out,
+            "  \"segment_tier\": {{ \"dead_bytes_before\": {}, \"dead_bytes_after\": {}, \"compactions\": {}, \"compacted_frames\": {}, \"group_commit_batches\": {}, \"group_commit_window_ms\": {}, \"zero_copy_hits\": {}, \"compaction_wall_ms\": {:.3}, \"identical\": {} }},",
+            seg.dead_bytes_before,
+            seg.dead_bytes_after,
+            seg.compactions,
+            seg.compacted_frames,
+            seg.group_commit_batches,
+            seg.group_commit_window_ms,
+            seg.zero_copy_hits,
+            ms(seg.wall),
+            seg.identical
         );
         let _ = writeln!(
             out,
@@ -610,6 +652,200 @@ fn compare_service_cold_vs_warm() -> Comparison {
     }
 }
 
+/// A deterministic synthetic bound artifact for the storage-tier workloads
+/// (content-addressed: one key, one payload, forever).
+fn synthetic_report(i: u64) -> AnalysisReport {
+    AnalysisReport {
+        function: format!("bench_fn_{i}"),
+        path_bound: 1 + u128::from(i % 7),
+        segments: 3 + (i % 5) as usize,
+        instrumentation_points: 6 + (i % 4) as usize,
+        measurements: 20 + u128::from(i) * 3,
+        goals: 7 + (i % 3) as usize,
+        heuristic_covered: 4,
+        checker_covered: 2,
+        infeasible: 1,
+        unknown: 0,
+        measurement_runs: 2 + (i % 4) as usize,
+        wcet_bound: 750 + i * 29,
+        exhaustive_max: if i.is_multiple_of(2) { Some(700 + i * 29) } else { None },
+    }
+}
+
+/// The zero-copy warm-read workload: `before` = the retired one-file-per-
+/// artifact disk layout (one `open` + `read` + owned frame decode per warm
+/// hit, reconstructed inline), `after` = the segment log (one shared fd,
+/// `pread` into a pooled arena buffer, borrowed `BoundView` decode).  Both
+/// sides serve the same 224 synthetic bound artifacts and every payload is
+/// verified bit-identical outside the timed region.
+fn compare_warm_read_zero_copy() -> Comparison {
+    const ARTIFACTS: u64 = 224;
+    // Before: one frame file per artifact, the PR 5/6 layout.
+    let files_root = scratch_cache("zerocopy-files");
+    std::fs::create_dir_all(&files_root).expect("create file-index dir");
+    let frame_path = |i: u64| files_root.join(format!("{i:016x}.tmga"));
+    for i in 0..ARTIFACTS {
+        let artifact = BoundArtifact {
+            key: i,
+            report: synthetic_report(i),
+        };
+        std::fs::write(frame_path(i), codec::encode_bound(&artifact)).expect("write frame");
+    }
+    let (before, file_sum) = best_of(BEST_OF, || {
+        (0..ARTIFACTS)
+            .map(|i| {
+                let bytes = std::fs::read(frame_path(i)).expect("read frame");
+                codec::decode_bound(&bytes, i)
+                    .expect("decode")
+                    .report
+                    .wcet_bound
+            })
+            .sum::<u64>()
+    });
+
+    // After: the same artifacts in the segment log, served zero-copy.
+    let root = scratch_cache("zerocopy-log");
+    let store = Arc::new(PersistentStore::open(&root).expect("open cache"));
+    for i in 0..ARTIFACTS {
+        store.put_bound(i, synthetic_report(i));
+    }
+    store.flush();
+    let (after, log_sum) = best_of(BEST_OF, || {
+        (0..ARTIFACTS)
+            .map(|i| store.with_bound_view(i, |view| view.expect("warm hit").wcet_bound))
+            .sum::<u64>()
+    });
+    let payloads_identical = (0..ARTIFACTS).all(|i| {
+        store.with_bound_view(i, |view| view.map(|v| v.to_report())) == Some(synthetic_report(i))
+    });
+    let _ = std::fs::remove_dir_all(&files_root);
+    let _ = std::fs::remove_dir_all(&root);
+    Comparison {
+        name: "warm_read_zero_copy".to_owned(),
+        before,
+        after,
+        identical_results: file_sum == log_sum && payloads_identical,
+    }
+}
+
+/// The shared-cache workload: a second OS process pointed at the same
+/// `TMG_CACHE_DIR` must start fully warm.  `before` = the cold first
+/// process (computes and persists every stage for four functions);
+/// `after` = a brand-new store over the same directory — no shared memory,
+/// the in-bench equivalent of the second process — analysing the same four.
+/// `identical_results` demands bit-identical reports *and* a zero warm
+/// recompute counter.
+fn compare_multi_process_warm_start() -> Comparison {
+    let sources = [
+        "void m0(char a __range(0, 4)) { if (a > 2) { x(); } else { y(); } if (a == 0) { z(); } }",
+        "void m1(char b __range(0, 5)) { if (b > 3) { p(); } if (b < 1) { q(); } }",
+        "void m2(char c __range(0, 3), bool g) { if (g) { if (c > 1) { r(); } } else { s(); } }",
+        "void m3(char d __range(0, 6)) { if (d > 4) { hi(); } else { if (d > 1) { mid(); } else { lo(); } } }",
+    ];
+    let functions: Vec<tmg_minic::Function> = sources
+        .iter()
+        .map(|s| parse_function(s).expect("parse"))
+        .collect();
+    let root = scratch_cache("multiproc");
+    let (before, cold_reports) = best_of(BEST_OF, || {
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Arc::new(PersistentStore::open(&root).expect("open cache"));
+        functions
+            .iter()
+            .map(|f| {
+                WcetAnalysis::new(4)
+                    .with_store(store.clone())
+                    .analyse(f)
+                    .expect("cold analysis")
+            })
+            .collect::<Vec<_>>()
+    });
+    let (after, warm) = best_of(BEST_OF, || {
+        let store = Arc::new(PersistentStore::open(&root).expect("open cache"));
+        let reports = functions
+            .iter()
+            .map(|f| {
+                WcetAnalysis::new(4)
+                    .with_store(store.clone())
+                    .analyse(f)
+                    .expect("warm analysis")
+            })
+            .collect::<Vec<_>>();
+        (reports, store)
+    });
+    let (warm_reports, warm_store) = warm;
+    let warm_computes = warm_store.stats().total_computes();
+    let _ = std::fs::remove_dir_all(&root);
+    Comparison {
+        name: "multi_process_warm_start".to_owned(),
+        before,
+        after,
+        identical_results: cold_reports == warm_reports && warm_computes == 0,
+    }
+}
+
+/// The compaction workload: two generations of 64 artifacts land in one
+/// default-sized segment (the second generation kills the first), a fresh
+/// store force-compacts the half-dead segment, and every live key is read
+/// back bit-identically through the zero-copy route.  State is rebuilt
+/// outside the timed region for each of the [`BEST_OF`] runs; the writer's
+/// group-commit counters are captured after its final `flush`.
+fn measure_segment_tier() -> SegmentTierReport {
+    const KEYS: u64 = 64;
+    let root = scratch_cache("segment-tier");
+    let mut best = Duration::MAX;
+    let mut group_commit_batches = 0;
+    let mut group_commit_window_ms = 0;
+    let mut dead_bytes_before = 0;
+    let mut dead_bytes_after = 0;
+    let mut compactions = 0;
+    let mut compacted_frames = 0;
+    let mut zero_copy_hits = 0;
+    let mut identical = true;
+    for _ in 0..BEST_OF {
+        // Untimed seeding: rebuild the half-dead segment from scratch.
+        let _ = std::fs::remove_dir_all(&root);
+        let writer = PersistentStore::open(&root).expect("open cache");
+        for _ in 0..2 {
+            for i in 0..KEYS {
+                writer.put_bound(3000 + i, synthetic_report(i));
+            }
+        }
+        writer.flush();
+        let seg = writer.stats().segment;
+        group_commit_batches = seg.group_commit_batches;
+        group_commit_window_ms = seg.group_commit_window_ms;
+        drop(writer);
+
+        let store = PersistentStore::open(&root).expect("open cache");
+        dead_bytes_before = store.stats().segment.dead_bytes;
+        let start = Instant::now();
+        store.compact();
+        best = best.min(start.elapsed());
+        let seg = store.stats().segment;
+        dead_bytes_after = seg.dead_bytes;
+        compactions = seg.compactions;
+        compacted_frames = seg.compacted_frames;
+        identical &= (0..KEYS).all(|i| {
+            store.with_bound_view(3000 + i, |view| view.map(|v| v.to_report()))
+                == Some(synthetic_report(i))
+        });
+        zero_copy_hits = store.stats().segment.zero_copy_hits;
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    SegmentTierReport {
+        dead_bytes_before,
+        dead_bytes_after,
+        compactions,
+        compacted_frames,
+        group_commit_batches,
+        group_commit_window_ms,
+        zero_copy_hits,
+        wall: best,
+        identical: identical && dead_bytes_after < dead_bytes_before && compactions >= 1,
+    }
+}
+
 /// The scheduler workload: a duplicate-heavy `analyse` burst through the
 /// JSON-lines server — one scheduler worker versus a full pool (in-flight
 /// duplicates deduplicate either way).  Responses must be identical
@@ -826,9 +1062,12 @@ pub fn perf_report() -> PerfReport {
 
     // The service workloads run last (see above).
     testgen.push(compare_service_cold_vs_warm());
+    testgen.push(compare_warm_read_zero_copy());
+    testgen.push(compare_multi_process_warm_start());
     testgen.push(compare_service_concurrent_burst());
     let service_loadtest = measure_service_loadtest();
     let service_recovery = measure_service_recovery();
+    let segment_tier = measure_segment_tier();
 
     // Case study summary (optimised path).
     let (case_study_wall, case) = timed(case_study);
@@ -847,6 +1086,7 @@ pub fn perf_report() -> PerfReport {
         pipeline,
         service_loadtest,
         service_recovery,
+        segment_tier,
     }
 }
 
@@ -931,6 +1171,38 @@ mod tests {
     }
 
     #[test]
+    fn warm_read_zero_copy_comparison_is_identical() {
+        let c = compare_warm_read_zero_copy();
+        assert!(
+            c.identical_results,
+            "the segment log must serve every artifact bit-identically"
+        );
+        assert_eq!(c.name, "warm_read_zero_copy");
+    }
+
+    #[test]
+    fn multi_process_warm_start_comparison_is_identical() {
+        let c = compare_multi_process_warm_start();
+        assert!(
+            c.identical_results,
+            "a second store over the same directory must start fully warm"
+        );
+        assert_eq!(c.name, "multi_process_warm_start");
+    }
+
+    #[test]
+    fn segment_tier_measurement_reclaims_dead_bytes() {
+        let seg = measure_segment_tier();
+        assert!(
+            seg.identical,
+            "compaction must keep every live key: {seg:?}"
+        );
+        assert!(seg.dead_bytes_after < seg.dead_bytes_before);
+        assert!(seg.compacted_frames >= 1);
+        assert!(seg.group_commit_window_ms >= 1);
+    }
+
+    #[test]
     fn recovery_scan_measurement_is_healthy_on_a_clean_cache() {
         let rec = measure_service_recovery();
         assert_eq!(rec.frames, 6, "one frame per stage");
@@ -995,12 +1267,25 @@ mod tests {
                 wall: Duration::from_millis(1),
                 healthy: true,
             },
+            segment_tier: SegmentTierReport {
+                dead_bytes_before: 4096,
+                dead_bytes_after: 0,
+                compactions: 1,
+                compacted_frames: 64,
+                group_commit_batches: 2,
+                group_commit_window_ms: 4,
+                zero_copy_hits: 64,
+                wall: Duration::from_millis(1),
+                identical: true,
+            },
         }
         .to_json();
         assert!(report.contains("\"schema\": \"tmg-bench-perf/v1\""));
         assert!(report.contains("\"speedup\""));
         assert!(report.contains("\"service_loadtest\""));
         assert!(report.contains("\"service_recovery_scan\""));
+        assert!(report.contains("\"segment_tier\""));
+        assert!(report.contains("\"group_commit_window_ms\""));
         assert_eq!(
             report.matches('{').count(),
             report.matches('}').count(),

@@ -50,7 +50,7 @@ use tmg_cfg::{
 };
 use tmg_core::pipeline::{
     decision_statements, BoundArtifact, CampaignArtifact, LoweredArtifact, PartitionArtifact,
-    PreparedModelArtifact, Stage, SuiteArtifact,
+    PreparedModelArtifact, Stage, SuiteArtifact, STAGES,
 };
 use tmg_core::{
     AnalysisReport, CoverageGoal, CoverageStatus, GeneratorKind, GoalKind, MeasurementCampaign,
@@ -212,9 +212,13 @@ impl<'a> Dec<'a> {
         }
     }
     fn str(&mut self) -> Result<String> {
+        Ok(self.str_ref()?.to_owned())
+    }
+    /// Borrowed string read: validates UTF-8 in place, allocates nothing.
+    fn str_ref(&mut self) -> Result<&'a str> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Malformed("invalid utf-8"))
+        std::str::from_utf8(bytes).map_err(|_| CodecError::Malformed("invalid utf-8"))
     }
     fn opt<T>(&mut self, mut f: impl FnMut(&mut Dec<'a>) -> Result<T>) -> Result<Option<T>> {
         if self.bool()? {
@@ -267,9 +271,25 @@ pub fn encode_frame(stage: Stage, key: u64, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Verifies a frame's magic, version, kind, key and digest, returning the
-/// payload slice.
-pub fn decode_frame(bytes: &[u8], stage: Stage, key: u64) -> Result<&[u8]> {
+/// A verified frame borrowed from its raw bytes: header fields plus the
+/// payload slice.  Produced by [`parse_frame`]; nothing is copied and no
+/// payload structure is decoded — this is the zero-copy half of the segment
+/// log's warm read path (verify up front, materialize lazily).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    /// Stage the frame was written for.
+    pub stage: Stage,
+    /// Content key the frame was written under.
+    pub key: u64,
+    /// The still-encoded artifact payload.
+    pub payload: &'a [u8],
+}
+
+/// Verifies a frame's magic, version, length and digest *without* an
+/// expected stage/key (the segment scan discovers both from the header) and
+/// returns a borrowed [`FrameView`].  A frame this accepts is exactly one
+/// [`decode_frame`] would accept for its own `(stage, key)`.
+pub fn parse_frame(bytes: &[u8]) -> Result<FrameView<'_>> {
     if bytes.len() < HEADER_LEN + DIGEST_LEN {
         return Err(CodecError::Malformed("frame shorter than header"));
     }
@@ -281,13 +301,10 @@ pub fn decode_frame(bytes: &[u8], stage: Stage, key: u64) -> Result<&[u8]> {
         return Err(CodecError::VersionMismatch { found: version });
     }
     let kind = bytes[6];
-    if kind != stage.index() as u8 {
-        return Err(CodecError::KindMismatch { found: kind });
-    }
-    let frame_key = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-    if frame_key != key {
-        return Err(CodecError::KeyMismatch);
-    }
+    let stage = *STAGES
+        .get(kind as usize)
+        .ok_or(CodecError::KindMismatch { found: kind })?;
+    let key = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
     let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
     let expected_len = (bytes.len() - HEADER_LEN - DIGEST_LEN) as u64;
     if payload_len != expected_len {
@@ -298,7 +315,26 @@ pub fn decode_frame(bytes: &[u8], stage: Stage, key: u64) -> Result<&[u8]> {
     if digest(&bytes[..body_end]) != stored {
         return Err(CodecError::ChecksumMismatch);
     }
-    Ok(&bytes[HEADER_LEN..body_end])
+    Ok(FrameView {
+        stage,
+        key,
+        payload: &bytes[HEADER_LEN..body_end],
+    })
+}
+
+/// Verifies a frame's magic, version, kind, key and digest, returning the
+/// payload slice.
+pub fn decode_frame(bytes: &[u8], stage: Stage, key: u64) -> Result<&[u8]> {
+    let view = parse_frame(bytes)?;
+    if view.stage != stage {
+        return Err(CodecError::KindMismatch {
+            found: view.stage.index() as u8,
+        });
+    }
+    if view.key != key {
+        return Err(CodecError::KeyMismatch);
+    }
+    Ok(view.payload)
 }
 
 /// Integrity check of a raw frame without decoding the payload: magic,
@@ -1403,12 +1439,67 @@ pub fn encode_bound(artifact: &BoundArtifact) -> Vec<u8> {
     encode_frame(Stage::Bound, artifact.key, &e.buf)
 }
 
-/// Decodes a bound artifact.
-pub fn decode_bound(bytes: &[u8], key: u64) -> Result<BoundArtifact> {
-    let payload = decode_frame(bytes, Stage::Bound, key)?;
+/// A bound artifact decoded without allocation: every field is a scalar and
+/// the function name borrows the payload bytes.  This is the zero-copy view
+/// the segment log's bound fast-path validates against before deciding
+/// whether an owned [`BoundArtifact`] is needed at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundView<'a> {
+    /// Function name, borrowed from the frame payload.
+    pub function: &'a str,
+    /// Path bound the analysis ran under.
+    pub path_bound: u128,
+    /// Partition segment count.
+    pub segments: usize,
+    /// Instrumentation points placed.
+    pub instrumentation_points: usize,
+    /// Total measurements taken.
+    pub measurements: u128,
+    /// Coverage goals issued.
+    pub goals: usize,
+    /// Goals covered heuristically.
+    pub heuristic_covered: usize,
+    /// Goals covered by the model checker.
+    pub checker_covered: usize,
+    /// Goals proved infeasible.
+    pub infeasible: usize,
+    /// Goals left unknown.
+    pub unknown: usize,
+    /// Measurement campaign runs.
+    pub measurement_runs: usize,
+    /// The WCET bound.
+    pub wcet_bound: u64,
+    /// Exhaustive-simulation maximum, when one was computed.
+    pub exhaustive_max: Option<u64>,
+}
+
+impl BoundView<'_> {
+    /// Materializes the owned report (the only allocation: the name).
+    pub fn to_report(&self) -> AnalysisReport {
+        AnalysisReport {
+            function: self.function.to_owned(),
+            path_bound: self.path_bound,
+            segments: self.segments,
+            instrumentation_points: self.instrumentation_points,
+            measurements: self.measurements,
+            goals: self.goals,
+            heuristic_covered: self.heuristic_covered,
+            checker_covered: self.checker_covered,
+            infeasible: self.infeasible,
+            unknown: self.unknown,
+            measurement_runs: self.measurement_runs,
+            wcet_bound: self.wcet_bound,
+            exhaustive_max: self.exhaustive_max,
+        }
+    }
+}
+
+/// Decodes a bound payload (as returned by [`decode_frame`] /
+/// [`parse_frame`]) into a borrowed [`BoundView`] without allocating.
+pub fn decode_bound_view(payload: &[u8]) -> Result<BoundView<'_>> {
     let mut d = Dec::new(payload);
-    let report = AnalysisReport {
-        function: d.str()?,
+    let view = BoundView {
+        function: d.str_ref()?,
         path_bound: d.u128()?,
         segments: d.usize()?,
         instrumentation_points: d.usize()?,
@@ -1423,6 +1514,13 @@ pub fn decode_bound(bytes: &[u8], key: u64) -> Result<BoundArtifact> {
         exhaustive_max: d.opt(|d| d.u64())?,
     };
     d.finish()?;
+    Ok(view)
+}
+
+/// Decodes a bound artifact.
+pub fn decode_bound(bytes: &[u8], key: u64) -> Result<BoundArtifact> {
+    let payload = decode_frame(bytes, Stage::Bound, key)?;
+    let report = decode_bound_view(payload)?.to_report();
     Ok(BoundArtifact { key, report })
 }
 
@@ -1597,5 +1695,67 @@ mod tests {
         assert!(decode_lowered(&good[..10], key).is_err());
         // The original still decodes.
         assert!(decode_lowered(&good, key).is_ok());
+    }
+
+    #[test]
+    fn parse_frame_discovers_stage_and_key_and_rejects_what_decode_rejects() {
+        let (store, f) = artifacts();
+        let lowered = store.lowered(&f);
+        let good = encode_lowered(&lowered);
+        let view = parse_frame(&good).expect("parse");
+        assert_eq!(view.stage, Stage::Lower);
+        assert_eq!(view.key, lowered.function_key);
+        assert_eq!(
+            view.payload,
+            decode_frame(&good, Stage::Lower, lowered.function_key).expect("decode")
+        );
+
+        // An impossible stage tag is a kind mismatch, not a panic.
+        let mut bad = good.clone();
+        bad[6] = 6;
+        assert_eq!(
+            parse_frame(&bad).err(),
+            Some(CodecError::KindMismatch { found: 6 })
+        );
+        // Same rejection surface as the typed path.
+        let mut torn = good.clone();
+        torn.truncate(torn.len() / 2);
+        assert!(parse_frame(&torn).is_err());
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert_eq!(
+            parse_frame(&flipped).err(),
+            Some(CodecError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn bound_view_borrows_the_payload_and_matches_the_owned_decode() {
+        let report = AnalysisReport {
+            function: "wiper".to_owned(),
+            path_bound: 10,
+            segments: 4,
+            instrumentation_points: 7,
+            measurements: 120,
+            goals: 9,
+            heuristic_covered: 5,
+            checker_covered: 3,
+            infeasible: 1,
+            unknown: 0,
+            measurement_runs: 12,
+            wcet_bound: 4242,
+            exhaustive_max: Some(4100),
+        };
+        let artifact = BoundArtifact { key: 77, report };
+        let bytes = encode_bound(&artifact);
+        let payload = decode_frame(&bytes, Stage::Bound, 77).expect("frame");
+        let view = decode_bound_view(payload).expect("view");
+        assert_eq!(view.function, "wiper");
+        assert_eq!(view.to_report(), artifact.report);
+        assert_eq!(
+            decode_bound(&bytes, 77).expect("owned").report,
+            artifact.report
+        );
     }
 }

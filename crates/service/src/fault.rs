@@ -16,7 +16,8 @@
 //! ```
 //!
 //! Kinds: `torn_write`, `short_read`, `bit_flip`, `crash_before_publish`,
-//! `crash_after_publish`.  A count of `n` fires on the first `n` qualifying
+//! `crash_after_publish`, `torn_append`, `crash_mid_compaction`.  A count
+//! of `n` fires on the first `n` qualifying
 //! operations.  An unset or empty plan is fully inert — the production code
 //! path contains one `Option` check per I/O operation and nothing else.
 
@@ -39,16 +40,26 @@ pub enum FaultKind {
     /// A store publishes the frame normally but "crashes" before any
     /// in-process accounting: the next process must still serve it warm.
     CrashAfterPublish,
+    /// A segment append writes only the first half of the record and the
+    /// writer "dies": the torn tail must degrade to a clean miss and must
+    /// not hide records appended after the writer restarts.
+    TornAppend,
+    /// Compaction copies the victim's live frames but "crashes" before
+    /// deleting the victim segment: bit-identical duplicates remain and the
+    /// next process must reconcile them.
+    CrashMidCompaction,
 }
 
 impl FaultKind {
     /// All kinds, in wire-name order.
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::TornWrite,
         FaultKind::ShortRead,
         FaultKind::BitFlip,
         FaultKind::CrashBeforePublish,
         FaultKind::CrashAfterPublish,
+        FaultKind::TornAppend,
+        FaultKind::CrashMidCompaction,
     ];
 
     /// The `TMG_FAULT_PLAN` name of this kind.
@@ -59,6 +70,8 @@ impl FaultKind {
             FaultKind::BitFlip => "bit_flip",
             FaultKind::CrashBeforePublish => "crash_before_publish",
             FaultKind::CrashAfterPublish => "crash_after_publish",
+            FaultKind::TornAppend => "torn_append",
+            FaultKind::CrashMidCompaction => "crash_mid_compaction",
         }
     }
 
@@ -69,14 +82,16 @@ impl FaultKind {
             FaultKind::BitFlip => 2,
             FaultKind::CrashBeforePublish => 3,
             FaultKind::CrashAfterPublish => 4,
+            FaultKind::TornAppend => 5,
+            FaultKind::CrashMidCompaction => 6,
         }
     }
 }
 
 #[derive(Debug, Default)]
 struct Shots {
-    remaining: [AtomicU64; 5],
-    fired: [AtomicU64; 5],
+    remaining: [AtomicU64; 7],
+    fired: [AtomicU64; 7],
 }
 
 /// An armed (or inert) set of fault shots, shared by every clone.
@@ -181,11 +196,14 @@ impl FaultPlan {
 }
 
 /// Deterministically damages `bytes` for [`FaultKind::ShortRead`] /
-/// [`FaultKind::BitFlip`] / [`FaultKind::TornWrite`]: truncation keeps the
+/// [`FaultKind::BitFlip`] / [`FaultKind::TornWrite`] /
+/// [`FaultKind::TornAppend`]: truncation keeps the
 /// first half, the bit flip XORs the middle byte.
 pub fn damage(kind: FaultKind, bytes: &[u8]) -> Vec<u8> {
     match kind {
-        FaultKind::ShortRead | FaultKind::TornWrite => bytes[..bytes.len() / 2].to_vec(),
+        FaultKind::ShortRead | FaultKind::TornWrite | FaultKind::TornAppend => {
+            bytes[..bytes.len() / 2].to_vec()
+        }
         FaultKind::BitFlip => {
             let mut out = bytes.to_vec();
             if !out.is_empty() {
@@ -194,7 +212,9 @@ pub fn damage(kind: FaultKind, bytes: &[u8]) -> Vec<u8> {
             }
             out
         }
-        FaultKind::CrashBeforePublish | FaultKind::CrashAfterPublish => bytes.to_vec(),
+        FaultKind::CrashBeforePublish
+        | FaultKind::CrashAfterPublish
+        | FaultKind::CrashMidCompaction => bytes.to_vec(),
     }
 }
 
@@ -215,6 +235,19 @@ mod tests {
         assert!(!plan.take(FaultKind::ShortRead), "never armed");
         assert_eq!(plan.fired(FaultKind::TornWrite), 3);
         assert_eq!(plan.total_fired(), 4);
+    }
+
+    #[test]
+    fn the_segment_log_kinds_parse_and_fire() {
+        let plan = FaultPlan::parse("torn_append:2,crash_mid_compaction:1").expect("parse");
+        assert!(plan.take(FaultKind::TornAppend));
+        assert!(plan.take(FaultKind::TornAppend));
+        assert!(!plan.take(FaultKind::TornAppend));
+        assert!(plan.take(FaultKind::CrashMidCompaction));
+        assert_eq!(plan.total_fired(), 3);
+        let bytes: Vec<u8> = (0..32).collect();
+        assert_eq!(damage(FaultKind::TornAppend, &bytes), &bytes[..16]);
+        assert_eq!(damage(FaultKind::CrashMidCompaction, &bytes), bytes);
     }
 
     #[test]

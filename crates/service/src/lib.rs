@@ -22,12 +22,14 @@ pub mod codec;
 pub mod fault;
 pub mod json;
 pub mod latency;
+pub mod segment;
 pub mod server;
 pub mod store;
 pub mod tcp;
 
 pub use fault::{FaultKind, FaultPlan};
 pub use latency::{Histogram, LatencySet};
+pub use segment::{SegmentStats, DEFAULT_GROUP_COMMIT_WINDOW_MS, DEFAULT_SEGMENT_BYTES};
 pub use server::{ServeSummary, Server, DEFAULT_QUEUE_CAPACITY, PROTOCOL};
 pub use store::{
     DiskStageStats, PersistentStore, PersistentStoreConfig, RecoveryReport, TierStats,

@@ -1,5 +1,5 @@
-//! The persistent artifact tier: a size-capped on-disk cache layered under
-//! the in-memory [`ArtifactStore`].
+//! The persistent artifact tier: a segment-log disk cache layered under the
+//! in-memory [`ArtifactStore`].
 //!
 //! [`PersistentStore`] implements [`TieredStore`], so
 //! `WcetAnalysis::with_store` accepts it wherever the in-memory store works.
@@ -7,31 +7,32 @@
 //!
 //! 1. **memory** — the process-local [`ArtifactStore`] (hit/miss/eviction
 //!    counters as before);
-//! 2. **disk** — `<root>/<stage>/<key_hex>.tmga` frames written by *any*
-//!    process ([`crate::codec`]); a frame that fails integrity verification
-//!    (bad magic, foreign version, checksum mismatch, malformed payload) is
-//!    deleted and treated as a miss — never a panic, never a wrong artifact;
-//! 3. **compute** — the stage function itself; the result is written to both
-//!    tiers.
+//! 2. **disk** — the append-only [`SegmentLog`] ([`crate::segment`]): the
+//!    frame bytes are `pread` from their segment into an arena buffer and
+//!    verified/decoded exactly once; a record that fails verification is
+//!    dropped from the index and treated as a miss — never a panic, never a
+//!    wrong artifact;
+//! 3. **compute** — the stage function itself; the result is appended to
+//!    the log and inserted into memory.
 //!
-//! The disk tier is bounded by a byte budget: each store records the file
-//! size in an in-process index (rebuilt lazily from the directory on first
-//! write/stats — never on the read-only warm path — ordered
-//! by modification time) and evicts least-recently-used files until the
-//! budget holds again.  Like the in-memory LRU this is pure cache policy —
-//! an evicted artifact is recomputed on the next request.
+//! The disk tier is bounded by a byte budget with segment-granular eviction
+//! and live-ratio compaction; durability is group commit (see the segment
+//! module docs).  The bound fast path decodes through the borrowed
+//! [`codec::BoundView`], so a warm `bound` hit never materializes an owned
+//! AST — only the one-string report.
 //!
 //! Measurement faults are never cached, matching the in-memory tier.
 
 use crate::codec::{self, CodecError};
-use crate::fault::{self, FaultKind, FaultPlan};
-use rustc_hash::FxHashMap;
-use std::fs;
-use std::io::{self, Write as _};
+use crate::fault::FaultPlan;
+use crate::segment::{
+    SegmentLog, SegmentLogOptions, SegmentStats, DEFAULT_GROUP_COMMIT_WINDOW_MS,
+    DEFAULT_SEGMENT_BYTES,
+};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use tmg_cfg::key_hex;
+use std::sync::Arc;
 use tmg_core::pipeline::{
     self, ArtifactStore, BoundArtifact, CampaignArtifact, LoweredArtifact, PartitionArtifact,
     PreparedModelArtifact, Stage, SuiteArtifact, TieredStore, STAGES,
@@ -41,8 +42,7 @@ use tmg_minic::ast::Function;
 use tmg_target::CostModel;
 use tmg_tsys::ModelChecker;
 
-/// File extension of every cached artifact frame.
-pub const ARTIFACT_EXT: &str = "tmga";
+pub use crate::segment::RecoveryReport;
 
 /// Default disk budget: 256 MiB of artifact frames.
 pub const DEFAULT_DISK_BUDGET: u64 = 256 * 1024 * 1024;
@@ -50,34 +50,36 @@ pub const DEFAULT_DISK_BUDGET: u64 = 256 * 1024 * 1024;
 /// Per-stage counters of the disk tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DiskStageStats {
-    /// Frames served from disk (decoded and verified).
+    /// Frames served from disk (verified and decoded).
     pub hits: u64,
     /// Probes that found no usable frame (absent, corrupt or foreign).
     pub misses: u64,
-    /// Frames written.
+    /// Frames appended to the log.
     pub stores: u64,
-    /// Frames evicted by the byte budget.
+    /// Frames dropped by segment-granular eviction.
     pub evictions: u64,
     /// Stage computations actually executed (neither tier had the artifact).
     pub computes: u64,
-    /// Frames deleted by the startup recovery scan because they failed
-    /// integrity verification (torn writes, bit rot, foreign versions).
-    /// Each becomes a clean miss on its next request.
+    /// Frames rejected by verification (recovery scan, compaction or a
+    /// damaged read).  Each becomes a clean miss on its next request.
     pub quarantined: u64,
 }
 
 /// Counter + occupancy snapshot of a [`PersistentStore`], combining both
 /// tiers; rendered to hand-written JSON for the service `stats` request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TierStats {
     /// In-memory tier snapshot.
     pub memory: StoreStats,
     /// Per-stage disk counters, indexed by [`Stage::index`].
     pub disk: [DiskStageStats; 6],
-    /// Bytes currently held on disk.
+    /// Bytes currently accounted on disk (segment headers included).
     pub disk_bytes: u64,
     /// Disk byte budget.
     pub disk_budget: u64,
+    /// Segment-tier counters (segments, live/dead bytes, compactions,
+    /// group-commit batches, zero-copy vs decoded hits).
+    pub segment: SegmentStats,
 }
 
 impl TierStats {
@@ -98,10 +100,10 @@ impl TierStats {
 
     /// Renders the snapshot as one JSON object (hand-written; schema
     /// `tmg-tier-stats/v1`), embedding the memory tier's
-    /// [`StoreStats::to_json`] output and the process-wide checker counters
-    /// ([`tmg_tsys::metrics`]: slicing reductions, sharded-explorer activity
-    /// and visited-table contention), so perf work on the checker stays
-    /// observable through the service `stats` op.
+    /// [`StoreStats::to_json`] output, the process-wide checker counters
+    /// ([`tmg_tsys::metrics`]) and the segment-tier counters, so perf work
+    /// on both the checker and the storage engine stays observable through
+    /// the service `stats` op.
     pub fn to_json(&self) -> String {
         self.to_json_with(None)
     }
@@ -120,6 +122,22 @@ impl TierStats {
             self.disk_budget,
             self.memory.to_json(),
             tmg_tsys::metrics::snapshot().to_json()
+        );
+        let s = &self.segment;
+        let _ = write!(
+            out,
+            "\"segments\": {{ \"count\": {}, \"live_bytes\": {}, \"dead_bytes\": {}, \"compactions\": {}, \"compacted_frames\": {}, \"group_commit_batches\": {}, \"group_commit_window_ms\": {}, \"zero_copy_hits\": {}, \"decoded_hits\": {}, \"index_publishes\": {}, \"index_rebuilds\": {} }}, ",
+            s.segments,
+            s.live_bytes,
+            s.dead_bytes,
+            s.compactions,
+            s.compacted_frames,
+            s.group_commit_batches,
+            s.group_commit_window_ms,
+            s.zero_copy_hits,
+            s.decoded_hits,
+            s.index_publishes,
+            s.index_rebuilds,
         );
         if let Some(latency) = latency {
             let _ = write!(out, "\"latency\": {latency}, ");
@@ -146,392 +164,6 @@ impl TierStats {
     }
 }
 
-/// One file of the disk index.
-struct FileEntry {
-    size: u64,
-    /// Logical last-touch order (monotonic per cache instance).
-    touched: u64,
-}
-
-struct DiskIndex {
-    files: FxHashMap<(u8, u64), FileEntry>,
-    total_bytes: u64,
-    tick: u64,
-}
-
-/// The on-disk frame cache.  All operations are infallible from the caller's
-/// perspective: I/O errors degrade to misses (loads) or dropped writes
-/// (stores) — the analysis itself never depends on the disk succeeding.
-struct DiskCache {
-    root: PathBuf,
-    budget: u64,
-    /// Lazily built: a fresh process serving a warm cache is read-only on
-    /// the hot path, and scanning six stage directories before the first
-    /// answer used to cost as much as the answer itself.  The scan runs on
-    /// the first operation that actually needs byte accounting (a store, a
-    /// discard, or a stats snapshot); loads before that simply skip the LRU
-    /// touch (the scan seeds recency from file mtimes, so the order such
-    /// loads would have established is approximated anyway).
-    index: Mutex<Option<DiskIndex>>,
-    /// Armed by tests / the CLI via `TMG_FAULT_PLAN`; inert in production.
-    faults: FaultPlan,
-    /// Uniquifies temp-file names so concurrent same-key writers (and
-    /// writers from a previous crashed process) never collide mid-write.
-    tmp_seq: AtomicU64,
-    hits: [AtomicU64; 6],
-    misses: [AtomicU64; 6],
-    stores: [AtomicU64; 6],
-    evictions: [AtomicU64; 6],
-    quarantined: [AtomicU64; 6],
-}
-
-impl DiskCache {
-    fn open(root: &Path, budget: u64, faults: FaultPlan) -> io::Result<DiskCache> {
-        // The stage directories and the file index are built lazily, but an
-        // unusable root must still fail *here* — operators rely on `open`
-        // surfacing a typo'd or read-only cache path instead of silently
-        // running with persistence disabled.
-        fs::create_dir_all(root)?;
-        Ok(DiskCache {
-            root: root.to_path_buf(),
-            budget,
-            index: Mutex::new(None),
-            faults,
-            tmp_seq: AtomicU64::new(0),
-            hits: Default::default(),
-            misses: Default::default(),
-            stores: Default::default(),
-            evictions: Default::default(),
-            quarantined: Default::default(),
-        })
-    }
-
-    /// Builds the index from the directory (creating the stage directories
-    /// on first use); modification time seeds the LRU order so a reopened
-    /// cache evicts oldest-first.  I/O failures degrade to an empty index —
-    /// the cache then simply stops accounting until writes succeed.
-    fn scan(&self) -> DiskIndex {
-        let mut files = FxHashMap::default();
-        let mut total_bytes = 0u64;
-        let mut found: Vec<((u8, u64), u64, std::time::SystemTime)> = Vec::new();
-        for stage in STAGES {
-            let dir = self.root.join(stage.name());
-            if fs::create_dir_all(&dir).is_err() {
-                continue;
-            }
-            let Ok(entries) = fs::read_dir(&dir) else {
-                continue;
-            };
-            for entry in entries.flatten() {
-                let path = entry.path();
-                let ext = path.extension().and_then(|e| e.to_str());
-                if ext == Some("tmp") {
-                    // Torn write from a crashed process: the temp file was
-                    // never renamed into place and is invisible to the byte
-                    // budget — reclaim it now.
-                    let _ = fs::remove_file(&path);
-                    continue;
-                }
-                let stem_key = ext
-                    .filter(|e| *e == ARTIFACT_EXT)
-                    .and_then(|_| path.file_stem()?.to_str())
-                    .and_then(|stem| u64::from_str_radix(stem, 16).ok());
-                let Some(key) = stem_key else { continue };
-                let Ok(meta) = entry.metadata() else { continue };
-                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
-                found.push(((stage.index() as u8, key), meta.len(), mtime));
-            }
-        }
-        found.sort_by_key(|(_, _, mtime)| *mtime);
-        let mut tick = 0u64;
-        for (id, size, _) in found {
-            tick += 1;
-            total_bytes += size;
-            files.insert(
-                id,
-                FileEntry {
-                    size,
-                    touched: tick,
-                },
-            );
-        }
-        DiskIndex {
-            files,
-            total_bytes,
-            tick,
-        }
-    }
-
-    /// Runs `f` over the (lazily built) index.
-    fn with_index<R>(&self, f: impl FnOnce(&mut DiskIndex) -> R) -> R {
-        let mut guard = self.index.lock().expect("disk index");
-        if guard.is_none() {
-            *guard = Some(self.scan());
-        }
-        f(guard.as_mut().expect("just built"))
-    }
-
-    fn path_of(&self, stage: Stage, key: u64) -> PathBuf {
-        self.root
-            .join(stage.name())
-            .join(format!("{}.{ARTIFACT_EXT}", key_hex(key)))
-    }
-
-    /// Reads the raw frame for `(stage, key)`, touching its LRU slot.
-    /// Hit/miss accounting happens in [`PersistentStore::fetch_disk`], after
-    /// the frame has passed verification — a file that exists but fails to
-    /// decode is a miss, not a hit.
-    fn load(&self, stage: Stage, key: u64) -> Option<Vec<u8>> {
-        let mut bytes = fs::read(self.path_of(stage, key)).ok();
-        if let Some(buf) = bytes.as_mut() {
-            for kind in [FaultKind::ShortRead, FaultKind::BitFlip] {
-                if self.faults.take(kind) {
-                    *buf = fault::damage(kind, buf);
-                }
-            }
-        }
-        if bytes.is_some() {
-            // Touch the LRU slot, but never *build* the index for a read:
-            // pre-scan loads are already ordered by the mtime seeding.
-            let mut guard = self.index.lock().expect("disk index");
-            if let Some(index) = guard.as_mut() {
-                index.tick += 1;
-                let tick = index.tick;
-                if let Some(entry) = index.files.get_mut(&(stage.index() as u8, key)) {
-                    entry.touched = tick;
-                }
-            }
-        }
-        bytes
-    }
-
-    fn record(&self, stage: Stage, hit: bool) {
-        let counters = if hit { &self.hits } else { &self.misses };
-        counters[stage.index()].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Deletes a frame that failed verification (and logs why); the slot
-    /// becomes a clean miss for every later request.
-    fn discard(&self, stage: Stage, key: u64, error: &CodecError) {
-        let path = self.path_of(stage, key);
-        eprintln!(
-            "tmg-service: discarding unusable cache frame {} ({error})",
-            path.display()
-        );
-        let _ = fs::remove_file(&path);
-        self.with_index(|index| {
-            if let Some(entry) = index.files.remove(&(stage.index() as u8, key)) {
-                index.total_bytes = index.total_bytes.saturating_sub(entry.size);
-            }
-        });
-    }
-
-    /// Path of a uniquely named temp file next to `(stage, key)`'s final
-    /// path.  The `.tmp` extension is what the index scan and the recovery
-    /// scan reclaim; the pid + sequence infix keeps concurrent same-key
-    /// writers (and leftovers of a crashed process) from colliding.
-    fn tmp_path_of(&self, stage: Stage, key: u64) -> PathBuf {
-        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
-        self.root.join(stage.name()).join(format!(
-            "{}.{}-{seq}.tmp",
-            key_hex(key),
-            std::process::id()
-        ))
-    }
-
-    /// Durable atomic publish: write the frame to a uniquely named temp
-    /// file, fsync it, rename it over the final path, then (best-effort)
-    /// fsync the directory so the rename itself survives a crash.  Returns
-    /// `false` when nothing was published — no reader can ever observe a
-    /// partially written frame at the final path.
-    fn publish(&self, tmp: &Path, path: &Path, bytes: &[u8]) -> bool {
-        let write = |dest: &Path| -> io::Result<()> {
-            let mut file = fs::File::create(dest)?;
-            file.write_all(bytes)?;
-            file.sync_all()
-        };
-        if write(tmp).is_err() {
-            let _ = fs::remove_file(tmp);
-            return false;
-        }
-        if self.faults.take(FaultKind::CrashBeforePublish) {
-            // Simulated crash between the data fsync and the rename: the
-            // artifact was never published; the synced orphan `.tmp` stays
-            // behind for the recovery scan to reclaim.
-            return false;
-        }
-        if fs::rename(tmp, path).is_err() {
-            let _ = fs::remove_file(tmp);
-            return false;
-        }
-        if let Some(dir) = path.parent() {
-            if let Ok(dir) = fs::File::open(dir) {
-                let _ = dir.sync_all();
-            }
-        }
-        true
-    }
-
-    /// Writes a frame (atomically, see [`DiskCache::publish`]) and evicts
-    /// least-recently-used frames until the byte budget holds.  Failures are
-    /// swallowed: a cache that cannot write simply stops accelerating.
-    fn store(&self, stage: Stage, key: u64, bytes: &[u8]) {
-        // Building the index creates the stage directories, so it must
-        // happen before the write; cold runs pay the one-time scan here.
-        self.with_index(|_| ());
-        let path = self.path_of(stage, key);
-        if self.faults.take(FaultKind::TornWrite) {
-            // The legacy non-atomic write dying mid-frame: half a frame
-            // lands directly on the final path, exactly what the atomic
-            // publish exists to prevent.  No accounting — the "crashed"
-            // writer would not have updated anything either.
-            let _ = fs::write(&path, fault::damage(FaultKind::TornWrite, bytes));
-            return;
-        }
-        if !self.publish(&self.tmp_path_of(stage, key), &path, bytes) {
-            return;
-        }
-        if self.faults.take(FaultKind::CrashAfterPublish) {
-            // Simulated crash right after the rename: the frame is durable
-            // and valid, only this (dead) process's counters and LRU
-            // accounting are lost.  A fresh process must serve it warm.
-            return;
-        }
-        self.stores[stage.index()].fetch_add(1, Ordering::Relaxed);
-        let evict: Vec<(u8, u64)> = self.with_index(|index| {
-            index.tick += 1;
-            let tick = index.tick;
-            let id = (stage.index() as u8, key);
-            let size = bytes.len() as u64;
-            if let Some(old) = index.files.insert(
-                id,
-                FileEntry {
-                    size,
-                    touched: tick,
-                },
-            ) {
-                index.total_bytes = index.total_bytes.saturating_sub(old.size);
-            }
-            index.total_bytes += size;
-            let mut evict = Vec::new();
-            while index.total_bytes > self.budget {
-                let Some(victim) = index
-                    .files
-                    .iter()
-                    .filter(|(other, _)| **other != id)
-                    .min_by_key(|(_, entry)| entry.touched)
-                    .map(|(other, _)| *other)
-                else {
-                    break; // only the fresh frame remains
-                };
-                let entry = index.files.remove(&victim).expect("victim indexed");
-                index.total_bytes = index.total_bytes.saturating_sub(entry.size);
-                evict.push(victim);
-            }
-            evict
-        });
-        for (stage_idx, victim_key) in evict {
-            let stage = STAGES[stage_idx as usize];
-            let _ = fs::remove_file(self.path_of(stage, victim_key));
-            self.evictions[stage.index()].fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    fn stats(&self, computes: &[AtomicU64; 6]) -> ([DiskStageStats; 6], u64) {
-        let mut out = [DiskStageStats::default(); 6];
-        for stage in STAGES {
-            let i = stage.index();
-            out[i] = DiskStageStats {
-                hits: self.hits[i].load(Ordering::Relaxed),
-                misses: self.misses[i].load(Ordering::Relaxed),
-                stores: self.stores[i].load(Ordering::Relaxed),
-                evictions: self.evictions[i].load(Ordering::Relaxed),
-                computes: computes[i].load(Ordering::Relaxed),
-                quarantined: self.quarantined[i].load(Ordering::Relaxed),
-            };
-        }
-        let bytes = self.with_index(|index| index.total_bytes);
-        (out, bytes)
-    }
-
-    /// Best-effort durability flush: fsyncs every stage directory so all
-    /// published renames are on stable storage.  Run by the server's
-    /// graceful drain before it reports a clean shutdown.
-    fn flush(&self) {
-        for stage in STAGES {
-            if let Ok(dir) = fs::File::open(self.root.join(stage.name())) {
-                let _ = dir.sync_all();
-            }
-        }
-    }
-
-    /// Crash-recovery pass over the cache directory: reclaims orphaned
-    /// `.tmp` files and verifies every `.tmga` frame's header and digest
-    /// ([`codec::verify_frame`]), deleting — *quarantining* — any that fail
-    /// so later requests see a clean miss instead of paying a runtime
-    /// discard.  Deliberately not part of `open`: the scan reads every
-    /// frame, and the warm read path must stay scan-free ([`DiskCache`]'s
-    /// lazy index); servers run it once at startup.
-    fn recovery_scan(&self) -> RecoveryReport {
-        let mut report = RecoveryReport::default();
-        for stage in STAGES {
-            let dir = self.root.join(stage.name());
-            let Ok(entries) = fs::read_dir(&dir) else {
-                continue;
-            };
-            for entry in entries.flatten() {
-                let path = entry.path();
-                let ext = path.extension().and_then(|e| e.to_str());
-                if ext == Some("tmp") {
-                    let _ = fs::remove_file(&path);
-                    report.reclaimed_tmp += 1;
-                    continue;
-                }
-                if ext != Some(ARTIFACT_EXT) {
-                    continue;
-                }
-                report.scanned += 1;
-                let key = path
-                    .file_stem()
-                    .and_then(|s| s.to_str())
-                    .and_then(|s| u64::from_str_radix(s, 16).ok());
-                let verdict = match key {
-                    None => Err(CodecError::Malformed("filename is not a frame key")),
-                    Some(key) => fs::read(&path)
-                        .map_err(|_| CodecError::Malformed("unreadable frame"))
-                        .and_then(|bytes| codec::verify_frame(&bytes, stage, key)),
-                };
-                if let Err(error) = verdict {
-                    eprintln!(
-                        "tmg-service: quarantining unverifiable cache frame {} ({error})",
-                        path.display()
-                    );
-                    let _ = fs::remove_file(&path);
-                    self.quarantined[stage.index()].fetch_add(1, Ordering::Relaxed);
-                    report.quarantined += 1;
-                }
-            }
-        }
-        // Quarantine deletions invalidate any previously built byte
-        // accounting; the next write/stats rebuilds it.
-        if report.quarantined > 0 || report.reclaimed_tmp > 0 {
-            *self.index.lock().expect("disk index") = None;
-        }
-        report
-    }
-}
-
-/// What a [`PersistentStore::recovery_scan`] found and did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct RecoveryReport {
-    /// `.tmga` frames examined.
-    pub scanned: u64,
-    /// Frames that failed verification and were deleted (now clean misses).
-    pub quarantined: u64,
-    /// Orphaned `.tmp` files reclaimed (crashed mid-write, never published).
-    pub reclaimed_tmp: u64,
-}
-
 /// Configuration of a [`PersistentStore`].
 #[derive(Debug, Clone)]
 pub struct PersistentStoreConfig {
@@ -539,6 +171,12 @@ pub struct PersistentStoreConfig {
     pub root: PathBuf,
     /// Disk byte budget ([`DEFAULT_DISK_BUDGET`] by default).
     pub disk_budget: u64,
+    /// Active-segment rotation threshold
+    /// ([`DEFAULT_SEGMENT_BYTES`] by default).
+    pub segment_bytes: u64,
+    /// Group-commit latency window in milliseconds
+    /// ([`DEFAULT_GROUP_COMMIT_WINDOW_MS`] by default).
+    pub group_commit_window_ms: u64,
     /// In-memory entries per stage map
     /// ([`pipeline::DEFAULT_STAGE_CAPACITY`] by default).
     pub memory_capacity: usize,
@@ -553,6 +191,8 @@ impl PersistentStoreConfig {
         PersistentStoreConfig {
             root: root.into(),
             disk_budget: DEFAULT_DISK_BUDGET,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            group_commit_window_ms: DEFAULT_GROUP_COMMIT_WINDOW_MS,
             memory_capacity: pipeline::DEFAULT_STAGE_CAPACITY,
             fault_plan: FaultPlan::none(),
         }
@@ -561,6 +201,18 @@ impl PersistentStoreConfig {
     /// Overrides the disk byte budget.
     pub fn with_disk_budget(mut self, budget: u64) -> PersistentStoreConfig {
         self.disk_budget = budget;
+        self
+    }
+
+    /// Overrides the active-segment rotation threshold.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> PersistentStoreConfig {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Overrides the group-commit latency window.
+    pub fn with_group_commit_window_ms(mut self, ms: u64) -> PersistentStoreConfig {
+        self.group_commit_window_ms = ms;
         self
     }
 
@@ -577,18 +229,18 @@ impl PersistentStoreConfig {
     }
 }
 
-/// The two-tier artifact store: in-memory [`ArtifactStore`] over an on-disk
-/// frame cache.
+/// The two-tier artifact store: in-memory [`ArtifactStore`] over the
+/// append-only segment log.
 pub struct PersistentStore {
     memory: ArtifactStore,
-    disk: DiskCache,
+    log: SegmentLog,
     computes: [AtomicU64; 6],
 }
 
 impl std::fmt::Debug for PersistentStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PersistentStore")
-            .field("root", &self.disk.root)
+            .field("root", &self.log.root())
             .field("memory", &self.memory)
             .finish()
     }
@@ -599,8 +251,7 @@ impl PersistentStore {
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the cache directories cannot be created or
-    /// scanned.
+    /// Returns the I/O error if the cache directories cannot be created.
     pub fn open(root: impl AsRef<Path>) -> io::Result<PersistentStore> {
         PersistentStore::with_config(PersistentStoreConfig::new(root.as_ref()))
     }
@@ -609,52 +260,75 @@ impl PersistentStore {
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the cache directories cannot be created or
-    /// scanned.
+    /// Returns the I/O error if the cache directories cannot be created.
     pub fn with_config(config: PersistentStoreConfig) -> io::Result<PersistentStore> {
         Ok(PersistentStore {
             memory: ArtifactStore::with_capacity(config.memory_capacity),
-            disk: DiskCache::open(&config.root, config.disk_budget, config.fault_plan)?,
+            log: SegmentLog::open(SegmentLogOptions {
+                root: config.root,
+                budget: config.disk_budget,
+                segment_bytes: config.segment_bytes,
+                group_commit_window_ms: config.group_commit_window_ms,
+                faults: config.fault_plan,
+            })?,
             computes: Default::default(),
         })
     }
 
     /// Cache directory root.
     pub fn root(&self) -> &Path {
-        &self.disk.root
+        self.log.root()
     }
 
-    /// Runs the crash-recovery pass: reclaims orphaned `.tmp` files and
-    /// quarantines (deletes and counts) every `.tmga` frame that fails
-    /// integrity verification, so later requests get a clean miss instead
-    /// of a runtime discard.  Servers call this once at startup; it is not
-    /// part of [`PersistentStore::open`] because it reads every frame and
-    /// the warm read path is deliberately scan-free.
+    /// Runs the crash-recovery pass: reclaims orphaned index `.tmp` files,
+    /// re-verifies every record of every segment, truncates torn tails and
+    /// publishes a fresh index snapshot.  Servers call this once at
+    /// startup; it is not part of [`PersistentStore::open`] because it
+    /// reads every frame and the warm read path is deliberately scan-free.
     pub fn recovery_scan(&self) -> RecoveryReport {
-        self.disk.recovery_scan()
+        self.log.recovery_scan()
     }
 
-    /// Flushes the disk tier (fsyncs the stage directories); part of the
-    /// server's graceful drain.
+    /// Flushes the disk tier (syncs the active segment, publishes the
+    /// index snapshot); part of the server's graceful drain.
     pub fn flush(&self) {
-        self.disk.flush();
+        self.log.flush();
+    }
+
+    /// Forces a compaction pass over every sealed segment holding dead
+    /// bytes; benchmarks and tests use this for deterministic reclamation
+    /// (production compaction triggers on the live-ratio threshold).
+    pub fn compact(&self) {
+        self.log.force_compact();
     }
 
     /// Total injected-fault shots that have fired against this store (0 when
     /// no [`FaultPlan`] was armed).  Tests and the fault-injection smoke use
     /// this to prove a plan actually exercised the I/O path.
     pub fn fault_shots_fired(&self) -> u64 {
-        self.disk.faults.total_fired()
+        self.log.faults.total_fired()
     }
 
     /// Combined counter snapshot of both tiers.
     pub fn stats(&self) -> TierStats {
-        let (disk, disk_bytes) = self.disk.stats(&self.computes);
+        let mut disk = [DiskStageStats::default(); 6];
+        for stage in STAGES {
+            let i = stage.index();
+            disk[i] = DiskStageStats {
+                hits: self.log.hits[i].load(Ordering::Relaxed),
+                misses: self.log.misses[i].load(Ordering::Relaxed),
+                stores: self.log.stores[i].load(Ordering::Relaxed),
+                evictions: self.log.evictions[i].load(Ordering::Relaxed),
+                computes: self.computes[i].load(Ordering::Relaxed),
+                quarantined: self.log.quarantined[i].load(Ordering::Relaxed),
+            };
+        }
         TierStats {
             memory: self.memory.store_stats(),
             disk,
-            disk_bytes,
-            disk_budget: self.disk.budget,
+            disk_bytes: self.log.total_bytes(),
+            disk_budget: self.log.budget(),
+            segment: self.log.snapshot(),
         }
     }
 
@@ -662,26 +336,55 @@ impl PersistentStore {
         self.computes[stage.index()].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Probes the disk tier for `(stage, key)` and decodes through `decode`;
-    /// undecodable frames are discarded and reported as a miss.
+    /// Serves the bound frame for `key` as a borrowed [`codec::BoundView`]
+    /// without touching the in-memory tier or materializing an owned
+    /// artifact — the "serve bytes back out" route.  `f` runs with `None`
+    /// on a miss.
+    pub fn with_bound_view<R>(
+        &self,
+        key: u64,
+        f: impl FnOnce(Option<&codec::BoundView<'_>>) -> R,
+    ) -> R {
+        let Some(buf) = self.log.read(Stage::Bound, key) else {
+            self.log.record(Stage::Bound, false);
+            return f(None);
+        };
+        match codec::decode_frame(buf.frame(), Stage::Bound, key).and_then(codec::decode_bound_view)
+        {
+            Ok(view) => {
+                self.log.record(Stage::Bound, true);
+                self.log.note_zero_copy_hit();
+                f(Some(&view))
+            }
+            Err(error) => {
+                self.log.discard(Stage::Bound, key, &error);
+                self.log.record(Stage::Bound, false);
+                f(None)
+            }
+        }
+    }
+
+    /// Probes the disk tier for `(stage, key)` and decodes through `decode`
+    /// (the single verification pass); undecodable records are discarded
+    /// and reported as a miss.
     fn fetch_disk<T>(
         &self,
         stage: Stage,
         key: u64,
         decode: impl FnOnce(&[u8]) -> Result<T, CodecError>,
     ) -> Option<T> {
-        let decoded = self
-            .disk
-            .load(stage, key)
-            .map(|bytes| decode(&bytes))
-            .and_then(|result| match result {
-                Ok(artifact) => Some(artifact),
-                Err(error) => {
-                    self.disk.discard(stage, key, &error);
-                    None
-                }
-            });
-        self.disk.record(stage, decoded.is_some());
+        let buf = self.log.read(stage, key);
+        let decoded = buf.and_then(|buf| match decode(buf.frame()) {
+            Ok(artifact) => Some(artifact),
+            Err(error) => {
+                self.log.discard(stage, key, &error);
+                None
+            }
+        });
+        self.log.record(stage, decoded.is_some());
+        if decoded.is_some() {
+            self.log.note_decoded_hit();
+        }
         decoded
     }
 }
@@ -702,8 +405,8 @@ impl TieredStore for PersistentStore {
         }
         self.record_compute(Stage::Lower);
         let artifact = pipeline::compute_lowered(function, key);
-        self.disk
-            .store(Stage::Lower, key, &codec::encode_lowered(&artifact));
+        self.log
+            .append(Stage::Lower, key, &codec::encode_lowered(&artifact));
         self.memory.insert_lowered(key, artifact)
     }
 
@@ -719,8 +422,8 @@ impl TieredStore for PersistentStore {
         }
         self.record_compute(Stage::Partition);
         let artifact = pipeline::compute_partition(lowered, path_bound, key);
-        self.disk
-            .store(Stage::Partition, key, &codec::encode_partition(&artifact));
+        self.log
+            .append(Stage::Partition, key, &codec::encode_partition(&artifact));
         self.memory.insert_partition(key, artifact)
     }
 
@@ -741,7 +444,7 @@ impl TieredStore for PersistentStore {
         }
         self.record_compute(Stage::PrepareModel);
         let artifact = pipeline::compute_prepared_model(function, lowered, checker, key);
-        self.disk.store(
+        self.log.append(
             Stage::PrepareModel,
             key,
             &codec::encode_prepared_model(&artifact),
@@ -767,8 +470,8 @@ impl TieredStore for PersistentStore {
         }
         self.record_compute(Stage::Testgen);
         let artifact = pipeline::compute_suite(self, function, lowered, partition, generator, key);
-        self.disk
-            .store(Stage::Testgen, key, &codec::encode_suite(&artifact));
+        self.log
+            .append(Stage::Testgen, key, &codec::encode_suite(&artifact));
         self.memory.insert_suite(key, artifact)
     }
 
@@ -792,8 +495,8 @@ impl TieredStore for PersistentStore {
         self.record_compute(Stage::Measure);
         let artifact =
             pipeline::compute_campaign(function, lowered, partition, suite, cost_model, key)?;
-        self.disk
-            .store(Stage::Measure, key, &codec::encode_campaign(&artifact));
+        self.log
+            .append(Stage::Measure, key, &codec::encode_campaign(&artifact));
         Ok(self.memory.insert_campaign(key, artifact))
     }
 
@@ -801,15 +504,32 @@ impl TieredStore for PersistentStore {
         if let Some(hit) = self.memory.lookup_bound(key) {
             return Some(hit);
         }
-        let artifact = self.fetch_disk(Stage::Bound, key, |b| codec::decode_bound(b, key))?;
-        Some(self.memory.insert_bound(key, artifact))
+        // The bound fast path decodes through the borrowed view: one
+        // verification pass, no owned AST — only the report's name string
+        // is materialized for the memory tier.
+        let buf = self.log.read(Stage::Bound, key);
+        let report = buf.and_then(|buf| {
+            match codec::decode_frame(buf.frame(), Stage::Bound, key)
+                .and_then(codec::decode_bound_view)
+            {
+                Ok(view) => Some(view.to_report()),
+                Err(error) => {
+                    self.log.discard(Stage::Bound, key, &error);
+                    None
+                }
+            }
+        });
+        self.log.record(Stage::Bound, report.is_some());
+        let report = report?;
+        self.log.note_zero_copy_hit();
+        Some(self.memory.insert_bound(key, BoundArtifact { key, report }))
     }
 
     fn put_bound(&self, key: u64, report: AnalysisReport) -> Arc<BoundArtifact> {
         self.record_compute(Stage::Bound);
         let artifact = BoundArtifact { key, report };
-        self.disk
-            .store(Stage::Bound, key, &codec::encode_bound(&artifact));
+        self.log
+            .append(Stage::Bound, key, &codec::encode_bound(&artifact));
         self.memory.insert_bound(key, artifact)
     }
 }
@@ -825,10 +545,14 @@ mod tests {
             disk: [DiskStageStats::default(); 6],
             disk_bytes: 0,
             disk_budget: DEFAULT_DISK_BUDGET,
+            segment: SegmentStats::default(),
         };
         let json = stats.to_json();
         assert!(json.contains("\"schema\": \"tmg-tier-stats/v1\""));
         assert!(json.contains("\"schema\": \"tmg-store-stats/v1\""));
+        assert!(json.contains("\"segments\": { \"count\": 0, \"live_bytes\": 0, \"dead_bytes\": 0, \"compactions\": 0"));
+        assert!(json.contains("\"group_commit_batches\": 0"));
+        assert!(json.contains("\"zero_copy_hits\": 0, \"decoded_hits\": 0"));
         assert!(json.contains("\"bound\": { \"hits\": 0, \"misses\": 0, \"stores\": 0, \"evictions\": 0, \"computes\": 0, \"quarantined\": 0 }"));
         assert!(!json.contains("\"latency\""), "no histograms unless given");
         assert_eq!(json.matches('{').count(), json.matches('}').count());

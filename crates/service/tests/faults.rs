@@ -1,10 +1,23 @@
-//! Fault-injection acceptance tests for the crash-safe disk tier.
+//! Crash-consistency tests for the segment-log disk tier, driven by the
+//! deterministic [`FaultPlan`] injector.
 //!
-//! The invariant under test, for every injected fault class: the analysis
-//! returns either the bit-identical correct artifact or a clean
-//! miss + recompute — never a wrong or partial result — and a fresh process
-//! after an injected crash serves warm hits bit-identical to a fault-free
-//! run.
+//! The invariant under test, for every fault site: an injected fault yields
+//! either a *bit-identical* artifact or a *clean miss + recompute* — never a
+//! wrong answer, never a poisoned cache, never a lost analysis.  The fault
+//! sites map to the log's real I/O boundaries:
+//!
+//! * `torn_append`      — a record append dies halfway; the active segment
+//!   is abandoned with a torn tail.
+//! * `crash_after_publish` — an append is written and synced but the writer
+//!   dies before accounting/publish; the record is durable yet unindexed.
+//! * `torn_write`       — the index *snapshot* is torn at its final path;
+//!   the snapshot is an accelerator, so data must survive via a scan.
+//! * `crash_before_publish` — the snapshot temp file is written but never
+//!   renamed; an orphan `index.*.tmp` remains.
+//! * `short_read` / `bit_flip` — a warm read returns damaged bytes; the
+//!   digest check must turn it into a miss.
+//! * `crash_mid_compaction` — compaction copies the victim's live records
+//!   but dies before deleting the victim; bit-identical duplicates remain.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -45,6 +58,10 @@ fn open_with(root: &Path, plan: FaultPlan) -> Arc<PersistentStore> {
     )
 }
 
+fn open(root: &Path) -> Arc<PersistentStore> {
+    open_with(root, FaultPlan::none())
+}
+
 fn analyse(store: &Arc<PersistentStore>) -> AnalysisReport {
     WcetAnalysis::new(2)
         .with_store(store.clone())
@@ -59,185 +76,255 @@ fn reference() -> AnalysisReport {
 }
 
 #[test]
-fn torn_writes_never_corrupt_a_result_and_the_recovery_scan_quarantines_them() {
-    let root = temp_root("torn");
-    let reference = reference();
-
-    // Cold run with every store torn mid-frame: the result must still be
-    // bit-identical (the cache is an accelerator, never an authority).
-    let faulty = open_with(&root, FaultPlan::none().with(FaultKind::TornWrite, 100));
-    assert_eq!(analyse(&faulty), reference);
+fn a_torn_append_degrades_to_a_clean_miss_and_heals() {
+    let root = temp_root("torn-append");
+    // Every append dies halfway: nothing lands on disk, each abandoned
+    // segment keeps a torn tail past its watermark.
+    let plan = FaultPlan::none().with(FaultKind::TornAppend, 100);
+    let store = open_with(&root, plan);
+    let first = analyse(&store);
     assert_eq!(
-        faulty.stats().disk.iter().map(|s| s.stores).sum::<u64>(),
-        0,
-        "every write was torn; none may count as a store"
+        first,
+        reference(),
+        "a torn append must not change the bound"
     );
+    let stats = store.stats();
+    let stored: u64 = (0..6).map(|i| stats.disk[i].stores).sum();
+    assert_eq!(stored, 0, "no torn frame may count as stored");
+    assert_eq!(store.fault_shots_fired(), 6);
+    drop(store);
 
-    // A fresh process's recovery scan quarantines all six torn frames...
-    let fresh = open_with(&root, FaultPlan::none());
+    // A fresh process scans the torn tails, quarantines all six, and
+    // recomputes cleanly.
+    let fresh = open(&root);
     let report = fresh.recovery_scan();
-    assert_eq!(report.scanned, 6, "one torn frame per stage");
-    assert_eq!(report.quarantined, 6, "every torn frame fails verification");
-    let stats = fresh.stats();
-    for stage in STAGES {
-        assert_eq!(stats.disk_stage(stage).quarantined, 1, "stage {stage}");
-    }
+    assert_eq!(
+        report.quarantined, 6,
+        "every torn record must be quarantined: {report:?}"
+    );
+    let healed = analyse(&fresh);
+    assert_eq!(healed, reference());
+    assert_eq!(fresh.stats().total_computes(), 6, "cold after quarantine");
+    drop(fresh);
 
-    // ...after which the rerun is a clean miss + recompute: no runtime
-    // discards, correct result, and a third process is fully warm.
-    assert_eq!(analyse(&fresh), reference);
-    assert_eq!(fresh.stats().total_computes(), 6);
-    let healed = open_with(&root, FaultPlan::none());
-    assert_eq!(healed.recovery_scan().quarantined, 0);
-    assert_eq!(analyse(&healed), reference);
-    assert_eq!(healed.stats().total_computes(), 0, "fully warm after heal");
+    // Third process: fully warm, bit-identical.
+    let warm = open(&root);
+    assert_eq!(analyse(&warm), reference());
+    assert_eq!(warm.stats().total_computes(), 0);
     let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]
-fn a_crash_before_publish_leaves_no_partial_frame_behind() {
-    let root = temp_root("crash-before");
-    let reference = reference();
-
-    // The first write "crashes" after fsync but before the atomic rename.
-    let faulty = open_with(
-        &root,
-        FaultPlan::none().with(FaultKind::CrashBeforePublish, 1),
-    );
-    assert_eq!(analyse(&faulty), reference);
-
-    // The unpublished artifact exists only as an orphaned `.tmp`; every
-    // published `.tmga` frame verifies.  This is the regression test for
-    // the old non-atomic write path, which could leave a stray partial
-    // `.tmga` when the process died mid-write.
-    let orphans = count_files(&root, "tmp");
-    assert_eq!(orphans, 1, "the crashed write leaves exactly one orphan");
-    assert_eq!(count_files(&root, "tmga"), 5, "five frames published");
-
-    // A fresh process reclaims the orphan; the surviving bound frame still
-    // verifies, so the warm fast-path serves the result without ever
-    // touching the lost upstream stage.
-    let fresh = open_with(&root, FaultPlan::none());
-    let report = fresh.recovery_scan();
-    assert_eq!(report.reclaimed_tmp, 1);
-    assert_eq!(report.quarantined, 0, "published frames all verify");
-    assert_eq!(count_files(&root, "tmp"), 0);
-    assert_eq!(analyse(&fresh), reference);
-    assert_eq!(fresh.stats().total_computes(), 0, "bound fast-path hit");
-    let _ = std::fs::remove_dir_all(&root);
-}
-
-#[test]
-fn a_crash_before_every_publish_degrades_to_a_fully_cold_recompute() {
-    let root = temp_root("crash-before-all");
-    let reference = reference();
-    let faulty = open_with(
-        &root,
-        FaultPlan::none().with(FaultKind::CrashBeforePublish, 100),
-    );
-    assert_eq!(analyse(&faulty), reference);
-    assert_eq!(count_files(&root, "tmga"), 0, "nothing was ever published");
-
-    // Every artifact died pre-rename: the fresh process reclaims all six
-    // orphans and recomputes every stage — a clean miss, never a wrong or
-    // partial answer.
-    let fresh = open_with(&root, FaultPlan::none());
-    let report = fresh.recovery_scan();
-    assert_eq!(report.reclaimed_tmp, 6);
-    assert_eq!(report.quarantined, 0);
-    assert_eq!(analyse(&fresh), reference);
-    assert_eq!(fresh.stats().total_computes(), 6, "fully cold recompute");
-    let _ = std::fs::remove_dir_all(&root);
-}
-
-#[test]
-fn a_crash_after_publish_still_serves_the_frame_warm_in_a_fresh_process() {
+fn a_crash_after_a_durable_append_is_recovered_by_the_tail_scan() {
     let root = temp_root("crash-after");
-    let reference = reference();
-    let faulty = open_with(
-        &root,
-        FaultPlan::none().with(FaultKind::CrashAfterPublish, 2),
-    );
-    assert_eq!(analyse(&faulty), reference);
+    // Every append (the bound included) is written and synced, but the
+    // writer "dies" before accounting: the records are durable yet never
+    // indexed or published by this process.
+    let plan = FaultPlan::none().with(FaultKind::CrashAfterPublish, 100);
+    let store = open_with(&root, plan);
+    let first = analyse(&store);
+    assert_eq!(first, reference());
+    assert_eq!(store.fault_shots_fired(), 6);
+    let stats = store.stats();
+    let stored: u64 = (0..6).map(|i| stats.disk[i].stores).sum();
+    assert_eq!(stored, 0, "a crashed append must not count as stored");
+    drop(store);
 
-    // The crashes happened *after* the atomic rename: all six frames are
-    // durable, so a fresh process is fully warm and bit-identical.
-    let fresh = open_with(&root, FaultPlan::none());
-    assert_eq!(fresh.recovery_scan().quarantined, 0);
-    assert_eq!(analyse(&fresh), reference);
-    assert_eq!(fresh.stats().total_computes(), 0, "all frames published");
+    // A fresh process must find the unaccounted records by scanning past
+    // the published watermarks — zero recomputation, bit-identical.
+    let fresh = open(&root);
+    assert_eq!(analyse(&fresh), reference());
+    let stats = fresh.stats();
+    assert_eq!(
+        stats.total_computes(),
+        0,
+        "durable-but-unindexed records must be recovered: {stats:?}"
+    );
     let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]
-fn short_reads_and_bit_flips_degrade_to_a_clean_recompute() {
-    let root = temp_root("read-faults");
-    let reference = reference();
-    assert_eq!(analyse(&open_with(&root, FaultPlan::none())), reference);
+fn a_torn_index_snapshot_degrades_to_a_scan_rebuild() {
+    let root = temp_root("torn-index");
+    // The only publish in this run is the one at drop; it tears the
+    // snapshot at its final path.
+    let plan = FaultPlan::none().with(FaultKind::TornWrite, 100);
+    let store = open_with(&root, plan);
+    let first = analyse(&store);
+    drop(store);
+    assert!(
+        root.join("index.tmgi").exists(),
+        "the torn snapshot lands at the final path"
+    );
 
-    for (tag, kind) in [
-        ("short_read", FaultKind::ShortRead),
-        ("bit_flip", FaultKind::BitFlip),
-    ] {
-        // A warm process whose first load is damaged in flight: the frame
-        // fails verification, is discarded, and the stage recomputes — the
-        // result is still bit-identical, and the re-stored frame heals the
-        // cache for the next process.
-        let faulty = open_with(&root, FaultPlan::none().with(kind, 1));
-        assert_eq!(
-            analyse(&faulty),
-            reference,
-            "{tag} must not change a result"
-        );
-        assert_eq!(faulty.fault_shots_fired(), 1, "{tag} must actually fire");
-        let stats = faulty.stats();
+    // The snapshot is an accelerator, not the authority: a fresh process
+    // rejects the torn snapshot, rebuilds from the segment files, and is
+    // fully warm.
+    let fresh = open(&root);
+    assert_eq!(analyse(&fresh), first);
+    let stats = fresh.stats();
+    assert_eq!(stats.total_computes(), 0, "data must survive a torn index");
+    assert_eq!(
+        stats.segment.index_rebuilds, 1,
+        "the torn snapshot must be counted as a rebuild"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_crash_before_the_snapshot_rename_leaves_only_a_reclaimable_orphan() {
+    let root = temp_root("crash-before");
+    let plan = FaultPlan::none().with(FaultKind::CrashBeforePublish, 100);
+    let store = open_with(&root, plan);
+    let first = analyse(&store);
+    drop(store);
+    assert!(
+        !root.join("index.tmgi").exists(),
+        "the rename never happened"
+    );
+
+    // Segment data is durable independently of the snapshot: warm start
+    // via scan, and the recovery pass reclaims the orphan temp file.
+    let fresh = open(&root);
+    let report = fresh.recovery_scan();
+    assert!(
+        report.reclaimed_tmp >= 1,
+        "the orphan index temp must be reclaimed: {report:?}"
+    );
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(analyse(&fresh), first);
+    assert_eq!(fresh.stats().total_computes(), 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn short_reads_and_bit_flips_turn_into_misses_not_wrong_bounds() {
+    let root = temp_root("read-damage");
+    let cold = open(&root);
+    let first = analyse(&cold);
+    drop(cold);
+
+    for kind in [FaultKind::ShortRead, FaultKind::BitFlip] {
+        let plan = FaultPlan::none().with(kind, 1);
+        let store = open_with(&root, plan);
+        let report = analyse(&store);
+        assert_eq!(report, first, "{kind:?} must never change a bound");
+        let stats = store.stats();
         assert_eq!(
             stats.disk_stage(Stage::Bound).misses,
             1,
-            "{tag}: the damaged bound frame is a miss, not a hit"
+            "{kind:?}: the damaged read must be a miss, not a hit"
         );
-        assert!(stats.total_computes() >= 1, "{tag}: recompute happened");
-
-        let healed = open_with(&root, FaultPlan::none());
-        assert_eq!(analyse(&healed), reference);
-        assert_eq!(healed.stats().total_computes(), 0, "{tag}: cache healed");
+        assert!(
+            stats.total_computes() >= 1,
+            "{kind:?}: the damaged artifact must recompute"
+        );
+        assert_eq!(store.fault_shots_fired(), 1);
+        drop(store);
+        // The recompute re-appended the frame: the next process is warm.
+        let healed = open(&root);
+        assert_eq!(analyse(&healed), first);
+        assert_eq!(healed.stats().total_computes(), 0, "{kind:?} must heal");
+        drop(healed);
     }
     let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]
-fn the_issue_example_plan_parses_and_drives_a_mixed_fault_session() {
-    let root = temp_root("mixed");
-    let reference = reference();
-    let plan = FaultPlan::parse("torn_write:3,crash_after_publish:1").expect("plan");
-    let faulty = open_with(&root, plan.clone());
-    assert_eq!(analyse(&faulty), reference);
-    assert_eq!(plan.fired(FaultKind::TornWrite), 3);
-    assert_eq!(plan.fired(FaultKind::CrashAfterPublish), 1);
+fn a_crash_mid_compaction_leaves_only_bit_identical_duplicates() {
+    use tmg_core::pipeline::TieredStore;
 
-    // Recovery quarantines the three torn frames; the crash-after-publish
-    // frame and the two clean ones — including the bound frame — survive
-    // and verify, so the rerun is served warm off the bound fast-path.
-    let fresh = open_with(&root, FaultPlan::none());
-    let report = fresh.recovery_scan();
-    assert_eq!(report.quarantined, 3);
-    assert_eq!(report.scanned, 6);
-    assert_eq!(analyse(&fresh), reference);
-    assert_eq!(fresh.stats().total_computes(), 0, "bound frame survived");
+    fn report_for(i: u64) -> AnalysisReport {
+        AnalysisReport {
+            function: format!("dup_{i}"),
+            path_bound: 2,
+            segments: 4,
+            instrumentation_points: 8,
+            measurements: 30 + u128::from(i),
+            goals: 6,
+            heuristic_covered: 4,
+            checker_covered: 2,
+            infeasible: 0,
+            unknown: 0,
+            measurement_runs: 3,
+            wcet_bound: 500 + i * 13,
+            exhaustive_max: None,
+        }
+    }
+
+    let root = temp_root("crash-compaction");
+    // Two generations of identical frames in one (default-sized, so never
+    // rotated) segment: 24 live records, 24 dead.  The clean exit seals it.
+    let writer = open(&root);
+    for _ in 0..2 {
+        for i in 0..24u64 {
+            writer.put_bound(7000 + i, report_for(i));
+        }
+    }
+    drop(writer);
+
+    // Compaction in the next process picks the half-dead segment, copies
+    // its first live record, and "dies" before deleting the victim.
+    let plan = FaultPlan::none().with(FaultKind::CrashMidCompaction, 1);
+    let store = open_with(&root, plan);
+    store.compact();
+    assert_eq!(store.fault_shots_fired(), 1, "the crash shot must fire");
+    assert!(store.stats().segment.compacted_frames >= 1);
+    // In-process, every key still reads bit-identically (duplicates are
+    // content-addressed: either copy is the right answer).
+    for i in 0..24u64 {
+        let got = store.with_bound_view(7000 + i, |view| view.map(|v| v.to_report()));
+        assert_eq!(got, Some(report_for(i)), "key {i} during the crash run");
+    }
+    drop(store);
+
+    // A fresh process reconciles the duplicates (last writer wins — both
+    // copies are identical) and a clean compaction finishes the job.
+    let fresh = open(&root);
+    for i in 0..24u64 {
+        let got = fresh.with_bound_view(7000 + i, |view| view.map(|v| v.to_report()));
+        assert_eq!(got, Some(report_for(i)), "key {i} after the crash");
+    }
+    fresh.compact();
+    assert!(fresh.stats().segment.compactions >= 1);
+    for i in 0..24u64 {
+        let got = fresh.with_bound_view(7000 + i, |view| view.map(|v| v.to_report()));
+        assert_eq!(got, Some(report_for(i)), "key {i} after the retry");
+    }
     let _ = std::fs::remove_dir_all(&root);
 }
 
-/// Files under the cache root with the given extension.
-fn count_files(root: &Path, ext: &str) -> usize {
-    let mut n = 0;
+#[test]
+fn a_mixed_fault_plan_still_yields_the_reference_bound() {
+    let root = temp_root("mixed");
+    let plan = FaultPlan::parse("torn_append:3,crash_after_publish:1").expect("parse");
+    let store = open_with(&root, plan);
+    let first = analyse(&store);
+    assert_eq!(first, reference());
+    assert_eq!(store.fault_shots_fired(), 4);
+    drop(store);
+
+    // Three torn tails quarantined, one durable-but-unindexed record
+    // recovered by the scan, two indexed normally; the bound artifact was
+    // appended after the shots ran out, so the fresh process serves it warm.
+    let fresh = open(&root);
+    let report = fresh.recovery_scan();
+    assert_eq!(report.quarantined, 3, "{report:?}");
+    assert_eq!(analyse(&fresh), reference());
+    assert_eq!(fresh.stats().total_computes(), 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn an_unarmed_plan_is_inert_and_counts_nothing() {
+    let root = temp_root("inert");
+    let store = open_with(&root, FaultPlan::none());
+    let first = analyse(&store);
+    assert_eq!(first, reference());
+    assert_eq!(store.fault_shots_fired(), 0);
+    let stats = store.stats();
     for stage in STAGES {
-        let Ok(entries) = std::fs::read_dir(root.join(stage.name())) else {
-            continue;
-        };
-        n += entries
-            .flatten()
-            .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some(ext))
-            .count();
+        assert_eq!(stats.disk_stage(stage).stores, 1);
     }
-    n
+    let _ = std::fs::remove_dir_all(&root);
 }

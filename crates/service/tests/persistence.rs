@@ -4,6 +4,11 @@
 //! counters proving it.  A fresh [`PersistentStore`] over an existing cache
 //! directory is the in-test equivalent of a fresh process: it shares no
 //! memory with the store that wrote the frames, only the directory.
+//!
+//! The disk tier is an append-only segment log (`segments/seg-*.tmgs` plus
+//! an `index.tmgi` snapshot); these tests cover both warm-start routes — the
+//! published snapshot and the watermark tail scan that recovers records a
+//! still-running (or crashed) writer never published.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -41,12 +46,28 @@ fn open(root: &Path) -> Arc<PersistentStore> {
     Arc::new(PersistentStore::open(root).expect("open cache"))
 }
 
+/// Segment files currently on disk.
+fn segment_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root.join("segments")) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("tmgs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
 #[test]
 fn a_fresh_process_serves_the_bound_from_disk_with_zero_recomputation() {
     let root = temp_root("cold-warm");
     let f = controller();
 
-    // Cold process: every stage computes once and lands on disk.
+    // Cold process: every stage computes once and lands in the log.
     let cold_store = open(&root);
     let cold = WcetAnalysis::new(2)
         .with_store(cold_store.clone())
@@ -66,7 +87,10 @@ fn a_fresh_process_serves_the_bound_from_disk_with_zero_recomputation() {
         );
     }
 
-    // Warm "process": a brand-new store over the same directory.
+    // Warm "process": a brand-new store over the same directory, while the
+    // cold writer is still alive — its snapshot is unpublished, so this
+    // exercises the watermark tail scan (shared-cache peers see each
+    // other's appends without any publish).
     let warm_store = open(&root);
     let warm = WcetAnalysis::new(2)
         .with_store(warm_store.clone())
@@ -85,6 +109,11 @@ fn a_fresh_process_serves_the_bound_from_disk_with_zero_recomputation() {
         1,
         "the bound artifact must be served from disk"
     );
+    assert_eq!(
+        stats.segment.zero_copy_hits, 1,
+        "the bound fast path must serve without an owned payload decode"
+    );
+    assert_eq!(stats.segment.decoded_hits, 0);
     // The bound fast path short-circuits every earlier stage: no memory
     // probes, no disk probes, no computation.
     for stage in [
@@ -103,6 +132,22 @@ fn a_fresh_process_serves_the_bound_from_disk_with_zero_recomputation() {
             "stage {stage} not even probed in memory"
         );
     }
+
+    // A third process after both writers exited cleanly starts from the
+    // published snapshot — same answer, still zero recomputation.
+    drop(cold_store);
+    drop(warm_store);
+    let snapshot_store = open(&root);
+    let again = WcetAnalysis::new(2)
+        .with_store(snapshot_store.clone())
+        .analyse(&f)
+        .expect("snapshot-warm analysis");
+    assert_eq!(again, cold);
+    assert_eq!(snapshot_store.stats().total_computes(), 0);
+    assert!(
+        root.join("index.tmgi").exists(),
+        "a clean exit must publish the index snapshot"
+    );
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -129,6 +174,10 @@ fn a_new_bound_in_a_fresh_process_reuses_lowering_and_model_from_disk() {
     assert_eq!(stats.disk_stage(Stage::Lower).computes, 0);
     assert_eq!(stats.disk_stage(Stage::PrepareModel).hits, 1);
     assert_eq!(stats.disk_stage(Stage::PrepareModel).computes, 0);
+    assert_eq!(
+        stats.segment.decoded_hits, 2,
+        "AST-bearing stages decode owned artifacts"
+    );
     for stage in [
         Stage::Partition,
         Stage::Testgen,
@@ -178,7 +227,7 @@ fn exhaustive_reports_round_trip_through_the_disk_tier() {
 }
 
 #[test]
-fn corrupt_and_foreign_frames_degrade_to_a_clean_recompute() {
+fn corrupt_segments_degrade_to_a_clean_recompute() {
     let root = temp_root("corrupt");
     let f = controller();
     let reference = WcetAnalysis::new(2)
@@ -186,30 +235,18 @@ fn corrupt_and_foreign_frames_degrade_to_a_clean_recompute() {
         .analyse(&f)
         .expect("cold analysis");
 
-    // Damage every cached frame in a different way: truncation, bit flips,
-    // a foreign codec version, and plain garbage.
-    let mut damaged = 0;
-    for (i, entry) in walk_frames(&root).into_iter().enumerate() {
-        let bytes = std::fs::read(&entry).expect("read frame");
-        let mutated = match i % 4 {
-            0 => bytes[..bytes.len() / 2].to_vec(),
-            1 => {
-                let mut b = bytes.clone();
-                let mid = b.len() / 2;
-                b[mid] ^= 0x5A;
-                b
-            }
-            2 => {
-                let mut b = bytes.clone();
-                b[4] = b[4].wrapping_add(1); // version field
-                b
-            }
-            _ => b"not an artifact frame at all".to_vec(),
-        };
-        std::fs::write(&entry, mutated).expect("write damaged frame");
-        damaged += 1;
+    // Rot every record body while leaving the published index snapshot
+    // intact: each indexed location now points at bytes that fail the
+    // digest, the worst case for a reader that trusts the index.
+    let segments = segment_files(&root);
+    assert!(!segments.is_empty(), "the cold run must write a segment");
+    for path in &segments {
+        let mut bytes = std::fs::read(path).expect("read segment");
+        for b in bytes.iter_mut().skip(16) {
+            *b ^= 0x5A;
+        }
+        std::fs::write(path, bytes).expect("write damaged segment");
     }
-    assert_eq!(damaged, 6, "one frame per stage");
 
     // A fresh process over the damaged cache: every load fails verification,
     // everything recomputes, and the bound is still bit-identical.
@@ -223,8 +260,9 @@ fn corrupt_and_foreign_frames_degrade_to_a_clean_recompute() {
     assert_eq!(stats.disk_stage(Stage::Bound).hits, 0);
     assert_eq!(stats.disk_stage(Stage::Bound).computes, 1);
     assert_eq!(stats.total_computes(), 6, "all stages recompute");
+    drop(store);
 
-    // The damaged frames were discarded and replaced; a third process is
+    // The recomputed frames went to a fresh segment; a third process is
     // fully warm again.
     let healed = open(&root);
     let again = WcetAnalysis::new(2)
@@ -237,13 +275,18 @@ fn corrupt_and_foreign_frames_degrade_to_a_clean_recompute() {
 }
 
 #[test]
-fn the_disk_budget_evicts_least_recently_used_frames() {
+fn the_disk_budget_evicts_whole_segments_oldest_first() {
     let root = temp_root("budget");
-    // A budget small enough that a handful of functions overflows it, large
-    // enough for any single frame.
+    // Small segments so rotation produces several; a budget small enough
+    // that a handful of functions overflows it, large enough for any
+    // single frame.
     let store = Arc::new(
-        PersistentStore::with_config(PersistentStoreConfig::new(&root).with_disk_budget(4 * 1024))
-            .expect("open"),
+        PersistentStore::with_config(
+            PersistentStoreConfig::new(&root)
+                .with_disk_budget(2 * 1024)
+                .with_segment_bytes(1024),
+        )
+        .expect("open"),
     );
     let sources: Vec<String> = (0..6)
         .map(|i| {
@@ -264,7 +307,7 @@ fn the_disk_budget_evicts_least_recently_used_frames() {
     let evictions: u64 = (0..6).map(|i| stats.disk[i].evictions).sum();
     assert!(evictions > 0, "budget must force evictions: {stats:?}");
     assert!(
-        stats.disk_bytes <= 4 * 1024,
+        stats.disk_bytes <= 2 * 1024,
         "byte budget must hold after eviction ({} bytes)",
         stats.disk_bytes
     );
@@ -280,21 +323,71 @@ fn the_disk_budget_evicts_least_recently_used_frames() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
-/// Every artifact frame under the cache root.
-fn walk_frames(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    for stage in STAGES {
-        let dir = root.join(stage.name());
-        let Ok(entries) = std::fs::read_dir(&dir) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) == Some("tmga") {
-                out.push(path);
-            }
-        }
+fn synthetic_report(i: u64) -> tmg_core::AnalysisReport {
+    tmg_core::AnalysisReport {
+        function: format!("synthetic_{i}"),
+        path_bound: 2,
+        segments: 3 + (i % 5) as usize,
+        instrumentation_points: 7,
+        measurements: 40 + u128::from(i),
+        goals: 9,
+        heuristic_covered: 5,
+        checker_covered: 3,
+        infeasible: 1,
+        unknown: 0,
+        measurement_runs: 4,
+        wcet_bound: 1000 + i * 17,
+        exhaustive_max: if i.is_multiple_of(2) { Some(900 + i * 17) } else { None },
     }
-    out.sort();
-    out
+}
+
+#[test]
+fn compaction_reclaims_dead_bytes_and_keeps_every_live_artifact_readable() {
+    use tmg_core::pipeline::TieredStore;
+
+    let root = temp_root("compaction");
+    let store = Arc::new(
+        PersistentStore::with_config(PersistentStoreConfig::new(&root).with_segment_bytes(512))
+            .expect("open"),
+    );
+    // First generation fills several segments; the second writes
+    // bit-identical frames under the same keys, turning every
+    // first-generation record into dead bytes in sealed segments.
+    for round in 0..2 {
+        for i in 0..24u64 {
+            store.put_bound(9000 + i, synthetic_report(i));
+        }
+        let _ = round;
+    }
+    store.flush();
+    store.compact();
+    let stats = store.stats();
+    assert!(
+        stats.segment.compactions >= 1,
+        "rewriting every key must trigger compaction: {stats:?}"
+    );
+    assert!(stats.segment.compacted_frames >= 1);
+
+    // Every live artifact survives compaction bit-identically; reads go
+    // through the zero-copy view so the memory tier cannot mask disk loss.
+    for i in 0..24u64 {
+        let got = store.with_bound_view(9000 + i, |view| view.map(|v| v.to_report()));
+        assert_eq!(got, Some(synthetic_report(i)), "key {i} after compaction");
+    }
+    drop(store);
+
+    // A fresh process reconciles the compacted layout and sees the same data.
+    let fresh = open(&root);
+    for i in 0..24u64 {
+        let got = fresh.with_bound_view(9000 + i, |view| view.map(|v| v.to_report()));
+        assert_eq!(got, Some(synthetic_report(i)), "key {i} in a fresh process");
+    }
+    let dead = fresh.stats().segment.dead_bytes;
+    drop(fresh);
+    // Force-compacting again in yet another process drives sealed dead
+    // bytes to zero (only the active tail may still hold dead records).
+    let last = open(&root);
+    last.compact();
+    assert!(last.stats().segment.dead_bytes <= dead);
+    let _ = std::fs::remove_dir_all(&root);
 }
