@@ -475,6 +475,80 @@ fn run_quick() {
     println!(
         "quick: incremental sweep bit-identical to the per-bound reference on {points} points — ok"
     );
+    let (cone, total) = differential_smoke();
+    println!(
+        "quick: differential re-analysis recomputed only the {cone}-function dirty cone of a \
+         {total}-function module, unedited root bounds byte-identical — ok"
+    );
+}
+
+/// Differential dirty-cone smoke: edit one function of a generated module
+/// and counter-assert that the re-analysis recomputes exactly the reverse
+/// call-graph cone — one re-lower (the edited function), one re-measure per
+/// cone member, nothing at all outside — while every unedited root bound
+/// stays byte-identical.  Returns `(cone size, module size)`.
+fn differential_smoke() -> (usize, usize) {
+    use tmg_cfg::CallGraph;
+    use tmg_codegen::{generate_module, ModuleGenConfig};
+    use tmg_core::{ModuleAnalysis, Stage};
+
+    let module = generate_module(&ModuleGenConfig {
+        seed: 0xC1,
+        functions: 8,
+        max_callees: 2,
+        body_stmts: 2,
+    });
+    let graph = CallGraph::build(&module.program);
+    // Edit the function with the largest *proper* dirty cone that still
+    // leaves at least one root untouched, so both halves of the assertion
+    // (recompute inside, byte-identity outside) are non-vacuous.
+    let roots = graph.roots();
+    let (edit, cone) = (0..graph.len())
+        .map(|i| (i, graph.dirty_cone(&[i])))
+        .filter(|(_, cone)| roots.iter().any(|r| !cone.contains(r)))
+        .max_by_key(|(_, cone)| cone.len())
+        .expect("the seeded module must leave a root outside some cone");
+
+    let store = Arc::new(ArtifactStore::new());
+    let analysis = ModuleAnalysis::new(4).with_store(store.clone());
+    let before = analysis
+        .analyse_module(&module.program)
+        .expect("cold module analysis");
+    let cold = store.store_stats();
+    let after = analysis
+        .analyse_module(&module.edited(edit).program)
+        .expect("differential module analysis");
+    let warm = store.store_stats();
+
+    let cone_names: Vec<&str> = cone.iter().map(|&i| graph.name(i)).collect();
+    assert_eq!(
+        after.recomputed(),
+        cone_names,
+        "recomputation must be confined to the dirty cone"
+    );
+    assert_eq!(after.summaries_reused, graph.len() - cone.len());
+    let delta = |stage: Stage| warm.stage(stage).misses - cold.stage(stage).misses;
+    assert_eq!(
+        delta(Stage::Lower),
+        1,
+        "only the edited function may re-enter the early pipeline stages"
+    );
+    assert_eq!(
+        delta(Stage::Measure),
+        cone.len() as u64,
+        "each cone member re-measures under its re-priced cost model, nobody else"
+    );
+    for root in &before.roots {
+        if !cone_names.contains(&root.function.as_str()) {
+            assert_eq!(
+                after.bound_of(&root.function),
+                Some(root.wcet_bound),
+                "unedited root {} must keep its bound bit-for-bit",
+                root.function
+            );
+        }
+    }
+    (cone.len(), graph.len())
 }
 
 /// Prints the Figure-2/3 tradeoff sweep as hand-written JSON, so the cached
@@ -505,6 +579,10 @@ fn print_sweep_json(with_stats: bool) {
     );
     if let Some(store) = &store {
         println!("  \"store\": {},", store.store_stats().to_json());
+        println!(
+            "  \"module\": {},",
+            tmg_core::module::metrics::snapshot().to_json()
+        );
     }
     if with_stats {
         if let Ok(root) = std::env::var("TMG_CACHE_DIR") {

@@ -1,4 +1,4 @@
-//! Machine-readable performance baseline (`BENCH_pr7.json`).
+//! Machine-readable performance baseline (`BENCH_pr8.json`).
 //!
 //! Every PR that touches a hot path needs a number to beat.  This module
 //! times the paper-reproduction workloads (Table 1, Table 2, Figure 2/3,
@@ -44,7 +44,7 @@ use tmg_service::{codec, PersistentStore, Server};
 use tmg_tsys::{CheckOutcome, ModelChecker, PathQuery};
 
 /// Label recorded in the emitted JSON; the output file is `BENCH_<label>.json`.
-pub const PR_LABEL: &str = "pr7";
+pub const PR_LABEL: &str = "pr8";
 
 /// `before_ms` wall times recorded in `BENCH_pr3.json` for the workloads
 /// whose measured pre-optimisation implementation (the Baseline engine) was
@@ -603,6 +603,77 @@ fn compare_pipeline_cached(runs: usize) -> Comparison {
     }
 }
 
+/// The PR-8 tentpole workload: re-analysing a 50-function call-DAG module
+/// after a localised one-function edit.  `before` = a from-scratch module
+/// composition of the edited module on a fresh store (what re-analysis cost
+/// without summaries); `after` = the differential path — a store primed
+/// with the pristine module (untimed), then one `analyse_module` of the
+/// edited module, which may recompute only the edit's reverse-call-graph
+/// cone.  `identical_results` requires the differential report to be
+/// bit-identical to the from-scratch one *and* the store counters to prove
+/// the confinement: exactly one re-lower (the edited function) and exactly
+/// `cone` re-measures per differential run, nothing outside.
+fn compare_module_edit_differential() -> Comparison {
+    use tmg_cfg::CallGraph;
+    use tmg_codegen::{generate_module, ModuleGenConfig};
+    use tmg_core::{ModuleAnalysis, Stage};
+
+    let module = generate_module(&ModuleGenConfig::bench());
+    let graph = CallGraph::build(&module.program);
+    // A localised edit: the largest dirty cone still within an eighth of
+    // the module (a 50-function module edit typically dirties a handful).
+    let (edit, cone) = (0..graph.len())
+        .map(|i| (i, graph.dirty_cone(&[i])))
+        .filter(|(_, cone)| cone.len() <= graph.len() / 8)
+        .max_by_key(|(_, cone)| cone.len())
+        .expect("the seeded module has a localised edit target");
+    let edited = module.edited(edit);
+
+    let (before, scratch) = best_of(BEST_OF, || {
+        ModuleAnalysis::new(4)
+            .with_store(Arc::new(ArtifactStore::new()))
+            .analyse_module(&edited.program)
+            .expect("from-scratch module analysis")
+    });
+
+    let mut after = Duration::MAX;
+    let mut confined = true;
+    let mut differential = None;
+    for _ in 0..BEST_OF {
+        // Untimed priming: the pristine module fills the summary store, as
+        // it would be after the previous successful analysis run.
+        let store = Arc::new(ArtifactStore::new());
+        let analysis = ModuleAnalysis::new(4).with_store(store.clone());
+        analysis
+            .analyse_module(&module.program)
+            .expect("prime the store");
+        let primed = store.store_stats();
+        let (wall, diff) = timed(|| {
+            analysis
+                .analyse_module(&edited.program)
+                .expect("differential module analysis")
+        });
+        after = after.min(wall);
+        let warm = store.store_stats();
+        let delta = |stage: Stage| warm.stage(stage).misses - primed.stage(stage).misses;
+        confined &= diff.recomputed().len() == cone.len()
+            && diff.summaries_reused == graph.len() - cone.len()
+            && delta(Stage::Lower) == 1
+            && delta(Stage::Measure) == cone.len() as u64;
+        differential = Some(diff);
+    }
+    let differential = differential.expect("at least one differential run");
+    Comparison {
+        name: "module_edit_differential".to_owned(),
+        before,
+        after,
+        identical_results: confined
+            && differential.reports == scratch.reports
+            && differential.module_key == scratch.module_key
+            && differential.roots == scratch.roots,
+    }
+}
+
 /// A scratch cache directory under the system temp dir, wiped on entry.
 fn scratch_cache(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("tmg-bench-{tag}-{}", std::process::id()));
@@ -668,7 +739,11 @@ fn synthetic_report(i: u64) -> AnalysisReport {
         unknown: 0,
         measurement_runs: 2 + (i % 4) as usize,
         wcet_bound: 750 + i * 29,
-        exhaustive_max: if i.is_multiple_of(2) { Some(700 + i * 29) } else { None },
+        exhaustive_max: if i.is_multiple_of(2) {
+            Some(700 + i * 29)
+        } else {
+            None
+        },
     }
 }
 
@@ -1039,6 +1114,7 @@ pub fn perf_report() -> PerfReport {
         compare_shard_scaling(),
         compare_tradeoff_sweep(400),
         compare_pipeline_cached(5),
+        compare_module_edit_differential(),
     ];
 
     // End-to-end pipeline: the optimised path timed against the recorded
@@ -1120,6 +1196,17 @@ mod tests {
             "incremental sweep must be bit-identical"
         );
         assert_eq!(c.name, "tradeoff_sweep");
+    }
+
+    #[test]
+    fn module_edit_differential_comparison_is_identical() {
+        let c = compare_module_edit_differential();
+        assert!(
+            c.identical_results,
+            "the differential report must be bit-identical to from-scratch \
+             with recomputation confined to the dirty cone"
+        );
+        assert_eq!(c.name, "module_edit_differential");
     }
 
     #[test]

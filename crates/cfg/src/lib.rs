@@ -34,6 +34,7 @@
 
 pub mod block;
 pub mod builder;
+pub mod callgraph;
 pub mod counts;
 pub mod depend;
 pub mod dominators;
@@ -45,6 +46,7 @@ pub mod regions;
 
 pub use block::{BasicBlock, BlockId, BlockKind, Terminator};
 pub use builder::{build_cfg, LoweredFunction};
+pub use callgraph::{module_fingerprint, CallGraph, CallGraphError};
 pub use counts::{PartitionStats, PathCounts};
 pub use depend::{cone_of_influence, ConeOfInfluence};
 pub use dominators::DominatorTree;

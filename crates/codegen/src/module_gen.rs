@@ -1,0 +1,223 @@
+//! Seeded multi-function module generator for the interprocedural analysis.
+//!
+//! The paper's evaluation programs are single functions; the module-level
+//! composition of `tmg_core::module` needs whole *programs* with realistic
+//! call structure.  This generator emits modules of `n` functions whose call
+//! edges always point from a lower index to a higher one, so the call graph
+//! is a DAG by construction (the composition rejects recursion).  Every
+//! function takes one `char a __range(0, 3)` parameter and forwards it
+//! verbatim to its callees, so the declared input spaces cover exactly the
+//! values that flow at run time — the property the module soundness tests
+//! rely on when they compare composed bounds against exhaustive
+//! [`ModuleMachine`](../../target/struct.ModuleMachine.html) sweeps.
+//!
+//! Each function body starts with a unique `touch_fN()` marker call;
+//! [`GeneratedModule::edited`] rewrites that marker to produce a
+//! deterministic single-function edit for differential-re-analysis tests and
+//! the `module_edit_differential` benchmark.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use tmg_minic::ast::Program;
+use tmg_minic::parse_program;
+
+/// Configuration of the module generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleGenConfig {
+    /// Seed for deterministic generation.
+    pub seed: u64,
+    /// Number of functions in the module.
+    pub functions: usize,
+    /// Maximum number of defined callees per function.
+    pub max_callees: usize,
+    /// Statements per function body (in addition to the touch marker).
+    pub body_stmts: usize,
+}
+
+impl ModuleGenConfig {
+    /// A small configuration for unit and property tests.
+    pub fn small(seed: u64) -> ModuleGenConfig {
+        ModuleGenConfig {
+            seed,
+            functions: 5,
+            max_callees: 2,
+            body_stmts: 2,
+        }
+    }
+
+    /// The 50-function module of the `module_edit_differential` benchmark.
+    pub fn bench() -> ModuleGenConfig {
+        ModuleGenConfig {
+            seed: 0xD1FF,
+            functions: 50,
+            max_callees: 3,
+            body_stmts: 3,
+        }
+    }
+}
+
+/// A generated module: source text plus its parsed program.
+#[derive(Debug, Clone)]
+pub struct GeneratedModule {
+    /// The mini-C source text.
+    pub source: String,
+    /// The parsed and checked program.
+    pub program: Program,
+}
+
+impl GeneratedModule {
+    /// Number of functions in the module.
+    pub fn function_count(&self) -> usize {
+        self.program.functions.len()
+    }
+
+    /// A copy of the module with function `index` deterministically edited:
+    /// its unique `touch_fN()` marker gains a sibling call, which changes
+    /// the function's fingerprint (and makes its bound strictly larger)
+    /// while leaving every other function byte-identical.
+    pub fn edited(&self, index: usize) -> GeneratedModule {
+        let marker = format!("touch_f{index}();");
+        let replacement = format!("touch_f{index}(); edit_probe_f{index}();");
+        assert_eq!(
+            self.source.matches(&marker).count(),
+            1,
+            "the touch marker of f{index} must be unique"
+        );
+        let source = self.source.replace(&marker, &replacement);
+        let program = parse_program(&source).expect("edited module must parse");
+        GeneratedModule { source, program }
+    }
+}
+
+/// Generates a call-DAG module according to `config`.
+pub fn generate_module(config: &ModuleGenConfig) -> GeneratedModule {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.functions.max(1);
+    let mut source = String::new();
+    for i in 0..n {
+        let _ = writeln!(source, "void f{i}(char a __range(0, 3)) {{");
+        let mut decls = String::new();
+        let mut body = String::new();
+        let _ = writeln!(body, "    touch_f{i}();");
+        // Callees are always higher-indexed, so the call graph is acyclic.
+        let candidates = n - i - 1;
+        let callee_budget = config.max_callees.min(candidates);
+        let mut callees_left = if callee_budget == 0 {
+            0
+        } else {
+            rng.gen_range(0..=callee_budget)
+        };
+        for k in 0..config.body_stmts {
+            let call_target = (callees_left > 0).then(|| rng.gen_range(i + 1..n));
+            match rng.gen_range(0..5u32) {
+                0 | 1 if call_target.is_some() => {
+                    let j = call_target.expect("guarded by is_some");
+                    callees_left -= 1;
+                    if rng.gen_bool(0.5) {
+                        let _ = writeln!(body, "    f{j}(a);");
+                    } else {
+                        let lit = rng.gen_range(0..3);
+                        let _ = writeln!(
+                            body,
+                            "    if (a > {lit}) {{ f{j}(a); }} else {{ ext_{i}_{k}(); }}"
+                        );
+                    }
+                }
+                2 => {
+                    let lit = rng.gen_range(0..4);
+                    let _ = writeln!(body, "    if (a == {lit}) {{ work_{i}_{k}(); }}");
+                }
+                3 => {
+                    let _ = writeln!(decls, "    char t{k} = 0;");
+                    let _ = writeln!(
+                        body,
+                        "    while (t{k} < a) __bound(3) {{ t{k} = t{k} + 1; step_{i}_{k}(); }}"
+                    );
+                }
+                _ => {
+                    let _ = writeln!(body, "    leaf_{i}_{k}();");
+                }
+            }
+        }
+        source.push_str(&decls);
+        source.push_str(&body);
+        let _ = writeln!(source, "}}");
+    }
+    let program = parse_program(&source).expect("generated module must parse");
+    GeneratedModule { source, program }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_cfg::CallGraph;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = generate_module(&ModuleGenConfig::small(11));
+        let b = generate_module(&ModuleGenConfig::small(11));
+        let c = generate_module(&ModuleGenConfig::small(12));
+        assert_eq!(a.source, b.source);
+        assert_ne!(a.source, c.source);
+        assert_eq!(a.function_count(), 5);
+    }
+
+    #[test]
+    fn the_call_graph_is_acyclic_with_forward_edges_only() {
+        for seed in 0..16 {
+            let module = generate_module(&ModuleGenConfig::small(seed));
+            let graph = CallGraph::build(&module.program);
+            for i in 0..graph.len() {
+                for &j in graph.callees(i) {
+                    assert!(j > i, "edge f{i} -> f{j} must point forward (seed {seed})");
+                }
+            }
+            graph
+                .reverse_topological_order()
+                .expect("generated modules are acyclic");
+        }
+    }
+
+    #[test]
+    fn edits_change_exactly_one_function_fingerprint() {
+        // Statement ids are numbered program-wide, so AST equality is too
+        // strict across an edit; the content fingerprint (what the summary
+        // keys fold) is the invariant that matters.
+        use tmg_cfg::function_fingerprint;
+        let module = generate_module(&ModuleGenConfig::small(3));
+        let edited = module.edited(2);
+        assert_ne!(module.source, edited.source);
+        assert!(edited.source.contains("edit_probe_f2();"));
+        for (before, after) in module
+            .program
+            .functions
+            .iter()
+            .zip(&edited.program.functions)
+        {
+            assert_eq!(before.name, after.name);
+            if before.name == "f2" {
+                assert_ne!(
+                    function_fingerprint(before),
+                    function_fingerprint(after),
+                    "the edited function must change"
+                );
+            } else {
+                assert_eq!(
+                    function_fingerprint(before),
+                    function_fingerprint(after),
+                    "{} must stay untouched",
+                    before.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_bench_module_has_fifty_functions() {
+        let module = generate_module(&ModuleGenConfig::bench());
+        assert_eq!(module.function_count(), 50);
+        let graph = CallGraph::build(&module.program);
+        assert!(graph.edge_count() >= 30, "edges: {}", graph.edge_count());
+    }
+}

@@ -220,6 +220,12 @@ impl WcetAnalysis {
         self
     }
 
+    /// The attached store tier, if any (the module-level driver shares it
+    /// across per-function analyses and summary probes).
+    pub(crate) fn store_tier(&self) -> Option<Arc<dyn TieredStore>> {
+        self.store.clone()
+    }
+
     /// Runs the full pipeline on `function`.
     ///
     /// # Errors

@@ -45,6 +45,7 @@
 
 pub mod analysis;
 pub mod measurement;
+pub mod module;
 pub mod partition;
 pub mod pipeline;
 pub mod schema;
@@ -53,6 +54,7 @@ pub mod tradeoff;
 
 pub use analysis::{AnalysisError, AnalysisReport, WcetAnalysis};
 pub use measurement::{MeasurementCampaign, MeasurementError, SegmentTiming};
+pub use module::{FunctionSummary, ModuleAnalysis, ModuleReport, RootBound};
 pub use partition::{PartitionPlan, Segment, SegmentId, SegmentKind};
 pub use pipeline::{ArtifactStore, Stage, StageStats, StoreStats, TieredStore};
 pub use testgen::{

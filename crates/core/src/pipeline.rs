@@ -58,10 +58,10 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tmg_cfg::{
-    build_cfg, combine_hashes, function_fingerprint, stable_hash_str, LoweredFunction, PathCounts,
-    Terminator,
+    build_cfg, combine_hashes, function_fingerprint, module_fingerprint, stable_hash_str,
+    CallGraph, CallGraphError, LoweredFunction, PathCounts, Terminator,
 };
-use tmg_minic::ast::Function;
+use tmg_minic::ast::{Function, Program};
 use tmg_minic::value::InputVector;
 use tmg_minic::StmtId;
 use tmg_target::CostModel;
@@ -159,6 +159,10 @@ pub struct StoreStats {
     pub stages: [StageStats; 6],
     /// Live entries per stage, indexed by [`Stage::index`].
     pub entries: [usize; 6],
+    /// Counters of the memory-only call-graph map (module-level analyses).
+    pub callgraph: StageStats,
+    /// Live call-graph entries.
+    pub callgraph_entries: usize,
     /// Entry cap per stage map.
     pub capacity: usize,
 }
@@ -196,20 +200,24 @@ impl StoreStats {
             self.total_misses(),
             self.total_evictions()
         );
-        for (i, stage) in STAGES.iter().enumerate() {
-            let s = self.stage(*stage);
-            let comma = if i + 1 < STAGES.len() { "," } else { "" };
+        for stage in STAGES {
+            let s = self.stage(stage);
             let _ = write!(
                 out,
-                " \"{}\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {} }}{}",
+                " \"{}\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {} }},",
                 stage.name(),
                 s.hits,
                 s.misses,
                 s.evictions,
                 self.entries[stage.index()],
-                comma
             );
         }
+        let _ = write!(
+            out,
+            " \"callgraph\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {} }}",
+            self.callgraph.hits, self.callgraph.misses, self.callgraph.evictions,
+            self.callgraph_entries,
+        );
         out.push_str(" } }");
         out
     }
@@ -275,6 +283,23 @@ pub struct BoundArtifact {
     pub key: u64,
     /// The report.
     pub report: AnalysisReport,
+}
+
+/// The module call graph plus its bottom-up summary order, keyed by the
+/// module fingerprint.  Memory-tier only: rebuilding is one AST walk, so
+/// persisting it would cost more than it saves — its value is serving warm
+/// module analyses without re-walking unchanged programs, and carrying the
+/// stable [`CallGraph::key`] the per-function summary keys fold in.  The
+/// order is cached as a `Result` so a recursive module pays the cycle check
+/// once, not per analysis.
+#[derive(Debug)]
+pub struct CallGraphArtifact {
+    /// Content key the artifact is stored under (the module fingerprint).
+    pub key: u64,
+    /// The call graph (nodes in program order).
+    pub graph: CallGraph,
+    /// Bottom-up summary order, or the recursion cycle that prevents one.
+    pub order: Result<Vec<usize>, CallGraphError>,
 }
 
 /// Where the staged pipeline reads and writes its artifacts.
@@ -432,9 +457,13 @@ pub struct ArtifactStore {
     suites: Mutex<LruMap<SuiteArtifact>>,
     campaigns: Mutex<LruMap<CampaignArtifact>>,
     bounds: Mutex<LruMap<BoundArtifact>>,
+    callgraphs: Mutex<LruMap<CallGraphArtifact>>,
     hits: [AtomicU64; 6],
     misses: [AtomicU64; 6],
     evictions: [AtomicU64; 6],
+    callgraph_hits: AtomicU64,
+    callgraph_misses: AtomicU64,
+    callgraph_evictions: AtomicU64,
     capacity: usize,
 }
 
@@ -495,9 +524,13 @@ impl ArtifactStore {
             suites: Mutex::default(),
             campaigns: Mutex::default(),
             bounds: Mutex::default(),
+            callgraphs: Mutex::default(),
             hits: Default::default(),
             misses: Default::default(),
             evictions: Default::default(),
+            callgraph_hits: AtomicU64::new(0),
+            callgraph_misses: AtomicU64::new(0),
+            callgraph_evictions: AtomicU64::new(0),
             capacity: capacity.max(1),
         }
     }
@@ -534,8 +567,44 @@ impl ArtifactStore {
         StoreStats {
             stages,
             entries,
+            callgraph: self.callgraph_stats(),
+            callgraph_entries: self.callgraphs.lock().expect("store lock").len(),
             capacity: self.capacity,
         }
+    }
+
+    /// Hit/miss/eviction counters of the call-graph map.
+    pub fn callgraph_stats(&self) -> StageStats {
+        StageStats {
+            hits: self.callgraph_hits.load(Ordering::Relaxed),
+            misses: self.callgraph_misses.load(Ordering::Relaxed),
+            evictions: self.callgraph_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The call-graph artifact of `program`, keyed by its module
+    /// fingerprint: graph plus bottom-up summary order, built on the first
+    /// request and served from memory afterwards.
+    pub fn callgraph(&self, program: &Program) -> Arc<CallGraphArtifact> {
+        let key = module_fingerprint(program);
+        let found = self.callgraphs.lock().expect("store lock").get(key);
+        if let Some(hit) = found {
+            self.callgraph_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.callgraph_misses.fetch_add(1, Ordering::Relaxed);
+        let graph = CallGraph::build(program);
+        let order = graph.reverse_topological_order();
+        let (resident, evicted) = self.callgraphs.lock().expect("store lock").insert(
+            key,
+            CallGraphArtifact { key, graph, order },
+            self.capacity,
+        );
+        if evicted > 0 {
+            self.callgraph_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+        resident
     }
 
     fn record(&self, stage: Stage, hit: bool) {

@@ -3,7 +3,7 @@
 
 use crate::ast::{for_each_stmt_in_block_mut, Expr, Function, Program, Stmt, StmtId};
 use crate::error::{Error, Result};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Checks `program` and assigns dense statement ids.
 ///
@@ -13,8 +13,11 @@ use std::collections::HashSet;
 ///   namespace);
 /// * every read variable is declared;
 /// * assignment targets are declared;
-/// * calls may only target *external* leaf routines (names without a
-///   definition in the program) — the paper analyses one function at a time;
+/// * a call either targets an *external* leaf routine (a name without a
+///   definition in the program — any arity) or a *defined* function, in
+///   which case the argument count must match the definition's parameter
+///   count (recursion is legal here; the call-graph analysis rejects
+///   cycles with a typed error when bounds are composed);
 /// * every `while` loop carries a positive `__bound(n)` annotation;
 /// * `__range(lo, hi)` annotations are ordered and fit the declared type;
 /// * `switch` case labels are unique per switch statement.
@@ -23,7 +26,11 @@ use std::collections::HashSet;
 ///
 /// Returns [`Error::Sema`] describing the first violation found.
 pub fn check_program(program: &mut Program) -> Result<()> {
-    let defined: HashSet<String> = program.functions.iter().map(|f| f.name.clone()).collect();
+    let defined: HashMap<String, usize> = program
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), f.params.len()))
+        .collect();
     let mut names_seen = HashSet::new();
     for f in &program.functions {
         if !names_seen.insert(f.name.clone()) {
@@ -43,7 +50,7 @@ pub fn check_program(program: &mut Program) -> Result<()> {
     Ok(())
 }
 
-fn check_function(function: &Function, defined: &HashSet<String>) -> Result<()> {
+fn check_function(function: &Function, defined: &HashMap<String, usize>) -> Result<()> {
     let mut vars: HashSet<&str> = HashSet::new();
     for decl in function.decls() {
         if !vars.insert(decl.name.as_str()) {
@@ -78,7 +85,7 @@ fn check_function(function: &Function, defined: &HashSet<String>) -> Result<()> 
 fn check_block(
     block: &crate::ast::Block,
     vars: &HashSet<&str>,
-    defined: &HashSet<String>,
+    defined: &HashMap<String, usize>,
     function: &Function,
 ) -> Result<()> {
     for stmt in &block.stmts {
@@ -100,11 +107,14 @@ fn check_block(
             Stmt::Call {
                 callee, args, line, ..
             } => {
-                if defined.contains(callee) {
-                    return Err(Error::Sema(format!(
-                        "call to defined function `{callee}` in `{}` (line {line}); mini-C only supports external leaf calls",
-                        function.name
-                    )));
+                if let Some(&arity) = defined.get(callee) {
+                    if args.len() != arity {
+                        return Err(Error::Sema(format!(
+                            "call to `{callee}` in `{}` (line {line}) passes {} argument(s) but the definition takes {arity}",
+                            function.name,
+                            args.len()
+                        )));
+                    }
                 }
                 for a in args {
                     check_expr(a, vars, &function.name)?;
@@ -234,9 +244,17 @@ mod tests {
     }
 
     #[test]
-    fn rejects_call_to_defined_function() {
-        let err = parse_program("void g() { } void f() { g(); }").expect_err("should fail");
-        assert!(err.to_string().contains("external leaf calls"));
+    fn allows_calls_to_defined_functions() {
+        assert!(parse_program("void g() { } void f() { g(); }").is_ok());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch_on_defined_callee() {
+        let err = parse_program("void g(int a) { } void f() { g(); }").expect_err("should fail");
+        assert!(err.to_string().contains("0 argument(s)"));
+        let err =
+            parse_program("void g() { } void f(int a) { g(a, a); }").expect_err("should fail");
+        assert!(err.to_string().contains("2 argument(s)"));
     }
 
     #[test]

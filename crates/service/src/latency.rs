@@ -96,16 +96,19 @@ impl Histogram {
 pub struct LatencySet {
     /// End-to-end `analyse` latency (accept → response written).
     pub analyse: Histogram,
+    /// End-to-end `analyse_module` latency.
+    pub analyse_module: Histogram,
     /// End-to-end `sweep` latency.
     pub sweep: Histogram,
 }
 
 impl LatencySet {
-    /// Renders `{"analyse": {...}, "sweep": {...}}`.
+    /// Renders `{"analyse": {...}, "analyse_module": {...}, "sweep": {...}}`.
     pub fn to_json(&self) -> String {
         format!(
-            "{{ \"analyse\": {}, \"sweep\": {} }}",
+            "{{ \"analyse\": {}, \"analyse_module\": {}, \"sweep\": {} }}",
             self.analyse.to_json(),
+            self.analyse_module.to_json(),
             self.sweep.to_json()
         )
     }

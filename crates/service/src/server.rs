@@ -11,6 +11,7 @@
 //! | op         | request fields                                        | response |
 //! |------------|-------------------------------------------------------|----------|
 //! | `analyse`  | `source` (mini-C module), `path_bound`, optional `function` filter, optional `deadline_ms` | `reports`: one object per analysed function |
+//! | `analyse_module` | `source`, `path_bound`, optional `deadline_ms` | interprocedural composition: `roots` (composed bounds of the call-graph roots), per-function `summaries` and `reports`, differential reuse counters |
 //! | `sweep`    | `source`, optional `max_bound` (default 10⁶), optional `deadline_ms` | `points`: the Figure-2/3 tradeoff curve |
 //! | `stats`    | —                                                     | `stats`: the two-tier cache counter snapshot plus per-op latency histograms |
 //! | `shutdown` | —                                                     | ack after the drain + disk flush, then the server exits |
@@ -70,7 +71,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tmg_core::tradeoff::{log_spaced_bounds, sweep_with_counts};
-use tmg_core::{AnalysisReport, TieredStore, WcetAnalysis};
+use tmg_core::{AnalysisReport, ModuleAnalysis, TieredStore, WcetAnalysis};
 use tmg_minic::parse_program;
 use tmg_tsys::CancelToken;
 
@@ -119,6 +120,11 @@ pub(crate) enum Job {
         path_bound: u128,
         function: Option<String>,
     },
+    AnalyseModule {
+        id: u64,
+        source: String,
+        path_bound: u128,
+    },
     Sweep {
         id: u64,
         source: String,
@@ -129,13 +135,14 @@ pub(crate) enum Job {
 impl Job {
     fn id(&self) -> u64 {
         match self {
-            Job::Analyse { id, .. } | Job::Sweep { id, .. } => *id,
+            Job::Analyse { id, .. } | Job::AnalyseModule { id, .. } | Job::Sweep { id, .. } => *id,
         }
     }
 
     fn op_name(&self) -> &'static str {
         match self {
             Job::Analyse { .. } => "analyse",
+            Job::AnalyseModule { .. } => "analyse_module",
             Job::Sweep { .. } => "sweep",
         }
     }
@@ -152,6 +159,9 @@ impl Job {
                 function,
                 ..
             } => format!("analyse\u{0}{source}\u{0}{path_bound}\u{0}{function:?}"),
+            Job::AnalyseModule {
+                source, path_bound, ..
+            } => format!("analyse_module\u{0}{source}\u{0}{path_bound}"),
             Job::Sweep {
                 source, max_bound, ..
             } => format!("sweep\u{0}{source}\u{0}{max_bound}"),
@@ -570,6 +580,7 @@ impl Server {
     fn retry_hint_ms(&self, job: &Job) -> u64 {
         let histogram = match job {
             Job::Analyse { .. } => &self.latency.analyse,
+            Job::AnalyseModule { .. } => &self.latency.analyse_module,
             Job::Sweep { .. } => &self.latency.sweep,
         };
         if histogram.count() == 0 {
@@ -603,6 +614,7 @@ impl Server {
             });
         let histogram = match &job {
             Job::Analyse { .. } => &self.latency.analyse,
+            Job::AnalyseModule { .. } => &self.latency.analyse_module,
             Job::Sweep { .. } => &self.latency.sweep,
         };
         histogram.record(accepted_at.elapsed());
@@ -633,6 +645,9 @@ impl Server {
                 function,
                 ..
             } => self.handle_analyse(source, *path_bound, function.as_deref(), cancel),
+            Job::AnalyseModule {
+                source, path_bound, ..
+            } => self.handle_analyse_module(source, *path_bound, cancel),
             Job::Sweep {
                 source, max_bound, ..
             } => self.handle_sweep(source, *max_bound),
@@ -691,6 +706,80 @@ impl Server {
             .collect();
         format!(
             "\"op\": \"analyse\", \"ok\": true, \"reports\": [{}]",
+            reports.join(", ")
+        )
+    }
+
+    /// The interprocedural composition op: analyses the whole module
+    /// bottom-up over the persistent tiers, so a repeat request (or an
+    /// edited module) is differential — only the dirty cone recomputes.
+    fn handle_analyse_module(&self, source: &str, path_bound: u128, cancel: CancelToken) -> String {
+        let program = match parse_program(source) {
+            Ok(program) => program,
+            Err(e) => {
+                return format!(
+                "\"op\": \"analyse_module\", \"ok\": false, \"error_kind\": \"fault\", \"error\": \"{}\"",
+                json::escape(&e.to_string())
+            )
+            }
+        };
+        let store: Arc<dyn TieredStore> = self.store.clone();
+        let analysis = ModuleAnalysis::new(path_bound)
+            .with_store(store)
+            .with_cancel(cancel);
+        let report = match analysis.analyse_module(&program) {
+            Ok(report) => report,
+            Err(e) => {
+                let kind = if e.is_cancelled() {
+                    "cancelled"
+                } else {
+                    "fault"
+                };
+                return format!(
+                    "\"op\": \"analyse_module\", \"ok\": false, \"error_kind\": \"{kind}\", \"error\": \"{}\"",
+                    json::escape(&e.to_string())
+                );
+            }
+        };
+        let roots: Vec<String> = report
+            .roots
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{ \"function\": \"{}\", \"wcet_bound\": {} }}",
+                    json::escape(&r.function),
+                    r.wcet_bound
+                )
+            })
+            .collect();
+        let summaries: Vec<String> = report
+            .summaries
+            .iter()
+            .map(|s| {
+                let callees: Vec<String> = s
+                    .callees
+                    .iter()
+                    .map(|c| format!("\"{}\"", json::escape(c)))
+                    .collect();
+                format!(
+                    "{{ \"function\": \"{}\", \"wcet_bound\": {}, \"callees\": [{}], \"from_cache\": {} }}",
+                    json::escape(&s.function),
+                    s.wcet_bound,
+                    callees.join(", "),
+                    s.from_cache
+                )
+            })
+            .collect();
+        let reports: Vec<String> = report.reports.iter().map(report_json).collect();
+        format!(
+            "\"op\": \"analyse_module\", \"ok\": true, \"module_key\": \"{}\", \
+             \"summaries_reused\": {}, \"summaries_computed\": {}, \
+             \"roots\": [{}], \"summaries\": [{}], \"reports\": [{}]",
+            tmg_cfg::key_hex(report.module_key),
+            report.summaries_reused,
+            report.summaries_computed,
+            roots.join(", "),
+            summaries.join(", "),
             reports.join(", ")
         )
     }
@@ -802,6 +891,28 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
                     source,
                     path_bound,
                     function,
+                },
+                deadline_ms,
+            ))
+        }
+        "analyse_module" => {
+            let source = value
+                .get("source")
+                .and_then(Value::as_str)
+                .ok_or((Some(id), "analyse_module needs a source".to_owned()))?
+                .to_owned();
+            let path_bound = match value.get("path_bound") {
+                None => 1,
+                Some(v) => v
+                    .as_u128()
+                    .filter(|b| *b >= 1)
+                    .ok_or((Some(id), "path_bound must be a positive integer".to_owned()))?,
+            };
+            Ok(Request::Job(
+                Job::AnalyseModule {
+                    id,
+                    source,
+                    path_bound,
                 },
                 deadline_ms,
             ))
@@ -965,6 +1076,64 @@ mod tests {
         for body in &bodies[1..] {
             assert_eq!(*body, bodies[0]);
         }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn analyse_module_composes_and_serves_warm_on_repeat() {
+        let root = temp_root("module-op");
+        let store = open_store(&root);
+        let module = "void leaf(char v __range(0, 3)) { if (v > 1) { work(); } } \
+                      void top(char a __range(0, 3)) { leaf(a); }";
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"analyse_module\", \"source\": \"{}\", \"path_bound\": 4}}\n\
+             {{\"id\": 2, \"op\": \"shutdown\"}}\n",
+            json::escape(module)
+        );
+        let server = Server::new(store.clone()).with_workers(2);
+        let (_, cold) = serve_script(&server, &script);
+        let first = &cold[0];
+        assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            first.get("summaries_computed").and_then(Value::as_u64),
+            Some(2)
+        );
+        let roots = first.get("roots").and_then(Value::as_array).expect("roots");
+        assert_eq!(roots.len(), 1);
+        assert_eq!(
+            roots[0].get("function").and_then(Value::as_str),
+            Some("top")
+        );
+        let composed = roots[0]
+            .get("wcet_bound")
+            .and_then(Value::as_u64)
+            .expect("bound");
+        let summaries = first
+            .get("summaries")
+            .and_then(Value::as_array)
+            .expect("summaries");
+        let leaf_bound = summaries[0]
+            .get("wcet_bound")
+            .and_then(Value::as_u64)
+            .expect("leaf bound");
+        assert!(
+            composed > leaf_bound,
+            "the root's composed bound embeds the callee's"
+        );
+        // Same request against the same store in a fresh session: every
+        // summary is served warm, and the answer is byte-identical.
+        let warm_server = Server::new(store).with_workers(2);
+        let (_, warm) = serve_script(&warm_server, &script);
+        assert_eq!(
+            warm[0].get("summaries_reused").and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            warm[0].get("summaries_computed").and_then(Value::as_u64),
+            Some(0)
+        );
+        assert_eq!(warm[0].get("reports"), first.get("reports"));
+        assert_eq!(warm[0].get("module_key"), first.get("module_key"));
         let _ = std::fs::remove_dir_all(&root);
     }
 

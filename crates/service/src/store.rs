@@ -116,12 +116,13 @@ impl TierStats {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{ \"schema\": \"tmg-tier-stats/v1\", \"computes\": {}, \"disk_bytes\": {}, \"disk_budget\": {}, \"memory\": {}, \"checker\": {}, ",
+            "{{ \"schema\": \"tmg-tier-stats/v1\", \"computes\": {}, \"disk_bytes\": {}, \"disk_budget\": {}, \"memory\": {}, \"checker\": {}, \"module\": {}, ",
             self.total_computes(),
             self.disk_bytes,
             self.disk_budget,
             self.memory.to_json(),
-            tmg_tsys::metrics::snapshot().to_json()
+            tmg_tsys::metrics::snapshot().to_json(),
+            tmg_core::module::metrics::snapshot().to_json()
         );
         let s = &self.segment;
         let _ = write!(

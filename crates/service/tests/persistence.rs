@@ -337,7 +337,11 @@ fn synthetic_report(i: u64) -> tmg_core::AnalysisReport {
         unknown: 0,
         measurement_runs: 4,
         wcet_bound: 1000 + i * 17,
-        exhaustive_max: if i.is_multiple_of(2) { Some(900 + i * 17) } else { None },
+        exhaustive_max: if i.is_multiple_of(2) {
+            Some(900 + i * 17)
+        } else {
+            None
+        },
     }
 }
 
@@ -389,5 +393,65 @@ fn compaction_reclaims_dead_bytes_and_keeps_every_live_artifact_readable() {
     let last = open(&root);
     last.compact();
     assert!(last.stats().segment.dead_bytes <= dead);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_fresh_process_serves_module_bounds_warm_from_the_log() {
+    use tmg_core::{ModuleAnalysis, TieredStore};
+
+    let root = temp_root("module-warm");
+    let program = tmg_minic::parse_program(
+        "void util(char v __range(0, 3)) { if (v > 1) { slow(); } else { fast(); } } \
+         void mid(char m __range(0, 3)) { util(m); if (m == 0) { util(m); } } \
+         void entry(char a __range(0, 3)) { mid(a); util(a); }",
+    )
+    .expect("parse module");
+
+    // Cold process: every function summary computes and lands in the log.
+    let cold_store = open(&root);
+    let cold = ModuleAnalysis::new(4)
+        .with_store(cold_store.clone() as Arc<dyn TieredStore>)
+        .analyse_module(&program)
+        .expect("cold module analysis");
+    assert_eq!(cold.summaries_computed, 3);
+    assert_eq!(cold.summaries_reused, 0);
+    drop(cold_store);
+
+    // Fresh process: a brand-new store over the same directory must serve
+    // every summary from the segment log — bit-identical composed bounds,
+    // nothing recomputed.
+    let warm_before = tmg_core::module::metrics::snapshot().modules_served_warm;
+    let warm_store = open(&root);
+    let warm = ModuleAnalysis::new(4)
+        .with_store(warm_store.clone() as Arc<dyn TieredStore>)
+        .analyse_module(&program)
+        .expect("warm module analysis");
+    assert_eq!(warm.summaries_reused, 3);
+    assert_eq!(warm.summaries_computed, 0);
+    assert_eq!(
+        warm.reports, cold.reports,
+        "warm reports must be bit-identical"
+    );
+    assert_eq!(warm.summaries.len(), cold.summaries.len());
+    for (w, c) in warm.summaries.iter().zip(&cold.summaries) {
+        assert_eq!(w.function, c.function);
+        assert_eq!(w.summary_key, c.summary_key);
+        assert_eq!(w.wcet_bound, c.wcet_bound);
+        assert_eq!(w.callees, c.callees);
+        assert!(w.from_cache, "{} must be served from the log", w.function);
+    }
+    assert_eq!(warm.roots, cold.roots);
+    assert_eq!(warm.module_key, cold.module_key);
+    assert_eq!(
+        tmg_core::module::metrics::snapshot().modules_served_warm,
+        warm_before + 1,
+        "a fully warm module run must count as served-warm"
+    );
+    assert_eq!(
+        warm_store.stats().total_computes(),
+        0,
+        "the fresh process must recompute no pipeline stage"
+    );
     let _ = std::fs::remove_dir_all(&root);
 }

@@ -25,7 +25,10 @@ pub struct OpCounts {
 }
 
 impl OpCounts {
-    /// Cycle cost of these operations under `cost`.
+    /// Cycle cost of these operations under `cost`.  Calls are priced at the
+    /// plain transfer overhead here; callee summary surcharges (if the cost
+    /// model carries [`CostModel::call_bounds`]) are added per named call
+    /// site by [`CompiledFunction::block_cycles`].
     pub fn cycles(&self, cost: &CostModel) -> u64 {
         self.expr_nodes * cost.expr_node
             + self.stores * cost.store
@@ -55,33 +58,61 @@ impl OpCounts {
 }
 
 /// A function compiled for the simulated target: per-block operation counts,
-/// indexed by [`BlockId`].
+/// indexed by [`BlockId`], plus the callee names behind each block's call
+/// sites (the hook interprocedural summary pricing hangs off).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompiledFunction {
     blocks: Vec<OpCounts>,
+    /// Per block: `(callee name, call-site count)` for every distinct callee
+    /// called in the block body, sorted by name.  Empty slices for the
+    /// (overwhelmingly common) call-free blocks.
+    block_calls: Vec<Box<[(String, u64)]>>,
 }
 
 impl CompiledFunction {
     /// Aggregates the operation counts of every block of `cfg`.
     pub fn compile(cfg: &Cfg) -> CompiledFunction {
+        let mut block_calls = Vec::with_capacity(cfg.block_count());
         let blocks = cfg
             .blocks()
             .iter()
             .map(|b| {
                 let mut counts = OpCounts::default();
+                let mut calls: Vec<(String, u64)> = Vec::new();
                 for stmt in &b.stmts {
                     counts.add_stmt(stmt);
+                    if let Stmt::Call { callee, .. } = stmt {
+                        match calls.iter_mut().find(|(name, _)| name == callee) {
+                            Some((_, count)) => *count += 1,
+                            None => calls.push((callee.clone(), 1)),
+                        }
+                    }
                 }
+                calls.sort();
+                block_calls.push(calls.into_boxed_slice());
                 counts
             })
             .collect();
-        CompiledFunction { blocks }
+        CompiledFunction {
+            blocks,
+            block_calls,
+        }
     }
 
     /// Cycle cost of the straight-line body of `block` under `cost`
-    /// (terminator not included).
+    /// (terminator not included).  When the cost model carries callee
+    /// summary bounds, every call site to a summarised callee is surcharged
+    /// by that callee's bound on top of the uniform transfer overhead.
     pub fn block_cycles(&self, block: BlockId, cost: &CostModel) -> u64 {
-        self.blocks[block.index()].cycles(cost)
+        let base = self.blocks[block.index()].cycles(cost);
+        if cost.call_bounds.is_empty() {
+            return base;
+        }
+        let surcharge: u64 = self.block_calls[block.index()]
+            .iter()
+            .filter_map(|(callee, count)| cost.callee_bound(callee).map(|b| b * count))
+            .sum();
+        base + surcharge
     }
 
     /// Raw operation counts of `block`.
@@ -173,6 +204,30 @@ mod tests {
         let taken = terminator_cycles(&branch.terminator, 0, &cost);
         let not_taken = terminator_cycles(&branch.terminator, 1, &cost);
         assert!(taken > not_taken);
+    }
+
+    #[test]
+    fn call_bounds_surcharge_summarised_call_sites() {
+        let (lowered, compiled) = compiled("void f(int a) { helper(a); helper(a); other(); }");
+        let plain = CostModel::hcs12();
+        let priced = CostModel::hcs12().with_call_bounds(vec![("helper".to_owned(), 50)]);
+        let plain_total: u64 = lowered
+            .cfg
+            .blocks()
+            .iter()
+            .map(|b| compiled.block_cycles(b.id, &plain))
+            .sum();
+        let priced_total: u64 = lowered
+            .cfg
+            .blocks()
+            .iter()
+            .map(|b| compiled.block_cycles(b.id, &priced))
+            .sum();
+        assert_eq!(
+            priced_total,
+            plain_total + 2 * 50,
+            "two helper sites surcharge the bound twice; `other` stays leaf-priced"
+        );
     }
 
     #[test]

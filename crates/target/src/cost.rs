@@ -33,6 +33,16 @@ pub struct CostModel {
     /// (`LDD TCNT; STD buffer` on the real part).  Charged *after* the
     /// reading is recorded.
     pub read_cycle_counter: u64,
+    /// Summary bounds of *defined* callees, sorted by callee name: a call to
+    /// a listed function is priced `call_overhead + bound` (the callee's
+    /// composed WCET bound standing in for its body), while unlisted names
+    /// keep the plain leaf pricing.  Empty for single-function analysis —
+    /// interprocedural composition (`tmg_core::module`) fills it bottom-up
+    /// from the callees' bound artifacts.  The field participates in `Debug`
+    /// (and therefore in every artifact key derived from the cost model), so
+    /// a changed callee bound automatically re-keys the caller's campaign
+    /// and bound artifacts.
+    pub call_bounds: Vec<(String, u64)>,
 }
 
 impl CostModel {
@@ -48,6 +58,7 @@ impl CostModel {
             jump: 3,
             return_transfer: 5,
             read_cycle_counter: 2,
+            call_bounds: Vec::new(),
         }
     }
 
@@ -64,7 +75,32 @@ impl CostModel {
             jump: 1,
             return_transfer: 1,
             read_cycle_counter: 1,
+            call_bounds: Vec::new(),
         }
+    }
+
+    /// The same model with callee summary bounds installed (sorted by name
+    /// so the `Debug` rendering — and every artifact key derived from it —
+    /// is canonical regardless of insertion order).
+    pub fn with_call_bounds(mut self, mut bounds: Vec<(String, u64)>) -> CostModel {
+        bounds.sort();
+        bounds.dedup();
+        self.call_bounds = bounds;
+        self
+    }
+
+    /// The summary bound priced into calls to `callee`, if one is installed.
+    pub fn callee_bound(&self, callee: &str) -> Option<u64> {
+        self.call_bounds
+            .binary_search_by(|(name, _)| name.as_str().cmp(callee))
+            .ok()
+            .map(|i| self.call_bounds[i].1)
+    }
+
+    /// Full static price of one call statement to `callee`: the transfer
+    /// overhead plus the callee's summary bound (zero for external leaves).
+    pub fn call_cycles(&self, callee: &str) -> u64 {
+        self.call_overhead + self.callee_bound(callee).unwrap_or(0)
     }
 }
 
@@ -88,5 +124,27 @@ mod tests {
         let m = CostModel::hcs12();
         assert!(m.read_cycle_counter < m.call_overhead);
         assert!(m.read_cycle_counter > 0);
+    }
+
+    #[test]
+    fn call_bounds_price_summarised_callees_only() {
+        let m = CostModel::hcs12()
+            .with_call_bounds(vec![("zeta".to_owned(), 100), ("alpha".to_owned(), 40)]);
+        assert_eq!(
+            m.call_bounds,
+            vec![("alpha".to_owned(), 40), ("zeta".to_owned(), 100)],
+            "bounds are canonically sorted"
+        );
+        assert_eq!(m.callee_bound("alpha"), Some(40));
+        assert_eq!(m.callee_bound("external"), None);
+        assert_eq!(m.call_cycles("zeta"), m.call_overhead + 100);
+        assert_eq!(m.call_cycles("external"), m.call_overhead);
+    }
+
+    #[test]
+    fn call_bounds_re_key_the_debug_rendering() {
+        let plain = CostModel::hcs12();
+        let priced = CostModel::hcs12().with_call_bounds(vec![("g".to_owned(), 7)]);
+        assert_ne!(format!("{plain:?}"), format!("{priced:?}"));
     }
 }

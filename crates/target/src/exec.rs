@@ -50,8 +50,11 @@ pub(crate) enum CStmt {
     /// Store to an undeclared variable: evaluates the value (whose faults
     /// take precedence, matching the AST order) and then faults itself.
     AssignUnknown { name: u32, value: u32 },
-    /// External call: arguments are evaluated for their faults only.
-    EvalArgs { args: Box<[u32]> },
+    /// Call statement: arguments are evaluated for their faults only (a call
+    /// never changes caller state).  The interned callee name lets the
+    /// module machine resolve defined callees when it replays a recorded
+    /// run interprocedurally; the plain machine ignores it.
+    EvalArgs { callee: u32, args: Box<[u32]> },
     /// `return [value]`.
     Return { value: Option<u32> },
 }
@@ -400,9 +403,11 @@ impl Builder {
                     }
                 }
             }
-            Stmt::Call { args, .. } => {
+            Stmt::Call { callee, args, .. } => {
+                let callee = self.name_id(callee);
                 let args: Vec<u32> = args.iter().map(|a| self.resolve(a)).collect();
                 CStmt::EvalArgs {
+                    callee,
                     args: args.into_boxed_slice(),
                 }
             }

@@ -44,7 +44,9 @@ pub mod compile;
 pub mod cost;
 pub(crate) mod exec;
 pub mod machine;
+pub mod module;
 
 pub use compile::CompiledFunction;
 pub use cost::CostModel;
 pub use machine::{CounterEvent, InstrumentationPoint, Machine, PointId, RunResult, TargetError};
+pub use module::ModuleMachine;

@@ -53,6 +53,10 @@ pub struct CounterEvent {
     pub cycles: u64,
 }
 
+/// One recorded call statement: `(interned callee name id, evaluated
+/// argument values)`, in execution order (see [`Machine::run_recorded`]).
+pub(crate) type CallRecord = (u32, Vec<i64>);
+
 /// Complete record of one instrumented run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunResult {
@@ -73,6 +77,12 @@ pub struct RunResult {
 /// Error raised when the target faults during a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TargetError(String);
+
+impl TargetError {
+    pub(crate) fn new(message: String) -> TargetError {
+        TargetError(message)
+    }
+}
 
 impl fmt::Display for TargetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -144,6 +154,35 @@ impl<'a> Machine<'a> {
         inputs: &InputVector,
         points: &[InstrumentationPoint],
     ) -> Result<RunResult, TargetError> {
+        let mut calls = Vec::new();
+        self.run_impl::<false>(inputs, points, &mut calls)
+    }
+
+    /// Like [`Machine::run`] without instrumentation, additionally recording
+    /// every executed call statement as `(interned callee name id, evaluated
+    /// argument values)` in execution order.  The module machine replays
+    /// these records to execute defined callees; the recording branch is
+    /// monomorphised out of the plain [`Machine::run`] path.
+    pub(crate) fn run_recorded(
+        &self,
+        inputs: &InputVector,
+    ) -> Result<(RunResult, Vec<CallRecord>), TargetError> {
+        let mut calls = Vec::new();
+        let result = self.run_impl::<true>(inputs, &[], &mut calls)?;
+        Ok((result, calls))
+    }
+
+    /// Name behind an interned callee id of [`Machine::run_recorded`].
+    pub(crate) fn interned_name(&self, id: u32) -> &str {
+        self.exec.name(id)
+    }
+
+    fn run_impl<const RECORD: bool>(
+        &self,
+        inputs: &InputVector,
+        points: &[InstrumentationPoint],
+        calls: &mut Vec<CallRecord>,
+    ) -> Result<RunResult, TargetError> {
         // Edge → point-ids lookup; built only for instrumented runs so the
         // (hot) heuristic-search path pays nothing.
         let edge_points: Option<FxHashMap<(BlockId, BlockId), Vec<PointId>>> = if points.is_empty()
@@ -210,10 +249,21 @@ impl<'a> Machine<'a> {
                             exec.fault_message(crate::exec::Fault::UnknownStore(*name)),
                         ));
                     }
-                    CStmt::EvalArgs { args } => {
-                        for a in args.iter() {
-                            exec.eval(*a, &env)
-                                .map_err(|f| TargetError(exec.fault_message(f)))?;
+                    CStmt::EvalArgs { callee, args } => {
+                        if RECORD {
+                            let mut values = Vec::with_capacity(args.len());
+                            for a in args.iter() {
+                                values.push(
+                                    exec.eval(*a, &env)
+                                        .map_err(|f| TargetError(exec.fault_message(f)))?,
+                                );
+                            }
+                            calls.push((*callee, values));
+                        } else {
+                            for a in args.iter() {
+                                exec.eval(*a, &env)
+                                    .map_err(|f| TargetError(exec.fault_message(f)))?;
+                            }
                         }
                     }
                     CStmt::Return { value } => {

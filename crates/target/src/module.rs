@@ -1,0 +1,180 @@
+//! Whole-module execution: the interprocedural counterpart of [`Machine`].
+//!
+//! The single-function [`Machine`] treats every `call` as an external leaf —
+//! it evaluates the arguments (for their faults) and charges the uniform
+//! transfer overhead.  For *module-level* soundness checks the oracle has to
+//! execute defined callees for real: the end-to-end cycles of `root(inputs)`
+//! are root's own cycles plus, for every executed call to a defined
+//! function, that callee's end-to-end cycles on the actual argument values.
+//!
+//! [`ModuleMachine`] holds one [`Machine`] per defined function (all under
+//! the same *base* cost model, i.e. without callee summary bounds — the
+//! transfer overhead is charged by the caller, the body by the callee) and
+//! replays recorded call statements transitively.  Argument values bind to
+//! the callee's parameters positionally and are wrapped to the declared
+//! parameter types, exactly as [`Machine::run`] wraps incoming inputs.
+//!
+//! The composed WCET bound of `tmg_core::module` prices every defined call
+//! site at `call_overhead + bound(callee)`; this oracle realises
+//! `call_overhead + actual(callee)`, so bound ≥ actual follows by induction
+//! over the (acyclic) call graph — the property the module soundness tests
+//! assert on exhaustive input sweeps.
+
+use crate::cost::CostModel;
+use crate::machine::{Machine, TargetError};
+use rustc_hash::FxHashMap;
+use tmg_cfg::Cfg;
+use tmg_minic::ast::Function;
+use tmg_minic::value::InputVector;
+
+/// A module compiled for interprocedural execution.  See the module docs.
+pub struct ModuleMachine<'a> {
+    machines: Vec<(&'a Function, Machine<'a>)>,
+    index: FxHashMap<&'a str, usize>,
+}
+
+impl<'a> ModuleMachine<'a> {
+    /// Compiles every `(function, cfg)` pair under `cost_model`.  The cost
+    /// model's `call_bounds` are ignored on purpose: summary pricing is a
+    /// *static* device, the oracle executes callee bodies instead.
+    pub fn new(parts: &[(&'a Function, &'a Cfg)], cost_model: &CostModel) -> ModuleMachine<'a> {
+        let base = CostModel {
+            call_bounds: Vec::new(),
+            ..cost_model.clone()
+        };
+        let machines: Vec<(&'a Function, Machine<'a>)> = parts
+            .iter()
+            .map(|&(f, cfg)| (f, Machine::new(cfg, f, base.clone())))
+            .collect();
+        let index = machines
+            .iter()
+            .enumerate()
+            .map(|(i, (f, _))| (f.name.as_str(), i))
+            .collect();
+        ModuleMachine { machines, index }
+    }
+
+    /// Whether `name` is a defined function of this module.
+    pub fn defines(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// End-to-end cycles of `root(inputs)` with every defined callee
+    /// executed transitively.
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError`] when `root` is not defined, when any executed
+    /// function faults, or when the call depth exceeds the function count
+    /// (recursion — the call-graph analysis rejects it statically, this is
+    /// the dynamic backstop).
+    pub fn end_to_end_cycles(&self, root: &str, inputs: &InputVector) -> Result<u64, TargetError> {
+        let &i = self
+            .index
+            .get(root)
+            .ok_or_else(|| TargetError::new(format!("undefined root function `{root}`")))?;
+        self.cycles_of(i, inputs, 0)
+    }
+
+    fn cycles_of(&self, i: usize, inputs: &InputVector, depth: usize) -> Result<u64, TargetError> {
+        if depth > self.machines.len() {
+            return Err(TargetError::new(
+                "call depth exceeded the function count (recursive module)".to_owned(),
+            ));
+        }
+        let (_, machine) = &self.machines[i];
+        let (run, calls) = machine.run_recorded(inputs)?;
+        let mut total = run.cycles;
+        for (callee_id, args) in calls {
+            let callee_name = machine.interned_name(callee_id);
+            let Some(&j) = self.index.get(callee_name) else {
+                continue; // external leaf: its body is the transfer overhead
+            };
+            let (callee, _) = &self.machines[j];
+            let mut callee_inputs = InputVector::new();
+            for (param, value) in callee.params.iter().zip(args) {
+                callee_inputs = callee_inputs.with(&param.name, value);
+            }
+            total += self.cycles_of(j, &callee_inputs, depth + 1)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmg_cfg::build_cfg;
+    use tmg_minic::parse_program;
+
+    fn module_cycles(source: &str, root: &str, inputs: &InputVector) -> u64 {
+        let program = parse_program(source).expect("parse");
+        let lowered: Vec<_> = program.functions.iter().map(build_cfg).collect();
+        let parts: Vec<_> = program
+            .functions
+            .iter()
+            .zip(&lowered)
+            .map(|(f, l)| (f, &l.cfg))
+            .collect();
+        ModuleMachine::new(&parts, &CostModel::hcs12())
+            .end_to_end_cycles(root, inputs)
+            .expect("module run")
+    }
+
+    #[test]
+    fn defined_callee_bodies_are_executed_not_leaf_priced() {
+        // Same call shape, but `callee` is defined in the second module: the
+        // end-to-end cycles must grow by exactly the callee's body.
+        let leaf_only = "void root(char a __range(0, 3)) { callee(a); }";
+        let with_body = "void root(char a __range(0, 3)) { callee(a); } \
+                         void callee(char v __range(0, 3)) { if (v > 1) { work(); } }";
+        let inputs = InputVector::new().with("a", 3);
+        let leaf = module_cycles(leaf_only, "root", &inputs);
+        let composed = module_cycles(with_body, "root", &inputs);
+        let callee_alone = module_cycles(
+            "void callee(char v __range(0, 3)) { if (v > 1) { work(); } }",
+            "callee",
+            &InputVector::new().with("v", 3),
+        );
+        assert_eq!(composed, leaf + callee_alone);
+    }
+
+    #[test]
+    fn arguments_bind_positionally_and_wrap_to_the_parameter_type() {
+        let source = "void root(int a) { callee(a + 1); } \
+                      void callee(char v) { if (v > 10) { expensive(); } }";
+        let cheap = module_cycles(source, "root", &InputVector::new().with("a", 4));
+        let costly = module_cycles(source, "root", &InputVector::new().with("a", 99));
+        assert!(costly > cheap, "the argument value must reach the callee");
+        // 255 wraps to -1 as a signed char: the expensive branch is off.
+        let wrapped = module_cycles(source, "root", &InputVector::new().with("a", 254));
+        assert_eq!(wrapped, cheap, "254 + 1 wraps to char -1, not 255");
+    }
+
+    #[test]
+    fn transitive_chains_accumulate_every_level() {
+        let source = "void a() { b(); } void b() { c(); } void c() { leaf(); }";
+        let a = module_cycles(source, "a", &InputVector::new());
+        let b = module_cycles(source, "b", &InputVector::new());
+        let c = module_cycles(source, "c", &InputVector::new());
+        assert!(a > b && b > c, "each level adds its own frame: {a} {b} {c}");
+    }
+
+    #[test]
+    fn undefined_root_is_an_error() {
+        let program = parse_program("void f() { x(); }").expect("parse");
+        let lowered: Vec<_> = program.functions.iter().map(build_cfg).collect();
+        let parts: Vec<_> = program
+            .functions
+            .iter()
+            .zip(&lowered)
+            .map(|(f, l)| (f, &l.cfg))
+            .collect();
+        let machine = ModuleMachine::new(&parts, &CostModel::hcs12());
+        assert!(machine
+            .end_to_end_cycles("missing", &InputVector::new())
+            .is_err());
+        assert!(machine.defines("f"));
+        assert!(!machine.defines("missing"));
+    }
+}

@@ -1035,43 +1035,41 @@ impl StateArena {
     }
 
     pub(crate) fn pop(&mut self, vals: &mut [i64], known: &mut [u64]) -> Option<PoppedState> {
-        let entry = self.entries.pop()?;
+        let entry = self.entries.last_mut()?;
+        let popped = PoppedState {
+            loc: entry.loc,
+            monitor: entry.monitor,
+            depth: entry.depth,
+        };
         let vbase = self.values.len() - self.vars;
         let kbase = self.known.len() - self.words;
         vals.copy_from_slice(&self.values[vbase..]);
         known.copy_from_slice(&self.known[kbase..]);
-        match entry.kind {
+        match &mut entry.kind {
             EntryKind::Concrete => {
+                self.entries.pop();
                 self.values.truncate(vbase);
                 self.known.truncate(kbase);
             }
             EntryKind::Split { var, next, hi } => {
-                let var = var as usize;
-                vals[var] = next;
-                known[var >> 6] |= 1 << (var & 63);
-                if next < hi {
-                    // More children to come: keep the parent block and
-                    // advance the cursor.
-                    self.entries.push(StateEntry {
-                        kind: EntryKind::Split {
-                            var: var as u32,
-                            next: next + 1,
-                            hi,
-                        },
-                        ..entry
-                    });
+                let v = *var as usize;
+                vals[v] = *next;
+                known[v >> 6] |= 1 << (v & 63);
+                if *next < *hi {
+                    // More children to come: advance the cursor in place —
+                    // the entry and its parent block stay on the stack, so a
+                    // wide split costs one cursor bump per child, not a
+                    // pop/re-push of the entry.
+                    *next += 1;
                 } else {
                     // Last child consumed the block.
+                    self.entries.pop();
                     self.values.truncate(vbase);
                     self.known.truncate(kbase);
                 }
             }
         }
-        Some(PoppedState {
-            loc: entry.loc,
-            monitor: entry.monitor,
-            depth: entry.depth,
-        })
+        Some(popped)
     }
 }
 

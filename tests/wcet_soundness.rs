@@ -78,6 +78,114 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Module-level soundness: the composed interprocedural bound dominates the
+// exhaustively-measured end-to-end execution of whole modules, where every
+// defined callee is executed for real by the `ModuleMachine` oracle.
+// ---------------------------------------------------------------------------
+
+mod module_soundness {
+    use tmg_cfg::build_cfg;
+    use tmg_codegen::{generate_module, ModuleGenConfig};
+    use tmg_core::{ModuleAnalysis, ModuleReport};
+    use tmg_minic::ast::Program;
+    use tmg_minic::value::InputVector;
+    use tmg_target::{CostModel, ModuleMachine};
+
+    /// Asserts `bound(f) >= max over a in [lo, hi] of end-to-end cycles of
+    /// f(a)` for every function of the module, with defined callees executed
+    /// transitively.  All module fixtures take one ranged `a` parameter.
+    fn assert_composed_bounds_dominate(
+        program: &Program,
+        report: &ModuleReport,
+        domain: std::ops::RangeInclusive<i64>,
+    ) {
+        let lowered: Vec<_> = program.functions.iter().map(build_cfg).collect();
+        let parts: Vec<_> = program
+            .functions
+            .iter()
+            .zip(&lowered)
+            .map(|(f, l)| (f, &l.cfg))
+            .collect();
+        let machine = ModuleMachine::new(&parts, &CostModel::hcs12());
+        for function in &program.functions {
+            let bound = report
+                .bound_of(&function.name)
+                .unwrap_or_else(|| panic!("no bound for {}", function.name));
+            for value in domain.clone() {
+                let inputs = InputVector::new().with(&function.params[0].name, value);
+                let cycles = machine
+                    .end_to_end_cycles(&function.name, &inputs)
+                    .expect("module run");
+                assert!(
+                    cycles <= bound,
+                    "{}({value}) ran {cycles} cycles, composed bound is {bound}",
+                    function.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composed_bounds_dominate_a_handwritten_module() {
+        let source = "\
+            void top(char a __range(0, 3)) {
+                mid(a);
+                if (a == 0) { mid(a); } else { side(a); }
+            }
+            void mid(char a __range(0, 3)) {
+                char t = 0;
+                side(a);
+                while (t < a) __bound(3) { t = t + 1; tick(); }
+            }
+            void side(char a __range(0, 3)) {
+                if (a > 1) { heavy(); } else { light(); }
+            }";
+        let program = tmg_minic::parse_program(source).expect("parse");
+        let report = ModuleAnalysis::new(4)
+            .analyse_module(&program)
+            .expect("module");
+        assert_eq!(report.roots.len(), 1);
+        assert_eq!(report.roots[0].function, "top");
+        assert_composed_bounds_dominate(&program, &report, 0..=3);
+    }
+
+    #[test]
+    fn composed_bounds_dominate_generated_call_dags() {
+        // A deterministic corpus (seeded, not shrunk) keeps the runtime of
+        // the exhaustive sweeps predictable: 6 modules x 5 functions x 4
+        // input values, each executed transitively.
+        for seed in [0u64, 1, 2, 17, 40, 77] {
+            let module = generate_module(&ModuleGenConfig::small(seed));
+            let report = ModuleAnalysis::new(4)
+                .analyse_module(&module.program)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_composed_bounds_dominate(&module.program, &report, 0..=3);
+        }
+    }
+
+    #[test]
+    fn differential_reanalysis_stays_sound_after_an_edit() {
+        // Warm-store reuse must never launder a stale bound into the edited
+        // module: the differential report's bounds have to dominate the
+        // exhaustive execution of the *edited* program just like a cold run.
+        use std::sync::Arc;
+        use tmg_core::ArtifactStore;
+        let module = generate_module(&ModuleGenConfig::small(5));
+        let store = Arc::new(ArtifactStore::new());
+        let analysis = ModuleAnalysis::new(4).with_store(store);
+        let cold = analysis.analyse_module(&module.program).expect("cold");
+        assert_composed_bounds_dominate(&module.program, &cold, 0..=3);
+        for edited_index in 0..module.function_count() {
+            let edited = module.edited(edited_index);
+            let differential = analysis
+                .analyse_module(&edited.program)
+                .expect("differential");
+            assert_composed_bounds_dominate(&edited.program, &differential, 0..=3);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
