@@ -105,18 +105,24 @@ const HOT_SOURCE: &str = "void hot(char level __range(0, 5), bool armed) { \
 
 /// The request line (without trailing newline) and its JSON `id` for slot
 /// `i` of the deterministic mix.
+///
+/// Every request pins the *same* `trace_id`: responses echo the trace of
+/// whichever duplicate became the dedup leader, so per-slot trace ids
+/// would make the answer depend on scheduling.  One shared pin keeps the
+/// response lines deterministic for the 1-vs-N-worker identity check
+/// (tracing itself stays disabled in the loadtest).
 fn request_line(i: usize) -> String {
     let id = i + 1;
     if i % 7 == 3 {
         // Deadline violation: declined at submit with a typed `cancelled`.
         return format!(
-            "{{\"id\": {id}, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2, \"deadline_ms\": 0}}",
+            "{{\"id\": {id}, \"trace_id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2, \"deadline_ms\": 0}}",
             json::escape(HOT_SOURCE)
         );
     }
     match i % 3 {
         0 => format!(
-            "{{\"id\": {id}, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}",
+            "{{\"id\": {id}, \"trace_id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}",
             json::escape(HOT_SOURCE)
         ),
         1 => {
@@ -128,12 +134,12 @@ fn request_line(i: usize) -> String {
                 "void cold_{i}(char a __range(0, {range})) {{ if (a > {pivot}) {{ x(); }} else {{ y(); }} }}"
             );
             format!(
-                "{{\"id\": {id}, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}",
+                "{{\"id\": {id}, \"trace_id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}",
                 json::escape(&source)
             )
         }
         _ => format!(
-            "{{\"id\": {id}, \"op\": \"sweep\", \"source\": \"{}\", \"max_bound\": 40}}",
+            "{{\"id\": {id}, \"trace_id\": 1, \"op\": \"sweep\", \"source\": \"{}\", \"max_bound\": 40}}",
             json::escape(HOT_SOURCE)
         ),
     }

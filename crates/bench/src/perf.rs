@@ -1,4 +1,4 @@
-//! Machine-readable performance baseline (`BENCH_pr8.json`).
+//! Machine-readable performance baseline (`BENCH_pr9.json`).
 //!
 //! Every PR that touches a hot path needs a number to beat.  This module
 //! times the paper-reproduction workloads (Table 1, Table 2, Figure 2/3,
@@ -44,7 +44,7 @@ use tmg_service::{codec, PersistentStore, Server};
 use tmg_tsys::{CheckOutcome, ModelChecker, PathQuery};
 
 /// Label recorded in the emitted JSON; the output file is `BENCH_<label>.json`.
-pub const PR_LABEL: &str = "pr8";
+pub const PR_LABEL: &str = "pr9";
 
 /// `before_ms` wall times recorded in `BENCH_pr3.json` for the workloads
 /// whose measured pre-optimisation implementation (the Baseline engine) was
@@ -935,18 +935,25 @@ fn compare_service_concurrent_burst() -> Comparison {
     ];
     let mut script = String::new();
     let mut id = 0;
+    // One shared pinned trace_id: dedup waiters echo the leader's trace,
+    // so distinct per-request ids would make the response lines depend on
+    // which duplicate won the race to be scheduled first.
     for _ in 0..3 {
         for (i, src) in sources.iter().enumerate() {
             id += 1;
             let _ = writeln!(
                 script,
-                "{{\"id\": {id}, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": {}}}",
+                "{{\"id\": {id}, \"trace_id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": {}}}",
                 src.replace('"', "\\\""),
                 [2u32, 4][i % 2]
             );
         }
     }
-    let _ = writeln!(script, "{{\"id\": {}, \"op\": \"shutdown\"}}", id + 1);
+    let _ = writeln!(
+        script,
+        "{{\"id\": {}, \"trace_id\": 1, \"op\": \"shutdown\"}}",
+        id + 1
+    );
 
     let run_burst = |workers: usize, tag: &str| {
         let root = scratch_cache(tag);
@@ -1059,6 +1066,39 @@ fn measure_service_recovery() -> ServiceRecovery {
     }
 }
 
+/// The observability tax: one full cold WCET pipeline (fresh in-memory
+/// store every run, so every stage actually executes and records its
+/// span) with span tracing *enabled* (`before`) vs *disabled* (`after`).
+/// The speedup column is therefore the live cost of tracing on the
+/// instrumented hot path, and `identical_results` asserts both the
+/// report equality and that the traced side really recorded spans.  The
+/// disabled side is also the configuration every other workload in this
+/// baseline runs under, so the pre-instrumentation floors recorded in
+/// `BENCH_pr8.json` double as the regression guard for the
+/// tracing-disabled overhead (contract: <= 2%).
+fn compare_obs_overhead() -> Comparison {
+    let function = wiper_function();
+    let bound = crate::wiper_case_bound();
+    let run = || {
+        let store: Arc<dyn TieredStore> = Arc::new(ArtifactStore::new());
+        WcetAnalysis::new(bound)
+            .with_store(store)
+            .analyse(&function)
+            .expect("obs-overhead analysis")
+    };
+    tmg_obs::set_enabled(true);
+    let (before, traced_report) = best_of(BEST_OF, run);
+    let traced_spans = tmg_obs::drain_all().len();
+    tmg_obs::set_enabled(false);
+    let (after, plain_report) = best_of(BEST_OF, run);
+    Comparison {
+        name: "obs_overhead".to_owned(),
+        before,
+        after,
+        identical_results: traced_report == plain_report && traced_spans > 0,
+    }
+}
+
 /// Produces the complete perf baseline (the payload of
 /// `BENCH_<`[`PR_LABEL`]`>.json`).
 pub fn perf_report() -> PerfReport {
@@ -1115,6 +1155,7 @@ pub fn perf_report() -> PerfReport {
         compare_tradeoff_sweep(400),
         compare_pipeline_cached(5),
         compare_module_edit_differential(),
+        compare_obs_overhead(),
     ];
 
     // End-to-end pipeline: the optimised path timed against the recorded

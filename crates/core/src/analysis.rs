@@ -249,7 +249,17 @@ impl WcetAnalysis {
         functions: &[Function],
     ) -> Vec<Result<AnalysisReport, AnalysisError>> {
         if self.generator.parallel && functions.len() > 1 {
-            functions.par_iter().map(|f| self.analyse(f)).collect()
+            // Workers continue the caller's trace (if any), so a traced
+            // request's per-function spans land under its request span no
+            // matter which pool thread ran them.
+            let ctx = tmg_obs::current_context();
+            functions
+                .par_iter()
+                .map(|f| {
+                    let _trace = tmg_obs::enter_trace(ctx);
+                    self.analyse(f)
+                })
+                .collect()
         } else {
             functions.iter().map(|f| self.analyse(f)).collect()
         }

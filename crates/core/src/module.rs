@@ -98,8 +98,28 @@ pub mod metrics {
         }
     }
 
+    /// Registers every counter, by its JSON name and in declaration order,
+    /// into the unified metrics registry (group `"module"`, schema
+    /// `tmg-module-stats/v1` as the struct renderer emits).  Idempotent;
+    /// [`snapshot`] calls it, so any stats consumer sees the group
+    /// registered.
+    pub fn register() {
+        tmg_obs::registry().register_counters(
+            "module",
+            Some("tmg-module-stats/v1"),
+            vec![
+                ("module_analyses", &MODULE_ANALYSES),
+                ("modules_served_warm", &MODULES_SERVED_WARM),
+                ("summaries_reused", &SUMMARIES_REUSED),
+                ("summaries_computed", &SUMMARIES_COMPUTED),
+                ("last_dirty_cone", &LAST_DIRTY_CONE),
+            ],
+        );
+    }
+
     /// Reads the current counter values.
     pub fn snapshot() -> ModuleMetrics {
+        register();
         ModuleMetrics {
             module_analyses: MODULE_ANALYSES.load(Ordering::Relaxed),
             modules_served_warm: MODULES_SERVED_WARM.load(Ordering::Relaxed),

@@ -848,6 +848,7 @@ pub fn compute_suite<S: TieredStore + ?Sized>(
 ) -> SuiteArtifact {
     let suite =
         generator.generate_with_model_provider(function, &lowered.lowered, &partition.plan, || {
+            let _span = tmg_obs::span("stage:prepare-model");
             tier.prepared_model(function, lowered, &generator.checker)
                 .shared
                 .clone()
@@ -991,20 +992,34 @@ fn run_stages<S: TieredStore + ?Sized>(
         }
     };
     guard(Stage::Lower)?;
-    let lowered = store.lowered_keyed(function, function_key);
+    let lowered = {
+        let _span = tmg_obs::span("stage:lower");
+        store.lowered_keyed(function, function_key)
+    };
     guard(Stage::Partition)?;
-    let partition = store.partition(&lowered, analysis.path_bound);
+    let partition = {
+        let _span = tmg_obs::span("stage:partition");
+        store.partition(&lowered, analysis.path_bound)
+    };
     guard(Stage::Testgen)?;
-    let suite = store.suite(function, &lowered, &partition, &analysis.generator);
+    let suite = {
+        let _span = tmg_obs::span("stage:testgen");
+        store.suite(function, &lowered, &partition, &analysis.generator)
+    };
     guard(Stage::Measure)?;
-    let campaign = store.campaign(function, &lowered, &partition, &suite, &analysis.cost_model)?;
+    let campaign = {
+        let _span = tmg_obs::span("stage:measure");
+        store.campaign(function, &lowered, &partition, &suite, &analysis.cost_model)?
+    };
     guard(Stage::Bound)?;
+    let _bound_span = tmg_obs::span("stage:bound");
     let exhaustive_max = match input_space {
-        Some(space) => Some(
+        Some(space) => Some({
+            let _span = tmg_obs::span("stage:exhaustive");
             exhaustive_end_to_end(function, &lowered.lowered, space, &analysis.cost_model)
                 .map_err(AnalysisError::from)?
-                .0,
-        ),
+                .0
+        }),
         None => None,
     };
     let plan = &partition.plan;

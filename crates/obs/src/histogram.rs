@@ -1,0 +1,182 @@
+//! Lock-free log₂-bucket latency histograms.
+//!
+//! Each [`Histogram`] buckets durations by the bit length of the
+//! microsecond count (log₂ buckets), which is coarse but constant-time,
+//! allocation-free, and good enough for the p50/p95/p99 the service
+//! `stats` snapshot reports: a quantile answers with the *upper bound* of
+//! the bucket it lands in, so reported percentiles never understate
+//! latency.  [`Histogram::merge`] folds another histogram in
+//! bucket-by-bucket, so per-connection (or per-shard) histograms
+//! aggregate without losing bucket precision.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 40;
+
+/// A fixed log₂-bucket latency histogram (atomic, shared by reference).
+#[derive(Debug)]
+pub struct Histogram {
+    /// `buckets[i]` counts durations whose microsecond count has bit
+    /// length `i`, i.e. the half-open range `(2^(i-1), 2^i]` µs.
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(us: u64) -> usize {
+        ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one operation's duration.
+    pub fn record(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Folds `other`'s recorded durations into `self`, bucket by bucket —
+    /// the aggregate is exactly the histogram a single shared instance
+    /// would have recorded (same bucket counts, same sum, hence the same
+    /// quantiles and mean; nothing is re-bucketed through a coarser
+    /// representation).  `other` is unchanged; a concurrent recorder on
+    /// either side folds in whatever it had published at read time.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_us
+            .fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Operations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum_us.load(Ordering::Relaxed) as f64 / count as f64 / 1000.0
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in milliseconds: the upper bound of
+    /// the bucket holding the target rank, 0 when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                // Bucket i covers (2^(i-1), 2^i] µs; bucket 0 is exactly 0.
+                let upper_us = if i == 0 { 0u64 } else { 1u64 << i };
+                return upper_us as f64 / 1000.0;
+            }
+        }
+        0.0
+    }
+
+    /// Renders `{"count": N, "mean_ms": ..., "p50_ms": ..., ...}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"count\": {}, \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+            self.count(),
+            self.mean_ms(),
+            self.quantile_ms(0.50),
+            self.quantile_ms(0.95),
+            self.quantile_ms(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::default();
+        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        // 1 ms = 1000 µs → bucket 10, upper bound 1024 µs = 1.024 ms.
+        assert_eq!(h.quantile_ms(0.50), 1.024);
+        assert_eq!(h.quantile_ms(0.90), 1.024);
+        // 100 ms = 100_000 µs → bucket 17, upper bound 131.072 ms.
+        assert_eq!(h.quantile_ms(0.99), 131.072);
+        assert!(h.quantile_ms(0.99) >= h.quantile_ms(0.50));
+        assert!((h.mean_ms() - 10.9).abs() < 0.1);
+    }
+
+    #[test]
+    fn an_empty_histogram_answers_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.quantile_ms(0.99), 0.0);
+        assert!(h.to_json().contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one_shared_histogram() {
+        let shared = Histogram::default();
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let durations_a = [1u64, 3, 900, 1_000, 12_000];
+        let durations_b = [2u64, 2, 450_000, 7];
+        for us in durations_a {
+            shared.record(Duration::from_micros(us));
+            a.record(Duration::from_micros(us));
+        }
+        for us in durations_b {
+            shared.record(Duration::from_micros(us));
+            b.record(Duration::from_micros(us));
+        }
+        let merged = Histogram::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count(), shared.count());
+        assert_eq!(merged.mean_ms(), shared.mean_ms());
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile_ms(q), shared.quantile_ms(q), "q={q}");
+        }
+        assert_eq!(merged.to_json(), shared.to_json());
+        // The sources are unchanged.
+        assert_eq!(a.count(), durations_a.len() as u64);
+        assert_eq!(b.count(), durations_b.len() as u64);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_the_identity() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(64));
+        let before = h.to_json();
+        h.merge(&Histogram::default());
+        assert_eq!(h.to_json(), before);
+    }
+}

@@ -1,0 +1,32 @@
+//! `tmg-obs` — hand-rolled observability for the WCET analysis toolchain.
+//!
+//! Three pieces, all dependency-free (std + the vendored `rustc-hash`):
+//!
+//! * [`span`] — a thread-local span recorder: monotonic enter/exit pairs
+//!   with parent links and static names, near-zero cost when disabled
+//!   (the default).  The pipeline stages, the checker's phases, the
+//!   segment log's I/O and the service's request lifecycle are all
+//!   instrumented with it, so a request decomposes into self-time per
+//!   stage.
+//! * [`registry`] — the unified [`MetricsRegistry`]: every scattered
+//!   counter set (checker, module composition, latency histograms, tier
+//!   counters) registers into it, and the service `stats` snapshot is
+//!   assembled from its groups under the `tmg-obs-stats/v1` schema.
+//! * [`histogram`] — the lock-free log₂-bucket [`Histogram`] the service's
+//!   per-op latency tracking is built on, including lossless
+//!   [`Histogram::merge`] aggregation.
+//!
+//! See `crates/obs/README.md` for the span model, the overhead contract
+//! and the snapshot schema.
+
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use histogram::Histogram;
+pub use registry::{registry, MetricsRegistry};
+pub use span::{
+    build_tree, current_context, discard_trace, drain_all, dropped_spans, enabled, enter_trace,
+    instant_us, next_trace_id, now_us, record_manual, retain_trace, set_enabled, span, trace_spans,
+    tree_json, SpanGuard, SpanNode, SpanRecord, TraceContext, TraceGuard,
+};

@@ -1,0 +1,205 @@
+//! The unified metrics registry.
+//!
+//! Every counter set in the system — the checker counters of
+//! `tmg_tsys::metrics`, the module-composition counters of
+//! `tmg_core::module::metrics`, the per-op latency histograms and the
+//! per-store tier counters — registers into one process-wide
+//! [`MetricsRegistry`], which renders each as a named *group* of a single
+//! versioned `tmg-obs-stats/v1` snapshot.  Two registration shapes cover
+//! all of them:
+//!
+//! * [`register_counters`]: a fixed list of named `&'static AtomicU64`s
+//!   (the process-wide counter sets).  Registration is idempotent per
+//!   group and the render preserves declaration order, so the emitted
+//!   JSON is bit-compatible with the structs it replaced.
+//! * [`register_section`]: a closure rendering a whole JSON object (the
+//!   instance-scoped sources: histograms, tier counters).  Re-registering
+//!   replaces the closure, so a fresh server instance takes over its
+//!   group.
+//!
+//! The snapshot assembly in `tmg-service` pulls its `checker`, `module`
+//! and `latency` sections from here — the registry is the single source;
+//! the old per-crate `snapshot().to_json()` renderers remain as the
+//! compatibility cross-check the tests assert against.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One named counter inside a group: `(json_key, counter)`.
+pub type NamedCounter = (&'static str, &'static AtomicU64);
+
+enum Source {
+    /// Named atomics rendered in declaration order, with an optional
+    /// leading `"schema"` member (matching the struct renderer each set
+    /// replaced).
+    Counters {
+        schema: Option<&'static str>,
+        counters: Vec<NamedCounter>,
+    },
+    /// A closure rendering the whole group object.
+    Section(Box<dyn Fn() -> String + Send + Sync>),
+}
+
+struct Group {
+    name: &'static str,
+    source: Source,
+}
+
+/// The process-wide registry.  Obtain it via [`registry`].
+pub struct MetricsRegistry {
+    groups: Mutex<Vec<Group>>,
+}
+
+impl MetricsRegistry {
+    /// Registers a group of named atomic counters.  A second registration
+    /// under the same group name is ignored (the counters are process-wide
+    /// statics; there is nothing newer to say).
+    pub fn register_counters(
+        &self,
+        group: &'static str,
+        schema: Option<&'static str>,
+        counters: Vec<NamedCounter>,
+    ) {
+        let mut groups = self.groups.lock().expect("metrics registry");
+        if groups.iter().any(|g| g.name == group) {
+            return;
+        }
+        groups.push(Group {
+            name: group,
+            source: Source::Counters { schema, counters },
+        });
+    }
+
+    /// Registers (or replaces) a closure-rendered group.  Instance-scoped
+    /// sources re-register on construction, so the snapshot always renders
+    /// the live instance.
+    pub fn register_section(
+        &self,
+        group: &'static str,
+        render: Box<dyn Fn() -> String + Send + Sync>,
+    ) {
+        let mut groups = self.groups.lock().expect("metrics registry");
+        if let Some(existing) = groups.iter_mut().find(|g| g.name == group) {
+            existing.source = Source::Section(render);
+        } else {
+            groups.push(Group {
+                name: group,
+                source: Source::Section(render),
+            });
+        }
+    }
+
+    /// Renders one group as a JSON object, `None` when unregistered.
+    pub fn group_json(&self, group: &str) -> Option<String> {
+        let groups = self.groups.lock().expect("metrics registry");
+        groups
+            .iter()
+            .find(|g| g.name == group)
+            .map(|g| render_group(&g.source))
+    }
+
+    /// Renders every registered group, in registration order, as one
+    /// `tmg-obs-stats/v1` object.
+    pub fn snapshot_json(&self) -> String {
+        let groups = self.groups.lock().expect("metrics registry");
+        let mut out = String::from("{ \"schema\": \"tmg-obs-stats/v1\"");
+        for group in groups.iter() {
+            let _ = write!(out, ", \"{}\": {}", group.name, render_group(&group.source));
+        }
+        out.push_str(" }");
+        out
+    }
+
+    /// Registered group names, in registration order.
+    pub fn group_names(&self) -> Vec<&'static str> {
+        self.groups
+            .lock()
+            .expect("metrics registry")
+            .iter()
+            .map(|g| g.name)
+            .collect()
+    }
+}
+
+fn render_group(source: &Source) -> String {
+    match source {
+        Source::Counters { schema, counters } => {
+            let mut out = String::from("{ ");
+            let mut first = true;
+            if let Some(schema) = schema {
+                let _ = write!(out, "\"schema\": \"{schema}\"");
+                first = false;
+            }
+            for (name, counter) in counters {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "\"{}\": {}", name, counter.load(Ordering::Relaxed));
+            }
+            out.push_str(" }");
+            out
+        }
+        Source::Section(render) => render(),
+    }
+}
+
+/// The process-wide registry instance.
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| MetricsRegistry {
+        groups: Mutex::new(Vec::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_A: AtomicU64 = AtomicU64::new(0);
+    static TEST_B: AtomicU64 = AtomicU64::new(0);
+
+    #[test]
+    fn counters_render_in_declaration_order_and_register_once() {
+        let reg = registry();
+        reg.register_counters(
+            "test_counters",
+            Some("tmg-test-stats/v1"),
+            vec![("alpha", &TEST_A), ("beta", &TEST_B)],
+        );
+        // Idempotent: a second registration with different content is
+        // ignored.
+        reg.register_counters("test_counters", None, vec![("gamma", &TEST_A)]);
+        TEST_A.store(3, Ordering::Relaxed);
+        TEST_B.store(7, Ordering::Relaxed);
+        let json = reg.group_json("test_counters").expect("registered");
+        assert_eq!(
+            json,
+            "{ \"schema\": \"tmg-test-stats/v1\", \"alpha\": 3, \"beta\": 7 }"
+        );
+    }
+
+    #[test]
+    fn sections_replace_on_reregistration() {
+        let reg = registry();
+        reg.register_section("test_section", Box::new(|| "{ \"v\": 1 }".to_owned()));
+        reg.register_section("test_section", Box::new(|| "{ \"v\": 2 }".to_owned()));
+        assert_eq!(
+            reg.group_json("test_section").as_deref(),
+            Some("{ \"v\": 2 }")
+        );
+    }
+
+    #[test]
+    fn the_snapshot_is_one_versioned_object_over_all_groups() {
+        let reg = registry();
+        reg.register_section("test_snapshot", Box::new(|| "{ \"x\": 9 }".to_owned()));
+        let json = reg.snapshot_json();
+        assert!(json.starts_with("{ \"schema\": \"tmg-obs-stats/v1\""));
+        assert!(json.contains("\"test_snapshot\": { \"x\": 9 }"));
+        assert!(json.ends_with(" }"));
+        assert!(reg.group_names().contains(&"test_snapshot"));
+        assert!(reg.group_json("unregistered_group").is_none());
+    }
+}

@@ -1,95 +1,13 @@
-//! Lock-free per-op latency histograms for the analysis server.
+//! Per-op latency histograms for the analysis server.
 //!
-//! Each [`Histogram`] buckets durations by the bit length of the
-//! microsecond count (log₂ buckets), which is coarse but constant-time,
-//! allocation-free, and good enough for the p50/p95/p99 the `stats`
-//! snapshot reports: a quantile answers with the *upper bound* of the
-//! bucket it lands in, so reported percentiles never understate latency.
+//! The histogram itself ([`tmg_obs::Histogram`], re-exported here) lives
+//! in the observability crate: lock-free log₂ buckets whose quantiles
+//! answer with bucket *upper bounds*, so reported percentiles never
+//! understate latency.  This module keeps the server-side grouping: one
+//! histogram per schedulable op, registered as the `latency` group of the
+//! unified metrics registry.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-const BUCKETS: usize = 40;
-
-/// A fixed log₂-bucket latency histogram (atomic, shared by reference).
-#[derive(Debug)]
-pub struct Histogram {
-    /// `buckets[i]` counts durations whose microsecond count has bit
-    /// length `i`, i.e. the half-open range `(2^(i-1), 2^i]` µs.
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Histogram {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl Histogram {
-    fn bucket_of(us: u64) -> usize {
-        ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
-    }
-
-    /// Records one operation's duration.
-    pub fn record(&self, elapsed: Duration) {
-        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Operations recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in milliseconds (0 when empty).
-    pub fn mean_ms(&self) -> f64 {
-        let count = self.count();
-        if count == 0 {
-            return 0.0;
-        }
-        self.sum_us.load(Ordering::Relaxed) as f64 / count as f64 / 1000.0
-    }
-
-    /// The `q`-quantile (`0 < q <= 1`) in milliseconds: the upper bound of
-    /// the bucket holding the target rank, 0 when empty.
-    pub fn quantile_ms(&self, q: f64) -> f64 {
-        let count = self.count();
-        if count == 0 {
-            return 0.0;
-        }
-        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= target {
-                // Bucket i covers (2^(i-1), 2^i] µs; bucket 0 is exactly 0.
-                let upper_us = if i == 0 { 0u64 } else { 1u64 << i };
-                return upper_us as f64 / 1000.0;
-            }
-        }
-        0.0
-    }
-
-    /// Renders `{"count": N, "mean_ms": ..., "p50_ms": ..., ...}`.
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{ \"count\": {}, \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3} }}",
-            self.count(),
-            self.mean_ms(),
-            self.quantile_ms(0.50),
-            self.quantile_ms(0.95),
-            self.quantile_ms(0.99),
-        )
-    }
-}
+pub use tmg_obs::Histogram;
 
 /// The server's per-op histograms, embedded in the `stats` snapshot.
 #[derive(Debug, Default)]
@@ -112,36 +30,20 @@ impl LatencySet {
             self.sweep.to_json()
         )
     }
+
+    /// Registers (or replaces) this set as the unified registry's
+    /// `latency` group.  The server calls it at construction, so the
+    /// registry snapshot always renders the live server's histograms.
+    pub fn register(self: &std::sync::Arc<Self>) {
+        let set = std::sync::Arc::clone(self);
+        tmg_obs::registry().register_section("latency", Box::new(move || set.to_json()));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn quantiles_report_bucket_upper_bounds() {
-        let h = Histogram::default();
-        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
-            h.record(Duration::from_millis(ms));
-        }
-        assert_eq!(h.count(), 10);
-        // 1 ms = 1000 µs → bucket 10, upper bound 1024 µs = 1.024 ms.
-        assert_eq!(h.quantile_ms(0.50), 1.024);
-        assert_eq!(h.quantile_ms(0.90), 1.024);
-        // 100 ms = 100_000 µs → bucket 17, upper bound 131.072 ms.
-        assert_eq!(h.quantile_ms(0.99), 131.072);
-        assert!(h.quantile_ms(0.99) >= h.quantile_ms(0.50));
-        assert!((h.mean_ms() - 10.9).abs() < 0.1);
-    }
-
-    #[test]
-    fn an_empty_histogram_answers_zero() {
-        let h = Histogram::default();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean_ms(), 0.0);
-        assert_eq!(h.quantile_ms(0.99), 0.0);
-        assert!(h.to_json().contains("\"count\": 0"));
-    }
+    use std::time::Duration;
 
     #[test]
     fn the_set_renders_both_ops() {
@@ -150,5 +52,24 @@ mod tests {
         let json = set.to_json();
         assert!(json.contains("\"analyse\": { \"count\": 1"));
         assert!(json.contains("\"sweep\": { \"count\": 0"));
+    }
+
+    #[test]
+    fn a_registered_set_backs_the_registry_latency_group() {
+        // Other tests (every server construction) also register the group,
+        // so assert shape, not identity with this particular instance.
+        let set = std::sync::Arc::new(LatencySet::default());
+        set.register();
+        let group = tmg_obs::registry()
+            .group_json("latency")
+            .expect("latency group registered");
+        for key in [
+            "\"analyse\":",
+            "\"analyse_module\":",
+            "\"sweep\":",
+            "\"p99_ms\":",
+        ] {
+            assert!(group.contains(key), "missing {key} in {group}");
+        }
     }
 }

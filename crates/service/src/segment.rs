@@ -367,6 +367,7 @@ impl SegmentLog {
     /// Appends a frame for `(stage, key)`.  Returns `true` when the record
     /// was written and indexed (counted as a store by the caller).
     pub(crate) fn append(&self, stage: Stage, key: u64, frame: &[u8]) -> bool {
+        let _span = tmg_obs::span("segment:append");
         let mut guard = self.state_guard();
         let state = guard.as_mut().expect("loaded");
         if self.append_frame_locked(state, stage, key, frame, true) {
@@ -456,6 +457,7 @@ impl SegmentLog {
             active.unsynced = 0;
             active.first_unsynced = None;
             let file = active.file.clone();
+            let _span = tmg_obs::span("segment:fsync");
             let _ = file.sync_data();
             self.group_commit_batches.fetch_add(1, Ordering::Relaxed);
         }
@@ -761,6 +763,7 @@ impl SegmentLog {
     /// `false` when an injected crash or an append failure stopped the pass
     /// — the victim stays, already-copied frames exist twice bit-identically.
     fn compact_segment_locked(&self, state: &mut LogState, victim: u64) -> bool {
+        let _span = tmg_obs::span("segment:compaction");
         let mut entries: Vec<((u8, u64), Loc)> = state
             .index
             .iter()
@@ -1185,6 +1188,7 @@ impl SegmentLog {
             if active.unsynced > 0 {
                 active.unsynced = 0;
                 active.first_unsynced = None;
+                let _span = tmg_obs::span("segment:fsync");
                 let _ = active.file.sync_data();
                 self.group_commit_batches.fetch_add(1, Ordering::Relaxed);
             }

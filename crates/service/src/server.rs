@@ -8,12 +8,19 @@
 //! that is echoed in the response; responses to concurrent (or pipelined)
 //! requests may arrive in any order, so callers match on `id`.
 //!
+//! Every well-formed request is additionally tagged with a `trace_id`
+//! (caller-chosen via a `trace_id` field, otherwise assigned from a
+//! process-unique counter) that is echoed in the response.  When span
+//! tracing is enabled ([`tmg_obs::set_enabled`]), the `trace_id` keys the
+//! request's recorded span tree for later `profile` queries.
+//!
 //! | op         | request fields                                        | response |
 //! |------------|-------------------------------------------------------|----------|
 //! | `analyse`  | `source` (mini-C module), `path_bound`, optional `function` filter, optional `deadline_ms` | `reports`: one object per analysed function |
 //! | `analyse_module` | `source`, `path_bound`, optional `deadline_ms` | interprocedural composition: `roots` (composed bounds of the call-graph roots), per-function `summaries` and `reports`, differential reuse counters |
 //! | `sweep`    | `source`, optional `max_bound` (default 10⁶), optional `deadline_ms` | `points`: the Figure-2/3 tradeoff curve |
-//! | `stats`    | —                                                     | `stats`: the two-tier cache counter snapshot plus per-op latency histograms |
+//! | `stats`    | —                                                     | `stats`: the unified `tmg-obs-stats/v1` metrics snapshot (tier counters, checker/module groups, per-op latency histograms) |
+//! | `profile`  | `trace_id` of a completed request                     | `profile`: the retained span tree (`tmg-obs-profile/v1`), or a typed `unknown_trace` error |
 //! | `shutdown` | —                                                     | ack after the drain + disk flush, then the server exits |
 //!
 //! Failures are per-request and typed:
@@ -27,8 +34,10 @@
 //! `analyse` and `sweep` requests are enqueued into a bounded queue and
 //! picked up by a pool of scheduler threads (spawned on demand).  When the
 //! queue is full, the request is *shed* immediately with an `overloaded`
-//! error whose `retry_after_ms` is derived from the measured mean latency
-//! of that op — callers get backpressure instead of unbounded memory.
+//! error whose `retry_after_ms` is derived from the measured *median*
+//! latency of that op (the p50 bucket upper bound — robust against one
+//! pathological request inflating the hint for everyone) — callers get
+//! backpressure instead of unbounded memory.
 //!
 //! A request with `deadline_ms` is declined (typed `cancelled` error) when
 //! the deadline expires before a worker picks it up, and the deadline is
@@ -41,7 +50,9 @@
 //! *Identical* in-flight requests **without deadlines** (same op, source,
 //! bound, filter) are deduplicated at submit time — a duplicate registers
 //! as a waiter on the in-flight job and the one computation answers every
-//! waiter (the `deduplicated` counter in [`ServeSummary`]).  Requests with
+//! waiter (the `deduplicated` counter in [`ServeSummary`]); waiters get
+//! the leader's response body verbatim, including its `trace_id`, so a
+//! deduplicated request profiles as the computation it rode.  Requests with
 //! deadlines are never deduplicated: each must be able to expire
 //! independently.  Within one `analyse` of a multi-function module, the
 //! functions fan out across the rayon worker pool, and every worker shares
@@ -51,6 +62,18 @@
 //! work so their answers are deterministic.  `shutdown` additionally
 //! flushes the disk tier (fsync) before acknowledging; EOF on a transport
 //! performs the same drain + flush without the ack.
+//!
+//! # Per-request profiling
+//!
+//! With tracing enabled, every scheduled request runs under a root
+//! `request:<op>` span; the queue wait (`service:admission`), the
+//! computation (`service:compute`, under which the pipeline-stage and
+//! checker-phase spans nest) and the response write (`service:respond`)
+//! are children.  At respond time the trace is *retained* for later
+//! `profile` queries when the request's end-to-end time reached the
+//! configured slow-request threshold ([`Server::with_slow_threshold_ms`];
+//! the default threshold of 0 retains every traced request), and dropped
+//! otherwise — the retained set is the bounded slow-request log.
 //!
 //! # Transports
 //!
@@ -108,7 +131,10 @@ pub struct Server {
     store: Arc<PersistentStore>,
     workers: usize,
     queue_capacity: usize,
-    latency: LatencySet,
+    /// Traced requests at least this slow (end-to-end) keep their spans
+    /// for `profile`; faster ones drop them at respond time.
+    slow_threshold_ms: u64,
+    latency: Arc<LatencySet>,
 }
 
 /// A parsed, schedulable request.
@@ -180,6 +206,9 @@ pub(crate) struct Pending<'env> {
     respond: Respond<'env>,
     deadline: Option<Instant>,
     accepted_at: Instant,
+    /// The request's trace id (caller-chosen or assigned at dispatch),
+    /// echoed in the response and keying the recorded span tree.
+    trace: u64,
 }
 
 /// Shared queue state, all under one lock: the pending jobs, whether the
@@ -353,6 +382,43 @@ impl<'env> Scheduler<'env> {
     }
 }
 
+/// Prefixes a response body with the echoed `trace_id` member.
+fn with_trace(trace: u64, body: &str) -> String {
+    format!("\"trace_id\": {trace}, {body}")
+}
+
+/// The root span name for a scheduled request.
+fn request_span_name(job: &Job) -> &'static str {
+    match job {
+        Job::Analyse { .. } => "request:analyse",
+        Job::AnalyseModule { .. } => "request:analyse_module",
+        Job::Sweep { .. } => "request:sweep",
+    }
+}
+
+/// The `profile` response body: the retained span tree for `trace`, or a
+/// typed `unknown_trace` error when nothing is retained under that id.
+fn profile_body(trace: u64) -> String {
+    match tmg_obs::trace_spans(trace) {
+        Some(spans) if !spans.is_empty() => {
+            let tree = tmg_obs::build_tree(&spans);
+            format!(
+                "\"trace_id\": {trace}, \"op\": \"profile\", \"ok\": true, \
+                 \"profile\": {{ \"schema\": \"tmg-obs-profile/v1\", \"trace_id\": {trace}, \
+                 \"span_count\": {}, \"spans\": {} }}",
+                spans.len(),
+                tmg_obs::tree_json(&tree)
+            )
+        }
+        _ => format!(
+            "\"trace_id\": {trace}, \"op\": \"profile\", \"ok\": false, \
+             \"error_kind\": \"unknown_trace\", \
+             \"error\": \"no spans retained for trace {trace} (tracing disabled, request \
+             below the slow threshold, or trace evicted)\""
+        ),
+    }
+}
+
 fn expired_body(op: &str) -> String {
     format!(
         "\"op\": \"{op}\", \"ok\": false, \"error_kind\": \"cancelled\", \
@@ -377,11 +443,14 @@ impl Server {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
             .min(8);
+        let latency = Arc::new(LatencySet::default());
+        latency.register();
         Server {
             store,
             workers,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
-            latency: LatencySet::default(),
+            slow_threshold_ms: 0,
+            latency,
         }
     }
 
@@ -396,6 +465,17 @@ impl Server {
     /// (useful for testing caller backoff).
     pub fn with_queue_capacity(mut self, capacity: usize) -> Server {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the slow-request threshold: a *traced* request whose
+    /// end-to-end time reaches `ms` milliseconds keeps its spans for later
+    /// `profile` queries, while faster requests drop theirs at respond
+    /// time.  The default of `0` retains every traced request (the
+    /// retained set is bounded either way).  Irrelevant while tracing is
+    /// disabled — nothing is recorded in the first place.
+    pub fn with_slow_threshold_ms(mut self, ms: u64) -> Server {
+        self.slow_threshold_ms = ms;
         self
     }
 
@@ -494,30 +574,45 @@ impl Server {
     ) -> bool {
         scheduler.requests.fetch_add(1, Ordering::Relaxed);
         match parse_request(line) {
-            Ok(Request::Job(job, deadline_ms)) => {
-                self.submit(scheduler, job, deadline_ms, respond, spawn_worker);
+            Ok(Request::Job {
+                job,
+                deadline_ms,
+                trace,
+            }) => {
+                let trace = trace.unwrap_or_else(tmg_obs::next_trace_id);
+                self.submit(scheduler, job, deadline_ms, trace, respond, spawn_worker);
                 false
             }
-            Ok(Request::Stats { id }) => {
+            Ok(Request::Stats { id, trace }) => {
+                let trace = trace.unwrap_or_else(tmg_obs::next_trace_id);
                 // Barrier: counters reflect every request scripted before
                 // this one.
                 scheduler.barrier();
                 let latency = self.latency.to_json();
                 let body = format!(
-                    "\"op\": \"stats\", \"ok\": true, \"stats\": {}",
+                    "\"trace_id\": {trace}, \"op\": \"stats\", \"ok\": true, \"stats\": {}",
                     self.store.stats().to_json_with(Some(&latency))
                 );
                 scheduler.respond(respond, id, &body);
                 false
             }
-            Ok(Request::Shutdown { id }) => {
+            Ok(Request::Profile { id, trace }) => {
+                // Barrier so that a profile scripted after its request is
+                // deterministic: the request has responded (and retained
+                // or dropped its spans) before we look the trace up.
+                scheduler.barrier();
+                scheduler.respond(respond, id, &profile_body(trace));
+                false
+            }
+            Ok(Request::Shutdown { id, trace }) => {
+                let trace = trace.unwrap_or_else(tmg_obs::next_trace_id);
                 scheduler.barrier();
                 self.store.flush();
-                scheduler.respond(
-                    respond,
-                    id,
-                    "\"op\": \"shutdown\", \"ok\": true, \"drained\": true, \"flushed\": true",
+                let body = format!(
+                    "\"trace_id\": {trace}, \"op\": \"shutdown\", \"ok\": true, \
+                     \"drained\": true, \"flushed\": true"
                 );
+                scheduler.respond(respond, id, &body);
                 true
             }
             Err((id, message)) => {
@@ -533,20 +628,25 @@ impl Server {
 
     /// Admission control for one job: declines zero deadlines outright,
     /// sheds when the bounded queue is full (typed `overloaded` error with
-    /// a `retry_after_ms` derived from the measured mean latency of the
+    /// a `retry_after_ms` derived from the measured median latency of the
     /// op), deduplicates no-deadline requests, and otherwise queues.
     fn submit<'env>(
         &self,
         scheduler: &Scheduler<'env>,
         job: Job,
         deadline_ms: Option<u64>,
+        trace: u64,
         respond: &Respond<'env>,
         spawn_worker: &dyn Fn(),
     ) {
         let accepted_at = Instant::now();
         if deadline_ms == Some(0) {
             scheduler.expired.fetch_add(1, Ordering::Relaxed);
-            scheduler.respond(respond, job.id(), &expired_body(job.op_name()));
+            scheduler.respond(
+                respond,
+                job.id(),
+                &with_trace(trace, &expired_body(job.op_name())),
+            );
             return;
         }
         let deadline = deadline_ms.map(|ms| accepted_at + Duration::from_millis(ms));
@@ -555,6 +655,7 @@ impl Server {
             respond: Arc::clone(respond),
             deadline,
             accepted_at,
+            trace,
         };
         match scheduler.try_submit(pending, deadline.is_none()) {
             Submitted::Queued { needs_worker } => {
@@ -568,15 +669,21 @@ impl Server {
                 scheduler.respond(
                     &pending.respond,
                     pending.job.id(),
-                    &overloaded_body(pending.job.op_name(), retry),
+                    &with_trace(
+                        pending.trace,
+                        &overloaded_body(pending.job.op_name(), retry),
+                    ),
                 );
             }
         }
     }
 
-    /// How long a shed caller should back off: the measured mean latency of
-    /// the op (the expected time for one queue slot to free up), or 50 ms
-    /// before any measurement exists.
+    /// How long a shed caller should back off: the measured *median*
+    /// latency of the op (the p50 bucket upper bound — the typical time
+    /// for one queue slot to free up), or 50 ms before any measurement
+    /// exists.  The mean would be hostage to one pathological request: a
+    /// single 10-second outlier among millisecond requests would tell
+    /// every shed caller to back off for seconds.
     fn retry_hint_ms(&self, job: &Job) -> u64 {
         let histogram = match job {
             Job::Analyse { .. } => &self.latency.analyse,
@@ -586,7 +693,7 @@ impl Server {
         if histogram.count() == 0 {
             50
         } else {
-            (histogram.mean_ms().ceil() as u64).max(1)
+            (histogram.quantile_ms(0.50).ceil() as u64).max(1)
         }
     }
 
@@ -599,19 +706,40 @@ impl Server {
             respond,
             deadline,
             accepted_at,
+            trace,
         } = pending;
         let id = job.id();
         if deadline.is_some_and(|d| Instant::now() >= d) {
             scheduler.expired.fetch_add(1, Ordering::Relaxed);
-            scheduler.respond(&respond, id, &expired_body(job.op_name()));
+            scheduler.respond(
+                &respond,
+                id,
+                &with_trace(trace, &expired_body(job.op_name())),
+            );
             scheduler.job_done();
             return;
         }
         let cancel = deadline.map_or_else(CancelToken::none, CancelToken::with_deadline);
-        let body =
+        // The whole request runs under a root `request:<op>` span in its
+        // own trace; the queue wait (measured between two instants, so
+        // recorded manually), the computation — under which the pipeline
+        // and checker spans nest — and the response write are children.
+        let trace_scope = tmg_obs::enter_trace(tmg_obs::TraceContext { trace, parent: 0 });
+        let root = tmg_obs::span(request_span_name(&job));
+        tmg_obs::record_manual(
+            "service:admission",
+            trace,
+            root.id(),
+            tmg_obs::instant_us(accepted_at),
+            tmg_obs::now_us(),
+        );
+        let body = {
+            let _compute = tmg_obs::span("service:compute");
             catch_unwind(AssertUnwindSafe(|| self.handle(&job, cancel))).unwrap_or_else(|_| {
                 "\"ok\": false, \"error_kind\": \"fault\", \"error\": \"internal error\"".to_owned()
-            });
+            })
+        };
+        let body = with_trace(trace, &body);
         let histogram = match &job {
             Job::Analyse { .. } => &self.latency.analyse,
             Job::AnalyseModule { .. } => &self.latency.analyse_module,
@@ -628,7 +756,22 @@ impl Server {
         } else {
             Vec::new()
         };
-        scheduler.respond(&respond, id, &body);
+        {
+            let _respond_span = tmg_obs::span("service:respond");
+            scheduler.respond(&respond, id, &body);
+        }
+        // Close the root and leave the trace: the thread-local buffer
+        // flushes into the trace's live bucket, so the retain/drop
+        // decision below sees every span.  It must land before
+        // `job_done` releases the drain barrier, or a pipelined
+        // `profile` could look the trace up first.
+        drop(root);
+        drop(trace_scope);
+        if accepted_at.elapsed() >= Duration::from_millis(self.slow_threshold_ms) {
+            tmg_obs::retain_trace(trace);
+        } else {
+            tmg_obs::discard_trace(trace);
+        }
         scheduler.job_done();
         for (waiter, waiter_respond) in waiters {
             scheduler.respond(&waiter_respond, waiter, &body);
@@ -845,9 +988,25 @@ fn report_json(r: &AnalysisReport) -> String {
 }
 
 enum Request {
-    Job(Job, Option<u64>),
-    Stats { id: u64 },
-    Shutdown { id: u64 },
+    Job {
+        job: Job,
+        deadline_ms: Option<u64>,
+        /// Caller-chosen trace id; assigned at dispatch when absent.
+        trace: Option<u64>,
+    },
+    Stats {
+        id: u64,
+        trace: Option<u64>,
+    },
+    /// `trace` here is the trace to look up, not this request's own tag.
+    Profile {
+        id: u64,
+        trace: u64,
+    },
+    Shutdown {
+        id: u64,
+        trace: Option<u64>,
+    },
 }
 
 type RequestError = (Option<u64>, String);
@@ -867,6 +1026,14 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
             "deadline_ms must be a non-negative integer".to_owned(),
         ))?),
     };
+    let trace = match value.get("trace_id") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .filter(|t| *t >= 1)
+                .ok_or((Some(id), "trace_id must be a positive integer".to_owned()))?,
+        ),
+    };
     match op {
         "analyse" => {
             let source = value
@@ -885,15 +1052,16 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
                 .get("function")
                 .and_then(Value::as_str)
                 .map(str::to_owned);
-            Ok(Request::Job(
-                Job::Analyse {
+            Ok(Request::Job {
+                job: Job::Analyse {
                     id,
                     source,
                     path_bound,
                     function,
                 },
                 deadline_ms,
-            ))
+                trace,
+            })
         }
         "analyse_module" => {
             let source = value
@@ -908,14 +1076,15 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
                     .filter(|b| *b >= 1)
                     .ok_or((Some(id), "path_bound must be a positive integer".to_owned()))?,
             };
-            Ok(Request::Job(
-                Job::AnalyseModule {
+            Ok(Request::Job {
+                job: Job::AnalyseModule {
                     id,
                     source,
                     path_bound,
                 },
                 deadline_ms,
-            ))
+                trace,
+            })
         }
         "sweep" => {
             let source = value
@@ -930,17 +1099,25 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
                     .filter(|b| *b >= 1)
                     .ok_or((Some(id), "max_bound must be a positive integer".to_owned()))?,
             };
-            Ok(Request::Job(
-                Job::Sweep {
+            Ok(Request::Job {
+                job: Job::Sweep {
                     id,
                     source,
                     max_bound,
                 },
                 deadline_ms,
-            ))
+                trace,
+            })
         }
-        "stats" => Ok(Request::Stats { id }),
-        "shutdown" => Ok(Request::Shutdown { id }),
+        "stats" => Ok(Request::Stats { id, trace }),
+        "profile" => {
+            let trace = trace.ok_or((
+                Some(id),
+                "profile needs the trace_id of a completed request".to_owned(),
+            ))?;
+            Ok(Request::Profile { id, trace })
+        }
+        "shutdown" => Ok(Request::Shutdown { id, trace }),
         other => Err((Some(id), format!("unknown op `{other}`"))),
     }
 }
@@ -1265,19 +1442,22 @@ mod tests {
             "void g(char b __range(0, 7)) { if (b > 4) { p(); } if (b > 6) { q(); } }",
             "void h(bool c) { if (c) { r(); } }",
         ];
+        // Pin each request's trace_id: auto-assigned ids come from a
+        // process-wide counter, so only pinned traces can be byte-compared
+        // across two server runs.
         let mut script = String::new();
         for (i, source) in sources.iter().enumerate() {
             script.push_str(&format!(
-                "{{\"id\": {}, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 4}}\n",
-                i + 1,
-                json::escape(source)
+                "{{\"id\": {id}, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 4, \"trace_id\": {id}}}\n",
+                json::escape(source),
+                id = i + 1,
             ));
         }
         script.push_str(&format!(
-            "{{\"id\": 9, \"op\": \"sweep\", \"source\": \"{}\", \"max_bound\": 1000}}\n",
+            "{{\"id\": 9, \"op\": \"sweep\", \"source\": \"{}\", \"max_bound\": 1000, \"trace_id\": 9}}\n",
             json::escape(sources[0])
         ));
-        script.push_str("{\"id\": 10, \"op\": \"shutdown\"}\n");
+        script.push_str("{\"id\": 10, \"op\": \"shutdown\", \"trace_id\": 10}\n");
 
         let root_one = temp_root("workers-one");
         let one = Server::new(open_store(&root_one)).with_workers(1);
@@ -1307,6 +1487,161 @@ mod tests {
         assert!(summary.flushed, "EOF still drains and flushes");
         assert_eq!(summary.responses, 1, "in-flight work was answered");
         assert_eq!(responses[0].get("ok").and_then(Value::as_bool), Some(true));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn every_response_echoes_a_trace_id() {
+        let root = temp_root("trace-echo");
+        let store = open_store(&root);
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2, \"trace_id\": 424242}}\n\
+             {{\"id\": 2, \"op\": \"stats\"}}\n\
+             {{\"id\": 3, \"op\": \"shutdown\"}}\n",
+            json::escape(SOURCE)
+        );
+        let server = Server::new(store).with_workers(2);
+        let (_, responses) = serve_script(&server, &script);
+        // A caller-chosen trace_id is echoed verbatim; the others get a
+        // server-assigned (nonzero) one.
+        assert_eq!(
+            responses[0].get("trace_id").and_then(Value::as_u64),
+            Some(424_242)
+        );
+        for r in &responses[1..] {
+            assert!(
+                r.get("trace_id").and_then(Value::as_u64).unwrap_or(0) > 0,
+                "auto-assigned trace_id missing in {r:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn retry_hints_track_the_median_latency_not_the_mean() {
+        let root = temp_root("retry-median");
+        let store = open_store(&root);
+        // Capacity 0: the analyse request is shed deterministically.
+        let server = Server::new(store).with_workers(1).with_queue_capacity(0);
+        // Bimodal history: nine 1 ms requests and one 10 s outlier.  The
+        // mean (~1001 ms) would tell every shed caller to back off for a
+        // second; the median says a queue slot frees up in ~1 ms.
+        for _ in 0..9 {
+            server.latency.analyse.record(Duration::from_millis(1));
+        }
+        server.latency.analyse.record(Duration::from_secs(10));
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}\n\
+             {{\"id\": 2, \"op\": \"shutdown\"}}\n",
+            json::escape(SOURCE)
+        );
+        let (summary, responses) = serve_script(&server, &script);
+        assert_eq!(summary.shed, 1);
+        let retry = responses[0]
+            .get("retry_after_ms")
+            .and_then(Value::as_u64)
+            .expect("retry hint");
+        // p50 bucket upper bound: 1 ms lands in the 1.024 ms bucket → 2 ms
+        // after ceil.  Anything near the 1001 ms mean is a regression.
+        assert_eq!(retry, 2, "retry hint must be the p50 upper bound");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Serialises the tests that flip the process-global span recorder.
+    fn tracing_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn a_traced_request_can_be_profiled_after_completion() {
+        let _serialised = tracing_lock();
+        let root = temp_root("profile");
+        let store = open_store(&root);
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2, \"trace_id\": 777001}}\n\
+             {{\"id\": 2, \"op\": \"profile\", \"trace_id\": 777001}}\n\
+             {{\"id\": 3, \"op\": \"profile\", \"trace_id\": 777999}}\n\
+             {{\"id\": 4, \"op\": \"shutdown\"}}\n",
+            json::escape(SOURCE)
+        );
+        // Default slow threshold (0): every traced request is retained.
+        let server = Server::new(store).with_workers(2);
+        tmg_obs::set_enabled(true);
+        let (_, responses) = serve_script(&server, &script);
+        tmg_obs::set_enabled(false);
+        tmg_obs::discard_trace(777_001);
+        let profile = responses[1]
+            .get("profile")
+            .expect("profile body in response");
+        assert_eq!(
+            responses[1].get("ok").and_then(Value::as_bool),
+            Some(true),
+            "profile of a completed trace succeeds: {:?}",
+            responses[1]
+        );
+        assert_eq!(
+            profile.get("schema").and_then(Value::as_str),
+            Some("tmg-obs-profile/v1")
+        );
+        let spans = profile
+            .get("spans")
+            .and_then(Value::as_array)
+            .expect("span tree");
+        assert_eq!(spans.len(), 1, "one root span for the request");
+        let span_root = &spans[0];
+        assert_eq!(
+            span_root.get("name").and_then(Value::as_str),
+            Some("request:analyse")
+        );
+        let children: Vec<&str> = span_root
+            .get("children")
+            .and_then(Value::as_array)
+            .expect("children")
+            .iter()
+            .filter_map(|c| c.get("name").and_then(Value::as_str))
+            .collect();
+        for expected in ["service:admission", "service:compute", "service:respond"] {
+            assert!(
+                children.contains(&expected),
+                "missing {expected} in {children:?}"
+            );
+        }
+        // An unknown trace answers with a typed error, not a fault.
+        assert_eq!(responses[2].get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            responses[2].get("error_kind").and_then(Value::as_str),
+            Some("unknown_trace")
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn requests_faster_than_the_slow_threshold_drop_their_spans() {
+        let _serialised = tracing_lock();
+        let root = temp_root("slow-threshold");
+        let store = open_store(&root);
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2, \"trace_id\": 777002}}\n\
+             {{\"id\": 2, \"op\": \"profile\", \"trace_id\": 777002}}\n\
+             {{\"id\": 3, \"op\": \"shutdown\"}}\n",
+            json::escape(SOURCE)
+        );
+        // No request finishes slower than an hour: nothing is retained.
+        let server = Server::new(store)
+            .with_workers(2)
+            .with_slow_threshold_ms(3_600_000);
+        tmg_obs::set_enabled(true);
+        let (_, responses) = serve_script(&server, &script);
+        tmg_obs::set_enabled(false);
+        assert_eq!(responses[0].get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            responses[1].get("error_kind").and_then(Value::as_str),
+            Some("unknown_trace"),
+            "a fast request's spans are dropped at respond time: {:?}",
+            responses[1]
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 }

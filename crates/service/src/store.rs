@@ -99,11 +99,13 @@ impl TierStats {
     }
 
     /// Renders the snapshot as one JSON object (hand-written; schema
-    /// `tmg-tier-stats/v1`), embedding the memory tier's
-    /// [`StoreStats::to_json`] output, the process-wide checker counters
-    /// ([`tmg_tsys::metrics`]) and the segment-tier counters, so perf work
-    /// on both the checker and the storage engine stays observable through
-    /// the service `stats` op.
+    /// `tmg-obs-stats/v1`), embedding the memory tier's
+    /// [`StoreStats::to_json`] output, the unified metrics registry's
+    /// `checker` and `module` groups and the segment-tier counters, so
+    /// perf work on both the checker and the storage engine stays
+    /// observable through the service `stats` op.  Every top-level key of
+    /// the predecessor `tmg-tier-stats/v1` schema is preserved (asserted
+    /// by the schema-stability tests); only the `schema` value moved.
     pub fn to_json(&self) -> String {
         self.to_json_with(None)
     }
@@ -113,16 +115,24 @@ impl TierStats {
     /// p50/p95/p99 view) embedded under `"latency"`.
     pub fn to_json_with(&self, latency: Option<&str>) -> String {
         use std::fmt::Write as _;
+        // The process-wide counter sets render through the registry (one
+        // source for the `stats` op, the registry snapshot and any future
+        // exporter).  Registration is idempotent and happens on first use,
+        // but snapshotting before anything bumped a counter must still
+        // render the groups — so make sure they are registered.
+        tmg_tsys::metrics::register();
+        tmg_core::module::metrics::register();
+        let registry = tmg_obs::registry();
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{ \"schema\": \"tmg-tier-stats/v1\", \"computes\": {}, \"disk_bytes\": {}, \"disk_budget\": {}, \"memory\": {}, \"checker\": {}, \"module\": {}, ",
+            "{{ \"schema\": \"tmg-obs-stats/v1\", \"computes\": {}, \"disk_bytes\": {}, \"disk_budget\": {}, \"memory\": {}, \"checker\": {}, \"module\": {}, ",
             self.total_computes(),
             self.disk_bytes,
             self.disk_budget,
             self.memory.to_json(),
-            tmg_tsys::metrics::snapshot().to_json(),
-            tmg_core::module::metrics::snapshot().to_json()
+            registry.group_json("checker").expect("checker registered"),
+            registry.group_json("module").expect("module registered")
         );
         let s = &self.segment;
         let _ = write!(
@@ -549,7 +559,7 @@ mod tests {
             segment: SegmentStats::default(),
         };
         let json = stats.to_json();
-        assert!(json.contains("\"schema\": \"tmg-tier-stats/v1\""));
+        assert!(json.contains("\"schema\": \"tmg-obs-stats/v1\""));
         assert!(json.contains("\"schema\": \"tmg-store-stats/v1\""));
         assert!(json.contains("\"segments\": { \"count\": 0, \"live_bytes\": 0, \"dead_bytes\": 0, \"compactions\": 0"));
         assert!(json.contains("\"group_commit_batches\": 0"));

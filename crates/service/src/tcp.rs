@@ -278,9 +278,11 @@ mod tests {
 
     #[test]
     fn tcp_and_stdin_responses_are_byte_identical() {
+        // Trace ids are pinned: auto-assigned ones come from a
+        // process-wide counter and would differ between the two runs.
         let script = format!(
-            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 4}}\n\
-             {{\"id\": 2, \"op\": \"shutdown\"}}\n",
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 4, \"trace_id\": 1}}\n\
+             {{\"id\": 2, \"op\": \"shutdown\", \"trace_id\": 2}}\n",
             json::escape(SOURCE)
         );
 

@@ -509,7 +509,10 @@ impl ModelChecker {
                             .iter()
                             .filter_map(|(idx, name)| witness.get(name).map(|v| (*idx, v)))
                             .collect();
-                        let completed = self.check_prepared_pinned(&full, q, &pins);
+                        let completed = {
+                            let _span = tmg_obs::span("checker:witness-completion");
+                            self.check_prepared_pinned(&full, q, &pins)
+                        };
                         match completed.outcome {
                             CheckOutcome::Feasible { witness, steps } => {
                                 crate::metrics::add_witnesses_reconstructed(1);

@@ -17,6 +17,18 @@ macro_rules! counters {
     ($($(#[$doc:meta])* $name:ident => $json:literal),+ $(,)?) => {
         $( $(#[$doc])* static $name: AtomicU64 = AtomicU64::new(0); )+
 
+        /// Registers every counter, by its JSON name and in declaration
+        /// order, into the unified metrics registry (group `"checker"`).
+        /// Idempotent; [`snapshot`] calls it, so any stats consumer sees
+        /// the group registered.
+        pub fn register() {
+            tmg_obs::registry().register_counters(
+                "checker",
+                None,
+                vec![$( ($json, &$name), )+],
+            );
+        }
+
         /// A point-in-time copy of every checker counter.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
         #[allow(non_snake_case)]
@@ -27,6 +39,7 @@ macro_rules! counters {
         /// Reads every counter (relaxed; values are monotone but not
         /// mutually consistent to the cycle).
         pub fn snapshot() -> CheckerMetrics {
+            register();
             CheckerMetrics {
                 $( $name: $name.load(Ordering::Relaxed), )+
             }
@@ -110,6 +123,25 @@ bump_fns! {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn the_registry_group_matches_the_struct_renderer() {
+        register();
+        let registry_json = tmg_obs::registry()
+            .group_json("checker")
+            .expect("checker group registered");
+        let struct_json = snapshot().to_json();
+        // Same keys in the same order; values may differ only by counter
+        // bumps racing between the two reads, so compare the key skeleton.
+        let keys = |json: &str| -> Vec<String> {
+            json.split('"')
+                .skip(1)
+                .step_by(2)
+                .map(str::to_owned)
+                .collect()
+        };
+        assert_eq!(keys(&registry_json), keys(&struct_json));
+    }
 
     #[test]
     fn snapshot_is_monotone_and_renders_json() {

@@ -1076,13 +1076,16 @@ impl MultiQueryEngine {
         seed_out.states_created = 1;
         lattice.ops[0] += 1;
 
-        let seed_exit = run_exploration(
-            &seed_ctx,
-            &mut lattice,
-            &mut arena,
-            &mut alive,
-            &mut seed_out,
-        );
+        let seed_exit = {
+            let _span = tmg_obs::span("checker:seed");
+            run_exploration(
+                &seed_ctx,
+                &mut lattice,
+                &mut arena,
+                &mut alive,
+                &mut seed_out,
+            )
+        };
         lattice.query_ops_all(&mut seed_out.query_ops);
         seed_out.signatures = lattice.vecs.len();
         // The seed/shard boundary is the first cooperative cancellation
@@ -1266,6 +1269,7 @@ impl MultiQueryEngine {
             };
 
             let workers = threads.max(1).min(shards.len().max(1));
+            let shard_span = tmg_obs::span("checker:shards");
             let (runs, mut visited_counters) = run_shard_phase(workers);
             // Unwind before the sequential re-run and the reduction: a
             // cancelled phase's slots may be skipped mid-schedule, and
@@ -1296,6 +1300,7 @@ impl MultiQueryEngine {
                 shard_runs = runs;
                 visited_counters = counters;
             }
+            drop(shard_span);
             // Publish metrics once, for the phase whose results are used.
             let (insertions, hits, collisions) = visited_counters;
             metrics::add_visited_insertions(insertions);
