@@ -10,6 +10,8 @@
 //! cargo run -p tmg-bench --release --bin reproduce -- serve --tcp 127.0.0.1:7077   # TCP transport
 //! cargo run -p tmg-bench --release --bin reproduce -- serve --smoke   # scripted cold/warm smoke
 //! cargo run -p tmg-bench --release --bin reproduce -- loadtest        # mixed socket loadtest
+//! cargo run -p tmg-bench --release --bin reproduce -- chaos           # kill/restart + wire-fault soak
+//! cargo run -p tmg-bench --release --bin reproduce -- chaos --quick   # CI chaos smoke
 //! cargo run -p tmg-bench --release --bin reproduce -- profile         # Chrome trace of one cold request
 //! cargo run -p tmg-bench --release --bin reproduce -- profile --quick # validated profiling smoke
 //! cargo run -p tmg-bench --release --bin reproduce -- bench           # writes BENCH_pr9.json
@@ -52,10 +54,14 @@ use tmg_service::{json, FaultPlan, PersistentStore, PersistentStoreConfig, Serve
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `profile` owns `--quick` as its own validation mode, so it must be
-    // routed before the CI smoke shortcut.
+    // `profile` and `chaos` own `--quick` as their own short modes, so they
+    // must be routed before the CI smoke shortcut.
     if args.iter().any(|a| a == "profile") {
         run_profile(&args);
+        return;
+    }
+    if args.iter().any(|a| a == "chaos") {
+        run_chaos(&args);
         return;
     }
     if args.iter().any(|a| a == "--quick") {
@@ -98,7 +104,7 @@ fn main() {
             "testgen" => print_testgen(),
             "sweep" => print_sweep_json(with_stats),
             "bench" => run_bench(),
-            other => eprintln!("unknown experiment `{other}` (expected table1, figure2, figure3, table2, case-study, testgen, sweep, serve, loadtest, profile, bench, all)"),
+            other => eprintln!("unknown experiment `{other}` (expected table1, figure2, figure3, table2, case-study, testgen, sweep, serve, loadtest, chaos, profile, bench, all)"),
         }
     }
 }
@@ -146,12 +152,21 @@ fn run_serve(args: &[String]) {
     let summary = match tcp_addr {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr).expect("bind TCP listener");
+            let local = listener.local_addr().expect("local addr");
             eprintln!(
-                "tmg-service/v1 serving on tcp {} (artifact cache: {root}); ops: analyse, sweep, stats, profile, shutdown",
-                listener.local_addr().expect("local addr")
+                "tmg-service/v1 serving on tcp {local} (artifact cache: {root}); ops: analyse, sweep, stats, profile, shutdown"
             );
+            // `--announce <file>` publishes the bound address (atomically,
+            // via rename) so a parent that bound port 0 can find us — the
+            // chaos harness restarts servers on fresh ports this way.
+            if let Some(path) = arg_value(args, "--announce") {
+                let tmp = format!("{path}.tmp");
+                std::fs::write(&tmp, local.to_string()).expect("write announce file");
+                std::fs::rename(&tmp, &path).expect("publish announce file");
+            }
             Server::new(store)
                 .with_slow_threshold_ms(slow_ms)
+                .with_wire_faults(FaultPlan::from_env())
                 .serve_tcp(listener)
                 .expect("serve_tcp")
         }
@@ -167,13 +182,73 @@ fn run_serve(args: &[String]) {
         }
     };
     eprintln!(
-        "served {} requests ({} responses, {} deduplicated, {} shed, {} expired, clean shutdown: {})",
+        "served {} requests ({} responses, {} deduplicated, {} shed [{} quota, {} cost], {} expired, {} disconnected, clean shutdown: {})",
         summary.requests,
         summary.responses,
         summary.deduplicated,
         summary.shed,
+        summary.quota_shed,
+        summary.cost_shed,
         summary.expired,
+        summary.disconnected,
         summary.clean_shutdown
+    );
+}
+
+/// `reproduce -- chaos [--quick]`: the end-to-end resilience soak — the
+/// loadtest mix through reconnecting `tmg-client`s against a real server
+/// process that gets `kill -9`ed and restarted mid-soak with every wire
+/// fault kind armed.  Every assertion lives in [`tmg_bench::chaos`]; this
+/// just picks the config and prints the report.
+fn run_chaos(args: &[String]) {
+    let config = if args.iter().any(|a| a == "--quick") {
+        tmg_bench::ChaosConfig::quick()
+    } else {
+        tmg_bench::ChaosConfig::full()
+    };
+    println!(
+        "chaos soak: {} slots per phase over {} client connections, {} kill/restart cycle(s), wire plan {}",
+        config.requests,
+        config.connections,
+        config.kills,
+        tmg_bench::chaos::WIRE_PLAN
+    );
+    let report = tmg_bench::chaos(&config);
+    println!(
+        "answered {}/{}: {} ok, {} cancelled (deadline slots), {} soak answers verified bit-identical to the fault-free reference",
+        report.ok + report.cancelled,
+        report.requests,
+        report.ok,
+        report.cancelled,
+        report.verified_identical
+    );
+    for (k, recovery) in report.recovery.iter().enumerate() {
+        println!(
+            "kill {}: recovered in {:.1} ms (kill -> answered probe)",
+            k + 1,
+            recovery.as_secs_f64() * 1e3
+        );
+    }
+    let wire: Vec<String> = report
+        .wire_faults
+        .iter()
+        .map(|(kind, fired)| format!("{kind} x{fired}"))
+        .collect();
+    println!(
+        "wire faults fired on the final server: {} ({} total); restart computes: {} (fully warm)",
+        wire.join(", "),
+        report.wire_faults_fired(),
+        report.restart_computes
+    );
+    let c = &report.client;
+    println!(
+        "client absorbed: {} retries, {} reconnects, {} hedges, {} torn frames, {} duplicates dropped, {} overloaded waits over {} requests",
+        c.retries, c.connects, c.hedges, c.torn_frames, c.duplicates_dropped, c.overloaded_retries, c.requests
+    );
+    println!(
+        "chaos soak: zero wrong answers, {} kill(s) survived, wall {:.1} ms — ok",
+        report.kills,
+        report.wall.as_secs_f64() * 1e3
     );
 }
 
@@ -852,6 +927,25 @@ fn run_bench() {
         seg.group_commit_batches,
         seg.group_commit_window_ms,
         seg.identical
+    );
+    let soak = &report.chaos_soak;
+    println!(
+        "chaos_soak: {} requests   {} kill(s)   max recovery {:.1} ms   {} wire faults fired   restart computes {}   {} answers verified identical",
+        soak.requests,
+        soak.kills,
+        soak.max_recovery.as_secs_f64() * 1e3,
+        soak.wire_faults_fired,
+        soak.restart_computes,
+        soak.verified_identical
+    );
+    let cro = &report.client_retry_overhead;
+    println!(
+        "client_retry_overhead: {} warm round trips   raw {:.2} ms   tmg-client {:.2} ms   overhead {:.2}x   identical: {}",
+        cro.requests,
+        cro.raw_wall.as_secs_f64() * 1e3,
+        cro.client_wall.as_secs_f64() * 1e3,
+        cro.overhead(),
+        cro.identical
     );
     println!(
         "hot-path speedup (geomean): {:.2}x   all results identical: {}",

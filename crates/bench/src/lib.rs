@@ -4,9 +4,11 @@
 //! the paper's evaluation; the Criterion benches time them and the
 //! `reproduce` binary prints them as tables (recorded in `EXPERIMENTS.md`).
 
+pub mod chaos;
 pub mod loadtest;
 pub mod perf;
 
+pub use chaos::{chaos, ChaosConfig, ChaosReport};
 pub use loadtest::{loadtest, saturate, LoadtestConfig, LoadtestReport};
 pub use perf::{perf_report, Comparison, PerfReport};
 

@@ -1,4 +1,4 @@
-//! Machine-readable performance baseline (`BENCH_pr9.json`).
+//! Machine-readable performance baseline (`BENCH_pr10.json`).
 //!
 //! Every PR that touches a hot path needs a number to beat.  This module
 //! times the paper-reproduction workloads (Table 1, Table 2, Figure 2/3,
@@ -44,7 +44,7 @@ use tmg_service::{codec, PersistentStore, Server};
 use tmg_tsys::{CheckOutcome, ModelChecker, PathQuery};
 
 /// Label recorded in the emitted JSON; the output file is `BENCH_<label>.json`.
-pub const PR_LABEL: &str = "pr9";
+pub const PR_LABEL: &str = "pr10";
 
 /// `before_ms` wall times recorded in `BENCH_pr3.json` for the workloads
 /// whose measured pre-optimisation implementation (the Baseline engine) was
@@ -121,6 +121,10 @@ pub struct PerfReport {
     pub service_recovery: ServiceRecovery,
     /// The segment-tier measurement (compaction + group commit).
     pub segment_tier: SegmentTierReport,
+    /// The quick chaos soak (kill/restart + wire faults), already asserted.
+    pub chaos_soak: ChaosSoak,
+    /// Happy-path cost of the resilient client over a raw socket.
+    pub client_retry_overhead: ClientRetryOverhead,
 }
 
 /// What the TCP loadtest recorded.  Wall times are best-of-[`BEST_OF`] on a
@@ -188,6 +192,49 @@ pub struct SegmentTierReport {
     pub identical: bool,
 }
 
+/// What the quick chaos soak recorded (every resilience assertion — zero
+/// wrong answers, bounded recovery, fully-warm restart, every wire fault
+/// kind fired — already passed inside [`crate::chaos`]).
+#[derive(Debug, Clone)]
+pub struct ChaosSoak {
+    /// Slots driven across both phases.
+    pub requests: u64,
+    /// Server `kill -9` + restart cycles survived.
+    pub kills: u64,
+    /// Slowest kill-to-answered-probe recovery.
+    pub max_recovery: Duration,
+    /// Wire fault shots that fired on the final server.
+    pub wire_faults_fired: u64,
+    /// The restarted server's `computes` counter (0 = fully warm).
+    pub restart_computes: u64,
+    /// Soak answers verified bit-identical to the fault-free reference.
+    pub verified_identical: u64,
+    /// Wall clock of the whole soak.
+    pub wall: Duration,
+}
+
+/// Happy-path overhead of `tmg-client` (retry/hedging/idempotency
+/// machinery engaged but never firing) over a bare socket round trip,
+/// both driving the same warm request against the same live server.
+#[derive(Debug, Clone)]
+pub struct ClientRetryOverhead {
+    /// Warm round trips per side.
+    pub requests: u64,
+    /// Wall of the raw-socket loop.
+    pub raw_wall: Duration,
+    /// Wall of the `tmg-client` loop.
+    pub client_wall: Duration,
+    /// Answers byte-identical (modulo `id`) between the two sides.
+    pub identical: bool,
+}
+
+impl ClientRetryOverhead {
+    /// `client_wall / raw_wall` — the resilience layer's happy-path tax.
+    pub fn overhead(&self) -> f64 {
+        self.client_wall.as_secs_f64() / self.raw_wall.as_secs_f64().max(1e-9)
+    }
+}
+
 impl PerfReport {
     /// Geometric mean of the hot-path speedups (Table 2 + test generation).
     pub fn hot_path_speedup(&self) -> f64 {
@@ -208,6 +255,8 @@ impl PerfReport {
             && self.service_loadtest.identical_across_workers
             && self.service_recovery.healthy
             && self.segment_tier.identical
+            && self.chaos_soak.restart_computes == 0
+            && self.client_retry_overhead.identical
     }
 
     /// Serialises the report as pretty-printed JSON.
@@ -280,6 +329,28 @@ impl PerfReport {
             seg.zero_copy_hits,
             ms(seg.wall),
             seg.identical
+        );
+        let soak = &self.chaos_soak;
+        let _ = writeln!(
+            out,
+            "  \"chaos_soak\": {{ \"requests\": {}, \"kills\": {}, \"max_recovery_ms\": {:.3}, \"wire_faults_fired\": {}, \"restart_computes\": {}, \"verified_identical\": {}, \"wall_ms\": {:.3} }},",
+            soak.requests,
+            soak.kills,
+            ms(soak.max_recovery),
+            soak.wire_faults_fired,
+            soak.restart_computes,
+            soak.verified_identical,
+            ms(soak.wall)
+        );
+        let cro = &self.client_retry_overhead;
+        let _ = writeln!(
+            out,
+            "  \"client_retry_overhead\": {{ \"requests\": {}, \"raw_wall_ms\": {:.3}, \"client_wall_ms\": {:.3}, \"overhead\": {:.3}, \"identical\": {} }},",
+            cro.requests,
+            ms(cro.raw_wall),
+            ms(cro.client_wall),
+            cro.overhead(),
+            cro.identical
         );
         let _ = writeln!(
             out,
@@ -1099,6 +1170,95 @@ fn compare_obs_overhead() -> Comparison {
     }
 }
 
+/// Runs the quick chaos soak (every assertion lives in [`crate::chaos`])
+/// and summarises it for the baseline JSON.  Spawns this binary as the
+/// server process, so it only runs from `reproduce -- bench`.
+fn measure_chaos_soak() -> ChaosSoak {
+    let report = crate::chaos(&crate::ChaosConfig::quick());
+    ChaosSoak {
+        requests: report.requests,
+        kills: report.kills,
+        max_recovery: report.max_recovery(),
+        wire_faults_fired: report.wire_faults_fired(),
+        restart_computes: report.restart_computes,
+        verified_identical: report.verified_identical,
+        wall: report.wall,
+    }
+}
+
+/// Times the same warm request over a bare socket and through
+/// `tmg-client` against one live in-process server: the retry/hedging
+/// layer's happy-path cost, with the answers checked identical.
+fn measure_client_retry_overhead() -> ClientRetryOverhead {
+    use std::io::{BufRead, BufReader, Write as _};
+    const REQUESTS: usize = 200;
+    let root = std::env::temp_dir().join(format!("tmg-client-overhead-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Arc::new(PersistentStore::open(&root).expect("open cache"));
+    let server = Server::new(store);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    // The trace_id is pinned: the server would otherwise echo a fresh
+    // auto-assigned id per request, and the client's bit-identity check
+    // (rightly) flags repeat answers for one body that differ at all.
+    let body = format!(
+        "\"trace_id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2",
+        tmg_service::json::escape(crate::loadtest::HOT_SOURCE)
+    );
+
+    let (raw_wall, client_wall, identical) = std::thread::scope(|scope| {
+        let server = &server;
+        let handle = scope.spawn(move || server.serve_tcp(listener).expect("serve_tcp"));
+
+        // Raw side: one socket, synchronous round trips.  The first
+        // request warms the cache and is excluded from both sides.
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = stream;
+        let mut raw_answer = String::new();
+        let mut round_trip = |id: usize| {
+            writer
+                .write_all(format!("{{\"id\": {id}, {body}}}\n").as_bytes())
+                .expect("send request");
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read response") > 0);
+            line.trim_end().to_owned()
+        };
+        round_trip(1_000_000);
+        let (raw_wall, _) = timed(|| {
+            for i in 0..REQUESTS {
+                raw_answer = round_trip(1_000_001 + i);
+            }
+        });
+
+        // Client side: the full resilience stack on its happy path.
+        let client = tmg_client::Client::new(addr, tmg_client::ClientConfig::default());
+        let mut client_answer = String::new();
+        let (client_wall, _) = timed(|| {
+            for _ in 0..REQUESTS {
+                client_answer = client.request(&body).expect("client request").normalized();
+            }
+        });
+        let stats = client.stats();
+        assert_eq!(stats.retries, 0, "the warm happy path must never retry");
+        assert_eq!(stats.connects, 1, "the connection must be reused");
+
+        writer
+            .write_all(b"{\"id\": 2000000, \"op\": \"shutdown\"}\n")
+            .expect("send shutdown");
+        handle.join().expect("server thread");
+        let identical = tmg_client::normalize(&raw_answer) == client_answer;
+        (raw_wall, client_wall, identical)
+    });
+    let _ = std::fs::remove_dir_all(&root);
+    ClientRetryOverhead {
+        requests: REQUESTS as u64,
+        raw_wall,
+        client_wall,
+        identical,
+    }
+}
+
 /// Produces the complete perf baseline (the payload of
 /// `BENCH_<`[`PR_LABEL`]`>.json`).
 pub fn perf_report() -> PerfReport {
@@ -1185,6 +1345,8 @@ pub fn perf_report() -> PerfReport {
     let service_loadtest = measure_service_loadtest();
     let service_recovery = measure_service_recovery();
     let segment_tier = measure_segment_tier();
+    let chaos_soak = measure_chaos_soak();
+    let client_retry_overhead = measure_client_retry_overhead();
 
     // Case study summary (optimised path).
     let (case_study_wall, case) = timed(case_study);
@@ -1204,6 +1366,8 @@ pub fn perf_report() -> PerfReport {
         service_loadtest,
         service_recovery,
         segment_tier,
+        chaos_soak,
+        client_retry_overhead,
     }
 }
 
@@ -1406,6 +1570,21 @@ mod tests {
                 wall: Duration::from_millis(1),
                 identical: true,
             },
+            chaos_soak: ChaosSoak {
+                requests: 120,
+                kills: 1,
+                max_recovery: Duration::from_millis(72),
+                wire_faults_fired: 8,
+                restart_computes: 0,
+                verified_identical: 51,
+                wall: Duration::from_millis(260),
+            },
+            client_retry_overhead: ClientRetryOverhead {
+                requests: 200,
+                raw_wall: Duration::from_millis(10),
+                client_wall: Duration::from_millis(12),
+                identical: true,
+            },
         }
         .to_json();
         assert!(report.contains("\"schema\": \"tmg-bench-perf/v1\""));
@@ -1414,6 +1593,9 @@ mod tests {
         assert!(report.contains("\"service_recovery_scan\""));
         assert!(report.contains("\"segment_tier\""));
         assert!(report.contains("\"group_commit_window_ms\""));
+        assert!(report.contains("\"chaos_soak\""));
+        assert!(report.contains("\"client_retry_overhead\""));
+        assert!(report.contains("\"max_recovery_ms\""));
         assert_eq!(
             report.matches('{').count(),
             report.matches('}').count(),

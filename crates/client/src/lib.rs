@@ -1,0 +1,826 @@
+//! `tmg-client`: a resilient TCP client for the `tmg-service/v1` protocol.
+//!
+//! The service contract is "never a wrong answer, only declined or slow":
+//! a request is either answered correctly, declined with a typed error
+//! (`overloaded` + `retry_after_ms`, `cancelled`, `fault`), or the
+//! connection fails.  This crate turns that contract into a callable API
+//! that survives the failure half:
+//!
+//! * **Reconnection + retry** — transport failures (refused connects,
+//!   resets, EOF mid-response, torn frames) are retried against a possibly
+//!   restarted server with capped-exponential backoff and deterministic
+//!   per-request jitter.
+//! * **Backpressure compliance** — `overloaded` declines are retried after
+//!   the server's own (already jittered) `retry_after_ms` hint.
+//! * **Deadline-aware budgets** — a per-request deadline bounds the total
+//!   time spent across every attempt and backoff sleep; the budget is
+//!   checked *before* each sleep, so the client never oversleeps its
+//!   deadline just to learn it expired.
+//! * **Hedging** — optionally, a request that has not answered within a
+//!   latency threshold is resubmitted on a second connection; the first
+//!   response wins.  Server-side in-flight dedup makes the hedge nearly
+//!   free.
+//! * **Idempotent resubmission** — a retried or hedged request is
+//!   byte-identical to the original (same `id`, same body), so the
+//!   deterministic pipeline plus the artifact cache answer it
+//!   bit-identically.  The client *checks* this: every successful response
+//!   is recorded under its request body, and a mismatch surfaces as
+//!   [`ClientError::WrongAnswer`] instead of being silently accepted.
+//! * **Duplicate suppression** — responses are matched to requests by
+//!   `id`; a duplicated delivery (e.g. the `dup_delivery` wire fault) is
+//!   dropped and counted, never surfaced twice.
+//!
+//! See `crates/client/README.md` for the full retry/hedging/idempotency
+//! contract.
+
+use rustc_hash::FxHashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tmg_service::json::{self, Value};
+
+/// How often a blocked read re-checks the deadline budget (and, once, the
+/// hedge threshold).
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Retry, backoff, deadline and hedging policy of a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// First-retry backoff for transport failures (the exponential base).
+    pub base_backoff_ms: u64,
+    /// Backoff cap; the exponential never sleeps longer than this.
+    pub max_backoff_ms: u64,
+    /// Total attempts per request (the first try included).
+    pub max_attempts: u32,
+    /// Wall-clock budget per request across every attempt and sleep.
+    /// `None` keeps retrying until `max_attempts` alone stops it.
+    pub deadline_ms: Option<u64>,
+    /// Resubmit on a second connection when no response has arrived
+    /// within this many milliseconds.  `None` disables hedging.
+    pub hedge_after_ms: Option<u64>,
+    /// TCP connect timeout.
+    pub connect_timeout_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            base_backoff_ms: 10,
+            max_backoff_ms: 2_000,
+            max_attempts: 8,
+            deadline_ms: None,
+            hedge_after_ms: None,
+            connect_timeout_ms: 1_000,
+        }
+    }
+}
+
+/// Why a request ultimately failed.  Transport failures and `overloaded`
+/// declines are retried internally and only surface here once the attempt
+/// or deadline budget is spent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The server declined with `cancelled` (its deadline expired).
+    Cancelled,
+    /// The server answered a typed `fault` — deterministic, not retried.
+    Fault(String),
+    /// Every attempt failed; carries the attempt count and the last
+    /// failure's description.
+    BudgetExhausted { attempts: u32, last: String },
+    /// The deadline budget expired before an answer arrived.
+    DeadlineExceeded { attempts: u32 },
+    /// A retried or repeated request was answered with a *different* body
+    /// than its first answer — the one failure the service contract says
+    /// must never happen.
+    WrongAnswer { expected: String, got: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Cancelled => write!(f, "request cancelled by server deadline"),
+            ClientError::Fault(msg) => write!(f, "server fault: {msg}"),
+            ClientError::BudgetExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retry budget exhausted after {attempts} attempts: {last}"
+                )
+            }
+            ClientError::DeadlineExceeded { attempts } => {
+                write!(f, "deadline exceeded after {attempts} attempts")
+            }
+            ClientError::WrongAnswer { expected, got } => {
+                write!(
+                    f,
+                    "non-identical answer for identical request: {expected} != {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A successful response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request id the response answered.
+    pub id: u64,
+    /// The raw response line (no trailing newline).
+    pub raw: String,
+}
+
+impl Response {
+    /// Parses the response line.
+    ///
+    /// # Panics
+    ///
+    /// Never for a [`Response`] produced by this crate — the line was
+    /// parsed once already to classify it.
+    pub fn value(&self) -> Value {
+        json::parse(&self.raw).expect("validated response line")
+    }
+
+    /// The response body with the `id` member stripped: what must be
+    /// bit-identical between a request and its retried duplicate.
+    pub fn normalized(&self) -> String {
+        normalize(&self.raw)
+    }
+}
+
+/// Counters of everything the client absorbed so the caller didn't have to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Logical requests issued through [`Client::request`].
+    pub requests: u64,
+    /// Extra attempts beyond each request's first.
+    pub retries: u64,
+    /// Fresh TCP connections opened (the first one included).
+    pub connects: u64,
+    /// Hedge submissions fired.
+    pub hedges: u64,
+    /// Duplicate or stale response lines dropped.
+    pub duplicates_dropped: u64,
+    /// Torn (newline-less) frames discarded.
+    pub torn_frames: u64,
+    /// `overloaded` declines absorbed (each slept out the server's hint).
+    pub overloaded_retries: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    requests: AtomicU64,
+    retries: AtomicU64,
+    connects: AtomicU64,
+    hedges: AtomicU64,
+    duplicates_dropped: AtomicU64,
+    torn_frames: AtomicU64,
+    overloaded_retries: AtomicU64,
+}
+
+/// One open connection: the write half, a buffered reader over a clone of
+/// the same socket, and the partial line carried across read-timeout
+/// polls (a frame can arrive split across poll windows; dropping the
+/// prefix would lose the response forever).
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    partial: String,
+}
+
+/// How a single attempt failed in a way worth retrying.
+enum Transient {
+    /// Connect/write/read failure, EOF, torn frame, or unparseable line.
+    Transport(String),
+    /// A typed `overloaded` decline with the server's backoff hint.
+    Overloaded { retry_after_ms: u64 },
+}
+
+impl Transient {
+    fn describe(&self) -> String {
+        match self {
+            Transient::Transport(msg) => msg.clone(),
+            Transient::Overloaded { retry_after_ms } => {
+                format!("overloaded (retry_after_ms {retry_after_ms})")
+            }
+        }
+    }
+}
+
+/// A reconnecting `tmg-service/v1` client.  One request is in flight at a
+/// time (plus its hedge); the connection is reused across requests and
+/// transparently reopened after any failure.
+pub struct Client {
+    addr: Mutex<SocketAddr>,
+    config: ClientConfig,
+    next_id: AtomicU64,
+    conn: Mutex<Option<Conn>>,
+    /// Request body → first successful normalized response, backing the
+    /// bit-identical-answer check.
+    answers: Mutex<FxHashMap<String, String>>,
+    stats: StatCells,
+}
+
+impl Client {
+    /// A client for the server at `addr` with `config`.  Nothing is
+    /// connected until the first request.
+    pub fn new(addr: SocketAddr, config: ClientConfig) -> Client {
+        Client {
+            addr: Mutex::new(addr),
+            config,
+            next_id: AtomicU64::new(1),
+            conn: Mutex::new(None),
+            answers: Mutex::new(FxHashMap::default()),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Repoints the client (e.g. at a restarted server on a new port).
+    /// The next attempt — including the retries of a request already in
+    /// flight — connects to the new address.
+    pub fn set_addr(&self, addr: SocketAddr) {
+        *self.addr.lock().expect("addr") = addr;
+        // Drop the stale connection so the next attempt reconnects.
+        *self.conn.lock().expect("conn") = None;
+    }
+
+    /// The current server address.
+    pub fn addr(&self) -> SocketAddr {
+        *self.addr.lock().expect("addr")
+    }
+
+    /// A snapshot of the resilience counters.
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            connects: self.stats.connects.load(Ordering::Relaxed),
+            hedges: self.stats.hedges.load(Ordering::Relaxed),
+            duplicates_dropped: self.stats.duplicates_dropped.load(Ordering::Relaxed),
+            torn_frames: self.stats.torn_frames.load(Ordering::Relaxed),
+            overloaded_retries: self.stats.overloaded_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Issues one request and drives it to a final answer or a typed
+    /// error.  `body` is the request object's members *without* the
+    /// surrounding braces or an `id` (e.g.
+    /// `"op": "analyse", "source": "...", "path_bound": 2`); the client
+    /// assigns the id and reuses it verbatim on every retry and hedge, so
+    /// resubmission is idempotent end to end.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] — terminal server declines (`cancelled`, `fault`),
+    /// an exhausted retry or deadline budget, or a non-identical answer
+    /// for a repeated request.
+    pub fn request(&self, body: &str) -> Result<Response, ClientError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let line = format!("{{\"id\": {id}, {body}}}\n");
+        let started = Instant::now();
+        let deadline = self
+            .config
+            .deadline_ms
+            .map(|ms| started + Duration::from_millis(ms));
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            if attempt > 1 {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            let transient = match self.exchange(id, &line, deadline) {
+                Ok(raw) => match self.classify(body, Response { id, raw }) {
+                    Ok(response) => return Ok(response),
+                    Err(Retryable::Transient(t)) => t,
+                    Err(Retryable::Terminal(e)) => return Err(e),
+                },
+                Err(AttemptFailure::DeadlineExceeded) => {
+                    return Err(ClientError::DeadlineExceeded { attempts: attempt })
+                }
+                Err(AttemptFailure::Transient(t)) => t,
+            };
+            if attempt >= self.config.max_attempts {
+                return Err(ClientError::BudgetExhausted {
+                    attempts: attempt,
+                    last: transient.describe(),
+                });
+            }
+            let delay = match &transient {
+                Transient::Overloaded { retry_after_ms } => {
+                    self.stats
+                        .overloaded_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    (*retry_after_ms).max(1)
+                }
+                Transient::Transport(_) => backoff_ms(
+                    self.config.base_backoff_ms,
+                    self.config.max_backoff_ms,
+                    attempt,
+                    id,
+                ),
+            };
+            // Budget check before the sleep: sleeping into a dead deadline
+            // helps nobody.
+            if let Some(deadline) = deadline {
+                if Instant::now() + Duration::from_millis(delay) >= deadline {
+                    return Err(ClientError::DeadlineExceeded { attempts: attempt });
+                }
+            }
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+    }
+
+    /// One attempt: write the request line, read matching-response lines
+    /// until `id` answers, hedging onto a second connection after the
+    /// configured threshold.  Any transport failure tears the connection
+    /// down so the next attempt reconnects.
+    fn exchange(
+        &self,
+        id: u64,
+        line: &str,
+        deadline: Option<Instant>,
+    ) -> Result<String, AttemptFailure> {
+        let mut primary = match self.take_conn() {
+            Ok(conn) => conn,
+            Err(e) => return Err(AttemptFailure::Transient(Transient::Transport(e))),
+        };
+        if let Err(e) = primary.stream.write_all(line.as_bytes()) {
+            return Err(AttemptFailure::Transient(Transient::Transport(format!(
+                "write failed: {e}"
+            ))));
+        }
+        let mut conns = vec![primary];
+        let mut hedged = false;
+        let begun = Instant::now();
+        loop {
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return Err(AttemptFailure::DeadlineExceeded);
+                }
+            }
+            // Until the hedge fires, the poll window is clipped to the
+            // hedge threshold — a hedge configured at 1 ms must not wait
+            // out a full 25 ms poll before triggering.
+            let poll = match self.config.hedge_after_ms {
+                Some(hedge_after) if !hedged => {
+                    READ_POLL.min(Duration::from_millis(hedge_after.max(1)))
+                }
+                _ => READ_POLL,
+            };
+            let mut i = 0;
+            while i < conns.len() {
+                match read_one(&mut conns[i], id, poll, &self.stats) {
+                    ReadOutcome::Answer(raw) => {
+                        // The winner becomes the reusable connection; any
+                        // hedge loser is dropped (its duplicate answer
+                        // dies with the socket).
+                        let winner = conns.swap_remove(i);
+                        if conns.is_empty() {
+                            *self.conn.lock().expect("conn") = Some(winner);
+                        }
+                        return Ok(raw);
+                    }
+                    ReadOutcome::Dead(why) => {
+                        conns.remove(i);
+                        if conns.is_empty() {
+                            return Err(AttemptFailure::Transient(Transient::Transport(why)));
+                        }
+                    }
+                    ReadOutcome::Timeout | ReadOutcome::Skipped => i += 1,
+                }
+            }
+            if !hedged {
+                if let Some(hedge_after) = self.config.hedge_after_ms {
+                    if begun.elapsed() >= Duration::from_millis(hedge_after) {
+                        hedged = true;
+                        if let Ok(mut hedge) = self.open() {
+                            if hedge.stream.write_all(line.as_bytes()).is_ok() {
+                                self.stats.hedges.fetch_add(1, Ordering::Relaxed);
+                                conns.push(hedge);
+                            }
+                        }
+                        // A failed hedge is not an attempt failure — the
+                        // primary is still in flight.
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sorts a complete response line into a final answer, a terminal
+    /// error, or a retryable decline — and enforces the bit-identical
+    /// answer contract for repeated requests.
+    fn classify(&self, body: &str, response: Response) -> Result<Response, Retryable> {
+        let parsed = match json::parse(&response.raw) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                return Err(Retryable::Transient(Transient::Transport(format!(
+                    "unparseable response: {e:?}"
+                ))))
+            }
+        };
+        if parsed.get("ok").and_then(Value::as_bool) == Some(true) {
+            let normalized = response.normalized();
+            let mut answers = self.answers.lock().expect("answers");
+            if let Some(previous) = answers.get(body) {
+                if *previous != normalized {
+                    return Err(Retryable::Terminal(ClientError::WrongAnswer {
+                        expected: previous.clone(),
+                        got: normalized,
+                    }));
+                }
+            } else {
+                answers.insert(body.to_owned(), normalized);
+            }
+            return Ok(response);
+        }
+        match parsed.get("error_kind").and_then(Value::as_str) {
+            Some("overloaded") => Err(Retryable::Transient(Transient::Overloaded {
+                retry_after_ms: parsed
+                    .get("retry_after_ms")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(50),
+            })),
+            Some("cancelled") => Err(Retryable::Terminal(ClientError::Cancelled)),
+            Some(kind) => Err(Retryable::Terminal(ClientError::Fault(format!(
+                "{kind}: {}",
+                parsed.get("error").and_then(Value::as_str).unwrap_or("")
+            )))),
+            None => Err(Retryable::Terminal(ClientError::Fault(format!(
+                "untyped failure: {}",
+                response.raw
+            )))),
+        }
+    }
+
+    /// The pooled connection, or a fresh one.
+    fn take_conn(&self) -> Result<Conn, String> {
+        if let Some(conn) = self.conn.lock().expect("conn").take() {
+            return Ok(conn);
+        }
+        self.open().map_err(|e| format!("connect failed: {e}"))
+    }
+
+    fn open(&self) -> std::io::Result<Conn> {
+        let addr = self.addr();
+        let stream = TcpStream::connect_timeout(
+            &addr,
+            Duration::from_millis(self.config.connect_timeout_ms),
+        )?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        self.stats.connects.fetch_add(1, Ordering::Relaxed);
+        Ok(Conn {
+            stream,
+            reader,
+            partial: String::new(),
+        })
+    }
+}
+
+/// How one poll of one connection went.
+enum ReadOutcome {
+    /// The matching response line.
+    Answer(String),
+    /// Connection unusable (EOF, reset, torn frame); `why` says how.
+    Dead(String),
+    /// Nothing arrived within the poll window.
+    Timeout,
+    /// A stale or duplicate line was dropped; poll again immediately.
+    Skipped,
+}
+
+enum Retryable {
+    Transient(Transient),
+    Terminal(ClientError),
+}
+
+enum AttemptFailure {
+    Transient(Transient),
+    DeadlineExceeded,
+}
+
+/// Polls one connection for the response to `id`.  Frames are validated
+/// structurally: a line without its newline at EOF is a torn frame (the
+/// connection died mid-write and cannot be trusted further), and a
+/// well-formed line with the wrong id is a duplicate or stale delivery,
+/// dropped and counted.  A frame split across poll windows accumulates in
+/// `conn.partial` until its newline arrives.
+fn read_one(conn: &mut Conn, id: u64, poll: Duration, stats: &StatCells) -> ReadOutcome {
+    let _ = conn.stream.set_read_timeout(Some(poll));
+    match conn.reader.read_line(&mut conn.partial) {
+        Ok(0) if conn.partial.is_empty() => {
+            ReadOutcome::Dead("connection closed before the response".to_owned())
+        }
+        Ok(_) => {
+            if !conn.partial.ends_with('\n') {
+                // EOF after a prefix: the write was torn mid-frame.
+                stats.torn_frames.fetch_add(1, Ordering::Relaxed);
+                return ReadOutcome::Dead(format!("torn frame ({} bytes)", conn.partial.len()));
+            }
+            let line = std::mem::take(&mut conn.partial);
+            let trimmed = line.trim_end_matches('\n');
+            match json::parse(trimmed) {
+                Ok(parsed) if parsed.get("id").and_then(Value::as_u64) == Some(id) => {
+                    ReadOutcome::Answer(trimmed.to_owned())
+                }
+                Ok(_) => {
+                    stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+                    ReadOutcome::Skipped
+                }
+                Err(e) => ReadOutcome::Dead(format!("unparseable frame: {e:?}")),
+            }
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            // Whatever arrived before the timeout is kept in
+            // `conn.partial`; nothing is lost — poll again.
+            ReadOutcome::Timeout
+        }
+        Err(e) => ReadOutcome::Dead(format!("read failed: {e}")),
+    }
+}
+
+/// 64-bit FNV-1a, for deterministic backoff jitter.
+fn fnv1a(value: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Capped-exponential backoff with deterministic jitter: attempt `n`
+/// (1-based) sleeps in `[exp/2, exp)` where `exp = min(base << (n-1),
+/// cap)`, jittered by the request id so a burst of failed clients does
+/// not reconnect in lockstep.  Pure and clock-free: the same (attempt,
+/// id) always sleeps the same time.
+pub fn backoff_ms(base_ms: u64, cap_ms: u64, attempt: u32, id: u64) -> u64 {
+    let base = base_ms.max(1);
+    let exp = base
+        .checked_shl(attempt.saturating_sub(1).min(16))
+        .unwrap_or(cap_ms)
+        .min(cap_ms.max(base));
+    let half = (exp / 2).max(1);
+    half + fnv1a(id.wrapping_mul(31).wrapping_add(u64::from(attempt))) % half
+}
+
+/// Strips the `"id": N, ` prefix from a response line: the part that must
+/// be bit-identical between duplicate answers.
+pub fn normalize(line: &str) -> String {
+    let rest = line.strip_prefix("{\"id\": ").unwrap_or(line);
+    match rest.find(", ") {
+        Some(comma) => format!("{{{}", &rest[comma + 2..]),
+        None => line.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::Arc;
+    use tmg_service::store::{PersistentStore, PersistentStoreConfig};
+    use tmg_service::{FaultKind, FaultPlan, Server};
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tmg-client-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open_store(root: &std::path::Path) -> Arc<PersistentStore> {
+        Arc::new(PersistentStore::with_config(PersistentStoreConfig::new(root)).expect("open"))
+    }
+
+    const SOURCE: &str = "void f(char a __range(0, 3)) { if (a > 1) { x(); } else { y(); } }";
+
+    fn analyse_body() -> String {
+        format!(
+            "\"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2, \"trace_id\": 1",
+            tmg_service::json::escape(SOURCE)
+        )
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_spread() {
+        // Same inputs, same sleep.
+        assert_eq!(backoff_ms(10, 2000, 1, 7), backoff_ms(10, 2000, 1, 7));
+        // Different ids de-synchronize.
+        let spread: std::collections::BTreeSet<u64> =
+            (0..16).map(|id| backoff_ms(10, 2000, 3, id)).collect();
+        assert!(spread.len() > 1, "jitter must spread ids: {spread:?}");
+        // The cap holds for absurd attempts.
+        for attempt in 1..64 {
+            assert!(backoff_ms(10, 2000, attempt, 3) < 2000);
+        }
+        // Exponential growth until the cap: window lower bound doubles.
+        assert!(backoff_ms(100, 100_000, 4, 0) >= 400);
+        assert!(backoff_ms(100, 100_000, 1, 0) < 100);
+    }
+
+    #[test]
+    fn normalize_strips_only_the_id() {
+        assert_eq!(
+            normalize("{\"id\": 42, \"ok\": true, \"bound\": 7}"),
+            "{\"ok\": true, \"bound\": 7}"
+        );
+        assert_eq!(
+            normalize("{\"id\": 1, \"ok\": true}"),
+            normalize("{\"id\": 999, \"ok\": true}")
+        );
+    }
+
+    /// Serves a TCP session in a scoped thread while `with` drives it,
+    /// then returns what `with` produced.  The shutdown that lets the
+    /// server thread join is sent even when `with` panics — otherwise a
+    /// failing assertion would hang the test instead of reporting.
+    fn with_server<T>(server: &Server, with: impl FnOnce(SocketAddr) -> T + Send) -> T
+    where
+        T: Send,
+    {
+        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.serve_tcp(listener).expect("serve_tcp"));
+            let result = catch_unwind(AssertUnwindSafe(|| with(addr)));
+            // End the session so the server thread joins.
+            let client = Client::new(addr, ClientConfig::default());
+            let _ = client.request("\"op\": \"shutdown\"");
+            match result {
+                Ok(value) => value,
+                Err(panic) => resume_unwind(panic),
+            }
+        })
+    }
+
+    #[test]
+    fn a_request_round_trips_and_repeats_bit_identically() {
+        let root = temp_root("roundtrip");
+        let server = Server::new(open_store(&root)).with_workers(2);
+        with_server(&server, |addr| {
+            let client = Client::new(addr, ClientConfig::default());
+            let first = client.request(&analyse_body()).expect("first analyse");
+            let second = client.request(&analyse_body()).expect("second analyse");
+            assert_eq!(
+                first.normalized(),
+                second.normalized(),
+                "identical requests must be answered bit-identically"
+            );
+            assert_ne!(first.id, second.id);
+            let stats = client.stats();
+            assert_eq!(stats.requests, 2);
+            assert_eq!(stats.retries, 0);
+            assert_eq!(stats.connects, 1, "the connection is reused");
+        });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn wire_faults_are_absorbed_and_answers_stay_identical() {
+        let root = temp_root("wire");
+        let plan = FaultPlan::none()
+            .with(FaultKind::ConnDrop, 1)
+            .with(FaultKind::TornFrame, 1)
+            .with(FaultKind::DupDelivery, 1)
+            .with(FaultKind::StallMs, 1);
+        let server = Server::new(open_store(&root))
+            .with_workers(2)
+            .with_wire_faults(plan);
+        with_server(&server, |addr| {
+            let client = Client::new(addr, ClientConfig::default());
+            // Six identical requests ride through one conn_drop, one torn
+            // frame, one duplicated delivery and one stall — every answer
+            // must land and be bit-identical.
+            let mut normalized = Vec::new();
+            for _ in 0..6 {
+                normalized.push(
+                    client
+                        .request(&analyse_body())
+                        .expect("analyse")
+                        .normalized(),
+                );
+            }
+            assert!(normalized.windows(2).all(|w| w[0] == w[1]));
+            let stats = client.stats();
+            assert!(stats.retries >= 2, "drop + torn frame retried: {stats:?}");
+            assert!(stats.torn_frames >= 1, "{stats:?}");
+            assert!(stats.connects >= 3, "each dead conn reopened: {stats:?}");
+            assert_eq!(stats.duplicates_dropped, 1, "{stats:?}");
+        });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn overloaded_declines_exhaust_the_attempt_budget_typed() {
+        let root = temp_root("overloaded");
+        // Capacity 0: everything is shed; the client must honour the
+        // hints, retry, and finally report a typed budget error.
+        let server = Server::new(open_store(&root))
+            .with_workers(1)
+            .with_queue_capacity(0);
+        with_server(&server, |addr| {
+            let client = Client::new(
+                addr,
+                ClientConfig {
+                    max_attempts: 3,
+                    ..ClientConfig::default()
+                },
+            );
+            match client.request(&analyse_body()) {
+                Err(ClientError::BudgetExhausted { attempts, last }) => {
+                    assert_eq!(attempts, 3);
+                    assert!(last.contains("overloaded"), "{last}");
+                }
+                other => panic!("expected BudgetExhausted, got {other:?}"),
+            }
+            assert_eq!(client.stats().overloaded_retries, 2);
+        });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn a_deadline_budget_bounds_the_whole_retry_loop() {
+        // Nothing listens on this port: every attempt fails to connect,
+        // and the deadline must stop the loop long before 100 attempts.
+        let unreachable: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        let client = Client::new(
+            unreachable,
+            ClientConfig {
+                max_attempts: 100,
+                base_backoff_ms: 20,
+                deadline_ms: Some(120),
+                ..ClientConfig::default()
+            },
+        );
+        let started = Instant::now();
+        match client.request("\"op\": \"stats\"") {
+            Err(ClientError::DeadlineExceeded { attempts }) => {
+                assert!(attempts < 100, "the deadline, not the attempt cap, fired");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the budget bounds wall-clock time"
+        );
+    }
+
+    #[test]
+    fn a_slow_request_is_hedged_and_answered_once() {
+        let root = temp_root("hedge");
+        // A one-shot stall on the first response delivery keeps the race
+        // deterministic: however fast the compute, the primary answer
+        // cannot land before the hedge threshold has provably elapsed.
+        let server = Server::new(open_store(&root))
+            .with_workers(2)
+            .with_wire_faults(FaultPlan::parse("stall_ms:1").expect("plan"));
+        with_server(&server, |addr| {
+            let client = Client::new(
+                addr,
+                ClientConfig {
+                    // Far below the injected 25 ms stall: the hedge always
+                    // fires, and the unstalled hedge delivery wins.
+                    hedge_after_ms: Some(1),
+                    ..ClientConfig::default()
+                },
+            );
+            let body = format!(
+                "\"op\": \"sweep\", \"source\": \"{}\", \"max_bound\": 60, \"trace_id\": 1",
+                tmg_service::json::escape(SOURCE)
+            );
+            let response = client.request(&body).expect("hedged sweep");
+            assert_eq!(
+                response.value().get("ok").and_then(Value::as_bool),
+                Some(true)
+            );
+            let stats = client.stats();
+            assert_eq!(stats.hedges, 1, "{stats:?}");
+            assert_eq!(stats.requests, 1);
+        });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn server_faults_are_terminal_not_retried() {
+        let root = temp_root("fault");
+        let server = Server::new(open_store(&root)).with_workers(1);
+        with_server(&server, |addr| {
+            let client = Client::new(addr, ClientConfig::default());
+            match client.request("\"op\": \"analyse\", \"source\": \"not c\", \"path_bound\": 2") {
+                Err(ClientError::Fault(_)) => {}
+                other => panic!("expected Fault, got {other:?}"),
+            }
+            assert_eq!(client.stats().retries, 0, "faults are deterministic");
+        });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,4 +1,4 @@
-//! Deterministic fault injection for the disk tier.
+//! Deterministic fault injection for the disk tier and the wire.
 //!
 //! A [`FaultPlan`] arms a bounded number of *shots* per fault kind; the disk
 //! cache consults it at its I/O boundaries and, while shots remain, mutates
@@ -15,9 +15,13 @@
 //! TMG_FAULT_PLAN=torn_write:3,crash_after_publish:1 reproduce -- serve --smoke
 //! ```
 //!
-//! Kinds: `torn_write`, `short_read`, `bit_flip`, `crash_before_publish`,
-//! `crash_after_publish`, `torn_append`, `crash_mid_compaction`.  A count
-//! of `n` fires on the first `n` qualifying
+//! Disk kinds: `torn_write`, `short_read`, `bit_flip`,
+//! `crash_before_publish`, `crash_after_publish`, `torn_append`,
+//! `crash_mid_compaction`.  Wire kinds, consulted by the TCP transport on
+//! each response write: `conn_drop` (close the socket instead of writing),
+//! `stall_ms` (delay the write by [`STALL_MS`] milliseconds), `torn_frame`
+//! (write half the response line, then close), `dup_delivery` (write the
+//! response line twice).  A count of `n` fires on the first `n` qualifying
 //! operations.  An unset or empty plan is fully inert — the production code
 //! path contains one `Option` check per I/O operation and nothing else.
 
@@ -48,11 +52,29 @@ pub enum FaultKind {
     /// deleting the victim segment: bit-identical duplicates remain and the
     /// next process must reconcile them.
     CrashMidCompaction,
+    /// The transport closes the connection instead of writing a response:
+    /// the client sees an EOF mid-conversation and must reconnect + retry.
+    ConnDrop,
+    /// The transport stalls for [`STALL_MS`] milliseconds before writing the
+    /// response — a network hiccup that should trigger client hedging, never
+    /// a wrong answer.
+    StallMs,
+    /// The transport writes only the first half of the response line and
+    /// then closes the connection: the client must discard the torn frame
+    /// (no trailing newline) and resubmit.
+    TornFrame,
+    /// The transport writes the response line twice: the client must
+    /// deduplicate by request id.
+    DupDelivery,
 }
+
+/// Fixed stall injected per [`FaultKind::StallMs`] shot, in milliseconds —
+/// a constant, not a parameter, so injections stay deterministic.
+pub const STALL_MS: u64 = 25;
 
 impl FaultKind {
     /// All kinds, in wire-name order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::TornWrite,
         FaultKind::ShortRead,
         FaultKind::BitFlip,
@@ -60,6 +82,18 @@ impl FaultKind {
         FaultKind::CrashAfterPublish,
         FaultKind::TornAppend,
         FaultKind::CrashMidCompaction,
+        FaultKind::ConnDrop,
+        FaultKind::StallMs,
+        FaultKind::TornFrame,
+        FaultKind::DupDelivery,
+    ];
+
+    /// The network-level kinds, injected on the TCP response path.
+    pub const WIRE: [FaultKind; 4] = [
+        FaultKind::ConnDrop,
+        FaultKind::StallMs,
+        FaultKind::TornFrame,
+        FaultKind::DupDelivery,
     ];
 
     /// The `TMG_FAULT_PLAN` name of this kind.
@@ -72,6 +106,10 @@ impl FaultKind {
             FaultKind::CrashAfterPublish => "crash_after_publish",
             FaultKind::TornAppend => "torn_append",
             FaultKind::CrashMidCompaction => "crash_mid_compaction",
+            FaultKind::ConnDrop => "conn_drop",
+            FaultKind::StallMs => "stall_ms",
+            FaultKind::TornFrame => "torn_frame",
+            FaultKind::DupDelivery => "dup_delivery",
         }
     }
 
@@ -84,14 +122,20 @@ impl FaultKind {
             FaultKind::CrashAfterPublish => 4,
             FaultKind::TornAppend => 5,
             FaultKind::CrashMidCompaction => 6,
+            FaultKind::ConnDrop => 7,
+            FaultKind::StallMs => 8,
+            FaultKind::TornFrame => 9,
+            FaultKind::DupDelivery => 10,
         }
     }
 }
 
+const KIND_COUNT: usize = FaultKind::ALL.len();
+
 #[derive(Debug, Default)]
 struct Shots {
-    remaining: [AtomicU64; 7],
-    fired: [AtomicU64; 7],
+    remaining: [AtomicU64; KIND_COUNT],
+    fired: [AtomicU64; KIND_COUNT],
 }
 
 /// An armed (or inert) set of fault shots, shared by every clone.
@@ -197,13 +241,14 @@ impl FaultPlan {
 
 /// Deterministically damages `bytes` for [`FaultKind::ShortRead`] /
 /// [`FaultKind::BitFlip`] / [`FaultKind::TornWrite`] /
-/// [`FaultKind::TornAppend`]: truncation keeps the
-/// first half, the bit flip XORs the middle byte.
+/// [`FaultKind::TornAppend`] / [`FaultKind::TornFrame`]: truncation keeps
+/// the first half, the bit flip XORs the middle byte.
 pub fn damage(kind: FaultKind, bytes: &[u8]) -> Vec<u8> {
     match kind {
-        FaultKind::ShortRead | FaultKind::TornWrite | FaultKind::TornAppend => {
-            bytes[..bytes.len() / 2].to_vec()
-        }
+        FaultKind::ShortRead
+        | FaultKind::TornWrite
+        | FaultKind::TornAppend
+        | FaultKind::TornFrame => bytes[..bytes.len() / 2].to_vec(),
         FaultKind::BitFlip => {
             let mut out = bytes.to_vec();
             if !out.is_empty() {
@@ -214,7 +259,10 @@ pub fn damage(kind: FaultKind, bytes: &[u8]) -> Vec<u8> {
         }
         FaultKind::CrashBeforePublish
         | FaultKind::CrashAfterPublish
-        | FaultKind::CrashMidCompaction => bytes.to_vec(),
+        | FaultKind::CrashMidCompaction
+        | FaultKind::ConnDrop
+        | FaultKind::StallMs
+        | FaultKind::DupDelivery => bytes.to_vec(),
     }
 }
 
@@ -248,6 +296,23 @@ mod tests {
         let bytes: Vec<u8> = (0..32).collect();
         assert_eq!(damage(FaultKind::TornAppend, &bytes), &bytes[..16]);
         assert_eq!(damage(FaultKind::CrashMidCompaction, &bytes), bytes);
+    }
+
+    #[test]
+    fn the_wire_kinds_parse_and_fire() {
+        let plan =
+            FaultPlan::parse("conn_drop:1,stall_ms:2,torn_frame:1,dup_delivery:1").expect("parse");
+        for kind in FaultKind::WIRE {
+            assert!(plan.take(kind), "{} armed", kind.name());
+        }
+        assert!(plan.take(FaultKind::StallMs), "second stall shot");
+        assert!(!plan.take(FaultKind::ConnDrop), "single shot spent");
+        assert_eq!(plan.total_fired(), 5);
+        let line = b"{\"id\": 1, \"ok\": true}\n".to_vec();
+        let torn = damage(FaultKind::TornFrame, &line);
+        assert_eq!(torn, &line[..line.len() / 2]);
+        assert!(!torn.ends_with(b"\n"), "a torn frame has no terminator");
+        assert_eq!(damage(FaultKind::DupDelivery, &line), line);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod server;
 pub mod store;
 pub mod tcp;
 
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{FaultKind, FaultPlan, STALL_MS};
 pub use latency::{Histogram, LatencySet};
 pub use segment::{SegmentStats, DEFAULT_GROUP_COMMIT_WINDOW_MS, DEFAULT_SEGMENT_BYTES};
 pub use server::{ServeSummary, Server, DEFAULT_QUEUE_CAPACITY, PROTOCOL};

@@ -116,9 +116,18 @@ pub struct ServeSummary {
     pub deduplicated: u64,
     /// Requests declined with a typed `overloaded` error (queue full).
     pub shed: u64,
+    /// Requests declined with a typed `overloaded` error because their
+    /// client's fair-queuing quota was exhausted.
+    pub quota_shed: u64,
+    /// Requests declined with a typed `overloaded` error by the cost-aware
+    /// shedder (expensive op class while the queue is deep).
+    pub cost_shed: u64,
     /// Requests declined with a typed `cancelled` error because their
     /// deadline expired before a worker picked them up.
     pub expired: u64,
+    /// Responses dropped because the requesting connection had closed
+    /// before (or while) the response was written.
+    pub disconnected: u64,
     /// Whether the session drained in-flight work and flushed the disk
     /// tier before ending (true for both `shutdown` and EOF).
     pub flushed: bool,
@@ -135,6 +144,13 @@ pub struct Server {
     /// for `profile`; faster ones drop them at respond time.
     slow_threshold_ms: u64,
     latency: Arc<LatencySet>,
+    /// Per-client cap on *queued* jobs (fair-queuing quota); defaults to
+    /// half the queue capacity so no single client can monopolise the
+    /// backlog.
+    client_quota: Option<usize>,
+    /// Wire-level fault shots consumed by the TCP transport on response
+    /// writes (see [`crate::fault::FaultKind::WIRE`]).  Inert by default.
+    wire_faults: crate::fault::FaultPlan,
 }
 
 /// A parsed, schedulable request.
@@ -209,18 +225,41 @@ pub(crate) struct Pending<'env> {
     /// The request's trace id (caller-chosen or assigned at dispatch),
     /// echoed in the response and keying the recorded span tree.
     trace: u64,
+    /// Fair-queuing lane: the declared `tenant`, or the transport's
+    /// connection label when none is declared.
+    lane: String,
 }
 
-/// Shared queue state, all under one lock: the pending jobs, whether the
-/// session is still accepting, and the number of parked-and-unclaimed
+/// Shared queue state, all under one lock: the per-client lanes, whether
+/// the session is still accepting, and the number of parked-and-unclaimed
 /// workers.  The idle count is *claimed* by the enqueuer at notify time —
 /// checking it after the notify (as a separate atomic would) races against
 /// the worker still waking up and would under-spawn a burst of distinct
 /// jobs onto one thread.
+///
+/// Jobs are queued into one FIFO lane per client and drained round-robin
+/// across lanes, so a client flooding its own lane delays only itself —
+/// every other client still gets one job dequeued per rotation.
 struct QueueState<'env> {
-    jobs: VecDeque<Pending<'env>>,
+    /// Per-client FIFO lanes.  Invariant: a lane in the map is non-empty.
+    lanes: FxHashMap<String, VecDeque<Pending<'env>>>,
+    /// Round-robin rotation; contains each non-empty lane exactly once.
+    rotation: VecDeque<String>,
+    /// Total queued jobs across all lanes.
+    queued: usize,
     open: bool,
     idle: usize,
+}
+
+/// Why an admission was declined with a typed `overloaded` error.
+enum ShedReason {
+    /// The global bounded queue is full.
+    QueueFull,
+    /// The client's fair-queuing quota is exhausted.
+    Quota,
+    /// The cost-aware shedder declined an expensive op class while the
+    /// queue was deep.
+    Cost,
 }
 
 /// How the scheduler accepted (or declined) a request.
@@ -230,9 +269,10 @@ enum Submitted<'env> {
     Queued { needs_worker: bool },
     /// Attached as a waiter to an identical in-flight job.
     Attached,
-    /// Declined: the queue is full.  The request is handed back so the
-    /// caller can answer it with a typed `overloaded` error.
-    Shed(Pending<'env>),
+    /// Declined (queue full, quota exhausted, or cost-shed).  The request
+    /// is handed back so the caller can answer it with a typed
+    /// `overloaded` error.
+    Shed(Pending<'env>, ShedReason),
 }
 
 /// The transport-independent scheduler: bounded queue, dedup map, drain
@@ -243,6 +283,8 @@ pub(crate) struct Scheduler<'env> {
     queue: Mutex<QueueState<'env>>,
     queued: Condvar,
     capacity: usize,
+    /// Per-client cap on queued jobs (fair-queuing quota).
+    quota: usize,
     /// Requests accepted but not yet responded to (barrier condition).
     outstanding: Mutex<usize>,
     drained: Condvar,
@@ -253,19 +295,27 @@ pub(crate) struct Scheduler<'env> {
     responses: AtomicU64,
     dedup_hits: AtomicU64,
     shed: AtomicU64,
+    quota_shed: AtomicU64,
+    cost_shed: AtomicU64,
     expired: AtomicU64,
+    /// Responses dropped on dead connections.  Shared (`Arc`) so transport
+    /// respond closures can own a handle without borrowing the scheduler.
+    disconnected: Arc<AtomicU64>,
 }
 
 impl<'env> Scheduler<'env> {
-    pub(crate) fn new(capacity: usize) -> Scheduler<'env> {
+    pub(crate) fn new(capacity: usize, quota: usize) -> Scheduler<'env> {
         Scheduler {
             queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                lanes: FxHashMap::default(),
+                rotation: VecDeque::new(),
+                queued: 0,
                 open: true,
                 idle: 0,
             }),
             queued: Condvar::new(),
             capacity,
+            quota,
             outstanding: Mutex::new(0),
             drained: Condvar::new(),
             in_flight: Mutex::new(FxHashMap::default()),
@@ -273,8 +323,17 @@ impl<'env> Scheduler<'env> {
             responses: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            quota_shed: AtomicU64::new(0),
+            cost_shed: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            disconnected: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// A shared handle to the dropped-response counter, for transport
+    /// respond closures outliving any borrow of the scheduler itself.
+    pub(crate) fn disconnected_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.disconnected)
     }
 
     /// Writes one response through the transport's responder and counts it.
@@ -283,13 +342,20 @@ impl<'env> Scheduler<'env> {
         self.responses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Accepts a job: queues it, sheds it (bounded queue), or — when
-    /// deduplicable and an identical job is already queued or running —
-    /// registers the request as a waiter on that job.  A queued job claims
-    /// a parked worker under the queue lock, so the caller's spawn decision
-    /// cannot race the worker's wake-up.  Lock order: `in_flight` before
-    /// `queue`.
-    fn try_submit(&self, pending: Pending<'env>, dedup: bool) -> Submitted<'env> {
+    /// Accepts a job: queues it into its client's lane, sheds it (bounded
+    /// queue, per-client quota, or cost-aware shedding via `cost_veto`), or
+    /// — when deduplicable and an identical job is already queued or
+    /// running — registers the request as a waiter on that job (a waiter
+    /// consumes no queue slot, so duplicates are never quota- or
+    /// cost-shed).  A queued job claims a parked worker under the queue
+    /// lock, so the caller's spawn decision cannot race the worker's
+    /// wake-up.  Lock order: `in_flight` before `queue`.
+    fn try_submit(
+        &self,
+        pending: Pending<'env>,
+        dedup: bool,
+        cost_veto: &dyn Fn(usize) -> bool,
+    ) -> Submitted<'env> {
         let mut in_flight = if dedup {
             let mut in_flight = self.in_flight.lock().expect("in-flight map");
             if let Some(waiters) = in_flight.get_mut(&pending.job.dedup_key()) {
@@ -303,15 +369,29 @@ impl<'env> Scheduler<'env> {
             None
         };
         let mut queue = self.queue.lock().expect("queue");
-        if queue.jobs.len() >= self.capacity {
+        if queue.queued >= self.capacity {
             self.shed.fetch_add(1, Ordering::Relaxed);
-            return Submitted::Shed(pending);
+            return Submitted::Shed(pending, ShedReason::QueueFull);
+        }
+        let lane_depth = queue.lanes.get(&pending.lane).map_or(0, VecDeque::len);
+        if lane_depth >= self.quota {
+            self.quota_shed.fetch_add(1, Ordering::Relaxed);
+            return Submitted::Shed(pending, ShedReason::Quota);
+        }
+        if cost_veto(queue.queued) {
+            self.cost_shed.fetch_add(1, Ordering::Relaxed);
+            return Submitted::Shed(pending, ShedReason::Cost);
         }
         if let Some(map) = in_flight.as_mut() {
             map.insert(pending.job.dedup_key(), Vec::new());
         }
         *self.outstanding.lock().expect("outstanding") += 1;
-        queue.jobs.push_back(pending);
+        if lane_depth == 0 {
+            queue.rotation.push_back(pending.lane.clone());
+        }
+        let lane = pending.lane.clone();
+        queue.lanes.entry(lane).or_default().push_back(pending);
+        queue.queued += 1;
         let needs_worker = if queue.idle > 0 {
             queue.idle -= 1;
             self.queued.notify_one();
@@ -336,7 +416,18 @@ impl<'env> Scheduler<'env> {
         // thread — never the reverse.
         let mut parked = false;
         loop {
-            if let Some(job) = guard.jobs.pop_front() {
+            // Round-robin across client lanes: take the front lane's
+            // oldest job, then rotate the lane to the back (dropping it
+            // from the rotation once empty).
+            if let Some(lane_name) = guard.rotation.pop_front() {
+                let lane = guard.lanes.get_mut(&lane_name).expect("non-empty lane");
+                let job = lane.pop_front().expect("non-empty lane");
+                if lane.is_empty() {
+                    guard.lanes.remove(&lane_name);
+                } else {
+                    guard.rotation.push_back(lane_name);
+                }
+                guard.queued -= 1;
                 return Some(job);
             }
             if !guard.open {
@@ -353,12 +444,16 @@ impl<'env> Scheduler<'env> {
         }
     }
 
-    /// Blocks until every accepted job has been responded to.
-    pub(crate) fn barrier(&self) {
+    /// Blocks until every accepted job has been responded to.  Returns the
+    /// number of jobs that were still outstanding when the barrier was
+    /// entered — the `drained` count a `shutdown` ack reports.
+    pub(crate) fn barrier(&self) -> usize {
         let mut outstanding = self.outstanding.lock().expect("outstanding");
+        let waited_for = *outstanding;
         while *outstanding > 0 {
             outstanding = self.drained.wait(outstanding).expect("drain wait");
         }
+        waited_for
     }
 
     fn job_done(&self) {
@@ -375,11 +470,69 @@ impl<'env> Scheduler<'env> {
             responses: self.responses.load(Ordering::Relaxed),
             deduplicated: self.dedup_hits.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            quota_shed: self.quota_shed.load(Ordering::Relaxed),
+            cost_shed: self.cost_shed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            disconnected: self.disconnected.load(Ordering::Relaxed),
             flushed,
             clean_shutdown,
         }
     }
+
+    /// The `resilience` member of the `stats` snapshot: the fairness and
+    /// shedding counters of this session, plus the wire-level fault shots
+    /// fired so far.
+    fn resilience_json(&self, wire: &crate::fault::FaultPlan) -> String {
+        let fired: Vec<String> = crate::fault::FaultKind::WIRE
+            .into_iter()
+            .map(|k| format!("\"{}\": {}", k.name(), wire.fired(k)))
+            .collect();
+        format!(
+            "{{ \"shed\": {}, \"quota_shed\": {}, \"cost_shed\": {}, \
+             \"disconnected\": {}, \"wire_faults\": {{ {} }} }}",
+            self.shed.load(Ordering::Relaxed),
+            self.quota_shed.load(Ordering::Relaxed),
+            self.cost_shed.load(Ordering::Relaxed),
+            self.disconnected.load(Ordering::Relaxed),
+            fired.join(", ")
+        )
+    }
+}
+
+/// 64-bit FNV-1a of a request id, for deterministic retry-hint jitter.
+fn fnv1a(id: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in id.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Adds deterministic per-request jitter to a retry hint: the hint is
+/// spread over `[base, base + max(base, 16))`, keyed by the request id, so
+/// a burst of simultaneously shed callers does not retry as one
+/// thundering herd.  Seeding from the id (not a clock or RNG) keeps
+/// responses bit-identical across runs and worker counts.
+pub(crate) fn jittered_retry_ms(base_ms: u64, id: u64) -> u64 {
+    let span = base_ms.max(16);
+    base_ms + fnv1a(id) % span
+}
+
+/// The cost-aware shedding policy, as a pure function of the predicted
+/// cost of the incoming op (`predicted_ms`), the cheapest and dearest
+/// measured op classes (`min_ms`, `max_ms`), and the queue depth.
+///
+/// The expensive tail is shed first as the queue deepens: from half depth
+/// the *most* expensive op class is declined, from three-quarters depth
+/// everything costlier than the cheapest class is.  The cheapest measured
+/// class (and any op with no measurements yet) is always admitted — cost
+/// shedding degrades service, it never denies it entirely.
+fn cost_sheds(predicted_ms: u64, min_ms: u64, max_ms: u64, queued: usize, capacity: usize) -> bool {
+    if capacity == 0 || queued * 2 < capacity || min_ms == max_ms || predicted_ms <= min_ms {
+        return false;
+    }
+    queued * 4 >= capacity * 3 || predicted_ms >= max_ms
 }
 
 /// Prefixes a response body with the echoed `trace_id` member.
@@ -426,10 +579,15 @@ fn expired_body(op: &str) -> String {
     )
 }
 
-fn overloaded_body(op: &str, retry_after_ms: u64) -> String {
+fn overloaded_body(op: &str, retry_after_ms: u64, reason: &ShedReason) -> String {
+    let detail = match reason {
+        ShedReason::QueueFull => "request queue is full",
+        ShedReason::Quota => "per-client quota exhausted",
+        ShedReason::Cost => "expensive request shed under queue pressure",
+    };
     format!(
         "\"op\": \"{op}\", \"ok\": false, \"error_kind\": \"overloaded\", \
-         \"error\": \"server overloaded; request queue is full\", \
+         \"error\": \"server overloaded; {detail}\", \
          \"retry_after_ms\": {retry_after_ms}"
     )
 }
@@ -451,6 +609,8 @@ impl Server {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             slow_threshold_ms: 0,
             latency,
+            client_quota: None,
+            wire_faults: crate::fault::FaultPlan::none(),
         }
     }
 
@@ -477,6 +637,34 @@ impl Server {
     pub fn with_slow_threshold_ms(mut self, ms: u64) -> Server {
         self.slow_threshold_ms = ms;
         self
+    }
+
+    /// Overrides the per-client fair-queuing quota: the number of jobs one
+    /// client (connection, or declared `tenant`) may have queued at once.
+    /// Defaults to half the queue capacity (minimum 1), so a flooding
+    /// client can never occupy the whole backlog.  Requests beyond the
+    /// quota are declined with a typed `overloaded` error.
+    pub fn with_client_quota(mut self, quota: usize) -> Server {
+        self.client_quota = Some(quota);
+        self
+    }
+
+    /// Arms wire-level fault injection on the TCP transport (see
+    /// [`crate::fault::FaultKind::WIRE`]).  The plan is shared: the same
+    /// plan can also arm the disk-tier kinds on the store.
+    pub fn with_wire_faults(mut self, plan: crate::fault::FaultPlan) -> Server {
+        self.wire_faults = plan;
+        self
+    }
+
+    /// The effective per-client quota (see [`Server::with_client_quota`]).
+    pub(crate) fn effective_quota(&self) -> usize {
+        self.client_quota
+            .unwrap_or_else(|| (self.queue_capacity / 2).max(1))
+    }
+
+    pub(crate) fn wire_fault_plan(&self) -> &crate::fault::FaultPlan {
+        &self.wire_faults
     }
 
     pub(crate) fn worker_cap(&self) -> usize {
@@ -509,7 +697,7 @@ impl Server {
         writer: W,
     ) -> io::Result<ServeSummary> {
         let writer = Mutex::new(writer);
-        let scheduler = Scheduler::new(self.queue_capacity);
+        let scheduler = Scheduler::new(self.queue_capacity, self.effective_quota());
         let mut clean_shutdown = false;
         std::thread::scope(|scope| -> io::Result<()> {
             let respond: Respond<'_> = Arc::new(|id, body| write_line(&writer, id, body));
@@ -544,7 +732,7 @@ impl Server {
                 if line.trim().is_empty() {
                     continue;
                 }
-                if self.dispatch(&scheduler, &line, &respond, &spawn_worker) {
+                if self.dispatch(&scheduler, &line, &respond, &spawn_worker, "stdio") {
                     clean_shutdown = true;
                     break;
                 }
@@ -563,7 +751,9 @@ impl Server {
 
     /// Parses and executes one request line.  Control ops (`stats`,
     /// `shutdown`) run inline on the calling transport thread; jobs go
-    /// through the scheduler.  Returns `true` when the session must end
+    /// through the scheduler.  `client` is the transport's label for the
+    /// submitting connection — the fair-queuing lane when the request
+    /// declares no `tenant`.  Returns `true` when the session must end
     /// (`shutdown` was acknowledged, with the drain and disk flush done).
     pub(crate) fn dispatch<'env>(
         &self,
@@ -571,6 +761,7 @@ impl Server {
         line: &str,
         respond: &Respond<'env>,
         spawn_worker: &dyn Fn(),
+        client: &str,
     ) -> bool {
         scheduler.requests.fetch_add(1, Ordering::Relaxed);
         match parse_request(line) {
@@ -578,9 +769,19 @@ impl Server {
                 job,
                 deadline_ms,
                 trace,
+                tenant,
             }) => {
                 let trace = trace.unwrap_or_else(tmg_obs::next_trace_id);
-                self.submit(scheduler, job, deadline_ms, trace, respond, spawn_worker);
+                let lane = tenant.unwrap_or_else(|| client.to_owned());
+                self.submit(
+                    scheduler,
+                    job,
+                    deadline_ms,
+                    trace,
+                    lane,
+                    respond,
+                    spawn_worker,
+                );
                 false
             }
             Ok(Request::Stats { id, trace }) => {
@@ -589,9 +790,12 @@ impl Server {
                 // this one.
                 scheduler.barrier();
                 let latency = self.latency.to_json();
+                let resilience = scheduler.resilience_json(&self.wire_faults);
                 let body = format!(
                     "\"trace_id\": {trace}, \"op\": \"stats\", \"ok\": true, \"stats\": {}",
-                    self.store.stats().to_json_with(Some(&latency))
+                    self.store
+                        .stats()
+                        .to_json_with_sections(Some(&latency), Some(&resilience))
                 );
                 scheduler.respond(respond, id, &body);
                 false
@@ -606,11 +810,11 @@ impl Server {
             }
             Ok(Request::Shutdown { id, trace }) => {
                 let trace = trace.unwrap_or_else(tmg_obs::next_trace_id);
-                scheduler.barrier();
+                let drained = scheduler.barrier();
                 self.store.flush();
                 let body = format!(
                     "\"trace_id\": {trace}, \"op\": \"shutdown\", \"ok\": true, \
-                     \"drained\": true, \"flushed\": true"
+                     \"drained\": {drained}, \"flushed\": true"
                 );
                 scheduler.respond(respond, id, &body);
                 true
@@ -627,15 +831,20 @@ impl Server {
     }
 
     /// Admission control for one job: declines zero deadlines outright,
-    /// sheds when the bounded queue is full (typed `overloaded` error with
-    /// a `retry_after_ms` derived from the measured median latency of the
-    /// op), deduplicates no-deadline requests, and otherwise queues.
+    /// sheds when the bounded queue is full, the client's quota is
+    /// exhausted, or the cost-aware shedder vetoes an expensive op on a
+    /// deep queue (each a typed `overloaded` error with a jittered
+    /// `retry_after_ms` derived from the measured median latency of the
+    /// op), deduplicates no-deadline requests, and otherwise queues into
+    /// the client's lane.
+    #[allow(clippy::too_many_arguments)]
     fn submit<'env>(
         &self,
         scheduler: &Scheduler<'env>,
         job: Job,
         deadline_ms: Option<u64>,
         trace: u64,
+        lane: String,
         respond: &Respond<'env>,
         spawn_worker: &dyn Fn(),
     ) {
@@ -650,28 +859,34 @@ impl Server {
             return;
         }
         let deadline = deadline_ms.map(|ms| accepted_at + Duration::from_millis(ms));
+        let predicted = self.predicted_ms(&job);
+        let (min_cost, max_cost) = self.cost_profile();
+        let capacity = self.queue_capacity;
+        let cost_veto =
+            move |queued: usize| cost_sheds(predicted, min_cost, max_cost, queued, capacity);
         let pending = Pending {
             job,
             respond: Arc::clone(respond),
             deadline,
             accepted_at,
             trace,
+            lane,
         };
-        match scheduler.try_submit(pending, deadline.is_none()) {
+        match scheduler.try_submit(pending, deadline.is_none(), &cost_veto) {
             Submitted::Queued { needs_worker } => {
                 if needs_worker {
                     spawn_worker();
                 }
             }
             Submitted::Attached => {}
-            Submitted::Shed(pending) => {
-                let retry = self.retry_hint_ms(&pending.job);
+            Submitted::Shed(pending, reason) => {
+                let retry = jittered_retry_ms(self.retry_hint_ms(&pending.job), pending.job.id());
                 scheduler.respond(
                     &pending.respond,
                     pending.job.id(),
                     &with_trace(
                         pending.trace,
-                        &overloaded_body(pending.job.op_name(), retry),
+                        &overloaded_body(pending.job.op_name(), retry, &reason),
                     ),
                 );
             }
@@ -683,7 +898,8 @@ impl Server {
     /// for one queue slot to free up), or 50 ms before any measurement
     /// exists.  The mean would be hostage to one pathological request: a
     /// single 10-second outlier among millisecond requests would tell
-    /// every shed caller to back off for seconds.
+    /// every shed caller to back off for seconds.  (The caller adds
+    /// deterministic per-request jitter via [`jittered_retry_ms`].)
     fn retry_hint_ms(&self, job: &Job) -> u64 {
         let histogram = match job {
             Job::Analyse { .. } => &self.latency.analyse,
@@ -697,6 +913,42 @@ impl Server {
         }
     }
 
+    /// The cost model behind adaptive shedding: an op's predicted cost is
+    /// its measured median latency (0 while unmeasured — an unknown op is
+    /// never cost-shed).
+    fn predicted_ms(&self, job: &Job) -> u64 {
+        let histogram = match job {
+            Job::Analyse { .. } => &self.latency.analyse,
+            Job::AnalyseModule { .. } => &self.latency.analyse_module,
+            Job::Sweep { .. } => &self.latency.sweep,
+        };
+        if histogram.count() == 0 {
+            0
+        } else {
+            (histogram.quantile_ms(0.50).ceil() as u64).max(1)
+        }
+    }
+
+    /// `(cheapest, dearest)` predicted cost across the measured op
+    /// classes; `(0, 0)` while fewer than one class has measurements.
+    fn cost_profile(&self) -> (u64, u64) {
+        let costs = [
+            &self.latency.analyse,
+            &self.latency.analyse_module,
+            &self.latency.sweep,
+        ]
+        .into_iter()
+        .filter(|h| h.count() > 0)
+        .map(|h| (h.quantile_ms(0.50).ceil() as u64).max(1));
+        costs.fold((0, 0), |(min, max), cost| {
+            if min == 0 {
+                (cost, cost.max(max))
+            } else {
+                (min.min(cost), max.max(cost))
+            }
+        })
+    }
+
     /// Computes one job and answers it plus every waiter that attached to
     /// it while it was queued or running.  A job whose deadline expired in
     /// the queue is declined without running.
@@ -707,6 +959,7 @@ impl Server {
             deadline,
             accepted_at,
             trace,
+            lane: _,
         } = pending;
         let id = job.id();
         if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -993,6 +1246,9 @@ enum Request {
         deadline_ms: Option<u64>,
         /// Caller-chosen trace id; assigned at dispatch when absent.
         trace: Option<u64>,
+        /// Declared fair-queuing tenant; the transport's connection label
+        /// is the lane when absent.
+        tenant: Option<String>,
     },
     Stats {
         id: u64,
@@ -1034,6 +1290,15 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
                 .ok_or((Some(id), "trace_id must be a positive integer".to_owned()))?,
         ),
     };
+    let tenant = match value.get("tenant") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .filter(|t| !t.is_empty())
+                .ok_or((Some(id), "tenant must be a non-empty string".to_owned()))?
+                .to_owned(),
+        ),
+    };
     match op {
         "analyse" => {
             let source = value
@@ -1061,6 +1326,7 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
                 },
                 deadline_ms,
                 trace,
+                tenant,
             })
         }
         "analyse_module" => {
@@ -1084,6 +1350,7 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
                 },
                 deadline_ms,
                 trace,
+                tenant,
             })
         }
         "sweep" => {
@@ -1107,6 +1374,7 @@ fn parse_request(line: &str) -> Result<Request, RequestError> {
                 },
                 deadline_ms,
                 trace,
+                tenant,
             })
         }
         "stats" => Ok(Request::Stats { id, trace }),
@@ -1542,8 +1810,18 @@ mod tests {
             .and_then(Value::as_u64)
             .expect("retry hint");
         // p50 bucket upper bound: 1 ms lands in the 1.024 ms bucket → 2 ms
-        // after ceil.  Anything near the 1001 ms mean is a regression.
-        assert_eq!(retry, 2, "retry hint must be the p50 upper bound");
+        // after ceil, then the id-seeded jitter spreads the hint over
+        // [base, base + max(base, 16)).  Anything near the 1001 ms mean is
+        // a regression.
+        assert_eq!(
+            retry,
+            jittered_retry_ms(2, 1),
+            "retry hint must be the jittered p50 upper bound"
+        );
+        assert!(
+            (2..2 + 16).contains(&retry),
+            "jitter must stay within one spread window of the p50 bound, got {retry}"
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 
@@ -1642,6 +1920,285 @@ mod tests {
             "a fast request's spans are dropped at respond time: {:?}",
             responses[1]
         );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A throwaway `Pending` for direct scheduler tests: a trivially valid
+    /// analyse job on `lane` with a respond closure that records nothing.
+    fn pending_on(lane: &str, id: u64, source: &str) -> Pending<'static> {
+        Pending {
+            job: Job::Analyse {
+                id,
+                source: source.to_owned(),
+                path_bound: 2,
+                function: None,
+            },
+            respond: Arc::new(|_, _| {}),
+            deadline: None,
+            accepted_at: Instant::now(),
+            trace: id,
+            lane: lane.to_owned(),
+        }
+    }
+
+    const NO_COST_VETO: fn(usize) -> bool = |_| false;
+
+    #[test]
+    fn a_flooding_client_is_quota_shed_without_starving_its_neighbour() {
+        // Capacity 8, but each client may only hold 2 queued jobs.  No
+        // worker is draining, so lane depths are exact.
+        let scheduler: Scheduler<'static> = Scheduler::new(8, 2);
+        for id in 1..=2 {
+            let source = format!("void a{id}(void) {{ x(); }}");
+            assert!(matches!(
+                scheduler.try_submit(pending_on("flood", id, &source), false, &NO_COST_VETO),
+                Submitted::Queued { .. }
+            ));
+        }
+        // The flooder's third job hits its quota while the queue itself
+        // has six free slots.
+        match scheduler.try_submit(
+            pending_on("flood", 3, "void a3(void) { x(); }"),
+            false,
+            &NO_COST_VETO,
+        ) {
+            Submitted::Shed(pending, ShedReason::Quota) => assert_eq!(pending.job.id(), 3),
+            _ => panic!("third flood job must be quota-shed"),
+        }
+        // A different client is still admitted.
+        assert!(matches!(
+            scheduler.try_submit(
+                pending_on("neighbour", 4, "void b(void) { y(); }"),
+                false,
+                &NO_COST_VETO
+            ),
+            Submitted::Queued { .. }
+        ));
+        assert_eq!(scheduler.quota_shed.load(Ordering::Relaxed), 1);
+        assert_eq!(scheduler.shed.load(Ordering::Relaxed), 0);
+        // Round-robin drain: the neighbour's single job is interleaved
+        // after the flooder's first, not queued behind its whole lane.
+        scheduler.close();
+        let order: Vec<u64> = std::iter::from_fn(|| scheduler.next().map(|p| p.job.id())).collect();
+        assert_eq!(order, vec![1, 4, 2], "lanes must drain round-robin");
+    }
+
+    #[test]
+    fn cost_shedding_declines_the_expensive_tail_first() {
+        // (predicted, min, max, queued, capacity) → shed?
+        let table: [(u64, u64, u64, usize, usize, bool, &str); 8] = [
+            (80, 1, 80, 0, 16, false, "empty queue admits everything"),
+            (
+                80,
+                1,
+                80,
+                7,
+                16,
+                false,
+                "below half depth admits everything",
+            ),
+            (80, 1, 80, 8, 16, true, "dearest class shed from half depth"),
+            (
+                40,
+                1,
+                80,
+                8,
+                16,
+                false,
+                "mid-cost class admitted at half depth",
+            ),
+            (
+                40,
+                1,
+                80,
+                12,
+                16,
+                true,
+                "above cheapest shed from 3/4 depth",
+            ),
+            (1, 1, 80, 15, 16, false, "cheapest class always admitted"),
+            (0, 1, 80, 15, 16, false, "unmeasured op never cost-shed"),
+            (
+                80,
+                80,
+                80,
+                15,
+                16,
+                false,
+                "one measured class: no cost signal",
+            ),
+        ];
+        for (predicted, min, max, queued, capacity, expected, why) in table {
+            assert_eq!(
+                cost_sheds(predicted, min, max, queued, capacity),
+                expected,
+                "{why}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_shed_burst_gets_distinct_jittered_retry_hints() {
+        let root = temp_root("jitter-burst");
+        let store = open_store(&root);
+        // Capacity 0: every job in the burst is shed.  The requests are
+        // identical except for their ids, so without jitter every caller
+        // would get the same hint and retry in lockstep.
+        let server = Server::new(store).with_workers(1).with_queue_capacity(0);
+        let burst: String = (1..=6)
+            .map(|id| {
+                format!(
+                    "{{\"id\": {id}, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}\n",
+                    json::escape(SOURCE)
+                )
+            })
+            .collect();
+        let script = format!("{burst}{{\"id\": 9, \"op\": \"shutdown\"}}\n");
+        let (summary, responses) = serve_script(&server, &script);
+        assert_eq!(summary.shed, 6);
+        let hints: Vec<u64> = responses[..6]
+            .iter()
+            .map(|r| {
+                r.get("retry_after_ms")
+                    .and_then(Value::as_u64)
+                    .expect("shed response carries a retry hint")
+            })
+            .collect();
+        let distinct: std::collections::BTreeSet<u64> = hints.iter().copied().collect();
+        assert!(
+            distinct.len() > 1,
+            "a shed burst must not produce one synchronized hint: {hints:?}"
+        );
+        // The spread stays within one jitter window of the 50 ms
+        // no-measurement base, and is a pure function of the request id.
+        for (i, hint) in hints.iter().enumerate() {
+            assert!((50..100).contains(hint), "hint out of window: {hint}");
+            assert_eq!(*hint, jittered_retry_ms(50, i as u64 + 1));
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn shutdown_acks_accurate_drain_counters_for_every_error_kind() {
+        // One row per typed error kind that can be outstanding when the
+        // `shutdown` arrives: a faulted compute, an expired deadline, and
+        // a shed job.  Whatever the failure, the ack must still report
+        // the drain count and a completed flush — a job that failed to
+        // decrement the drain barrier would hang this test forever.
+        let rows: [(&str, String, &str, usize); 3] = [
+            (
+                "fault",
+                "{\"id\": 1, \"op\": \"analyse\", \"source\": \"not c at all\", \"path_bound\": 2}"
+                    .to_owned(),
+                "fault",
+                16,
+            ),
+            (
+                "cancelled",
+                format!(
+                    "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2, \"deadline_ms\": 0}}",
+                    json::escape(SOURCE)
+                ),
+                "cancelled",
+                16,
+            ),
+            (
+                "overloaded",
+                format!(
+                    "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}",
+                    json::escape(SOURCE)
+                ),
+                "overloaded",
+                0,
+            ),
+        ];
+        for (tag, request, kind, capacity) in rows {
+            let root = temp_root(&format!("drain-{tag}"));
+            let store = open_store(&root);
+            let server = Server::new(store)
+                .with_workers(1)
+                .with_queue_capacity(capacity);
+            let script = format!("{request}\n{{\"id\": 9, \"op\": \"shutdown\"}}\n");
+            let (summary, responses) = serve_script(&server, &script);
+            assert_eq!(
+                responses[0].get("error_kind").and_then(Value::as_str),
+                Some(kind),
+                "row {tag}: typed error expected, got {:?}",
+                responses[0]
+            );
+            let ack = &responses[1];
+            assert_eq!(ack.get("ok").and_then(Value::as_bool), Some(true));
+            assert_eq!(ack.get("flushed").and_then(Value::as_bool), Some(true));
+            let drained = ack
+                .get("drained")
+                .and_then(Value::as_u64)
+                .expect("drained is a count, not a flag");
+            // Declines answered at admission (expired deadline, shed) are
+            // never outstanding; only the faulted compute may still be.
+            assert!(drained <= 1, "row {tag}: drained {drained}");
+            if kind != "fault" {
+                assert_eq!(drained, 0, "row {tag}: inline declines never drain");
+            }
+            assert_eq!(summary.shed, u64::from(kind == "overloaded"));
+            assert_eq!(summary.expired, u64::from(kind == "cancelled"));
+            assert_eq!(summary.responses, 2);
+            assert!(summary.clean_shutdown && summary.flushed);
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn a_declared_tenant_labels_the_lane_and_must_be_non_empty() {
+        let root = temp_root("tenant");
+        let store = open_store(&root);
+        let server = Server::new(store).with_workers(1);
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2, \"tenant\": \"team-a\"}}\n\
+             {{\"id\": 2, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2, \"tenant\": \"\"}}\n\
+             {{\"id\": 3, \"op\": \"shutdown\"}}\n",
+            json::escape(SOURCE),
+            json::escape(SOURCE)
+        );
+        let (_, responses) = serve_script(&server, &script);
+        assert_eq!(responses[0].get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            responses[1].get("error_kind").and_then(Value::as_str),
+            Some("fault"),
+            "an empty tenant is a request error: {:?}",
+            responses[1]
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stats_snapshot_carries_the_resilience_counters() {
+        let root = temp_root("resilience-stats");
+        let store = open_store(&root);
+        let server = Server::new(store).with_workers(1).with_queue_capacity(0);
+        let script = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}\n\
+             {{\"id\": 2, \"op\": \"stats\"}}\n\
+             {{\"id\": 3, \"op\": \"shutdown\"}}\n",
+            json::escape(SOURCE)
+        );
+        let (_, responses) = serve_script(&server, &script);
+        let resilience = responses[1]
+            .get("stats")
+            .and_then(|s| s.get("resilience"))
+            .expect("stats carries a resilience section");
+        assert_eq!(resilience.get("shed").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            resilience.get("quota_shed").and_then(Value::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            resilience.get("disconnected").and_then(Value::as_u64),
+            Some(0)
+        );
+        let wire = resilience.get("wire_faults").expect("wire fault counters");
+        for kind in crate::fault::FaultKind::WIRE {
+            assert_eq!(wire.get(kind.name()).and_then(Value::as_u64), Some(0));
+        }
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -114,6 +114,14 @@ impl TierStats {
     /// object of per-op latency histograms (the server's request-level
     /// p50/p95/p99 view) embedded under `"latency"`.
     pub fn to_json_with(&self, latency: Option<&str>) -> String {
+        self.to_json_with_sections(latency, None)
+    }
+
+    /// Like [`TierStats::to_json_with`], additionally embedding an optional
+    /// pre-rendered JSON object of resilience counters (shed/quota/cost
+    /// shedding, dropped-on-disconnect responses and wire faults fired)
+    /// under `"resilience"`.
+    pub fn to_json_with_sections(&self, latency: Option<&str>, resilience: Option<&str>) -> String {
         use std::fmt::Write as _;
         // The process-wide counter sets render through the registry (one
         // source for the `stats` op, the registry snapshot and any future
@@ -152,6 +160,9 @@ impl TierStats {
         );
         if let Some(latency) = latency {
             let _ = write!(out, "\"latency\": {latency}, ");
+        }
+        if let Some(resilience) = resilience {
+            let _ = write!(out, "\"resilience\": {resilience}, ");
         }
         out.push_str("\"disk\": {");
         for (i, stage) in STAGES.iter().enumerate() {

@@ -20,10 +20,11 @@
 //! session start: a TCP session is long-lived, and parked workers cost
 //! nothing but a condvar wait.
 
+use crate::fault::{damage, FaultKind, STALL_MS};
 use crate::server::{Respond, Scheduler, ServeSummary, Server};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -40,12 +41,15 @@ impl Server {
     /// per-response I/O errors only end the affected connection).
     pub fn serve_tcp(&self, listener: TcpListener) -> io::Result<ServeSummary> {
         listener.set_nonblocking(true)?;
-        let scheduler = Scheduler::new(self.queue_capacity());
+        let scheduler = Scheduler::new(self.queue_capacity(), self.effective_quota());
         let stop = AtomicBool::new(false);
         let clean = AtomicBool::new(false);
         // One try-cloned handle per accepted connection, so a shutdown can
         // unblock every reader with `Shutdown::Both`.
         let connections: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+        // Connection ordinals label the fair-queuing lanes of clients that
+        // declare no tenant.
+        let accepted = AtomicU64::new(0);
 
         std::thread::scope(|scope| -> io::Result<()> {
             for _ in 0..self.worker_cap() {
@@ -66,12 +70,20 @@ impl Server {
                             Ok(handle) => connections.lock().expect("connections").push(handle),
                             Err(_) => continue,
                         }
+                        let ordinal = accepted.fetch_add(1, Ordering::Relaxed);
                         let scheduler = &scheduler;
                         let stop = &stop;
                         let clean = &clean;
                         let connections = &connections;
                         scope.spawn(move || {
-                            self.serve_connection(scheduler, stream, stop, clean, connections);
+                            self.serve_connection(
+                                scheduler,
+                                stream,
+                                stop,
+                                clean,
+                                connections,
+                                ordinal,
+                            );
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -103,6 +115,12 @@ impl Server {
     /// Reads request lines from one connection until EOF, a read error, or
     /// a session shutdown.  Responses for this connection's requests are
     /// routed back through its own socket, whichever worker computes them.
+    ///
+    /// A connection that closes while its requests are still computing
+    /// does not wedge a worker: the respond closure checks a per-connection
+    /// liveness flag, drops the response for a dead socket (counting it in
+    /// [`ServeSummary::disconnected`]), and the scheduler's drain
+    /// accounting proceeds exactly as for a delivered response.
     fn serve_connection<'env>(
         &self,
         scheduler: &Scheduler<'env>,
@@ -110,6 +128,7 @@ impl Server {
         stop: &AtomicBool,
         clean: &AtomicBool,
         connections: &Mutex<Vec<TcpStream>>,
+        ordinal: u64,
     ) {
         let reader = match stream.try_clone() {
             Ok(read_half) => BufReader::new(read_half),
@@ -118,23 +137,72 @@ impl Server {
                 return;
             }
         };
+        let alive = Arc::new(AtomicBool::new(true));
         let writer = Mutex::new(stream);
-        let respond: Respond<'env> = Arc::new(move |id, body| {
-            let mut writer = writer.lock().expect("tcp writer");
-            let line = format!("{{\"id\": {id}, {body}}}\n");
-            if let Err(e) = writer.write_all(line.as_bytes()) {
-                eprintln!("tmg-service: dropping response for request {id}: {e}");
-            }
-        });
+        let respond: Respond<'env> = {
+            let alive = Arc::clone(&alive);
+            let disconnected = scheduler.disconnected_handle();
+            let wire = self.wire_fault_plan().clone();
+            Arc::new(move |id, body| {
+                if !alive.load(Ordering::Acquire) {
+                    disconnected.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                let mut writer = writer.lock().expect("tcp writer");
+                let line = format!("{{\"id\": {id}, {body}}}\n");
+                // Wire-level fault injection, response-write boundary.
+                // Each delivery consumes at most ONE armed shot, checked in
+                // [`FaultKind::WIRE`] order; the client contract ("never a
+                // wrong answer") is preserved because a dropped/torn
+                // delivery is indistinguishable from a crash before the
+                // write and a duplicate is deduplicated by id.
+                if wire.is_armed() {
+                    if wire.take(FaultKind::ConnDrop) {
+                        let _ = writer.shutdown(Shutdown::Both);
+                        alive.store(false, Ordering::Release);
+                        disconnected.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    if wire.take(FaultKind::StallMs) {
+                        // Delayed, then delivered intact.
+                        std::thread::sleep(Duration::from_millis(STALL_MS));
+                    } else if wire.take(FaultKind::TornFrame) {
+                        let torn = damage(FaultKind::TornFrame, line.as_bytes());
+                        let _ = writer.write_all(&torn).and_then(|()| writer.flush());
+                        let _ = writer.shutdown(Shutdown::Both);
+                        alive.store(false, Ordering::Release);
+                        disconnected.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    } else if wire.take(FaultKind::DupDelivery) {
+                        let doubled = format!("{line}{line}");
+                        if let Err(e) = writer.write_all(doubled.as_bytes()) {
+                            alive.store(false, Ordering::Release);
+                            disconnected.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("tmg-service: dropping response for request {id}: {e}");
+                        }
+                        return;
+                    }
+                }
+                if let Err(e) = writer.write_all(line.as_bytes()) {
+                    // First write failure marks the connection dead; later
+                    // responses for it are dropped without touching the
+                    // socket.
+                    alive.store(false, Ordering::Release);
+                    disconnected.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("tmg-service: dropping response for request {id}: {e}");
+                }
+            })
+        };
         // The worker pool is eager in TCP mode, so dispatch never needs to
         // spawn one.
         let no_spawn = || {};
+        let client = format!("conn:{ordinal}");
         for line in reader.lines() {
             let Ok(line) = line else { break };
             if line.trim().is_empty() {
                 continue;
             }
-            if self.dispatch(scheduler, &line, &respond, &no_spawn) {
+            if self.dispatch(scheduler, &line, &respond, &no_spawn, &client) {
                 // `shutdown`: the drain + flush already happened and the
                 // ack is written.  End the whole session: stop accepting,
                 // then unblock every connection's reader (including ours).
@@ -144,6 +212,10 @@ impl Server {
                 break;
             }
         }
+        // EOF or read error: the peer is gone.  Responses still in flight
+        // for this connection are dropped (and counted) instead of being
+        // written to a dead socket.
+        alive.store(false, Ordering::Release);
     }
 }
 
@@ -156,6 +228,7 @@ fn unblock_all(connections: &Mutex<Vec<TcpStream>>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::json::{self, Value};
     use crate::store::{PersistentStore, PersistentStoreConfig};
     use std::io::Read;
@@ -317,5 +390,150 @@ mod tests {
         );
         let _ = std::fs::remove_dir_all(&root_stdin);
         let _ = std::fs::remove_dir_all(&root_tcp);
+    }
+
+    #[test]
+    fn a_client_disconnecting_mid_compute_does_not_wedge_a_worker() {
+        let root = temp_root("disconnect");
+        // One worker: if the dead connection wedged it, the follow-up
+        // request below would never be answered and the test would hang.
+        let server = Server::new(open_store(&root)).with_workers(1);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.serve_tcp(listener).expect("serve_tcp"));
+            // Submit a multi-millisecond sweep, then vanish without
+            // reading the response.  The server-side reader hits EOF
+            // (microseconds) long before the compute finishes, so the
+            // response targets a connection already known to be dead.
+            let request = format!(
+                "{{\"id\": 1, \"op\": \"sweep\", \"source\": \"{}\", \"max_bound\": 100}}\n",
+                json::escape(SOURCE)
+            );
+            {
+                let mut ghost = TcpStream::connect(addr).expect("connect ghost");
+                ghost.write_all(request.as_bytes()).expect("send ghost");
+            } // dropped: the peer is gone mid-compute
+              // A healthy client still gets served by the same worker.
+            let script = format!(
+                "{{\"id\": 2, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}\n\
+                 {{\"id\": 3, \"op\": \"shutdown\"}}\n",
+                json::escape(SOURCE)
+            );
+            let responses = rpc(addr, &script);
+            assert_eq!(responses.len(), 2, "worker survived the dead socket");
+            assert_eq!(responses[0].get("ok").and_then(Value::as_bool), Some(true));
+            assert_eq!(
+                responses[1].get("flushed").and_then(Value::as_bool),
+                Some(true)
+            );
+            let summary = handle.join().expect("server thread");
+            assert_eq!(
+                summary.disconnected, 1,
+                "the dropped response must be counted, not written"
+            );
+            assert!(summary.clean_shutdown);
+        });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Reads exactly `n` response lines from an open connection (which,
+    /// unlike [`rpc`], the server keeps serving afterwards).
+    fn read_lines(reader: &mut BufReader<TcpStream>, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|_| {
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("read line");
+                line
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_wire_fault_kind_fires_on_the_tcp_path() {
+        let root = temp_root("wire-faults");
+        let plan = FaultPlan::none()
+            .with(FaultKind::ConnDrop, 1)
+            .with(FaultKind::StallMs, 1)
+            .with(FaultKind::TornFrame, 1)
+            .with(FaultKind::DupDelivery, 1);
+        let server = Server::new(open_store(&root))
+            .with_workers(2)
+            .with_wire_faults(plan.clone());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let request = format!(
+            "{{\"id\": 1, \"op\": \"analyse\", \"source\": \"{}\", \"path_bound\": 2}}\n",
+            json::escape(SOURCE)
+        );
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.serve_tcp(listener).expect("serve_tcp"));
+
+            // Shot 1, conn_drop: the connection dies instead of answering.
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.write_all(request.as_bytes()).expect("send");
+            let mut raw = String::new();
+            let _ = c.read_to_string(&mut raw);
+            assert_eq!(raw, "", "conn_drop delivers nothing, only EOF");
+
+            // Shot 2, stall_ms: the answer arrives, just late.
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.write_all(request.as_bytes()).expect("send");
+            let mut reader = BufReader::new(c.try_clone().expect("clone"));
+            let lines = read_lines(&mut reader, 1);
+            let parsed = json::parse(&lines[0]).expect("stalled response parses");
+            assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(true));
+            drop(reader);
+            drop(c);
+
+            // Shot 3, torn_frame: a half-written line with no newline,
+            // then EOF — a client must treat it as a failed delivery.
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.write_all(request.as_bytes()).expect("send");
+            let mut raw = String::new();
+            let _ = c.read_to_string(&mut raw);
+            assert!(
+                !raw.is_empty() && !raw.ends_with('\n'),
+                "torn frame: {raw:?}"
+            );
+            assert!(json::parse(&raw).is_err(), "a torn frame must not parse");
+
+            // Shot 4, dup_delivery: the same response line twice; a
+            // client deduplicating by id sees one answer.
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.write_all(request.as_bytes()).expect("send");
+            let mut reader = BufReader::new(c.try_clone().expect("clone"));
+            let lines = read_lines(&mut reader, 2);
+            assert_eq!(lines[0], lines[1], "duplicate delivery is bit-identical");
+            drop(reader);
+            drop(c);
+
+            // The plan is spent: stats and shutdown answer normally, and
+            // the resilience counters report every shot.
+            let responses = rpc(
+                addr,
+                "{\"id\": 8, \"op\": \"stats\"}\n{\"id\": 9, \"op\": \"shutdown\"}\n",
+            );
+            assert_eq!(responses.len(), 2);
+            let wire = responses[0]
+                .get("stats")
+                .and_then(|s| s.get("resilience"))
+                .and_then(|r| r.get("wire_faults"))
+                .expect("stats carries wire fault counters");
+            for kind in FaultKind::WIRE {
+                assert_eq!(
+                    wire.get(kind.name()).and_then(Value::as_u64),
+                    Some(1),
+                    "{} must have fired once",
+                    kind.name()
+                );
+            }
+            let summary = handle.join().expect("server thread");
+            // conn_drop and torn_frame each killed a connection at
+            // respond time.
+            assert_eq!(summary.disconnected, 2);
+            assert_eq!(plan.total_fired(), 4);
+        });
+        let _ = std::fs::remove_dir_all(&root);
     }
 }
